@@ -1,0 +1,37 @@
+//! Figure 7 — execution time of the crypto benchmark suite under the four
+//! designs (UnsafeBaseline, Cassandra, Cassandra+STL, SPT), normalised to the
+//! unsafe baseline.
+//!
+//! Prints the full per-workload series and the geomean line, and benchmarks a
+//! single representative workload/design pair.
+
+use cassandra_core::experiments::{figure7, FIG7_DESIGNS};
+use cassandra_core::report::format_fig7;
+use cassandra_core::{analyze_workload, simulate_workload};
+use cassandra_cpu::config::{CpuConfig, DefenseMode};
+use cassandra_kernels::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let result = figure7(&suite::full_suite(), &FIG7_DESIGNS).expect("figure 7");
+    println!("\n=== Figure 7: normalized execution time (full suite) ===");
+    println!("{}", format_fig7(&result));
+
+    let workload = suite::sha256_workload(192);
+    let analysis = analyze_workload(&workload).expect("analysis");
+    let base_cfg = CpuConfig::golden_cove_like();
+    c.bench_function("fig7/simulate_sha256_baseline", |b| {
+        b.iter(|| simulate_workload(&workload, &analysis, &base_cfg).expect("sim"))
+    });
+    let cass_cfg = base_cfg.with_defense(DefenseMode::Cassandra);
+    c.bench_function("fig7/simulate_sha256_cassandra", |b| {
+        b.iter(|| simulate_workload(&workload, &analysis, &cass_cfg).expect("sim"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 8 — SpectreGuard-style synthetic mixes: ProSpeCT vs
+//! Cassandra+ProSpeCT across sandbox/crypto fractions, for a chacha20-like
+//! primitive (public stack) and a curve25519-like primitive (secret stack).
+
+use cassandra_core::experiments::figure8;
+use cassandra_core::report::format_fig8;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let points = figure8(20).expect("figure 8");
+    println!("\n=== Figure 8: synthetic benchmarks (scale 20) ===");
+    println!("{}", format_fig8(&points));
+
+    c.bench_function("fig8/synthetic_mixes_scale4", |b| {
+        b.iter(|| figure8(4).expect("figure 8"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

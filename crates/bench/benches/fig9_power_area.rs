@@ -1,0 +1,25 @@
+//! Figure 9 — power and area of Cassandra relative to the unsafe baseline
+//! (McPAT/CACTI-style analytic model driven by simulation statistics).
+
+use cassandra_core::experiments::{figure9, quick_workloads};
+use cassandra_core::report::format_fig9;
+use cassandra_kernels::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let result = figure9(&suite::full_suite()).expect("figure 9");
+    println!("\n=== Figure 9: power and area (full suite) ===");
+    println!("{}", format_fig9(&result));
+
+    let workloads = quick_workloads();
+    c.bench_function("fig9/power_area_quick_suite", |b| {
+        b.iter(|| figure9(&workloads).expect("figure 9"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

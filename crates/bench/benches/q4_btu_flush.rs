@@ -1,0 +1,31 @@
+//! Discussion Q4 — the cost of flushing the BTU periodically (modelling
+//! context switches between crypto applications at a 250 Hz timer).
+
+use cassandra_core::experiments::{q4_btu_flush, quick_workloads};
+use cassandra_core::report::format_q4;
+use cassandra_kernels::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Committed instructions between flushes. At a few GHz and IPC of a few, a
+/// 250 Hz timer corresponds to millions of instructions; our kernels are
+/// SimPoint-sized, so a proportionally smaller interval is used to exercise
+/// several flushes per run.
+const FLUSH_INTERVAL: u64 = 50_000;
+
+fn bench(c: &mut Criterion) {
+    let result = q4_btu_flush(&suite::full_suite(), FLUSH_INTERVAL).expect("q4");
+    println!("\n=== Q4: periodic BTU flush (full suite) ===");
+    println!("{}", format_q4(&result));
+
+    let workloads = quick_workloads();
+    c.bench_function("q4/btu_flush_quick_suite", |b| {
+        b.iter(|| q4_btu_flush(&workloads, 50_000).expect("q4"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1 — branch analysis of cryptographic programs.
+//!
+//! Prints the full per-program table (vanilla / k-mers trace sizes and
+//! compression rates) for the 21-workload suite, and benchmarks the analysis
+//! pipeline itself on a representative subset.
+
+use cassandra_core::experiments::{quick_workloads, table1};
+use cassandra_core::report::format_table1;
+use cassandra_kernels::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print the full table once.
+    let full = table1(&suite::full_suite()).expect("table 1 analysis");
+    println!("\n=== Table 1: branch analysis (full suite) ===");
+    println!("{}", format_table1(&full));
+
+    let workloads = quick_workloads();
+    c.bench_function("table1/branch_analysis_quick_suite", |b| {
+        b.iter(|| table1(&workloads).expect("analysis"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! §7.5 — runtime of the upfront trace-generation procedure (steps A–E of
+//! Algorithm 2), plus micro-benchmarks of the k-mers compression itself.
+
+use cassandra_core::experiments::trace_generation_timing;
+use cassandra_core::report::format_trace_gen;
+use cassandra_kernels::suite;
+use cassandra_trace::kmers::{compress, KmersConfig};
+use cassandra_trace::vanilla::VanillaTrace;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rows = trace_generation_timing(&suite::full_suite()).expect("trace generation timing");
+    println!("\n=== §7.5: trace generation runtime (full suite) ===");
+    println!("{}", format_trace_gen(&rows));
+
+    // Micro-benchmark: compress a large, loop-structured vanilla trace
+    // (100k dynamic executions of a nested-loop branch).
+    let mut targets = Vec::new();
+    for _ in 0..2_000 {
+        targets.extend(std::iter::repeat(10usize).take(49));
+        targets.push(60);
+    }
+    let vanilla = VanillaTrace::from_targets(&targets);
+    c.bench_function("trace_generation/kmers_compress_100k_executions", |b| {
+        b.iter(|| compress(&vanilla, &KmersConfig::default()))
+    });
+
+    let workload = suite::chacha20_workload(256);
+    c.bench_function("trace_generation/algorithm2_chacha20", |b| {
+        b.iter(|| {
+            cassandra_trace::genproc::generate_traces(
+                &workload.kernel.program,
+                None,
+                workload.kernel.step_limit,
+            )
+            .expect("generation")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Conversion from compressed k-mers traces to the BTU's hardware
+//! representation (pattern set + trace elements, §5.2).
+
+use crate::element::{
+    PatternElement, TraceElement, MAX_PATTERN_REPS, MAX_TRACE_COUNTER,
+};
+use cassandra_isa::program::Program;
+use cassandra_trace::genproc::TraceBundle;
+use cassandra_trace::hints::{BranchHint, BranchHints};
+use cassandra_trace::kmers::KmersTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The encoded trace of one multi-target branch, as stored in the trace data
+/// pages and loaded into the BTU on demand.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedBranchTrace {
+    /// The branch PC.
+    pub pc: usize,
+    /// The pattern set (Pattern Table contents for this branch).
+    pub patterns: Vec<PatternElement>,
+    /// The trace elements (Trace Cache contents, possibly longer than one
+    /// entry — the hardware streams them in 16-element windows).
+    pub trace: Vec<TraceElement>,
+    /// True if the whole trace fits one Trace Cache entry (short-trace mark).
+    pub short_trace: bool,
+}
+
+impl EncodedBranchTrace {
+    /// Builds the encoded form of a branch's compressed trace.
+    pub fn from_kmers(pc: usize, kmers: &KmersTrace, short_trace: bool) -> Self {
+        let mut patterns: Vec<PatternElement> = Vec::new();
+        // Symbol → (first element index, element count, total executions).
+        let mut placement: BTreeMap<u32, (usize, usize, u64)> = BTreeMap::new();
+        for (&symbol, elements) in &kmers.patterns.patterns {
+            let start = patterns.len();
+            let mut executions = 0u64;
+            for e in elements {
+                executions += e.count;
+                let mut remaining = e.count;
+                // Split repetitions that exceed the 8-bit field, as in §5.2.
+                while remaining > MAX_PATTERN_REPS {
+                    patterns.push(PatternElement {
+                        target_offset: e.target as i32 - pc as i32,
+                        repetitions: MAX_PATTERN_REPS as u8,
+                    });
+                    remaining -= MAX_PATTERN_REPS;
+                }
+                patterns.push(PatternElement {
+                    target_offset: e.target as i32 - pc as i32,
+                    repetitions: remaining as u8,
+                });
+            }
+            placement.insert(symbol, (start, patterns.len() - start, executions));
+        }
+
+        let mut trace: Vec<TraceElement> = Vec::new();
+        for run in &kmers.runs {
+            let (start, size, executions) = placement[&run.symbol];
+            let mut remaining = run.repeat;
+            while remaining > 0 {
+                let chunk = remaining.min(MAX_TRACE_COUNTER);
+                trace.push(TraceElement {
+                    pattern_index: start.min(u8::MAX as usize) as u8,
+                    pattern_size: size.min(u8::MAX as usize) as u8,
+                    pattern_counter: executions.min(u64::from(u16::MAX)) as u16,
+                    trace_counter: chunk as u8,
+                    end_of_trace: false,
+                });
+                remaining -= chunk;
+            }
+        }
+        if let Some(last) = trace.last_mut() {
+            last.end_of_trace = true;
+        }
+        EncodedBranchTrace {
+            pc,
+            patterns,
+            trace,
+            short_trace,
+        }
+    }
+
+    /// Total number of stored elements (pattern + trace), the quantity the
+    /// paper's Table 1 reports per branch.
+    pub fn stored_elements(&self) -> usize {
+        self.patterns.len() + self.trace.len()
+    }
+
+    /// Expands the encoded trace back into the sequence of target PCs for one
+    /// full pass over the trace (until the End-of-Trace marker).
+    pub fn expand_targets(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for te in &self.trace {
+            let slice =
+                &self.patterns[te.pattern_index as usize..(te.pattern_index + te.pattern_size) as usize];
+            for _ in 0..te.trace_counter {
+                for pe in slice {
+                    for _ in 0..pe.repetitions {
+                        out.push(pe.target(self.pc));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The encoded traces and hints of a whole program ("trace data pages" plus
+/// the hint information embedded in the binary).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedTraces {
+    /// Encoded traces of multi-target branches, keyed by branch PC.
+    pub traces: BTreeMap<usize, EncodedBranchTrace>,
+    /// Per-branch hints for all analyzed crypto branches.
+    pub hints: BranchHints,
+}
+
+impl EncodedTraces {
+    /// Encodes every analyzed branch of a [`TraceBundle`].
+    pub fn from_bundle(_program: &Program, bundle: &TraceBundle) -> Self {
+        let mut traces = BTreeMap::new();
+        for (pc, data) in &bundle.branches {
+            let short = matches!(
+                bundle.hints.hint(*pc),
+                Some(BranchHint::MultiTarget { short_trace: true })
+            );
+            traces.insert(*pc, EncodedBranchTrace::from_kmers(*pc, &data.kmers, short));
+        }
+        EncodedTraces {
+            traces,
+            hints: bundle.hints.clone(),
+        }
+    }
+
+    /// The hint for a branch, if it was analyzed.
+    pub fn hint(&self, pc: usize) -> Option<BranchHint> {
+        self.hints.hint(pc)
+    }
+
+    /// The encoded trace of a branch, if one exists.
+    pub fn trace(&self, pc: usize) -> Option<&EncodedBranchTrace> {
+        self.traces.get(&pc)
+    }
+
+    /// Total storage of the trace data pages in bits (used by the hint/trace
+    /// storage statistics).
+    pub fn storage_bits(&self) -> usize {
+        use crate::element::{PATTERN_ELEMENT_BITS, TRACE_ELEMENT_BITS};
+        self.traces
+            .values()
+            .map(|t| t.patterns.len() * PATTERN_ELEMENT_BITS + t.trace.len() * TRACE_ELEMENT_BITS)
+            .sum::<usize>()
+            + self.hints.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_trace::kmers::{compress, KmersConfig};
+    use cassandra_trace::vanilla::VanillaTrace;
+
+    fn encode_targets(pc: usize, targets: &[usize]) -> EncodedBranchTrace {
+        let vanilla = VanillaTrace::from_targets(targets);
+        let kmers = compress(&vanilla, &KmersConfig::default());
+        EncodedBranchTrace::from_kmers(pc, &kmers, true)
+    }
+
+    #[test]
+    fn loop_trace_roundtrips() {
+        // Taken 4 times to pc 1, then falls through to pc 5 (branch at pc 4).
+        let targets = vec![1, 1, 1, 1, 5];
+        let enc = encode_targets(4, &targets);
+        assert_eq!(enc.expand_targets(), targets);
+        assert!(enc.trace.last().unwrap().end_of_trace);
+    }
+
+    #[test]
+    fn nested_loop_trace_roundtrips() {
+        // Inner loop of 3 iterations re-entered 4 times: (T T F) × 4.
+        let mut targets = Vec::new();
+        for _ in 0..4 {
+            targets.extend_from_slice(&[10, 10, 20]);
+        }
+        let enc = encode_targets(19, &targets);
+        assert_eq!(enc.expand_targets(), targets);
+        assert!(enc.stored_elements() <= 6, "got {}", enc.stored_elements());
+    }
+
+    #[test]
+    fn large_repetition_counts_are_split() {
+        // 600 consecutive taken outcomes exceed the 8-bit repetition field.
+        let mut targets = vec![2usize; 600];
+        targets.push(9);
+        let enc = encode_targets(8, &targets);
+        assert!(enc.patterns.iter().all(|p| u64::from(p.repetitions) <= MAX_PATTERN_REPS));
+        assert_eq!(enc.expand_targets(), targets);
+    }
+
+    #[test]
+    fn negative_offsets_encode_backward_branches() {
+        let targets = vec![1, 1, 9];
+        let enc = encode_targets(8, &targets);
+        assert!(enc.patterns.iter().any(|p| p.target_offset < 0));
+        assert_eq!(enc.expand_targets(), targets);
+    }
+
+    #[test]
+    fn storage_accounting_is_positive() {
+        let targets = vec![1, 1, 1, 5];
+        let enc = encode_targets(4, &targets);
+        assert!(enc.stored_elements() >= 2);
+    }
+}

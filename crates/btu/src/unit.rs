@@ -1,0 +1,366 @@
+//! The runtime Branch Trace Unit: fetch, commit, squash, eviction and flush
+//! flows (§5.3 of the paper).
+
+use crate::cursor::TraceCursor;
+use crate::element::{entry_storage_bits, ELEMENTS_PER_ENTRY};
+use crate::encode::EncodedTraces;
+use cassandra_trace::hints::BranchHint;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of the BTU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtuConfig {
+    /// Number of entries in the Pattern Table / Trace Cache / Checkpoint
+    /// Table (16 in the paper's Table 3).
+    pub entries: usize,
+    /// Extra frontend latency (cycles) when a multi-target branch misses in
+    /// the Trace Cache and its trace must be fetched from the data pages.
+    pub miss_penalty: u64,
+}
+
+impl Default for BtuConfig {
+    fn default() -> Self {
+        BtuConfig {
+            entries: 16,
+            miss_penalty: 20,
+        }
+    }
+}
+
+/// Statistics kept by the BTU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtuStats {
+    /// Total fetch-time lookups.
+    pub lookups: u64,
+    /// Lookups that hit a resident Trace Cache entry.
+    pub hits: u64,
+    /// Lookups that missed and had to stream the trace in.
+    pub misses: u64,
+    /// Entries evicted to make room (checkpoints written back).
+    pub evictions: u64,
+    /// Lookups answered from the single-target hint (no BTU entry used).
+    pub single_target_lookups: u64,
+    /// Lookups for branches without replayable traces (fetch must stall).
+    pub stall_lookups: u64,
+    /// Whole-unit flushes (context switches between crypto applications, Q4).
+    pub flushes: u64,
+    /// Committed crypto branches.
+    pub commits: u64,
+    /// Squash recoveries.
+    pub squashes: u64,
+}
+
+/// The answer of a fetch-time BTU lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtuLookup {
+    /// The next PC dictated by the sequential trace, if available.
+    pub next_pc: Option<usize>,
+    /// True if the branch hit a resident entry (or needed none).
+    pub hit: bool,
+    /// True if the frontend must stall until the branch resolves (no trace).
+    pub needs_stall: bool,
+    /// Extra frontend latency in cycles (trace miss streaming).
+    pub extra_latency: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct BranchState {
+    /// Speculative fetch-side cursor.
+    fetch: TraceCursor,
+    /// Committed cursor (the Checkpoint Table contents).
+    committed: TraceCursor,
+}
+
+/// The Branch Trace Unit.
+#[derive(Debug, Clone)]
+pub struct BranchTraceUnit {
+    config: BtuConfig,
+    encoded: EncodedTraces,
+    /// Per-branch replay state; conceptually the Checkpoint Table backed by
+    /// the trace data pages, so it survives evictions and flushes.
+    state: BTreeMap<usize, BranchState>,
+    /// Branch PCs currently resident in the Trace Cache, most recently used
+    /// last.
+    resident: Vec<usize>,
+    stats: BtuStats,
+}
+
+impl BranchTraceUnit {
+    /// Creates a BTU for a program's encoded traces.
+    pub fn new(config: BtuConfig, encoded: EncodedTraces) -> Self {
+        BranchTraceUnit {
+            config,
+            encoded,
+            state: BTreeMap::new(),
+            resident: Vec::new(),
+            stats: BtuStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> BtuConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BtuStats {
+        self.stats
+    }
+
+    /// Total BTU storage in bits (for the area model).
+    pub fn storage_bits(&self) -> usize {
+        self.config.entries * entry_storage_bits()
+    }
+
+    /// Whether the given PC is an analyzed crypto branch the BTU knows about.
+    pub fn knows_branch(&self, pc: usize) -> bool {
+        self.encoded.hint(pc).is_some()
+    }
+
+    /// Fetch flow (§5.3): determines the next PC for a crypto branch being
+    /// fetched and advances the speculative trace position.
+    pub fn fetch_lookup(&mut self, pc: usize) -> BtuLookup {
+        self.stats.lookups += 1;
+        match self.encoded.hint(pc) {
+            // Single-target branches carry their target in the hint bytes and
+            // consume no BTU resources.
+            Some(BranchHint::SingleTarget { target }) => {
+                self.stats.single_target_lookups += 1;
+                BtuLookup {
+                    next_pc: Some(target),
+                    hit: true,
+                    needs_stall: false,
+                    extra_latency: 0,
+                }
+            }
+            // No usable trace: the frontend stalls until the branch resolves
+            // (footnote 4 / §4.3).
+            Some(BranchHint::InputDependent) | Some(BranchHint::NotExecuted) | None => {
+                self.stats.stall_lookups += 1;
+                BtuLookup {
+                    next_pc: None,
+                    hit: false,
+                    needs_stall: true,
+                    extra_latency: 0,
+                }
+            }
+            Some(BranchHint::MultiTarget { .. }) => {
+                let (hit, extra_latency) = self.touch_entry(pc);
+                let Some(trace) = self.encoded.traces.get(&pc) else {
+                    // Hinted as multi-target but the trace is unavailable:
+                    // behave like a stall (defensive; not expected).
+                    self.stats.stall_lookups += 1;
+                    return BtuLookup {
+                        next_pc: None,
+                        hit: false,
+                        needs_stall: true,
+                        extra_latency,
+                    };
+                };
+                let state = self.state.entry(pc).or_insert_with(|| BranchState {
+                    fetch: TraceCursor::new(),
+                    committed: TraceCursor::new(),
+                });
+                let next_pc = state.fetch.next_target(trace);
+                BtuLookup {
+                    next_pc,
+                    hit,
+                    needs_stall: next_pc.is_none(),
+                    extra_latency,
+                }
+            }
+        }
+    }
+
+    /// Commit flow (§5.3): a crypto branch retired, so the committed position
+    /// (Checkpoint Table) advances by one execution.
+    pub fn commit_branch(&mut self, pc: usize) {
+        if !matches!(self.encoded.hint(pc), Some(BranchHint::MultiTarget { .. })) {
+            return;
+        }
+        self.stats.commits += 1;
+        if let (Some(trace), Some(state)) = (self.encoded.traces.get(&pc), self.state.get_mut(&pc))
+        {
+            let _ = state.committed.next_target(trace);
+        }
+    }
+
+    /// Squash recovery (§5.3): undo all speculative fetch-side progress, for
+    /// every branch, back to the committed checkpoints.
+    pub fn squash(&mut self) {
+        self.stats.squashes += 1;
+        for state in self.state.values_mut() {
+            let committed = state.committed.position();
+            state.fetch.restore(committed);
+        }
+    }
+
+    /// Flushes the Trace Cache residency (context switch between two crypto
+    /// applications, discussion Q4). Replay positions survive in the
+    /// checkpoint data pages, but the next lookups pay the miss latency again.
+    pub fn flush(&mut self) {
+        self.stats.flushes += 1;
+        self.resident.clear();
+    }
+
+    /// Marks `pc` resident, evicting the least recently used entry if needed.
+    /// Returns `(hit, extra_latency)`.
+    fn touch_entry(&mut self, pc: usize) -> (bool, u64) {
+        if let Some(idx) = self.resident.iter().position(|&p| p == pc) {
+            self.resident.remove(idx);
+            self.resident.push(pc);
+            self.stats.hits += 1;
+            return (true, 0);
+        }
+        self.stats.misses += 1;
+        if self.resident.len() >= self.config.entries {
+            self.resident.remove(0);
+            self.stats.evictions += 1;
+        }
+        self.resident.push(pc);
+        (false, self.config.miss_penalty)
+    }
+
+    /// Number of elements per Trace Cache entry (exposed for the CPU model's
+    /// prefetch bookkeeping).
+    pub fn elements_per_entry(&self) -> usize {
+        ELEMENTS_PER_ENTRY
+    }
+
+    /// Read-only access to the encoded traces (used by reports).
+    pub fn encoded(&self) -> &EncodedTraces {
+        &self.encoded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_isa::builder::ProgramBuilder;
+    use cassandra_isa::program::Program;
+    use cassandra_isa::reg::{A0, A1, ZERO};
+    use cassandra_trace::genproc::generate_traces;
+
+    fn nested_program() -> Program {
+        let mut b = ProgramBuilder::new("nested");
+        b.begin_crypto();
+        b.li(A0, 3);
+        b.label("outer");
+        b.li(A1, 2);
+        b.label("inner");
+        b.addi(A1, A1, -1);
+        b.bne(A1, ZERO, "inner");
+        b.addi(A0, A0, -1);
+        b.bne(A0, ZERO, "outer");
+        b.end_crypto();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn btu_for(program: &Program) -> BranchTraceUnit {
+        let bundle = generate_traces(program, None, 100_000).unwrap();
+        let encoded = EncodedTraces::from_bundle(program, &bundle);
+        BranchTraceUnit::new(BtuConfig::default(), encoded)
+    }
+
+    /// Replays a program's crypto branches through the BTU and checks every
+    /// redirection against the functional execution.
+    #[test]
+    fn btu_replays_exactly_the_sequential_trace() {
+        let program = nested_program();
+        let raw = cassandra_trace::collect::collect_raw_traces(&program, 100_000).unwrap();
+        let mut btu = btu_for(&program);
+        // Interleave lookups in program order: walk the recorded outcomes.
+        let mut per_branch_expected: Vec<(usize, usize)> = Vec::new();
+        for (pc, trace) in &raw {
+            for &t in &trace.targets {
+                per_branch_expected.push((*pc, t));
+            }
+        }
+        // For each branch, lookups must yield targets in recorded order.
+        let mut positions: std::collections::BTreeMap<usize, usize> = Default::default();
+        for (pc, expected) in per_branch_expected {
+            let lookup = btu.fetch_lookup(pc);
+            btu.commit_branch(pc);
+            let i = positions.entry(pc).or_insert(0);
+            *i += 1;
+            assert_eq!(
+                lookup.next_pc,
+                Some(expected),
+                "branch {pc}, execution {i}"
+            );
+            assert!(!lookup.needs_stall);
+        }
+    }
+
+    #[test]
+    fn squash_rolls_back_uncommitted_lookups() {
+        let program = nested_program();
+        let mut btu = btu_for(&program);
+        let inner_pc = 3;
+        // Fetch two outcomes speculatively without committing.
+        let first = btu.fetch_lookup(inner_pc).next_pc;
+        let _second = btu.fetch_lookup(inner_pc).next_pc;
+        btu.squash();
+        // After the squash the replay restarts from the committed position.
+        assert_eq!(btu.fetch_lookup(inner_pc).next_pc, first);
+        assert!(btu.stats().squashes >= 1);
+    }
+
+    #[test]
+    fn flush_only_costs_a_refill() {
+        let program = nested_program();
+        let mut btu = btu_for(&program);
+        let inner_pc = 3;
+        let a = btu.fetch_lookup(inner_pc);
+        btu.commit_branch(inner_pc);
+        assert_eq!(a.extra_latency, btu.config().miss_penalty, "cold miss");
+        btu.flush();
+        let b = btu.fetch_lookup(inner_pc);
+        // The replay position survives the flush; only the miss latency is
+        // paid again.
+        assert_eq!(b.extra_latency, btu.config().miss_penalty);
+        assert!(b.next_pc.is_some());
+        assert_eq!(btu.stats().flushes, 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        // A tiny 1-entry BTU with two multi-target branches must evict.
+        let program = nested_program();
+        let bundle = generate_traces(&program, None, 100_000).unwrap();
+        let encoded = EncodedTraces::from_bundle(&program, &bundle);
+        let mut btu = BranchTraceUnit::new(
+            BtuConfig {
+                entries: 1,
+                miss_penalty: 5,
+            },
+            encoded,
+        );
+        let inner_pc = 3;
+        let outer_pc = 5;
+        btu.fetch_lookup(inner_pc);
+        btu.fetch_lookup(outer_pc);
+        btu.fetch_lookup(inner_pc);
+        assert!(btu.stats().evictions >= 1);
+        assert_eq!(btu.stats().hits, 0);
+    }
+
+    #[test]
+    fn unknown_branches_stall() {
+        let program = nested_program();
+        let mut btu = btu_for(&program);
+        let lookup = btu.fetch_lookup(999);
+        assert!(lookup.needs_stall);
+        assert_eq!(lookup.next_pc, None);
+    }
+
+    #[test]
+    fn storage_is_about_the_papers_budget() {
+        let program = nested_program();
+        let btu = btu_for(&program);
+        let kib = btu.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!(kib > 1.0 && kib < 2.5, "{kib:.2} KiB");
+    }
+}

@@ -1,0 +1,471 @@
+//! Experiment drivers that regenerate every table and figure of the paper's
+//! evaluation (§7) plus the discussion experiments (Q3, Q4).
+//!
+//! Each driver takes the list of workloads to evaluate so that tests can use
+//! small inputs while the benches and the `full_evaluation` example use the
+//! paper-sized suite from [`cassandra_kernels::suite::full_suite`].
+
+use crate::{analyze_workload, simulate_workload};
+use cassandra_cpu::config::{CpuConfig, DefenseMode};
+use cassandra_cpu::power::{power_area_report, PowerAreaReport};
+use cassandra_cpu::stats::SimStats;
+use cassandra_isa::error::IsaError;
+use cassandra_kernels::suite;
+use cassandra_kernels::synthetic::{self, CryptoVariant, MixPoint};
+use cassandra_kernels::workload::{Workload, WorkloadGroup};
+use cassandra_trace::stats::{summary_row, BranchAnalysisRow};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The four designs compared in Figure 7.
+pub const FIG7_DESIGNS: [DefenseMode; 4] = [
+    DefenseMode::UnsafeBaseline,
+    DefenseMode::Cassandra,
+    DefenseMode::CassandraStl,
+    DefenseMode::Spt,
+];
+
+// ---------------------------------------------------------------- Table 1
+
+/// One Table-1 row together with its workload group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Workload group (BearSSL / OpenSSL / PQC).
+    pub group: WorkloadGroup,
+    /// The branch-analysis statistics.
+    pub row: BranchAnalysisRow,
+}
+
+/// The complete Table-1 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Result {
+    /// Per-workload rows.
+    pub rows: Vec<Table1Row>,
+    /// The aggregated "All" row.
+    pub all: BranchAnalysisRow,
+}
+
+/// Regenerates Table 1 (branch analysis / trace compression) for the given
+/// workloads.
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn table1(workloads: &[Workload]) -> Result<Table1Result, IsaError> {
+    let mut rows = Vec::new();
+    for w in workloads {
+        let analysis = analyze_workload(w)?;
+        let mut row = BranchAnalysisRow::from_bundle(&analysis.bundle);
+        row.program = w.name.clone();
+        rows.push(Table1Row {
+            group: w.group,
+            row,
+        });
+    }
+    let all = summary_row(&rows.iter().map(|r| r.row.clone()).collect::<Vec<_>>());
+    Ok(Table1Result { rows, all })
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+/// One workload's execution times under the Figure-7 designs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Workload name.
+    pub workload: String,
+    /// Workload group.
+    pub group: WorkloadGroup,
+    /// Cycle counts per design label.
+    pub cycles: BTreeMap<String, u64>,
+    /// Execution time normalised to the unsafe baseline.
+    pub normalized: BTreeMap<String, f64>,
+}
+
+/// The complete Figure-7 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Result {
+    /// Per-workload rows.
+    pub rows: Vec<Fig7Row>,
+    /// Geometric mean of the normalised execution time per design.
+    pub geomean: BTreeMap<String, f64>,
+}
+
+impl Fig7Result {
+    /// The average speedup (negative = slowdown) of a design versus the
+    /// unsafe baseline, in percent.
+    pub fn speedup_pct(&self, design: DefenseMode) -> f64 {
+        self.geomean
+            .get(design.label())
+            .map_or(0.0, |norm| (1.0 - norm) * 100.0)
+    }
+}
+
+/// Regenerates Figure 7 (normalised execution time of the crypto benchmarks)
+/// for the given workloads and designs.
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn figure7(workloads: &[Workload], designs: &[DefenseMode]) -> Result<Fig7Result, IsaError> {
+    let base_cfg = CpuConfig::golden_cove_like();
+    let mut rows = Vec::new();
+    for w in workloads {
+        let analysis = analyze_workload(w)?;
+        let mut cycles = BTreeMap::new();
+        for design in designs {
+            let cfg = base_cfg.with_defense(*design);
+            let outcome = simulate_workload(w, &analysis, &cfg)?;
+            cycles.insert(design.label().to_string(), outcome.stats.cycles);
+        }
+        let base = *cycles
+            .get(DefenseMode::UnsafeBaseline.label())
+            .unwrap_or(&1)
+            .max(&1);
+        let normalized = cycles
+            .iter()
+            .map(|(k, v)| (k.clone(), *v as f64 / base as f64))
+            .collect();
+        rows.push(Fig7Row {
+            workload: w.name.clone(),
+            group: w.group,
+            cycles,
+            normalized,
+        });
+    }
+    let mut geomean = BTreeMap::new();
+    for design in designs {
+        let label = design.label().to_string();
+        let product: f64 = rows
+            .iter()
+            .filter_map(|r| r.normalized.get(&label))
+            .map(|v| v.ln())
+            .sum();
+        let count = rows.len().max(1) as f64;
+        geomean.insert(label, (product / count).exp());
+    }
+    Ok(Fig7Result { rows, geomean })
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+/// One point of Figure 8: a sandbox/crypto mix under one crypto variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Point {
+    /// Crypto variant ("chacha20" with a public stack, "curve25519" with a
+    /// secret stack).
+    pub variant: String,
+    /// Mix label ("90s/10c" … "all-crypto").
+    pub mix: String,
+    /// ProSpeCT execution-time overhead versus the unsafe baseline (percent;
+    /// negative values are speedups).
+    pub prospect_overhead_pct: f64,
+    /// Cassandra+ProSpeCT overhead versus the unsafe baseline (percent).
+    pub cassandra_prospect_overhead_pct: f64,
+}
+
+/// Regenerates Figure 8 (synthetic SpectreGuard-style benchmarks).
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn figure8(scale: u32) -> Result<Vec<Fig8Point>, IsaError> {
+    let base_cfg = CpuConfig::golden_cove_like();
+    let mut points = Vec::new();
+    for variant in [CryptoVariant::ChaChaLike, CryptoVariant::CurveLike] {
+        for mix in MixPoint::figure8_points() {
+            let kernel = synthetic::build_mix(variant, mix, scale);
+            let workload = Workload::new(
+                format!("{}-{}", variant.label(), mix.label()),
+                WorkloadGroup::Synthetic,
+                kernel,
+            );
+            let analysis = analyze_workload(&workload)?;
+            let mut cycles = BTreeMap::new();
+            for design in [
+                DefenseMode::UnsafeBaseline,
+                DefenseMode::Prospect,
+                DefenseMode::CassandraProspect,
+            ] {
+                let cfg = base_cfg.with_defense(design);
+                let outcome = simulate_workload(&workload, &analysis, &cfg)?;
+                cycles.insert(design, outcome.stats.cycles);
+            }
+            let base = cycles[&DefenseMode::UnsafeBaseline].max(1) as f64;
+            let overhead = |d: DefenseMode| (cycles[&d] as f64 / base - 1.0) * 100.0;
+            points.push(Fig8Point {
+                variant: variant.label().to_string(),
+                mix: mix.label(),
+                prospect_overhead_pct: overhead(DefenseMode::Prospect),
+                cassandra_prospect_overhead_pct: overhead(DefenseMode::CassandraProspect),
+            });
+        }
+    }
+    Ok(points)
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+/// The power/area comparison of Figure 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Result {
+    /// Power/area of the unsafe baseline (aggregated over the workloads).
+    pub baseline: PowerAreaReport,
+    /// Power/area of the Cassandra design.
+    pub cassandra: PowerAreaReport,
+    /// Relative power change of Cassandra versus the baseline (percent;
+    /// negative = reduction).
+    pub power_delta_pct: f64,
+    /// Area overhead of the BTU relative to the baseline core (percent).
+    pub area_overhead_pct: f64,
+}
+
+fn accumulate(total: &mut SimStats, s: &SimStats) {
+    total.cycles += s.cycles;
+    total.committed_instructions += s.committed_instructions;
+    total.committed_branches += s.committed_branches;
+    total.squashed_instructions += s.squashed_instructions;
+    total.mispredictions += s.mispredictions;
+    total.bpu.pht_lookups += s.bpu.pht_lookups;
+    total.bpu.btb_lookups += s.bpu.btb_lookups;
+    total.bpu.rsb_lookups += s.bpu.rsb_lookups;
+    total.bpu.updates += s.bpu.updates;
+    total.btu.lookups += s.btu.lookups;
+    total.btu.commits += s.btu.commits;
+    total.caches.l1d.accesses += s.caches.l1d.accesses;
+    total.caches.l1d.hits += s.caches.l1d.hits;
+    total.caches.l1d.misses += s.caches.l1d.misses;
+}
+
+/// Regenerates Figure 9 (power and area of Cassandra vs the baseline).
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn figure9(workloads: &[Workload]) -> Result<Fig9Result, IsaError> {
+    let base_cfg = CpuConfig::golden_cove_like();
+    let cass_cfg = base_cfg.with_defense(DefenseMode::Cassandra);
+    let mut base_stats = SimStats::default();
+    let mut cass_stats = SimStats::default();
+    for w in workloads {
+        let analysis = analyze_workload(w)?;
+        accumulate(
+            &mut base_stats,
+            &simulate_workload(w, &analysis, &base_cfg)?.stats,
+        );
+        accumulate(
+            &mut cass_stats,
+            &simulate_workload(w, &analysis, &cass_cfg)?.stats,
+        );
+    }
+    let baseline = power_area_report(&base_cfg, &base_stats);
+    let cassandra = power_area_report(&cass_cfg, &cass_stats);
+    let power_delta_pct = (cassandra.total_power / baseline.total_power - 1.0) * 100.0;
+    let area_overhead_pct = (cassandra.total_area / baseline.total_area - 1.0) * 100.0;
+    Ok(Fig9Result {
+        baseline,
+        cassandra,
+        power_delta_pct,
+        area_overhead_pct,
+    })
+}
+
+// -------------------------------------------------------------- Q3: lite
+
+/// One row of the Cassandra-lite comparison (discussion Q3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Q3Row {
+    /// Workload name.
+    pub workload: String,
+    /// Workload group.
+    pub group: WorkloadGroup,
+    /// Cycles under full Cassandra.
+    pub cassandra_cycles: u64,
+    /// Cycles under Cassandra-lite.
+    pub lite_cycles: u64,
+    /// Slowdown of Cassandra-lite over Cassandra, in percent.
+    pub slowdown_pct: f64,
+}
+
+/// Regenerates the Q3 comparison for the given workloads.
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn q3_cassandra_lite(workloads: &[Workload]) -> Result<Vec<Q3Row>, IsaError> {
+    let base_cfg = CpuConfig::golden_cove_like();
+    let mut rows = Vec::new();
+    for w in workloads {
+        let analysis = analyze_workload(w)?;
+        let full = simulate_workload(w, &analysis, &base_cfg.with_defense(DefenseMode::Cassandra))?;
+        let lite =
+            simulate_workload(w, &analysis, &base_cfg.with_defense(DefenseMode::CassandraLite))?;
+        rows.push(Q3Row {
+            workload: w.name.clone(),
+            group: w.group,
+            cassandra_cycles: full.stats.cycles,
+            lite_cycles: lite.stats.cycles,
+            slowdown_pct: (lite.stats.cycles as f64 / full.stats.cycles.max(1) as f64 - 1.0)
+                * 100.0,
+        });
+    }
+    Ok(rows)
+}
+
+// -------------------------------------------------------------- Q4: flush
+
+/// The Q4 result: Cassandra's speedup with and without periodic BTU flushes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Q4Result {
+    /// Geomean speedup of Cassandra without flushes (percent).
+    pub speedup_no_flush_pct: f64,
+    /// Geomean speedup with the periodic flush enabled (percent).
+    pub speedup_with_flush_pct: f64,
+    /// The flush interval used (committed instructions).
+    pub flush_interval: u64,
+}
+
+/// Regenerates the Q4 experiment: flushing the BTU periodically (modelling
+/// 250 Hz context switches) and measuring the impact on Cassandra's speedup.
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn q4_btu_flush(workloads: &[Workload], flush_interval: u64) -> Result<Q4Result, IsaError> {
+    let base_cfg = CpuConfig::golden_cove_like();
+    let mut log_sum_no_flush = 0.0;
+    let mut log_sum_flush = 0.0;
+    for w in workloads {
+        let analysis = analyze_workload(w)?;
+        let base = simulate_workload(w, &analysis, &base_cfg)?.stats.cycles.max(1);
+        let cass = simulate_workload(w, &analysis, &base_cfg.with_defense(DefenseMode::Cassandra))?
+            .stats
+            .cycles
+            .max(1);
+        let mut flush_cfg = base_cfg.with_defense(DefenseMode::Cassandra);
+        flush_cfg.btu_flush_interval = flush_interval;
+        let flushed = simulate_workload(w, &analysis, &flush_cfg)?.stats.cycles.max(1);
+        log_sum_no_flush += (cass as f64 / base as f64).ln();
+        log_sum_flush += (flushed as f64 / base as f64).ln();
+    }
+    let n = workloads.len().max(1) as f64;
+    Ok(Q4Result {
+        speedup_no_flush_pct: (1.0 - (log_sum_no_flush / n).exp()) * 100.0,
+        speedup_with_flush_pct: (1.0 - (log_sum_flush / n).exp()) * 100.0,
+        flush_interval,
+    })
+}
+
+// --------------------------------------------------- §7.5: trace generation
+
+/// Per-workload trace-generation timing (the paper's §7.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceGenRow {
+    /// Workload name.
+    pub workload: String,
+    /// Static branch detection (step A).
+    pub detect: Duration,
+    /// Raw trace collection (step B).
+    pub collect: Duration,
+    /// Vanilla trace construction (step C).
+    pub vanilla: Duration,
+    /// DNA encoding + k-mers compression (steps D-E).
+    pub kmers: Duration,
+    /// Number of analyzed branches.
+    pub branches: usize,
+}
+
+/// Measures the trace-generation procedure for each workload.
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn trace_generation_timing(workloads: &[Workload]) -> Result<Vec<TraceGenRow>, IsaError> {
+    let mut rows = Vec::new();
+    for w in workloads {
+        let analysis = analyze_workload(w)?;
+        let t = analysis.bundle.timing;
+        rows.push(TraceGenRow {
+            workload: w.name.clone(),
+            detect: t.detect,
+            collect: t.collect,
+            vanilla: t.vanilla,
+            kmers: t.kmers,
+            branches: analysis.bundle.analyzed_branches(),
+        });
+    }
+    Ok(rows)
+}
+
+/// A small subset of the suite used by tests and quick demos.
+pub fn quick_workloads() -> Vec<Workload> {
+    vec![
+        suite::chacha20_workload(128),
+        suite::sha256_workload(128),
+        suite::poly1305_workload(64),
+        suite::des_workload(8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_quick_suite_compresses_traces() {
+        let result = table1(&quick_workloads()).unwrap();
+        assert_eq!(result.rows.len(), 4);
+        assert!(result.all.compression_avg >= 1.0);
+        assert!(result.all.vanilla_max >= result.all.kmers_max);
+        // The headline property: compressed traces are small.
+        assert!(result.all.kmers_avg < 64.0, "kmers avg {}", result.all.kmers_avg);
+    }
+
+    #[test]
+    fn figure7_quick_suite_shapes() {
+        let workloads = vec![
+            suite::chacha20_workload(128),
+            suite::sha256_workload(128),
+        ];
+        let result = figure7(&workloads, &FIG7_DESIGNS).unwrap();
+        assert_eq!(result.rows.len(), 2);
+        // The baseline normalises to 1.0 by construction.
+        for row in &result.rows {
+            assert!((row.normalized[DefenseMode::UnsafeBaseline.label()] - 1.0).abs() < 1e-12);
+        }
+        // Cassandra must not be slower than the baseline on crypto kernels
+        // (the paper reports a small speedup).
+        let cass = result.geomean[DefenseMode::Cassandra.label()];
+        assert!(cass <= 1.02, "Cassandra normalised time {cass}");
+        // SPT must not be faster than Cassandra.
+        assert!(result.geomean[DefenseMode::Spt.label()] >= cass - 1e-9);
+    }
+
+    #[test]
+    fn figure9_reports_small_area_and_power_effects() {
+        let workloads = vec![suite::chacha20_workload(64)];
+        let f9 = figure9(&workloads).unwrap();
+        assert!(f9.area_overhead_pct > 0.0 && f9.area_overhead_pct < 3.0);
+        assert!(f9.power_delta_pct < 1.0, "power delta {}", f9.power_delta_pct);
+    }
+
+    #[test]
+    fn q3_lite_is_not_faster_than_full_cassandra() {
+        let rows = q3_cassandra_lite(&[suite::sha256_workload(96)]).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].slowdown_pct >= 0.0);
+    }
+
+    #[test]
+    fn q4_flush_costs_at_most_a_little() {
+        let workloads = vec![suite::chacha20_workload(64)];
+        let q4 = q4_btu_flush(&workloads, 5_000).unwrap();
+        assert!(q4.speedup_with_flush_pct <= q4.speedup_no_flush_pct + 1e-9);
+    }
+
+    #[test]
+    fn trace_generation_timing_is_collected() {
+        let rows = trace_generation_timing(&[suite::des_workload(4)]).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].branches > 0);
+    }
+}

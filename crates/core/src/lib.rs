@@ -1,0 +1,160 @@
+//! # cassandra-core
+//!
+//! The top-level API of the Cassandra reproduction. It ties the workspace
+//! together: branch analysis (`cassandra-trace`), trace encoding
+//! (`cassandra-btu`), the processor model (`cassandra-cpu`) and the workload
+//! suite (`cassandra-kernels`), and exposes:
+//!
+//! * [`analyze_workload`] / [`analyze_program`] — run the paper's Algorithm 2
+//!   on a program and encode the result for the BTU;
+//! * [`simulate_workload`] / [`simulate_program`] — simulate a program under
+//!   a chosen [`CpuConfig`], loading the traces when the defense needs them;
+//! * [`security`] — the empirical contract/leakage checker used for the
+//!   paper's security analysis (Figure 6 / Table 2, Theorem 1);
+//! * [`experiments`] — drivers that regenerate every table and figure of the
+//!   evaluation;
+//! * [`report`] — plain-text renderers producing the same rows/series the
+//!   paper reports.
+//!
+//! ```
+//! use cassandra_core::{analyze_workload, simulate_workload};
+//! use cassandra_cpu::config::{CpuConfig, DefenseMode};
+//! use cassandra_kernels::suite;
+//!
+//! # fn main() -> Result<(), cassandra_isa::error::IsaError> {
+//! let workload = suite::chacha20_workload(64);
+//! let analysis = analyze_workload(&workload)?;
+//! let cfg = CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra);
+//! let outcome = simulate_workload(&workload, &analysis, &cfg)?;
+//! assert_eq!(outcome.stats.mispredictions, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod security;
+
+use cassandra_btu::encode::EncodedTraces;
+use cassandra_btu::unit::BranchTraceUnit;
+use cassandra_cpu::config::CpuConfig;
+use cassandra_cpu::pipeline::{simulate, SimOutcome};
+use cassandra_isa::error::IsaError;
+use cassandra_isa::program::Program;
+use cassandra_kernels::workload::Workload;
+use cassandra_trace::genproc::{generate_traces, TraceBundle};
+
+/// Default profiling step budget for trace generation.
+pub const ANALYSIS_STEP_LIMIT: u64 = 200_000_000;
+
+/// The result of the software side of Cassandra for one program: the
+/// compressed per-branch traces plus their hardware encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisBundle {
+    /// Output of the trace-generation procedure (Algorithm 2).
+    pub bundle: TraceBundle,
+    /// Hardware encoding of the traces and hints (§5.2).
+    pub encoded: EncodedTraces,
+}
+
+impl AnalysisBundle {
+    /// Builds a fresh Branch Trace Unit pre-loaded with these traces.
+    pub fn make_btu(&self, config: &CpuConfig) -> BranchTraceUnit {
+        BranchTraceUnit::new(config.btu, self.encoded.clone())
+    }
+}
+
+/// Runs the branch analysis (Algorithm 2) on an arbitrary program.
+///
+/// # Errors
+///
+/// Propagates profiling-run errors (step budget, malformed program).
+pub fn analyze_program(program: &Program, step_limit: u64) -> Result<AnalysisBundle, IsaError> {
+    let bundle = generate_traces(program, None, step_limit)?;
+    let encoded = EncodedTraces::from_bundle(program, &bundle);
+    Ok(AnalysisBundle { bundle, encoded })
+}
+
+/// Runs the branch analysis on a workload's kernel.
+///
+/// # Errors
+///
+/// Propagates profiling-run errors.
+pub fn analyze_workload(workload: &Workload) -> Result<AnalysisBundle, IsaError> {
+    analyze_program(&workload.kernel.program, workload.kernel.step_limit)
+}
+
+/// Simulates an arbitrary program under `config`, loading `analysis` traces
+/// into a BTU when the configured defense uses one.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn simulate_program(
+    program: &Program,
+    analysis: Option<&AnalysisBundle>,
+    config: &CpuConfig,
+) -> Result<SimOutcome, IsaError> {
+    let btu = if config.defense.uses_btu() {
+        analysis.map(|a| a.make_btu(config))
+    } else {
+        None
+    };
+    simulate(program, *config, btu)
+}
+
+/// Simulates a workload's kernel under `config`.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn simulate_workload(
+    workload: &Workload,
+    analysis: &AnalysisBundle,
+    config: &CpuConfig,
+) -> Result<SimOutcome, IsaError> {
+    let mut cfg = *config;
+    cfg.max_instructions = cfg.max_instructions.max(workload.kernel.step_limit);
+    simulate_program(&workload.kernel.program, Some(analysis), &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_cpu::config::DefenseMode;
+    use cassandra_kernels::suite;
+
+    #[test]
+    fn analyze_and_simulate_chacha20_under_all_designs() {
+        let workload = suite::chacha20_workload(64);
+        let analysis = analyze_workload(&workload).unwrap();
+        assert!(analysis.bundle.analyzed_branches() > 0);
+        let base_cfg = CpuConfig::golden_cove_like();
+        let base = simulate_workload(&workload, &analysis, &base_cfg).unwrap();
+        assert!(base.halted);
+        for defense in [
+            DefenseMode::Cassandra,
+            DefenseMode::CassandraStl,
+            DefenseMode::Spt,
+        ] {
+            let cfg = base_cfg.with_defense(defense);
+            let outcome = simulate_workload(&workload, &analysis, &cfg).unwrap();
+            assert!(outcome.halted, "{defense:?}");
+            assert_eq!(
+                outcome.stats.committed_instructions,
+                base.stats.committed_instructions,
+                "architectural behaviour must not change under {defense:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cassandra_eliminates_crypto_mispredictions_on_a_real_kernel() {
+        let workload = suite::sha256_workload(96);
+        let analysis = analyze_workload(&workload).unwrap();
+        let cfg = CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra);
+        let outcome = simulate_workload(&workload, &analysis, &cfg).unwrap();
+        assert_eq!(outcome.stats.mispredictions, 0);
+        assert_eq!(outcome.stats.squashed_instructions, 0);
+    }
+}

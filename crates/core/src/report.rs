@@ -1,0 +1,197 @@
+//! Plain-text renderers producing the same rows and series the paper reports.
+
+use crate::experiments::{
+    Fig7Result, Fig8Point, Fig9Result, Q3Row, Q4Result, Table1Result, TraceGenRow,
+};
+use cassandra_cpu::config::DefenseMode;
+
+/// Renders Table 1 (branch analysis / compression rates).
+pub fn format_table1(result: &Table1Result) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>6} {:>12} {:>12} {:>10} {:>10} {:>14} {:>14}\n",
+        "Program", "Group", "VanillaAvg", "VanillaMax", "KmersAvg", "KmersMax", "CompRateAvg", "CompRateMax"
+    ));
+    for row in &result.rows {
+        let r = &row.row;
+        out.push_str(&format!(
+            "{:<22} {:>6} {:>12.1} {:>12} {:>10.1} {:>10} {:>14.1} {:>14.1}\n",
+            r.program,
+            row.group.to_string(),
+            r.vanilla_avg,
+            r.vanilla_max,
+            r.kmers_avg,
+            r.kmers_max,
+            r.compression_avg,
+            r.compression_max
+        ));
+    }
+    let a = &result.all;
+    out.push_str(&format!(
+        "{:<22} {:>6} {:>12.1} {:>12} {:>10.1} {:>10} {:>14.1} {:>14.1}\n",
+        "All", "", a.vanilla_avg, a.vanilla_max, a.kmers_avg, a.kmers_max, a.compression_avg, a.compression_max
+    ));
+    out
+}
+
+/// Renders Figure 7 (normalised execution times and the geomean line).
+pub fn format_fig7(result: &Fig7Result) -> String {
+    let designs: Vec<&String> = result.geomean.keys().collect();
+    let mut out = String::new();
+    out.push_str(&format!("{:<22} {:>8}", "Workload", "Group"));
+    for d in &designs {
+        out.push_str(&format!(" {:>18}", d));
+    }
+    out.push('\n');
+    for row in &result.rows {
+        out.push_str(&format!("{:<22} {:>8}", row.workload, row.group.to_string()));
+        for d in &designs {
+            out.push_str(&format!(" {:>18.4}", row.normalized.get(*d).unwrap_or(&f64::NAN)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<22} {:>8}", "geomean", ""));
+    for d in &designs {
+        out.push_str(&format!(" {:>18.4}", result.geomean[*d]));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "\nCassandra speedup vs UnsafeBaseline: {:+.2}%\n",
+        result.speedup_pct(DefenseMode::Cassandra)
+    ));
+    out.push_str(&format!(
+        "Cassandra+STL speedup vs UnsafeBaseline: {:+.2}%\n",
+        result.speedup_pct(DefenseMode::CassandraStl)
+    ));
+    out.push_str(&format!(
+        "SPT slowdown vs UnsafeBaseline: {:+.2}%\n",
+        -result.speedup_pct(DefenseMode::Spt)
+    ));
+    out
+}
+
+/// Renders Figure 8 (synthetic benchmark overheads).
+pub fn format_fig8(points: &[Fig8Point]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<12} {:>14} {:>24}\n",
+        "Variant", "Mix", "ProSpeCT[%]", "Cassandra+ProSpeCT[%]"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<14} {:<12} {:>14.2} {:>24.2}\n",
+            p.variant, p.mix, p.prospect_overhead_pct, p.cassandra_prospect_overhead_pct
+        ));
+    }
+    out
+}
+
+/// Renders Figure 9 (power and area breakdown).
+pub fn format_fig9(result: &Fig9Result) -> String {
+    let mut out = String::new();
+    out.push_str("Unit breakdown (area, power) — UnsafeBaseline vs Cassandra\n");
+    for unit in &result.baseline.units {
+        let cass_power = result.cassandra.unit_power(&unit.name);
+        out.push_str(&format!(
+            "{:<24} area {:>7.1}   power {:>8.3} -> {:>8.3}\n",
+            unit.name, unit.area, unit.power, cass_power
+        ));
+    }
+    for unit in &result.cassandra.units {
+        if result.baseline.unit_area(&unit.name) == 0.0 {
+            out.push_str(&format!(
+                "{:<24} area {:>7.1}   power {:>8} -> {:>8.3}   (Cassandra only)\n",
+                unit.name, unit.area, "-", unit.power
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\nTotal power change: {:+.2}%   BTU area overhead: {:+.2}%\n",
+        result.power_delta_pct, result.area_overhead_pct
+    ));
+    out
+}
+
+/// Renders the Q3 Cassandra-lite comparison.
+pub fn format_q3(rows: &[Q3Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>8} {:>14} {:>14} {:>12}\n",
+        "Workload", "Group", "Cassandra", "Cassandra-lite", "Slowdown[%]"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>14} {:>14} {:>12.2}\n",
+            r.workload,
+            r.group.to_string(),
+            r.cassandra_cycles,
+            r.lite_cycles,
+            r.slowdown_pct
+        ));
+    }
+    out
+}
+
+/// Renders the Q4 BTU-flush experiment.
+pub fn format_q4(result: &Q4Result) -> String {
+    format!(
+        "Cassandra speedup without flushes: {:+.2}%\nCassandra speedup with a BTU flush every {} instructions: {:+.2}%\n",
+        result.speedup_no_flush_pct, result.flush_interval, result.speedup_with_flush_pct
+    )
+}
+
+/// Renders the §7.5 trace-generation timing table.
+pub fn format_trace_gen(rows: &[TraceGenRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>12} {:>12} {:>12} {:>12}\n",
+        "Workload", "Branches", "Detect[µs]", "Collect[µs]", "Vanilla[µs]", "Kmers[µs]"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>12} {:>12} {:>12} {:>12}\n",
+            r.workload,
+            r.branches,
+            r.detect.as_micros(),
+            r.collect.as_micros(),
+            r.vanilla.as_micros(),
+            r.kmers.as_micros()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{self, quick_workloads, FIG7_DESIGNS};
+    use cassandra_kernels::suite;
+
+    #[test]
+    fn table1_rendering_contains_programs_and_all_row() {
+        let result = experiments::table1(&quick_workloads()[..2]).unwrap();
+        let text = format_table1(&result);
+        assert!(text.contains("ChaCha20_ct"));
+        assert!(text.contains("All"));
+        assert!(text.contains("CompRateAvg"));
+    }
+
+    #[test]
+    fn fig7_rendering_contains_geomean() {
+        let workloads = vec![suite::des_workload(8)];
+        let result = experiments::figure7(&workloads, &FIG7_DESIGNS).unwrap();
+        let text = format_fig7(&result);
+        assert!(text.contains("geomean"));
+        assert!(text.contains("Cassandra speedup"));
+    }
+
+    #[test]
+    fn q4_rendering_mentions_interval() {
+        let q4 = experiments::Q4Result {
+            speedup_no_flush_pct: 1.85,
+            speedup_with_flush_pct: 1.80,
+            flush_interval: 400_000,
+        };
+        assert!(format_q4(&q4).contains("400000"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Set-associative cache model and the four-level hierarchy of Table 3.
+
+use crate::config::{CacheConfig, CpuConfig};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of accesses.
+    pub accesses: u64,
+    /// Number of hits.
+    pub hits: u64,
+    /// Number of misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One set-associative cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_bytes: u64,
+    latency: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    pub fn new(config: &CacheConfig) -> Self {
+        let lines = (config.size_bytes / config.line_bytes).max(1);
+        let sets = (lines / config.ways).max(1);
+        Cache {
+            sets: vec![Vec::new(); sets],
+            ways: config.ways,
+            line_bytes: config.line_bytes as u64,
+            latency: config.latency,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Hit latency of this level.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Accesses `addr`, returns `true` on hit, inserting the line (LRU) in
+    /// either case.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        let line = addr / self.line_bytes;
+        let set_count = self.sets.len() as u64;
+        let set = &mut self.sets[(line % set_count) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.push(line);
+            self.stats.hits += 1;
+            true
+        } else {
+            if set.len() >= self.ways {
+                set.remove(0);
+            }
+            set.push(line);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Whether the address is currently cached (does not update LRU or stats;
+    /// used by the side-channel observer).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set = &self.sets[(line % self.sets.len() as u64) as usize];
+        set.contains(&line)
+    }
+
+    /// Invalidates the whole cache.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+/// Aggregated statistics of the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// L1 instruction cache.
+    pub l1i: CacheStats,
+    /// L1 data cache.
+    pub l1d: CacheStats,
+    /// Unified L2.
+    pub l2: CacheStats,
+    /// Last-level cache.
+    pub l3: CacheStats,
+}
+
+/// The L1I/L1D/L2/L3 hierarchy with a flat memory behind it.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l3: Cache,
+    memory_latency: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy from the CPU configuration.
+    pub fn new(config: &CpuConfig) -> Self {
+        CacheHierarchy {
+            l1i: Cache::new(&config.l1i),
+            l1d: Cache::new(&config.l1d),
+            l2: Cache::new(&config.l2),
+            l3: Cache::new(&config.l3),
+            memory_latency: config.memory_latency,
+        }
+    }
+
+    /// Access latency for an instruction fetch at byte address `addr`.
+    pub fn access_instr(&mut self, addr: u64) -> u64 {
+        if self.l1i.access(addr) {
+            return self.l1i.latency();
+        }
+        self.lower_levels(addr, self.l1i.latency())
+    }
+
+    /// Access latency for a data access at byte address `addr`.
+    pub fn access_data(&mut self, addr: u64) -> u64 {
+        if self.l1d.access(addr) {
+            return self.l1d.latency();
+        }
+        self.lower_levels(addr, self.l1d.latency())
+    }
+
+    fn lower_levels(&mut self, addr: u64, l1_latency: u64) -> u64 {
+        if self.l2.access(addr) {
+            return l1_latency + self.l2.latency();
+        }
+        if self.l3.access(addr) {
+            return l1_latency + self.l2.latency() + self.l3.latency();
+        }
+        l1_latency + self.l2.latency() + self.l3.latency() + self.memory_latency
+    }
+
+    /// Whether a data address currently hits in the L1D (the attacker's
+    /// flush+reload style probe for the security tests).
+    pub fn probe_data(&self, addr: u64) -> bool {
+        self.l1d.probe(addr)
+    }
+
+    /// Statistics of all levels.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2: self.l2.stats(),
+            l3: self.l3.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+            latency: 3,
+        }
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = Cache::new(&small_config());
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x13f), "same line");
+        assert!(!c.access(0x2000));
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        let mut c = Cache::new(&small_config());
+        // 1024/64 = 16 lines, 2 ways → 8 sets. Lines mapping to set 0:
+        // line numbers 0, 8, 16 (addresses 0, 0x200, 0x400).
+        c.access(0x000);
+        c.access(0x200);
+        c.access(0x400); // evicts line of 0x000
+        assert!(!c.probe(0x000));
+        assert!(c.probe(0x200));
+        assert!(c.probe(0x400));
+    }
+
+    #[test]
+    fn flush_clears_contents() {
+        let mut c = Cache::new(&small_config());
+        c.access(0x40);
+        assert!(c.probe(0x40));
+        c.flush();
+        assert!(!c.probe(0x40));
+    }
+
+    #[test]
+    fn hierarchy_latencies_accumulate() {
+        let config = CpuConfig::golden_cove_like();
+        let mut h = CacheHierarchy::new(&config);
+        let cold = h.access_data(0x1_0000);
+        assert_eq!(
+            cold,
+            config.l1d.latency + config.l2.latency + config.l3.latency + config.memory_latency
+        );
+        let warm = h.access_data(0x1_0000);
+        assert_eq!(warm, config.l1d.latency);
+        let instr = h.access_instr(0x40);
+        assert!(instr > config.l1i.latency, "cold instruction fetch misses");
+    }
+
+    #[test]
+    fn probe_reflects_presence() {
+        let config = CpuConfig::golden_cove_like();
+        let mut h = CacheHierarchy::new(&config);
+        assert!(!h.probe_data(0x5000));
+        h.access_data(0x5000);
+        assert!(h.probe_data(0x5000));
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut c = Cache::new(&small_config());
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        c.access(4096);
+        let s = c.stats();
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

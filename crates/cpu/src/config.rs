@@ -1,0 +1,235 @@
+//! Processor configuration (the paper's Table 3) and defense selection.
+
+use cassandra_btu::unit::BtuConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which secure-speculation design the pipeline models (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DefenseMode {
+    /// Unprotected out-of-order baseline: the BPU predicts every branch,
+    /// store-to-load forwarding is enabled, nothing is delayed.
+    UnsafeBaseline,
+    /// Cassandra: crypto branches are redirected by the BTU (never the BPU);
+    /// non-crypto branches use the BPU but may not speculatively redirect
+    /// fetch into the crypto PC ranges.
+    Cassandra,
+    /// Cassandra plus data-flow protection: store-to-load forwarding is
+    /// disabled and bypassing loads wait for older store addresses.
+    CassandraStl,
+    /// Cassandra-lite (discussion Q3): only single-target crypto branches are
+    /// redirected from hints; multi-target crypto branches stall fetch until
+    /// they resolve (no BTU).
+    CassandraLite,
+    /// SPT-like hardware-only defense under the constant-time policy:
+    /// transmitters (loads and branches) are delayed until they become
+    /// non-speculative.
+    Spt,
+    /// ProSpeCT-like defense: instructions whose operands are tainted by
+    /// annotated secret memory may not execute while speculative.
+    Prospect,
+    /// Cassandra combined with ProSpeCT for the non-crypto part (§7.3).
+    CassandraProspect,
+}
+
+impl DefenseMode {
+    /// True if crypto branches are driven by the BTU / hints instead of the BPU.
+    pub fn uses_btu(self) -> bool {
+        matches!(
+            self,
+            DefenseMode::Cassandra
+                | DefenseMode::CassandraStl
+                | DefenseMode::CassandraLite
+                | DefenseMode::CassandraProspect
+        )
+    }
+
+    /// True if store-to-load forwarding is disabled (data-flow protection).
+    pub fn disables_stl(self) -> bool {
+        matches!(self, DefenseMode::CassandraStl)
+    }
+
+    /// True if ProSpeCT-style taint blocking is active.
+    pub fn prospect_taint(self) -> bool {
+        matches!(self, DefenseMode::Prospect | DefenseMode::CassandraProspect)
+    }
+
+    /// True if SPT-style transmitter delaying is active.
+    pub fn spt_delay(self) -> bool {
+        matches!(self, DefenseMode::Spt)
+    }
+
+    /// Short label used in reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            DefenseMode::UnsafeBaseline => "UnsafeBaseline",
+            DefenseMode::Cassandra => "Cassandra",
+            DefenseMode::CassandraStl => "Cassandra+STL",
+            DefenseMode::CassandraLite => "Cassandra-lite",
+            DefenseMode::Spt => "SPT",
+            DefenseMode::Prospect => "ProSpeCT",
+            DefenseMode::CassandraProspect => "Cassandra+ProSpeCT",
+        }
+    }
+}
+
+/// Cache geometry and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways).
+    pub ways: usize,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+/// The full processor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u64,
+    /// Instructions committed per cycle.
+    pub commit_width: u64,
+    /// Frontend depth in cycles (fetch-to-dispatch).
+    pub frontend_depth: u64,
+    /// Reorder buffer entries.
+    pub rob_entries: usize,
+    /// Issue queue entries.
+    pub iq_entries: usize,
+    /// Load queue entries.
+    pub lq_entries: usize,
+    /// Store queue entries.
+    pub sq_entries: usize,
+    /// Extra cycles to redirect fetch after a misprediction squash.
+    pub mispredict_redirect_penalty: u64,
+    /// Cycles from issue to resolution for control-flow instructions
+    /// (issue-queue select, execute and result broadcast).
+    pub branch_resolve_latency: u64,
+    /// Level-1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Level-1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified level-2 cache.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub l3: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u64,
+    /// Branch-predictor PHT size (entries).
+    pub pht_entries: usize,
+    /// Branch target buffer entries.
+    pub btb_entries: usize,
+    /// Return stack buffer depth.
+    pub rsb_entries: usize,
+    /// The defense configuration being simulated.
+    pub defense: DefenseMode,
+    /// BTU geometry (used by the Cassandra modes).
+    pub btu: BtuConfig,
+    /// If non-zero, flush the BTU every `btu_flush_interval` committed
+    /// instructions (models the 250 Hz context-switch experiment, Q4).
+    pub btu_flush_interval: u64,
+    /// Maximum committed instructions before the simulation stops.
+    pub max_instructions: u64,
+}
+
+impl CpuConfig {
+    /// The Golden-Cove-like configuration of the paper's Table 3.
+    pub fn golden_cove_like() -> Self {
+        CpuConfig {
+            fetch_width: 8,
+            commit_width: 8,
+            frontend_depth: 6,
+            rob_entries: 512,
+            iq_entries: 96,
+            lq_entries: 192,
+            sq_entries: 114,
+            mispredict_redirect_penalty: 6,
+            branch_resolve_latency: 4,
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                latency: 5,
+            },
+            l1d: CacheConfig {
+                size_bytes: 48 * 1024,
+                line_bytes: 64,
+                ways: 12,
+                latency: 5,
+            },
+            l2: CacheConfig {
+                size_bytes: 1280 * 1024,
+                line_bytes: 64,
+                ways: 16,
+                latency: 14,
+            },
+            l3: CacheConfig {
+                size_bytes: 30 * 1024 * 1024,
+                line_bytes: 64,
+                ways: 16,
+                latency: 40,
+            },
+            memory_latency: 160,
+            pht_entries: 16 * 1024,
+            btb_entries: 4096,
+            rsb_entries: 32,
+            defense: DefenseMode::UnsafeBaseline,
+            btu: BtuConfig::default(),
+            btu_flush_interval: 0,
+            max_instructions: 200_000_000,
+        }
+    }
+
+    /// The same configuration with a different defense.
+    pub fn with_defense(mut self, defense: DefenseMode) -> Self {
+        self.defense = defense;
+        self
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::golden_cove_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values() {
+        let c = CpuConfig::golden_cove_like();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.rob_entries, 512);
+        assert_eq!(c.iq_entries, 96);
+        assert_eq!(c.lq_entries, 192);
+        assert_eq!(c.sq_entries, 114);
+        assert_eq!(c.l1d.size_bytes, 48 * 1024);
+        assert_eq!(c.l1d.ways, 12);
+        assert_eq!(c.l2.latency, 14);
+        assert_eq!(c.l3.size_bytes, 30 * 1024 * 1024);
+        assert_eq!(c.btu.entries, 16);
+    }
+
+    #[test]
+    fn defense_mode_flags() {
+        assert!(DefenseMode::Cassandra.uses_btu());
+        assert!(DefenseMode::CassandraLite.uses_btu());
+        assert!(!DefenseMode::UnsafeBaseline.uses_btu());
+        assert!(DefenseMode::CassandraStl.disables_stl());
+        assert!(!DefenseMode::Cassandra.disables_stl());
+        assert!(DefenseMode::Prospect.prospect_taint());
+        assert!(DefenseMode::CassandraProspect.prospect_taint());
+        assert!(DefenseMode::Spt.spt_delay());
+        assert_eq!(DefenseMode::CassandraStl.label(), "Cassandra+STL");
+    }
+
+    #[test]
+    fn with_defense_builder() {
+        let c = CpuConfig::golden_cove_like().with_defense(DefenseMode::Spt);
+        assert_eq!(c.defense, DefenseMode::Spt);
+    }
+}

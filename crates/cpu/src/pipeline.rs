@@ -1,0 +1,871 @@
+//! The cycle-approximate out-of-order pipeline model.
+//!
+//! The model is *functional-directed*: instructions are executed functionally
+//! in fetch order against a speculative architectural state (so wrong-path
+//! execution, cache pollution and transient leaks are real), while timing is
+//! computed with per-instruction ready-time scheduling constrained by fetch
+//! and commit width, frontend depth, ROB occupancy, cache latencies and the
+//! defense policy in effect. Mispredicted branches trigger a bounded
+//! wrong-path excursion whose memory accesses pollute the caches and are
+//! recorded as transient observations; the squash restores the speculative
+//! state and charges the redirect penalty.
+//!
+//! The absolute cycle counts are not gem5's, but every mechanism the paper's
+//! evaluation depends on is present: branch misprediction penalties, frontend
+//! stalls, BTU-driven fetch redirection, store-to-load forwarding (and its
+//! removal), SPT-style transmitter delays and ProSpeCT-style taint blocking.
+
+use crate::bpu::BranchPredictionUnit;
+use crate::cache::CacheHierarchy;
+use crate::config::{CpuConfig, DefenseMode};
+use crate::stats::SimStats;
+use cassandra_btu::unit::BranchTraceUnit;
+use cassandra_isa::error::IsaError;
+use cassandra_isa::instr::{BranchKind, Instr};
+use cassandra_isa::memory::Memory;
+use cassandra_isa::program::{Program, STACK_TOP};
+use cassandra_isa::reg::{Reg, NUM_REGS, SP};
+use cassandra_trace::hints::BranchHint;
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// Maximum number of wrong-path instructions executed per misprediction.
+const WRONG_PATH_CAP: u64 = 64;
+
+/// The result of a simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimOutcome {
+    /// Timing and event statistics.
+    pub stats: SimStats,
+    /// Data addresses touched by committed (architectural) execution, in
+    /// order. Part of the attacker-visible trace.
+    pub architectural_accesses: Vec<u64>,
+    /// Data addresses touched only by squashed wrong-path execution, in
+    /// order. The transient side channel.
+    pub transient_accesses: Vec<u64>,
+    /// True if the program executed its `halt` instruction within the budget.
+    pub halted: bool,
+}
+
+impl SimOutcome {
+    /// The full attacker-visible sequence of data-cache accesses
+    /// (architectural and transient, in program order of occurrence).
+    pub fn attacker_visible_accesses(&self) -> Vec<u64> {
+        let mut all = self.architectural_accesses.clone();
+        all.extend(&self.transient_accesses);
+        all
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InflightStore {
+    granule: u64,
+    data_ready: u64,
+    commit_cycle: u64,
+}
+
+/// Functional + timing state of one simulated core.
+#[derive(Debug)]
+pub struct Simulator<'p> {
+    program: &'p Program,
+    config: CpuConfig,
+    bpu: BranchPredictionUnit,
+    btu: Option<BranchTraceUnit>,
+    caches: CacheHierarchy,
+    stats: SimStats,
+
+    // Speculative architectural state (correct path).
+    regs: [u64; NUM_REGS],
+    reg_taint: [bool; NUM_REGS],
+    mem: Memory,
+    mem_taint: HashSet<u64>,
+    call_depth: u64,
+    pc: usize,
+    halted: bool,
+
+    // Timing state.
+    fetch_cycle: u64,
+    fetch_slots_used: u64,
+    reg_ready: [u64; NUM_REGS],
+    rob: VecDeque<u64>,
+    commit_cycle: u64,
+    commits_in_cycle: u64,
+    inflight_stores: VecDeque<InflightStore>,
+    older_branches_resolved: u64,
+    committed_since_flush: u64,
+
+    // Attacker-visible traces.
+    architectural_accesses: Vec<u64>,
+    transient_accesses: Vec<u64>,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator for `program` with traces pre-loaded into the BTU
+    /// when the configured defense uses one.
+    pub fn new(program: &'p Program, config: CpuConfig, btu: Option<BranchTraceUnit>) -> Self {
+        let mut mem = Memory::new();
+        for region in &program.data {
+            mem.write_bytes(region.addr, &region.bytes);
+        }
+        let mut regs = [0u64; NUM_REGS];
+        regs[SP.index()] = STACK_TOP;
+        Simulator {
+            program,
+            bpu: BranchPredictionUnit::new(config.pht_entries, config.btb_entries, config.rsb_entries),
+            btu,
+            caches: CacheHierarchy::new(&config),
+            stats: SimStats::default(),
+            regs,
+            reg_taint: [false; NUM_REGS],
+            mem,
+            mem_taint: HashSet::new(),
+            call_depth: 0,
+            pc: 0,
+            halted: false,
+            fetch_cycle: 0,
+            fetch_slots_used: 0,
+            reg_ready: [0; NUM_REGS],
+            rob: VecDeque::new(),
+            commit_cycle: 0,
+            commits_in_cycle: 0,
+            inflight_stores: VecDeque::new(),
+            older_branches_resolved: 0,
+            committed_since_flush: 0,
+            architectural_accesses: Vec::new(),
+            transient_accesses: Vec::new(),
+            config,
+        }
+    }
+
+    /// Runs the program to completion (or until the instruction budget is
+    /// exhausted) and returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the architectural path leaves the program text or
+    /// underflows the call stack (wrong-path faults are swallowed, as in
+    /// hardware).
+    pub fn run(mut self) -> Result<SimOutcome, IsaError> {
+        while !self.halted && self.stats.committed_instructions < self.config.max_instructions {
+            self.step_correct_path()?;
+        }
+        self.stats.cycles = self.commit_cycle.max(self.fetch_cycle);
+        self.stats.bpu = self.bpu.stats();
+        if let Some(btu) = &self.btu {
+            self.stats.btu = btu.stats();
+        }
+        self.stats.caches = self.caches.stats();
+        Ok(SimOutcome {
+            stats: self.stats,
+            architectural_accesses: self.architectural_accesses,
+            transient_accesses: self.transient_accesses,
+            halted: self.halted,
+        })
+    }
+
+    // ------------------------------------------------------------ registers
+
+    fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, value: u64, tainted: bool) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+            self.reg_taint[r.index()] = tainted;
+        }
+    }
+
+    fn taint_of(&self, r: Reg) -> bool {
+        !r.is_zero() && self.reg_taint[r.index()]
+    }
+
+    fn granule(addr: u64) -> u64 {
+        addr & !7
+    }
+
+    // ------------------------------------------------------------- frontend
+
+    /// Allocates a fetch slot for the instruction at `pc`, accounting for
+    /// fetch width and instruction-cache misses. Returns the fetch cycle.
+    fn fetch_slot(&mut self, pc: usize) -> u64 {
+        let latency = self.caches.access_instr(Program::byte_addr(pc));
+        let extra = latency.saturating_sub(self.config.l1i.latency);
+        if extra > 0 {
+            self.fetch_cycle += extra;
+            self.fetch_slots_used = 0;
+        }
+        if self.fetch_slots_used >= self.config.fetch_width {
+            self.fetch_cycle += 1;
+            self.fetch_slots_used = 0;
+        }
+        self.fetch_slots_used += 1;
+        self.fetch_cycle
+    }
+
+    /// Redirects fetch to resume at `cycle` (stall or squash recovery).
+    fn redirect_fetch(&mut self, cycle: u64) {
+        if cycle > self.fetch_cycle {
+            self.fetch_cycle = cycle;
+            self.fetch_slots_used = 0;
+        }
+    }
+
+    // ------------------------------------------------------------ main step
+
+    /// Fetches, functionally executes and times one correct-path instruction.
+    fn step_correct_path(&mut self) -> Result<(), IsaError> {
+        let pc = self.pc;
+        let instr = self
+            .program
+            .instr(pc)
+            .ok_or(IsaError::PcOutOfRange {
+                pc,
+                len: self.program.len(),
+            })?
+            .clone();
+        let is_crypto = self.program.is_crypto_pc(pc);
+        let fetch_cycle = self.fetch_slot(pc);
+
+        // Dispatch is limited by the frontend depth and ROB occupancy.
+        let mut dispatch = fetch_cycle + self.config.frontend_depth;
+        while self.rob.len() >= self.config.rob_entries {
+            let oldest = self.rob.pop_front().unwrap_or(dispatch);
+            dispatch = dispatch.max(oldest);
+        }
+
+        // Operand readiness.
+        let sources = instr.sources();
+        let mut operands_ready = sources
+            .iter()
+            .map(|r| self.reg_ready[r.index()])
+            .max()
+            .unwrap_or(0);
+        // call/ret implicitly read the stack pointer.
+        if matches!(instr, Instr::Call { .. } | Instr::CallIndirect { .. } | Instr::Ret) {
+            operands_ready = operands_ready.max(self.reg_ready[SP.index()]);
+        }
+        let mut start = dispatch.max(operands_ready);
+
+        // Defense policies that delay execution while speculative.
+        let any_src_tainted = sources.iter().any(|r| self.taint_of(*r));
+        let is_transmitter = instr.is_mem() || instr.is_branch();
+        if self.config.defense.spt_delay() && is_transmitter && start < self.older_branches_resolved
+        {
+            start = self.older_branches_resolved;
+            self.stats.defense_delayed_instructions += 1;
+        }
+        if self.config.defense.prospect_taint()
+            && any_src_tainted
+            && start < self.older_branches_resolved
+        {
+            start = self.older_branches_resolved;
+            self.stats.defense_delayed_instructions += 1;
+        }
+
+        // Functional execution + memory timing.
+        let mut complete = if instr.is_branch() {
+            start + self.config.branch_resolve_latency
+        } else {
+            start + instr.base_latency()
+        };
+        let mut next_pc = pc + 1;
+        let mut branch_outcome: Option<(BranchKind, bool, usize, Option<usize>)> = None;
+
+        match instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = op.apply(self.reg(rs1), self.reg(rs2));
+                let t = self.taint_of(rs1) || self.taint_of(rs2);
+                self.set_reg(rd, v, t);
+                self.reg_ready[rd.index()] = complete;
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let v = op.apply(self.reg(rs1), imm as u64);
+                let t = self.taint_of(rs1);
+                self.set_reg(rd, v, t);
+                self.reg_ready[rd.index()] = complete;
+            }
+            Instr::LoadImm { rd, imm } => {
+                self.set_reg(rd, imm, false);
+                self.reg_ready[rd.index()] = complete;
+            }
+            Instr::Declassify { rd, rs1 } => {
+                let v = self.reg(rs1);
+                self.set_reg(rd, v, false);
+                self.reg_ready[rd.index()] = complete;
+            }
+            Instr::Load {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                let v = self.mem.read(addr, width);
+                let tainted =
+                    self.program.is_secret_addr(addr) || self.mem_taint.contains(&Self::granule(addr));
+                self.set_reg(rd, v, tainted);
+                complete = self.time_load(start, addr);
+                self.reg_ready[rd.index()] = complete;
+                self.architectural_accesses.push(addr);
+            }
+            Instr::Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                let v = self.reg(src);
+                self.mem.write(addr, v, width);
+                if self.taint_of(src) {
+                    self.mem_taint.insert(Self::granule(addr));
+                } else {
+                    self.mem_taint.remove(&Self::granule(addr));
+                }
+                complete = start + 1;
+                self.record_store(addr, complete);
+                let _ = self.caches.access_data(addr);
+                self.architectural_accesses.push(addr);
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let taken = cond.eval(self.reg(rs1), self.reg(rs2));
+                next_pc = if taken { target } else { pc + 1 };
+                branch_outcome = Some((BranchKind::CondDirect, taken, next_pc, Some(target)));
+            }
+            Instr::Jump { target } => {
+                next_pc = target;
+                branch_outcome = Some((BranchKind::UncondDirect, true, target, Some(target)));
+            }
+            Instr::JumpIndirect { rs1 } => {
+                next_pc = self.reg(rs1) as usize;
+                branch_outcome = Some((BranchKind::Indirect, true, next_pc, None));
+            }
+            Instr::Call { target } => {
+                next_pc = target;
+                let sp = self.reg(SP).wrapping_sub(8);
+                self.set_reg(SP, sp, false);
+                self.mem.write_u64(sp, (pc + 1) as u64);
+                self.call_depth += 1;
+                self.record_store(sp, complete);
+                let _ = self.caches.access_data(sp);
+                self.architectural_accesses.push(sp);
+                self.reg_ready[SP.index()] = complete;
+                branch_outcome = Some((BranchKind::Call, true, target, Some(target)));
+            }
+            Instr::CallIndirect { rs1 } => {
+                next_pc = self.reg(rs1) as usize;
+                let sp = self.reg(SP).wrapping_sub(8);
+                self.set_reg(SP, sp, false);
+                self.mem.write_u64(sp, (pc + 1) as u64);
+                self.call_depth += 1;
+                self.record_store(sp, complete);
+                let _ = self.caches.access_data(sp);
+                self.architectural_accesses.push(sp);
+                self.reg_ready[SP.index()] = complete;
+                branch_outcome = Some((BranchKind::CallIndirect, true, next_pc, None));
+            }
+            Instr::Ret => {
+                if self.call_depth == 0 {
+                    return Err(IsaError::ReturnWithoutCall { pc });
+                }
+                self.call_depth -= 1;
+                let sp = self.reg(SP);
+                let ret = self.mem.read_u64(sp) as usize;
+                self.set_reg(SP, sp.wrapping_add(8), false);
+                complete = complete.max(self.time_load(start, sp));
+                self.reg_ready[SP.index()] = complete;
+                self.architectural_accesses.push(sp);
+                next_pc = ret;
+                branch_outcome = Some((BranchKind::Return, true, ret, None));
+            }
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+            }
+        }
+
+        // Branch handling: frontend redirection, prediction and penalties.
+        if let Some((kind, taken, actual_target, direct_target)) = branch_outcome {
+            self.stats.committed_branches += 1;
+            if is_crypto {
+                self.stats.committed_crypto_branches += 1;
+            }
+            let resolve = complete;
+            self.handle_branch_frontend(
+                pc,
+                kind,
+                taken,
+                actual_target,
+                direct_target,
+                is_crypto,
+                fetch_cycle,
+                resolve,
+            );
+            // Crypto branches under Cassandra are replayed, not predicted, so
+            // they do not open a speculation window (§6.2); every other branch
+            // keeps younger instructions speculative until it resolves.
+            if !(self.config.defense.uses_btu() && is_crypto) {
+                self.older_branches_resolved = self.older_branches_resolved.max(resolve);
+            }
+        }
+
+        // In-order commit with commit-width constraint.
+        let proposed = (complete + 1).max(self.commit_cycle);
+        if proposed > self.commit_cycle {
+            self.commit_cycle = proposed;
+            self.commits_in_cycle = 1;
+        } else {
+            if self.commits_in_cycle >= self.config.commit_width {
+                self.commit_cycle += 1;
+                self.commits_in_cycle = 0;
+            }
+            self.commits_in_cycle += 1;
+        }
+        self.rob.push_back(self.commit_cycle);
+        if self.rob.len() > self.config.rob_entries {
+            self.rob.pop_front();
+        }
+        self.stats.committed_instructions += 1;
+
+        // Periodic BTU flush experiment (Q4).
+        if self.config.btu_flush_interval > 0 {
+            self.committed_since_flush += 1;
+            if self.committed_since_flush >= self.config.btu_flush_interval {
+                self.committed_since_flush = 0;
+                if let Some(btu) = &mut self.btu {
+                    btu.flush();
+                    self.stats.periodic_btu_flushes += 1;
+                }
+            }
+        }
+
+        self.pc = next_pc;
+        Ok(())
+    }
+
+    /// Store-to-load forwarding / memory timing for a load starting at
+    /// `start` and accessing `addr`.
+    fn time_load(&mut self, start: u64, addr: u64) -> u64 {
+        let granule = Self::granule(addr);
+        let forwarding = self
+            .inflight_stores
+            .iter()
+            .rev()
+            .find(|s| s.granule == granule && s.commit_cycle > start);
+        let latency = self.caches.access_data(addr);
+        match forwarding {
+            Some(store) if !self.config.defense.disables_stl() => {
+                self.stats.stl_forwards += 1;
+                start.max(store.data_ready) + 1
+            }
+            Some(store) => {
+                // Forwarding disabled (Cassandra+STL): the load always sends a
+                // request to the cache and may not bypass the unresolved
+                // store — it waits until the store's data is available and
+                // then pays the cache access latency.
+                start.max(store.data_ready) + latency
+            }
+            None => start + latency,
+        }
+    }
+
+    fn record_store(&mut self, addr: u64, data_ready: u64) {
+        let commit_cycle = data_ready + self.config.frontend_depth;
+        if self.inflight_stores.len() >= self.config.sq_entries {
+            self.inflight_stores.pop_front();
+        }
+        self.inflight_stores.push_back(InflightStore {
+            granule: Self::granule(addr),
+            data_ready,
+            commit_cycle,
+        });
+    }
+
+    /// Frontend behaviour at a branch: BTU redirection or BPU prediction,
+    /// integrity checks, stalls, mispredictions and wrong-path excursions.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_branch_frontend(
+        &mut self,
+        pc: usize,
+        kind: BranchKind,
+        taken: bool,
+        actual_target: usize,
+        direct_target: Option<usize>,
+        is_crypto: bool,
+        fetch_cycle: u64,
+        resolve: u64,
+    ) {
+        let defense = self.config.defense;
+        if defense.uses_btu() && is_crypto {
+            if defense == DefenseMode::CassandraLite {
+                // Only single-target hints are honoured; everything else
+                // stalls fetch until the branch resolves.
+                let hint = self.btu.as_ref().and_then(|b| b.encoded().hint(pc));
+                match hint {
+                    Some(BranchHint::SingleTarget { .. }) => {}
+                    _ => {
+                        self.stats.fetch_stalls += 1;
+                        self.redirect_fetch(resolve + 1);
+                    }
+                }
+                return;
+            }
+            // Full Cassandra: the BTU dictates the next PC.
+            let lookup = self.btu.as_mut().map(|btu| btu.fetch_lookup(pc));
+            match lookup {
+                Some(lookup) if !lookup.needs_stall => {
+                    debug_assert_eq!(
+                        lookup.next_pc,
+                        Some(actual_target),
+                        "BTU must replay the sequential trace (branch at {pc})"
+                    );
+                    if lookup.extra_latency > 0 {
+                        self.redirect_fetch(fetch_cycle + lookup.extra_latency);
+                    }
+                    if let Some(btu) = &mut self.btu {
+                        btu.commit_branch(pc);
+                    }
+                }
+                _ => {
+                    // No usable trace (or no traces provided at all): stall
+                    // until the branch resolves.
+                    self.stats.fetch_stalls += 1;
+                    self.redirect_fetch(resolve + 1);
+                }
+            }
+            return;
+        }
+
+        // Non-crypto branch (or a design without a BTU): the BPU predicts.
+        let prediction = self.bpu.predict(pc, kind, direct_target, pc + 1);
+
+        // Cassandra integrity check: never speculatively redirect fetch into
+        // the crypto PC ranges from a non-crypto branch.
+        if defense.uses_btu() {
+            if let Some(t) = prediction.target {
+                if self.program.is_crypto_pc(t) {
+                    self.stats.fetch_stalls += 1;
+                    self.redirect_fetch(resolve + 1);
+                    self.bpu.update(pc, kind, taken, actual_target);
+                    return;
+                }
+            }
+        }
+
+        match prediction.target {
+            Some(predicted) if predicted == actual_target => {
+                // Correct prediction: no penalty.
+            }
+            Some(predicted) => {
+                // Misprediction: execute a bounded wrong path, then squash.
+                self.stats.mispredictions += 1;
+                let window = (resolve.saturating_sub(fetch_cycle) + 1) * self.config.fetch_width;
+                let budget = window.min(WRONG_PATH_CAP).min(self.config.rob_entries as u64);
+                self.run_wrong_path(predicted, budget);
+                self.redirect_fetch(resolve + self.config.mispredict_redirect_penalty);
+                if let Some(btu) = &mut self.btu {
+                    btu.squash();
+                }
+            }
+            None => {
+                // No prediction available (BTB/RSB miss): the frontend waits
+                // for the branch to resolve.
+                self.stats.fetch_stalls += 1;
+                self.redirect_fetch(resolve + 1);
+            }
+        }
+        self.bpu.update(pc, kind, taken, actual_target);
+    }
+
+    /// Executes up to `budget` wrong-path instructions starting at `start_pc`
+    /// with full state rollback afterwards. Their data accesses pollute the
+    /// caches and are recorded as transient observations.
+    fn run_wrong_path(&mut self, start_pc: usize, budget: u64) {
+        let saved_regs = self.regs;
+        let saved_taint = self.reg_taint;
+        let saved_call_depth = self.call_depth;
+        let saved_mem_taint = self.mem_taint.clone();
+        let mut mem_undo: Vec<(u64, Vec<u8>)> = Vec::new();
+
+        let mut pc = start_pc;
+        let mut executed = 0u64;
+        while executed < budget {
+            let Some(instr) = self.program.instr(pc) else {
+                break;
+            };
+            let instr = instr.clone();
+            executed += 1;
+            let is_crypto = self.program.is_crypto_pc(pc);
+            let mut next_pc = pc + 1;
+            match instr {
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let v = op.apply(self.reg(rs1), self.reg(rs2));
+                    let t = self.taint_of(rs1) || self.taint_of(rs2);
+                    self.set_reg(rd, v, t);
+                }
+                Instr::AluImm { op, rd, rs1, imm } => {
+                    let v = op.apply(self.reg(rs1), imm as u64);
+                    let t = self.taint_of(rs1);
+                    self.set_reg(rd, v, t);
+                }
+                Instr::LoadImm { rd, imm } => self.set_reg(rd, imm, false),
+                Instr::Declassify { rd, rs1 } => {
+                    let v = self.reg(rs1);
+                    self.set_reg(rd, v, false);
+                }
+                Instr::Load {
+                    rd, base, offset, width,
+                } => {
+                    let addr = self.reg(base).wrapping_add(offset as u64);
+                    // ProSpeCT blocks speculative execution of instructions
+                    // with tainted operands, so a wrong-path load with a
+                    // tainted address never reaches the cache.
+                    if self.config.defense.prospect_taint() && self.taint_of(base) {
+                        break;
+                    }
+                    let v = self.mem.read(addr, width);
+                    let tainted = self.program.is_secret_addr(addr)
+                        || self.mem_taint.contains(&Self::granule(addr));
+                    self.set_reg(rd, v, tainted);
+                    let _ = self.caches.access_data(addr);
+                    self.transient_accesses.push(addr);
+                }
+                Instr::Store {
+                    src, base, offset, width,
+                } => {
+                    let addr = self.reg(base).wrapping_add(offset as u64);
+                    // Stores do not modify the cache or memory before commit;
+                    // record the old bytes for rollback of the speculative
+                    // memory image.
+                    mem_undo.push((addr, self.mem.read_bytes(addr, width.bytes() as usize)));
+                    let v = self.reg(src);
+                    self.mem.write(addr, v, width);
+                }
+                Instr::Branch { cond, rs1, rs2, target } => {
+                    let taken = cond.eval(self.reg(rs1), self.reg(rs2));
+                    next_pc = if taken { target } else { pc + 1 };
+                }
+                Instr::Jump { target } => next_pc = target,
+                Instr::JumpIndirect { rs1 } => next_pc = self.reg(rs1) as usize,
+                Instr::Call { target } => {
+                    let sp = self.reg(SP).wrapping_sub(8);
+                    mem_undo.push((sp, self.mem.read_bytes(sp, 8)));
+                    self.set_reg(SP, sp, false);
+                    self.mem.write_u64(sp, (pc + 1) as u64);
+                    self.call_depth += 1;
+                    next_pc = target;
+                }
+                Instr::CallIndirect { rs1 } => {
+                    let sp = self.reg(SP).wrapping_sub(8);
+                    mem_undo.push((sp, self.mem.read_bytes(sp, 8)));
+                    let target = self.reg(rs1) as usize;
+                    self.set_reg(SP, sp, false);
+                    self.mem.write_u64(sp, (pc + 1) as u64);
+                    self.call_depth += 1;
+                    next_pc = target;
+                }
+                Instr::Ret => {
+                    if self.call_depth == 0 {
+                        break;
+                    }
+                    self.call_depth -= 1;
+                    let sp = self.reg(SP);
+                    let ret = self.mem.read_u64(sp) as usize;
+                    self.set_reg(SP, sp.wrapping_add(8), false);
+                    self.transient_accesses.push(sp);
+                    let _ = self.caches.access_data(sp);
+                    next_pc = ret;
+                }
+                Instr::Nop => {}
+                Instr::Halt => break,
+            }
+            // Under Cassandra, a wrong-path crypto branch would consult the
+            // BTU; the squash below rolls its speculative position back.
+            if self.config.defense.uses_btu() && is_crypto && instr.is_branch() {
+                if let Some(btu) = &mut self.btu {
+                    let _ = btu.fetch_lookup(pc);
+                }
+            }
+            self.stats.squashed_instructions += 1;
+            pc = next_pc;
+        }
+
+        // Roll back the speculative state.
+        for (addr, bytes) in mem_undo.into_iter().rev() {
+            self.mem.write_bytes(addr, &bytes);
+        }
+        self.regs = saved_regs;
+        self.reg_taint = saved_taint;
+        self.call_depth = saved_call_depth;
+        self.mem_taint = saved_mem_taint;
+    }
+}
+
+/// Convenience entry point: simulates `program` under `config`, loading the
+/// provided BTU traces when the defense uses them.
+///
+/// # Errors
+///
+/// Propagates architectural execution errors.
+pub fn simulate(
+    program: &Program,
+    config: CpuConfig,
+    btu: Option<BranchTraceUnit>,
+) -> Result<SimOutcome, IsaError> {
+    Simulator::new(program, config, btu).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_btu::encode::EncodedTraces;
+    use cassandra_btu::unit::BtuConfig;
+    use cassandra_isa::builder::ProgramBuilder;
+    use cassandra_isa::exec::Executor;
+    use cassandra_isa::reg::{A0, A1, A2, ZERO};
+    use cassandra_trace::genproc::generate_traces;
+
+    fn loop_program(iters: u64) -> Program {
+        let mut b = ProgramBuilder::new("timing-loop");
+        b.begin_crypto();
+        let data = b.alloc_u64s("data", &(0..64u64).collect::<Vec<_>>());
+        b.li(A0, iters);
+        b.li(A1, data);
+        b.li(A2, 0);
+        b.label("l");
+        b.ld(cassandra_isa::reg::T0, A1, 0);
+        b.add(A2, A2, cassandra_isa::reg::T0);
+        b.addi(A1, A1, 8);
+        b.andi(A1, A1, !7);
+        b.addi(A0, A0, -1);
+        b.bne(A0, ZERO, "l");
+        b.end_crypto();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn btu_for(program: &Program) -> BranchTraceUnit {
+        let bundle = generate_traces(program, None, 10_000_000).unwrap();
+        let encoded = EncodedTraces::from_bundle(program, &bundle);
+        BranchTraceUnit::new(BtuConfig::default(), encoded)
+    }
+
+    #[test]
+    fn functional_result_matches_the_reference_executor() {
+        // The pipeline's speculative state must end architecturally identical
+        // to the sequential executor (stores committed, registers final).
+        let program = loop_program(20);
+        let mut reference = Executor::new(&program);
+        reference.run(1_000_000).unwrap();
+
+        let outcome = simulate(
+            &program,
+            CpuConfig::golden_cove_like(),
+            None,
+        )
+        .unwrap();
+        assert!(outcome.halted);
+        // The committed instruction count matches the executor's step count.
+        assert_eq!(outcome.stats.committed_instructions, reference.steps());
+    }
+
+    #[test]
+    fn all_defenses_commit_the_same_instructions() {
+        let program = loop_program(32);
+        let baseline = simulate(&program, CpuConfig::golden_cove_like(), None).unwrap();
+        for defense in [
+            DefenseMode::Cassandra,
+            DefenseMode::CassandraStl,
+            DefenseMode::CassandraLite,
+            DefenseMode::Spt,
+            DefenseMode::Prospect,
+        ] {
+            let cfg = CpuConfig::golden_cove_like().with_defense(defense);
+            let btu = if defense.uses_btu() {
+                Some(btu_for(&program))
+            } else {
+                None
+            };
+            let outcome = simulate(&program, cfg, btu).unwrap();
+            assert_eq!(
+                outcome.stats.committed_instructions, baseline.stats.committed_instructions,
+                "{defense:?} must not change architectural behaviour"
+            );
+            assert!(outcome.halted);
+        }
+    }
+
+    #[test]
+    fn cassandra_has_no_crypto_mispredictions() {
+        let program = loop_program(64);
+        let cfg = CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra);
+        let outcome = simulate(&program, cfg, Some(btu_for(&program))).unwrap();
+        assert_eq!(outcome.stats.mispredictions, 0);
+        assert_eq!(outcome.stats.squashed_instructions, 0);
+        assert!(outcome.stats.btu.lookups > 0);
+    }
+
+    #[test]
+    fn baseline_mispredicts_at_least_the_loop_exit() {
+        let program = loop_program(64);
+        let outcome = simulate(&program, CpuConfig::golden_cove_like(), None).unwrap();
+        assert!(outcome.stats.mispredictions >= 1);
+        assert!(outcome.stats.bpu.pht_lookups > 0);
+    }
+
+    #[test]
+    fn spt_is_slower_than_baseline_on_branchy_code() {
+        let program = loop_program(128);
+        let base = simulate(&program, CpuConfig::golden_cove_like(), None).unwrap();
+        let spt = simulate(
+            &program,
+            CpuConfig::golden_cove_like().with_defense(DefenseMode::Spt),
+            None,
+        )
+        .unwrap();
+        assert!(spt.stats.cycles >= base.stats.cycles);
+        assert!(spt.stats.defense_delayed_instructions > 0);
+    }
+
+    #[test]
+    fn cassandra_lite_stalls_multi_target_branches() {
+        let program = loop_program(64);
+        let lite = simulate(
+            &program,
+            CpuConfig::golden_cove_like().with_defense(DefenseMode::CassandraLite),
+            Some(btu_for(&program)),
+        )
+        .unwrap();
+        let full = simulate(
+            &program,
+            CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra),
+            Some(btu_for(&program)),
+        )
+        .unwrap();
+        assert!(lite.stats.fetch_stalls > 0);
+        assert!(lite.stats.cycles >= full.stats.cycles);
+    }
+
+    #[test]
+    fn instruction_budget_is_respected() {
+        let mut b = ProgramBuilder::new("spin");
+        b.label("l");
+        b.j("l");
+        let program = b.build().unwrap();
+        let mut cfg = CpuConfig::golden_cove_like();
+        cfg.max_instructions = 1000;
+        let outcome = simulate(&program, cfg, None).unwrap();
+        assert!(!outcome.halted);
+        assert_eq!(outcome.stats.committed_instructions, 1000);
+    }
+}

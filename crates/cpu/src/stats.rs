@@ -1,0 +1,84 @@
+//! Simulation statistics.
+
+use crate::bpu::BpuStats;
+use crate::cache::HierarchyStats;
+use cassandra_btu::unit::BtuStats;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total simulated cycles (the execution-time metric of Fig. 7/8).
+    pub cycles: u64,
+    /// Committed (architectural) instructions.
+    pub committed_instructions: u64,
+    /// Committed control-flow instructions.
+    pub committed_branches: u64,
+    /// Committed crypto-tagged control-flow instructions.
+    pub committed_crypto_branches: u64,
+    /// Mispredicted branches (squashes caused by the BPU).
+    pub mispredictions: u64,
+    /// Wrong-path instructions fetched and later squashed.
+    pub squashed_instructions: u64,
+    /// Fetch stalls waiting for a branch to resolve (Cassandra integrity
+    /// checks, input-dependent branches, Cassandra-lite multi-target stalls).
+    pub fetch_stalls: u64,
+    /// Instructions whose execution was delayed by a defense policy
+    /// (SPT transmitter delay or ProSpeCT taint blocking).
+    pub defense_delayed_instructions: u64,
+    /// Loads that forwarded from an older in-flight store.
+    pub stl_forwards: u64,
+    /// BTU flushes triggered by the periodic flush interval (Q4).
+    pub periodic_btu_flushes: u64,
+    /// Branch predictor statistics.
+    pub bpu: BpuStats,
+    /// BTU statistics.
+    pub btu: BtuStats,
+    /// Cache statistics.
+    pub caches: HierarchyStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate over committed branches.
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.committed_branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.committed_branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_rates() {
+        let stats = SimStats {
+            cycles: 1000,
+            committed_instructions: 2500,
+            committed_branches: 100,
+            mispredictions: 5,
+            ..SimStats::default()
+        };
+        assert!((stats.ipc() - 2.5).abs() < 1e-9);
+        assert!((stats.misprediction_rate() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let stats = SimStats::default();
+        assert_eq!(stats.ipc(), 0.0);
+        assert_eq!(stats.misprediction_rate(), 0.0);
+    }
+}

@@ -1,0 +1,659 @@
+//! Assembler-style program builder.
+//!
+//! [`ProgramBuilder`] offers one method per instruction (plus a few
+//! pseudo-instructions), label management with forward references, data
+//! allocation and security annotations (crypto PC ranges, secret memory
+//! ranges). The kernels in `cassandra-kernels` are written exclusively
+//! through this interface.
+
+use crate::error::IsaError;
+use crate::instr::{AluOp, BranchCond, Instr, MemWidth};
+use crate::program::{DataRegion, Program};
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Base address of the builder-managed data segment.
+pub const DATA_BASE: u64 = 0x0010_0000;
+
+/// Pending control-flow target: either an already-resolved instruction index
+/// or a label to be resolved at build time.
+#[derive(Debug, Clone)]
+enum Target {
+    Label(String),
+}
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    Branch { index: usize, target: Target },
+    Jump { index: usize, target: Target },
+    Call { index: usize, target: Target },
+}
+
+/// Incremental builder for [`Program`] values.
+///
+/// # Examples
+///
+/// ```
+/// use cassandra_isa::builder::ProgramBuilder;
+/// use cassandra_isa::reg::{A0, A1, ZERO};
+///
+/// # fn main() -> Result<(), cassandra_isa::error::IsaError> {
+/// let mut b = ProgramBuilder::new("double");
+/// let input = b.alloc_u64s("input", &[21]);
+/// b.li(A1, input);
+/// b.ld(A0, A1, 0);
+/// b.add(A0, A0, A0);
+/// b.halt();
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    labels: BTreeMap<String, usize>,
+    fixups: Vec<Fixup>,
+    data: Vec<DataRegion>,
+    data_cursor: u64,
+    crypto_ranges: Vec<Range<usize>>,
+    crypto_open: Option<usize>,
+    secret_ranges: Vec<Range<u64>>,
+}
+
+impl ProgramBuilder {
+    /// Creates a new builder for a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            labels: BTreeMap::new(),
+            fixups: Vec::new(),
+            data: Vec::new(),
+            data_cursor: DATA_BASE,
+            crypto_ranges: Vec::new(),
+            crypto_open: None,
+            secret_ranges: Vec::new(),
+        }
+    }
+
+    /// Index of the next instruction to be emitted.
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    // ----------------------------------------------------------------- labels
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label has already been defined; label names must be
+    /// unique within a program.
+    pub fn label(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        let prev = self.labels.insert(name.clone(), self.here());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+    }
+
+    /// Convenience alias of [`Self::label`] for function entry points.
+    pub fn func(&mut self, name: impl Into<String>) {
+        self.label(name);
+    }
+
+    // ------------------------------------------------------------------- data
+
+    /// Allocates a named data region with the given initial bytes and returns
+    /// its base address.
+    pub fn alloc_bytes(&mut self, name: impl Into<String>, bytes: &[u8]) -> u64 {
+        let addr = self.data_cursor;
+        // Keep regions 64-byte aligned so kernels can assume cache-line
+        // alignment of their tables.
+        let len = bytes.len() as u64;
+        self.data_cursor += (len + 63) / 64 * 64 + 64;
+        self.data.push(DataRegion {
+            addr,
+            bytes: bytes.to_vec(),
+            name: name.into(),
+        });
+        addr
+    }
+
+    /// Allocates a zero-initialised region of `len` bytes.
+    pub fn alloc_zeros(&mut self, name: impl Into<String>, len: usize) -> u64 {
+        self.alloc_bytes(name, &vec![0u8; len])
+    }
+
+    /// Allocates a region initialised from 64-bit little-endian words.
+    pub fn alloc_u64s(&mut self, name: impl Into<String>, words: &[u64]) -> u64 {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.alloc_bytes(name, &bytes)
+    }
+
+    /// Allocates a region initialised from 32-bit little-endian words.
+    pub fn alloc_u32s(&mut self, name: impl Into<String>, words: &[u32]) -> u64 {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.alloc_bytes(name, &bytes)
+    }
+
+    /// Allocates a data region and marks it as secret (ProSpeCT-style
+    /// annotation). Returns the base address.
+    pub fn alloc_secret_bytes(&mut self, name: impl Into<String>, bytes: &[u8]) -> u64 {
+        let addr = self.alloc_bytes(name, bytes);
+        self.secret_ranges.push(addr..addr + bytes.len() as u64);
+        addr
+    }
+
+    /// Allocates a secret region initialised from 64-bit words.
+    pub fn alloc_secret_u64s(&mut self, name: impl Into<String>, words: &[u64]) -> u64 {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.alloc_secret_bytes(name, &bytes)
+    }
+
+    /// Allocates a secret region initialised from 32-bit words.
+    pub fn alloc_secret_u32s(&mut self, name: impl Into<String>, words: &[u32]) -> u64 {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.alloc_secret_bytes(name, &bytes)
+    }
+
+    /// Marks an arbitrary address range as secret.
+    pub fn mark_secret_region(&mut self, range: Range<u64>) {
+        self.secret_ranges.push(range);
+    }
+
+    // --------------------------------------------------------- crypto regions
+
+    /// Starts a crypto PC range at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a crypto range is already open.
+    pub fn begin_crypto(&mut self) {
+        assert!(self.crypto_open.is_none(), "crypto range already open");
+        self.crypto_open = Some(self.here());
+    }
+
+    /// Ends the currently open crypto PC range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no crypto range is open.
+    pub fn end_crypto(&mut self) {
+        let start = self.crypto_open.take().expect("no crypto range open");
+        self.crypto_ranges.push(start..self.here());
+    }
+
+    // ----------------------------------------------------------- raw emission
+
+    /// Emits a raw instruction and returns its index.
+    pub fn emit(&mut self, instr: Instr) -> usize {
+        let idx = self.here();
+        self.instrs.push(instr);
+        idx
+    }
+
+    // --------------------------------------------------------------- ALU ops
+
+    fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op, rd, rs1, rs2 });
+    }
+
+    fn alu_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::AluImm { op, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Add, rd, rs1, rs2);
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sub, rd, rs1, rs2);
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::And, rd, rs1, rs2);
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Or, rd, rs1, rs2);
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Xor, rd, rs1, rs2);
+    }
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sll, rd, rs1, rs2);
+    }
+    /// `rd = rs1 >> rs2` (logical)
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Srl, rd, rs1, rs2);
+    }
+    /// `rd = rs1 >> rs2` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sra, rd, rs1, rs2);
+    }
+    /// `rd = rotl(rs1, rs2)`
+    pub fn rotl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Rotl, rd, rs1, rs2);
+    }
+    /// `rd = rotr(rs1, rs2)`
+    pub fn rotr(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Rotr, rd, rs1, rs2);
+    }
+    /// `rd = low64(rs1 * rs2)`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Mul, rd, rs1, rs2);
+    }
+    /// `rd = high64(rs1 * rs2)` (unsigned)
+    pub fn mulhu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Mulhu, rd, rs1, rs2);
+    }
+    /// `rd = (rs1 < rs2) ? 1 : 0` (signed)
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Slt, rd, rs1, rs2);
+    }
+    /// `rd = (rs1 < rs2) ? 1 : 0` (unsigned)
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sltu, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Add, rd, rs1, imm);
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::And, rd, rs1, imm);
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Or, rd, rs1, imm);
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Xor, rd, rs1, imm);
+    }
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Sll, rd, rs1, imm);
+    }
+    /// `rd = rs1 >> imm` (logical)
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Srl, rd, rs1, imm);
+    }
+    /// `rd = rs1 >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Sra, rd, rs1, imm);
+    }
+    /// `rd = rotl(rs1, imm)`
+    pub fn rotli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Rotl, rd, rs1, imm);
+    }
+    /// `rd = rotr(rs1, imm)`
+    pub fn rotri(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Rotr, rd, rs1, imm);
+    }
+    /// `rd = rs1 * imm`
+    pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Mul, rd, rs1, imm);
+    }
+    /// `rd = (rs1 < imm) ? 1 : 0` (unsigned)
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Sltu, rd, rs1, imm);
+    }
+    /// `rd = (rs1 < imm) ? 1 : 0` (signed)
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Slt, rd, rs1, imm);
+    }
+
+    /// Loads a 64-bit immediate.
+    pub fn li(&mut self, rd: Reg, imm: u64) {
+        self.emit(Instr::LoadImm { rd, imm });
+    }
+
+    /// Register move (`rd = rs1`), encoded as `addi rd, rs1, 0`.
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) {
+        self.addi(rd, rs1, 0);
+    }
+
+    /// Declassification marker (`rd = rs1`, clears taint).
+    pub fn declassify(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Instr::Declassify { rd, rs1 });
+    }
+
+    // ------------------------------------------------------------ memory ops
+
+    /// Loads a 64-bit double word: `rd = mem64[base + offset]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Instr::Load {
+            rd,
+            base,
+            offset,
+            width: MemWidth::Double,
+        });
+    }
+
+    /// Loads a zero-extended 32-bit word.
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Instr::Load {
+            rd,
+            base,
+            offset,
+            width: MemWidth::Word,
+        });
+    }
+
+    /// Loads a zero-extended byte.
+    pub fn lb(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Instr::Load {
+            rd,
+            base,
+            offset,
+            width: MemWidth::Byte,
+        });
+    }
+
+    /// Stores a 64-bit double word.
+    pub fn sd(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.emit(Instr::Store {
+            src,
+            base,
+            offset,
+            width: MemWidth::Double,
+        });
+    }
+
+    /// Stores the low 32 bits.
+    pub fn sw(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.emit(Instr::Store {
+            src,
+            base,
+            offset,
+            width: MemWidth::Word,
+        });
+    }
+
+    /// Stores the low byte.
+    pub fn sb(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.emit(Instr::Store {
+            src,
+            base,
+            offset,
+            width: MemWidth::Byte,
+        });
+    }
+
+    // ------------------------------------------------------------ control flow
+
+    fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) {
+        let index = self.emit(Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: usize::MAX,
+        });
+        self.fixups.push(Fixup::Branch {
+            index,
+            target: Target::Label(label.to_string()),
+        });
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Eq, rs1, rs2, label);
+    }
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Ne, rs1, rs2, label);
+    }
+    /// Branch if less than (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Lt, rs1, rs2, label);
+    }
+    /// Branch if greater or equal (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Ge, rs1, rs2, label);
+    }
+    /// Branch if less than (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Ltu, rs1, rs2, label);
+    }
+    /// Branch if greater or equal (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Geu, rs1, rs2, label);
+    }
+
+    /// Unconditional direct jump to a label.
+    pub fn j(&mut self, label: &str) {
+        let index = self.emit(Instr::Jump { target: usize::MAX });
+        self.fixups.push(Fixup::Jump {
+            index,
+            target: Target::Label(label.to_string()),
+        });
+    }
+
+    /// Indirect jump through a register holding an instruction index.
+    pub fn jr(&mut self, rs1: Reg) {
+        self.emit(Instr::JumpIndirect { rs1 });
+    }
+
+    /// Direct call to a label.
+    pub fn call(&mut self, label: &str) {
+        let index = self.emit(Instr::Call { target: usize::MAX });
+        self.fixups.push(Fixup::Call {
+            index,
+            target: Target::Label(label.to_string()),
+        });
+    }
+
+    /// Indirect call through a register holding an instruction index.
+    pub fn callr(&mut self, rs1: Reg) {
+        self.emit(Instr::CallIndirect { rs1 });
+    }
+
+    /// Return from the current call.
+    pub fn ret(&mut self) {
+        self.emit(Instr::Ret);
+    }
+
+    /// No operation.
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+
+    /// Halts the program.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    /// Loads the instruction index of a label into a register, for use with
+    /// [`Self::jr`] / [`Self::callr`]. Resolved at build time.
+    pub fn li_label(&mut self, rd: Reg, label: &str) {
+        let index = self.emit(Instr::LoadImm { rd, imm: u64::MAX });
+        // Re-use the jump fixup machinery via a dedicated variant would be
+        // cleaner, but a small trick keeps the enum compact: record it as a
+        // jump fixup and patch the LoadImm at build time.
+        self.fixups.push(Fixup::Jump {
+            index,
+            target: Target::Label(label.to_string()),
+        });
+    }
+
+    // ----------------------------------------------------------------- build
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UndefinedLabel`] if a referenced label was never
+    /// defined, or [`IsaError::InvalidProgram`] if validation fails (see
+    /// [`Program::validate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a crypto range was left open (builder misuse).
+    pub fn build(mut self) -> Result<Program, IsaError> {
+        assert!(
+            self.crypto_open.is_none(),
+            "crypto range opened with begin_crypto() but never closed"
+        );
+        let labels = self.labels.clone();
+        let resolve = |t: &Target| -> Result<usize, IsaError> {
+            match t {
+                Target::Label(name) => labels
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| IsaError::UndefinedLabel(name.clone())),
+            }
+        };
+        for fixup in &self.fixups {
+            match fixup {
+                Fixup::Branch { index, target } => {
+                    let t = resolve(target)?;
+                    if let Instr::Branch { target, .. } = &mut self.instrs[*index] {
+                        *target = t;
+                    }
+                }
+                Fixup::Jump { index, target } => {
+                    let t = resolve(target)?;
+                    match &mut self.instrs[*index] {
+                        Instr::Jump { target } => *target = t,
+                        Instr::LoadImm { imm, .. } => *imm = t as u64,
+                        other => unreachable!("jump fixup on non-jump instruction {other}"),
+                    }
+                }
+                Fixup::Call { index, target } => {
+                    let t = resolve(target)?;
+                    if let Instr::Call { target, .. } = &mut self.instrs[*index] {
+                        *target = t;
+                    }
+                }
+            }
+        }
+        let program = Program {
+            name: self.name,
+            instrs: self.instrs,
+            labels: self.labels,
+            data: self.data,
+            crypto_ranges: self.crypto_ranges,
+            secret_ranges: self.secret_ranges,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::reg::{A0, A1, A2, ZERO};
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new("fb");
+        b.li(A0, 0);
+        b.j("end"); // forward reference
+        b.label("mid");
+        b.li(A0, 99);
+        b.label("end");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.label("end"), Some(3));
+        let mut e = Executor::new(&p);
+        e.run(100).unwrap();
+        assert_eq!(e.reg(A0), 0, "jump must skip the mid block");
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = ProgramBuilder::new("bad");
+        b.j("nowhere");
+        b.halt();
+        assert_eq!(
+            b.build().unwrap_err(),
+            IsaError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut b = ProgramBuilder::new("dup");
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    fn data_allocation_is_aligned_and_disjoint() {
+        let mut b = ProgramBuilder::new("data");
+        let a = b.alloc_bytes("a", &[1, 2, 3]);
+        let c = b.alloc_u64s("c", &[10, 20]);
+        let s = b.alloc_secret_bytes("s", &[9; 32]);
+        assert_eq!(a % 64, 0);
+        assert_eq!(c % 64, 0);
+        assert!(c > a);
+        assert!(s > c);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.data.len(), 3);
+        assert!(p.is_secret_addr(s));
+        assert!(!p.is_secret_addr(a));
+    }
+
+    #[test]
+    fn call_and_ret_roundtrip() {
+        let mut b = ProgramBuilder::new("callret");
+        b.li(A0, 1);
+        b.call("inc");
+        b.call("inc");
+        b.halt();
+        b.func("inc");
+        b.addi(A0, A0, 1);
+        b.ret();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.run(100).unwrap();
+        assert_eq!(e.reg(A0), 3);
+    }
+
+    #[test]
+    fn indirect_jump_via_li_label() {
+        let mut b = ProgramBuilder::new("indirect");
+        b.li(A0, 0);
+        b.li_label(A1, "target");
+        b.jr(A1);
+        b.li(A0, 111); // skipped
+        b.label("target");
+        b.addi(A0, A0, 5);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.run(100).unwrap();
+        assert_eq!(e.reg(A0), 5);
+    }
+
+    #[test]
+    fn loop_with_memory() {
+        let mut b = ProgramBuilder::new("memloop");
+        let arr = b.alloc_u64s("arr", &[1, 2, 3, 4, 5]);
+        b.li(A1, arr);
+        b.li(A2, 5);
+        b.li(A0, 0);
+        b.label("loop");
+        b.ld(crate::reg::T0, A1, 0);
+        b.add(A0, A0, crate::reg::T0);
+        b.addi(A1, A1, 8);
+        b.addi(A2, A2, -1);
+        b.bne(A2, ZERO, "loop");
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.run(1000).unwrap();
+        assert_eq!(e.reg(A0), 15);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for the ISA crate.
+
+use std::fmt;
+
+/// Errors produced while building or executing programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// The program counter left the program text.
+    PcOutOfRange {
+        /// The faulting program counter (instruction index).
+        pc: usize,
+        /// Number of instructions in the program.
+        len: usize,
+    },
+    /// The executor exceeded its step budget without halting.
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A return was executed with an empty call stack.
+    ReturnWithoutCall {
+        /// The faulting program counter.
+        pc: usize,
+    },
+    /// A memory access fell outside the configured memory bounds.
+    MemoryOutOfBounds {
+        /// The faulting byte address.
+        addr: u64,
+    },
+    /// The program is malformed (e.g. empty, or a branch target out of range).
+    InvalidProgram(String),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            IsaError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            IsaError::PcOutOfRange { pc, len } => {
+                write!(f, "program counter {pc} out of range (program has {len} instructions)")
+            }
+            IsaError::StepLimitExceeded { limit } => {
+                write!(f, "execution exceeded the step limit of {limit} instructions")
+            }
+            IsaError::ReturnWithoutCall { pc } => {
+                write!(f, "return executed with an empty call stack at pc {pc}")
+            }
+            IsaError::MemoryOutOfBounds { addr } => {
+                write!(f, "memory access at {addr:#x} outside the configured bounds")
+            }
+            IsaError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            IsaError::UndefinedLabel("loop".into()).to_string(),
+            "undefined label `loop`"
+        );
+        assert!(IsaError::PcOutOfRange { pc: 9, len: 4 }
+            .to_string()
+            .contains("out of range"));
+        assert!(IsaError::StepLimitExceeded { limit: 10 }
+            .to_string()
+            .contains("step limit"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(IsaError::InvalidProgram("empty".into()));
+        assert!(e.to_string().contains("invalid program"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # cassandra-isa
+//!
+//! A small RISC-like instruction set, an assembler-style program builder and a
+//! functional (architectural) executor.
+//!
+//! This crate is the software substrate of the Cassandra reproduction: the
+//! constant-time cryptographic kernels in `cassandra-kernels` are written
+//! against this ISA, branch traces are collected by instrumenting the
+//! [`exec::Executor`], and the cycle-level model in `cassandra-cpu` consumes
+//! the same [`program::Program`] representation.
+//!
+//! ## Design notes
+//!
+//! * 32 general purpose 64-bit registers; `x0` is hard-wired to zero and `x2`
+//!   is the stack pointer used by `call`/`ret`.
+//! * Instruction addresses are instruction indices; the byte address of
+//!   instruction `i` is `i * 4` (see [`program::INSTR_BYTES`]).
+//! * `call` pushes the return address onto the in-memory stack and `ret` pops
+//!   it, making returns genuine indirect control transfers (the paper's RSB
+//!   speculation primitive).
+//! * Programs carry *crypto ranges* (the paper's Crypto PC Ranges register)
+//!   and *secret memory ranges* (ProSpeCT-style annotations).
+//!
+//! ## Example
+//!
+//! ```
+//! use cassandra_isa::builder::ProgramBuilder;
+//! use cassandra_isa::exec::Executor;
+//! use cassandra_isa::reg::{A0, A1, ZERO};
+//!
+//! # fn main() -> Result<(), cassandra_isa::error::IsaError> {
+//! let mut b = ProgramBuilder::new("sum_to_n");
+//! b.li(A0, 0); // accumulator
+//! b.li(A1, 5); // counter
+//! b.label("loop");
+//! b.add(A0, A0, A1);
+//! b.addi(A1, A1, -1);
+//! b.bne(A1, ZERO, "loop");
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let mut exec = Executor::new(&program);
+//! exec.run(10_000)?;
+//! assert_eq!(exec.reg(A0), 15);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builder;
+pub mod error;
+pub mod exec;
+pub mod instr;
+pub mod memory;
+pub mod observe;
+pub mod program;
+pub mod reg;
+
+pub use builder::ProgramBuilder;
+pub use error::IsaError;
+pub use exec::Executor;
+pub use instr::{AluOp, BranchCond, BranchKind, Instr, MemWidth};
+pub use program::Program;
+pub use reg::Reg;

@@ -1,0 +1,170 @@
+//! Sparse byte-addressable memory.
+//!
+//! Memory is organised as 4 KiB pages allocated on demand, which keeps large
+//! but sparsely-used address spaces (data, stack, trace pages) cheap. All
+//! accesses are little-endian.
+
+use crate::instr::MemWidth;
+use std::collections::HashMap;
+
+/// Size of a memory page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Sparse, paged, byte-addressable memory.
+///
+/// Unwritten locations read as zero.
+///
+/// # Examples
+///
+/// ```
+/// use cassandra_isa::memory::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u64(0x1000, 0xdead_beef_cafe_f00d);
+/// assert_eq!(mem.read_u64(0x1000), 0xdead_beef_cafe_f00d);
+/// assert_eq!(mem.read_u8(0x1000), 0x0d); // little endian
+/// assert_eq!(mem.read_u64(0x9999), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of allocated pages (for tests and statistics).
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let page = addr / PAGE_SIZE;
+        let off = (addr % PAGE_SIZE) as usize;
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes a single byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = addr / PAGE_SIZE;
+        let off = (addr % PAGE_SIZE) as usize;
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        p[off] = value;
+    }
+
+    /// Reads `n` bytes starting at `addr` (little-endian order preserved).
+    pub fn read_bytes(&self, addr: u64, n: usize) -> Vec<u8> {
+        (0..n as u64).map(|i| self.read_u8(addr + i)).collect()
+    }
+
+    /// Writes a byte slice starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut buf = [0u8; 4];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        u32::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a value of the given width, zero-extended to 64 bits.
+    pub fn read(&self, addr: u64, width: MemWidth) -> u64 {
+        match width {
+            MemWidth::Byte => u64::from(self.read_u8(addr)),
+            MemWidth::Word => u64::from(self.read_u32(addr)),
+            MemWidth::Double => self.read_u64(addr),
+        }
+    }
+
+    /// Writes the low bytes of `value` with the given width.
+    pub fn write(&mut self, addr: u64, value: u64, width: MemWidth) {
+        match width {
+            MemWidth::Byte => self.write_u8(addr, value as u8),
+            MemWidth::Word => self.write_u32(addr, value as u32),
+            MemWidth::Double => self.write_u64(addr, value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u64(0), 0);
+        assert_eq!(mem.read_u8(12345), 0);
+        assert_eq!(mem.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_u64(8, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(8), 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u8(8), 0x08);
+        assert_eq!(mem.read_u8(15), 0x01);
+        mem.write_u32(100, 0xaabbccdd);
+        assert_eq!(mem.read_u32(100), 0xaabbccdd);
+        assert_eq!(mem.read(100, MemWidth::Word), 0xaabbccdd);
+        mem.write(200, 0x1ff, MemWidth::Byte);
+        assert_eq!(mem.read_u8(200), 0xff);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = PAGE_SIZE - 4;
+        mem.write_u64(addr, u64::MAX);
+        assert_eq!(mem.read_u64(addr), u64::MAX);
+        assert_eq!(mem.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut mem = Memory::new();
+        let data: Vec<u8> = (0..=255u8).collect();
+        mem.write_bytes(0x2000, &data);
+        assert_eq!(mem.read_bytes(0x2000, 256), data);
+    }
+
+    #[test]
+    fn width_masks_value() {
+        let mut mem = Memory::new();
+        mem.write(0, 0xffff_ffff_ffff_ffff, MemWidth::Word);
+        assert_eq!(mem.read_u64(0), 0xffff_ffff);
+    }
+}

@@ -1,0 +1,244 @@
+//! Observations and observer hooks.
+//!
+//! The paper's formal treatment (Appendix A) phrases security in terms of
+//! *contract traces*: sequences of control-flow and memory observations
+//! produced by a sequential execution under the constant-time leakage model
+//! (`⟦·⟧^seq_ct`). This module defines those observation types plus the
+//! runtime records the functional executor hands to observers (used for
+//! branch-trace collection and for the security checker).
+
+use crate::instr::{BranchKind, MemWidth};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Control-flow observations of the constant-time leakage model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CfObs {
+    /// The next program counter after a conditional or unconditional branch.
+    Pc(usize),
+    /// A call and its target.
+    Call(usize),
+    /// A return and its target.
+    Ret(usize),
+}
+
+/// Memory observations of the constant-time leakage model (addresses only —
+/// values are never part of the leakage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemObs {
+    /// A load from the given byte address.
+    Load(u64),
+    /// A store to the given byte address.
+    Store(u64),
+}
+
+/// A single observation under the `ct` leakage model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Obs {
+    /// Control-flow observation.
+    Cf(CfObs),
+    /// Memory observation.
+    Mem(MemObs),
+}
+
+/// An observation tagged with the crypto tag of the instruction that produced
+/// it (the paper's `τ@t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaggedObs {
+    /// The observation.
+    pub obs: Obs,
+    /// True if the producing instruction lies in a crypto PC range.
+    pub crypto: bool,
+}
+
+impl fmt::Display for TaggedObs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.crypto { "κ" } else { "ε" };
+        match self.obs {
+            Obs::Cf(CfObs::Pc(t)) => write!(f, "pc {t}@{tag}"),
+            Obs::Cf(CfObs::Call(t)) => write!(f, "call {t}@{tag}"),
+            Obs::Cf(CfObs::Ret(t)) => write!(f, "ret {t}@{tag}"),
+            Obs::Mem(MemObs::Load(a)) => write!(f, "load {a:#x}@{tag}"),
+            Obs::Mem(MemObs::Store(a)) => write!(f, "store {a:#x}@{tag}"),
+        }
+    }
+}
+
+/// A contract trace: the sequence of tagged observations of one sequential
+/// run (`⟦p⟧(σ)` in the paper).
+pub type ContractTrace = Vec<TaggedObs>;
+
+/// The crypto control-flow subtrace `C^seq_ct(p)` of Definition 1: all
+/// control-flow observations produced by crypto-tagged instructions, in order.
+pub fn crypto_cf_trace(trace: &[TaggedObs]) -> Vec<CfObs> {
+    trace
+        .iter()
+        .filter_map(|t| match t.obs {
+            Obs::Cf(cf) if t.crypto => Some(cf),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Outcome of one dynamic execution of a branch, as recorded by the
+/// trace-collection instrumentation (the paper's "raw trace" element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchOutcome {
+    /// Static PC (instruction index) of the branch.
+    pub pc: usize,
+    /// Branch classification.
+    pub kind: BranchKind,
+    /// Whether a conditional branch was taken (always `true` for
+    /// unconditional control transfers).
+    pub taken: bool,
+    /// The next PC after this branch (the recorded target; for not-taken
+    /// conditional branches this is the fall-through PC, as in the paper).
+    pub target: usize,
+    /// Whether the branch lies in a crypto PC range.
+    pub is_crypto: bool,
+}
+
+/// A dynamic data-memory access, as seen by observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// PC of the accessing instruction.
+    pub pc: usize,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// Access width.
+    pub width: MemWidth,
+    /// True for stores, false for loads.
+    pub is_store: bool,
+    /// Whether the accessing instruction lies in a crypto PC range.
+    pub is_crypto: bool,
+    /// Whether the address lies in a declared secret region.
+    pub is_secret: bool,
+}
+
+/// Observer hooks invoked by the functional executor.
+///
+/// All methods have empty default implementations so observers only override
+/// what they need.
+pub trait Observer {
+    /// Called once per executed instruction, before its effects are applied.
+    fn on_step(&mut self, _pc: usize, _is_crypto: bool) {}
+
+    /// Called for every executed control-flow instruction with its outcome.
+    fn on_branch(&mut self, _outcome: &BranchOutcome) {}
+
+    /// Called for every data-memory access (including the implicit stack
+    /// accesses of `call`/`ret`).
+    fn on_mem(&mut self, _access: &MemAccess) {}
+}
+
+/// An observer that does nothing; useful as a default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// An observer that records the full contract trace under the constant-time
+/// leakage model (control flow + memory addresses, tagged).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContractObserver {
+    /// The accumulated trace.
+    pub trace: ContractTrace,
+}
+
+impl ContractObserver {
+    /// Creates an empty contract observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for ContractObserver {
+    fn on_branch(&mut self, outcome: &BranchOutcome) {
+        let cf = match outcome.kind {
+            BranchKind::Call | BranchKind::CallIndirect => CfObs::Call(outcome.target),
+            BranchKind::Return => CfObs::Ret(outcome.target),
+            _ => CfObs::Pc(outcome.target),
+        };
+        self.trace.push(TaggedObs {
+            obs: Obs::Cf(cf),
+            crypto: outcome.is_crypto,
+        });
+    }
+
+    fn on_mem(&mut self, access: &MemAccess) {
+        let mem = if access.is_store {
+            MemObs::Store(access.addr)
+        } else {
+            MemObs::Load(access.addr)
+        };
+        self.trace.push(TaggedObs {
+            obs: Obs::Mem(mem),
+            crypto: access.is_crypto,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_obs_display() {
+        let o = TaggedObs {
+            obs: Obs::Cf(CfObs::Pc(12)),
+            crypto: true,
+        };
+        assert_eq!(o.to_string(), "pc 12@κ");
+        let o = TaggedObs {
+            obs: Obs::Mem(MemObs::Load(0x40)),
+            crypto: false,
+        };
+        assert_eq!(o.to_string(), "load 0x40@ε");
+    }
+
+    #[test]
+    fn crypto_cf_trace_filters() {
+        let trace = vec![
+            TaggedObs {
+                obs: Obs::Cf(CfObs::Pc(1)),
+                crypto: true,
+            },
+            TaggedObs {
+                obs: Obs::Mem(MemObs::Load(8)),
+                crypto: true,
+            },
+            TaggedObs {
+                obs: Obs::Cf(CfObs::Pc(2)),
+                crypto: false,
+            },
+            TaggedObs {
+                obs: Obs::Cf(CfObs::Ret(3)),
+                crypto: true,
+            },
+        ];
+        assert_eq!(crypto_cf_trace(&trace), vec![CfObs::Pc(1), CfObs::Ret(3)]);
+    }
+
+    #[test]
+    fn contract_observer_records_branches_and_mem() {
+        let mut obs = ContractObserver::new();
+        obs.on_branch(&BranchOutcome {
+            pc: 0,
+            kind: BranchKind::Call,
+            taken: true,
+            target: 5,
+            is_crypto: true,
+        });
+        obs.on_mem(&MemAccess {
+            pc: 1,
+            addr: 0x100,
+            width: MemWidth::Double,
+            is_store: true,
+            is_crypto: false,
+            is_secret: false,
+        });
+        assert_eq!(obs.trace.len(), 2);
+        assert_eq!(obs.trace[0].obs, Obs::Cf(CfObs::Call(5)));
+        assert_eq!(obs.trace[1].obs, Obs::Mem(MemObs::Store(0x100)));
+    }
+}

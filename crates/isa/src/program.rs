@@ -1,0 +1,316 @@
+//! Program representation.
+//!
+//! A [`Program`] is a flat list of instructions plus metadata: labels, an
+//! initial data image, *crypto ranges* (the PC ranges covered by the paper's
+//! Crypto PC Ranges register) and *secret memory ranges* (ProSpeCT-style
+//! annotations used by the defense models and the constant-time checker).
+
+use crate::error::IsaError;
+use crate::instr::{BranchKind, Instr};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+
+/// Byte size of one instruction; instruction index `i` lives at byte address
+/// `i * INSTR_BYTES` for instruction-cache modelling purposes.
+pub const INSTR_BYTES: u64 = 4;
+
+/// Default initial stack pointer value used by the executor and the timing
+/// model. The stack grows downwards from this address.
+pub const STACK_TOP: u64 = 0x8000_0000;
+
+/// Metadata describing one static branch of a program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticBranch {
+    /// Instruction index of the branch.
+    pub pc: usize,
+    /// Classification of the branch.
+    pub kind: BranchKind,
+    /// Whether the branch lies inside a crypto range.
+    pub is_crypto: bool,
+}
+
+/// A region of the initial data image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataRegion {
+    /// Start byte address.
+    pub addr: u64,
+    /// Initial contents.
+    pub bytes: Vec<u8>,
+    /// Human-readable name (symbol) of the region.
+    pub name: String,
+}
+
+/// A complete program: text, labels, data image and security annotations.
+///
+/// Programs are immutable once built; use [`crate::builder::ProgramBuilder`]
+/// to construct them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (used in reports and statistics).
+    pub name: String,
+    /// The instructions. The entry point is instruction 0.
+    pub instrs: Vec<Instr>,
+    /// Label name → instruction index.
+    pub labels: BTreeMap<String, usize>,
+    /// Initial data image.
+    pub data: Vec<DataRegion>,
+    /// Instruction-index ranges that belong to cryptographic code.
+    pub crypto_ranges: Vec<Range<usize>>,
+    /// Byte-address ranges of memory that hold secrets (ProSpeCT annotations).
+    pub secret_ranges: Vec<Range<u64>>,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn instr(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// The byte address of instruction `pc` (for instruction-cache modelling).
+    pub fn byte_addr(pc: usize) -> u64 {
+        pc as u64 * INSTR_BYTES
+    }
+
+    /// Looks up a label.
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+
+    /// Whether instruction index `pc` lies inside a crypto range.
+    pub fn is_crypto_pc(&self, pc: usize) -> bool {
+        self.crypto_ranges.iter().any(|r| r.contains(&pc))
+    }
+
+    /// Whether byte address `addr` lies inside a secret memory range.
+    pub fn is_secret_addr(&self, addr: u64) -> bool {
+        self.secret_ranges.iter().any(|r| r.contains(&addr))
+    }
+
+    /// All static control-flow instructions in the program, in PC order.
+    pub fn static_branches(&self) -> Vec<StaticBranch> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, i)| {
+                i.branch_kind().map(|kind| StaticBranch {
+                    pc,
+                    kind,
+                    is_crypto: self.is_crypto_pc(pc),
+                })
+            })
+            .collect()
+    }
+
+    /// Static branches inside crypto ranges only.
+    pub fn crypto_branches(&self) -> Vec<StaticBranch> {
+        self.static_branches()
+            .into_iter()
+            .filter(|b| b.is_crypto)
+            .collect()
+    }
+
+    /// Validates structural invariants: non-empty text, all branch/jump/call
+    /// targets inside the text, labels inside the text, and crypto ranges
+    /// within bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidProgram`] describing the first violation.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        if self.instrs.is_empty() {
+            return Err(IsaError::InvalidProgram("program has no instructions".into()));
+        }
+        let len = self.instrs.len();
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            let target = match instr {
+                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target } => {
+                    Some(*target)
+                }
+                _ => None,
+            };
+            if let Some(t) = target {
+                if t >= len {
+                    return Err(IsaError::InvalidProgram(format!(
+                        "instruction {pc} targets {t}, beyond program length {len}"
+                    )));
+                }
+            }
+        }
+        for (name, idx) in &self.labels {
+            if *idx > len {
+                return Err(IsaError::InvalidProgram(format!(
+                    "label `{name}` points at {idx}, beyond program length {len}"
+                )));
+            }
+        }
+        for r in &self.crypto_ranges {
+            if r.start > r.end || r.end > len {
+                return Err(IsaError::InvalidProgram(format!(
+                    "crypto range {r:?} outside program of length {len}"
+                )));
+            }
+        }
+        for r in &self.secret_ranges {
+            if r.start > r.end {
+                return Err(IsaError::InvalidProgram(format!(
+                    "secret range {r:?} is inverted"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A formatted disassembly listing, mostly for debugging and examples.
+    pub fn disassemble(&self) -> String {
+        let mut by_pc: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        for (name, pc) in &self.labels {
+            by_pc.entry(*pc).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            if let Some(names) = by_pc.get(&pc) {
+                for n in names {
+                    out.push_str(&format!("{n}:\n"));
+                }
+            }
+            let tag = if self.is_crypto_pc(pc) { "κ" } else { " " };
+            out.push_str(&format!("  {pc:>6} {tag} {instr}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program `{}` ({} instructions, {} crypto ranges, {} data regions)",
+            self.name,
+            self.instrs.len(),
+            self.crypto_ranges.len(),
+            self.data.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::BranchCond;
+    use crate::reg::{A0, A1, ZERO};
+
+    fn small_program() -> Program {
+        let mut b = ProgramBuilder::new("small");
+        b.li(A0, 3);
+        b.label("loop");
+        b.addi(A0, A0, -1);
+        b.bne(A0, ZERO, "loop");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn labels_and_lookup() {
+        let p = small_program();
+        assert_eq!(p.label("loop"), Some(1));
+        assert_eq!(p.label("nope"), None);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn static_branch_listing() {
+        let p = small_program();
+        let branches = p.static_branches();
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].pc, 2);
+        assert_eq!(branches[0].kind, BranchKind::CondDirect);
+        assert!(!branches[0].is_crypto);
+    }
+
+    #[test]
+    fn crypto_range_marking() {
+        let mut b = ProgramBuilder::new("tagged");
+        b.begin_crypto();
+        b.li(A0, 1);
+        b.label("l");
+        b.addi(A0, A0, -1);
+        b.bne(A0, ZERO, "l");
+        b.end_crypto();
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(p.is_crypto_pc(0));
+        assert!(p.is_crypto_pc(2));
+        assert!(!p.is_crypto_pc(3));
+        assert_eq!(p.crypto_branches().len(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_targets() {
+        let p = Program {
+            name: "bad".into(),
+            instrs: vec![Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: A0,
+                rs2: A1,
+                target: 10,
+            }],
+            labels: BTreeMap::new(),
+            data: vec![],
+            crypto_ranges: vec![],
+            secret_ranges: vec![],
+        };
+        assert!(matches!(p.validate(), Err(IsaError::InvalidProgram(_))));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let p = Program {
+            name: "empty".into(),
+            instrs: vec![],
+            labels: BTreeMap::new(),
+            data: vec![],
+            crypto_ranges: vec![],
+            secret_ranges: vec![],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn byte_addresses() {
+        assert_eq!(Program::byte_addr(0), 0);
+        assert_eq!(Program::byte_addr(10), 40);
+    }
+
+    #[test]
+    fn disassembly_contains_labels() {
+        let p = small_program();
+        let d = p.disassemble();
+        assert!(d.contains("loop:"));
+        assert!(d.contains("bne"));
+    }
+
+    #[test]
+    fn secret_addr_check() {
+        let mut b = ProgramBuilder::new("secret");
+        b.halt();
+        b.mark_secret_region(0x1000..0x1100);
+        let p = b.build().unwrap();
+        assert!(p.is_secret_addr(0x1000));
+        assert!(p.is_secret_addr(0x10ff));
+        assert!(!p.is_secret_addr(0x1100));
+    }
+}

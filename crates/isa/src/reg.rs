@@ -1,0 +1,205 @@
+//! Architectural registers.
+//!
+//! The ISA exposes 32 general purpose 64-bit registers. Register `x0` reads as
+//! zero and ignores writes (as in RISC-V), `x2` is the stack pointer used by
+//! `call`/`ret`, and the remaining registers follow a loose RISC-V-like ABI so
+//! that kernels written in `cassandra-kernels` read naturally.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register identifier (`x0` .. `x31`).
+///
+/// `Reg` is a thin newtype over the register index; it is `Copy` and cheap to
+/// pass by value everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use cassandra_isa::reg::{Reg, A0, ZERO};
+///
+/// assert_eq!(A0.index(), 10);
+/// assert_eq!(ZERO, Reg::new(0));
+/// assert_eq!(format!("{}", A0), "a0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// Creates a register from its index without bounds checking against the
+    /// architectural register count.
+    ///
+    /// Returns `None` if the index is out of range (this is the checked,
+    /// non-panicking constructor).
+    pub fn try_new(index: u8) -> Option<Self> {
+        if (index as usize) < NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register index in `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for the hard-wired zero register `x0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = ABI_NAMES[self.index()];
+        write!(f, "{name}")
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+/// ABI names, indexed by register number.
+pub const ABI_NAMES: [&str; NUM_REGS] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+/// Hard-wired zero register.
+pub const ZERO: Reg = Reg(0);
+/// Return-address scratch register (not used by `call`/`ret`, which use the stack).
+pub const RA: Reg = Reg(1);
+/// Stack pointer, used implicitly by `call` and `ret`.
+pub const SP: Reg = Reg(2);
+/// Global pointer (free for kernel use).
+pub const GP: Reg = Reg(3);
+/// Thread pointer (free for kernel use).
+pub const TP: Reg = Reg(4);
+/// Temporary register 0.
+pub const T0: Reg = Reg(5);
+/// Temporary register 1.
+pub const T1: Reg = Reg(6);
+/// Temporary register 2.
+pub const T2: Reg = Reg(7);
+/// Callee-saved register 0.
+pub const S0: Reg = Reg(8);
+/// Callee-saved register 1.
+pub const S1: Reg = Reg(9);
+/// Argument/return register 0.
+pub const A0: Reg = Reg(10);
+/// Argument register 1.
+pub const A1: Reg = Reg(11);
+/// Argument register 2.
+pub const A2: Reg = Reg(12);
+/// Argument register 3.
+pub const A3: Reg = Reg(13);
+/// Argument register 4.
+pub const A4: Reg = Reg(14);
+/// Argument register 5.
+pub const A5: Reg = Reg(15);
+/// Argument register 6.
+pub const A6: Reg = Reg(16);
+/// Argument register 7.
+pub const A7: Reg = Reg(17);
+/// Callee-saved register 2.
+pub const S2: Reg = Reg(18);
+/// Callee-saved register 3.
+pub const S3: Reg = Reg(19);
+/// Callee-saved register 4.
+pub const S4: Reg = Reg(20);
+/// Callee-saved register 5.
+pub const S5: Reg = Reg(21);
+/// Callee-saved register 6.
+pub const S6: Reg = Reg(22);
+/// Callee-saved register 7.
+pub const S7: Reg = Reg(23);
+/// Callee-saved register 8.
+pub const S8: Reg = Reg(24);
+/// Callee-saved register 9.
+pub const S9: Reg = Reg(25);
+/// Callee-saved register 10.
+pub const S10: Reg = Reg(26);
+/// Callee-saved register 11.
+pub const S11: Reg = Reg(27);
+/// Temporary register 3.
+pub const T3: Reg = Reg(28);
+/// Temporary register 4.
+pub const T4: Reg = Reg(29);
+/// Temporary register 5.
+pub const T5: Reg = Reg(30);
+/// Temporary register 6.
+pub const T6: Reg = Reg(31);
+
+/// All registers in index order, convenient for iteration in tests.
+pub fn all_regs() -> impl Iterator<Item = Reg> {
+    (0..NUM_REGS as u8).map(Reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_constants() {
+        assert_eq!(ZERO.index(), 0);
+        assert_eq!(SP.index(), 2);
+        assert_eq!(A0.index(), 10);
+        assert_eq!(T6.index(), 31);
+    }
+
+    #[test]
+    fn display_uses_abi_names() {
+        assert_eq!(ZERO.to_string(), "zero");
+        assert_eq!(SP.to_string(), "sp");
+        assert_eq!(A3.to_string(), "a3");
+        assert_eq!(S11.to_string(), "s11");
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert_eq!(Reg::try_new(31), Some(T6));
+        assert_eq!(Reg::try_new(32), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(ZERO.is_zero());
+        assert!(!A0.is_zero());
+    }
+
+    #[test]
+    fn all_regs_yields_32_unique() {
+        let regs: Vec<Reg> = all_regs().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! AES-128 in CTR mode as an ISA kernel (see [`crate::reference::aes128`]).
+//!
+//! The kernel mirrors the OpenSSL/BearSSL `AES_CTR` workloads: a block loop
+//! over public counter blocks, each encrypted with a 10-round loop whose body
+//! calls `sub_bytes`, `shift_rows`, `mix_columns` and `add_round_key`
+//! functions, followed by an XOR with the message.
+//!
+//! The S-box is applied through table lookups. Control flow is fully
+//! input-independent (the property Cassandra relies on); data addresses in
+//! `sub_bytes` depend on the state like a table-based AES implementation —
+//! this kernel is used for the branch-behaviour experiments, not for the
+//! memory-trace constant-time property tests (ChaCha20/modexp cover those).
+
+use crate::kernel::KernelProgram;
+use crate::reference::aes128 as reference;
+use cassandra_isa::builder::ProgramBuilder;
+use cassandra_isa::reg::{A0, A1, A2, A3, A5, A6, S0, S1, S2, S3, S4, T0, T1, T2, T3, T4, T5, T6};
+
+/// Builds the AES-128-CTR kernel encrypting `message` (a whole number of
+/// 16-byte blocks) with the given key and initial counter.
+///
+/// # Panics
+///
+/// Panics if the message length is not a positive multiple of 16.
+pub fn build(key: &[u8; 16], iv: u128, message: &[u8]) -> KernelProgram {
+    assert!(
+        !message.is_empty() && message.len() % 16 == 0,
+        "message length must be a positive multiple of 16"
+    );
+    let nblocks = message.len() / 16;
+
+    // Host-side preparation: round keys, S-box table, ShiftRows permutation
+    // and the (public) counter blocks.
+    let round_keys = reference::key_expansion(key);
+    let sbox = reference::sbox_table();
+    let mut perm = [0u8; 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            perm[r + 4 * c] = (r + 4 * ((c + r) % 4)) as u8;
+        }
+    }
+    let counter_blocks: Vec<u8> = (0..nblocks)
+        .flat_map(|i| (iv.wrapping_add(i as u128)).to_be_bytes())
+        .collect();
+
+    let mut b = ProgramBuilder::new("aes128_ctr");
+
+    // ---- data ----
+    let sbox_addr = b.alloc_bytes("sbox", &sbox);
+    let perm_addr = b.alloc_bytes("shift_rows_perm", &perm);
+    let rk_addr = b.alloc_secret_bytes("round_keys", &round_keys);
+    let ctr_addr = b.alloc_bytes("counter_blocks", &counter_blocks);
+    let state_addr = b.alloc_zeros("state", 16);
+    let tmp_addr = b.alloc_zeros("tmp_state", 16);
+    let msg_addr = b.alloc_secret_bytes("message", message);
+    let out_addr = b.alloc_zeros("ciphertext", message.len());
+
+    // ---- code ----
+    b.begin_crypto();
+
+    b.li(S0, nblocks as u64);
+    b.li(S1, 0); // block index
+    b.li(S2, msg_addr);
+    b.li(S3, out_addr);
+    b.label("block_loop");
+    // Copy counter block S1 into the state.
+    b.slli(T0, S1, 4);
+    b.li(T1, ctr_addr);
+    b.add(T1, T1, T0);
+    b.li(T2, state_addr);
+    b.li(T3, 0);
+    b.li(T4, 16);
+    b.label("ctr_copy_loop");
+    b.lb(T5, T1, 0);
+    b.sb(T5, T2, 0);
+    b.addi(T1, T1, 1);
+    b.addi(T2, T2, 1);
+    b.addi(T3, T3, 1);
+    b.bne(T3, T4, "ctr_copy_loop");
+    b.call("encrypt_block");
+    // out = msg ^ keystream (byte loop).
+    b.li(T1, state_addr);
+    b.mv(T2, S2);
+    b.mv(T5, S3);
+    b.li(T3, 0);
+    b.li(T4, 16);
+    b.label("xor_loop");
+    b.lb(T0, T1, 0);
+    b.lb(T6, T2, 0);
+    b.xor(T0, T0, T6);
+    b.sb(T0, T5, 0);
+    b.addi(T1, T1, 1);
+    b.addi(T2, T2, 1);
+    b.addi(T5, T5, 1);
+    b.addi(T3, T3, 1);
+    b.bne(T3, T4, "xor_loop");
+    b.addi(S1, S1, 1);
+    b.addi(S2, S2, 16);
+    b.addi(S3, S3, 16);
+    b.bne(S1, S0, "block_loop");
+    b.j("done");
+
+    // encrypt_block: AES-128 on the state in place.
+    b.func("encrypt_block");
+    b.li(A5, 0);
+    b.call("add_round_key");
+    b.li(S4, 1); // round counter
+    b.label("aes_round_loop");
+    b.call("sub_bytes");
+    b.call("shift_rows");
+    b.call("mix_columns");
+    b.slli(A5, S4, 4);
+    b.call("add_round_key");
+    b.addi(S4, S4, 1);
+    b.li(T0, 10);
+    b.bne(S4, T0, "aes_round_loop");
+    b.call("sub_bytes");
+    b.call("shift_rows");
+    b.li(A5, 160);
+    b.call("add_round_key");
+    b.ret();
+
+    // add_round_key: state ^= round_keys[A5 .. A5+16].
+    b.func("add_round_key");
+    b.li(T1, state_addr);
+    b.li(T2, rk_addr);
+    b.add(T2, T2, A5);
+    b.li(T3, 0);
+    b.li(T4, 16);
+    b.label("ark_loop");
+    b.lb(T0, T1, 0);
+    b.lb(T5, T2, 0);
+    b.xor(T0, T0, T5);
+    b.sb(T0, T1, 0);
+    b.addi(T1, T1, 1);
+    b.addi(T2, T2, 1);
+    b.addi(T3, T3, 1);
+    b.bne(T3, T4, "ark_loop");
+    b.ret();
+
+    // sub_bytes: state[i] = sbox[state[i]].
+    b.func("sub_bytes");
+    b.li(T1, state_addr);
+    b.li(T2, sbox_addr);
+    b.li(T3, 0);
+    b.li(T4, 16);
+    b.label("sbox_loop");
+    b.lb(T0, T1, 0);
+    b.add(T0, T2, T0);
+    b.lb(T0, T0, 0);
+    b.sb(T0, T1, 0);
+    b.addi(T1, T1, 1);
+    b.addi(T3, T3, 1);
+    b.bne(T3, T4, "sbox_loop");
+    b.ret();
+
+    // shift_rows: state[i] = old_state[perm[i]] via a temporary copy.
+    b.func("shift_rows");
+    b.li(T1, state_addr);
+    b.li(T2, tmp_addr);
+    b.li(T3, 0);
+    b.li(T4, 16);
+    b.label("copy_state_loop");
+    b.lb(T0, T1, 0);
+    b.sb(T0, T2, 0);
+    b.addi(T1, T1, 1);
+    b.addi(T2, T2, 1);
+    b.addi(T3, T3, 1);
+    b.bne(T3, T4, "copy_state_loop");
+    b.li(T1, state_addr);
+    b.li(T2, tmp_addr);
+    b.li(T5, perm_addr);
+    b.li(T3, 0);
+    b.label("perm_loop");
+    b.lb(T0, T5, 0); // perm[i]
+    b.add(T0, T2, T0);
+    b.lb(T0, T0, 0); // tmp[perm[i]]
+    b.sb(T0, T1, 0);
+    b.addi(T1, T1, 1);
+    b.addi(T5, T5, 1);
+    b.addi(T3, T3, 1);
+    b.bne(T3, T4, "perm_loop");
+    b.ret();
+
+    // mix_columns: the MDS matrix applied to each of the four columns.
+    // xtime(x) = ((x << 1) ^ (0x1b & -(x >> 7))) & 0xff, emitted inline.
+    b.func("mix_columns");
+    b.li(A6, state_addr);
+    b.li(T6, 0); // column counter
+    b.label("mix_loop");
+    b.lb(A0, A6, 0);
+    b.lb(A1, A6, 1);
+    b.lb(A2, A6, 2);
+    b.lb(A3, A6, 3);
+    let xtime = |b: &mut ProgramBuilder, dst, src| {
+        // dst = xtime(src), clobbers T0/T1.
+        b.srli(T0, src, 7);
+        b.sub(T0, cassandra_isa::reg::ZERO, T0);
+        b.andi(T0, T0, 0x1b);
+        b.slli(T1, src, 1);
+        b.xor(T1, T1, T0);
+        b.andi(dst, T1, 0xff);
+    };
+    // new0 = x2(c0) ^ (x2(c1) ^ c1) ^ c2 ^ c3
+    xtime(&mut b, T2, A0);
+    xtime(&mut b, T3, A1);
+    b.xor(T3, T3, A1);
+    b.xor(T2, T2, T3);
+    b.xor(T2, T2, A2);
+    b.xor(T2, T2, A3);
+    b.sb(T2, A6, 0);
+    // new1 = c0 ^ x2(c1) ^ (x2(c2) ^ c2) ^ c3
+    xtime(&mut b, T2, A1);
+    xtime(&mut b, T3, A2);
+    b.xor(T3, T3, A2);
+    b.xor(T2, T2, T3);
+    b.xor(T2, T2, A0);
+    b.xor(T2, T2, A3);
+    b.sb(T2, A6, 1);
+    // new2 = c0 ^ c1 ^ x2(c2) ^ (x2(c3) ^ c3)
+    xtime(&mut b, T2, A2);
+    xtime(&mut b, T3, A3);
+    b.xor(T3, T3, A3);
+    b.xor(T2, T2, T3);
+    b.xor(T2, T2, A0);
+    b.xor(T2, T2, A1);
+    b.sb(T2, A6, 2);
+    // new3 = (x2(c0) ^ c0) ^ c1 ^ c2 ^ x2(c3)
+    xtime(&mut b, T2, A0);
+    b.xor(T2, T2, A0);
+    xtime(&mut b, T3, A3);
+    b.xor(T2, T2, T3);
+    b.xor(T2, T2, A1);
+    b.xor(T2, T2, A2);
+    b.sb(T2, A6, 3);
+    b.addi(A6, A6, 4);
+    b.addi(T6, T6, 1);
+    b.li(T0, 4);
+    b.bne(T6, T0, "mix_loop");
+    b.ret();
+
+    b.label("done");
+    b.end_crypto();
+    b.halt();
+
+    let program = b.build().expect("aes128 kernel assembles");
+    KernelProgram::new(program, out_addr, message.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_single_block() {
+        let key: [u8; 16] = (0u8..16).collect::<Vec<_>>().try_into().unwrap();
+        let msg = [0x5au8; 16];
+        let kernel = build(&key, 7, &msg);
+        assert_eq!(
+            kernel.run_functional().unwrap(),
+            reference::encrypt_ctr(&key, 7, &msg)
+        );
+    }
+
+    #[test]
+    fn matches_reference_multi_block() {
+        let key = [0x2bu8; 16];
+        let msg: Vec<u8> = (0..96u32).map(|i| (i * 11 % 256) as u8).collect();
+        let kernel = build(&key, u128::MAX - 1, &msg);
+        assert_eq!(
+            kernel.run_functional().unwrap(),
+            reference::encrypt_ctr(&key, u128::MAX - 1, &msg)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn rejects_partial_blocks() {
+        build(&[0u8; 16], 0, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn branches_are_crypto_tagged() {
+        let kernel = build(&[1u8; 16], 0, &[0u8; 16]);
+        assert!(kernel
+            .program
+            .static_branches()
+            .iter()
+            .all(|br| br.is_crypto));
+    }
+}

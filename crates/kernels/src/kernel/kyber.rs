@@ -1,0 +1,391 @@
+//! Kyber-shaped module-lattice arithmetic as an ISA kernel (see
+//! [`crate::reference::kyber`]).
+//!
+//! The kernel computes the `t = A*s + e` matrix-vector product that dominates
+//! Kyber key generation / encapsulation, using NTT-based polynomial
+//! multiplication. The loop nest mirrors the reference: a `k × k` module loop,
+//! per-product forward NTTs (bit-reversal loop + log n butterfly levels), a
+//! pointwise loop and an inverse NTT — all with public trip counts. `k = 2`
+//! reproduces the Kyber512 shape, `k = 3` Kyber768.
+
+use crate::kernel::KernelProgram;
+use crate::reference::kyber as reference;
+use cassandra_isa::builder::ProgramBuilder;
+use cassandra_isa::reg::{
+    A0, A1, S0, S1, S10, S11, S2, S3, S4, S5, S6, S7, S8, S9, T0, T1, T2, T3, T4, ZERO,
+};
+
+const N: usize = reference::N;
+const Q: u64 = reference::Q;
+/// Bytes per polynomial (one u64 per coefficient).
+const POLY_BYTES: u64 = (N * 8) as u64;
+
+/// Builds the Kyber-shaped kernel for module rank `k` (2 or 3) and a sampling
+/// seed. The output buffer holds the `k` result polynomials of `t = A*s + e`.
+///
+/// # Panics
+///
+/// Panics if `k` is not 2 or 3.
+pub fn build(k: usize, seed: u64) -> KernelProgram {
+    assert!(k == 2 || k == 3, "module rank must be 2 (Kyber512) or 3 (Kyber768)");
+
+    // Host-side preparation mirroring the reference sampler and tables.
+    let root = reference::primitive_root();
+    let inv_root = {
+        // root^(Q-2) mod Q
+        let mut acc = 1u64;
+        let mut base = root;
+        let mut e = Q - 2;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base % Q;
+            }
+            base = base * base % Q;
+            e >>= 1;
+        }
+        acc
+    };
+    let fwd_tw = reference::twiddles(root);
+    let inv_tw = reference::twiddles(inv_root);
+    let n_inv = {
+        let mut acc = 1u64;
+        let mut base = N as u64;
+        let mut e = Q - 2;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base % Q;
+            }
+            base = base * base % Q;
+            e >>= 1;
+        }
+        acc
+    };
+    let bitrev: Vec<u64> = (0..N as u32)
+        .map(|i| u64::from(i.reverse_bits() >> (32 - N.trailing_zeros())))
+        .collect();
+    let barrett = (1u128 << 40) as u128 / u128::from(Q);
+
+    let a_polys: Vec<u64> = (0..k * k)
+        .flat_map(|idx| reference::sample_poly(seed.wrapping_add(idx as u64 * 0x9e37)))
+        .collect();
+    let s_polys: Vec<u64> = (0..k)
+        .flat_map(|j| reference::sample_poly(seed.wrapping_add(0xdead + j as u64)))
+        .collect();
+    let e_polys: Vec<u64> = (0..k)
+        .flat_map(|i| reference::sample_poly(seed.wrapping_add(0xbeef + i as u64)))
+        .collect();
+
+    let mut b = ProgramBuilder::new(if k == 2 { "kyber512" } else { "kyber768" });
+
+    // ---- data ----
+    let params_addr = b.alloc_u64s("params", &[Q, barrett as u64, n_inv]);
+    let fwd_tw_addr = b.alloc_u64s("fwd_twiddles", &fwd_tw);
+    let inv_tw_addr = b.alloc_u64s("inv_twiddles", &inv_tw);
+    let bitrev_addr = b.alloc_u64s("bitrev", &bitrev);
+    let a_addr = b.alloc_u64s("a_matrix", &a_polys);
+    let s_addr = b.alloc_secret_u64s("s_vector", &s_polys);
+    let e_addr = b.alloc_secret_u64s("e_vector", &e_polys);
+    let fa_addr = b.alloc_zeros("fa", N * 8);
+    let fb_addr = b.alloc_zeros("fb", N * 8);
+    let prod_addr = b.alloc_zeros("prod", N * 8);
+    let acc_addr = b.alloc_zeros("acc", N * 8);
+    let scratch_addr = b.alloc_zeros("ntt_scratch", N * 8);
+    let out_addr = b.alloc_zeros("t_output", k * N * 8);
+
+    // ---- code ----
+    b.begin_crypto();
+
+    b.li(S0, 0); // i
+    b.label("row_loop");
+    // acc = 0
+    b.li(A0, acc_addr);
+    b.call("zero_poly");
+    b.li(S1, 0); // j
+    b.label("col_loop");
+    // fa = A[i*k + j]
+    b.muli(T0, S0, k as i64);
+    b.add(T0, T0, S1);
+    b.muli(T0, T0, POLY_BYTES as i64);
+    b.li(A1, a_addr);
+    b.add(A1, A1, T0);
+    b.li(A0, fa_addr);
+    b.call("copy_poly");
+    // fb = s[j]
+    b.muli(T0, S1, POLY_BYTES as i64);
+    b.li(A1, s_addr);
+    b.add(A1, A1, T0);
+    b.li(A0, fb_addr);
+    b.call("copy_poly");
+    // forward NTTs
+    b.li(A0, fa_addr);
+    b.li(A1, fwd_tw_addr);
+    b.call("ntt");
+    b.li(A0, fb_addr);
+    b.li(A1, fwd_tw_addr);
+    b.call("ntt");
+    // pointwise product into prod
+    b.call("pointwise");
+    // inverse NTT of prod
+    b.li(A0, prod_addr);
+    b.li(A1, inv_tw_addr);
+    b.call("ntt");
+    b.call("scale_prod");
+    // acc += prod
+    b.li(A0, acc_addr);
+    b.li(A1, prod_addr);
+    b.call("add_into");
+    b.addi(S1, S1, 1);
+    b.li(T0, k as u64);
+    b.bne(S1, T0, "col_loop");
+    // acc += e[i]
+    b.muli(T0, S0, POLY_BYTES as i64);
+    b.li(A1, e_addr);
+    b.add(A1, A1, T0);
+    b.li(A0, acc_addr);
+    b.call("add_into");
+    // out[i] = acc
+    b.muli(T0, S0, POLY_BYTES as i64);
+    b.li(A0, out_addr);
+    b.add(A0, A0, T0);
+    b.li(A1, acc_addr);
+    b.call("copy_poly");
+    b.addi(S0, S0, 1);
+    b.li(T0, k as u64);
+    b.bne(S0, T0, "row_loop");
+    b.j("done");
+
+    // zero_poly(A0 = dst)
+    b.func("zero_poly");
+    b.li(T0, 0);
+    b.li(T1, N as u64);
+    b.label("zero_loop");
+    b.sd(ZERO, A0, 0);
+    b.addi(A0, A0, 8);
+    b.addi(T0, T0, 1);
+    b.bne(T0, T1, "zero_loop");
+    b.ret();
+
+    // copy_poly(A0 = dst, A1 = src)
+    b.func("copy_poly");
+    b.li(T0, 0);
+    b.li(T1, N as u64);
+    b.label("copy_poly_loop");
+    b.ld(T2, A1, 0);
+    b.sd(T2, A0, 0);
+    b.addi(A0, A0, 8);
+    b.addi(A1, A1, 8);
+    b.addi(T0, T0, 1);
+    b.bne(T0, T1, "copy_poly_loop");
+    b.ret();
+
+    // add_into(A0 = dst, A1 = src): dst[i] = (dst[i] + src[i]) mod q
+    b.func("add_into");
+    b.li(T0, 0);
+    b.li(T1, N as u64);
+    b.li(T4, Q);
+    b.label("add_into_loop");
+    b.ld(T2, A0, 0);
+    b.ld(T3, A1, 0);
+    b.add(T2, T2, T3);
+    // conditional subtract q
+    b.sltu(T3, T2, T4);
+    b.xori(T3, T3, 1);
+    b.sub(T3, ZERO, T3);
+    b.and(T3, T3, T4);
+    b.sub(T2, T2, T3);
+    b.sd(T2, A0, 0);
+    b.addi(A0, A0, 8);
+    b.addi(A1, A1, 8);
+    b.addi(T0, T0, 1);
+    b.bne(T0, T1, "add_into_loop");
+    b.ret();
+
+    // pointwise: prod[i] = fa[i] * fb[i] mod q
+    b.func("pointwise");
+    b.li(S10, fa_addr);
+    b.li(S11, fb_addr);
+    b.li(S9, prod_addr);
+    b.li(S8, 0);
+    b.label("pointwise_loop");
+    b.ld(A0, S10, 0);
+    b.ld(A1, S11, 0);
+    b.call("mulq");
+    b.sd(A0, S9, 0);
+    b.addi(S10, S10, 8);
+    b.addi(S11, S11, 8);
+    b.addi(S9, S9, 8);
+    b.addi(S8, S8, 1);
+    b.li(T0, N as u64);
+    b.bne(S8, T0, "pointwise_loop");
+    b.ret();
+
+    // scale_prod: prod[i] = prod[i] * n_inv mod q (completes the inverse NTT)
+    b.func("scale_prod");
+    b.li(S10, prod_addr);
+    b.li(S8, 0);
+    b.label("scale_loop");
+    b.ld(A0, S10, 0);
+    b.li(T0, params_addr);
+    b.ld(A1, T0, 16);
+    b.call("mulq");
+    b.sd(A0, S10, 0);
+    b.addi(S10, S10, 8);
+    b.addi(S8, S8, 1);
+    b.li(T0, N as u64);
+    b.bne(S8, T0, "scale_loop");
+    b.ret();
+
+    // mulq: A0 = A0 * A1 mod q via Barrett reduction.
+    b.func("mulq");
+    b.mul(T1, A0, A1);
+    b.li(T0, params_addr);
+    b.ld(T2, T0, 8); // barrett constant
+    b.ld(T3, T0, 0); // q
+    b.mul(T0, T1, T2);
+    b.srli(T0, T0, 40);
+    b.mul(T0, T0, T3);
+    b.sub(T1, T1, T0);
+    // two conditional subtractions
+    for _ in 0..2 {
+        b.sltu(T0, T1, T3);
+        b.xori(T0, T0, 1);
+        b.sub(T0, ZERO, T0);
+        b.and(T0, T0, T3);
+        b.sub(T1, T1, T0);
+    }
+    b.mv(A0, T1);
+    b.ret();
+
+    // ntt(A0 = poly, A1 = twiddles): in-place iterative NTT.
+    b.func("ntt");
+    b.mv(S2, A0); // poly base
+    b.mv(S3, A1); // twiddle base
+    // Bit-reversal permutation via scratch copy.
+    b.mv(A1, S2);
+    b.li(A0, scratch_addr);
+    b.call("copy_poly");
+    b.li(T0, 0);
+    b.li(T1, N as u64);
+    b.li(T2, bitrev_addr);
+    b.mv(T3, S2);
+    b.label("bitrev_loop");
+    b.ld(T4, T2, 0); // j = bitrev[i]
+    b.slli(T4, T4, 3);
+    b.li(A0, scratch_addr);
+    b.add(T4, T4, A0);
+    b.ld(T4, T4, 0); // scratch[j]
+    b.sd(T4, T3, 0);
+    b.addi(T3, T3, 8);
+    b.addi(T2, T2, 8);
+    b.addi(T0, T0, 1);
+    b.bne(T0, T1, "bitrev_loop");
+    // Butterfly levels: len = 2, 4, ..., N. The twiddle stride `step = N / len`
+    // is kept in S9: it starts at N/2 and is halved after each level.
+    b.li(S4, 2); // len
+    b.li(S9, (N / 2) as u64); // step
+    b.label("len_loop");
+    b.li(S5, 0); // start
+    b.label("start_loop");
+    b.li(S6, 0); // k within the block
+    b.label("butterfly_loop");
+    // step = N / len is maintained in S9 (initialised before the level loop,
+    // halved at the end of each level).
+    // w = tw[k * step]
+    b.mul(T0, S6, S9);
+    b.slli(T0, T0, 3);
+    b.add(T0, T0, S3);
+    b.ld(A1, T0, 0);
+    // v = poly[start + k + len/2] * w
+    b.srli(T2, S4, 1); // len/2
+    b.add(T3, S5, S6);
+    b.add(T4, T3, T2); // index of the high element
+    b.slli(T4, T4, 3);
+    b.add(T4, T4, S2);
+    b.ld(A0, T4, 0);
+    b.mv(S7, T4); // remember the high element address
+    b.call("mulq");
+    // u = poly[start + k]
+    b.add(T3, S5, S6);
+    b.slli(T3, T3, 3);
+    b.add(T3, T3, S2);
+    b.ld(T1, T3, 0);
+    // poly[start+k] = (u + v) mod q ; poly[high] = (u + q - v) mod q
+    b.li(T4, Q);
+    b.add(T2, T1, A0);
+    b.sltu(T0, T2, T4);
+    b.xori(T0, T0, 1);
+    b.sub(T0, ZERO, T0);
+    b.and(T0, T0, T4);
+    b.sub(T2, T2, T0);
+    b.sd(T2, T3, 0);
+    b.sub(T2, T4, A0);
+    b.add(T2, T1, T2);
+    b.sltu(T0, T2, T4);
+    b.xori(T0, T0, 1);
+    b.sub(T0, ZERO, T0);
+    b.and(T0, T0, T4);
+    b.sub(T2, T2, T0);
+    b.sd(T2, S7, 0);
+    // k++
+    b.addi(S6, S6, 1);
+    b.srli(T2, S4, 1);
+    b.bne(S6, T2, "butterfly_loop");
+    // start += len
+    b.add(S5, S5, S4);
+    b.li(T0, N as u64);
+    b.bne(S5, T0, "start_loop");
+    // len *= 2 ; step /= 2
+    b.slli(S4, S4, 1);
+    b.srli(S9, S9, 1);
+    b.li(T0, (2 * N) as u64);
+    b.bne(S4, T0, "len_loop");
+    b.ret();
+
+    b.label("done");
+    b.end_crypto();
+    b.halt();
+
+    let program = b.build().expect("kyber kernel assembles");
+    KernelProgram::new(program, out_addr, k * N * 8)
+}
+
+/// Parses the kernel output buffer into `k` polynomials.
+pub fn output_to_polys(output: &[u8], k: usize) -> Vec<Vec<u64>> {
+    output
+        .chunks_exact(N * 8)
+        .take(k)
+        .map(|poly_bytes| {
+            poly_bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kyber512_matches_reference() {
+        let kernel = build(2, 99);
+        let out = kernel.run_functional().unwrap();
+        let polys = output_to_polys(&out, 2);
+        assert_eq!(polys, reference::matrix_vector_product(2, 99));
+    }
+
+    #[test]
+    fn kyber768_matches_reference() {
+        let kernel = build(3, 7);
+        let out = kernel.run_functional().unwrap();
+        let polys = output_to_polys(&out, 3);
+        assert_eq!(polys, reference::matrix_vector_product(3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "module rank")]
+    fn rejects_unsupported_rank() {
+        build(4, 0);
+    }
+}

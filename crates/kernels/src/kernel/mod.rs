@@ -1,0 +1,100 @@
+//! Constant-time kernels written against the `cassandra-isa` ISA.
+//!
+//! Each submodule provides a `build(..)` function that assembles a complete
+//! [`Program`] implementing one cryptographic primitive, mirroring the
+//! corresponding [`crate::reference`] implementation. The returned
+//! [`KernelProgram`] records where the kernel writes its output so tests can
+//! compare against the reference bit for bit.
+
+pub mod aes128;
+pub mod chacha20;
+pub mod emit;
+pub mod feistel;
+pub mod kyber;
+pub mod modexp;
+pub mod poly1305;
+pub mod sha256;
+pub mod sphincs;
+pub mod x25519;
+
+use cassandra_isa::error::IsaError;
+use cassandra_isa::exec::Executor;
+use cassandra_isa::program::Program;
+
+/// Default step budget used when running kernels functionally.
+pub const KERNEL_STEP_LIMIT: u64 = 200_000_000;
+
+/// A kernel program plus the location of its output buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProgram {
+    /// The assembled program.
+    pub program: Program,
+    /// Byte address of the output buffer.
+    pub output_addr: u64,
+    /// Length of the output buffer in bytes.
+    pub output_len: usize,
+    /// Step budget sufficient for one functional run of this kernel.
+    pub step_limit: u64,
+}
+
+impl KernelProgram {
+    /// Creates a kernel descriptor.
+    pub fn new(program: Program, output_addr: u64, output_len: usize) -> Self {
+        KernelProgram {
+            program,
+            output_addr,
+            output_len,
+            step_limit: KERNEL_STEP_LIMIT,
+        }
+    }
+
+    /// Runs the kernel on the functional executor and returns the output
+    /// buffer contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors (step budget exceeded, malformed program).
+    pub fn run_functional(&self) -> Result<Vec<u8>, IsaError> {
+        let mut exec = Executor::new(&self.program);
+        exec.run(self.step_limit)?;
+        Ok(exec.memory().read_bytes(self.output_addr, self.output_len))
+    }
+
+    /// Runs the kernel and returns both the output and the number of executed
+    /// instructions (useful for sizing simulations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors.
+    pub fn run_functional_counted(&self) -> Result<(Vec<u8>, u64), IsaError> {
+        let mut exec = Executor::new(&self.program);
+        let steps = exec.run(self.step_limit)?;
+        Ok((
+            exec.memory().read_bytes(self.output_addr, self.output_len),
+            steps,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_isa::builder::ProgramBuilder;
+    use cassandra_isa::reg::{A0, A1};
+
+    #[test]
+    fn kernel_program_reads_its_output() {
+        let mut b = ProgramBuilder::new("tiny");
+        let out = b.alloc_zeros("out", 8);
+        b.li(A0, 0x1122_3344_5566_7788);
+        b.li(A1, out);
+        b.sd(A0, A1, 0);
+        b.halt();
+        let k = KernelProgram::new(b.build().unwrap(), out, 8);
+        let bytes = k.run_functional().unwrap();
+        assert_eq!(bytes, 0x1122_3344_5566_7788u64.to_le_bytes());
+        let (bytes2, steps) = k.run_functional_counted().unwrap();
+        assert_eq!(bytes, bytes2);
+        assert_eq!(steps, 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! Montgomery-ladder modular exponentiation as an ISA kernel (RSA / ModPow
+//! stand-in, see [`crate::reference::modexp`]).
+//!
+//! The kernel runs a fixed-length ladder loop (one iteration per exponent
+//! bit) with two calls to a constant-time Montgomery multiplication routine
+//! per iteration and masked swaps instead of data-dependent branches —
+//! exactly the branch structure of BearSSL's `i31`/`i62` modular
+//! exponentiation.
+
+use crate::kernel::KernelProgram;
+use crate::reference::modexp::MontCtx;
+use cassandra_isa::builder::ProgramBuilder;
+use cassandra_isa::reg::{A0, A1, S0, S1, S2, S3, S4, S5, T0, T1, T2, T3, T4, T5, T6, ZERO};
+
+/// Builds the modular exponentiation kernel computing `base^exp mod n` over a
+/// `bits`-bit exponent given as little-endian 64-bit words.
+///
+/// # Panics
+///
+/// Panics if `exp` does not provide `bits` bits or the modulus is invalid for
+/// [`MontCtx::new`].
+pub fn build(n: u64, base: u64, exp: &[u64], bits: usize) -> KernelProgram {
+    assert!(bits > 0 && bits <= exp.len() * 64, "exponent too short");
+    let ctx = MontCtx::new(n);
+
+    let mut b = ProgramBuilder::new("modexp");
+
+    // ---- data ----
+    // params: [n, n_prime, r1 (Montgomery 1), r2, base]
+    let params_addr = b.alloc_u64s("mont_params", &[ctx.n, ctx.n_prime, ctx.r1, ctx.r2, base]);
+    let exp_addr = b.alloc_secret_u64s("exponent", exp);
+    let out_addr = b.alloc_zeros("result", 8);
+
+    // ---- code ----
+    b.begin_crypto();
+
+    // x = to_mont(base) = mont_mul(base, r2)
+    b.li(T6, params_addr);
+    b.ld(A0, T6, 32); // base
+    b.ld(A1, T6, 24); // r2
+    b.call("mont_mul");
+    b.mv(S2, A0); // r1 ladder register (holds x)
+    b.li(T6, params_addr);
+    b.ld(S1, T6, 16); // r0 ladder register = Montgomery 1
+    b.li(S0, bits as u64);
+
+    b.label("ladder_loop");
+    b.addi(S0, S0, -1);
+    // bit = (exp[S0 / 64] >> (S0 % 64)) & 1
+    b.srli(T0, S0, 6);
+    b.slli(T0, T0, 3);
+    b.li(T1, exp_addr);
+    b.add(T1, T1, T0);
+    b.ld(T1, T1, 0);
+    b.andi(T2, S0, 63);
+    b.srl(T1, T1, T2);
+    b.andi(S3, T1, 1);
+    // Masked swap of (r0, r1) driven by the bit.
+    b.sub(T0, ZERO, S3);
+    b.xor(T1, S1, S2);
+    b.and(T1, T1, T0);
+    b.xor(S1, S1, T1);
+    b.xor(S2, S2, T1);
+    // new_other = mont_mul(r0, r1)
+    b.mv(A0, S1);
+    b.mv(A1, S2);
+    b.call("mont_mul");
+    b.mv(S4, A0);
+    // new_acc = mont_mul(r0, r0)
+    b.mv(A0, S1);
+    b.mv(A1, S1);
+    b.call("mont_mul");
+    b.mv(S5, A0);
+    // Swap back.
+    b.sub(T0, ZERO, S3);
+    b.xor(T1, S5, S4);
+    b.and(T1, T1, T0);
+    b.xor(S1, S5, T1);
+    b.xor(S2, S4, T1);
+    b.bne(S0, ZERO, "ladder_loop");
+
+    // result = from_mont(r0) = mont_mul(r0, 1)
+    b.mv(A0, S1);
+    b.li(A1, 1);
+    b.call("mont_mul");
+    b.li(T0, out_addr);
+    b.sd(A0, T0, 0);
+    b.j("done");
+
+    // mont_mul: A0 = REDC(A0 * A1) for the modulus in `mont_params`.
+    b.func("mont_mul");
+    b.li(T6, params_addr);
+    b.ld(T4, T6, 0); // n
+    b.ld(T5, T6, 8); // n'
+    b.mul(T0, A0, A1); // t_lo
+    b.mulhu(T1, A0, A1); // t_hi
+    b.mul(T2, T0, T5); // m = t_lo * n' mod 2^64
+    b.mul(T3, T2, T4); // (m*n) lo
+    b.mulhu(T2, T2, T4); // (m*n) hi
+    b.add(T3, T0, T3); // sum_lo
+    b.sltu(T0, T3, T0); // carry out of the low half
+    b.add(T1, T1, T2);
+    b.add(T1, T1, T0); // u = t_hi + mn_hi + carry
+    // Constant-time conditional subtraction of n.
+    b.sltu(T0, T1, T4); // u < n ?
+    b.xori(T0, T0, 1); // u >= n ?
+    b.sub(T2, ZERO, T0);
+    b.and(T2, T2, T4);
+    b.sub(A0, T1, T2);
+    b.ret();
+
+    b.label("done");
+    b.end_crypto();
+    b.halt();
+
+    let program = b.build().expect("modexp kernel assembles");
+    KernelProgram::new(program, out_addr, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::modexp as reference;
+
+    const P61: u64 = (1 << 61) - 1;
+
+    fn run(n: u64, base: u64, exp: &[u64], bits: usize) -> u64 {
+        let kernel = build(n, base, exp, bits);
+        let out = kernel.run_functional().unwrap();
+        u64::from_le_bytes(out.try_into().unwrap())
+    }
+
+    #[test]
+    fn matches_reference_256_bit_exponent() {
+        let exp = [
+            0x0123_4567_89ab_cdef,
+            0xfeed_face_0bad_beef,
+            0x1111_2222_3333_4444,
+            0x8000_0000_0000_0001,
+        ];
+        for base in [2u64, 3, 65_537, P61 - 2] {
+            assert_eq!(
+                run(P61, base, &exp, 256),
+                reference::mod_exp(P61, base, &exp, 256),
+                "base {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_other_moduli() {
+        let exp = [0xdead_beef_cafe_f00d, 0x0f0f_0f0f_0f0f_0f0f];
+        for n in [1_000_003u64, 0xffff_fffb, (1 << 61) + 15] {
+            assert_eq!(
+                run(n, 12_345, &exp, 128),
+                reference::mod_exp(n, 12_345, &exp, 128),
+                "n {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem_in_kernel() {
+        let exp = [P61 - 1, 0, 0, 0];
+        assert_eq!(run(P61, 7, &exp, 64), 1);
+    }
+
+    #[test]
+    fn instruction_count_is_exponent_independent() {
+        // Two different exponents of the same width must execute the same
+        // number of instructions (constant-time ladder).
+        let e1 = [u64::MAX, u64::MAX];
+        let e2 = [0u64, 0];
+        let k1 = build(P61, 3, &e1, 128);
+        let k2 = build(P61, 3, &e2, 128);
+        let (_, s1) = k1.run_functional_counted().unwrap();
+        let (_, s2) = k2.run_functional_counted().unwrap();
+        assert_eq!(s1, s2);
+    }
+}

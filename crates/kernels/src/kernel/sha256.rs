@@ -1,0 +1,250 @@
+//! SHA-256 as an ISA kernel.
+//!
+//! Mirrors [`crate::reference::sha256`]: an outer block loop, a 16-iteration
+//! message-load loop, a 48-iteration schedule-extension loop, a 64-iteration
+//! compression loop and an 8-step state-update — all with public trip counts,
+//! as in the paper's `SHA-256` / `sha256` workloads.
+//!
+//! The message is padded on the host (padding depends only on the public
+//! message length) and stored as 32-bit words with big-endian byte order
+//! already applied, so the kernel's word loads see the same values as the
+//! reference.
+
+use crate::kernel::emit::{rotr32_imm, MASK32};
+use crate::kernel::KernelProgram;
+use crate::reference::sha256 as reference;
+use cassandra_isa::builder::ProgramBuilder;
+use cassandra_isa::reg::{
+    A0, A1, A2, A3, S0, S1, S10, S11, S2, S3, S4, S5, S6, S7, S8, S9, T0, T1, T2, T3, T4, T5, T6,
+};
+
+/// Builds the SHA-256 kernel for the given message.
+pub fn build(message: &[u8]) -> KernelProgram {
+    let padded = reference::pad(message);
+    let nblocks = padded.len() / 64;
+    let msg_words: Vec<u32> = padded
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+        .collect();
+
+    let mut b = ProgramBuilder::new("sha256");
+
+    // ---- data ----
+    let msg_addr = b.alloc_secret_u32s("msg_words", &msg_words);
+    let k_addr = b.alloc_u32s("k_table", &reference::K);
+    let h_addr = b.alloc_u32s("h_state", &reference::H0);
+    let w_addr = b.alloc_zeros("w_schedule", 64 * 4);
+    let out_addr = b.alloc_zeros("digest", 32);
+
+    // ---- code ----
+    b.begin_crypto();
+
+    b.li(S0, nblocks as u64);
+    b.li(S1, 0); // block index
+    b.li(S2, msg_addr); // pointer to the current block's words
+    b.label("block_loop");
+    b.call("schedule");
+    b.call("compress");
+    b.addi(S1, S1, 1);
+    b.addi(S2, S2, 64);
+    b.bne(S1, S0, "block_loop");
+    // Write the final state to the output buffer.
+    b.li(A0, h_addr);
+    b.li(A1, out_addr);
+    b.li(T0, 0);
+    b.li(T2, 8);
+    b.label("out_loop");
+    b.lw(T1, A0, 0);
+    b.sw(T1, A1, 0);
+    b.addi(A0, A0, 4);
+    b.addi(A1, A1, 4);
+    b.addi(T0, T0, 1);
+    b.bne(T0, T2, "out_loop");
+    b.j("done");
+
+    // schedule: builds W[0..64] for the block at S2.
+    b.func("schedule");
+    b.mv(A0, S2);
+    b.li(A1, w_addr);
+    b.li(T0, 0);
+    b.li(T2, 16);
+    b.label("w_copy_loop");
+    b.lw(T1, A0, 0);
+    b.sw(T1, A1, 0);
+    b.addi(A0, A0, 4);
+    b.addi(A1, A1, 4);
+    b.addi(T0, T0, 1);
+    b.bne(T0, T2, "w_copy_loop");
+    // A1 now points at W[16].
+    b.li(T0, 16);
+    b.li(T2, 64);
+    b.label("w_ext_loop");
+    // s0 = rotr(W[i-15], 7) ^ rotr(W[i-15], 18) ^ (W[i-15] >> 3)
+    b.lw(T1, A1, -60);
+    rotr32_imm(&mut b, T3, T1, 7, T4);
+    rotr32_imm(&mut b, T5, T1, 18, T4);
+    b.xor(T3, T3, T5);
+    b.srli(T5, T1, 3);
+    b.xor(T3, T3, T5);
+    // s1 = rotr(W[i-2], 17) ^ rotr(W[i-2], 19) ^ (W[i-2] >> 10)
+    b.lw(T1, A1, -8);
+    rotr32_imm(&mut b, T6, T1, 17, T4);
+    rotr32_imm(&mut b, T5, T1, 19, T4);
+    b.xor(T6, T6, T5);
+    b.srli(T5, T1, 10);
+    b.xor(T6, T6, T5);
+    // W[i] = W[i-16] + s0 + W[i-7] + s1
+    b.lw(T1, A1, -64);
+    b.add(T3, T3, T1);
+    b.lw(T1, A1, -28);
+    b.add(T3, T3, T1);
+    b.add(T3, T3, T6);
+    b.andi(T3, T3, MASK32);
+    b.sw(T3, A1, 0);
+    b.addi(A1, A1, 4);
+    b.addi(T0, T0, 1);
+    b.bne(T0, T2, "w_ext_loop");
+    b.ret();
+
+    // compress: 64 rounds updating the running state in `h_state`.
+    b.func("compress");
+    b.li(A0, h_addr);
+    b.lw(S4, A0, 0); // a
+    b.lw(S5, A0, 4); // b
+    b.lw(S6, A0, 8); // c
+    b.lw(S7, A0, 12); // d
+    b.lw(S8, A0, 16); // e
+    b.lw(S9, A0, 20); // f
+    b.lw(S10, A0, 24); // g
+    b.lw(S11, A0, 28); // h
+    b.li(S3, 0); // round counter
+    b.label("round_loop");
+    // Load W[i] and K[i].
+    b.slli(T0, S3, 2);
+    b.li(A0, w_addr);
+    b.add(A0, A0, T0);
+    b.lw(T1, A0, 0); // W[i]
+    b.li(A1, k_addr);
+    b.add(A1, A1, T0);
+    b.lw(T2, A1, 0); // K[i]
+    // S1 = rotr(e,6) ^ rotr(e,11) ^ rotr(e,25)
+    rotr32_imm(&mut b, T3, S8, 6, T4);
+    rotr32_imm(&mut b, T5, S8, 11, T4);
+    b.xor(T3, T3, T5);
+    rotr32_imm(&mut b, T5, S8, 25, T4);
+    b.xor(T3, T3, T5);
+    // ch = (e & f) ^ (!e & g)
+    b.and(T5, S8, S9);
+    b.xori(T6, S8, -1);
+    b.andi(T6, T6, MASK32);
+    b.and(T6, T6, S10);
+    b.xor(T5, T5, T6);
+    // t1 = h + S1 + ch + K[i] + W[i]
+    b.add(A2, S11, T3);
+    b.add(A2, A2, T5);
+    b.add(A2, A2, T2);
+    b.add(A2, A2, T1);
+    b.andi(A2, A2, MASK32);
+    // S0 = rotr(a,2) ^ rotr(a,13) ^ rotr(a,22)
+    rotr32_imm(&mut b, T3, S4, 2, T4);
+    rotr32_imm(&mut b, T5, S4, 13, T4);
+    b.xor(T3, T3, T5);
+    rotr32_imm(&mut b, T5, S4, 22, T4);
+    b.xor(T3, T3, T5);
+    // maj = (a & b) ^ (a & c) ^ (b & c)
+    b.and(T5, S4, S5);
+    b.and(T6, S4, S6);
+    b.xor(T5, T5, T6);
+    b.and(T6, S5, S6);
+    b.xor(T5, T5, T6);
+    // t2 = S0 + maj
+    b.add(A3, T3, T5);
+    b.andi(A3, A3, MASK32);
+    // Rotate the working variables.
+    b.mv(S11, S10);
+    b.mv(S10, S9);
+    b.mv(S9, S8);
+    b.add(S8, S7, A2);
+    b.andi(S8, S8, MASK32);
+    b.mv(S7, S6);
+    b.mv(S6, S5);
+    b.mv(S5, S4);
+    b.add(S4, A2, A3);
+    b.andi(S4, S4, MASK32);
+    b.addi(S3, S3, 1);
+    b.li(T0, 64);
+    b.bne(S3, T0, "round_loop");
+    // Add the working variables back into the running state.
+    b.li(A0, h_addr);
+    for (offset, reg) in [
+        (0, S4),
+        (4, S5),
+        (8, S6),
+        (12, S7),
+        (16, S8),
+        (20, S9),
+        (24, S10),
+        (28, S11),
+    ] {
+        b.lw(T0, A0, offset);
+        b.add(T0, T0, reg);
+        b.andi(T0, T0, MASK32);
+        b.sw(T0, A0, offset);
+    }
+    b.ret();
+
+    b.label("done");
+    b.end_crypto();
+    b.halt();
+
+    let program = b.build().expect("sha256 kernel assembles");
+    KernelProgram::new(program, out_addr, 32)
+}
+
+/// Converts the kernel's output buffer (eight little-endian state words) into
+/// the conventional big-endian digest byte order used by the reference.
+pub fn output_to_digest(output: &[u8]) -> [u8; 32] {
+    assert_eq!(output.len(), 32);
+    let mut digest = [0u8; 32];
+    for i in 0..8 {
+        let word = u32::from_le_bytes(output[4 * i..4 * i + 4].try_into().unwrap());
+        digest[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    digest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_single_block() {
+        let msg = b"abc";
+        let kernel = build(msg);
+        let out = kernel.run_functional().unwrap();
+        assert_eq!(output_to_digest(&out), reference::digest(msg));
+    }
+
+    #[test]
+    fn matches_reference_multi_block() {
+        let msg: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        let kernel = build(&msg);
+        let out = kernel.run_functional().unwrap();
+        assert_eq!(output_to_digest(&out), reference::digest(&msg));
+    }
+
+    #[test]
+    fn empty_message() {
+        let kernel = build(b"");
+        let out = kernel.run_functional().unwrap();
+        assert_eq!(output_to_digest(&out), reference::digest(b""));
+    }
+
+    #[test]
+    fn kernel_branches_are_crypto_tagged() {
+        let kernel = build(b"hello");
+        let branches = kernel.program.static_branches();
+        assert!(branches.iter().all(|br| br.is_crypto));
+        assert!(branches.len() >= 6, "loops, calls and returns expected");
+    }
+}

@@ -1,0 +1,338 @@
+//! Montgomery-ladder scalar multiplication over GF(2^61 - 1) as an ISA kernel
+//! (curve25519 / EC_c25519 stand-in, see [`crate::reference::field61`]).
+//!
+//! The kernel mirrors the X25519 structure: a fixed 255-iteration ladder loop
+//! whose body performs a masked conditional swap and one xDBLADD step built
+//! from calls to constant-time field primitives (`fmul`, `fadd`, `fsub`),
+//! followed by a Fermat inversion with a fixed 61-iteration
+//! square-and-multiply loop using masked selects.
+
+use crate::kernel::KernelProgram;
+use crate::reference::field61::{A24, P};
+use cassandra_isa::builder::ProgramBuilder;
+use cassandra_isa::reg::{
+    A0, A1, S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T3, ZERO,
+};
+
+/// Number of scalar bits processed by the ladder, mirroring X25519.
+pub const SCALAR_BITS: usize = 255;
+
+// Scratch slot offsets used by the ladder step.
+const SC_A: i64 = 0;
+const SC_B: i64 = 8;
+const SC_AA: i64 = 16;
+const SC_BB: i64 = 24;
+const SC_E: i64 = 32;
+const SC_C: i64 = 40;
+const SC_D: i64 = 48;
+const SC_DA: i64 = 56;
+const SC_CB: i64 = 64;
+const SC_T: i64 = 72;
+
+// Ladder variable offsets: x2, z2, x3, z3.
+const V_X2: i64 = 0;
+const V_Z2: i64 = 8;
+const V_X3: i64 = 16;
+const V_Z3: i64 = 24;
+
+/// Builds the scalar-multiplication kernel computing the affine x-coordinate
+/// of `[scalar] * (x1 : 1)`.
+///
+/// # Panics
+///
+/// Panics if the scalar provides fewer than [`SCALAR_BITS`] bits or
+/// `x1 >= P`.
+pub fn build(x1: u64, scalar: &[u64]) -> KernelProgram {
+    assert!(scalar.len() * 64 >= SCALAR_BITS, "scalar too short");
+    assert!(x1 < P, "base point coordinate must be reduced");
+
+    let mut b = ProgramBuilder::new("x25519");
+
+    // ---- data ----
+    let params_addr = b.alloc_u64s("params", &[x1, A24]);
+    let scalar_addr = b.alloc_secret_u64s("scalar", scalar);
+    let vars_addr = b.alloc_zeros("ladder_vars", 32);
+    let scratch_addr = b.alloc_zeros("scratch", 80);
+    let out_addr = b.alloc_zeros("result", 8);
+
+    // Helper closures for addressing.
+    let emit_reduce = |b: &mut ProgramBuilder| {
+        // T0 holds an unreduced sum below 2^62; produce A0 = T0 mod P.
+        b.li(T2, P);
+        b.and(T1, T0, T2);
+        b.srli(T0, T0, 61);
+        b.add(T0, T1, T0);
+        b.sltu(T1, T0, T2);
+        b.xori(T1, T1, 1);
+        b.sub(T1, ZERO, T1);
+        b.and(T1, T1, T2);
+        b.sub(A0, T0, T1);
+    };
+
+    // ---- code ----
+    b.begin_crypto();
+
+    // Initialise ladder variables: (x2, z2) = (1, 0), (x3, z3) = (x1, 1).
+    b.li(T0, vars_addr);
+    b.li(T1, 1);
+    b.sd(T1, T0, V_X2);
+    b.sd(ZERO, T0, V_Z2);
+    b.li(T2, params_addr);
+    b.ld(T3, T2, 0);
+    b.sd(T3, T0, V_X3);
+    b.sd(T1, T0, V_Z3);
+    b.li(S1, 0); // swap accumulator
+    b.li(S0, SCALAR_BITS as u64);
+
+    b.label("ladder_loop");
+    b.addi(S0, S0, -1);
+    // bit = (scalar[S0 / 64] >> (S0 % 64)) & 1
+    b.srli(T0, S0, 6);
+    b.slli(T0, T0, 3);
+    b.li(T1, scalar_addr);
+    b.add(T1, T1, T0);
+    b.ld(T1, T1, 0);
+    b.andi(T2, S0, 63);
+    b.srl(T1, T1, T2);
+    b.andi(S3, T1, 1);
+    // swap ^= bit; conditional swap; swap = bit.
+    b.xor(S1, S1, S3);
+    b.call("cswap_vars");
+    b.mv(S1, S3);
+    b.call("ladder_step");
+    b.bne(S0, ZERO, "ladder_loop");
+    // Final conditional swap.
+    b.call("cswap_vars");
+    // result = x2 * inv(z2)
+    b.li(T0, vars_addr);
+    b.ld(A0, T0, V_Z2);
+    b.call("finv");
+    b.mv(S2, A0);
+    b.li(T0, vars_addr);
+    b.ld(A0, T0, V_X2);
+    b.mv(A1, S2);
+    b.call("fmul");
+    b.li(T0, out_addr);
+    b.sd(A0, T0, 0);
+    b.j("done");
+
+    // cswap_vars: swap (x2,x3) and (z2,z3) iff S1 == 1, without branching.
+    b.func("cswap_vars");
+    b.sub(T3, ZERO, S1);
+    b.li(T0, vars_addr);
+    for (lo, hi) in [(V_X2, V_X3), (V_Z2, V_Z3)] {
+        b.ld(T1, T0, lo);
+        b.ld(T2, T0, hi);
+        b.xor(A0, T1, T2);
+        b.and(A0, A0, T3);
+        b.xor(T1, T1, A0);
+        b.xor(T2, T2, A0);
+        b.sd(T1, T0, lo);
+        b.sd(T2, T0, hi);
+    }
+    b.ret();
+
+    // fmul: A0 = A0 * A1 mod P (Mersenne folding).
+    b.func("fmul");
+    b.mul(T0, A0, A1);
+    b.mulhu(T1, A0, A1);
+    b.li(T2, P);
+    b.and(T3, T0, T2);
+    b.srli(T0, T0, 61);
+    b.slli(T1, T1, 3);
+    b.add(T0, T3, T0);
+    b.add(T0, T0, T1);
+    emit_reduce(&mut b);
+    b.ret();
+
+    // fadd: A0 = A0 + A1 mod P.
+    b.func("fadd");
+    b.add(T0, A0, A1);
+    emit_reduce(&mut b);
+    b.ret();
+
+    // fsub: A0 = A0 - A1 mod P.
+    b.func("fsub");
+    b.li(T2, P);
+    b.sub(T3, T2, A1);
+    b.add(T0, A0, T3);
+    emit_reduce(&mut b);
+    b.ret();
+
+    // ladder_step: one xDBLADD step on the memory-held projective points.
+    b.func("ladder_step");
+    let vars = vars_addr;
+    let scr = scratch_addr;
+    // Small helpers to shorten the repetitive load/call/store pattern.
+    let load2 = |b: &mut ProgramBuilder, addr_a: u64, off_a: i64, addr_b: u64, off_b: i64| {
+        b.li(T0, addr_a);
+        b.ld(A0, T0, off_a);
+        b.li(T0, addr_b);
+        b.ld(A1, T0, off_b);
+    };
+    let store = |b: &mut ProgramBuilder, addr: u64, off: i64| {
+        b.li(T0, addr);
+        b.sd(A0, T0, off);
+    };
+    // a = x2 + z2
+    load2(&mut b, vars, V_X2, vars, V_Z2);
+    b.call("fadd");
+    store(&mut b, scr, SC_A);
+    // b = x2 - z2
+    load2(&mut b, vars, V_X2, vars, V_Z2);
+    b.call("fsub");
+    store(&mut b, scr, SC_B);
+    // aa = a^2
+    load2(&mut b, scr, SC_A, scr, SC_A);
+    b.call("fmul");
+    store(&mut b, scr, SC_AA);
+    // bb = b^2
+    load2(&mut b, scr, SC_B, scr, SC_B);
+    b.call("fmul");
+    store(&mut b, scr, SC_BB);
+    // e = aa - bb
+    load2(&mut b, scr, SC_AA, scr, SC_BB);
+    b.call("fsub");
+    store(&mut b, scr, SC_E);
+    // c = x3 + z3
+    load2(&mut b, vars, V_X3, vars, V_Z3);
+    b.call("fadd");
+    store(&mut b, scr, SC_C);
+    // d = x3 - z3
+    load2(&mut b, vars, V_X3, vars, V_Z3);
+    b.call("fsub");
+    store(&mut b, scr, SC_D);
+    // da = d * a
+    load2(&mut b, scr, SC_D, scr, SC_A);
+    b.call("fmul");
+    store(&mut b, scr, SC_DA);
+    // cb = c * b
+    load2(&mut b, scr, SC_C, scr, SC_B);
+    b.call("fmul");
+    store(&mut b, scr, SC_CB);
+    // x3' = (da + cb)^2
+    load2(&mut b, scr, SC_DA, scr, SC_CB);
+    b.call("fadd");
+    store(&mut b, scr, SC_T);
+    load2(&mut b, scr, SC_T, scr, SC_T);
+    b.call("fmul");
+    store(&mut b, vars, V_X3);
+    // z3' = x1 * (da - cb)^2
+    load2(&mut b, scr, SC_DA, scr, SC_CB);
+    b.call("fsub");
+    store(&mut b, scr, SC_T);
+    load2(&mut b, scr, SC_T, scr, SC_T);
+    b.call("fmul");
+    store(&mut b, scr, SC_T);
+    b.li(T0, params_addr);
+    b.ld(A0, T0, 0);
+    b.li(T0, scratch_addr);
+    b.ld(A1, T0, SC_T);
+    b.call("fmul");
+    store(&mut b, vars, V_Z3);
+    // x2' = aa * bb
+    load2(&mut b, scr, SC_AA, scr, SC_BB);
+    b.call("fmul");
+    store(&mut b, vars, V_X2);
+    // z2' = e * (bb + a24 * e)
+    b.li(T0, params_addr);
+    b.ld(A0, T0, 8);
+    b.li(T0, scratch_addr);
+    b.ld(A1, T0, SC_E);
+    b.call("fmul");
+    store(&mut b, scr, SC_T);
+    load2(&mut b, scr, SC_BB, scr, SC_T);
+    b.call("fadd");
+    store(&mut b, scr, SC_T);
+    load2(&mut b, scr, SC_E, scr, SC_T);
+    b.call("fmul");
+    store(&mut b, vars, V_Z2);
+    b.ret();
+
+    // finv: A0 = A0^(P-2) mod P via a fixed 61-iteration square-and-multiply
+    // with masked selects (the exponent is public, the code is branch-free in
+    // its data handling anyway).
+    b.func("finv");
+    b.mv(S4, A0); // base
+    b.li(S5, 1); // accumulator
+    b.li(S6, 61); // bit counter
+    b.li(S7, P - 2); // exponent
+    b.label("finv_loop");
+    b.addi(S6, S6, -1);
+    // acc = acc^2
+    b.mv(A0, S5);
+    b.mv(A1, S5);
+    b.call("fmul");
+    b.mv(S5, A0);
+    // m = acc * base
+    b.mv(A0, S5);
+    b.mv(A1, S4);
+    b.call("fmul");
+    // bit = (P-2 >> S6) & 1 ; acc = bit ? m : acc
+    b.srl(T0, S7, S6);
+    b.andi(T0, T0, 1);
+    b.sub(T1, ZERO, T0);
+    b.xor(T2, A0, S5);
+    b.and(T2, T2, T1);
+    b.xor(S5, S5, T2);
+    b.bne(S6, ZERO, "finv_loop");
+    b.mv(A0, S5);
+    b.ret();
+
+    b.label("done");
+    b.end_crypto();
+    b.halt();
+
+    let program = b.build().expect("x25519 kernel assembles");
+    KernelProgram::new(program, out_addr, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::field61 as reference;
+
+    fn run(x1: u64, scalar: &[u64; 4]) -> u64 {
+        let kernel = build(x1, scalar);
+        let out = kernel.run_functional().unwrap();
+        u64::from_le_bytes(out.try_into().unwrap())
+    }
+
+    #[test]
+    fn matches_reference_small_scalars() {
+        for scalar_low in [1u64, 2, 3, 6, 255] {
+            let scalar = [scalar_low, 0, 0, 0];
+            assert_eq!(
+                run(9, &scalar),
+                reference::scalar_mult(9, &scalar, SCALAR_BITS),
+                "scalar {scalar_low}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_full_width_scalar() {
+        let scalar = [
+            0xdead_beef_cafe_f00d,
+            0x0123_4567_89ab_cdef,
+            0xffff_0000_ffff_0000,
+            0x7fff_ffff_ffff_ffff,
+        ];
+        for x1 in [9u64, 1234, P - 2] {
+            assert_eq!(
+                run(x1, &scalar),
+                reference::scalar_mult(x1, &scalar, SCALAR_BITS),
+                "x1 {x1}"
+            );
+        }
+    }
+
+    #[test]
+    fn instruction_count_is_scalar_independent() {
+        let k1 = build(9, &[u64::MAX; 4]);
+        let k2 = build(9, &[1, 0, 0, 0]);
+        let (_, s1) = k1.run_functional_counted().unwrap();
+        let (_, s2) = k2.run_functional_counted().unwrap();
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # cassandra-kernels
+//!
+//! Constant-time cryptographic kernels written against the `cassandra-isa`
+//! instruction set, together with pure-Rust reference implementations used to
+//! validate them, the benchmark workload suite mirroring the paper's
+//! evaluation (BearSSL, OpenSSL, post-quantum crypto), SpectreGuard-style
+//! synthetic sandbox/crypto mixes, and the Spectre gadget programs used by
+//! the security analysis.
+//!
+//! Every kernel exposes a `build(..)` function returning a
+//! [`KernelProgram`]: the ISA [`Program`](cassandra_isa::Program) plus enough
+//! metadata to locate its outputs in memory, so tests can check functional
+//! correctness against the matching [`reference`] implementation.
+//!
+//! ## Substitutions
+//!
+//! The paper evaluates real BearSSL/OpenSSL/PQC binaries. Those cannot run on
+//! our ISA, so each kernel reimplements the algorithm (or a faithfully scaled
+//! variant — see the module documentation of each kernel) with the same
+//! control-flow structure: fixed-count loops, calls/returns, and no
+//! secret-dependent branches. DESIGN.md lists every substitution.
+//!
+//! ## Example
+//!
+//! ```
+//! use cassandra_kernels::suite;
+//!
+//! let workload = suite::chacha20_workload(128);
+//! let out = workload.kernel.run_functional().expect("kernel runs");
+//! assert_eq!(out.len(), 128);
+//! ```
+
+pub mod gadgets;
+pub mod kernel;
+pub mod reference;
+pub mod suite;
+pub mod synthetic;
+pub mod workload;
+
+pub use kernel::KernelProgram;
+pub use workload::{Workload, WorkloadGroup};

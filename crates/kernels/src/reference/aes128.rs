@@ -1,0 +1,227 @@
+//! Reference AES-128 (FIPS 197), encryption only, CTR mode helper.
+//!
+//! The S-box is generated algorithmically (multiplicative inverse in
+//! GF(2^8) followed by the affine transform) so that the ISA kernel and the
+//! reference share no magic tables that could hide a transcription error.
+
+/// Number of rounds for AES-128.
+pub const ROUNDS: usize = 10;
+
+/// Multiplies two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1.
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2^8) (0 maps to 0), computed by exponentiation
+/// to the 254th power.
+pub fn gf_inv(a: u8) -> u8 {
+    // a^254 = a^(2+4+8+16+32+64+128)
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Computes the AES S-box entry for `x`.
+pub fn sbox(x: u8) -> u8 {
+    let inv = gf_inv(x);
+    let mut out = 0u8;
+    for i in 0..8u32 {
+        let bit = ((inv >> i) & 1)
+            ^ ((inv >> ((i + 4) % 8)) & 1)
+            ^ ((inv >> ((i + 5) % 8)) & 1)
+            ^ ((inv >> ((i + 6) % 8)) & 1)
+            ^ ((inv >> ((i + 7) % 8)) & 1)
+            ^ ((0x63 >> i) & 1);
+        out |= bit << i;
+    }
+    out
+}
+
+/// Generates the full 256-entry S-box table.
+pub fn sbox_table() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    for (i, e) in t.iter_mut().enumerate() {
+        *e = sbox(i as u8);
+    }
+    t
+}
+
+/// Expands a 16-byte key into 11 round keys (176 bytes).
+pub fn key_expansion(key: &[u8; 16]) -> [u8; 176] {
+    let mut w = [0u8; 176];
+    w[..16].copy_from_slice(key);
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut temp = [
+            w[4 * (i - 1)],
+            w[4 * (i - 1) + 1],
+            w[4 * (i - 1) + 2],
+            w[4 * (i - 1) + 3],
+        ];
+        if i % 4 == 0 {
+            temp.rotate_left(1);
+            for b in temp.iter_mut() {
+                *b = sbox(*b);
+            }
+            temp[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+        }
+        for j in 0..4 {
+            w[4 * i + j] = w[4 * (i - 4) + j] ^ temp[j];
+        }
+    }
+    w
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = sbox(*b);
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    // Column-major state layout: state[r + 4c].
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+/// Encrypts a single 16-byte block.
+pub fn encrypt_block(key: &[u8; 16], plaintext: &[u8; 16]) -> [u8; 16] {
+    let rk = key_expansion(key);
+    let mut state = *plaintext;
+    add_round_key(&mut state, &rk[..16]);
+    for round in 1..ROUNDS {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, &rk[16 * round..16 * round + 16]);
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &rk[160..176]);
+    state
+}
+
+/// Encrypts `message` in CTR mode with a 16-byte big-endian counter block
+/// starting at `iv`.
+pub fn encrypt_ctr(key: &[u8; 16], iv: u128, message: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(message.len());
+    for (i, chunk) in message.chunks(16).enumerate() {
+        let counter_block = (iv.wrapping_add(i as u128)).to_be_bytes();
+        let ks = encrypt_block(key, &counter_block);
+        for (j, b) in chunk.iter().enumerate() {
+            out.push(b ^ ks[j]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        assert_eq!(sbox(0x00), 0x63);
+        assert_eq!(sbox(0x01), 0x7c);
+        assert_eq!(sbox(0x53), 0xed);
+        assert_eq!(sbox(0xff), 0x16);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let t = sbox_table();
+        let mut seen = [false; 256];
+        for &v in t.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn gf_mul_basics() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1); // FIPS-197 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(1, 0xab), 0xab);
+        assert_eq!(gf_mul(0, 0xab), 0);
+    }
+
+    #[test]
+    fn gf_inv_is_inverse() {
+        for x in 1..=255u8 {
+            assert_eq!(gf_mul(x, gf_inv(x)), 1, "x = {x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    /// FIPS-197 Appendix C.1 known-answer test.
+    #[test]
+    fn fips197_vector() {
+        let key: [u8; 16] = (0u8..16).collect::<Vec<_>>().try_into().unwrap();
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let ct = encrypt_block(&key, &pt);
+        let expected: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(ct, expected);
+    }
+
+    #[test]
+    fn ctr_mode_roundtrip() {
+        let key = [0x2b; 16];
+        let msg: Vec<u8> = (0..100u8).collect();
+        let ct = encrypt_ctr(&key, 42, &msg);
+        let pt = encrypt_ctr(&key, 42, &ct);
+        assert_eq!(pt, msg);
+        assert_ne!(ct, msg);
+    }
+}

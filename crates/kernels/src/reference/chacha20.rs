@@ -1,0 +1,137 @@
+//! Reference ChaCha20 stream cipher (RFC 8439).
+
+/// The ChaCha constant `"expa nd 3 2-by te k"` as four little-endian words.
+pub const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// One quarter round on four state words.
+#[inline]
+pub fn quarter_round(a: u32, b: u32, c: u32, d: u32) -> (u32, u32, u32, u32) {
+    let (mut a, mut b, mut c, mut d) = (a, b, c, d);
+    a = a.wrapping_add(b);
+    d ^= a;
+    d = d.rotate_left(16);
+    c = c.wrapping_add(d);
+    b ^= c;
+    b = b.rotate_left(12);
+    a = a.wrapping_add(b);
+    d ^= a;
+    d = d.rotate_left(8);
+    c = c.wrapping_add(d);
+    b ^= c;
+    b = b.rotate_left(7);
+    (a, b, c, d)
+}
+
+fn qr(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    let (x, y, z, w) = quarter_round(state[a], state[b], state[c], state[d]);
+    state[a] = x;
+    state[b] = y;
+    state[c] = z;
+    state[d] = w;
+}
+
+/// Builds the initial 16-word ChaCha20 state from key, counter and nonce.
+pub fn initial_state(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u32; 16] {
+    let mut s = [0u32; 16];
+    s[..4].copy_from_slice(&CHACHA_CONST);
+    for i in 0..8 {
+        s[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    s[12] = counter;
+    for i in 0..3 {
+        s[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    s
+}
+
+/// The ChaCha20 block function: 20 rounds (10 double rounds) plus the feed
+/// forward addition, serialised little-endian.
+pub fn block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let s0 = initial_state(key, counter, nonce);
+    let mut s = s0;
+    for _ in 0..10 {
+        // Column round.
+        qr(&mut s, 0, 4, 8, 12);
+        qr(&mut s, 1, 5, 9, 13);
+        qr(&mut s, 2, 6, 10, 14);
+        qr(&mut s, 3, 7, 11, 15);
+        // Diagonal round.
+        qr(&mut s, 0, 5, 10, 15);
+        qr(&mut s, 1, 6, 11, 12);
+        qr(&mut s, 2, 7, 8, 13);
+        qr(&mut s, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = s[i].wrapping_add(s0[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts (or decrypts) `message` with ChaCha20, starting at block
+/// `counter`.
+pub fn encrypt(key: &[u8; 32], counter: u32, nonce: &[u8; 12], message: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(message.len());
+    for (block_idx, chunk) in message.chunks(64).enumerate() {
+        let ks = block(key, counter.wrapping_add(block_idx as u32), nonce);
+        for (i, byte) in chunk.iter().enumerate() {
+            out.push(byte ^ ks[i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The keystream must depend on every input: key, counter and nonce.
+    #[test]
+    fn block_depends_on_all_inputs() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let base = block(&key, 1, &nonce);
+        assert_ne!(base, [0u8; 64]);
+        assert_ne!(block(&key, 2, &nonce), base);
+        let mut key2 = key;
+        key2[0] ^= 1;
+        assert_ne!(block(&key2, 1, &nonce), base);
+        let mut nonce2 = nonce;
+        nonce2[0] ^= 1;
+        assert_ne!(block(&key, 1, &nonce2), base);
+    }
+
+    /// The initial state layout follows RFC 8439 §2.3.
+    #[test]
+    fn initial_state_layout() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce = [0u8; 12];
+        let s = initial_state(&key, 7, &nonce);
+        assert_eq!(&s[..4], &CHACHA_CONST);
+        assert_eq!(s[4], u32::from_le_bytes([0, 1, 2, 3]));
+        assert_eq!(s[12], 7);
+        assert_eq!(s[13], 0);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let msg: Vec<u8> = (0..200).map(|i| (i * 7 % 251) as u8).collect();
+        let ct = encrypt(&key, 0, &nonce, &msg);
+        let pt = encrypt(&key, 0, &nonce, &ct);
+        assert_eq!(pt, msg);
+        assert_ne!(ct, msg);
+    }
+
+    #[test]
+    fn quarter_round_rfc_vector() {
+        // RFC 8439 §2.1.1
+        let (a, b, c, d) = quarter_round(0x11111111, 0x01020304, 0x9b8d6f43, 0x01234567);
+        assert_eq!(a, 0xea2a92f4);
+        assert_eq!(b, 0xcb1cf8ce);
+        assert_eq!(c, 0x4581472e);
+        assert_eq!(d, 0x5881c4bb);
+    }
+}

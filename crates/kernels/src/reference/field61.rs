@@ -1,0 +1,190 @@
+//! Arithmetic over the Mersenne prime field GF(2^61 - 1) and a Montgomery
+//! ladder over a Montgomery-form curve defined on it.
+//!
+//! **Substitution note.** The paper's `EC_c25519` / `curve25519` workloads run
+//! an X25519 Montgomery ladder over GF(2^255 - 19). The branch behaviour that
+//! matters is a fixed 255-iteration ladder loop whose body is a block of
+//! field multiplications, squarings, additions and a constant-time swap. This
+//! stand-in keeps the identical ladder structure (same xDBLADD formulas, same
+//! cswap) over the smaller Mersenne prime 2^61 - 1, so each field operation is
+//! a handful of instructions instead of hundreds; the loop and call pattern —
+//! which is what Cassandra compresses — is unchanged.
+
+/// The field prime, 2^61 - 1.
+pub const P: u64 = (1 << 61) - 1;
+
+/// The curve's `(A + 2) / 4` constant used by the xDBLADD formula. The value
+/// mirrors curve25519's 121666 (the exact constant is irrelevant to the
+/// branch behaviour).
+pub const A24: u64 = 121_666;
+
+/// Reduces an arbitrary 64-bit value modulo `P`.
+pub fn reduce(x: u64) -> u64 {
+    let mut r = (x & P) + (x >> 61);
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// Field addition.
+pub fn add(a: u64, b: u64) -> u64 {
+    reduce(a + b)
+}
+
+/// Field subtraction.
+pub fn sub(a: u64, b: u64) -> u64 {
+    reduce(a + (P - reduce(b)))
+}
+
+/// Field multiplication via the Mersenne folding 2^61 ≡ 1.
+pub fn mul(a: u64, b: u64) -> u64 {
+    let t = u128::from(a) * u128::from(b);
+    let lo = t as u64;
+    let hi = (t >> 64) as u64;
+    // 2^64 ≡ 8 (mod 2^61 - 1)
+    let folded = (lo & P) + (lo >> 61) + hi * 8;
+    reduce(folded)
+}
+
+/// Field squaring.
+pub fn square(a: u64) -> u64 {
+    mul(a, a)
+}
+
+/// Field exponentiation (square and multiply, public exponent).
+pub fn pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = square(base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse via Fermat's little theorem.
+pub fn inv(a: u64) -> u64 {
+    pow(a, P - 2)
+}
+
+/// Constant-time conditional swap of two field elements, driven by `bit`.
+pub fn cswap(bit: u64, a: u64, b: u64) -> (u64, u64) {
+    let mask = bit.wrapping_neg();
+    let t = mask & (a ^ b);
+    (a ^ t, b ^ t)
+}
+
+/// One step of the Montgomery ladder (xDBLADD) on projective x-coordinates.
+///
+/// Given (X2:Z2) = [n]P and (X3:Z3) = [n+1]P plus the affine x-coordinate
+/// `x1` of the base point, returns ([2n]P, [2n+1]P).
+#[allow(clippy::many_single_char_names)]
+pub fn ladder_step(x1: u64, x2: u64, z2: u64, x3: u64, z3: u64) -> (u64, u64, u64, u64) {
+    let a = add(x2, z2);
+    let aa = square(a);
+    let b = sub(x2, z2);
+    let bb = square(b);
+    let e = sub(aa, bb);
+    let c = add(x3, z3);
+    let d = sub(x3, z3);
+    let da = mul(d, a);
+    let cb = mul(c, b);
+    let x5 = square(add(da, cb));
+    let z5 = mul(x1, square(sub(da, cb)));
+    let x4 = mul(aa, bb);
+    let z4 = mul(e, add(bb, mul(A24, e)));
+    (x4, z4, x5, z5)
+}
+
+/// Montgomery-ladder scalar multiplication: returns the affine x-coordinate
+/// of [scalar]P given the affine x-coordinate `x1` of P. `bits` is the number
+/// of scalar bits processed (255 for the curve25519-shaped workload).
+pub fn scalar_mult(x1: u64, scalar: &[u64], bits: usize) -> u64 {
+    let x1 = reduce(x1);
+    let mut x2 = 1u64;
+    let mut z2 = 0u64;
+    let mut x3 = x1;
+    let mut z3 = 1u64;
+    let mut swap = 0u64;
+    for i in (0..bits).rev() {
+        let bit = (scalar[i / 64] >> (i % 64)) & 1;
+        swap ^= bit;
+        let (nx2, nx3) = cswap(swap, x2, x3);
+        let (nz2, nz3) = cswap(swap, z2, z3);
+        swap = bit;
+        let (a, b, c, d) = ladder_step(x1, nx2, nz2, nx3, nz3);
+        x2 = a;
+        z2 = b;
+        x3 = c;
+        z3 = d;
+    }
+    let (x2, _x3) = cswap(swap, x2, x3);
+    let (z2, _z3) = cswap(swap, z2, z3);
+    mul(x2, inv(z2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_bounds() {
+        assert_eq!(reduce(P), 0);
+        assert_eq!(reduce(P + 5), 5);
+        // 2^64 - 1 = 8p + 7, so it reduces to 7.
+        assert_eq!(reduce(u64::MAX), 7);
+        assert!(reduce(u64::MAX) < P);
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = 0x1234_5678_9abc_def % P;
+        let b = 0x0fed_cba9_8765_4321 % P;
+        let c = 0x1111_2222_3333 % P;
+        assert_eq!(mul(a, b), mul(b, a));
+        assert_eq!(add(a, b), add(b, a));
+        assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        assert_eq!(sub(a, a), 0);
+        assert_eq!(mul(a, 1), a);
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        for a in [1u64, 2, 12345, P - 1, 0x1122_3344_5566] {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn cswap_behaviour() {
+        assert_eq!(cswap(0, 3, 9), (3, 9));
+        assert_eq!(cswap(1, 3, 9), (9, 3));
+    }
+
+    #[test]
+    fn scalar_mult_distributes_like_a_group_action() {
+        // [2]([3]P) should equal [3]([2]P) = [6]P on the x-line: scalar
+        // multiplication on x-coordinates commutes.
+        let x1 = 9u64;
+        let two = [2u64, 0, 0, 0];
+        let three = [3u64, 0, 0, 0];
+        let six = [6u64, 0, 0, 0];
+        let p2 = scalar_mult(x1, &two, 255);
+        let p3 = scalar_mult(x1, &three, 255);
+        let left = scalar_mult(p3, &two, 255);
+        let right = scalar_mult(p2, &three, 255);
+        let direct = scalar_mult(x1, &six, 255);
+        assert_eq!(left, right);
+        assert_eq!(left, direct);
+    }
+
+    #[test]
+    fn scalar_one_is_identityish() {
+        let x1 = 9u64;
+        let one = [1u64, 0, 0, 0];
+        assert_eq!(scalar_mult(x1, &one, 255), x1);
+    }
+}

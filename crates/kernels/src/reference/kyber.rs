@@ -1,0 +1,223 @@
+//! Kyber-shaped lattice arithmetic: NTT-based polynomial multiplication over
+//! Z_q[X]/(X^256 - 1) with q = 3329, plus the module-level matrix/vector
+//! products that dominate Kyber512/768 key encapsulation.
+//!
+//! **Substitution note.** Real Kyber uses a negacyclic NTT (X^256 + 1) with a
+//! pairwise basemul and Keccak-based sampling. What Cassandra's analysis sees
+//! is the *loop structure*: log n butterfly levels over 256 coefficients, k×k
+//! matrix-vector polynomial products (k = 2 for Kyber512, 3 for Kyber768),
+//! and per-coefficient Barrett reductions — all with public trip counts. The
+//! cyclic NTT used here has the same loop nest shapes and operation mix; the
+//! deterministic xorshift-based sampler replaces Keccak (which is
+//! straight-line code in the real implementation anyway).
+
+/// The Kyber modulus.
+pub const Q: u64 = 3329;
+/// Polynomial degree.
+pub const N: usize = 256;
+
+/// A polynomial with `N` coefficients in `[0, Q)`.
+pub type Poly = Vec<u64>;
+
+/// Modular exponentiation used to find roots of unity.
+fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= Q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % Q;
+        }
+        base = base * base % Q;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Returns a primitive `N`-th root of unity modulo `Q`.
+///
+/// `Q - 1 = 3328 = 2^8 * 13`, so primitive 256th roots exist.
+pub fn primitive_root() -> u64 {
+    for g in 2..Q {
+        let w = pow_mod(g, (Q - 1) / N as u64);
+        if pow_mod(w, (N / 2) as u64) != 1 {
+            return w;
+        }
+    }
+    unreachable!("a primitive root must exist for q = 3329")
+}
+
+/// Precomputes the twiddle factors `w^0 .. w^(N-1)` for the forward NTT.
+pub fn twiddles(root: u64) -> Vec<u64> {
+    let mut t = Vec::with_capacity(N);
+    let mut acc = 1u64;
+    for _ in 0..N {
+        t.push(acc);
+        acc = acc * root % Q;
+    }
+    t
+}
+
+/// In-place iterative radix-2 NTT (decimation in time, cyclic).
+pub fn ntt(poly: &mut [u64], tw: &[u64]) {
+    assert_eq!(poly.len(), N);
+    // Bit-reversal permutation.
+    let bits = N.trailing_zeros();
+    for i in 0..N {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            poly.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= N {
+        let step = N / len;
+        for start in (0..N).step_by(len) {
+            for k in 0..len / 2 {
+                let w = tw[k * step];
+                let u = poly[start + k];
+                let v = poly[start + k + len / 2] * w % Q;
+                poly[start + k] = (u + v) % Q;
+                poly[start + k + len / 2] = (u + Q - v) % Q;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// In-place inverse NTT.
+pub fn intt(poly: &mut [u64], root: u64) {
+    let inv_root = pow_mod(root, Q - 2);
+    let tw = twiddles(inv_root);
+    ntt(poly, &tw);
+    let n_inv = pow_mod(N as u64, Q - 2);
+    for c in poly.iter_mut() {
+        *c = *c * n_inv % Q;
+    }
+}
+
+/// Pointwise multiplication of two NTT-domain polynomials.
+pub fn pointwise(a: &[u64], b: &[u64]) -> Poly {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y % Q).collect()
+}
+
+/// Schoolbook cyclic convolution, the oracle for NTT-based multiplication.
+pub fn cyclic_convolution(a: &[u64], b: &[u64]) -> Poly {
+    let mut out = vec![0u64; N];
+    for i in 0..N {
+        for j in 0..N {
+            out[(i + j) % N] = (out[(i + j) % N] + a[i] * b[j]) % Q;
+        }
+    }
+    out
+}
+
+/// Multiplies two polynomials via the NTT.
+pub fn poly_mul(a: &[u64], b: &[u64]) -> Poly {
+    let root = primitive_root();
+    let tw = twiddles(root);
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    ntt(&mut fa, &tw);
+    ntt(&mut fb, &tw);
+    let mut prod = pointwise(&fa, &fb);
+    intt(&mut prod, root);
+    prod
+}
+
+/// Adds two polynomials coefficient-wise.
+pub fn poly_add(a: &[u64], b: &[u64]) -> Poly {
+    a.iter().zip(b.iter()).map(|(x, y)| (x + y) % Q).collect()
+}
+
+/// Deterministic xorshift-based polynomial sampler (Keccak stand-in).
+pub fn sample_poly(seed: u64) -> Poly {
+    let mut state = seed | 1;
+    let mut out = Vec::with_capacity(N);
+    for _ in 0..N {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.push(state % Q);
+    }
+    out
+}
+
+/// A Kyber-shaped "matrix times vector plus error" product: given module rank
+/// `k`, computes `t = A*s + e` where all polynomials are sampled from `seed`.
+/// Returns the `k` result polynomials. This is the arithmetic core of key
+/// generation / encapsulation.
+pub fn matrix_vector_product(k: usize, seed: u64) -> Vec<Poly> {
+    let mut result = Vec::with_capacity(k);
+    for i in 0..k {
+        let mut acc = vec![0u64; N];
+        for j in 0..k {
+            let a_ij = sample_poly(seed.wrapping_add((i * k + j) as u64 * 0x9e37));
+            let s_j = sample_poly(seed.wrapping_add(0xdead + j as u64));
+            acc = poly_add(&acc, &poly_mul(&a_ij, &s_j));
+        }
+        let e_i = sample_poly(seed.wrapping_add(0xbeef + i as u64));
+        result.push(poly_add(&acc, &e_i));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_primitive() {
+        let w = primitive_root();
+        assert_eq!(pow_mod(w, N as u64), 1);
+        assert_ne!(pow_mod(w, (N / 2) as u64), 1);
+    }
+
+    #[test]
+    fn ntt_intt_roundtrip() {
+        let root = primitive_root();
+        let tw = twiddles(root);
+        let original = sample_poly(7);
+        let mut p = original.clone();
+        ntt(&mut p, &tw);
+        assert_ne!(p, original);
+        intt(&mut p, root);
+        assert_eq!(p, original);
+    }
+
+    #[test]
+    fn ntt_multiplication_matches_schoolbook() {
+        let a = sample_poly(1);
+        let b = sample_poly(2);
+        assert_eq!(poly_mul(&a, &b), cyclic_convolution(&a, &b));
+    }
+
+    #[test]
+    fn poly_add_is_componentwise() {
+        let a = sample_poly(3);
+        let b = sample_poly(4);
+        let c = poly_add(&a, &b);
+        for i in 0..N {
+            assert_eq!(c[i], (a[i] + b[i]) % Q);
+        }
+    }
+
+    #[test]
+    fn matrix_vector_product_shapes() {
+        let t2 = matrix_vector_product(2, 99);
+        let t3 = matrix_vector_product(3, 99);
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t3.len(), 3);
+        for p in t2.iter().chain(t3.iter()) {
+            assert_eq!(p.len(), N);
+            assert!(p.iter().all(|&c| c < Q));
+        }
+        assert_ne!(t2[0], t3[0], "rank changes the result");
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        assert_eq!(sample_poly(5), sample_poly(5));
+        assert_ne!(sample_poly(5), sample_poly(6));
+    }
+}

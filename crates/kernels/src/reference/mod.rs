@@ -1,0 +1,15 @@
+//! Pure-Rust reference implementations.
+//!
+//! These are *not* meant to be used as production cryptography; they exist so
+//! the ISA kernels in [`crate::kernel`] can be validated bit-for-bit, and so
+//! the property tests have an independent oracle.
+
+pub mod aes128;
+pub mod chacha20;
+pub mod feistel;
+pub mod field61;
+pub mod kyber;
+pub mod modexp;
+pub mod poly1305;
+pub mod sha256;
+pub mod wots;

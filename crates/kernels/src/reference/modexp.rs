@@ -1,0 +1,179 @@
+//! Reference Montgomery-ladder modular exponentiation (RSA / ModPow stand-in).
+//!
+//! **Substitution note.** The paper's `RSA-2048` and `ModPow_i31` workloads
+//! perform constant-time modular exponentiation over multi-limb integers. The
+//! branch behaviour that matters is a fixed-length square-and-multiply ladder
+//! (one iteration per exponent bit) calling a constant-time modular
+//! multiplication routine. This stand-in keeps that structure with a 62-bit
+//! modulus and configurable exponent width (256 bits by default), using
+//! single-limb Montgomery multiplication — which is exactly what each limb
+//! step of a real implementation does.
+
+/// A Montgomery context for a fixed odd modulus below 2^62.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontCtx {
+    /// The odd modulus.
+    pub n: u64,
+    /// `-n^{-1} mod 2^64`.
+    pub n_prime: u64,
+    /// `R^2 mod n` where `R = 2^64`, used to enter the Montgomery domain.
+    pub r2: u64,
+    /// `R mod n`, the Montgomery representation of 1.
+    pub r1: u64,
+}
+
+impl MontCtx {
+    /// Builds a context for an odd modulus `n < 2^62`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even, zero, or not below 2^62.
+    pub fn new(n: u64) -> Self {
+        assert!(n % 2 == 1, "modulus must be odd");
+        assert!(n > 1 && n < (1 << 62), "modulus must be in (1, 2^62)");
+        // Newton iteration for the inverse of n modulo 2^64.
+        let mut inv = n; // correct to 3 bits
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n.wrapping_mul(inv)));
+        }
+        let n_prime = inv.wrapping_neg();
+        let r1 = (u128::from(u64::MAX) + 1).rem_euclid(u128::from(n)) as u64;
+        let r2 = ((u128::from(r1) * u128::from(r1)) % u128::from(n)) as u64;
+        MontCtx { n, n_prime, r2, r1 }
+    }
+
+    /// Montgomery multiplication: returns `a * b * R^{-1} mod n`.
+    pub fn mont_mul(&self, a: u64, b: u64) -> u64 {
+        let t = u128::from(a) * u128::from(b);
+        let t_lo = t as u64;
+        let t_hi = (t >> 64) as u64;
+        let m = t_lo.wrapping_mul(self.n_prime);
+        let mn = u128::from(m) * u128::from(self.n);
+        let mn_lo = mn as u64;
+        let mn_hi = (mn >> 64) as u64;
+        let (_, carry) = t_lo.overflowing_add(mn_lo);
+        let u = t_hi + mn_hi + u64::from(carry);
+        // Constant-time conditional subtraction.
+        let (diff, borrow) = u.overflowing_sub(self.n);
+        if borrow {
+            u
+        } else {
+            diff
+        }
+    }
+
+    /// Converts into the Montgomery domain.
+    pub fn to_mont(&self, a: u64) -> u64 {
+        self.mont_mul(a % self.n, self.r2)
+    }
+
+    /// Converts out of the Montgomery domain.
+    pub fn from_mont(&self, a: u64) -> u64 {
+        self.mont_mul(a, 1)
+    }
+
+    /// Plain modular multiplication through the Montgomery domain.
+    pub fn mod_mul(&self, a: u64, b: u64) -> u64 {
+        self.from_mont(self.mont_mul(self.to_mont(a), self.to_mont(b)))
+    }
+}
+
+/// Constant-time Montgomery-ladder exponentiation: `base^exp mod n`, where the
+/// exponent is given as `bits` bits of `exp` (little-endian 64-bit words),
+/// scanned from the most significant bit downwards.
+pub fn mod_exp(n: u64, base: u64, exp: &[u64], bits: usize) -> u64 {
+    let ctx = MontCtx::new(n);
+    let x = ctx.to_mont(base);
+    // Ladder state: r0 = 1 (Montgomery), r1 = x.
+    let mut r0 = ctx.r1;
+    let mut r1 = x;
+    for i in (0..bits).rev() {
+        let bit = (exp[i / 64] >> (i % 64)) & 1;
+        // Constant-time swap driven by the bit (the ISA kernel uses the same
+        // masked swap so the two stay in lockstep).
+        let mask = bit.wrapping_neg();
+        let t0 = r0 ^ (mask & (r0 ^ r1));
+        let t1 = r1 ^ (mask & (r0 ^ r1));
+        // t0 is the "accumulator", t1 the "other": square/multiply.
+        let new_other = ctx.mont_mul(t0, t1);
+        let new_acc = ctx.mont_mul(t0, t0);
+        // Swap back.
+        r0 = new_acc ^ (mask & (new_acc ^ new_other));
+        r1 = new_other ^ (mask & (new_acc ^ new_other));
+    }
+    ctx.from_mont(r0)
+}
+
+/// Simple square-and-multiply oracle used to validate [`mod_exp`] in tests.
+pub fn mod_exp_naive(n: u64, base: u64, exp: &[u64], bits: usize) -> u64 {
+    let n128 = u128::from(n);
+    let mut result: u128 = 1 % n128;
+    let mut b = u128::from(base % n);
+    for i in 0..bits {
+        let bit = (exp[i / 64] >> (i % 64)) & 1;
+        if bit == 1 {
+            result = result * b % n128;
+        }
+        b = b * b % n128;
+    }
+    result as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P61: u64 = (1 << 61) - 1;
+
+    #[test]
+    fn mont_ctx_inverse_is_correct() {
+        for n in [3u64, 0xffff_fffb, P61, (1 << 61) + 15] {
+            let ctx = MontCtx::new(n);
+            assert_eq!(
+                n.wrapping_mul(ctx.n_prime),
+                u64::MAX,
+                "n * n' == -1 mod 2^64 for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_plain_multiplication() {
+        let ctx = MontCtx::new(P61);
+        for (a, b) in [(1u64, 1u64), (2, 3), (P61 - 1, P61 - 1), (12345, 987654321)] {
+            let expect = ((u128::from(a) * u128::from(b)) % u128::from(P61)) as u64;
+            assert_eq!(ctx.mod_mul(a, b), expect);
+        }
+    }
+
+    #[test]
+    fn to_from_mont_roundtrip() {
+        let ctx = MontCtx::new(1_000_003);
+        for a in [0u64, 1, 999_999, 123_456] {
+            assert_eq!(ctx.from_mont(ctx.to_mont(a)), a % ctx.n);
+        }
+    }
+
+    #[test]
+    fn ladder_matches_naive_exponentiation() {
+        let n = P61;
+        let exp = [0x0123_4567_89ab_cdef, 0xfeed_face_0bad_beef, 0x1111, 0x8000_0000_0000_0001];
+        for base in [2u64, 3, 65537, P61 - 2] {
+            assert_eq!(
+                mod_exp(n, base, &exp, 256),
+                mod_exp_naive(n, base, &exp, 256),
+                "base {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // P61 is prime: a^(p-1) ≡ 1 (mod p).
+        let p = P61;
+        let exp = [p - 1, 0, 0, 0];
+        for a in [2u64, 7, 1234567] {
+            assert_eq!(mod_exp(p, a, &exp, 64), 1);
+        }
+    }
+}

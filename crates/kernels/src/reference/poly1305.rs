@@ -1,0 +1,210 @@
+//! Reference Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! The implementation uses five 26-bit limbs, the classic constant-time
+//! representation; the ISA kernel mirrors the same limb scheme so the two can
+//! be compared limb by limb as well as byte by byte.
+
+/// Clamps the `r` part of the key as required by the specification.
+pub fn clamp(r: &mut [u8; 16]) {
+    r[3] &= 15;
+    r[7] &= 15;
+    r[11] &= 15;
+    r[15] &= 15;
+    r[4] &= 252;
+    r[8] &= 252;
+    r[12] &= 252;
+}
+
+/// Splits 16 little-endian bytes into five 26-bit limbs.
+pub fn to_limbs(bytes: &[u8; 16]) -> [u64; 5] {
+    let lo = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    let hi = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    [
+        lo & 0x3ffffff,
+        (lo >> 26) & 0x3ffffff,
+        ((lo >> 52) | (hi << 12)) & 0x3ffffff,
+        (hi >> 14) & 0x3ffffff,
+        (hi >> 40) & 0x3ffffff,
+    ]
+}
+
+/// Computes the Poly1305 tag of `message` under the 32-byte one-time `key`.
+pub fn tag(key: &[u8; 32], message: &[u8]) -> [u8; 16] {
+    let mut r_bytes: [u8; 16] = key[..16].try_into().unwrap();
+    clamp(&mut r_bytes);
+    let r = to_limbs(&r_bytes);
+    let s = u128::from_le_bytes(key[16..32].try_into().unwrap());
+
+    let mut h = [0u64; 5];
+    for chunk in message.chunks(16) {
+        // Build the 17-byte block value: chunk little-endian plus a high 1 bit.
+        let mut block = [0u8; 16];
+        block[..chunk.len()].copy_from_slice(chunk);
+        let mut c = to_limbs(&block);
+        if chunk.len() == 16 {
+            c[4] |= 1 << 24; // the 2^128 bit lands in limb 4 bit 24
+        } else {
+            // Partial block: the 1 bit goes right after the message bytes.
+            let bit = 8 * chunk.len();
+            let limb = bit / 26;
+            c[limb] |= 1 << (bit % 26);
+        }
+        // h += c
+        for i in 0..5 {
+            h[i] += c[i];
+        }
+        // h *= r (mod 2^130 - 5)
+        h = mul_mod(&h, &r);
+    }
+
+    // Full carry propagation and reduction mod 2^130-5.
+    h = reduce_final(h);
+
+    // tag = (h + s) mod 2^128
+    let h_low: u128 = (h[0] as u128)
+        | ((h[1] as u128) << 26)
+        | ((h[2] as u128) << 52)
+        | ((h[3] as u128) << 78)
+        | (((h[4] as u128) & 0x3ffffff) << 104);
+    let t = h_low.wrapping_add(s);
+    t.to_le_bytes()
+}
+
+/// Multiplies two 5×26-bit numbers modulo 2^130 - 5 with partial reduction.
+fn mul_mod(h: &[u64; 5], r: &[u64; 5]) -> [u64; 5] {
+    // Schoolbook with the 5*x folding for limbs above 2^130.
+    let mut d = [0u128; 5];
+    for i in 0..5 {
+        for j in 0..5 {
+            let prod = (h[i] as u128) * (r[j] as u128);
+            let k = i + j;
+            if k < 5 {
+                d[k] += prod;
+            } else {
+                d[k - 5] += prod * 5;
+            }
+        }
+    }
+    // Carry propagation back to 26-bit limbs (partial: limbs may end slightly
+    // above 2^26, which the next round's addition tolerates).
+    let mut out = [0u64; 5];
+    let mut carry: u128 = 0;
+    for i in 0..5 {
+        let v = d[i] + carry;
+        out[i] = (v & 0x3ffffff) as u64;
+        carry = v >> 26;
+    }
+    // Fold the final carry back with ×5.
+    let mut c = (carry * 5) as u64;
+    let mut i = 0;
+    while c > 0 {
+        let v = out[i] + c;
+        out[i] = v & 0x3ffffff;
+        c = v >> 26;
+        i = (i + 1) % 5;
+    }
+    out
+}
+
+/// Fully reduces `h` modulo 2^130 - 5.
+fn reduce_final(mut h: [u64; 5]) -> [u64; 5] {
+    // Carry propagate.
+    let mut carry = 0u64;
+    for limb in h.iter_mut() {
+        let v = *limb + carry;
+        *limb = v & 0x3ffffff;
+        carry = v >> 26;
+    }
+    // Fold carry (×5) back into limb 0 and propagate once more.
+    let mut c = carry * 5;
+    for limb in h.iter_mut() {
+        let v = *limb + c;
+        *limb = v & 0x3ffffff;
+        c = v >> 26;
+    }
+    // Compute h + 5 - 2^130; if it is non-negative use it (constant-time
+    // select in real code, plain select here).
+    let mut g = [0u64; 5];
+    let mut borrow_add = 5u64;
+    for i in 0..5 {
+        let v = h[i] + borrow_add;
+        g[i] = v & 0x3ffffff;
+        borrow_add = v >> 26;
+    }
+    let ge_p = borrow_add > 0 || (g[4] >> 26) > 0;
+    // h >= 2^130 - 5 exactly when h + 5 carries out of 130 bits.
+    let use_g = ge_p;
+    let mut out = [0u64; 5];
+    for i in 0..5 {
+        out[i] = if use_g { g[i] } else { h[i] };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let msg = b"Cryptographic Forum Research Group";
+        let expected: [u8; 16] = [
+            0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+            0x27, 0xa9,
+        ];
+        assert_eq!(tag(&key, msg), expected);
+    }
+
+    #[test]
+    fn empty_message_tag_is_s() {
+        // With an empty message h stays 0, so the tag equals the s half.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let t = tag(&key, b"");
+        assert_eq!(&t, &key[16..32]);
+    }
+
+    #[test]
+    fn tag_depends_on_message_and_key() {
+        let key = [0x42u8; 32];
+        let t1 = tag(&key, b"hello world");
+        let t2 = tag(&key, b"hello worle");
+        assert_ne!(t1, t2);
+        let mut key2 = key;
+        key2[0] ^= 1;
+        assert_ne!(tag(&key2, b"hello world"), t1);
+    }
+
+    #[test]
+    fn limb_split_roundtrip() {
+        let bytes: [u8; 16] = [
+            0xff, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let limbs = to_limbs(&bytes);
+        let value: u128 = (limbs[0] as u128)
+            | ((limbs[1] as u128) << 26)
+            | ((limbs[2] as u128) << 52)
+            | ((limbs[3] as u128) << 78)
+            | ((limbs[4] as u128) << 104);
+        assert_eq!(value, u128::from_le_bytes(bytes));
+    }
+
+    #[test]
+    fn clamp_masks_the_right_bits() {
+        let mut r = [0xffu8; 16];
+        clamp(&mut r);
+        assert_eq!(r[3], 0x0f);
+        assert_eq!(r[4], 0xfc);
+        assert_eq!(r[15], 0x0f);
+        assert_eq!(r[0], 0xff);
+    }
+}

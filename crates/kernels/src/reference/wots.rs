@@ -1,0 +1,192 @@
+//! SPHINCS+-shaped hash-based signature arithmetic: an ARX permutation hash,
+//! Winternitz (WOTS) hash chains and a Merkle tree over chain public keys.
+//!
+//! **Substitution note.** SPHINCS+ signing is dominated by millions of short
+//! hash invocations arranged in chains (WOTS) and trees (FORS/XMSS). The
+//! hash itself (SHA-2, SHAKE or Haraka) is straight-line code; the branch
+//! behaviour Cassandra cares about is the chain loops, tree loops and the
+//! per-node call pattern. This module keeps that structure with a compact
+//! 4×64-bit ARX permutation (`h256`) and parameterisable chain/tree sizes so
+//! the `sphincs-*-128s` workloads can be scaled to simulator-friendly sizes
+//! without changing their control-flow shape.
+
+/// Number of ARX rounds in the compression permutation.
+pub const HASH_ROUNDS: usize = 12;
+
+/// The 256-bit hash state (4 × 64-bit words).
+pub type State = [u64; 4];
+
+/// One ARX round on the 4-word state.
+pub fn round(state: &mut State, round_const: u64) {
+    state[0] = state[0].wrapping_add(state[1]);
+    state[3] ^= state[0];
+    state[3] = state[3].rotate_left(32);
+    state[2] = state[2].wrapping_add(state[3]);
+    state[1] ^= state[2];
+    state[1] = state[1].rotate_left(24);
+    state[0] = state[0].wrapping_add(state[1]).wrapping_add(round_const);
+    state[3] ^= state[0];
+    state[3] = state[3].rotate_left(16);
+    state[2] = state[2].wrapping_add(state[3]);
+    state[1] ^= state[2];
+    state[1] = state[1].rotate_left(63);
+}
+
+/// A 256-bit to 256-bit keyed compression function: `HASH_ROUNDS` ARX rounds
+/// with a feed-forward, domain-separated by `tweak`.
+pub fn h256(input: &State, tweak: u64) -> State {
+    let mut s = *input;
+    s[0] ^= tweak;
+    for r in 0..HASH_ROUNDS {
+        round(&mut s, (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tweak);
+    }
+    [
+        s[0].wrapping_add(input[0]),
+        s[1].wrapping_add(input[1]),
+        s[2].wrapping_add(input[2]),
+        s[3].wrapping_add(input[3]),
+    ]
+}
+
+/// Applies the chain function `steps` times starting from `x` (the WOTS chain
+/// primitive). Each step is domain separated by its position.
+pub fn chain(x: &State, start: usize, steps: usize) -> State {
+    let mut s = *x;
+    for i in start..start + steps {
+        s = h256(&s, i as u64);
+    }
+    s
+}
+
+/// Parameters of the scaled-down SPHINCS-shaped workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WotsParams {
+    /// Number of WOTS chains (`len` in the spec).
+    pub chains: usize,
+    /// Maximum chain length (`w - 1` steps per chain).
+    pub chain_len: usize,
+    /// Merkle tree height; the tree has `2^height` leaves.
+    pub tree_height: usize,
+}
+
+impl WotsParams {
+    /// A small configuration suitable for cycle-level simulation.
+    pub fn small() -> Self {
+        WotsParams {
+            chains: 8,
+            chain_len: 7,
+            tree_height: 3,
+        }
+    }
+
+    /// Number of leaves in the Merkle tree.
+    pub fn leaves(&self) -> usize {
+        1 << self.tree_height
+    }
+}
+
+/// Derives the secret chain start values for one leaf from a seed.
+pub fn leaf_secrets(seed: &State, leaf: usize, params: &WotsParams) -> Vec<State> {
+    (0..params.chains)
+        .map(|c| h256(seed, ((leaf << 16) | c) as u64 ^ 0xa5a5_0000))
+        .collect()
+}
+
+/// Computes the WOTS public key of one leaf: run every chain to the end and
+/// compress the chain ends together.
+pub fn wots_public_key(seed: &State, leaf: usize, params: &WotsParams) -> State {
+    let secrets = leaf_secrets(seed, leaf, params);
+    let mut acc = [0u64; 4];
+    for (c, secret) in secrets.iter().enumerate() {
+        let end = chain(secret, 0, params.chain_len);
+        // Absorb each chain end into the accumulator.
+        acc = h256(
+            &[
+                acc[0] ^ end[0],
+                acc[1] ^ end[1],
+                acc[2] ^ end[2],
+                acc[3] ^ end[3],
+            ],
+            c as u64 ^ 0x5a5a_0000,
+        );
+    }
+    acc
+}
+
+/// Computes the Merkle tree root over all leaf public keys.
+pub fn merkle_root(seed: &State, params: &WotsParams) -> State {
+    let mut level: Vec<State> = (0..params.leaves())
+        .map(|leaf| wots_public_key(seed, leaf, params))
+        .collect();
+    let mut height = 0u64;
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                let combined = [
+                    pair[0][0] ^ pair[1][0],
+                    pair[0][1] ^ pair[1][1],
+                    pair[0][2] ^ pair[1][2],
+                    pair[0][3] ^ pair[1][3],
+                ];
+                h256(&combined, 0xc0de_0000 ^ height)
+            })
+            .collect();
+        height += 1;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h256_is_deterministic_and_tweaked() {
+        let x = [1u64, 2, 3, 4];
+        assert_eq!(h256(&x, 0), h256(&x, 0));
+        assert_ne!(h256(&x, 0), h256(&x, 1));
+        assert_ne!(h256(&x, 0), x);
+    }
+
+    #[test]
+    fn chain_composes() {
+        let x = [9u64, 8, 7, 6];
+        let full = chain(&x, 0, 6);
+        let split = chain(&chain(&x, 0, 2), 2, 4);
+        assert_eq!(full, split);
+    }
+
+    #[test]
+    fn chain_zero_steps_is_identity() {
+        let x = [5u64, 5, 5, 5];
+        assert_eq!(chain(&x, 3, 0), x);
+    }
+
+    #[test]
+    fn merkle_root_depends_on_seed_and_params() {
+        let params = WotsParams::small();
+        let r1 = merkle_root(&[1, 2, 3, 4], &params);
+        let r2 = merkle_root(&[1, 2, 3, 5], &params);
+        assert_ne!(r1, r2);
+        let bigger = WotsParams {
+            tree_height: 4,
+            ..params
+        };
+        assert_ne!(merkle_root(&[1, 2, 3, 4], &bigger), r1);
+    }
+
+    #[test]
+    fn params_leaf_count() {
+        assert_eq!(WotsParams::small().leaves(), 8);
+        assert_eq!(
+            WotsParams {
+                chains: 4,
+                chain_len: 3,
+                tree_height: 5
+            }
+            .leaves(),
+            32
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! The evaluation workload suite.
+//!
+//! Mirrors the program list of the paper's Table 1 / Figure 7: BearSSL test
+//! programs, OpenSSL primitives and post-quantum reference implementations.
+//! Each paper workload is mapped onto one of the ISA kernels with parameters
+//! chosen so that its *control-flow shape* (loop nest, call pattern, trace
+//! sizes relative to the other workloads) matches the original program while
+//! staying small enough for cycle-level simulation. The exact mapping is
+//! documented per constructor and summarised in DESIGN.md.
+
+use crate::kernel::{aes128, chacha20, feistel, kyber, modexp, poly1305, sha256, sphincs, x25519};
+use crate::reference::wots::WotsParams;
+use crate::workload::{Workload, WorkloadGroup};
+
+fn demo_key32() -> [u8; 32] {
+    let mut k = [0u8; 32];
+    for (i, byte) in k.iter_mut().enumerate() {
+        *byte = (i as u8).wrapping_mul(7).wrapping_add(3);
+    }
+    k
+}
+
+fn demo_key16() -> [u8; 16] {
+    let mut k = [0u8; 16];
+    for (i, byte) in k.iter_mut().enumerate() {
+        *byte = (i as u8).wrapping_mul(11).wrapping_add(1);
+    }
+    k
+}
+
+fn demo_message(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 37 + 11) % 251) as u8).collect()
+}
+
+/// BearSSL `ChaCha20_ct`-shaped workload: ChaCha20 over `len` bytes.
+pub fn chacha20_workload(len: usize) -> Workload {
+    let nonce = [9u8; 12];
+    let kernel = chacha20::build(&demo_key32(), 1, &nonce, &demo_message(len));
+    Workload::new("ChaCha20_ct", WorkloadGroup::BearSsl, kernel)
+}
+
+/// OpenSSL `chacha20`-shaped workload (larger stream).
+pub fn openssl_chacha20_workload(len: usize) -> Workload {
+    let nonce = [3u8; 12];
+    let kernel = chacha20::build(&demo_key32(), 7, &nonce, &demo_message(len));
+    Workload::new("chacha20", WorkloadGroup::OpenSsl, kernel)
+}
+
+/// BearSSL `SHA-256`-shaped workload.
+pub fn sha256_workload(len: usize) -> Workload {
+    let kernel = sha256::build(&demo_message(len));
+    Workload::new("SHA-256", WorkloadGroup::BearSsl, kernel)
+}
+
+/// OpenSSL `sha256`-shaped workload.
+pub fn openssl_sha256_workload(len: usize) -> Workload {
+    let kernel = sha256::build(&demo_message(len));
+    Workload::new("sha256", WorkloadGroup::OpenSsl, kernel)
+}
+
+/// BearSSL `MultiHash`-shaped workload: a longer multi-block hash.
+pub fn multihash_workload(len: usize) -> Workload {
+    let kernel = sha256::build(&demo_message(len));
+    Workload::new("MultiHash", WorkloadGroup::BearSsl, kernel)
+}
+
+/// BearSSL `SHAKE`-shaped workload (mapped onto the SHA-256 kernel; the
+/// sponge loop structure is the same fixed-trip-count block loop).
+pub fn shake_workload(len: usize) -> Workload {
+    let kernel = sha256::build(&demo_message(len));
+    Workload::new("SHAKE", WorkloadGroup::BearSsl, kernel)
+}
+
+/// BearSSL `TLS PRF`-shaped workload (iterated HMAC-style hashing, mapped
+/// onto a long multi-block SHA-256 run).
+pub fn tls_prf_workload(len: usize) -> Workload {
+    let kernel = sha256::build(&demo_message(len));
+    Workload::new("TLS PRF", WorkloadGroup::BearSsl, kernel)
+}
+
+/// BearSSL `AES_CTR`-shaped workload.
+pub fn aes_ctr_workload(len: usize) -> Workload {
+    let kernel = aes128::build(&demo_key16(), 0x1234_5678, &demo_message(len));
+    Workload::new("AES_CTR", WorkloadGroup::BearSsl, kernel)
+}
+
+/// BearSSL `CBC_ct`-shaped workload (AES block loop; chaining does not change
+/// the branch structure, so the CTR kernel with a different length stands in).
+pub fn cbc_ct_workload(len: usize) -> Workload {
+    let kernel = aes128::build(&demo_key16(), 0xfeed_beef, &demo_message(len));
+    Workload::new("CBC_ct", WorkloadGroup::BearSsl, kernel)
+}
+
+/// BearSSL `DES_ct`-shaped workload (16-round Feistel loop over blocks).
+pub fn des_workload(nblocks: usize) -> Workload {
+    let blocks: Vec<u64> = (0..nblocks as u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+    let kernel = feistel::build(0x0123_4567_89ab_cdef, &blocks);
+    Workload::new("DES_ct", WorkloadGroup::BearSsl, kernel)
+}
+
+/// BearSSL `Poly1305_ctmul`-shaped workload.
+pub fn poly1305_workload(len: usize) -> Workload {
+    let kernel = poly1305::build(&demo_key32(), &demo_message(len));
+    Workload::new("Poly1305_ctmul", WorkloadGroup::BearSsl, kernel)
+}
+
+/// BearSSL `ModPow_i31`-shaped workload: 256-bit constant-time exponentiation.
+pub fn modpow_workload() -> Workload {
+    let exp = [0x0123_4567_89ab_cdef, 0xfeed_face_0bad_beef, 0x1357, 0x8000_0000_0000_0001];
+    let kernel = modexp::build((1 << 61) - 1, 65_537, &exp, 256);
+    Workload::new("ModPow_i31", WorkloadGroup::BearSsl, kernel)
+}
+
+/// BearSSL `RSA_i62`-shaped workload: 512-bit-exponent ladder (RSA-2048
+/// stand-in; the ladder length is the public parameter that matters).
+pub fn rsa_workload() -> Workload {
+    let exp = [
+        0xdead_beef_cafe_f00d,
+        0x0123_4567_89ab_cdef,
+        0xffff_0000_ffff_0000,
+        0x7fff_ffff_ffff_ffff,
+        0x1111_2222_3333_4444,
+        0x5555_6666_7777_8888,
+        0x9999_aaaa_bbbb_cccc,
+        0x0f0f_0f0f_0f0f_0f0f,
+    ];
+    let kernel = modexp::build((1 << 61) - 1, 3, &exp, 512);
+    Workload::new("RSA_i62", WorkloadGroup::BearSsl, kernel)
+}
+
+/// BearSSL `EC_c25519_i31`-shaped workload: Montgomery-ladder scalar mult.
+pub fn ec_c25519_workload() -> Workload {
+    let scalar = [
+        0xa546_e36b_f0527c9d,
+        0x3b16_154b_82465edd,
+        0x62ab_5f7f_6e1fbf90,
+        0x4b44_9c48_38a8bb08,
+    ];
+    let kernel = x25519::build(9, &scalar);
+    Workload::new("EC_c25519_i31", WorkloadGroup::BearSsl, kernel)
+}
+
+/// BearSSL `ECDSA_i31`-shaped workload: a second ladder invocation with a
+/// different scalar (ECDSA signing is dominated by the same scalar mult).
+pub fn ecdsa_workload() -> Workload {
+    let scalar = [
+        0x0102_0304_0506_0708,
+        0x1112_1314_1516_1718,
+        0x2122_2324_2526_2728,
+        0x3132_3334_3536_3738,
+    ];
+    let kernel = x25519::build(1234, &scalar);
+    Workload::new("ECDSA_i31", WorkloadGroup::BearSsl, kernel)
+}
+
+/// OpenSSL `curve25519`-shaped workload.
+pub fn openssl_curve25519_workload() -> Workload {
+    let scalar = [
+        0x4b66_e9d4_d1b4_673c,
+        0x5a22_8c8e_3391_43de,
+        0x6c4f_0f0e_0d0c_0b0a,
+        0x0908_0706_0504_0302,
+    ];
+    let kernel = x25519::build(9, &scalar);
+    Workload::new("curve25519", WorkloadGroup::OpenSsl, kernel)
+}
+
+/// `kyber512`-shaped workload.
+pub fn kyber512_workload() -> Workload {
+    Workload::new("kyber512", WorkloadGroup::Pqc, kyber::build(2, 99))
+}
+
+/// `kyber768`-shaped workload.
+pub fn kyber768_workload() -> Workload {
+    Workload::new("kyber768", WorkloadGroup::Pqc, kyber::build(3, 99))
+}
+
+/// `sphincs-shake-128s`-shaped workload (largest tree of the three variants).
+pub fn sphincs_shake_workload() -> Workload {
+    let params = WotsParams {
+        chains: 8,
+        chain_len: 7,
+        tree_height: 4,
+    };
+    Workload::new(
+        "sphincs-shake-128s",
+        WorkloadGroup::Pqc,
+        sphincs::build(&[11, 22, 33, 44], &params),
+    )
+}
+
+/// `sphincs-haraka-128s`-shaped workload.
+pub fn sphincs_haraka_workload() -> Workload {
+    let params = WotsParams {
+        chains: 8,
+        chain_len: 7,
+        tree_height: 3,
+    };
+    Workload::new(
+        "sphincs-haraka-128s",
+        WorkloadGroup::Pqc,
+        sphincs::build(&[55, 66, 77, 88], &params),
+    )
+}
+
+/// `sphincs-sha2-128s`-shaped workload.
+pub fn sphincs_sha2_workload() -> Workload {
+    let params = WotsParams {
+        chains: 6,
+        chain_len: 5,
+        tree_height: 3,
+    };
+    Workload::new(
+        "sphincs-sha2-128s",
+        WorkloadGroup::Pqc,
+        sphincs::build(&[12, 34, 56, 78], &params),
+    )
+}
+
+/// The full evaluation suite used for Table 1 and Figure 7, in the paper's
+/// ordering (PQC, OpenSSL, BearSSL).
+pub fn full_suite() -> Vec<Workload> {
+    vec![
+        // PQC
+        kyber512_workload(),
+        kyber768_workload(),
+        sphincs_haraka_workload(),
+        sphincs_sha2_workload(),
+        sphincs_shake_workload(),
+        // OpenSSL
+        openssl_chacha20_workload(512),
+        openssl_curve25519_workload(),
+        openssl_sha256_workload(512),
+        // BearSSL
+        aes_ctr_workload(128),
+        cbc_ct_workload(96),
+        chacha20_workload(256),
+        des_workload(32),
+        ec_c25519_workload(),
+        ecdsa_workload(),
+        modpow_workload(),
+        multihash_workload(384),
+        poly1305_workload(256),
+        rsa_workload(),
+        sha256_workload(192),
+        shake_workload(256),
+        tls_prf_workload(320),
+    ]
+}
+
+/// A reduced suite (one workload per kernel family) used by fast-running
+/// tests and examples.
+pub fn quick_suite() -> Vec<Workload> {
+    vec![
+        chacha20_workload(128),
+        sha256_workload(128),
+        poly1305_workload(64),
+        des_workload(8),
+        modpow_workload(),
+        ec_c25519_workload(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_has_21_workloads_in_three_groups() {
+        let suite = full_suite();
+        assert_eq!(suite.len(), 21);
+        let pqc = suite.iter().filter(|w| w.group == WorkloadGroup::Pqc).count();
+        let openssl = suite.iter().filter(|w| w.group == WorkloadGroup::OpenSsl).count();
+        let bearssl = suite.iter().filter(|w| w.group == WorkloadGroup::BearSsl).count();
+        assert_eq!(pqc, 5);
+        assert_eq!(openssl, 3);
+        assert_eq!(bearssl, 13);
+    }
+
+    #[test]
+    fn workload_names_are_unique() {
+        let suite = full_suite();
+        let mut names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn quick_suite_workloads_run_functionally() {
+        for w in quick_suite() {
+            let out = w.kernel.run_functional().expect("workload runs");
+            assert!(!out.is_empty(), "{} produced no output", w.name);
+        }
+    }
+
+    #[test]
+    fn every_suite_workload_has_crypto_branches() {
+        for w in full_suite() {
+            assert!(
+                !w.kernel.program.crypto_branches().is_empty(),
+                "{} has no crypto branches",
+                w.name
+            );
+        }
+    }
+}

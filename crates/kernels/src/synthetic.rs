@@ -1,0 +1,279 @@
+//! SpectreGuard-style synthetic benchmarks (§7.3 of the paper).
+//!
+//! Each synthetic workload is a mix of a (s)andboxed, non-crypto phase — a
+//! data-dependent loop over a public array, exercising the branch predictor —
+//! and a (c)rypto phase protected by Cassandra. The fraction of work spent in
+//! each phase is the experiment's knob (90s/10c … all-crypto).
+//!
+//! Two crypto variants mirror the paper's choice of primitives:
+//!
+//! * [`CryptoVariant::ChaChaLike`] keeps all secret state in registers and
+//!   static buffers (public stack), like HACL* chacha20;
+//! * [`CryptoVariant::CurveLike`] spills secret intermediates to the stack,
+//!   which is therefore annotated as a secret region, like curve25519-donna —
+//!   the case where ProSpeCT pays a large penalty.
+
+use crate::kernel::KernelProgram;
+use crate::workload::{Workload, WorkloadGroup};
+use cassandra_isa::builder::ProgramBuilder;
+use cassandra_isa::program::STACK_TOP;
+use cassandra_isa::reg::{A0, A1, A2, S0, S1, S2, S3, S4, S5, T0, T1, T2, T3, ZERO};
+
+/// Which crypto primitive shape the crypto phase mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CryptoVariant {
+    /// Register/static-buffer ARX core, public stack (HACL* chacha20-like).
+    ChaChaLike,
+    /// Ladder core with secret stack spills (curve25519-donna-like).
+    CurveLike,
+}
+
+impl CryptoVariant {
+    /// Short name used in figure labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            CryptoVariant::ChaChaLike => "chacha20",
+            CryptoVariant::CurveLike => "curve25519",
+        }
+    }
+}
+
+/// A sandbox/crypto mix point, e.g. 90 % sandbox / 10 % crypto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MixPoint {
+    /// Percentage of work in the sandboxed (non-crypto) phase.
+    pub sandbox_pct: u32,
+    /// Percentage of work in the crypto phase.
+    pub crypto_pct: u32,
+}
+
+impl MixPoint {
+    /// The five mix points evaluated in the paper's Figure 8.
+    pub fn figure8_points() -> Vec<MixPoint> {
+        vec![
+            MixPoint { sandbox_pct: 90, crypto_pct: 10 },
+            MixPoint { sandbox_pct: 75, crypto_pct: 25 },
+            MixPoint { sandbox_pct: 50, crypto_pct: 50 },
+            MixPoint { sandbox_pct: 25, crypto_pct: 75 },
+            MixPoint { sandbox_pct: 0, crypto_pct: 100 },
+        ]
+    }
+
+    /// Label in the paper's "90s/10c" style ("all-crypto" for 0/100).
+    pub fn label(&self) -> String {
+        if self.sandbox_pct == 0 {
+            "all-crypto".to_string()
+        } else {
+            format!("{}s/{}c", self.sandbox_pct, self.crypto_pct)
+        }
+    }
+}
+
+/// Builds a synthetic mixed workload.
+///
+/// `scale` controls the total amount of work (loop iterations); the default
+/// used by [`figure8_suite`] keeps a single simulation in the tens of
+/// thousands of instructions.
+pub fn build_mix(variant: CryptoVariant, mix: MixPoint, scale: u32) -> KernelProgram {
+    assert_eq!(mix.sandbox_pct + mix.crypto_pct, 100, "fractions must sum to 100");
+    let sandbox_iters = u64::from(mix.sandbox_pct * scale);
+    let crypto_iters = u64::from(mix.crypto_pct * scale);
+
+    let name = format!("synthetic-{}-{}", variant.label(), mix.label());
+    let mut b = ProgramBuilder::new(name);
+
+    // ---- data ----
+    // Public array processed by the sandbox phase (values drive data-dependent
+    // branches, which is what makes the sandbox phase predictor-heavy).
+    let array: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(0x5851_f42d) >> 3).collect();
+    let array_addr = b.alloc_u64s("public_array", &array);
+    // Secret key material for the crypto phase.
+    let key: Vec<u64> = (0..16u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead_beef).collect();
+    let key_addr = b.alloc_secret_u64s("secret_key", &key);
+    let out_addr = b.alloc_zeros("output", 16);
+    if variant == CryptoVariant::CurveLike {
+        // The curve-like phase spills secrets to the stack: annotate the top
+        // stack page as secret (ProSpeCT-style annotation of the stack).
+        b.mark_secret_region(STACK_TOP - 4096..STACK_TOP);
+    }
+
+    // ---- sandbox phase (non-crypto) ----
+    b.li(S0, sandbox_iters);
+    b.li(S1, 0); // accumulator
+    b.beq(S0, ZERO, "sandbox_done");
+    b.li(S2, 0); // iteration counter
+    b.label("sandbox_loop");
+    // idx = iter % 256 ; v = array[idx]
+    b.andi(T0, S2, 255);
+    b.slli(T0, T0, 3);
+    b.li(T1, array_addr);
+    b.add(T1, T1, T0);
+    b.ld(T2, T1, 0);
+    // Data-dependent branch: only accumulate "large" values.
+    b.li(T3, 0x1000_0000);
+    b.bltu(T2, T3, "sandbox_skip");
+    b.add(S1, S1, T2);
+    b.label("sandbox_skip");
+    // A second data-dependent branch with a different bias.
+    b.andi(T3, T2, 7);
+    b.bne(T3, ZERO, "sandbox_no_extra");
+    b.addi(S1, S1, 13);
+    b.label("sandbox_no_extra");
+    b.addi(S2, S2, 1);
+    b.bne(S2, S0, "sandbox_loop");
+    b.label("sandbox_done");
+
+    // ---- crypto phase ----
+    b.begin_crypto();
+    b.li(S3, crypto_iters);
+    b.beq(S3, ZERO, "crypto_done");
+    b.li(S4, 0); // iteration counter
+    // Load four secret words into registers.
+    b.li(T0, key_addr);
+    b.ld(A0, T0, 0);
+    b.ld(A1, T0, 8);
+    b.ld(A2, T0, 16);
+    b.ld(S5, T0, 24);
+    match variant {
+        CryptoVariant::ChaChaLike => {
+            // ARX rounds entirely in registers (public stack untouched).
+            b.label("crypto_loop");
+            b.add(A0, A0, A1);
+            b.xor(S5, S5, A0);
+            b.rotli(S5, S5, 32);
+            b.add(A2, A2, S5);
+            b.xor(A1, A1, A2);
+            b.rotli(A1, A1, 24);
+            b.add(A0, A0, A1);
+            b.xor(S5, S5, A0);
+            b.rotli(S5, S5, 16);
+            b.add(A2, A2, S5);
+            b.xor(A1, A1, A2);
+            b.rotli(A1, A1, 63);
+            b.addi(S4, S4, 1);
+            b.bne(S4, S3, "crypto_loop");
+        }
+        CryptoVariant::CurveLike => {
+            // Ladder-like rounds that spill intermediates to the (secret)
+            // stack, as curve25519-donna does for its field-element locals.
+            // Crucially, the loop counter is also kept on the stack (as a
+            // compiler does under register pressure), so even the loop
+            // branch's operands are tainted once the stack is annotated as a
+            // secret region — the situation the paper identifies as
+            // expensive for ProSpeCT.
+            b.addi(cassandra_isa::reg::SP, cassandra_isa::reg::SP, -64);
+            b.sd(S4, cassandra_isa::reg::SP, 32);
+            b.label("crypto_loop");
+            // Spill the working values.
+            b.sd(A0, cassandra_isa::reg::SP, 0);
+            b.sd(A1, cassandra_isa::reg::SP, 8);
+            b.sd(A2, cassandra_isa::reg::SP, 16);
+            b.sd(S5, cassandra_isa::reg::SP, 24);
+            // scalar-bit-driven masked swap
+            b.andi(T0, S5, 1);
+            b.sub(T0, ZERO, T0);
+            b.xor(T1, A0, A1);
+            b.and(T1, T1, T0);
+            b.xor(A0, A0, T1);
+            b.xor(A1, A1, T1);
+            // field-like multiply whose result is spilled; the recurrence on
+            // the working values themselves stays short, as in an unrolled
+            // ladder step where most operations are independent.
+            b.mul(T2, A0, A2);
+            b.sd(T2, cassandra_isa::reg::SP, 40);
+            b.addi(A0, A0, 1);
+            b.add(A2, A2, A1);
+            // Reload spilled values (secret loads from the stack).
+            b.ld(T2, cassandra_isa::reg::SP, 8);
+            b.xor(A1, A1, T2);
+            b.ld(T2, cassandra_isa::reg::SP, 24);
+            b.add(S5, S5, T2);
+            b.rotli(S5, S5, 17);
+            // The loop counter lives on the (secret) stack: reload, bump,
+            // spill, then branch on the reloaded — hence tainted — value.
+            b.ld(S4, cassandra_isa::reg::SP, 32);
+            b.addi(S4, S4, 1);
+            b.sd(S4, cassandra_isa::reg::SP, 32);
+            b.bne(S4, S3, "crypto_loop");
+            b.addi(cassandra_isa::reg::SP, cassandra_isa::reg::SP, 64);
+        }
+    }
+    // Declassify the result before leaving the crypto region (Listing 1).
+    b.declassify(A0, A0);
+    b.label("crypto_done");
+    b.end_crypto();
+
+    // Combine both phases' results into the output.
+    b.li(T0, out_addr);
+    b.sd(S1, T0, 0);
+    b.sd(A0, T0, 8);
+    b.halt();
+
+    let program = b.build().expect("synthetic mix assembles");
+    KernelProgram::new(program, out_addr, 16)
+}
+
+/// Builds the full Figure-8 suite for one crypto variant: the five mix points
+/// at the default scale.
+pub fn figure8_suite(variant: CryptoVariant) -> Vec<(MixPoint, Workload)> {
+    MixPoint::figure8_points()
+        .into_iter()
+        .map(|mix| {
+            let kernel = build_mix(variant, mix, 20);
+            let name = format!("{}-{}", variant.label(), mix.label());
+            (mix, Workload::new(name, WorkloadGroup::Synthetic, kernel))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_points_cover_figure8() {
+        let points = MixPoint::figure8_points();
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[0].label(), "90s/10c");
+        assert_eq!(points[4].label(), "all-crypto");
+    }
+
+    #[test]
+    fn mixes_run_functionally() {
+        for variant in [CryptoVariant::ChaChaLike, CryptoVariant::CurveLike] {
+            for mix in MixPoint::figure8_points() {
+                let k = build_mix(variant, mix, 2);
+                let out = k.run_functional().expect("mix runs");
+                assert_eq!(out.len(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn curve_variant_marks_the_stack_secret() {
+        let mix = MixPoint { sandbox_pct: 50, crypto_pct: 50 };
+        let chacha = build_mix(CryptoVariant::ChaChaLike, mix, 1);
+        let curve = build_mix(CryptoVariant::CurveLike, mix, 1);
+        assert!(!chacha.program.is_secret_addr(STACK_TOP - 8));
+        assert!(curve.program.is_secret_addr(STACK_TOP - 8));
+    }
+
+    #[test]
+    fn crypto_branches_only_in_crypto_phase() {
+        let mix = MixPoint { sandbox_pct: 50, crypto_pct: 50 };
+        let k = build_mix(CryptoVariant::ChaChaLike, mix, 1);
+        let branches = k.program.static_branches();
+        assert!(branches.iter().any(|br| br.is_crypto));
+        assert!(branches.iter().any(|br| !br.is_crypto));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn rejects_bad_fractions() {
+        build_mix(
+            CryptoVariant::ChaChaLike,
+            MixPoint { sandbox_pct: 50, crypto_pct: 60 },
+            1,
+        );
+    }
+}

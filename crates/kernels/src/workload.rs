@@ -1,0 +1,74 @@
+//! Workload descriptors for the evaluation suite.
+
+use crate::kernel::KernelProgram;
+use std::fmt;
+
+/// The library / family a workload belongs to, mirroring the grouping used in
+/// the paper's Table 1 and Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadGroup {
+    /// BearSSL constant-time primitives.
+    BearSsl,
+    /// OpenSSL primitives.
+    OpenSsl,
+    /// Post-quantum crypto reference implementations.
+    Pqc,
+    /// SpectreGuard-style synthetic sandbox/crypto mixes (§7.3).
+    Synthetic,
+}
+
+impl fmt::Display for WorkloadGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkloadGroup::BearSsl => "BearSSL",
+            WorkloadGroup::OpenSsl => "OpenSSL",
+            WorkloadGroup::Pqc => "PQC",
+            WorkloadGroup::Synthetic => "Synthetic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One benchmark workload: a named kernel program with its library group.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name as reported in the paper's tables/figures.
+    pub name: String,
+    /// Library group.
+    pub group: WorkloadGroup,
+    /// The kernel program to analyze and simulate.
+    pub kernel: KernelProgram,
+}
+
+impl Workload {
+    /// Creates a workload descriptor.
+    pub fn new(name: impl Into<String>, group: WorkloadGroup, kernel: KernelProgram) -> Self {
+        Workload {
+            name: name.into(),
+            group,
+            kernel,
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {}", self.group, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_isa::builder::ProgramBuilder;
+
+    #[test]
+    fn display_formats() {
+        let mut b = ProgramBuilder::new("noop");
+        b.halt();
+        let k = KernelProgram::new(b.build().unwrap(), 0, 0);
+        let w = Workload::new("SHA-256", WorkloadGroup::BearSsl, k);
+        assert_eq!(w.to_string(), "BearSSL / SHA-256");
+        assert_eq!(WorkloadGroup::Pqc.to_string(), "PQC");
+    }
+}

@@ -1,0 +1,181 @@
+//! DNA-sequence view of vanilla traces (step 3 of the paper's Figure 1).
+//!
+//! The paper maps every distinct vanilla-trace element (`PC × count`) to a
+//! letter of a custom alphabet, producing a "DNA sequence" that the k-mers
+//! compression of Algorithm 1 operates on. New letters are allocated for the
+//! patterns discovered during compression (`unused_letters` in the paper);
+//! here the alphabet is unbounded and letters are plain integer symbol ids.
+
+use crate::vanilla::{VanillaElement, VanillaTrace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A letter of the trace alphabet.
+pub type SymbolId = u32;
+
+/// What a symbol stands for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SymbolDef {
+    /// A base letter: one vanilla-trace element.
+    Base(VanillaElement),
+    /// A pattern letter introduced by the compression: a sequence of
+    /// previously existing symbols.
+    Pattern(Vec<SymbolId>),
+}
+
+/// The symbol table shared by a branch's DNA sequence and its patterns.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolTable {
+    defs: Vec<SymbolDef>,
+    #[serde(skip)]
+    base_index: HashMap<VanillaElement, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of symbols defined.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if no symbols are defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Interns a base element, returning its symbol.
+    pub fn intern_base(&mut self, element: VanillaElement) -> SymbolId {
+        if let Some(&id) = self.base_index.get(&element) {
+            return id;
+        }
+        let id = self.defs.len() as SymbolId;
+        self.defs.push(SymbolDef::Base(element));
+        self.base_index.insert(element, id);
+        id
+    }
+
+    /// Adds a pattern symbol for a sequence of existing symbols.
+    pub fn add_pattern(&mut self, symbols: Vec<SymbolId>) -> SymbolId {
+        debug_assert!(symbols.iter().all(|&s| (s as usize) < self.defs.len()));
+        let id = self.defs.len() as SymbolId;
+        self.defs.push(SymbolDef::Pattern(symbols));
+        id
+    }
+
+    /// The definition of a symbol.
+    pub fn def(&self, id: SymbolId) -> &SymbolDef {
+        &self.defs[id as usize]
+    }
+
+    /// Expands a symbol to its flat sequence of base vanilla elements.
+    pub fn flatten(&self, id: SymbolId) -> Vec<VanillaElement> {
+        match self.def(id) {
+            SymbolDef::Base(e) => vec![*e],
+            SymbolDef::Pattern(children) => children
+                .iter()
+                .flat_map(|&c| self.flatten(c))
+                .collect(),
+        }
+    }
+
+    /// The flattened length (in base elements) of a symbol.
+    pub fn flat_len(&self, id: SymbolId) -> usize {
+        match self.def(id) {
+            SymbolDef::Base(_) => 1,
+            SymbolDef::Pattern(children) => children.iter().map(|&c| self.flat_len(c)).sum(),
+        }
+    }
+}
+
+/// A branch trace as a sequence of symbols plus its symbol table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnaSequence {
+    /// The sequence of letters.
+    pub seq: Vec<SymbolId>,
+    /// The alphabet.
+    pub table: SymbolTable,
+}
+
+impl DnaSequence {
+    /// Builds the DNA sequence of a vanilla trace, interning one letter per
+    /// distinct `PC × count` element (as in the paper's BR1 example, where
+    /// `PC0×2 · PC1×5 · PC0×2 · PC1×5 · PC2×3` becomes `ACACG`).
+    pub fn from_vanilla(trace: &VanillaTrace) -> Self {
+        let mut table = SymbolTable::new();
+        let seq = trace
+            .elements
+            .iter()
+            .map(|e| table.intern_base(*e))
+            .collect();
+        DnaSequence { seq, table }
+    }
+
+    /// Sequence length in letters.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Expands the whole sequence back to vanilla elements.
+    pub fn flatten(&self) -> Vec<VanillaElement> {
+        self.seq
+            .iter()
+            .flat_map(|&s| self.table.flatten(s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ve(target: usize, count: u64) -> VanillaElement {
+        VanillaElement { target, count }
+    }
+
+    #[test]
+    fn paper_example_acacg() {
+        // PC0×2 · PC1×5 · PC0×2 · PC1×5 · PC2×3  →  A C A C G (3 letters)
+        let v = VanillaTrace {
+            elements: vec![ve(0, 2), ve(1, 5), ve(0, 2), ve(1, 5), ve(2, 3)],
+        };
+        let dna = DnaSequence::from_vanilla(&v);
+        assert_eq!(dna.len(), 5);
+        assert_eq!(dna.table.len(), 3, "three distinct letters");
+        assert_eq!(dna.seq[0], dna.seq[2]);
+        assert_eq!(dna.seq[1], dna.seq[3]);
+        assert_ne!(dna.seq[0], dna.seq[4]);
+        assert_eq!(dna.flatten(), v.elements);
+    }
+
+    #[test]
+    fn patterns_flatten_recursively() {
+        let mut table = SymbolTable::new();
+        let a = table.intern_base(ve(0, 2));
+        let c = table.intern_base(ve(1, 5));
+        let p = table.add_pattern(vec![a, c]);
+        let q = table.add_pattern(vec![p, p, a]);
+        assert_eq!(table.flat_len(q), 5);
+        assert_eq!(
+            table.flatten(q),
+            vec![ve(0, 2), ve(1, 5), ve(0, 2), ve(1, 5), ve(0, 2)]
+        );
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut table = SymbolTable::new();
+        let a1 = table.intern_base(ve(7, 3));
+        let a2 = table.intern_base(ve(7, 3));
+        assert_eq!(a1, a2);
+        assert_eq!(table.len(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-branch hint information embedded in the binary (§5.2 of the paper).
+//!
+//! For every static crypto branch the binary carries a small hint: a
+//! *single-target* mark (the branch always jumps to one place — no BTU
+//! resources needed), a *short-trace* mark (the compressed trace fits one
+//! Trace Cache entry), the virtual-address offset of the trace data pages,
+//! or the information that the branch's trace is input dependent (the
+//! frontend stalls until such a branch resolves).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Hint bits the paper budgets per static branch (single-target mark, 12-bit
+/// address offset, short-trace mark).
+pub const HINT_BITS_PER_BRANCH: usize = 14;
+
+/// The hint attached to one static crypto branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchHint {
+    /// The branch always jumps to `target`; no trace is stored.
+    SingleTarget {
+        /// The unique target PC.
+        target: usize,
+    },
+    /// The branch has a compressed trace stored in the trace data pages.
+    MultiTarget {
+        /// True if the whole trace fits one Trace Cache entry and can simply
+        /// be rotated (the paper's short-trace mark).
+        short_trace: bool,
+    },
+    /// The branch's trace differs between profiling inputs (e.g. stream
+    /// loops); fetch stalls until it resolves.
+    InputDependent,
+    /// The branch never executed during profiling; treated like
+    /// input-dependent (fetch stalls until it resolves).
+    NotExecuted,
+}
+
+impl BranchHint {
+    /// True if the processor must stall fetch at this branch until it
+    /// resolves (no replayable trace available).
+    pub fn requires_stall(&self) -> bool {
+        matches!(self, BranchHint::InputDependent | BranchHint::NotExecuted)
+    }
+}
+
+/// Hints for all static crypto branches of a program, keyed by branch PC.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchHints {
+    /// Branch PC → hint.
+    pub hints: BTreeMap<usize, BranchHint>,
+}
+
+impl BranchHints {
+    /// Creates an empty hint table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The hint for a branch, if it was analyzed.
+    pub fn hint(&self, pc: usize) -> Option<BranchHint> {
+        self.hints.get(&pc).copied()
+    }
+
+    /// Number of annotated branches.
+    pub fn len(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// True if no branches are annotated.
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+
+    /// Number of single-target branches.
+    pub fn single_target_count(&self) -> usize {
+        self.hints
+            .values()
+            .filter(|h| matches!(h, BranchHint::SingleTarget { .. }))
+            .count()
+    }
+
+    /// Number of multi-target branches with replayable traces.
+    pub fn multi_target_count(&self) -> usize {
+        self.hints
+            .values()
+            .filter(|h| matches!(h, BranchHint::MultiTarget { .. }))
+            .count()
+    }
+
+    /// Number of branches whose traces could not be used (input dependent or
+    /// never executed).
+    pub fn stalled_count(&self) -> usize {
+        self.hints.values().filter(|h| h.requires_stall()).count()
+    }
+
+    /// Total hint storage in bits (the paper budgets 14 bits per branch).
+    pub fn storage_bits(&self) -> usize {
+        self.len() * HINT_BITS_PER_BRANCH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_by_kind() {
+        let mut hints = BranchHints::new();
+        hints.hints.insert(4, BranchHint::SingleTarget { target: 10 });
+        hints.hints.insert(9, BranchHint::MultiTarget { short_trace: true });
+        hints.hints.insert(13, BranchHint::MultiTarget { short_trace: false });
+        hints.hints.insert(20, BranchHint::InputDependent);
+        hints.hints.insert(25, BranchHint::NotExecuted);
+        assert_eq!(hints.len(), 5);
+        assert_eq!(hints.single_target_count(), 1);
+        assert_eq!(hints.multi_target_count(), 2);
+        assert_eq!(hints.stalled_count(), 2);
+        assert_eq!(hints.storage_bits(), 5 * HINT_BITS_PER_BRANCH);
+    }
+
+    #[test]
+    fn stall_requirements() {
+        assert!(BranchHint::InputDependent.requires_stall());
+        assert!(BranchHint::NotExecuted.requires_stall());
+        assert!(!BranchHint::SingleTarget { target: 0 }.requires_stall());
+        assert!(!BranchHint::MultiTarget { short_trace: false }.requires_stall());
+    }
+
+    #[test]
+    fn lookup_missing_branch() {
+        let hints = BranchHints::new();
+        assert!(hints.is_empty());
+        assert_eq!(hints.hint(42), None);
+    }
+}

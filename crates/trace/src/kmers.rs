@@ -1,0 +1,327 @@
+//! The k-mers branch compression of the paper's Algorithm 1 (step 4 of
+//! Figure 1).
+//!
+//! Starting from the DNA-sequence view of a vanilla trace, the algorithm
+//! repeatedly finds the k-mer (substring of length `2..=max_k`) with the
+//! highest coverage, assigns it a fresh letter, and replaces its occurrences,
+//! until the sequence stops shrinking. The result is the compressed *k-mers
+//! trace* `K` (run-length encoded here, matching the paper's `p0×2 · p1×1`
+//! notation) and the *pattern set* `P`.
+
+use crate::dna::{DnaSequence, SymbolId, SymbolTable};
+use crate::vanilla::{VanillaElement, VanillaTrace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Configuration of the compression algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KmersConfig {
+    /// Maximum k-mer length considered per iteration (`max_k` in Algorithm 1).
+    pub max_k: usize,
+    /// Maximum flattened pattern size (in vanilla elements); patterns larger
+    /// than this would not fit a Pattern Table entry and are not created.
+    pub max_pattern_elements: usize,
+}
+
+impl Default for KmersConfig {
+    fn default() -> Self {
+        KmersConfig {
+            max_k: 8,
+            max_pattern_elements: 16,
+        }
+    }
+}
+
+/// One run of the compressed trace: a pattern symbol and how many times it
+/// repeats consecutively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRun {
+    /// The pattern (or base) symbol.
+    pub symbol: SymbolId,
+    /// Consecutive repetitions.
+    pub repeat: u64,
+}
+
+/// The pattern set `P`: flattened definitions of the symbols used by a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSet {
+    /// Symbol → flattened vanilla elements.
+    pub patterns: BTreeMap<SymbolId, Vec<VanillaElement>>,
+}
+
+impl PatternSet {
+    /// Total number of vanilla elements across all patterns (the paper's
+    /// "pattern set size").
+    pub fn element_count(&self) -> usize {
+        self.patterns.values().map(Vec::len).sum()
+    }
+
+    /// Number of distinct patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+/// The compressed representation of one branch's trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KmersTrace {
+    /// The run-length-encoded compressed trace `K`.
+    pub runs: Vec<TraceRun>,
+    /// The pattern set `P`.
+    pub patterns: PatternSet,
+}
+
+impl KmersTrace {
+    /// Number of elements in the compressed trace `K`.
+    pub fn trace_size(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total size as reported in Table 1: trace size plus pattern-set size.
+    pub fn total_size(&self) -> usize {
+        self.trace_size() + self.patterns.element_count()
+    }
+
+    /// Expands back to the full sequence of branch targets (lossless check).
+    pub fn expand(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for run in &self.runs {
+            let elems = &self.patterns.patterns[&run.symbol];
+            for _ in 0..run.repeat {
+                for e in elems {
+                    out.extend(std::iter::repeat(e.target).take(e.count as usize));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compresses a vanilla trace with Algorithm 1 and returns the k-mers trace.
+pub fn compress(vanilla: &VanillaTrace, config: &KmersConfig) -> KmersTrace {
+    let dna = DnaSequence::from_vanilla(vanilla);
+    let mut table = dna.table;
+    let mut seq = dna.seq;
+
+    // Algorithm 1 main loop: keep replacing the highest-coverage repeated
+    // k-mer until the sequence stops shrinking.
+    let mut current_len = usize::MAX;
+    while seq.len() < current_len && seq.len() >= 2 {
+        current_len = seq.len();
+        let Some(best) = best_kmer(&seq, &table, config) else {
+            break;
+        };
+        let pattern = table.add_pattern(best.clone());
+        seq = replace_non_overlapping(&seq, &best, pattern);
+    }
+
+    // Run-length encode the final sequence and build the flattened pattern set.
+    let mut runs: Vec<TraceRun> = Vec::new();
+    for &s in &seq {
+        match runs.last_mut() {
+            Some(last) if last.symbol == s => last.repeat += 1,
+            _ => runs.push(TraceRun { symbol: s, repeat: 1 }),
+        }
+    }
+    let mut patterns = PatternSet::default();
+    for run in &runs {
+        patterns
+            .patterns
+            .entry(run.symbol)
+            .or_insert_with(|| table.flatten(run.symbol));
+    }
+    KmersTrace { runs, patterns }
+}
+
+/// Finds the k-mer with the highest coverage (`k * freq / len`), considering
+/// only k-mers that occur more than once and whose flattened size respects
+/// the configured bound. Frequencies are counted over *non-overlapping*
+/// occurrences so the coverage estimate matches what the left-to-right
+/// replacement can actually remove. Ties are broken deterministically
+/// (higher coverage, then shorter k, then lexicographic order).
+fn best_kmer(seq: &[SymbolId], table: &SymbolTable, config: &KmersConfig) -> Option<Vec<SymbolId>> {
+    let len = seq.len();
+    let mut best: Option<(f64, Vec<SymbolId>)> = None;
+    for k in 2..=config.max_k.min(len) {
+        // Group window positions by k-mer, then count greedily without overlap.
+        let mut positions: HashMap<&[SymbolId], Vec<usize>> = HashMap::new();
+        for (i, window) in seq.windows(k).enumerate() {
+            positions.entry(window).or_default().push(i);
+        }
+        let freqs: HashMap<&[SymbolId], usize> = positions
+            .into_iter()
+            .map(|(kmer, pos)| {
+                let mut count = 0usize;
+                let mut next_free = 0usize;
+                for p in pos {
+                    if p >= next_free {
+                        count += 1;
+                        next_free = p + k;
+                    }
+                }
+                (kmer, count)
+            })
+            .collect();
+        for (kmer, freq) in freqs {
+            if freq < 2 {
+                continue;
+            }
+            // Runs of a single symbol are already captured by the run-length
+            // encoding of the final trace (the trace counter field), so
+            // turning them into patterns would only grow the pattern set.
+            if kmer.windows(2).all(|w| w[0] == w[1]) {
+                continue;
+            }
+            let flat: usize = kmer.iter().map(|&s| table.flat_len(s)).sum();
+            if flat > config.max_pattern_elements {
+                continue;
+            }
+            let coverage = (k * freq) as f64 / len as f64;
+            let candidate = (coverage, kmer.to_vec());
+            let better = match &best {
+                None => true,
+                Some((c, existing)) => {
+                    coverage > *c + f64::EPSILON
+                        || ((coverage - *c).abs() <= f64::EPSILON
+                            && (kmer.len() < existing.len()
+                                || (kmer.len() == existing.len() && kmer < existing.as_slice())))
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    best.map(|(_, kmer)| kmer)
+}
+
+/// Replaces non-overlapping occurrences of `kmer` in `seq` with `replacement`,
+/// scanning left to right.
+fn replace_non_overlapping(seq: &[SymbolId], kmer: &[SymbolId], replacement: SymbolId) -> Vec<SymbolId> {
+    let mut out = Vec::with_capacity(seq.len());
+    let k = kmer.len();
+    let mut i = 0;
+    while i < seq.len() {
+        if i + k <= seq.len() && &seq[i..i + k] == kmer {
+            out.push(replacement);
+            i += k;
+        } else {
+            out.push(seq[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ve(target: usize, count: u64) -> VanillaElement {
+        VanillaElement { target, count }
+    }
+
+    fn expand_vanilla(elements: &[VanillaElement]) -> Vec<usize> {
+        elements
+            .iter()
+            .flat_map(|e| std::iter::repeat(e.target).take(e.count as usize))
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_br1() {
+        // Vanilla: PC0×2 · PC1×5 · PC0×2 · PC1×5 · PC2×3  (ACACG)
+        // Expected k-mers trace: p0×2 · p1×1 with p0 = PC0×2·PC1×5, p1 = PC2×3.
+        let vanilla = VanillaTrace {
+            elements: vec![ve(0, 2), ve(1, 5), ve(0, 2), ve(1, 5), ve(2, 3)],
+        };
+        let k = compress(&vanilla, &KmersConfig::default());
+        assert_eq!(k.trace_size(), 2);
+        assert_eq!(k.runs[0].repeat, 2);
+        assert_eq!(k.runs[1].repeat, 1);
+        assert_eq!(
+            k.patterns.patterns[&k.runs[0].symbol],
+            vec![ve(0, 2), ve(1, 5)]
+        );
+        assert_eq!(k.patterns.patterns[&k.runs[1].symbol], vec![ve(2, 3)]);
+        assert_eq!(k.expand(), expand_vanilla(&vanilla.elements));
+    }
+
+    #[test]
+    fn simple_loop_is_already_minimal() {
+        // PC1×4 · PC0×1 cannot shrink below 2 runs.
+        let vanilla = VanillaTrace {
+            elements: vec![ve(1, 4), ve(0, 1)],
+        };
+        let k = compress(&vanilla, &KmersConfig::default());
+        assert_eq!(k.trace_size(), 2);
+        assert_eq!(k.total_size(), 4);
+        assert_eq!(k.expand(), expand_vanilla(&vanilla.elements));
+    }
+
+    #[test]
+    fn long_repeating_structure_compresses_well() {
+        // 64 repetitions of the block (PC1×3 · PC2×1 · PC3×5): the trace
+        // should collapse to a single run repeated 64 times.
+        let mut elements = Vec::new();
+        for _ in 0..64 {
+            elements.push(ve(1, 3));
+            elements.push(ve(2, 1));
+            elements.push(ve(3, 5));
+        }
+        let vanilla = VanillaTrace { elements };
+        let k = compress(&vanilla, &KmersConfig::default());
+        assert!(k.trace_size() <= 2, "expected near-total collapse, got {}", k.trace_size());
+        assert!(k.total_size() <= 20, "got {}", k.total_size());
+        assert_eq!(k.expand(), expand_vanilla(&vanilla.elements));
+    }
+
+    #[test]
+    fn compression_never_inflates_beyond_vanilla() {
+        let cases = vec![
+            vec![ve(1, 1)],
+            vec![ve(1, 2), ve(2, 2), ve(1, 2), ve(3, 1)],
+            (0..40).map(|i| ve(i % 5, (i % 3 + 1) as u64)).collect::<Vec<_>>(),
+        ];
+        for elements in cases {
+            let vanilla = VanillaTrace { elements };
+            let k = compress(&vanilla, &KmersConfig::default());
+            assert!(k.trace_size() <= vanilla.len().max(1));
+            assert_eq!(k.expand(), expand_vanilla(&vanilla.elements));
+        }
+    }
+
+    #[test]
+    fn pattern_size_bound_is_respected() {
+        let mut elements = Vec::new();
+        for _ in 0..8 {
+            for t in 0..20 {
+                elements.push(ve(t, 1));
+            }
+        }
+        let vanilla = VanillaTrace { elements };
+        let config = KmersConfig {
+            max_k: 8,
+            max_pattern_elements: 4,
+        };
+        let k = compress(&vanilla, &config);
+        for elems in k.patterns.patterns.values() {
+            assert!(elems.len() <= 4);
+        }
+        assert_eq!(k.expand(), expand_vanilla(&vanilla.elements));
+    }
+
+    #[test]
+    fn empty_trace_compresses_to_empty() {
+        let k = compress(&VanillaTrace::default(), &KmersConfig::default());
+        assert_eq!(k.trace_size(), 0);
+        assert_eq!(k.total_size(), 0);
+        assert!(k.expand().is_empty());
+    }
+}

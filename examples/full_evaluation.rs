@@ -1,0 +1,82 @@
+//! Regenerates the paper's evaluation tables and figures.
+//!
+//! Usage: `cargo run --release --example full_evaluation -- [table1|fig7|fig8|fig9|q3|q4|tracegen|all]`
+//!
+//! With no argument a quick subset is used; `all` runs every experiment on
+//! the full 21-workload suite (takes a few minutes in release mode).
+
+use cassandra::core::experiments::{self, FIG7_DESIGNS};
+use cassandra::core::report;
+use cassandra::kernels::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "quick".to_string());
+    let full = suite::full_suite();
+    let quick = experiments::quick_workloads();
+
+    let run_table1 = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
+        println!("=== Table 1: branch analysis of cryptographic programs ===");
+        println!("{}", report::format_table1(&experiments::table1(workloads)?));
+        Ok(())
+    };
+    let run_fig7 = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
+        println!("=== Figure 7: normalized execution time (crypto benchmarks) ===");
+        println!("{}", report::format_fig7(&experiments::figure7(workloads, &FIG7_DESIGNS)?));
+        Ok(())
+    };
+    let run_fig8 = |scale: u32| -> Result<(), Box<dyn std::error::Error>> {
+        println!("=== Figure 8: synthetic sandbox/crypto mixes (ProSpeCT comparison) ===");
+        println!("{}", report::format_fig8(&experiments::figure8(scale)?));
+        Ok(())
+    };
+    let run_fig9 = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
+        println!("=== Figure 9: power and area ===");
+        println!("{}", report::format_fig9(&experiments::figure9(workloads)?));
+        Ok(())
+    };
+    let run_q3 = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
+        println!("=== Q3: Cassandra-lite vs Cassandra ===");
+        println!("{}", report::format_q3(&experiments::q3_cassandra_lite(workloads)?));
+        Ok(())
+    };
+    let run_q4 = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
+        println!("=== Q4: periodic BTU flushes (context switches) ===");
+        println!("{}", report::format_q4(&experiments::q4_btu_flush(workloads, 50_000)?));
+        Ok(())
+    };
+    let run_tracegen = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
+        println!("=== §7.5: trace generation runtime ===");
+        println!("{}", report::format_trace_gen(&experiments::trace_generation_timing(workloads)?));
+        Ok(())
+    };
+
+    match arg.as_str() {
+        "table1" => run_table1(&full)?,
+        "fig7" => run_fig7(&full)?,
+        "fig8" => run_fig8(20)?,
+        "fig9" => run_fig9(&full)?,
+        "q3" => run_q3(&full)?,
+        "q4" => run_q4(&full)?,
+        "tracegen" => run_tracegen(&full)?,
+        "all" => {
+            run_table1(&full)?;
+            run_fig7(&full)?;
+            run_fig8(20)?;
+            run_fig9(&full)?;
+            run_q3(&full)?;
+            run_q4(&full)?;
+            run_tracegen(&full)?;
+        }
+        _ => {
+            println!("(quick subset; pass `all` for the full suite)\n");
+            run_table1(&quick)?;
+            run_fig7(&quick)?;
+            run_fig8(4)?;
+            run_fig9(&quick)?;
+            run_q3(&quick)?;
+            run_q4(&quick)?;
+            run_tracegen(&quick)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: analyze a constant-time kernel and compare the unsafe
+//! baseline against a Cassandra-enabled processor.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use cassandra::prelude::*;
+use cassandra::kernels::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a workload: BearSSL-style ChaCha20 over 256 bytes.
+    let workload = suite::chacha20_workload(256);
+    println!("workload: {workload}");
+    println!(
+        "kernel: {} instructions, {} static crypto branches",
+        workload.kernel.program.len(),
+        workload.kernel.program.crypto_branches().len()
+    );
+
+    // 2. Run the paper's Algorithm 2: collect, compress and encode the
+    //    sequential branch traces.
+    let analysis = analyze_workload(&workload)?;
+    println!(
+        "branch analysis: {} branches analyzed ({} single-target, {} with compressed traces)",
+        analysis.bundle.analyzed_branches(),
+        analysis.bundle.hints.single_target_count(),
+        analysis.bundle.hints.multi_target_count(),
+    );
+    for (pc, data) in &analysis.bundle.branches {
+        println!(
+            "  branch @{pc}: vanilla {} elements -> k-mers {} elements",
+            data.vanilla.len(),
+            data.kmers.total_size()
+        );
+    }
+
+    // 3. Simulate the unsafe baseline and Cassandra.
+    let base_cfg = CpuConfig::golden_cove_like();
+    let baseline = simulate_workload(&workload, &analysis, &base_cfg)?;
+    let cassandra = simulate_workload(
+        &workload,
+        &analysis,
+        &base_cfg.with_defense(DefenseMode::Cassandra),
+    )?;
+
+    println!("\n                         baseline      cassandra");
+    println!(
+        "cycles                 {:>10}    {:>10}",
+        baseline.stats.cycles, cassandra.stats.cycles
+    );
+    println!(
+        "IPC                    {:>10.3}    {:>10.3}",
+        baseline.stats.ipc(),
+        cassandra.stats.ipc()
+    );
+    println!(
+        "branch mispredictions  {:>10}    {:>10}",
+        baseline.stats.mispredictions, cassandra.stats.mispredictions
+    );
+    println!(
+        "squashed instructions  {:>10}    {:>10}",
+        baseline.stats.squashed_instructions, cassandra.stats.squashed_instructions
+    );
+    let speedup = (1.0 - cassandra.stats.cycles as f64 / baseline.stats.cycles as f64) * 100.0;
+    println!("\nCassandra speedup on this kernel: {speedup:+.2}%");
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # Cassandra (reproduction)
+//!
+//! Facade crate for the Cassandra reproduction. Re-exports the public API of the
+//! workspace crates so that examples and downstream users only need a single
+//! dependency.
+//!
+//! The paper: *Cassandra: Efficient Enforcement of Sequential Execution for
+//! Cryptographic Programs*, ISCA 2025.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cassandra::prelude::*;
+//!
+//! // Build a constant-time kernel, analyze its branches and run it on the
+//! // Cassandra-enabled processor model.
+//! let workload = cassandra::kernels::suite::chacha20_workload(64);
+//! let bundle = analyze_workload(&workload).expect("trace analysis");
+//! let mut cfg = CpuConfig::golden_cove_like();
+//! cfg.defense = DefenseMode::Cassandra;
+//! let result = simulate_workload(&workload, &bundle, &cfg).expect("simulation");
+//! assert!(result.stats.committed_instructions > 0);
+//! ```
+
+pub use cassandra_btu as btu;
+pub use cassandra_core as core;
+pub use cassandra_cpu as cpu;
+pub use cassandra_isa as isa;
+pub use cassandra_kernels as kernels;
+pub use cassandra_trace as trace;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use cassandra_core::{analyze_program, analyze_workload, simulate_program, simulate_workload, AnalysisBundle};
+    pub use cassandra_cpu::config::{CpuConfig, DefenseMode};
+    pub use cassandra_cpu::pipeline::SimOutcome;
+    pub use cassandra_isa::program::Program;
+    pub use cassandra_kernels::workload::Workload;
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration tests: the full analyze → encode → simulate
+//! pipeline on real kernels, across all defense designs.
+
+use cassandra::kernels::suite;
+use cassandra::prelude::*;
+
+/// Every design must preserve architectural behaviour: same committed
+/// instruction count, same functional output as the reference executor.
+#[test]
+fn all_designs_preserve_architectural_behaviour() {
+    let workload = suite::poly1305_workload(64);
+    let analysis = analyze_workload(&workload).unwrap();
+    let base_cfg = CpuConfig::golden_cove_like();
+    let baseline = simulate_workload(&workload, &analysis, &base_cfg).unwrap();
+    assert!(baseline.halted);
+    for defense in [
+        DefenseMode::Cassandra,
+        DefenseMode::CassandraStl,
+        DefenseMode::CassandraLite,
+        DefenseMode::Spt,
+        DefenseMode::Prospect,
+        DefenseMode::CassandraProspect,
+    ] {
+        let outcome =
+            simulate_workload(&workload, &analysis, &base_cfg.with_defense(defense)).unwrap();
+        assert!(outcome.halted, "{defense:?} did not finish");
+        assert_eq!(
+            outcome.stats.committed_instructions, baseline.stats.committed_instructions,
+            "{defense:?} changed the committed instruction count"
+        );
+    }
+}
+
+/// Cassandra's headline property on real kernels: zero mispredictions, zero
+/// squashes, and all crypto branch redirections served by the BTU or hints.
+#[test]
+fn cassandra_replays_crypto_branches_without_speculation() {
+    for workload in [
+        suite::chacha20_workload(128),
+        suite::sha256_workload(128),
+        suite::des_workload(8),
+    ] {
+        let analysis = analyze_workload(&workload).unwrap();
+        let cfg = CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra);
+        let outcome = simulate_workload(&workload, &analysis, &cfg).unwrap();
+        assert_eq!(outcome.stats.mispredictions, 0, "{}", workload.name);
+        assert_eq!(outcome.stats.squashed_instructions, 0, "{}", workload.name);
+        assert!(
+            outcome.stats.btu.single_target_lookups <= outcome.stats.btu.lookups,
+            "single-target lookups are a subset of all BTU lookups"
+        );
+        assert_eq!(
+            outcome.stats.btu.stall_lookups, 0,
+            "{}: every crypto branch must have a usable hint or trace",
+            workload.name
+        );
+        assert!(
+            outcome.stats.committed_crypto_branches > 0,
+            "{} must execute crypto branches",
+            workload.name
+        );
+    }
+}
+
+/// The baseline speculates: crypto kernels show BPU activity and at least the
+/// loop-exit mispredictions that Cassandra avoids.
+#[test]
+fn baseline_speculates_on_crypto_branches() {
+    let workload = suite::sha256_workload(192);
+    let analysis = analyze_workload(&workload).unwrap();
+    let outcome =
+        simulate_workload(&workload, &analysis, &CpuConfig::golden_cove_like()).unwrap();
+    assert!(outcome.stats.bpu.pht_lookups > 0);
+    assert!(outcome.stats.mispredictions > 0);
+}
+
+/// Cassandra must not be slower than the unsafe baseline on the quick suite
+/// (the paper reports a small speedup on the full suite).
+#[test]
+fn cassandra_is_not_slower_than_the_baseline_on_crypto_kernels() {
+    for workload in suite::quick_suite() {
+        let analysis = analyze_workload(&workload).unwrap();
+        let base_cfg = CpuConfig::golden_cove_like();
+        let baseline = simulate_workload(&workload, &analysis, &base_cfg).unwrap();
+        let cassandra = simulate_workload(
+            &workload,
+            &analysis,
+            &base_cfg.with_defense(DefenseMode::Cassandra),
+        )
+        .unwrap();
+        assert!(
+            cassandra.stats.cycles as f64 <= baseline.stats.cycles as f64 * 1.02,
+            "{}: Cassandra {} cycles vs baseline {}",
+            workload.name,
+            cassandra.stats.cycles,
+            baseline.stats.cycles
+        );
+    }
+}
+
+/// The synthetic Figure-8 workloads run end to end under the ProSpeCT
+/// combinations and preserve architectural behaviour.
+#[test]
+fn synthetic_mixes_run_under_prospect_designs() {
+    use cassandra::kernels::synthetic::{build_mix, CryptoVariant, MixPoint};
+    use cassandra::kernels::workload::{Workload, WorkloadGroup};
+    let mix = MixPoint {
+        sandbox_pct: 50,
+        crypto_pct: 50,
+    };
+    for variant in [CryptoVariant::ChaChaLike, CryptoVariant::CurveLike] {
+        let kernel = build_mix(variant, mix, 4);
+        let workload = Workload::new("mix", WorkloadGroup::Synthetic, kernel);
+        let analysis = analyze_workload(&workload).unwrap();
+        let base_cfg = CpuConfig::golden_cove_like();
+        let base = simulate_workload(&workload, &analysis, &base_cfg).unwrap();
+        for defense in [DefenseMode::Prospect, DefenseMode::CassandraProspect] {
+            let outcome =
+                simulate_workload(&workload, &analysis, &base_cfg.with_defense(defense)).unwrap();
+            assert_eq!(
+                outcome.stats.committed_instructions,
+                base.stats.committed_instructions
+            );
+        }
+    }
+}

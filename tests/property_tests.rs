@@ -1,0 +1,102 @@
+//! Property-based tests over the core data structures and invariants:
+//! losslessness of every trace representation, BTU replay fidelity, and
+//! constant-time invariants of the kernels.
+
+use cassandra::btu::cursor::TraceCursor;
+use cassandra::btu::encode::EncodedBranchTrace;
+use cassandra::trace::kmers::{compress, KmersConfig};
+use cassandra::trace::vanilla::VanillaTrace;
+use proptest::prelude::*;
+
+/// Strategy: a plausible branch-target sequence — loop-like runs of a few
+/// distinct targets, as produced by real (constant-time) code.
+fn target_sequences() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec((0usize..6, 1usize..20), 1..40).prop_map(|runs| {
+        let mut out = Vec::new();
+        for (target, len) in runs {
+            out.extend(std::iter::repeat(target * 7 + 1).take(len));
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Run-length encoding of raw traces is lossless.
+    #[test]
+    fn vanilla_rle_roundtrips(targets in target_sequences()) {
+        let vanilla = VanillaTrace::from_targets(&targets);
+        prop_assert_eq!(vanilla.expand(), targets);
+    }
+
+    /// The k-mers compression of Algorithm 1 is lossless and never produces a
+    /// longer trace than the vanilla representation.
+    #[test]
+    fn kmers_compression_is_lossless(targets in target_sequences()) {
+        let vanilla = VanillaTrace::from_targets(&targets);
+        let kmers = compress(&vanilla, &KmersConfig::default());
+        prop_assert_eq!(kmers.expand(), vanilla.expand());
+        prop_assert!(kmers.trace_size() <= vanilla.len().max(1));
+    }
+
+    /// The hardware encoding (pattern elements + trace elements) expands back
+    /// to exactly the recorded target sequence, and the BTU cursor replays it
+    /// in order — Cassandra's core correctness property.
+    #[test]
+    fn btu_encoding_and_cursor_replay_the_trace(targets in target_sequences(), branch_pc in 0usize..512) {
+        let vanilla = VanillaTrace::from_targets(&targets);
+        let kmers = compress(&vanilla, &KmersConfig::default());
+        let encoded = EncodedBranchTrace::from_kmers(branch_pc, &kmers, true);
+        prop_assert_eq!(encoded.expand_targets(), targets.clone());
+
+        let mut cursor = TraceCursor::new();
+        let replay: Vec<usize> = (0..targets.len())
+            .map(|_| cursor.next_target(&encoded).expect("trace has elements"))
+            .collect();
+        prop_assert_eq!(replay, targets);
+    }
+
+    /// Pattern-element repetition counts always fit the 8-bit hardware field.
+    #[test]
+    fn pattern_repetitions_fit_hardware(targets in target_sequences()) {
+        let vanilla = VanillaTrace::from_targets(&targets);
+        let kmers = compress(&vanilla, &KmersConfig::default());
+        let encoded = EncodedBranchTrace::from_kmers(100, &kmers, true);
+        for p in &encoded.patterns {
+            prop_assert!(u64::from(p.repetitions) <= 255);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The ChaCha20 kernel executes the same number of instructions for any
+    /// key — the executable-level constant-time property the paper relies on.
+    #[test]
+    fn chacha20_kernel_is_constant_time_in_the_key(key_byte in 0u8..=255) {
+        use cassandra::kernels::kernel::chacha20;
+        let nonce = [5u8; 12];
+        let msg = vec![0u8; 64];
+        let k_a = chacha20::build(&[key_byte; 32], 1, &nonce, &msg);
+        let k_b = chacha20::build(&[key_byte.wrapping_add(1); 32], 1, &nonce, &msg);
+        let (_, steps_a) = k_a.run_functional_counted().unwrap();
+        let (_, steps_b) = k_b.run_functional_counted().unwrap();
+        prop_assert_eq!(steps_a, steps_b);
+    }
+
+    /// Montgomery-ladder exponentiation in the kernel matches the reference
+    /// for arbitrary exponents (functional correctness under randomisation).
+    #[test]
+    fn modexp_kernel_matches_reference(e0 in any::<u64>(), e1 in any::<u64>()) {
+        use cassandra::kernels::kernel::modexp;
+        use cassandra::kernels::reference::modexp as reference;
+        const P61: u64 = (1 << 61) - 1;
+        let exp = [e0, e1];
+        let kernel = modexp::build(P61, 3, &exp, 128);
+        let out = kernel.run_functional().unwrap();
+        let got = u64::from_le_bytes(out.try_into().unwrap());
+        prop_assert_eq!(got, reference::mod_exp(P61, 3, &exp, 128));
+    }
+}
