@@ -2,30 +2,44 @@
 //! designs (UnsafeBaseline, Cassandra, Cassandra+STL, SPT), normalised to the
 //! unsafe baseline.
 //!
-//! Prints the full per-workload series and the geomean line, and benchmarks a
-//! single representative workload/design pair.
+//! Prints the full per-workload series via the experiment registry, and
+//! benchmarks a single representative workload/design pair through a warm
+//! evaluation session (the analysis comes from the session cache, so the
+//! numbers isolate the simulation itself).
 
-use cassandra_core::experiments::{figure7, FIG7_DESIGNS};
-use cassandra_core::report::format_fig7;
-use cassandra_core::{analyze_workload, simulate_workload};
+use cassandra_core::eval::Evaluator;
+use cassandra_core::registry::ExperimentRegistry;
+use cassandra_core::report;
 use cassandra_cpu::config::{CpuConfig, DefenseMode};
 use cassandra_kernels::suite;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let result = figure7(&suite::full_suite(), &FIG7_DESIGNS).expect("figure 7");
-    println!("\n=== Figure 7: normalized execution time (full suite) ===");
-    println!("{}", format_fig7(&result));
+    let mut session = Evaluator::builder().workloads(suite::full_suite()).build();
+    let run = ExperimentRegistry::standard()
+        .run("fig7", &mut session)
+        .expect("figure 7")
+        .expect("fig7 is registered");
+    println!("\n=== {} (full suite) ===", run.title);
+    println!("{}", report::render_text(&run.output));
 
     let workload = suite::sha256_workload(192);
-    let analysis = analyze_workload(&workload).expect("analysis");
-    let base_cfg = CpuConfig::golden_cove_like();
+    let mut base_cfg = CpuConfig::golden_cove_like();
+    base_cfg.max_instructions = base_cfg.max_instructions.max(workload.kernel.step_limit);
+    let mut warm = Evaluator::new();
+    let analysis = warm.analysis(&workload).expect("analysis");
     c.bench_function("fig7/simulate_sha256_baseline", |b| {
-        b.iter(|| simulate_workload(&workload, &analysis, &base_cfg).expect("sim"))
+        b.iter(|| {
+            Evaluator::simulate_program(&workload.kernel.program, Some(&analysis), &base_cfg)
+                .expect("sim")
+        })
     });
     let cass_cfg = base_cfg.with_defense(DefenseMode::Cassandra);
     c.bench_function("fig7/simulate_sha256_cassandra", |b| {
-        b.iter(|| simulate_workload(&workload, &analysis, &cass_cfg).expect("sim"))
+        b.iter(|| {
+            Evaluator::simulate_program(&workload.kernel.program, Some(&analysis), &cass_cfg)
+                .expect("sim")
+        })
     });
 }
 

@@ -2,17 +2,30 @@
 //! Cassandra+ProSpeCT across sandbox/crypto fractions, for a chacha20-like
 //! primitive (public stack) and a curve25519-like primitive (secret stack).
 
-use cassandra_core::experiments::figure8;
-use cassandra_core::report::format_fig8;
+use cassandra_core::eval::Evaluator;
+use cassandra_core::experiments::figure8_with;
+use cassandra_core::registry::{ExperimentRegistry, Fig8Experiment};
+use cassandra_core::report;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let points = figure8(20).expect("figure 8");
-    println!("\n=== Figure 8: synthetic benchmarks (scale 20) ===");
-    println!("{}", format_fig8(&points));
+    let mut registry = ExperimentRegistry::standard();
+    registry.register(Fig8Experiment { scale: 20 });
+    let mut session = Evaluator::new();
+    let run = registry
+        .run("fig8", &mut session)
+        .expect("figure 8")
+        .expect("fig8 is registered");
+    println!("\n=== {} (scale 20) ===", run.title);
+    println!("{}", report::render_text(&run.output));
 
-    c.bench_function("fig8/synthetic_mixes_scale4", |b| {
-        b.iter(|| figure8(4).expect("figure 8"))
+    c.bench_function("fig8/synthetic_mixes_scale4_cold", |b| {
+        b.iter(|| figure8_with(&mut Evaluator::new(), 4).expect("figure 8"))
+    });
+    let mut warm = Evaluator::new();
+    figure8_with(&mut warm, 4).expect("warm-up");
+    c.bench_function("fig8/synthetic_mixes_scale4_cached", |b| {
+        b.iter(|| figure8_with(&mut warm, 4).expect("figure 8"))
     });
 }
 

@@ -1,19 +1,27 @@
 //! Figure 9 — power and area of Cassandra relative to the unsafe baseline
 //! (McPAT/CACTI-style analytic model driven by simulation statistics).
 
-use cassandra_core::experiments::{figure9, quick_workloads};
-use cassandra_core::report::format_fig9;
+use cassandra_core::eval::Evaluator;
+use cassandra_core::experiments::{figure9_with, quick_workloads};
+use cassandra_core::registry::ExperimentRegistry;
+use cassandra_core::report;
 use cassandra_kernels::suite;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let result = figure9(&suite::full_suite()).expect("figure 9");
-    println!("\n=== Figure 9: power and area (full suite) ===");
-    println!("{}", format_fig9(&result));
+    let mut session = Evaluator::builder().workloads(suite::full_suite()).build();
+    let run = ExperimentRegistry::standard()
+        .run("fig9", &mut session)
+        .expect("figure 9")
+        .expect("fig9 is registered");
+    println!("\n=== {} (full suite) ===", run.title);
+    println!("{}", report::render_text(&run.output));
 
     let workloads = quick_workloads();
-    c.bench_function("fig9/power_area_quick_suite", |b| {
-        b.iter(|| figure9(&workloads).expect("figure 9"))
+    let mut warm = Evaluator::new();
+    figure9_with(&mut warm, &workloads).expect("warm-up");
+    c.bench_function("fig9/power_area_quick_suite_cached", |b| {
+        b.iter(|| figure9_with(&mut warm, &workloads).expect("figure 9"))
     });
 }
 

@@ -1,27 +1,40 @@
 //! Discussion Q3 — Cassandra-lite (single-target hints only, no BTU) versus
 //! full Cassandra.
 
-use cassandra_core::experiments::{q3_cassandra_lite, quick_workloads};
-use cassandra_core::report::format_q3;
+use cassandra_core::eval::Evaluator;
+use cassandra_core::experiments::{q3_with, quick_workloads};
+use cassandra_core::registry::{ExperimentOutput, ExperimentRegistry};
+use cassandra_core::report;
 use cassandra_kernels::suite;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let rows = q3_cassandra_lite(&suite::full_suite()).expect("q3");
-    println!("\n=== Q3: Cassandra-lite vs Cassandra (full suite) ===");
-    println!("{}", format_q3(&rows));
-    let mut by_group: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
-    for r in &rows {
-        by_group.entry(r.group.to_string()).or_default().push(r.slowdown_pct);
-    }
-    for (group, slowdowns) in by_group {
-        let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
-        println!("average Cassandra-lite slowdown in {group}: {avg:+.2}%");
+    let mut session = Evaluator::builder().workloads(suite::full_suite()).build();
+    let run = ExperimentRegistry::standard()
+        .run("q3", &mut session)
+        .expect("q3")
+        .expect("q3 is registered");
+    println!("\n=== {} (full suite) ===", run.title);
+    println!("{}", report::render_text(&run.output));
+    if let ExperimentOutput::Q3(rows) = &run.output {
+        let mut by_group: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+        for r in rows {
+            by_group
+                .entry(r.group.to_string())
+                .or_default()
+                .push(r.slowdown_pct);
+        }
+        for (group, slowdowns) in by_group {
+            let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+            println!("average Cassandra-lite slowdown in {group}: {avg:+.2}%");
+        }
     }
 
     let workloads = quick_workloads();
-    c.bench_function("q3/cassandra_lite_quick_suite", |b| {
-        b.iter(|| q3_cassandra_lite(&workloads).expect("q3"))
+    let mut warm = Evaluator::new();
+    q3_with(&mut warm, &workloads).expect("warm-up");
+    c.bench_function("q3/cassandra_lite_quick_suite_cached", |b| {
+        b.iter(|| q3_with(&mut warm, &workloads).expect("q3"))
     });
 }
 

@@ -1,8 +1,10 @@
 //! Discussion Q4 — the cost of flushing the BTU periodically (modelling
 //! context switches between crypto applications at a 250 Hz timer).
 
-use cassandra_core::experiments::{q4_btu_flush, quick_workloads};
-use cassandra_core::report::format_q4;
+use cassandra_core::eval::Evaluator;
+use cassandra_core::experiments::{q4_with, quick_workloads};
+use cassandra_core::registry::{ExperimentRegistry, Q4Experiment};
+use cassandra_core::report;
 use cassandra_kernels::suite;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -13,13 +15,23 @@ use criterion::{criterion_group, criterion_main, Criterion};
 const FLUSH_INTERVAL: u64 = 50_000;
 
 fn bench(c: &mut Criterion) {
-    let result = q4_btu_flush(&suite::full_suite(), FLUSH_INTERVAL).expect("q4");
-    println!("\n=== Q4: periodic BTU flush (full suite) ===");
-    println!("{}", format_q4(&result));
+    let mut registry = ExperimentRegistry::standard();
+    registry.register(Q4Experiment {
+        flush_interval: FLUSH_INTERVAL,
+    });
+    let mut session = Evaluator::builder().workloads(suite::full_suite()).build();
+    let run = registry
+        .run("q4", &mut session)
+        .expect("q4")
+        .expect("q4 is registered");
+    println!("\n=== {} (full suite) ===", run.title);
+    println!("{}", report::render_text(&run.output));
 
     let workloads = quick_workloads();
-    c.bench_function("q4/btu_flush_quick_suite", |b| {
-        b.iter(|| q4_btu_flush(&workloads, 50_000).expect("q4"))
+    let mut warm = Evaluator::new();
+    q4_with(&mut warm, &workloads, FLUSH_INTERVAL).expect("warm-up");
+    c.bench_function("q4/btu_flush_quick_suite_cached", |b| {
+        b.iter(|| q4_with(&mut warm, &workloads, FLUSH_INTERVAL).expect("q4"))
     });
 }
 

@@ -1,23 +1,35 @@
 //! Table 1 — branch analysis of cryptographic programs.
 //!
 //! Prints the full per-program table (vanilla / k-mers trace sizes and
-//! compression rates) for the 21-workload suite, and benchmarks the analysis
-//! pipeline itself on a representative subset.
+//! compression rates) for the 21-workload suite via the experiment registry,
+//! and benchmarks the analysis pipeline itself on a representative subset —
+//! both cold (one-shot evaluator per iteration) and warm (session cache).
 
-use cassandra_core::experiments::{quick_workloads, table1};
-use cassandra_core::report::format_table1;
+use cassandra_core::eval::Evaluator;
+use cassandra_core::experiments::{quick_workloads, table1_with};
+use cassandra_core::registry::ExperimentRegistry;
+use cassandra_core::report;
 use cassandra_kernels::suite;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    // Regenerate and print the full table once.
-    let full = table1(&suite::full_suite()).expect("table 1 analysis");
-    println!("\n=== Table 1: branch analysis (full suite) ===");
-    println!("{}", format_table1(&full));
+    // Regenerate and print the full table once, through the registry.
+    let mut session = Evaluator::builder().workloads(suite::full_suite()).build();
+    let run = ExperimentRegistry::standard()
+        .run("table1", &mut session)
+        .expect("table 1 analysis")
+        .expect("table1 is registered");
+    println!("\n=== {} (full suite) ===", run.title);
+    println!("{}", report::render_text(&run.output));
 
     let workloads = quick_workloads();
-    c.bench_function("table1/branch_analysis_quick_suite", |b| {
-        b.iter(|| table1(&workloads).expect("analysis"))
+    c.bench_function("table1/branch_analysis_quick_suite_cold", |b| {
+        b.iter(|| table1_with(&mut Evaluator::new(), &workloads).expect("analysis"))
+    });
+    let mut warm = Evaluator::new();
+    table1_with(&mut warm, &workloads).expect("warm-up analysis");
+    c.bench_function("table1/branch_analysis_quick_suite_cached", |b| {
+        b.iter(|| table1_with(&mut warm, &workloads).expect("analysis"))
     });
 }
 

@@ -1,23 +1,30 @@
 //! §7.5 — runtime of the upfront trace-generation procedure (steps A–E of
-//! Algorithm 2), plus micro-benchmarks of the k-mers compression itself.
+//! Algorithm 2), plus micro-benchmarks of the k-mers compression itself and
+//! of the session cache (a cache hit should be orders of magnitude cheaper
+//! than a fresh analysis).
 
-use cassandra_core::experiments::trace_generation_timing;
-use cassandra_core::report::format_trace_gen;
+use cassandra_core::eval::Evaluator;
+use cassandra_core::registry::ExperimentRegistry;
+use cassandra_core::report;
 use cassandra_kernels::suite;
 use cassandra_trace::kmers::{compress, KmersConfig};
 use cassandra_trace::vanilla::VanillaTrace;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let rows = trace_generation_timing(&suite::full_suite()).expect("trace generation timing");
-    println!("\n=== §7.5: trace generation runtime (full suite) ===");
-    println!("{}", format_trace_gen(&rows));
+    let mut session = Evaluator::builder().workloads(suite::full_suite()).build();
+    let run = ExperimentRegistry::standard()
+        .run("tracegen", &mut session)
+        .expect("trace generation timing")
+        .expect("tracegen is registered");
+    println!("\n=== {} (full suite) ===", run.title);
+    println!("{}", report::render_text(&run.output));
 
     // Micro-benchmark: compress a large, loop-structured vanilla trace
     // (100k dynamic executions of a nested-loop branch).
     let mut targets = Vec::new();
     for _ in 0..2_000 {
-        targets.extend(std::iter::repeat(10usize).take(49));
+        targets.extend(std::iter::repeat_n(10usize, 49));
         targets.push(60);
     }
     let vanilla = VanillaTrace::from_targets(&targets);
@@ -36,6 +43,15 @@ fn bench(c: &mut Criterion) {
             .expect("generation")
         })
     });
+    c.bench_function("trace_generation/session_analysis_chacha20_cold", |b| {
+        b.iter(|| Evaluator::new().analysis(&workload).expect("generation"))
+    });
+    let mut warm = Evaluator::new();
+    warm.analysis(&workload).expect("warm-up");
+    c.bench_function(
+        "trace_generation/session_analysis_chacha20_cache_hit",
+        |b| b.iter(|| warm.analysis(&workload).expect("cache hit")),
+    );
 }
 
 criterion_group! {

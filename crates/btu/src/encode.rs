@@ -1,9 +1,7 @@
 //! Conversion from compressed k-mers traces to the BTU's hardware
 //! representation (pattern set + trace elements, §5.2).
 
-use crate::element::{
-    PatternElement, TraceElement, MAX_PATTERN_REPS, MAX_TRACE_COUNTER,
-};
+use crate::element::{PatternElement, TraceElement, MAX_PATTERN_REPS, MAX_TRACE_COUNTER};
 use cassandra_isa::program::Program;
 use cassandra_trace::genproc::TraceBundle;
 use cassandra_trace::hints::{BranchHint, BranchHints};
@@ -92,8 +90,8 @@ impl EncodedBranchTrace {
     pub fn expand_targets(&self) -> Vec<usize> {
         let mut out = Vec::new();
         for te in &self.trace {
-            let slice =
-                &self.patterns[te.pattern_index as usize..(te.pattern_index + te.pattern_size) as usize];
+            let slice = &self.patterns
+                [te.pattern_index as usize..(te.pattern_index + te.pattern_size) as usize];
             for _ in 0..te.trace_counter {
                 for pe in slice {
                     for _ in 0..pe.repetitions {
@@ -194,7 +192,10 @@ mod tests {
         let mut targets = vec![2usize; 600];
         targets.push(9);
         let enc = encode_targets(8, &targets);
-        assert!(enc.patterns.iter().all(|p| u64::from(p.repetitions) <= MAX_PATTERN_REPS));
+        assert!(enc
+            .patterns
+            .iter()
+            .all(|p| u64::from(p.repetitions) <= MAX_PATTERN_REPS));
         assert_eq!(enc.expand_targets(), targets);
     }
 

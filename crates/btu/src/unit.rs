@@ -285,11 +285,7 @@ mod tests {
             btu.commit_branch(pc);
             let i = positions.entry(pc).or_insert(0);
             *i += 1;
-            assert_eq!(
-                lookup.next_pc,
-                Some(expected),
-                "branch {pc}, execution {i}"
-            );
+            assert_eq!(lookup.next_pc, Some(expected), "branch {pc}, execution {i}");
             assert!(!lookup.needs_stall);
         }
     }

@@ -1,0 +1,604 @@
+//! The evaluation session API: cached analysis and batched design-point
+//! sweeps.
+//!
+//! The paper's evaluation runs one trace-generation pass (Algorithm 2) per
+//! workload and then simulates that workload under many defense designs.
+//! The free functions in the crate root re-derive the analysis on every
+//! call; an [`Evaluator`] instead memoizes each [`AnalysisBundle`] keyed by
+//! the program's content fingerprint
+//! ([`cassandra_trace::fingerprint::program_fingerprint`]), so a full
+//! multi-experiment evaluation analyzes every distinct program **exactly
+//! once** no matter how many design points or experiments consume it.
+//!
+//! ## Session model
+//!
+//! An `Evaluator` is built once per evaluation session — with a workload
+//! set, a design matrix ([`DesignPoint`]s: a label plus a complete
+//! [`CpuConfig`]) and an optional step budget — and then handed to any
+//! number of experiments (see [`crate::registry`]). [`Evaluator::sweep`]
+//! evaluates the full workload × design matrix and yields a uniform
+//! [`EvalRecord`] stream; individual experiments use
+//! [`Evaluator::simulate_cached`] / [`Evaluator::analysis`] for their more
+//! specialised shapes. Cache effectiveness is observable through
+//! [`Evaluator::cache_stats`].
+//!
+//! With the `parallel` feature (enabled by default) sweeps simulate design
+//! points on all available cores using scoped threads; analysis stays
+//! serial so the exactly-once property is trivially preserved. (The
+//! vendored offline toolchain has no `rayon`; the thread pool is a small
+//! `std::thread::scope` work queue with identical output ordering.)
+
+use crate::{AnalysisBundle, ANALYSIS_STEP_LIMIT};
+use cassandra_btu::encode::EncodedTraces;
+use cassandra_cpu::config::{CpuConfig, DefenseMode};
+use cassandra_cpu::pipeline::{simulate, SimOutcome};
+use cassandra_cpu::stats::SimStats;
+use cassandra_isa::error::IsaError;
+use cassandra_isa::program::Program;
+use cassandra_kernels::workload::{Workload, WorkloadGroup};
+use cassandra_trace::fingerprint::program_fingerprint;
+use cassandra_trace::genproc::generate_traces;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One point of the design matrix: a named, complete processor
+/// configuration.
+///
+/// Most design points are plain defenses over the Table-3 baseline
+/// ([`DesignPoint::from_defense`]); arbitrary [`CpuConfig`] overrides (BTU
+/// geometry, flush intervals, memory latency, …) use [`DesignPoint::new`]
+/// with the `CpuConfig::with_*` builders.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Column label used in records and reports.
+    pub label: String,
+    /// The complete processor configuration simulated at this point.
+    pub config: CpuConfig,
+}
+
+impl DesignPoint {
+    /// A design point with an explicit label and configuration.
+    pub fn new(label: impl Into<String>, config: CpuConfig) -> Self {
+        DesignPoint {
+            label: label.into(),
+            config,
+        }
+    }
+
+    /// The Table-3 baseline configuration under `defense`, labelled with the
+    /// defense's paper name.
+    pub fn from_defense(defense: DefenseMode) -> Self {
+        let config = CpuConfig::golden_cove_like().with_defense(defense);
+        DesignPoint {
+            label: defense.label().to_string(),
+            config,
+        }
+    }
+
+    /// A design point for `config`, labelled by how it differs from the
+    /// baseline (see [`CpuConfig::design_label`]).
+    pub fn from_config(config: CpuConfig) -> Self {
+        DesignPoint {
+            label: config.design_label(),
+            config,
+        }
+    }
+}
+
+/// Analysis-cache counters of one [`Evaluator`] session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Analyses served from the memoization cache.
+    pub hits: u64,
+    /// Analyses that ran Algorithm 2 (one per distinct program).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total analysis requests.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Wall-clock timing of one evaluation record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalTiming {
+    /// Time spent generating this workload's analysis (the first time; 0 is
+    /// possible for sub-microsecond analyses, see `analysis_cached`).
+    pub analysis: Duration,
+    /// True if the analysis was served from the session cache.
+    pub analysis_cached: bool,
+    /// Time spent in the cycle-level simulation of this design point.
+    pub simulate: Duration,
+}
+
+/// One row of the uniform evaluation stream: a workload simulated at one
+/// design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Workload library group.
+    pub group: WorkloadGroup,
+    /// Design-point label.
+    pub design: String,
+    /// The defense simulated at this point.
+    pub defense: DefenseMode,
+    /// Simulation statistics (cycles, IPC inputs, BPU/BTU/cache counters).
+    pub stats: SimStats,
+    /// Wall-clock timing breakdown.
+    pub timing: EvalTiming,
+}
+
+struct CachedAnalysis {
+    bundle: Arc<AnalysisBundle>,
+    elapsed: Duration,
+}
+
+/// Builder for an [`Evaluator`] session.
+#[derive(Default)]
+pub struct EvaluatorBuilder {
+    workloads: Vec<Workload>,
+    designs: Vec<DesignPoint>,
+    step_limit: Option<u64>,
+}
+
+impl EvaluatorBuilder {
+    /// Adds one workload to the session's workload set.
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Adds workloads to the session's workload set.
+    #[must_use]
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Adds one design point to the design matrix.
+    #[must_use]
+    pub fn design(mut self, design: DesignPoint) -> Self {
+        self.designs.push(design);
+        self
+    }
+
+    /// Adds design points to the design matrix.
+    #[must_use]
+    pub fn designs(mut self, designs: impl IntoIterator<Item = DesignPoint>) -> Self {
+        self.designs.extend(designs);
+        self
+    }
+
+    /// Adds one baseline-configured design point per defense.
+    #[must_use]
+    pub fn defense_matrix(mut self, defenses: impl IntoIterator<Item = DefenseMode>) -> Self {
+        self.designs
+            .extend(defenses.into_iter().map(DesignPoint::from_defense));
+        self
+    }
+
+    /// Overrides the profiling step budget for every analysis (default: the
+    /// workload's own `step_limit`).
+    #[must_use]
+    pub fn step_limit(mut self, step_limit: u64) -> Self {
+        self.step_limit = Some(step_limit);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Evaluator {
+        Evaluator {
+            workloads: Arc::from(self.workloads),
+            designs: Arc::from(self.designs),
+            step_limit: self.step_limit,
+            cache: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+/// A reusable evaluation session: memoized Algorithm-2 analyses plus batched
+/// design-point sweeps. See the [module documentation](self).
+pub struct Evaluator {
+    workloads: Arc<[Workload]>,
+    designs: Arc<[DesignPoint]>,
+    step_limit: Option<u64>,
+    cache: HashMap<u64, CachedAnalysis>,
+    stats: CacheStats,
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Evaluator {
+    /// An empty session (no preconfigured workloads or designs); useful for
+    /// one-shot evaluation and as the delegate of the deprecated-path free
+    /// functions in the crate root.
+    pub fn new() -> Self {
+        EvaluatorBuilder::default().build()
+    }
+
+    /// Starts building a session.
+    pub fn builder() -> EvaluatorBuilder {
+        EvaluatorBuilder::default()
+    }
+
+    /// The session's workload set.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// The session's workload set as a cheaply clonable handle (used by the
+    /// registry experiments, which need the list while mutably borrowing the
+    /// session).
+    pub fn shared_workloads(&self) -> Arc<[Workload]> {
+        Arc::clone(&self.workloads)
+    }
+
+    /// The session's design matrix.
+    pub fn designs(&self) -> &[DesignPoint] {
+        &self.designs
+    }
+
+    /// Analysis-cache counters (hits/misses) accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of distinct programs analyzed so far.
+    pub fn analyzed_programs(&self) -> usize {
+        self.cache.len()
+    }
+
+    // ------------------------------------------------------------ analysis
+
+    /// Runs Algorithm 2 once, without touching any session cache — the
+    /// one-shot primitive behind [`crate::analyze_program`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling-run errors from Algorithm 2.
+    pub fn analyze_once(program: &Program, step_limit: u64) -> Result<AnalysisBundle, IsaError> {
+        let bundle = generate_traces(program, None, step_limit)?;
+        let encoded = EncodedTraces::from_bundle(program, &bundle);
+        Ok(AnalysisBundle { bundle, encoded })
+    }
+
+    /// Cache lookup/fill sharing one fingerprint computation; returns the
+    /// bundle plus its analysis wall time and whether it was a cache hit.
+    fn analysis_entry(
+        &mut self,
+        program: &Program,
+        step_limit: u64,
+    ) -> Result<(Arc<AnalysisBundle>, EvalTiming), IsaError> {
+        let key = program_fingerprint(program);
+        if let Some(cached) = self.cache.get(&key) {
+            self.stats.hits += 1;
+            return Ok((
+                Arc::clone(&cached.bundle),
+                EvalTiming {
+                    analysis: cached.elapsed,
+                    analysis_cached: true,
+                    simulate: Duration::ZERO,
+                },
+            ));
+        }
+        let start = Instant::now();
+        let step_limit = self.step_limit.unwrap_or(step_limit);
+        let analysis = Arc::new(Self::analyze_once(program, step_limit)?);
+        let elapsed = start.elapsed();
+        self.stats.misses += 1;
+        self.cache.insert(
+            key,
+            CachedAnalysis {
+                bundle: Arc::clone(&analysis),
+                elapsed,
+            },
+        );
+        Ok((
+            analysis,
+            EvalTiming {
+                analysis: elapsed,
+                analysis_cached: false,
+                simulate: Duration::ZERO,
+            },
+        ))
+    }
+
+    /// The memoized analysis of an arbitrary program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling-run errors from Algorithm 2.
+    pub fn analyze_program(
+        &mut self,
+        program: &Program,
+        step_limit: u64,
+    ) -> Result<Arc<AnalysisBundle>, IsaError> {
+        self.analysis_entry(program, step_limit)
+            .map(|(bundle, _)| bundle)
+    }
+
+    /// The memoized analysis of a workload's kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling-run errors from Algorithm 2.
+    pub fn analysis(&mut self, workload: &Workload) -> Result<Arc<AnalysisBundle>, IsaError> {
+        self.analyze_program(&workload.kernel.program, workload.kernel.step_limit)
+    }
+
+    // ---------------------------------------------------------- simulation
+
+    /// Simulates `program` under `config` with a caller-provided analysis;
+    /// the primitive behind both the session methods and the deprecated-path
+    /// free functions ([`crate::simulate_program`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn simulate_program(
+        program: &Program,
+        analysis: Option<&AnalysisBundle>,
+        config: &CpuConfig,
+    ) -> Result<SimOutcome, IsaError> {
+        let btu = if config.defense.uses_btu() {
+            analysis.map(|a| a.make_btu(config))
+        } else {
+            None
+        };
+        simulate(program, *config, btu)
+    }
+
+    /// Simulates a workload under `config`, analyzing it first if this
+    /// session has not seen its program yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or simulation errors.
+    pub fn simulate_cached(
+        &mut self,
+        workload: &Workload,
+        config: &CpuConfig,
+    ) -> Result<SimOutcome, IsaError> {
+        let analysis = self.analysis(workload)?;
+        let mut cfg = *config;
+        cfg.max_instructions = cfg.max_instructions.max(workload.kernel.step_limit);
+        Self::simulate_program(&workload.kernel.program, Some(&analysis), &cfg)
+    }
+
+    /// Evaluates one workload at one design point, yielding a uniform
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or simulation errors.
+    pub fn eval(
+        &mut self,
+        workload: &Workload,
+        design: &DesignPoint,
+    ) -> Result<EvalRecord, IsaError> {
+        let (analysis, mut timing) =
+            self.analysis_entry(&workload.kernel.program, workload.kernel.step_limit)?;
+        let mut cfg = design.config;
+        cfg.max_instructions = cfg.max_instructions.max(workload.kernel.step_limit);
+        let start = Instant::now();
+        let outcome = Self::simulate_program(&workload.kernel.program, Some(&analysis), &cfg)?;
+        timing.simulate = start.elapsed();
+        Ok(record_from(workload, design, outcome.stats, timing))
+    }
+
+    // --------------------------------------------------------------- sweep
+
+    /// Evaluates the full workload × design matrix configured on this
+    /// session, in matrix order (workload-major). Analyses run exactly once
+    /// per distinct program; simulations run in parallel when the
+    /// `parallel` feature is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or simulation errors.
+    pub fn sweep(&mut self) -> Result<Vec<EvalRecord>, IsaError> {
+        let workloads = Arc::clone(&self.workloads);
+        let designs = Arc::clone(&self.designs);
+        self.sweep_matrix(&workloads, &designs)
+    }
+
+    /// Evaluates an explicit workload × design matrix against this
+    /// session's cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or simulation errors.
+    pub fn sweep_matrix(
+        &mut self,
+        workloads: &[Workload],
+        designs: &[DesignPoint],
+    ) -> Result<Vec<EvalRecord>, IsaError> {
+        // Phase 1 (serial): analyze every workload once, through the cache.
+        let mut analyses: Vec<(Arc<AnalysisBundle>, EvalTiming)> =
+            Vec::with_capacity(workloads.len());
+        for w in workloads {
+            analyses.push(self.analysis_entry(&w.kernel.program, w.kernel.step_limit)?);
+        }
+
+        // Phase 2: simulate every (workload, design) pair.
+        let jobs: Vec<(usize, usize)> = (0..workloads.len())
+            .flat_map(|wi| (0..designs.len()).map(move |di| (wi, di)))
+            .collect();
+        let run_one = |&(wi, di): &(usize, usize)| -> Result<EvalRecord, IsaError> {
+            let w = &workloads[wi];
+            let d = &designs[di];
+            let (bundle, mut timing) = (&analyses[wi].0, analyses[wi].1);
+            let mut cfg = d.config;
+            cfg.max_instructions = cfg.max_instructions.max(w.kernel.step_limit);
+            let start = Instant::now();
+            let outcome = Self::simulate_program(&w.kernel.program, Some(bundle), &cfg)?;
+            timing.simulate = start.elapsed();
+            Ok(record_from(w, d, outcome.stats, timing))
+        };
+        run_jobs(&jobs, run_one).into_iter().collect()
+    }
+}
+
+fn record_from(
+    workload: &Workload,
+    design: &DesignPoint,
+    stats: SimStats,
+    timing: EvalTiming,
+) -> EvalRecord {
+    EvalRecord {
+        workload: workload.name.clone(),
+        group: workload.group,
+        design: design.label.clone(),
+        defense: design.config.defense,
+        stats,
+        timing,
+    }
+}
+
+/// Runs `run_one` over `jobs`, returning results in job order.
+#[cfg(feature = "parallel")]
+fn run_jobs<J, R, F>(jobs: &[J], run_one: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+    if threads <= 1 {
+        return jobs.iter().map(&run_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(jobs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        local.push((i, run_one(&jobs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            indexed.extend(handle.join().expect("sweep worker thread panicked"));
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Serial fallback when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+fn run_jobs<J, R, F>(jobs: &[J], run_one: F) -> Vec<R>
+where
+    F: Fn(&J) -> R,
+{
+    jobs.iter().map(run_one).collect()
+}
+
+/// The default profiling step budget, re-exported for builder users.
+pub const DEFAULT_STEP_LIMIT: u64 = ANALYSIS_STEP_LIMIT;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_kernels::suite;
+
+    #[test]
+    fn analysis_is_memoized_per_program() {
+        let mut ev = Evaluator::new();
+        let w = suite::chacha20_workload(64);
+        let a1 = ev.analysis(&w).unwrap();
+        let a2 = ev.analysis(&w).unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert_eq!(ev.cache_stats().misses, 1);
+        assert_eq!(ev.cache_stats().hits, 1);
+        // A different program misses.
+        ev.analysis(&suite::des_workload(4)).unwrap();
+        assert_eq!(ev.cache_stats().misses, 2);
+        assert_eq!(ev.analyzed_programs(), 2);
+    }
+
+    #[test]
+    fn sweep_covers_the_design_matrix_in_order() {
+        let mut ev = Evaluator::builder()
+            .workloads([suite::chacha20_workload(64), suite::des_workload(4)])
+            .defense_matrix([DefenseMode::UnsafeBaseline, DefenseMode::Cassandra])
+            .build();
+        let records = ev.sweep().unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].workload, "ChaCha20_ct");
+        assert_eq!(records[0].design, "UnsafeBaseline");
+        assert_eq!(records[1].design, "Cassandra");
+        assert_eq!(records[2].workload, "DES_ct");
+        assert_eq!(ev.cache_stats().misses, 2, "one analysis per workload");
+        for r in &records {
+            assert!(r.stats.cycles > 0);
+            if r.defense == DefenseMode::Cassandra {
+                assert_eq!(r.stats.mispredictions, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_sweeps_reuse_the_cache() {
+        let mut ev = Evaluator::builder()
+            .workload(suite::sha256_workload(96))
+            .defense_matrix([DefenseMode::UnsafeBaseline])
+            .build();
+        let first = ev.sweep().unwrap();
+        let second = ev.sweep().unwrap();
+        assert_eq!(ev.cache_stats().misses, 1);
+        assert_eq!(
+            first[0].stats, second[0].stats,
+            "simulation is deterministic"
+        );
+        assert!(second[0].timing.analysis_cached);
+        assert!(!first[0].timing.analysis_cached);
+    }
+
+    #[test]
+    fn eval_matches_free_function_pipeline() {
+        let w = suite::poly1305_workload(32);
+        let design = DesignPoint::from_defense(DefenseMode::Cassandra);
+        let mut ev = Evaluator::new();
+        let record = ev.eval(&w, &design).unwrap();
+
+        let analysis = crate::analyze_workload(&w).unwrap();
+        let outcome = crate::simulate_workload(&w, &analysis, &design.config).unwrap();
+        assert_eq!(record.stats, outcome.stats);
+    }
+
+    #[test]
+    fn design_point_labels() {
+        let p = DesignPoint::from_defense(DefenseMode::CassandraStl);
+        assert_eq!(p.label, "Cassandra+STL");
+        let cfg = CpuConfig::golden_cove_like()
+            .with_defense(DefenseMode::Cassandra)
+            .with_btu_flush_interval(5000);
+        let p = DesignPoint::from_config(cfg);
+        assert_eq!(p.label, "Cassandra+flush5000");
+    }
+}

@@ -1,11 +1,21 @@
 //! Experiment drivers that regenerate every table and figure of the paper's
 //! evaluation (§7) plus the discussion experiments (Q3, Q4).
 //!
+//! Each driver has two forms:
+//!
+//! * `*_with(&mut Evaluator, ..)` — the session form used by the
+//!   [`crate::registry`] experiments: analyses are shared through the
+//!   evaluator's memoization cache, so running several experiments over the
+//!   same suite analyzes each program exactly once;
+//! * a free function with the original stateless signature (`table1`,
+//!   `figure7`, …) — a **deprecated-path shim** that spins up a one-shot
+//!   [`Evaluator`] and delegates. Prefer the session form.
+//!
 //! Each driver takes the list of workloads to evaluate so that tests can use
 //! small inputs while the benches and the `full_evaluation` example use the
 //! paper-sized suite from [`cassandra_kernels::suite::full_suite`].
 
-use crate::{analyze_workload, simulate_workload};
+use crate::eval::Evaluator;
 use cassandra_cpu::config::{CpuConfig, DefenseMode};
 use cassandra_cpu::power::{power_area_report, PowerAreaReport};
 use cassandra_cpu::stats::SimStats;
@@ -14,6 +24,7 @@ use cassandra_kernels::suite;
 use cassandra_kernels::synthetic::{self, CryptoVariant, MixPoint};
 use cassandra_kernels::workload::{Workload, WorkloadGroup};
 use cassandra_trace::stats::{summary_row, BranchAnalysisRow};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -28,7 +39,7 @@ pub const FIG7_DESIGNS: [DefenseMode; 4] = [
 // ---------------------------------------------------------------- Table 1
 
 /// One Table-1 row together with its workload group.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table1Row {
     /// Workload group (BearSSL / OpenSSL / PQC).
     pub group: WorkloadGroup,
@@ -37,7 +48,7 @@ pub struct Table1Row {
 }
 
 /// The complete Table-1 result.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table1Result {
     /// Per-workload rows.
     pub rows: Vec<Table1Row>,
@@ -45,16 +56,16 @@ pub struct Table1Result {
     pub all: BranchAnalysisRow,
 }
 
-/// Regenerates Table 1 (branch analysis / trace compression) for the given
-/// workloads.
+/// Regenerates Table 1 (branch analysis / trace compression) through an
+/// evaluation session.
 ///
 /// # Errors
 ///
 /// Propagates analysis errors.
-pub fn table1(workloads: &[Workload]) -> Result<Table1Result, IsaError> {
+pub fn table1_with(ev: &mut Evaluator, workloads: &[Workload]) -> Result<Table1Result, IsaError> {
     let mut rows = Vec::new();
     for w in workloads {
-        let analysis = analyze_workload(w)?;
+        let analysis = ev.analysis(w)?;
         let mut row = BranchAnalysisRow::from_bundle(&analysis.bundle);
         row.program = w.name.clone();
         rows.push(Table1Row {
@@ -66,10 +77,20 @@ pub fn table1(workloads: &[Workload]) -> Result<Table1Result, IsaError> {
     Ok(Table1Result { rows, all })
 }
 
+/// Regenerates Table 1 for the given workloads (one-shot shim; prefer
+/// [`table1_with`]).
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn table1(workloads: &[Workload]) -> Result<Table1Result, IsaError> {
+    table1_with(&mut Evaluator::new(), workloads)
+}
+
 // ---------------------------------------------------------------- Figure 7
 
 /// One workload's execution times under the Figure-7 designs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig7Row {
     /// Workload name.
     pub workload: String,
@@ -82,7 +103,7 @@ pub struct Fig7Row {
 }
 
 /// The complete Figure-7 result.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig7Result {
     /// Per-workload rows.
     pub rows: Vec<Fig7Row>,
@@ -101,20 +122,23 @@ impl Fig7Result {
 }
 
 /// Regenerates Figure 7 (normalised execution time of the crypto benchmarks)
-/// for the given workloads and designs.
+/// through an evaluation session.
 ///
 /// # Errors
 ///
 /// Propagates analysis or simulation errors.
-pub fn figure7(workloads: &[Workload], designs: &[DefenseMode]) -> Result<Fig7Result, IsaError> {
+pub fn figure7_with(
+    ev: &mut Evaluator,
+    workloads: &[Workload],
+    designs: &[DefenseMode],
+) -> Result<Fig7Result, IsaError> {
     let base_cfg = CpuConfig::golden_cove_like();
     let mut rows = Vec::new();
     for w in workloads {
-        let analysis = analyze_workload(w)?;
         let mut cycles = BTreeMap::new();
         for design in designs {
             let cfg = base_cfg.with_defense(*design);
-            let outcome = simulate_workload(w, &analysis, &cfg)?;
+            let outcome = ev.simulate_cached(w, &cfg)?;
             cycles.insert(design.label().to_string(), outcome.stats.cycles);
         }
         let base = *cycles
@@ -146,10 +170,20 @@ pub fn figure7(workloads: &[Workload], designs: &[DefenseMode]) -> Result<Fig7Re
     Ok(Fig7Result { rows, geomean })
 }
 
+/// Regenerates Figure 7 for the given workloads and designs (one-shot shim;
+/// prefer [`figure7_with`]).
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn figure7(workloads: &[Workload], designs: &[DefenseMode]) -> Result<Fig7Result, IsaError> {
+    figure7_with(&mut Evaluator::new(), workloads, designs)
+}
+
 // ---------------------------------------------------------------- Figure 8
 
 /// One point of Figure 8: a sandbox/crypto mix under one crypto variant.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig8Point {
     /// Crypto variant ("chacha20" with a public stack, "curve25519" with a
     /// secret stack).
@@ -163,12 +197,13 @@ pub struct Fig8Point {
     pub cassandra_prospect_overhead_pct: f64,
 }
 
-/// Regenerates Figure 8 (synthetic SpectreGuard-style benchmarks).
+/// Regenerates Figure 8 (synthetic SpectreGuard-style benchmarks) through an
+/// evaluation session.
 ///
 /// # Errors
 ///
 /// Propagates analysis or simulation errors.
-pub fn figure8(scale: u32) -> Result<Vec<Fig8Point>, IsaError> {
+pub fn figure8_with(ev: &mut Evaluator, scale: u32) -> Result<Vec<Fig8Point>, IsaError> {
     let base_cfg = CpuConfig::golden_cove_like();
     let mut points = Vec::new();
     for variant in [CryptoVariant::ChaChaLike, CryptoVariant::CurveLike] {
@@ -179,7 +214,6 @@ pub fn figure8(scale: u32) -> Result<Vec<Fig8Point>, IsaError> {
                 WorkloadGroup::Synthetic,
                 kernel,
             );
-            let analysis = analyze_workload(&workload)?;
             let mut cycles = BTreeMap::new();
             for design in [
                 DefenseMode::UnsafeBaseline,
@@ -187,7 +221,7 @@ pub fn figure8(scale: u32) -> Result<Vec<Fig8Point>, IsaError> {
                 DefenseMode::CassandraProspect,
             ] {
                 let cfg = base_cfg.with_defense(design);
-                let outcome = simulate_workload(&workload, &analysis, &cfg)?;
+                let outcome = ev.simulate_cached(&workload, &cfg)?;
                 cycles.insert(design, outcome.stats.cycles);
             }
             let base = cycles[&DefenseMode::UnsafeBaseline].max(1) as f64;
@@ -203,10 +237,19 @@ pub fn figure8(scale: u32) -> Result<Vec<Fig8Point>, IsaError> {
     Ok(points)
 }
 
+/// Regenerates Figure 8 (one-shot shim; prefer [`figure8_with`]).
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn figure8(scale: u32) -> Result<Vec<Fig8Point>, IsaError> {
+    figure8_with(&mut Evaluator::new(), scale)
+}
+
 // ---------------------------------------------------------------- Figure 9
 
 /// The power/area comparison of Figure 9.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig9Result {
     /// Power/area of the unsafe baseline (aggregated over the workloads).
     pub baseline: PowerAreaReport,
@@ -236,26 +279,20 @@ fn accumulate(total: &mut SimStats, s: &SimStats) {
     total.caches.l1d.misses += s.caches.l1d.misses;
 }
 
-/// Regenerates Figure 9 (power and area of Cassandra vs the baseline).
+/// Regenerates Figure 9 (power and area of Cassandra vs the baseline)
+/// through an evaluation session.
 ///
 /// # Errors
 ///
 /// Propagates analysis or simulation errors.
-pub fn figure9(workloads: &[Workload]) -> Result<Fig9Result, IsaError> {
+pub fn figure9_with(ev: &mut Evaluator, workloads: &[Workload]) -> Result<Fig9Result, IsaError> {
     let base_cfg = CpuConfig::golden_cove_like();
     let cass_cfg = base_cfg.with_defense(DefenseMode::Cassandra);
     let mut base_stats = SimStats::default();
     let mut cass_stats = SimStats::default();
     for w in workloads {
-        let analysis = analyze_workload(w)?;
-        accumulate(
-            &mut base_stats,
-            &simulate_workload(w, &analysis, &base_cfg)?.stats,
-        );
-        accumulate(
-            &mut cass_stats,
-            &simulate_workload(w, &analysis, &cass_cfg)?.stats,
-        );
+        accumulate(&mut base_stats, &ev.simulate_cached(w, &base_cfg)?.stats);
+        accumulate(&mut cass_stats, &ev.simulate_cached(w, &cass_cfg)?.stats);
     }
     let baseline = power_area_report(&base_cfg, &base_stats);
     let cassandra = power_area_report(&cass_cfg, &cass_stats);
@@ -269,10 +306,19 @@ pub fn figure9(workloads: &[Workload]) -> Result<Fig9Result, IsaError> {
     })
 }
 
+/// Regenerates Figure 9 (one-shot shim; prefer [`figure9_with`]).
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn figure9(workloads: &[Workload]) -> Result<Fig9Result, IsaError> {
+    figure9_with(&mut Evaluator::new(), workloads)
+}
+
 // -------------------------------------------------------------- Q3: lite
 
 /// One row of the Cassandra-lite comparison (discussion Q3).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Q3Row {
     /// Workload name.
     pub workload: String,
@@ -286,19 +332,17 @@ pub struct Q3Row {
     pub slowdown_pct: f64,
 }
 
-/// Regenerates the Q3 comparison for the given workloads.
+/// Regenerates the Q3 comparison through an evaluation session.
 ///
 /// # Errors
 ///
 /// Propagates analysis or simulation errors.
-pub fn q3_cassandra_lite(workloads: &[Workload]) -> Result<Vec<Q3Row>, IsaError> {
+pub fn q3_with(ev: &mut Evaluator, workloads: &[Workload]) -> Result<Vec<Q3Row>, IsaError> {
     let base_cfg = CpuConfig::golden_cove_like();
     let mut rows = Vec::new();
     for w in workloads {
-        let analysis = analyze_workload(w)?;
-        let full = simulate_workload(w, &analysis, &base_cfg.with_defense(DefenseMode::Cassandra))?;
-        let lite =
-            simulate_workload(w, &analysis, &base_cfg.with_defense(DefenseMode::CassandraLite))?;
+        let full = ev.simulate_cached(w, &base_cfg.with_defense(DefenseMode::Cassandra))?;
+        let lite = ev.simulate_cached(w, &base_cfg.with_defense(DefenseMode::CassandraLite))?;
         rows.push(Q3Row {
             workload: w.name.clone(),
             group: w.group,
@@ -311,10 +355,20 @@ pub fn q3_cassandra_lite(workloads: &[Workload]) -> Result<Vec<Q3Row>, IsaError>
     Ok(rows)
 }
 
+/// Regenerates the Q3 comparison for the given workloads (one-shot shim;
+/// prefer [`q3_with`]).
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn q3_cassandra_lite(workloads: &[Workload]) -> Result<Vec<Q3Row>, IsaError> {
+    q3_with(&mut Evaluator::new(), workloads)
+}
+
 // -------------------------------------------------------------- Q4: flush
 
 /// The Q4 result: Cassandra's speedup with and without periodic BTU flushes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Q4Result {
     /// Geomean speedup of Cassandra without flushes (percent).
     pub speedup_no_flush_pct: f64,
@@ -324,26 +378,30 @@ pub struct Q4Result {
     pub flush_interval: u64,
 }
 
-/// Regenerates the Q4 experiment: flushing the BTU periodically (modelling
-/// 250 Hz context switches) and measuring the impact on Cassandra's speedup.
+/// Regenerates the Q4 experiment through an evaluation session.
 ///
 /// # Errors
 ///
 /// Propagates analysis or simulation errors.
-pub fn q4_btu_flush(workloads: &[Workload], flush_interval: u64) -> Result<Q4Result, IsaError> {
+pub fn q4_with(
+    ev: &mut Evaluator,
+    workloads: &[Workload],
+    flush_interval: u64,
+) -> Result<Q4Result, IsaError> {
     let base_cfg = CpuConfig::golden_cove_like();
     let mut log_sum_no_flush = 0.0;
     let mut log_sum_flush = 0.0;
     for w in workloads {
-        let analysis = analyze_workload(w)?;
-        let base = simulate_workload(w, &analysis, &base_cfg)?.stats.cycles.max(1);
-        let cass = simulate_workload(w, &analysis, &base_cfg.with_defense(DefenseMode::Cassandra))?
+        let base = ev.simulate_cached(w, &base_cfg)?.stats.cycles.max(1);
+        let cass = ev
+            .simulate_cached(w, &base_cfg.with_defense(DefenseMode::Cassandra))?
             .stats
             .cycles
             .max(1);
-        let mut flush_cfg = base_cfg.with_defense(DefenseMode::Cassandra);
-        flush_cfg.btu_flush_interval = flush_interval;
-        let flushed = simulate_workload(w, &analysis, &flush_cfg)?.stats.cycles.max(1);
+        let flush_cfg = base_cfg
+            .with_defense(DefenseMode::Cassandra)
+            .with_btu_flush_interval(flush_interval);
+        let flushed = ev.simulate_cached(w, &flush_cfg)?.stats.cycles.max(1);
         log_sum_no_flush += (cass as f64 / base as f64).ln();
         log_sum_flush += (flushed as f64 / base as f64).ln();
     }
@@ -355,10 +413,21 @@ pub fn q4_btu_flush(workloads: &[Workload], flush_interval: u64) -> Result<Q4Res
     })
 }
 
+/// Regenerates the Q4 experiment: flushing the BTU periodically (modelling
+/// 250 Hz context switches) and measuring the impact on Cassandra's speedup
+/// (one-shot shim; prefer [`q4_with`]).
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn q4_btu_flush(workloads: &[Workload], flush_interval: u64) -> Result<Q4Result, IsaError> {
+    q4_with(&mut Evaluator::new(), workloads, flush_interval)
+}
+
 // --------------------------------------------------- §7.5: trace generation
 
 /// Per-workload trace-generation timing (the paper's §7.5).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceGenRow {
     /// Workload name.
     pub workload: String,
@@ -374,15 +443,20 @@ pub struct TraceGenRow {
     pub branches: usize,
 }
 
-/// Measures the trace-generation procedure for each workload.
+/// Measures the trace-generation procedure for each workload through an
+/// evaluation session. Workloads already analyzed by the session report
+/// their cached timing.
 ///
 /// # Errors
 ///
 /// Propagates analysis errors.
-pub fn trace_generation_timing(workloads: &[Workload]) -> Result<Vec<TraceGenRow>, IsaError> {
+pub fn trace_generation_timing_with(
+    ev: &mut Evaluator,
+    workloads: &[Workload],
+) -> Result<Vec<TraceGenRow>, IsaError> {
     let mut rows = Vec::new();
     for w in workloads {
-        let analysis = analyze_workload(w)?;
+        let analysis = ev.analysis(w)?;
         let t = analysis.bundle.timing;
         rows.push(TraceGenRow {
             workload: w.name.clone(),
@@ -394,6 +468,16 @@ pub fn trace_generation_timing(workloads: &[Workload]) -> Result<Vec<TraceGenRow
         });
     }
     Ok(rows)
+}
+
+/// Measures the trace-generation procedure for each workload (one-shot shim;
+/// prefer [`trace_generation_timing_with`]).
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn trace_generation_timing(workloads: &[Workload]) -> Result<Vec<TraceGenRow>, IsaError> {
+    trace_generation_timing_with(&mut Evaluator::new(), workloads)
 }
 
 /// A small subset of the suite used by tests and quick demos.
@@ -417,15 +501,16 @@ mod tests {
         assert!(result.all.compression_avg >= 1.0);
         assert!(result.all.vanilla_max >= result.all.kmers_max);
         // The headline property: compressed traces are small.
-        assert!(result.all.kmers_avg < 64.0, "kmers avg {}", result.all.kmers_avg);
+        assert!(
+            result.all.kmers_avg < 64.0,
+            "kmers avg {}",
+            result.all.kmers_avg
+        );
     }
 
     #[test]
     fn figure7_quick_suite_shapes() {
-        let workloads = vec![
-            suite::chacha20_workload(128),
-            suite::sha256_workload(128),
-        ];
+        let workloads = vec![suite::chacha20_workload(128), suite::sha256_workload(128)];
         let result = figure7(&workloads, &FIG7_DESIGNS).unwrap();
         assert_eq!(result.rows.len(), 2);
         // The baseline normalises to 1.0 by construction.
@@ -445,7 +530,11 @@ mod tests {
         let workloads = vec![suite::chacha20_workload(64)];
         let f9 = figure9(&workloads).unwrap();
         assert!(f9.area_overhead_pct > 0.0 && f9.area_overhead_pct < 3.0);
-        assert!(f9.power_delta_pct < 1.0, "power delta {}", f9.power_delta_pct);
+        assert!(
+            f9.power_delta_pct < 1.0,
+            "power delta {}",
+            f9.power_delta_pct
+        );
     }
 
     #[test]
@@ -467,5 +556,23 @@ mod tests {
         let rows = trace_generation_timing(&[suite::des_workload(4)]).unwrap();
         assert_eq!(rows.len(), 1);
         assert!(rows[0].branches > 0);
+    }
+
+    #[test]
+    fn session_drivers_share_one_analysis_per_workload() {
+        let workloads = quick_workloads();
+        let mut ev = Evaluator::new();
+        table1_with(&mut ev, &workloads).unwrap();
+        figure7_with(&mut ev, &workloads, &FIG7_DESIGNS).unwrap();
+        figure9_with(&mut ev, &workloads).unwrap();
+        q3_with(&mut ev, &workloads).unwrap();
+        q4_with(&mut ev, &workloads, 50_000).unwrap();
+        trace_generation_timing_with(&mut ev, &workloads).unwrap();
+        assert_eq!(
+            ev.cache_stats().misses,
+            workloads.len() as u64,
+            "each workload analyzed exactly once across six experiments"
+        );
+        assert!(ev.cache_stats().hits > 0);
     }
 }

@@ -3,18 +3,58 @@
 //! The top-level API of the Cassandra reproduction. It ties the workspace
 //! together: branch analysis (`cassandra-trace`), trace encoding
 //! (`cassandra-btu`), the processor model (`cassandra-cpu`) and the workload
-//! suite (`cassandra-kernels`), and exposes:
+//! suite (`cassandra-kernels`).
 //!
-//! * [`analyze_workload`] / [`analyze_program`] — run the paper's Algorithm 2
-//!   on a program and encode the result for the BTU;
-//! * [`simulate_workload`] / [`simulate_program`] — simulate a program under
-//!   a chosen [`CpuConfig`], loading the traces when the defense needs them;
-//! * [`security`] — the empirical contract/leakage checker used for the
-//!   paper's security analysis (Figure 6 / Table 2, Theorem 1);
-//! * [`experiments`] — drivers that regenerate every table and figure of the
-//!   evaluation;
-//! * [`report`] — plain-text renderers producing the same rows/series the
-//!   paper reports.
+//! ## The session API (start here)
+//!
+//! The primary entry point is [`eval::Evaluator`]: a builder-constructed
+//! evaluation session holding a workload set, a design matrix of
+//! [`eval::DesignPoint`]s (`DefenseMode` × `CpuConfig` overrides) and an
+//! analysis cache. The session runs the paper's Algorithm 2 **once per
+//! distinct program** — memoized by content fingerprint — no matter how many
+//! design points, sweeps or experiments consume the result, and sweeps the
+//! design matrix in parallel when the `parallel` feature (default) is on.
+//!
+//! On top of it, [`registry::ExperimentRegistry`] unifies every paper
+//! experiment (Table 1, Figures 7–9, Q3, Q4, the Table-2 security sweep and
+//! the §7.5 trace-generation timing) behind the [`registry::Experiment`]
+//! trait, and [`report`] renders any [`registry::ExperimentOutput`] to
+//! text, CSV or JSON.
+//!
+//! ```
+//! use cassandra_core::eval::Evaluator;
+//! use cassandra_core::registry::ExperimentRegistry;
+//! use cassandra_core::report;
+//! use cassandra_cpu::config::DefenseMode;
+//! use cassandra_kernels::suite;
+//!
+//! # fn main() -> Result<(), cassandra_isa::error::IsaError> {
+//! let mut session = Evaluator::builder()
+//!     .workloads([suite::chacha20_workload(64), suite::des_workload(4)])
+//!     .defense_matrix([DefenseMode::UnsafeBaseline, DefenseMode::Cassandra])
+//!     .build();
+//!
+//! // The uniform record stream of the workload × design sweep …
+//! let records = session.sweep()?;
+//! assert_eq!(records.len(), 4);
+//!
+//! // … and the full experiment suite, sharing the same analysis cache.
+//! let runs = ExperimentRegistry::standard().run_all(&mut session)?;
+//! assert_eq!(runs.len(), 8);
+//! println!("{}", report::render_text(&runs[0].output));
+//! assert_eq!(session.cache_stats().misses, 2 + 10 + 16); // each program once
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Deprecated path: the stateless free functions
+//!
+//! [`analyze_workload`] / [`analyze_program`] / [`simulate_workload`] /
+//! [`simulate_program`] predate the session API. They are kept as thin
+//! shims delegating to a one-shot [`eval::Evaluator`] so existing code
+//! keeps compiling, but they re-derive the analysis on every call — new
+//! code should hold an `Evaluator` instead. They may be removed in a future
+//! major version.
 //!
 //! ```
 //! use cassandra_core::{analyze_workload, simulate_workload};
@@ -31,18 +71,23 @@
 //! # }
 //! ```
 
+pub mod eval;
 pub mod experiments;
+pub mod registry;
 pub mod report;
 pub mod security;
 
 use cassandra_btu::encode::EncodedTraces;
 use cassandra_btu::unit::BranchTraceUnit;
 use cassandra_cpu::config::CpuConfig;
-use cassandra_cpu::pipeline::{simulate, SimOutcome};
+use cassandra_cpu::pipeline::SimOutcome;
 use cassandra_isa::error::IsaError;
 use cassandra_isa::program::Program;
 use cassandra_kernels::workload::Workload;
-use cassandra_trace::genproc::{generate_traces, TraceBundle};
+use cassandra_trace::genproc::TraceBundle;
+
+pub use eval::{DesignPoint, EvalRecord, Evaluator};
+pub use registry::{Experiment, ExperimentOutput, ExperimentRegistry};
 
 /// Default profiling step budget for trace generation.
 pub const ANALYSIS_STEP_LIMIT: u64 = 200_000_000;
@@ -66,16 +111,20 @@ impl AnalysisBundle {
 
 /// Runs the branch analysis (Algorithm 2) on an arbitrary program.
 ///
+/// Deprecated path: delegates to [`Evaluator::analyze_once`]; prefer a
+/// session's [`Evaluator::analyze_program`], which memoizes.
+///
 /// # Errors
 ///
 /// Propagates profiling-run errors (step budget, malformed program).
 pub fn analyze_program(program: &Program, step_limit: u64) -> Result<AnalysisBundle, IsaError> {
-    let bundle = generate_traces(program, None, step_limit)?;
-    let encoded = EncodedTraces::from_bundle(program, &bundle);
-    Ok(AnalysisBundle { bundle, encoded })
+    Evaluator::analyze_once(program, step_limit)
 }
 
 /// Runs the branch analysis on a workload's kernel.
+///
+/// Deprecated path: delegates to a one-shot [`Evaluator`]; prefer
+/// [`Evaluator::analysis`], which memoizes.
 ///
 /// # Errors
 ///
@@ -87,6 +136,8 @@ pub fn analyze_workload(workload: &Workload) -> Result<AnalysisBundle, IsaError>
 /// Simulates an arbitrary program under `config`, loading `analysis` traces
 /// into a BTU when the configured defense uses one.
 ///
+/// Deprecated path: thin shim over [`Evaluator::simulate_program`].
+///
 /// # Errors
 ///
 /// Propagates simulation errors.
@@ -95,15 +146,13 @@ pub fn simulate_program(
     analysis: Option<&AnalysisBundle>,
     config: &CpuConfig,
 ) -> Result<SimOutcome, IsaError> {
-    let btu = if config.defense.uses_btu() {
-        analysis.map(|a| a.make_btu(config))
-    } else {
-        None
-    };
-    simulate(program, *config, btu)
+    Evaluator::simulate_program(program, analysis, config)
 }
 
 /// Simulates a workload's kernel under `config`.
+///
+/// Deprecated path: prefer [`Evaluator::simulate_cached`] or
+/// [`Evaluator::eval`], which reuse cached analyses.
 ///
 /// # Errors
 ///
@@ -141,8 +190,7 @@ mod tests {
             let outcome = simulate_workload(&workload, &analysis, &cfg).unwrap();
             assert!(outcome.halted, "{defense:?}");
             assert_eq!(
-                outcome.stats.committed_instructions,
-                base.stats.committed_instructions,
+                outcome.stats.committed_instructions, base.stats.committed_instructions,
                 "architectural behaviour must not change under {defense:?}"
             );
         }

@@ -1,0 +1,420 @@
+//! The unified experiment registry.
+//!
+//! Every paper experiment implements [`Experiment`]: a name plus a
+//! `run(&mut Evaluator)` that produces a typed [`ExperimentOutput`]. The
+//! [`ExperimentRegistry`] holds the standard set (Table 1, Figures 7–9, Q3,
+//! Q4, the Table-2 security sweep and the §7.5 trace-generation timing), so
+//! examples, benches and the [`ExperimentRegistry::run_all`] entry point
+//! enumerate the evaluation generically instead of hard-coding one driver
+//! per figure. Because all experiments share one [`Evaluator`] session, a
+//! full `run_all` analyzes each distinct program exactly once.
+//!
+//! Outputs are serde-serializable; [`crate::report`] renders any of them to
+//! text, CSV or JSON.
+
+use crate::eval::{EvalRecord, Evaluator};
+use crate::experiments::{
+    self, Fig7Result, Fig8Point, Fig9Result, Q3Row, Q4Result, Table1Result, TraceGenRow,
+    FIG7_DESIGNS,
+};
+use crate::security::{self, SecurityMatrix, SECURITY_SWEEP_DESIGNS};
+use cassandra_cpu::config::DefenseMode;
+use cassandra_isa::error::IsaError;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The typed output of any experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentOutput {
+    /// Table 1: branch analysis / trace compression.
+    Table1(Table1Result),
+    /// Figure 7: normalised execution time of the crypto benchmarks.
+    Fig7(Fig7Result),
+    /// Figure 8: synthetic sandbox/crypto mixes vs ProSpeCT.
+    Fig8(Vec<Fig8Point>),
+    /// Figure 9: power and area.
+    Fig9(Fig9Result),
+    /// Q3: Cassandra-lite vs Cassandra.
+    Q3(Vec<Q3Row>),
+    /// Q4: periodic BTU flushes.
+    Q4(Q4Result),
+    /// Figure 6 / Table 2: the gadget-scenario security matrix.
+    Security(SecurityMatrix),
+    /// §7.5: trace-generation timing.
+    TraceGen(Vec<TraceGenRow>),
+    /// A raw design-point sweep (the uniform [`EvalRecord`] stream).
+    Records(Vec<EvalRecord>),
+}
+
+/// One paper experiment, runnable against any evaluation session.
+pub trait Experiment {
+    /// Stable registry key (`table1`, `fig7`, …).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable title used by reports.
+    fn title(&self) -> &'static str;
+
+    /// Runs the experiment over the session's workload set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or simulation errors.
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError>;
+}
+
+// --------------------------------------------------------- the experiments
+
+/// Table 1: branch analysis of the cryptographic programs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table1Experiment;
+
+impl Experiment for Table1Experiment {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+    fn title(&self) -> &'static str {
+        "Table 1: branch analysis of cryptographic programs"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        let workloads = ev.shared_workloads();
+        experiments::table1_with(ev, &workloads).map(ExperimentOutput::Table1)
+    }
+}
+
+/// Figure 7: normalised execution time under the compared designs.
+#[derive(Debug, Clone)]
+pub struct Fig7Experiment {
+    /// The designs to sweep (defaults to the paper's four).
+    pub designs: Vec<DefenseMode>,
+}
+
+impl Default for Fig7Experiment {
+    fn default() -> Self {
+        Fig7Experiment {
+            designs: FIG7_DESIGNS.to_vec(),
+        }
+    }
+}
+
+impl Experiment for Fig7Experiment {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 7: normalized execution time (crypto benchmarks)"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        let workloads = ev.shared_workloads();
+        experiments::figure7_with(ev, &workloads, &self.designs).map(ExperimentOutput::Fig7)
+    }
+}
+
+/// Figure 8: synthetic SpectreGuard-style sandbox/crypto mixes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Experiment {
+    /// Size scale of the synthetic kernels (the example uses 20, tests 4).
+    pub scale: u32,
+}
+
+impl Default for Fig8Experiment {
+    fn default() -> Self {
+        Fig8Experiment { scale: 4 }
+    }
+}
+
+impl Experiment for Fig8Experiment {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 8: synthetic sandbox/crypto mixes (ProSpeCT comparison)"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        experiments::figure8_with(ev, self.scale).map(ExperimentOutput::Fig8)
+    }
+}
+
+/// Figure 9: power and area.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig9Experiment;
+
+impl Experiment for Fig9Experiment {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 9: power and area"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        let workloads = ev.shared_workloads();
+        experiments::figure9_with(ev, &workloads).map(ExperimentOutput::Fig9)
+    }
+}
+
+/// Q3: Cassandra-lite vs full Cassandra.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Q3Experiment;
+
+impl Experiment for Q3Experiment {
+    fn name(&self) -> &'static str {
+        "q3"
+    }
+    fn title(&self) -> &'static str {
+        "Q3: Cassandra-lite vs Cassandra"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        let workloads = ev.shared_workloads();
+        experiments::q3_with(ev, &workloads).map(ExperimentOutput::Q3)
+    }
+}
+
+/// Q4: periodic BTU flushes (context switches).
+#[derive(Debug, Clone, Copy)]
+pub struct Q4Experiment {
+    /// Flush interval in committed instructions.
+    pub flush_interval: u64,
+}
+
+impl Default for Q4Experiment {
+    fn default() -> Self {
+        Q4Experiment {
+            flush_interval: 50_000,
+        }
+    }
+}
+
+impl Experiment for Q4Experiment {
+    fn name(&self) -> &'static str {
+        "q4"
+    }
+    fn title(&self) -> &'static str {
+        "Q4: periodic BTU flushes (context switches)"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        let workloads = ev.shared_workloads();
+        experiments::q4_with(ev, &workloads, self.flush_interval).map(ExperimentOutput::Q4)
+    }
+}
+
+/// Figure 6 / Table 2: the gadget-scenario security sweep.
+#[derive(Debug, Clone)]
+pub struct SecurityExperiment {
+    /// The designs to compare on the gadget scenarios.
+    pub designs: Vec<DefenseMode>,
+}
+
+impl Default for SecurityExperiment {
+    fn default() -> Self {
+        SecurityExperiment {
+            designs: SECURITY_SWEEP_DESIGNS.to_vec(),
+        }
+    }
+}
+
+impl Experiment for SecurityExperiment {
+    fn name(&self) -> &'static str {
+        "security"
+    }
+    fn title(&self) -> &'static str {
+        "Table 2: gadget scenarios (empirical security analysis)"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        security::security_sweep_with(ev, &self.designs).map(ExperimentOutput::Security)
+    }
+}
+
+/// §7.5: trace-generation timing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceGenExperiment;
+
+impl Experiment for TraceGenExperiment {
+    fn name(&self) -> &'static str {
+        "tracegen"
+    }
+    fn title(&self) -> &'static str {
+        "§7.5: trace generation runtime"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        let workloads = ev.shared_workloads();
+        experiments::trace_generation_timing_with(ev, &workloads).map(ExperimentOutput::TraceGen)
+    }
+}
+
+/// The raw workload × design sweep over the session's configured matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepExperiment;
+
+impl Experiment for SweepExperiment {
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+    fn title(&self) -> &'static str {
+        "Raw design-point sweep (EvalRecord stream)"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        ev.sweep().map(ExperimentOutput::Records)
+    }
+}
+
+// -------------------------------------------------------------- registry
+
+/// A completed experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRun {
+    /// Registry key of the experiment.
+    pub name: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The typed output.
+    pub output: ExperimentOutput,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// An ordered collection of experiments, enumerable by name.
+pub struct ExperimentRegistry {
+    experiments: Vec<Box<dyn Experiment>>,
+}
+
+impl Default for ExperimentRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl ExperimentRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ExperimentRegistry {
+            experiments: Vec::new(),
+        }
+    }
+
+    /// The paper's standard experiment set, in reporting order.
+    pub fn standard() -> Self {
+        let mut registry = Self::new();
+        registry.register(Table1Experiment);
+        registry.register(Fig7Experiment::default());
+        registry.register(Fig8Experiment::default());
+        registry.register(Fig9Experiment);
+        registry.register(Q3Experiment);
+        registry.register(Q4Experiment::default());
+        registry.register(SecurityExperiment::default());
+        registry.register(TraceGenExperiment);
+        registry
+    }
+
+    /// Adds an experiment (replacing any previous one with the same name).
+    pub fn register(&mut self, experiment: impl Experiment + 'static) {
+        self.experiments.retain(|e| e.name() != experiment.name());
+        self.experiments.push(Box::new(experiment));
+    }
+
+    /// The registered experiment names, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.experiments.iter().map(|e| e.name()).collect()
+    }
+
+    /// Looks up an experiment by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Experiment> {
+        self.experiments
+            .iter()
+            .find(|e| e.name() == name)
+            .map(AsRef::as_ref)
+    }
+
+    /// Runs one experiment by name against the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or simulation errors; `Ok(None)` if the name is
+    /// unknown.
+    pub fn run(&self, name: &str, ev: &mut Evaluator) -> Result<Option<ExperimentRun>, IsaError> {
+        match self.get(name) {
+            Some(experiment) => run_one(experiment, ev).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Runs every registered experiment against one shared session, in
+    /// registration order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or simulation errors.
+    pub fn run_all(&self, ev: &mut Evaluator) -> Result<Vec<ExperimentRun>, IsaError> {
+        self.experiments
+            .iter()
+            .map(|experiment| run_one(experiment.as_ref(), ev))
+            .collect()
+    }
+}
+
+fn run_one(experiment: &dyn Experiment, ev: &mut Evaluator) -> Result<ExperimentRun, IsaError> {
+    let start = Instant::now();
+    let output = experiment.run(ev)?;
+    Ok(ExperimentRun {
+        name: experiment.name().to_string(),
+        title: experiment.title().to_string(),
+        output,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_kernels::suite;
+
+    #[test]
+    fn standard_registry_lists_the_paper_experiments() {
+        let registry = ExperimentRegistry::standard();
+        assert_eq!(
+            registry.names(),
+            ["table1", "fig7", "fig8", "fig9", "q3", "q4", "security", "tracegen"]
+        );
+        assert!(registry.get("fig7").is_some());
+        assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn register_replaces_by_name() {
+        let mut registry = ExperimentRegistry::standard();
+        let before = registry.names().len();
+        registry.register(Q4Experiment { flush_interval: 7 });
+        assert_eq!(registry.names().len(), before);
+    }
+
+    #[test]
+    fn run_all_analyzes_each_workload_exactly_once() {
+        let workloads = vec![suite::chacha20_workload(64), suite::des_workload(4)];
+        let n_workloads = workloads.len() as u64;
+        let mut ev = Evaluator::builder().workloads(workloads).build();
+        let registry = ExperimentRegistry::standard();
+        let runs = registry.run_all(&mut ev).unwrap();
+        assert_eq!(runs.len(), 8);
+
+        // Distinct programs analyzed: the session workloads (once each,
+        // shared by table1/fig7/fig9/q3/q4/tracegen), the fig8 synthetic
+        // mixes (2 variants × 5 mixes) and the security gadgets (8 scenarios
+        // × 2 secrets). No program is ever analyzed twice.
+        let stats = ev.cache_stats();
+        assert_eq!(stats.misses, n_workloads + 10 + 16);
+        assert_eq!(ev.analyzed_programs() as u64, stats.misses);
+        assert!(
+            stats.hits >= 5 * n_workloads,
+            "experiments after table1 must hit the cache ({stats:?})"
+        );
+    }
+
+    #[test]
+    fn run_by_name_matches_run_all_entry() {
+        let workloads = vec![suite::des_workload(4)];
+        let mut ev = Evaluator::builder().workloads(workloads).build();
+        let registry = ExperimentRegistry::standard();
+        let run = registry.run("table1", &mut ev).unwrap().unwrap();
+        assert_eq!(run.name, "table1");
+        assert!(matches!(run.output, ExperimentOutput::Table1(_)));
+        assert!(registry.run("unknown", &mut ev).unwrap().is_none());
+    }
+}

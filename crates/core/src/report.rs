@@ -1,16 +1,43 @@
-//! Plain-text renderers producing the same rows and series the paper reports.
+//! Report rendering: plain text (the same rows and series the paper
+//! reports), CSV and JSON.
+//!
+//! The `format_*` functions render the individual result types; [`render`]
+//! (and the [`render_text`] / [`render_csv`] / [`render_json`] shorthands)
+//! accept any [`ExperimentOutput`] from the registry, so `run_all` output
+//! can be dumped uniformly in every format.
 
+use crate::eval::EvalRecord;
 use crate::experiments::{
     Fig7Result, Fig8Point, Fig9Result, Q3Row, Q4Result, Table1Result, TraceGenRow,
 };
+use crate::registry::ExperimentOutput;
+use crate::security::SecurityMatrix;
 use cassandra_cpu::config::DefenseMode;
+
+/// Output format selector for [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Fixed-width plain text, matching the paper's layout.
+    Text,
+    /// RFC-4180-style CSV (header row + data rows).
+    Csv,
+    /// Pretty-printed JSON via serde.
+    Json,
+}
 
 /// Renders Table 1 (branch analysis / compression rates).
 pub fn format_table1(result: &Table1Result) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<22} {:>6} {:>12} {:>12} {:>10} {:>10} {:>14} {:>14}\n",
-        "Program", "Group", "VanillaAvg", "VanillaMax", "KmersAvg", "KmersMax", "CompRateAvg", "CompRateMax"
+        "Program",
+        "Group",
+        "VanillaAvg",
+        "VanillaMax",
+        "KmersAvg",
+        "KmersMax",
+        "CompRateAvg",
+        "CompRateMax"
     ));
     for row in &result.rows {
         let r = &row.row;
@@ -29,7 +56,14 @@ pub fn format_table1(result: &Table1Result) -> String {
     let a = &result.all;
     out.push_str(&format!(
         "{:<22} {:>6} {:>12.1} {:>12} {:>10.1} {:>10} {:>14.1} {:>14.1}\n",
-        "All", "", a.vanilla_avg, a.vanilla_max, a.kmers_avg, a.kmers_max, a.compression_avg, a.compression_max
+        "All",
+        "",
+        a.vanilla_avg,
+        a.vanilla_max,
+        a.kmers_avg,
+        a.kmers_max,
+        a.compression_avg,
+        a.compression_max
     ));
     out
 }
@@ -44,9 +78,16 @@ pub fn format_fig7(result: &Fig7Result) -> String {
     }
     out.push('\n');
     for row in &result.rows {
-        out.push_str(&format!("{:<22} {:>8}", row.workload, row.group.to_string()));
+        out.push_str(&format!(
+            "{:<22} {:>8}",
+            row.workload,
+            row.group.to_string()
+        ));
         for d in &designs {
-            out.push_str(&format!(" {:>18.4}", row.normalized.get(*d).unwrap_or(&f64::NAN)));
+            out.push_str(&format!(
+                " {:>18.4}",
+                row.normalized.get(*d).unwrap_or(&f64::NAN)
+            ));
         }
         out.push('\n');
     }
@@ -161,6 +202,334 @@ pub fn format_trace_gen(rows: &[TraceGenRow]) -> String {
     out
 }
 
+/// Renders the Table-2 security matrix.
+pub fn format_security(matrix: &SecurityMatrix) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<36} {:<18} {:>9} {:>9} {:>10} {:>10}\n",
+        "Scenario", "Design", "CtEqual", "ObsEqual", "Transient", "Verdict"
+    ));
+    for c in &matrix.cells {
+        out.push_str(&format!(
+            "{:<36} {:<18} {:>9} {:>9} {:>10} {:>10}\n",
+            c.scenario,
+            c.design,
+            c.verdict.contract_equal,
+            c.verdict.attacker_trace_equal,
+            c.verdict.transient_activity,
+            if c.verdict.is_protected() {
+                "protected"
+            } else {
+                "LEAK"
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} leaking (scenario, design) pairs\n",
+        matrix.leak_count()
+    ));
+    out
+}
+
+/// Renders a raw design-point sweep.
+pub fn format_records(records: &[EvalRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>10} {:<18} {:>12} {:>8} {:>10} {:>8}\n",
+        "Workload", "Group", "Design", "Cycles", "IPC", "Mispred", "Cached"
+    ));
+    for r in records {
+        out.push_str(&format!(
+            "{:<22} {:>10} {:<18} {:>12} {:>8.3} {:>10} {:>8}\n",
+            r.workload,
+            r.group.to_string(),
+            r.design,
+            r.stats.cycles,
+            r.stats.ipc(),
+            r.stats.mispredictions,
+            r.timing.analysis_cached
+        ));
+    }
+    out
+}
+
+// --------------------------------------------------------------- dispatch
+
+/// Renders any experiment output as plain text.
+pub fn render_text(output: &ExperimentOutput) -> String {
+    match output {
+        ExperimentOutput::Table1(r) => format_table1(r),
+        ExperimentOutput::Fig7(r) => format_fig7(r),
+        ExperimentOutput::Fig8(r) => format_fig8(r),
+        ExperimentOutput::Fig9(r) => format_fig9(r),
+        ExperimentOutput::Q3(r) => format_q3(r),
+        ExperimentOutput::Q4(r) => format_q4(r),
+        ExperimentOutput::Security(r) => format_security(r),
+        ExperimentOutput::TraceGen(r) => format_trace_gen(r),
+        ExperimentOutput::Records(r) => format_records(r),
+    }
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn csv_table(header: &[&str], rows: Vec<Vec<String>>) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let escaped: Vec<String> = row.iter().map(|f| csv_escape(f)).collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders any experiment output as CSV (header row + data rows).
+pub fn render_csv(output: &ExperimentOutput) -> String {
+    match output {
+        ExperimentOutput::Table1(r) => csv_table(
+            &[
+                "program",
+                "group",
+                "multi_target",
+                "single_target",
+                "vanilla_avg",
+                "vanilla_max",
+                "kmers_avg",
+                "kmers_max",
+                "compression_avg",
+                "compression_max",
+            ],
+            r.rows
+                .iter()
+                .map(|row| {
+                    vec![
+                        row.row.program.clone(),
+                        row.group.to_string(),
+                        row.row.multi_target_branches.to_string(),
+                        row.row.single_target_branches.to_string(),
+                        row.row.vanilla_avg.to_string(),
+                        row.row.vanilla_max.to_string(),
+                        row.row.kmers_avg.to_string(),
+                        row.row.kmers_max.to_string(),
+                        row.row.compression_avg.to_string(),
+                        row.row.compression_max.to_string(),
+                    ]
+                })
+                .collect(),
+        ),
+        ExperimentOutput::Fig7(r) => {
+            let designs: Vec<&String> = r.geomean.keys().collect();
+            let mut header: Vec<&str> = vec!["workload", "group"];
+            header.extend(designs.iter().map(|d| d.as_str()));
+            let mut rows: Vec<Vec<String>> = r
+                .rows
+                .iter()
+                .map(|row| {
+                    let mut cells = vec![row.workload.clone(), row.group.to_string()];
+                    cells.extend(designs.iter().map(|d| {
+                        row.normalized
+                            .get(*d)
+                            .map_or_else(String::new, f64::to_string)
+                    }));
+                    cells
+                })
+                .collect();
+            let mut geomean = vec!["geomean".to_string(), String::new()];
+            geomean.extend(designs.iter().map(|d| r.geomean[*d].to_string()));
+            rows.push(geomean);
+            csv_table(&header, rows)
+        }
+        ExperimentOutput::Fig8(points) => csv_table(
+            &[
+                "variant",
+                "mix",
+                "prospect_overhead_pct",
+                "cassandra_prospect_overhead_pct",
+            ],
+            points
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.variant.clone(),
+                        p.mix.clone(),
+                        p.prospect_overhead_pct.to_string(),
+                        p.cassandra_prospect_overhead_pct.to_string(),
+                    ]
+                })
+                .collect(),
+        ),
+        ExperimentOutput::Fig9(r) => {
+            let mut rows: Vec<Vec<String>> = Vec::new();
+            for unit in &r.baseline.units {
+                rows.push(vec![
+                    unit.name.clone(),
+                    unit.area.to_string(),
+                    unit.power.to_string(),
+                    r.cassandra.unit_power(&unit.name).to_string(),
+                ]);
+            }
+            for unit in &r.cassandra.units {
+                if r.baseline.unit_area(&unit.name) == 0.0 {
+                    rows.push(vec![
+                        unit.name.clone(),
+                        unit.area.to_string(),
+                        String::new(),
+                        unit.power.to_string(),
+                    ]);
+                }
+            }
+            rows.push(vec![
+                "TOTAL".to_string(),
+                r.baseline.total_area.to_string(),
+                r.baseline.total_power.to_string(),
+                r.cassandra.total_power.to_string(),
+            ]);
+            csv_table(&["unit", "area", "baseline_power", "cassandra_power"], rows)
+        }
+        ExperimentOutput::Q3(rows) => csv_table(
+            &[
+                "workload",
+                "group",
+                "cassandra_cycles",
+                "lite_cycles",
+                "slowdown_pct",
+            ],
+            rows.iter()
+                .map(|r| {
+                    vec![
+                        r.workload.clone(),
+                        r.group.to_string(),
+                        r.cassandra_cycles.to_string(),
+                        r.lite_cycles.to_string(),
+                        r.slowdown_pct.to_string(),
+                    ]
+                })
+                .collect(),
+        ),
+        ExperimentOutput::Q4(r) => csv_table(
+            &[
+                "flush_interval",
+                "speedup_no_flush_pct",
+                "speedup_with_flush_pct",
+            ],
+            vec![vec![
+                r.flush_interval.to_string(),
+                r.speedup_no_flush_pct.to_string(),
+                r.speedup_with_flush_pct.to_string(),
+            ]],
+        ),
+        ExperimentOutput::Security(matrix) => csv_table(
+            &[
+                "scenario",
+                "design",
+                "contract_equal",
+                "attacker_trace_equal",
+                "transient_activity",
+                "protected",
+            ],
+            matrix
+                .cells
+                .iter()
+                .map(|c| {
+                    vec![
+                        c.scenario.clone(),
+                        c.design.clone(),
+                        c.verdict.contract_equal.to_string(),
+                        c.verdict.attacker_trace_equal.to_string(),
+                        c.verdict.transient_activity.to_string(),
+                        c.verdict.is_protected().to_string(),
+                    ]
+                })
+                .collect(),
+        ),
+        ExperimentOutput::TraceGen(rows) => csv_table(
+            &[
+                "workload",
+                "branches",
+                "detect_us",
+                "collect_us",
+                "vanilla_us",
+                "kmers_us",
+            ],
+            rows.iter()
+                .map(|r| {
+                    vec![
+                        r.workload.clone(),
+                        r.branches.to_string(),
+                        r.detect.as_micros().to_string(),
+                        r.collect.as_micros().to_string(),
+                        r.vanilla.as_micros().to_string(),
+                        r.kmers.as_micros().to_string(),
+                    ]
+                })
+                .collect(),
+        ),
+        ExperimentOutput::Records(records) => csv_table(
+            &[
+                "workload",
+                "group",
+                "design",
+                "defense",
+                "cycles",
+                "ipc",
+                "mispredictions",
+                "squashed",
+                "analysis_cached",
+                "simulate_us",
+            ],
+            records
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.clone(),
+                        r.group.to_string(),
+                        r.design.clone(),
+                        r.defense.label().to_string(),
+                        r.stats.cycles.to_string(),
+                        r.stats.ipc().to_string(),
+                        r.stats.mispredictions.to_string(),
+                        r.stats.squashed_instructions.to_string(),
+                        r.timing.analysis_cached.to_string(),
+                        r.timing.simulate.as_micros().to_string(),
+                    ]
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Renders any experiment output as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Propagates serialization errors (none in the vendored shim).
+pub fn render_json(output: &ExperimentOutput) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(output)
+}
+
+/// Renders any experiment output in the requested format.
+///
+/// # Errors
+///
+/// Propagates JSON serialization errors.
+pub fn render(
+    output: &ExperimentOutput,
+    format: ReportFormat,
+) -> Result<String, serde_json::Error> {
+    match format {
+        ReportFormat::Text => Ok(render_text(output)),
+        ReportFormat::Csv => Ok(render_csv(output)),
+        ReportFormat::Json => render_json(output),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +552,34 @@ mod tests {
         let text = format_fig7(&result);
         assert!(text.contains("geomean"));
         assert!(text.contains("Cassandra speedup"));
+    }
+
+    #[test]
+    fn every_format_renders_every_output() {
+        let workloads = vec![suite::des_workload(4)];
+        let mut ev = crate::eval::Evaluator::builder()
+            .workloads(workloads)
+            .defense_matrix([cassandra_cpu::config::DefenseMode::Cassandra])
+            .build();
+        let mut registry = crate::registry::ExperimentRegistry::standard();
+        registry.register(crate::registry::SweepExperiment);
+        let runs = registry.run_all(&mut ev).unwrap();
+        assert_eq!(runs.len(), 9);
+        for run in &runs {
+            let text = render_text(&run.output);
+            assert!(!text.is_empty(), "{}: empty text", run.name);
+            let csv = render_csv(&run.output);
+            assert!(csv.lines().count() >= 2, "{}: no CSV rows", run.name);
+            let json = render_json(&run.output).unwrap();
+            assert!(json.starts_with('{'), "{}: bad JSON", run.name);
+        }
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
     }
 
     #[test]

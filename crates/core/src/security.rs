@@ -7,13 +7,15 @@
 //! runs that differ only in a secret produce different attacker-visible
 //! access sequences.
 
+use crate::eval::Evaluator;
 use crate::{analyze_program, simulate_program, AnalysisBundle};
-use cassandra_cpu::config::CpuConfig;
+use cassandra_cpu::config::{CpuConfig, DefenseMode};
 use cassandra_isa::error::IsaError;
 use cassandra_isa::exec::contract_trace;
 use cassandra_isa::observe::ContractTrace;
 use cassandra_isa::program::Program;
-use cassandra_kernels::gadgets::GadgetProgram;
+use cassandra_kernels::gadgets::{scenario, BranchSite, GadgetProgram, LeakGadget};
+use serde::{Deserialize, Serialize};
 
 /// The attacker-visible result of running one program build.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +28,9 @@ pub struct LeakageObservation {
     pub transient_accesses: Vec<u64>,
 }
 
+/// Profiling step budget for the small gadget programs.
+const GADGET_STEP_LIMIT: u64 = 10_000_000;
+
 /// Runs a program under `config` and collects the attacker-visible traces.
 ///
 /// # Errors
@@ -33,20 +38,44 @@ pub struct LeakageObservation {
 /// Propagates analysis or simulation errors.
 pub fn observe(program: &Program, config: &CpuConfig) -> Result<LeakageObservation, IsaError> {
     let analysis: Option<AnalysisBundle> = if config.defense.uses_btu() {
-        Some(analyze_program(program, 10_000_000)?)
+        Some(analyze_program(program, GADGET_STEP_LIMIT)?)
     } else {
         None
     };
     let outcome = simulate_program(program, analysis.as_ref(), config)?;
     Ok(LeakageObservation {
-        contract: contract_trace(program, 10_000_000)?,
+        contract: contract_trace(program, GADGET_STEP_LIMIT)?,
+        attacker_accesses: outcome.attacker_visible_accesses(),
+        transient_accesses: outcome.transient_accesses,
+    })
+}
+
+/// [`observe`] through an evaluation session: the program's analysis is
+/// served from (and recorded in) the session cache.
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn observe_with(
+    ev: &mut Evaluator,
+    program: &Program,
+    config: &CpuConfig,
+) -> Result<LeakageObservation, IsaError> {
+    let analysis = if config.defense.uses_btu() {
+        Some(ev.analyze_program(program, GADGET_STEP_LIMIT)?)
+    } else {
+        None
+    };
+    let outcome = Evaluator::simulate_program(program, analysis.as_deref(), config)?;
+    Ok(LeakageObservation {
+        contract: contract_trace(program, GADGET_STEP_LIMIT)?,
         attacker_accesses: outcome.attacker_visible_accesses(),
         transient_accesses: outcome.transient_accesses,
     })
 }
 
 /// The verdict for one gadget scenario under one design.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScenarioVerdict {
     /// Human-readable scenario name.
     pub scenario: String,
@@ -60,6 +89,22 @@ pub struct ScenarioVerdict {
 }
 
 impl ScenarioVerdict {
+    /// Builds the verdict by comparing the observations of two builds of the
+    /// same scenario differing only in the secret.
+    pub fn from_observations(
+        scenario: impl Into<String>,
+        o0: &LeakageObservation,
+        o1: &LeakageObservation,
+    ) -> Self {
+        ScenarioVerdict {
+            scenario: scenario.into(),
+            contract_equal: o0.contract == o1.contract,
+            attacker_trace_equal: o0.attacker_accesses == o1.attacker_accesses,
+            transient_activity: !o0.transient_accesses.is_empty()
+                || !o1.transient_accesses.is_empty(),
+        }
+    }
+
     /// A design protects a scenario when equal contract traces imply equal
     /// attacker-visible traces (the hardware satisfies the contract on this
     /// program pair).
@@ -82,13 +127,7 @@ pub fn evaluate_scenario(
     let g1 = build(0xffff_ffff_ffff_ffff);
     let o0 = observe(&g0.program, config)?;
     let o1 = observe(&g1.program, config)?;
-    Ok(ScenarioVerdict {
-        scenario: name.to_string(),
-        contract_equal: o0.contract == o1.contract,
-        attacker_trace_equal: o0.attacker_accesses == o1.attacker_accesses,
-        transient_activity: !o0.transient_accesses.is_empty()
-            || !o1.transient_accesses.is_empty(),
-    })
+    Ok(ScenarioVerdict::from_observations(name, &o0, &o1))
 }
 
 /// Empirical statement of Theorem 1 for a concrete program pair: if the two
@@ -112,11 +151,107 @@ pub fn check_contract_satisfaction(
     Ok(oa.attacker_accesses == ob.attacker_accesses)
 }
 
+// ------------------------------------------------------------ Table-2 sweep
+
+/// The designs the paper's Table 2 compares on the gadget scenarios.
+pub const SECURITY_SWEEP_DESIGNS: [DefenseMode; 2] =
+    [DefenseMode::UnsafeBaseline, DefenseMode::Cassandra];
+
+/// One cell of the security matrix: a gadget scenario under one design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityCell {
+    /// Human-readable scenario name (`BR→gadget`).
+    pub scenario: String,
+    /// Where the mispredicted branch lives.
+    pub site: BranchSite,
+    /// The leak gadget on the transient path.
+    pub gadget: LeakGadget,
+    /// Design label.
+    pub design: String,
+    /// The per-scenario verdict.
+    pub verdict: ScenarioVerdict,
+}
+
+/// The full Figure-6 / Table-2 matrix: every gadget scenario under every
+/// swept design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityMatrix {
+    /// One cell per (scenario, design) pair, scenario-major.
+    pub cells: Vec<SecurityCell>,
+}
+
+impl SecurityMatrix {
+    /// True if every scenario is protected under `design_label`.
+    pub fn all_protected_under(&self, design_label: &str) -> bool {
+        self.cells
+            .iter()
+            .filter(|c| c.design == design_label)
+            .all(|c| c.verdict.is_protected())
+    }
+
+    /// Number of (scenario, design) cells whose scenario leaks.
+    pub fn leak_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| !c.verdict.is_protected())
+            .count()
+    }
+}
+
+/// Evaluates every gadget scenario (the paper's eight `BranchSite` ×
+/// `LeakGadget` combinations) under each design, sharing gadget analyses
+/// through the evaluation session.
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn security_sweep_with(
+    ev: &mut Evaluator,
+    designs: &[DefenseMode],
+) -> Result<SecurityMatrix, IsaError> {
+    let sites = [BranchSite::Crypto, BranchSite::NonCrypto];
+    let gadgets = [
+        LeakGadget::CryptoRegister,
+        LeakGadget::CryptoMemory,
+        LeakGadget::NonCryptoRegister,
+        LeakGadget::NonCryptoMemory,
+    ];
+    let mut cells = Vec::new();
+    for site in sites {
+        for gadget in gadgets {
+            let name = format!("{site:?}->{gadget:?}");
+            let g0 = scenario(site, gadget, 0x0000_0000_0000_0000);
+            let g1 = scenario(site, gadget, 0xffff_ffff_ffff_ffff);
+            for design in designs {
+                let cfg = CpuConfig::golden_cove_like().with_defense(*design);
+                let o0 = observe_with(ev, &g0.program, &cfg)?;
+                let o1 = observe_with(ev, &g1.program, &cfg)?;
+                cells.push(SecurityCell {
+                    scenario: name.clone(),
+                    site,
+                    gadget,
+                    design: design.label().to_string(),
+                    verdict: ScenarioVerdict::from_observations(name.clone(), &o0, &o1),
+                });
+            }
+        }
+    }
+    Ok(SecurityMatrix { cells })
+}
+
+/// [`security_sweep_with`] on a one-shot session (deprecated-path shim).
+///
+/// # Errors
+///
+/// Propagates analysis or simulation errors.
+pub fn security_sweep(designs: &[DefenseMode]) -> Result<SecurityMatrix, IsaError> {
+    security_sweep_with(&mut Evaluator::new(), designs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cassandra_cpu::config::{CpuConfig, DefenseMode};
-    use cassandra_kernels::gadgets::{scenario, BranchSite, LeakGadget};
     use cassandra_kernels::kernel::chacha20;
 
     fn cfg(defense: DefenseMode) -> CpuConfig {
@@ -163,6 +298,38 @@ mod tests {
         )
         .unwrap();
         assert!(verdict.is_protected());
+    }
+
+    #[test]
+    fn security_sweep_matches_the_papers_table2() {
+        let mut ev = Evaluator::new();
+        let matrix = security_sweep_with(&mut ev, &SECURITY_SWEEP_DESIGNS).unwrap();
+        assert_eq!(matrix.cells.len(), 8 * SECURITY_SWEEP_DESIGNS.len());
+        // Cassandra protects every scenario except scenario 8 (non-crypto
+        // branch to non-crypto memory gadget — software isolation, which the
+        // paper leaves to a companion defense); the baseline leaks more.
+        let cassandra_leaks: Vec<&SecurityCell> = matrix
+            .cells
+            .iter()
+            .filter(|c| c.design == DefenseMode::Cassandra.label() && !c.verdict.is_protected())
+            .collect();
+        assert_eq!(cassandra_leaks.len(), 1, "{cassandra_leaks:?}");
+        assert_eq!(cassandra_leaks[0].site, BranchSite::NonCrypto);
+        assert_eq!(cassandra_leaks[0].gadget, LeakGadget::NonCryptoMemory);
+        assert!(!matrix.all_protected_under(DefenseMode::UnsafeBaseline.label()));
+        let baseline_leaks = matrix
+            .cells
+            .iter()
+            .filter(|c| {
+                c.design == DefenseMode::UnsafeBaseline.label() && !c.verdict.is_protected()
+            })
+            .count();
+        assert!(
+            baseline_leaks > 1,
+            "the baseline must leak more than Cassandra"
+        );
+        // Only the Cassandra runs need analyses: 8 scenarios × 2 secrets.
+        assert_eq!(ev.cache_stats().misses, 16);
     }
 
     #[test]

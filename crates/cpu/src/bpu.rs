@@ -86,7 +86,11 @@ impl BranchPredictionUnit {
             BranchKind::CondDirect => {
                 self.stats.pht_lookups += 1;
                 let taken = self.pht[self.pht_index(pc)] >= 2;
-                let target = if taken { direct_target } else { Some(fallthrough) };
+                let target = if taken {
+                    direct_target
+                } else {
+                    Some(fallthrough)
+                };
                 Prediction { target, taken }
             }
             BranchKind::UncondDirect | BranchKind::Call => {
@@ -106,12 +110,18 @@ impl BranchPredictionUnit {
                 if kind == BranchKind::CallIndirect {
                     self.push_return(fallthrough);
                 }
-                Prediction { target, taken: true }
+                Prediction {
+                    target,
+                    taken: true,
+                }
             }
             BranchKind::Return => {
                 self.stats.rsb_lookups += 1;
                 let target = self.rsb.pop();
-                Prediction { target, taken: true }
+                Prediction {
+                    target,
+                    taken: true,
+                }
             }
         }
     }
@@ -195,7 +205,11 @@ mod tests {
         b.predict(60, BranchKind::Call, Some(80), 61);
         assert_eq!(b.predict(81, BranchKind::Return, None, 82).target, Some(61));
         assert_eq!(b.predict(51, BranchKind::Return, None, 52).target, Some(4));
-        assert_eq!(b.predict(51, BranchKind::Return, None, 52).target, None, "underflow");
+        assert_eq!(
+            b.predict(51, BranchKind::Return, None, 52).target,
+            None,
+            "underflow"
+        );
     }
 
     #[test]

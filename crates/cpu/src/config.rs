@@ -187,6 +187,48 @@ impl CpuConfig {
         self.defense = defense;
         self
     }
+
+    /// The same configuration with a different BTU geometry.
+    pub fn with_btu(mut self, btu: BtuConfig) -> Self {
+        self.btu = btu;
+        self
+    }
+
+    /// The same configuration with a periodic BTU flush every `interval`
+    /// committed instructions (0 disables flushing; the Q4 experiment).
+    pub fn with_btu_flush_interval(mut self, interval: u64) -> Self {
+        self.btu_flush_interval = interval;
+        self
+    }
+
+    /// The same configuration with a different committed-instruction budget.
+    pub fn with_max_instructions(mut self, max_instructions: u64) -> Self {
+        self.max_instructions = max_instructions;
+        self
+    }
+
+    /// The same configuration with a different main-memory latency.
+    pub fn with_memory_latency(mut self, memory_latency: u64) -> Self {
+        self.memory_latency = memory_latency;
+        self
+    }
+
+    /// A short label describing how this configuration differs from the
+    /// Table-3 baseline — used by design-point sweeps to name columns.
+    pub fn design_label(&self) -> String {
+        let mut label = self.defense.label().to_string();
+        if self.btu_flush_interval != 0 {
+            label.push_str(&format!("+flush{}", self.btu_flush_interval));
+        }
+        let base = CpuConfig::golden_cove_like();
+        if self.memory_latency != base.memory_latency {
+            label.push_str(&format!("+mem{}", self.memory_latency));
+        }
+        if self.btu != base.btu {
+            label.push_str("+btu");
+        }
+        label
+    }
 }
 
 impl Default for CpuConfig {

@@ -111,7 +111,11 @@ impl<'p> Simulator<'p> {
         regs[SP.index()] = STACK_TOP;
         Simulator {
             program,
-            bpu: BranchPredictionUnit::new(config.pht_entries, config.btb_entries, config.rsb_entries),
+            bpu: BranchPredictionUnit::new(
+                config.pht_entries,
+                config.btb_entries,
+                config.rsb_entries,
+            ),
             btu,
             caches: CacheHierarchy::new(&config),
             stats: SimStats::default(),
@@ -246,7 +250,10 @@ impl<'p> Simulator<'p> {
             .max()
             .unwrap_or(0);
         // call/ret implicitly read the stack pointer.
-        if matches!(instr, Instr::Call { .. } | Instr::CallIndirect { .. } | Instr::Ret) {
+        if matches!(
+            instr,
+            Instr::Call { .. } | Instr::CallIndirect { .. } | Instr::Ret
+        ) {
             operands_ready = operands_ready.max(self.reg_ready[SP.index()]);
         }
         let mut start = dispatch.max(operands_ready);
@@ -306,8 +313,8 @@ impl<'p> Simulator<'p> {
             } => {
                 let addr = self.reg(base).wrapping_add(offset as u64);
                 let v = self.mem.read(addr, width);
-                let tainted =
-                    self.program.is_secret_addr(addr) || self.mem_taint.contains(&Self::granule(addr));
+                let tainted = self.program.is_secret_addr(addr)
+                    || self.mem_taint.contains(&Self::granule(addr));
                 self.set_reg(rd, v, tainted);
                 complete = self.time_load(start, addr);
                 self.reg_ready[rd.index()] = complete;
@@ -570,7 +577,9 @@ impl<'p> Simulator<'p> {
                 // Misprediction: execute a bounded wrong path, then squash.
                 self.stats.mispredictions += 1;
                 let window = (resolve.saturating_sub(fetch_cycle) + 1) * self.config.fetch_width;
-                let budget = window.min(WRONG_PATH_CAP).min(self.config.rob_entries as u64);
+                let budget = window
+                    .min(WRONG_PATH_CAP)
+                    .min(self.config.rob_entries as u64);
                 self.run_wrong_path(predicted, budget);
                 self.redirect_fetch(resolve + self.config.mispredict_redirect_penalty);
                 if let Some(btu) = &mut self.btu {
@@ -624,7 +633,10 @@ impl<'p> Simulator<'p> {
                     self.set_reg(rd, v, false);
                 }
                 Instr::Load {
-                    rd, base, offset, width,
+                    rd,
+                    base,
+                    offset,
+                    width,
                 } => {
                     let addr = self.reg(base).wrapping_add(offset as u64);
                     // ProSpeCT blocks speculative execution of instructions
@@ -641,7 +653,10 @@ impl<'p> Simulator<'p> {
                     self.transient_accesses.push(addr);
                 }
                 Instr::Store {
-                    src, base, offset, width,
+                    src,
+                    base,
+                    offset,
+                    width,
                 } => {
                     let addr = self.reg(base).wrapping_add(offset as u64);
                     // Stores do not modify the cache or memory before commit;
@@ -651,7 +666,12 @@ impl<'p> Simulator<'p> {
                     let v = self.reg(src);
                     self.mem.write(addr, v, width);
                 }
-                Instr::Branch { cond, rs1, rs2, target } => {
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     let taken = cond.eval(self.reg(rs1), self.reg(rs2));
                     next_pc = if taken { target } else { pc + 1 };
                 }
@@ -768,12 +788,7 @@ mod tests {
         let mut reference = Executor::new(&program);
         reference.run(1_000_000).unwrap();
 
-        let outcome = simulate(
-            &program,
-            CpuConfig::golden_cove_like(),
-            None,
-        )
-        .unwrap();
+        let outcome = simulate(&program, CpuConfig::golden_cove_like(), None).unwrap();
         assert!(outcome.halted);
         // The committed instruction count matches the executor's step count.
         assert_eq!(outcome.stats.committed_instructions, reference.steps());

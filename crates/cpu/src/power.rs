@@ -172,7 +172,10 @@ mod tests {
         let base = power_area_report(&base_cfg, &stats_with(2000, 0));
         let cass = power_area_report(&cass_cfg, &stats_with(0, 2000));
         let overhead = (cass.total_area - base.total_area) / base.total_area;
-        assert!(overhead > 0.0 && overhead < 0.03, "area overhead {overhead:.4}");
+        assert!(
+            overhead > 0.0 && overhead < 0.03,
+            "area overhead {overhead:.4}"
+        );
     }
 
     #[test]

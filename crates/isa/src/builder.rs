@@ -112,7 +112,7 @@ impl ProgramBuilder {
         // Keep regions 64-byte aligned so kernels can assume cache-line
         // alignment of their tables.
         let len = bytes.len() as u64;
-        self.data_cursor += (len + 63) / 64 * 64 + 64;
+        self.data_cursor += len.div_ceil(64) * 64 + 64;
         self.data.push(DataRegion {
             addr,
             bytes: bytes.to_vec(),

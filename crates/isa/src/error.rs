@@ -41,16 +41,25 @@ impl fmt::Display for IsaError {
             IsaError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             IsaError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
             IsaError::PcOutOfRange { pc, len } => {
-                write!(f, "program counter {pc} out of range (program has {len} instructions)")
+                write!(
+                    f,
+                    "program counter {pc} out of range (program has {len} instructions)"
+                )
             }
             IsaError::StepLimitExceeded { limit } => {
-                write!(f, "execution exceeded the step limit of {limit} instructions")
+                write!(
+                    f,
+                    "execution exceeded the step limit of {limit} instructions"
+                )
             }
             IsaError::ReturnWithoutCall { pc } => {
                 write!(f, "return executed with an empty call stack at pc {pc}")
             }
             IsaError::MemoryOutOfBounds { addr } => {
-                write!(f, "memory access at {addr:#x} outside the configured bounds")
+                write!(
+                    f,
+                    "memory access at {addr:#x} outside the configured bounds"
+                )
             }
             IsaError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
         }

@@ -390,10 +390,7 @@ mod tests {
         b.j("l");
         let p = b.build().unwrap();
         let mut e = Executor::new(&p);
-        assert_eq!(
-            e.run(100),
-            Err(IsaError::StepLimitExceeded { limit: 100 })
-        );
+        assert_eq!(e.run(100), Err(IsaError::StepLimitExceeded { limit: 100 }));
     }
 
     #[test]
@@ -462,8 +459,14 @@ mod tests {
         b.halt();
         let p = b.build().unwrap();
         let trace = contract_trace(&p, 1000).unwrap();
-        let cf: Vec<_> = trace.iter().filter(|t| matches!(t.obs, Obs::Cf(_))).collect();
-        let mem: Vec<_> = trace.iter().filter(|t| matches!(t.obs, Obs::Mem(_))).collect();
+        let cf: Vec<_> = trace
+            .iter()
+            .filter(|t| matches!(t.obs, Obs::Cf(_)))
+            .collect();
+        let mem: Vec<_> = trace
+            .iter()
+            .filter(|t| matches!(t.obs, Obs::Mem(_)))
+            .collect();
         assert_eq!(cf.len(), 2, "two dynamic executions of the loop branch");
         assert_eq!(mem.len(), 1, "one load");
         assert!(trace.iter().all(|t| t.crypto));

@@ -359,7 +359,11 @@ impl Instr {
     pub fn is_mem(&self) -> bool {
         matches!(
             self,
-            Instr::Load { .. } | Instr::Store { .. } | Instr::Call { .. } | Instr::CallIndirect { .. } | Instr::Ret
+            Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::Call { .. }
+                | Instr::CallIndirect { .. }
+                | Instr::Ret
         )
     }
 

@@ -32,7 +32,7 @@ pub struct StaticBranch {
 }
 
 /// A region of the initial data image.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DataRegion {
     /// Start byte address.
     pub addr: u64,
@@ -46,7 +46,7 @@ pub struct DataRegion {
 ///
 /// Programs are immutable once built; use [`crate::builder::ProgramBuilder`]
 /// to construct them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Program {
     /// Program name (used in reports and statistics).
     pub name: String,
@@ -130,7 +130,9 @@ impl Program {
     /// Returns [`IsaError::InvalidProgram`] describing the first violation.
     pub fn validate(&self) -> Result<(), IsaError> {
         if self.instrs.is_empty() {
-            return Err(IsaError::InvalidProgram("program has no instructions".into()));
+            return Err(IsaError::InvalidProgram(
+                "program has no instructions".into(),
+            ));
         }
         let len = self.instrs.len();
         for (pc, instr) in self.instrs.iter().enumerate() {

@@ -83,6 +83,7 @@ pub fn scenario(branch_site: BranchSite, gadget: LeakGadget, secret: u64) -> Gad
     b.li(T0, public_addr);
     b.ld(A1, T0, 0);
     b.declassify(A1, A1); // A1 = declassified public value (r4)
+
     // A small constant-time loop so the crypto region has replayable branches.
     b.li(A2, 4);
     b.label("ct_loop");
@@ -114,14 +115,21 @@ pub fn scenario(branch_site: BranchSite, gadget: LeakGadget, secret: u64) -> Gad
     // Transient path: the leak gadget. Crypto gadgets (R1/M1) are placed in
     // their own crypto range; non-crypto gadgets (R2/M2) are untagged code.
     b.label("transient_path");
-    let gadget_is_crypto = matches!(gadget, LeakGadget::CryptoRegister | LeakGadget::CryptoMemory);
+    let gadget_is_crypto = matches!(
+        gadget,
+        LeakGadget::CryptoRegister | LeakGadget::CryptoMemory
+    );
     if gadget_is_crypto {
         b.begin_crypto();
     }
     match gadget {
         LeakGadget::CryptoRegister | LeakGadget::NonCryptoRegister => {
             // Leak A0 (secret) or A1 (public) through the probe array.
-            let reg = if gadget == LeakGadget::CryptoRegister { A0 } else { A1 };
+            let reg = if gadget == LeakGadget::CryptoRegister {
+                A0
+            } else {
+                A1
+            };
             b.andi(T1, reg, 1);
             b.slli(T1, T1, 6);
             b.li(A3, probe_addr);
@@ -175,7 +183,8 @@ pub fn scenario(branch_site: BranchSite, gadget: LeakGadget, secret: u64) -> Gad
 pub fn listing1_decrypt(secret: u64, rounds: u64) -> GadgetProgram {
     let mut b = ProgramBuilder::new("listing1-decrypt");
     let secret_addr = b.alloc_secret_u64s("m", &[secret]);
-    let key_addr = b.alloc_secret_u64s("skey", &(0..rounds).map(|i| i * 0x1111).collect::<Vec<_>>());
+    let key_addr =
+        b.alloc_secret_u64s("skey", &(0..rounds).map(|i| i * 0x1111).collect::<Vec<_>>());
     let probe_addr = b.alloc_zeros("probe_array", 128);
     let out_addr = b.alloc_u64s("out", &[0]);
 

@@ -24,7 +24,7 @@ use cassandra_isa::reg::{A0, A1, A2, A3, A5, A6, S0, S1, S2, S3, S4, T0, T1, T2,
 /// Panics if the message length is not a positive multiple of 16.
 pub fn build(key: &[u8; 16], iv: u128, message: &[u8]) -> KernelProgram {
     assert!(
-        !message.is_empty() && message.len() % 16 == 0,
+        !message.is_empty() && message.len().is_multiple_of(16),
         "message length must be a positive multiple of 16"
     );
     let nblocks = message.len() / 16;

@@ -37,7 +37,7 @@ const QR_SCHEDULE: [[u8; 4]; 8] = [
 /// Panics if the message length is not a multiple of 64.
 pub fn build(key: &[u8; 32], counter: u32, nonce: &[u8; 12], message: &[u8]) -> KernelProgram {
     assert!(
-        message.len() % 64 == 0 && !message.is_empty(),
+        message.len().is_multiple_of(64) && !message.is_empty(),
         "message length must be a positive multiple of 64"
     );
     let nblocks = message.len() / 64;
@@ -163,6 +163,7 @@ pub fn build(key: &[u8; 32], counter: u32, nonce: &[u8; 12], message: &[u8]) -> 
     b.lw(T1, A1, 0); // b
     b.lw(T2, A2, 0); // c
     b.lw(T3, A3, 0); // d
+
     // a += b; d ^= a; d = rotl(d, 16)
     add32(&mut b, T0, T0, T1);
     b.xor(T3, T3, T0);

@@ -78,7 +78,11 @@ mod tests {
                 b.li(A1, u64::from(value));
                 rotl32_imm(b, A0, A1, amount, T0);
             });
-            assert_eq!(e.reg(A0), u64::from(value.rotate_left(amount)), "amount {amount}");
+            assert_eq!(
+                e.reg(A0),
+                u64::from(value.rotate_left(amount)),
+                "amount {amount}"
+            );
         }
     }
 
@@ -90,7 +94,11 @@ mod tests {
                 b.li(A1, u64::from(value));
                 rotr32_imm(b, A0, A1, amount, T0);
             });
-            assert_eq!(e.reg(A0), u64::from(value.rotate_right(amount)), "amount {amount}");
+            assert_eq!(
+                e.reg(A0),
+                u64::from(value.rotate_right(amount)),
+                "amount {amount}"
+            );
         }
     }
 

@@ -78,6 +78,7 @@ pub fn build(key: u64, blocks: &[u64]) -> KernelProgram {
     b.li(T2, 0); // round counter
     b.label("round_loop");
     b.ld(T4, T3, 0); // round key
+
     // F(right, k): x = right + k; x = rotl32(x, 7) ^ k; x = (x * 0x9e3779b9) | 1;
     //              x ^= x >> 15; x = rotl32(x, 11) + right   (all mod 2^32)
     b.add(T0, A0, T4);
@@ -143,7 +144,9 @@ mod tests {
     #[test]
     fn matches_reference_many_blocks() {
         let key = 0xfeed_face_0bad_f00d;
-        let blocks: Vec<u64> = (0..32u64).map(|i| i.wrapping_mul(0x1234_5678_9abc)).collect();
+        let blocks: Vec<u64> = (0..32u64)
+            .map(|i| i.wrapping_mul(0x1234_5678_9abc))
+            .collect();
         assert_eq!(run(key, &blocks), reference::encrypt_blocks(key, &blocks));
     }
 

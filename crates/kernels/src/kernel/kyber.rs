@@ -27,7 +27,10 @@ const POLY_BYTES: u64 = (N * 8) as u64;
 ///
 /// Panics if `k` is not 2 or 3.
 pub fn build(k: usize, seed: u64) -> KernelProgram {
-    assert!(k == 2 || k == 3, "module rank must be 2 (Kyber512) or 3 (Kyber768)");
+    assert!(
+        k == 2 || k == 3,
+        "module rank must be 2 (Kyber512) or 3 (Kyber768)"
+    );
 
     // Host-side preparation mirroring the reference sampler and tables.
     let root = reference::primitive_root();
@@ -63,7 +66,7 @@ pub fn build(k: usize, seed: u64) -> KernelProgram {
     let bitrev: Vec<u64> = (0..N as u32)
         .map(|i| u64::from(i.reverse_bits() >> (32 - N.trailing_zeros())))
         .collect();
-    let barrett = (1u128 << 40) as u128 / u128::from(Q);
+    let barrett = (1u128 << 40) / u128::from(Q);
 
     let a_polys: Vec<u64> = (0..k * k)
         .flat_map(|idx| reference::sample_poly(seed.wrapping_add(idx as u64 * 0x9e37)))
@@ -260,6 +263,7 @@ pub fn build(k: usize, seed: u64) -> KernelProgram {
     b.func("ntt");
     b.mv(S2, A0); // poly base
     b.mv(S3, A1); // twiddle base
+
     // Bit-reversal permutation via scratch copy.
     b.mv(A1, S2);
     b.li(A0, scratch_addr);

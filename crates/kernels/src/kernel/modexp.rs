@@ -101,6 +101,7 @@ pub fn build(n: u64, base: u64, exp: &[u64], bits: usize) -> KernelProgram {
     b.sltu(T0, T3, T0); // carry out of the low half
     b.add(T1, T1, T2);
     b.add(T1, T1, T0); // u = t_hi + mn_hi + carry
+
     // Constant-time conditional subtraction of n.
     b.sltu(T0, T1, T4); // u < n ?
     b.xori(T0, T0, 1); // u >= n ?

@@ -28,7 +28,7 @@ const LIMB_MASK: i64 = 0x3ff_ffff;
 /// branch structure, so the workloads avoid them).
 pub fn build(key: &[u8; 32], message: &[u8]) -> KernelProgram {
     assert!(
-        !message.is_empty() && message.len() % 16 == 0,
+        !message.is_empty() && message.len().is_multiple_of(16),
         "message length must be a positive multiple of 16"
     );
     let nblocks = message.len() / 16;
@@ -128,7 +128,11 @@ pub fn build(key: &[u8; 32], message: &[u8]) -> KernelProgram {
         // Direct terms into T0, folded (×5) terms into T2.
         b.li(T0, 0);
         b.li(T2, 0);
+        // Index arithmetic (i + j vs k) is the convolution structure itself,
+        // so plain index loops read clearer than iterator adapters here.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..5usize {
+            #[allow(clippy::needless_range_loop)]
             for j in 0..5usize {
                 if i + j == k {
                     b.mul(T1, h_regs[i], r_regs[j]);
@@ -228,6 +232,7 @@ pub fn build(key: &[u8; 32], message: &[u8]) -> KernelProgram {
     b.or(T1, T1, T0);
     b.slli(T0, T6, 40);
     b.or(T1, T1, T0); // hi
+
     // tag = (h + s) mod 2^128
     b.li(A5, s_addr);
     b.ld(T2, A5, 0);

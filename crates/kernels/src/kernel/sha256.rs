@@ -127,6 +127,7 @@ pub fn build(message: &[u8]) -> KernelProgram {
     b.li(A1, k_addr);
     b.add(A1, A1, T0);
     b.lw(T2, A1, 0); // K[i]
+
     // S1 = rotr(e,6) ^ rotr(e,11) ^ rotr(e,25)
     rotr32_imm(&mut b, T3, S8, 6, T4);
     rotr32_imm(&mut b, T5, S8, 11, T4);

@@ -168,6 +168,7 @@ pub fn build(seed: &[u64; 4], params: &WotsParams) -> KernelProgram {
     b.li(T0, 0x9e37_79b9_7f4a_7c15);
     b.mul(T1, T6, T0);
     b.xor(T1, T1, S11); // round constant
+
     // state[0] += state[1]; state[3] ^= state[0]; state[3] = rotl 32
     b.add(S7, S7, S8);
     b.xor(S10, S10, S7);
@@ -256,9 +257,6 @@ mod tests {
         let params = WotsParams::small();
         let k1 = build(&[1, 1, 1, 1], &params);
         let k2 = build(&[1, 1, 1, 2], &params);
-        assert_ne!(
-            k1.run_functional().unwrap(),
-            k2.run_functional().unwrap()
-        );
+        assert_ne!(k1.run_functional().unwrap(), k2.run_functional().unwrap());
     }
 }

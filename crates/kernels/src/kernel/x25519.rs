@@ -10,9 +10,7 @@
 use crate::kernel::KernelProgram;
 use crate::reference::field61::{A24, P};
 use cassandra_isa::builder::ProgramBuilder;
-use cassandra_isa::reg::{
-    A0, A1, S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T3, ZERO,
-};
+use cassandra_isa::reg::{A0, A1, S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T3, ZERO};
 
 /// Number of scalar bits processed by the ladder, mirroring X25519.
 pub const SCALAR_BITS: usize = 255;

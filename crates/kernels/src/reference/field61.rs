@@ -141,7 +141,7 @@ mod tests {
 
     #[test]
     fn field_axioms_spot_checks() {
-        let a = 0x1234_5678_9abc_def % P;
+        let a = 0x0123_4567_89ab_cdef % P;
         let b = 0x0fed_cba9_8765_4321 % P;
         let c = 0x1111_2222_3333 % P;
         assert_eq!(mul(a, b), mul(b, a));

@@ -157,7 +157,12 @@ mod tests {
     #[test]
     fn ladder_matches_naive_exponentiation() {
         let n = P61;
-        let exp = [0x0123_4567_89ab_cdef, 0xfeed_face_0bad_beef, 0x1111, 0x8000_0000_0000_0001];
+        let exp = [
+            0x0123_4567_89ab_cdef,
+            0xfeed_face_0bad_beef,
+            0x1111,
+            0x8000_0000_0000_0001,
+        ];
         for base in [2u64, 3, 65537, P61 - 2] {
             assert_eq!(
                 mod_exp(n, base, &exp, 256),

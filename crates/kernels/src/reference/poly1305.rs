@@ -74,7 +74,9 @@ pub fn tag(key: &[u8; 32], message: &[u8]) -> [u8; 16] {
 fn mul_mod(h: &[u64; 5], r: &[u64; 5]) -> [u64; 5] {
     // Schoolbook with the 5*x folding for limbs above 2^130.
     let mut d = [0u128; 5];
+    #[allow(clippy::needless_range_loop)]
     for i in 0..5 {
+        #[allow(clippy::needless_range_loop)]
         for j in 0..5 {
             let prod = (h[i] as u128) * (r[j] as u128);
             let k = i + j;

@@ -38,7 +38,10 @@ pub fn h256(input: &State, tweak: u64) -> State {
     let mut s = *input;
     s[0] ^= tweak;
     for r in 0..HASH_ROUNDS {
-        round(&mut s, (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tweak);
+        round(
+            &mut s,
+            (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tweak,
+        );
     }
     [
         s[0].wrapping_add(input[0]),

@@ -93,7 +93,9 @@ pub fn cbc_ct_workload(len: usize) -> Workload {
 
 /// BearSSL `DES_ct`-shaped workload (16-round Feistel loop over blocks).
 pub fn des_workload(nblocks: usize) -> Workload {
-    let blocks: Vec<u64> = (0..nblocks as u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+    let blocks: Vec<u64> = (0..nblocks as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9))
+        .collect();
     let kernel = feistel::build(0x0123_4567_89ab_cdef, &blocks);
     Workload::new("DES_ct", WorkloadGroup::BearSsl, kernel)
 }
@@ -106,7 +108,12 @@ pub fn poly1305_workload(len: usize) -> Workload {
 
 /// BearSSL `ModPow_i31`-shaped workload: 256-bit constant-time exponentiation.
 pub fn modpow_workload() -> Workload {
-    let exp = [0x0123_4567_89ab_cdef, 0xfeed_face_0bad_beef, 0x1357, 0x8000_0000_0000_0001];
+    let exp = [
+        0x0123_4567_89ab_cdef,
+        0xfeed_face_0bad_beef,
+        0x1357,
+        0x8000_0000_0000_0001,
+    ];
     let kernel = modexp::build((1 << 61) - 1, 65_537, &exp, 256);
     Workload::new("ModPow_i31", WorkloadGroup::BearSsl, kernel)
 }
@@ -131,10 +138,10 @@ pub fn rsa_workload() -> Workload {
 /// BearSSL `EC_c25519_i31`-shaped workload: Montgomery-ladder scalar mult.
 pub fn ec_c25519_workload() -> Workload {
     let scalar = [
-        0xa546_e36b_f0527c9d,
-        0x3b16_154b_82465edd,
-        0x62ab_5f7f_6e1fbf90,
-        0x4b44_9c48_38a8bb08,
+        0xa546_e36b_f052_7c9d,
+        0x3b16_154b_8246_5edd,
+        0x62ab_5f7f_6e1f_bf90,
+        0x4b44_9c48_38a8_bb08,
     ];
     let kernel = x25519::build(9, &scalar);
     Workload::new("EC_c25519_i31", WorkloadGroup::BearSsl, kernel)
@@ -248,6 +255,30 @@ pub fn full_suite() -> Vec<Workload> {
     ]
 }
 
+/// The full-suite workloads belonging to one library group, in suite order.
+pub fn group_suite(group: WorkloadGroup) -> Vec<Workload> {
+    let mut suite = full_suite();
+    suite.retain(|w| w.group == group);
+    suite
+}
+
+/// Partitions a workload list by group, preserving the input order inside
+/// each group and returning the groups in the paper's reporting order.
+pub fn by_group(workloads: &[Workload]) -> Vec<(WorkloadGroup, Vec<Workload>)> {
+    WorkloadGroup::ALL
+        .into_iter()
+        .filter_map(|g| {
+            let members: Vec<Workload> =
+                workloads.iter().filter(|w| w.group == g).cloned().collect();
+            if members.is_empty() {
+                None
+            } else {
+                Some((g, members))
+            }
+        })
+        .collect()
+}
+
 /// A reduced suite (one workload per kernel family) used by fast-running
 /// tests and examples.
 pub fn quick_suite() -> Vec<Workload> {
@@ -269,12 +300,41 @@ mod tests {
     fn full_suite_has_21_workloads_in_three_groups() {
         let suite = full_suite();
         assert_eq!(suite.len(), 21);
-        let pqc = suite.iter().filter(|w| w.group == WorkloadGroup::Pqc).count();
-        let openssl = suite.iter().filter(|w| w.group == WorkloadGroup::OpenSsl).count();
-        let bearssl = suite.iter().filter(|w| w.group == WorkloadGroup::BearSsl).count();
+        let pqc = suite
+            .iter()
+            .filter(|w| w.group == WorkloadGroup::Pqc)
+            .count();
+        let openssl = suite
+            .iter()
+            .filter(|w| w.group == WorkloadGroup::OpenSsl)
+            .count();
+        let bearssl = suite
+            .iter()
+            .filter(|w| w.group == WorkloadGroup::BearSsl)
+            .count();
         assert_eq!(pqc, 5);
         assert_eq!(openssl, 3);
         assert_eq!(bearssl, 13);
+    }
+
+    #[test]
+    fn group_suite_partitions_the_full_suite() {
+        let total: usize = WorkloadGroup::ALL
+            .into_iter()
+            .map(|g| group_suite(g).len())
+            .sum();
+        assert_eq!(total, full_suite().len());
+        assert!(group_suite(WorkloadGroup::Synthetic).is_empty());
+    }
+
+    #[test]
+    fn by_group_preserves_order_and_membership() {
+        let partitioned = by_group(&full_suite());
+        assert_eq!(partitioned.len(), 3, "PQC, OpenSSL, BearSSL");
+        assert_eq!(partitioned[0].0, WorkloadGroup::Pqc);
+        for (group, members) in &partitioned {
+            assert!(members.iter().all(|w| w.group == *group));
+        }
     }
 
     #[test]

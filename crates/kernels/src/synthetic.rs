@@ -51,11 +51,26 @@ impl MixPoint {
     /// The five mix points evaluated in the paper's Figure 8.
     pub fn figure8_points() -> Vec<MixPoint> {
         vec![
-            MixPoint { sandbox_pct: 90, crypto_pct: 10 },
-            MixPoint { sandbox_pct: 75, crypto_pct: 25 },
-            MixPoint { sandbox_pct: 50, crypto_pct: 50 },
-            MixPoint { sandbox_pct: 25, crypto_pct: 75 },
-            MixPoint { sandbox_pct: 0, crypto_pct: 100 },
+            MixPoint {
+                sandbox_pct: 90,
+                crypto_pct: 10,
+            },
+            MixPoint {
+                sandbox_pct: 75,
+                crypto_pct: 25,
+            },
+            MixPoint {
+                sandbox_pct: 50,
+                crypto_pct: 50,
+            },
+            MixPoint {
+                sandbox_pct: 25,
+                crypto_pct: 75,
+            },
+            MixPoint {
+                sandbox_pct: 0,
+                crypto_pct: 100,
+            },
         ]
     }
 
@@ -75,7 +90,11 @@ impl MixPoint {
 /// used by [`figure8_suite`] keeps a single simulation in the tens of
 /// thousands of instructions.
 pub fn build_mix(variant: CryptoVariant, mix: MixPoint, scale: u32) -> KernelProgram {
-    assert_eq!(mix.sandbox_pct + mix.crypto_pct, 100, "fractions must sum to 100");
+    assert_eq!(
+        mix.sandbox_pct + mix.crypto_pct,
+        100,
+        "fractions must sum to 100"
+    );
     let sandbox_iters = u64::from(mix.sandbox_pct * scale);
     let crypto_iters = u64::from(mix.crypto_pct * scale);
 
@@ -85,10 +104,14 @@ pub fn build_mix(variant: CryptoVariant, mix: MixPoint, scale: u32) -> KernelPro
     // ---- data ----
     // Public array processed by the sandbox phase (values drive data-dependent
     // branches, which is what makes the sandbox phase predictor-heavy).
-    let array: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(0x5851_f42d) >> 3).collect();
+    let array: Vec<u64> = (0..256u64)
+        .map(|i| i.wrapping_mul(0x5851_f42d) >> 3)
+        .collect();
     let array_addr = b.alloc_u64s("public_array", &array);
     // Secret key material for the crypto phase.
-    let key: Vec<u64> = (0..16u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead_beef).collect();
+    let key: Vec<u64> = (0..16u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead_beef)
+        .collect();
     let key_addr = b.alloc_secret_u64s("secret_key", &key);
     let out_addr = b.alloc_zeros("output", 16);
     if variant == CryptoVariant::CurveLike {
@@ -128,6 +151,7 @@ pub fn build_mix(variant: CryptoVariant, mix: MixPoint, scale: u32) -> KernelPro
     b.li(S3, crypto_iters);
     b.beq(S3, ZERO, "crypto_done");
     b.li(S4, 0); // iteration counter
+
     // Load four secret words into registers.
     b.li(T0, key_addr);
     b.ld(A0, T0, 0);
@@ -251,7 +275,10 @@ mod tests {
 
     #[test]
     fn curve_variant_marks_the_stack_secret() {
-        let mix = MixPoint { sandbox_pct: 50, crypto_pct: 50 };
+        let mix = MixPoint {
+            sandbox_pct: 50,
+            crypto_pct: 50,
+        };
         let chacha = build_mix(CryptoVariant::ChaChaLike, mix, 1);
         let curve = build_mix(CryptoVariant::CurveLike, mix, 1);
         assert!(!chacha.program.is_secret_addr(STACK_TOP - 8));
@@ -260,7 +287,10 @@ mod tests {
 
     #[test]
     fn crypto_branches_only_in_crypto_phase() {
-        let mix = MixPoint { sandbox_pct: 50, crypto_pct: 50 };
+        let mix = MixPoint {
+            sandbox_pct: 50,
+            crypto_pct: 50,
+        };
         let k = build_mix(CryptoVariant::ChaChaLike, mix, 1);
         let branches = k.program.static_branches();
         assert!(branches.iter().any(|br| br.is_crypto));
@@ -272,7 +302,10 @@ mod tests {
     fn rejects_bad_fractions() {
         build_mix(
             CryptoVariant::ChaChaLike,
-            MixPoint { sandbox_pct: 50, crypto_pct: 60 },
+            MixPoint {
+                sandbox_pct: 50,
+                crypto_pct: 60,
+            },
             1,
         );
     }

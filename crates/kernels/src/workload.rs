@@ -1,11 +1,12 @@
 //! Workload descriptors for the evaluation suite.
 
 use crate::kernel::KernelProgram;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The library / family a workload belongs to, mirroring the grouping used in
 /// the paper's Table 1 and Figure 7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum WorkloadGroup {
     /// BearSSL constant-time primitives.
     BearSsl,
@@ -15,6 +16,17 @@ pub enum WorkloadGroup {
     Pqc,
     /// SpectreGuard-style synthetic sandbox/crypto mixes (§7.3).
     Synthetic,
+}
+
+impl WorkloadGroup {
+    /// Every group, in the order the paper reports them (PQC, OpenSSL,
+    /// BearSSL, then the synthetic mixes of §7.3).
+    pub const ALL: [WorkloadGroup; 4] = [
+        WorkloadGroup::Pqc,
+        WorkloadGroup::OpenSsl,
+        WorkloadGroup::BearSsl,
+        WorkloadGroup::Synthetic,
+    ];
 }
 
 impl fmt::Display for WorkloadGroup {

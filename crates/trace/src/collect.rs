@@ -139,6 +139,9 @@ mod tests {
         let traces = collect_raw_traces(&p, 1000).unwrap();
         // Only the executed jump appears.
         assert_eq!(traces.len(), 1);
-        assert_eq!(traces.values().next().unwrap().kind, Some(BranchKind::UncondDirect));
+        assert_eq!(
+            traces.values().next().unwrap().kind,
+            Some(BranchKind::UncondDirect)
+        );
     }
 }

@@ -75,10 +75,9 @@ impl SymbolTable {
     pub fn flatten(&self, id: SymbolId) -> Vec<VanillaElement> {
         match self.def(id) {
             SymbolDef::Base(e) => vec![*e],
-            SymbolDef::Pattern(children) => children
-                .iter()
-                .flat_map(|&c| self.flatten(c))
-                .collect(),
+            SymbolDef::Pattern(children) => {
+                children.iter().flat_map(|&c| self.flatten(c)).collect()
+            }
         }
     }
 

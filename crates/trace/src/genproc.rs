@@ -83,6 +83,12 @@ impl TraceBundle {
     pub fn hint_for(&self, pc: usize) -> Option<BranchHint> {
         self.hints.hint(pc)
     }
+
+    /// A 64-bit hash of this bundle's replay-relevant content (see
+    /// [`crate::fingerprint::bundle_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::bundle_fingerprint(self)
+    }
 }
 
 /// Runs Algorithm 2 on `program`.
@@ -285,7 +291,11 @@ mod tests {
         b.halt();
         let p = b.build().unwrap();
         let bundle = generate_traces(&p, None, 10_000).unwrap();
-        assert_eq!(bundle.analyzed_branches(), 1, "only the crypto branch is analyzed");
+        assert_eq!(
+            bundle.analyzed_branches(),
+            1,
+            "only the crypto branch is analyzed"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 pub const HINT_BITS_PER_BRANCH: usize = 14;
 
 /// The hint attached to one static crypto branch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BranchHint {
     /// The branch always jumps to `target`; no trace is stored.
     SingleTarget {
@@ -107,9 +107,15 @@ mod tests {
     #[test]
     fn counting_by_kind() {
         let mut hints = BranchHints::new();
-        hints.hints.insert(4, BranchHint::SingleTarget { target: 10 });
-        hints.hints.insert(9, BranchHint::MultiTarget { short_trace: true });
-        hints.hints.insert(13, BranchHint::MultiTarget { short_trace: false });
+        hints
+            .hints
+            .insert(4, BranchHint::SingleTarget { target: 10 });
+        hints
+            .hints
+            .insert(9, BranchHint::MultiTarget { short_trace: true });
+        hints
+            .hints
+            .insert(13, BranchHint::MultiTarget { short_trace: false });
         hints.hints.insert(20, BranchHint::InputDependent);
         hints.hints.insert(25, BranchHint::NotExecuted);
         assert_eq!(hints.len(), 5);

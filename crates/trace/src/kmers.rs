@@ -95,7 +95,7 @@ impl KmersTrace {
             let elems = &self.patterns.patterns[&run.symbol];
             for _ in 0..run.repeat {
                 for e in elems {
-                    out.extend(std::iter::repeat(e.target).take(e.count as usize));
+                    out.extend(std::iter::repeat_n(e.target, e.count as usize));
                 }
             }
         }
@@ -126,7 +126,10 @@ pub fn compress(vanilla: &VanillaTrace, config: &KmersConfig) -> KmersTrace {
     for &s in &seq {
         match runs.last_mut() {
             Some(last) if last.symbol == s => last.repeat += 1,
-            _ => runs.push(TraceRun { symbol: s, repeat: 1 }),
+            _ => runs.push(TraceRun {
+                symbol: s,
+                repeat: 1,
+            }),
         }
     }
     let mut patterns = PatternSet::default();
@@ -203,7 +206,11 @@ fn best_kmer(seq: &[SymbolId], table: &SymbolTable, config: &KmersConfig) -> Opt
 
 /// Replaces non-overlapping occurrences of `kmer` in `seq` with `replacement`,
 /// scanning left to right.
-fn replace_non_overlapping(seq: &[SymbolId], kmer: &[SymbolId], replacement: SymbolId) -> Vec<SymbolId> {
+fn replace_non_overlapping(
+    seq: &[SymbolId],
+    kmer: &[SymbolId],
+    replacement: SymbolId,
+) -> Vec<SymbolId> {
     let mut out = Vec::with_capacity(seq.len());
     let k = kmer.len();
     let mut i = 0;
@@ -230,7 +237,7 @@ mod tests {
     fn expand_vanilla(elements: &[VanillaElement]) -> Vec<usize> {
         elements
             .iter()
-            .flat_map(|e| std::iter::repeat(e.target).take(e.count as usize))
+            .flat_map(|e| std::iter::repeat_n(e.target, e.count as usize))
             .collect()
     }
 
@@ -277,7 +284,11 @@ mod tests {
         }
         let vanilla = VanillaTrace { elements };
         let k = compress(&vanilla, &KmersConfig::default());
-        assert!(k.trace_size() <= 2, "expected near-total collapse, got {}", k.trace_size());
+        assert!(
+            k.trace_size() <= 2,
+            "expected near-total collapse, got {}",
+            k.trace_size()
+        );
         assert!(k.total_size() <= 20, "got {}", k.total_size());
         assert_eq!(k.expand(), expand_vanilla(&vanilla.elements));
     }
@@ -287,7 +298,9 @@ mod tests {
         let cases = vec![
             vec![ve(1, 1)],
             vec![ve(1, 2), ve(2, 2), ve(1, 2), ve(3, 1)],
-            (0..40).map(|i| ve(i % 5, (i % 3 + 1) as u64)).collect::<Vec<_>>(),
+            (0..40)
+                .map(|i| ve(i % 5, (i % 3 + 1) as u64))
+                .collect::<Vec<_>>(),
         ];
         for elements in cases {
             let vanilla = VanillaTrace { elements };

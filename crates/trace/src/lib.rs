@@ -35,6 +35,7 @@
 
 pub mod collect;
 pub mod dna;
+pub mod fingerprint;
 pub mod genproc;
 pub mod hints;
 pub mod kmers;
@@ -42,6 +43,7 @@ pub mod stats;
 pub mod vanilla;
 
 pub use collect::{collect_raw_traces, RawTraces};
+pub use fingerprint::{bundle_fingerprint, program_fingerprint};
 pub use genproc::{generate_traces, TraceBundle};
 pub use hints::{BranchHint, BranchHints};
 pub use kmers::{KmersTrace, PatternSet};

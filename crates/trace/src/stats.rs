@@ -118,7 +118,10 @@ mod tests {
         let bundle = generate_traces(&p, None, 1_000_000).unwrap();
         let row = BranchAnalysisRow::from_bundle(&bundle);
         assert_eq!(row.multi_target_branches, 2);
-        assert!(row.vanilla_avg >= row.kmers_avg, "compression should not inflate");
+        assert!(
+            row.vanilla_avg >= row.kmers_avg,
+            "compression should not inflate"
+        );
         assert!(row.compression_avg >= 1.0);
         assert!(row.vanilla_max >= row.vanilla_avg as usize);
     }

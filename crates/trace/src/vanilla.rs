@@ -40,7 +40,10 @@ impl VanillaTrace {
         for &t in targets {
             match elements.last_mut() {
                 Some(last) if last.target == t => last.count += 1,
-                _ => elements.push(VanillaElement { target: t, count: 1 }),
+                _ => elements.push(VanillaElement {
+                    target: t,
+                    count: 1,
+                }),
             }
         }
         VanillaTrace { elements }
@@ -79,7 +82,7 @@ impl VanillaTrace {
     pub fn expand(&self) -> Vec<usize> {
         let mut out = Vec::new();
         for e in &self.elements {
-            out.extend(std::iter::repeat(e.target).take(e.count as usize));
+            out.extend(std::iter::repeat_n(e.target, e.count as usize));
         }
         out
     }
@@ -103,8 +106,14 @@ mod tests {
         assert_eq!(
             v.elements,
             vec![
-                VanillaElement { target: 1, count: 4 },
-                VanillaElement { target: 0, count: 1 }
+                VanillaElement {
+                    target: 1,
+                    count: 4
+                },
+                VanillaElement {
+                    target: 0,
+                    count: 1
+                }
             ]
         );
         assert_eq!(v.len(), 2);

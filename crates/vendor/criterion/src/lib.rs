@@ -1,0 +1,118 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `Bencher::iter`, `black_box`, `criterion_group!` and `criterion_main!` —
+//! backed by a simple wall-clock measurement loop (median / mean / min over
+//! `sample_size` samples). It produces readable numbers, not statistics of
+//! criterion's quality, but keeps `cargo bench` working without crates.io.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement configuration and entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark function and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up pass.
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 1,
+        };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 1,
+            };
+            f(&mut bencher);
+            samples.push(bencher.per_iteration());
+        }
+        samples.sort_unstable();
+        let min = samples.first().copied().unwrap_or_default();
+        let median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        let mean = total / u32::try_from(samples.len().max(1)).unwrap_or(1);
+        println!(
+            "bench {id:<50} median {median:>12?}   mean {mean:>12?}   min {min:>12?}   ({} samples)",
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `inner`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        // A few iterations per sample to amortise timer overhead.
+        const ITERS: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(inner());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = ITERS;
+    }
+
+    fn per_iteration(&self) -> Duration {
+        self.elapsed / u32::try_from(self.iterations.max(1)).unwrap_or(1)
+    }
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,453 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the real `serde` stack cannot be used. This proc-macro crate derives the
+//! *simplified* `Serialize` / `Deserialize` traits defined by the vendored
+//! `serde` shim (`crates/vendor/serde`): `Serialize::to_value` produces a
+//! JSON-like [`serde::Value`] tree and `Deserialize::from_value` reads one
+//! back.
+//!
+//! Supported item shapes (everything this workspace derives on):
+//!
+//! * structs with named fields (externally an object, keyed by field name);
+//! * newtype structs (transparent) and tuple structs (arrays);
+//! * enums with unit variants (strings), newtype/tuple variants and struct
+//!   variants (externally tagged single-entry objects) — the same external
+//!   representation real serde uses by default;
+//! * the `#[serde(skip)]` field attribute (field is omitted on serialize and
+//!   filled from `Default::default()` on deserialize).
+//!
+//! Generics are intentionally unsupported; the derive fails with a clear
+//! compile error if it encounters them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// ------------------------------------------------------------------ model
+
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Unnamed(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ----------------------------------------------------------------- parsing
+
+type Tokens = Peekable<<TokenStream as IntoIterator>::IntoIter>;
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Consumes leading outer attributes, returning true if one of them was
+/// `#[serde(skip)]`.
+fn skip_attributes(tokens: &mut Tokens) -> bool {
+    let mut skip = false;
+    while let Some(tt) = tokens.peek() {
+        if !is_punct(tt, '#') {
+            break;
+        }
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(first), Some(second)) = (inner.first(), inner.get(1)) {
+                    if is_ident(first, "serde") {
+                        if let TokenTree::Group(args) = second {
+                            let body = args.stream().to_string();
+                            if body.split(',').any(|p| p.trim() == "skip") {
+                                skip = true;
+                            }
+                        }
+                    }
+                }
+            }
+            other => panic!("serde_derive shim: malformed attribute, got {other:?}"),
+        }
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &mut Tokens) {
+    if let Some(tt) = tokens.peek() {
+        if is_ident(tt, "pub") {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes tokens of a type (or discriminant expression) up to a top-level
+/// comma, tracking `<`/`>` nesting so commas inside generics don't terminate
+/// the scan. The trailing comma itself is consumed.
+fn skip_until_comma(tokens: &mut Tokens) {
+    let mut angle_depth: i64 = 0;
+    while let Some(tt) = tokens.peek() {
+        if angle_depth == 0 && is_punct(tt, ',') {
+            tokens.next();
+            return;
+        }
+        if is_punct(tt, '<') {
+            angle_depth += 1;
+        } else if is_punct(tt, '>') {
+            angle_depth -= 1;
+        }
+        tokens.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde_derive shim: expected field name, got {tt:?}");
+        };
+        match tokens.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_until_comma(&mut tokens);
+        fields.push(Field {
+            name: Some(name.to_string()),
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        let skip = skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_until_comma(&mut tokens);
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde_derive shim: expected variant name, got {tt:?}");
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Unnamed(parse_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume an optional discriminant and the trailing comma.
+        skip_until_comma(&mut tokens);
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    if let Some(tt) = tokens.peek() {
+        if is_punct(tt, '<') {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Unnamed(parse_tuple_fields(g.stream())),
+            },
+            Some(tt) if is_punct(&tt, ';') => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive shim: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+// ----------------------------------------------------------------- codegen
+
+fn serialize_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from(
+        "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let name = f.name.as_deref().unwrap();
+        out.push_str(&format!(
+            "fields.push((\"{name}\".to_string(), \
+             ::serde::Serialize::to_value(&{access_prefix}{name})));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Object(fields)\n");
+    out
+}
+
+fn deserialize_named_fields(type_path: &str, fields: &[Field], source: &str) -> String {
+    let mut out = format!("{type_path} {{\n");
+    for f in fields {
+        let name = f.name.as_deref().unwrap();
+        if f.skip {
+            out.push_str(&format!("{name}: ::std::default::Default::default(),\n"));
+        } else {
+            out.push_str(&format!(
+                "{name}: match ::serde::Value::get_field({source}, \"{name}\") {{\n\
+                 ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"missing field `{name}` for `{type_path}`\")),\n\
+                 }},\n"
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(fs) => serialize_named_fields(fs, "self."),
+                Fields::Unnamed(fs) if fs.len() == 1 => {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Fields::Unnamed(fs) => {
+                    let items: Vec<String> = (0..fs.len())
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let binders: Vec<String> =
+                            fs.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let body = serialize_named_fields(fs, "*");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n{body}.wrap_variant(\"{vname}\")\n}}\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Fields::Unnamed(fs) if fs.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vname}(x0) => \
+                         ::serde::Serialize::to_value(x0).wrap_variant(\"{vname}\"),\n"
+                    )),
+                    Fields::Unnamed(fs) => {
+                        let binders: Vec<String> = (0..fs.len()).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Array(vec![{}])\
+                             .wrap_variant(\"{vname}\"),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(fs) => format!(
+                    "::std::result::Result::Ok({})",
+                    deserialize_named_fields(name, fs, "value")
+                ),
+                Fields::Unnamed(fs) if fs.len() == 1 => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                ),
+                Fields::Unnamed(fs) => {
+                    let n = fs.len();
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let arr = value.as_array().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected array for tuple struct `{name}`\"))?;\n\
+                         if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::custom(\"wrong tuple length for `{name}`\")); }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let path = format!("{name}::{vname}");
+                        let ctor = deserialize_named_fields(&path, fs, "inner");
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({ctor}),\n"
+                        ));
+                    }
+                    Fields::Unnamed(fs) if fs.len() == 1 => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Unnamed(fs) => {
+                        let n = fs.len();
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected array for variant `{vname}`\"))?;\n\
+                             if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong tuple length for `{vname}`\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::std::option::Option::Some(s) = value.as_str() {{\n\
+                 return match s {{\n{unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for `{name}`\")),\n}};\n}}\n\
+                 let (tag, inner) = value.as_single_entry().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected string or single-entry object for \
+                 enum `{name}`\"))?;\n\
+                 match tag {{\n{data_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for `{name}`\")),\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}

@@ -11,7 +11,8 @@ use cassandra::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
     let nonce = [1u8; 12];
-    let message = b"Cassandra replays the sequential control flow of constant-time code!...........";
+    let message =
+        b"Cassandra replays the sequential control flow of constant-time code!...........";
     // Pad to a whole number of 64-byte blocks, as the kernel expects.
     let mut padded = message.to_vec();
     padded.resize(padded.len().div_ceil(64) * 64, 0);
@@ -48,6 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let decrypted = reference::encrypt(&key, 1, &nonce, &ciphertext);
     assert_eq!(&decrypted[..message.len()], message);
-    println!("round-trip decryption OK: {:?}", String::from_utf8_lossy(&decrypted[..message.len()]));
+    println!(
+        "round-trip decryption OK: {:?}",
+        String::from_utf8_lossy(&decrypted[..message.len()])
+    );
     Ok(())
 }

@@ -1,82 +1,117 @@
-//! Regenerates the paper's evaluation tables and figures.
+//! Regenerates the paper's evaluation tables and figures through the
+//! experiment registry.
 //!
-//! Usage: `cargo run --release --example full_evaluation -- [table1|fig7|fig8|fig9|q3|q4|tracegen|all]`
+//! Usage:
 //!
-//! With no argument a quick subset is used; `all` runs every experiment on
-//! the full 21-workload suite (takes a few minutes in release mode).
+//! ```text
+//! cargo run --release --example full_evaluation -- [EXPERIMENT] [--format text|csv|json]
+//! ```
+//!
+//! `EXPERIMENT` is a registry name (`table1`, `fig7`, `fig8`, `fig9`, `q3`,
+//! `q4`, `security`, `tracegen`), `all` (every experiment on the full
+//! 21-workload suite — takes a few minutes in release mode), or nothing for
+//! a quick subset. All experiments share one evaluation session, so each
+//! workload's Algorithm-2 analysis runs exactly once.
 
-use cassandra::core::experiments::{self, FIG7_DESIGNS};
-use cassandra::core::report;
+use cassandra::core::experiments::quick_workloads;
+use cassandra::core::registry::{Fig8Experiment, SweepExperiment};
 use cassandra::kernels::suite;
+use cassandra::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "quick".to_string());
-    let full = suite::full_suite();
-    let quick = experiments::quick_workloads();
-
-    let run_table1 = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
-        println!("=== Table 1: branch analysis of cryptographic programs ===");
-        println!("{}", report::format_table1(&experiments::table1(workloads)?));
-        Ok(())
-    };
-    let run_fig7 = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
-        println!("=== Figure 7: normalized execution time (crypto benchmarks) ===");
-        println!("{}", report::format_fig7(&experiments::figure7(workloads, &FIG7_DESIGNS)?));
-        Ok(())
-    };
-    let run_fig8 = |scale: u32| -> Result<(), Box<dyn std::error::Error>> {
-        println!("=== Figure 8: synthetic sandbox/crypto mixes (ProSpeCT comparison) ===");
-        println!("{}", report::format_fig8(&experiments::figure8(scale)?));
-        Ok(())
-    };
-    let run_fig9 = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
-        println!("=== Figure 9: power and area ===");
-        println!("{}", report::format_fig9(&experiments::figure9(workloads)?));
-        Ok(())
-    };
-    let run_q3 = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
-        println!("=== Q3: Cassandra-lite vs Cassandra ===");
-        println!("{}", report::format_q3(&experiments::q3_cassandra_lite(workloads)?));
-        Ok(())
-    };
-    let run_q4 = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
-        println!("=== Q4: periodic BTU flushes (context switches) ===");
-        println!("{}", report::format_q4(&experiments::q4_btu_flush(workloads, 50_000)?));
-        Ok(())
-    };
-    let run_tracegen = |workloads: &[cassandra::kernels::Workload]| -> Result<(), Box<dyn std::error::Error>> {
-        println!("=== §7.5: trace generation runtime ===");
-        println!("{}", report::format_trace_gen(&experiments::trace_generation_timing(workloads)?));
-        Ok(())
-    };
-
-    match arg.as_str() {
-        "table1" => run_table1(&full)?,
-        "fig7" => run_fig7(&full)?,
-        "fig8" => run_fig8(20)?,
-        "fig9" => run_fig9(&full)?,
-        "q3" => run_q3(&full)?,
-        "q4" => run_q4(&full)?,
-        "tracegen" => run_tracegen(&full)?,
-        "all" => {
-            run_table1(&full)?;
-            run_fig7(&full)?;
-            run_fig8(20)?;
-            run_fig9(&full)?;
-            run_q3(&full)?;
-            run_q4(&full)?;
-            run_tracegen(&full)?;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = ReportFormat::Text;
+    let mut positional: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--format" {
+            format = match iter.next().map(String::as_str) {
+                Some("csv") => ReportFormat::Csv,
+                Some("json") => ReportFormat::Json,
+                Some("text") => ReportFormat::Text,
+                Some(other) => {
+                    return Err(
+                        format!("unknown format `{other}`; expected text, csv or json").into(),
+                    )
+                }
+                None => return Err("--format requires a value (text, csv or json)".into()),
+            };
+        } else {
+            positional.push(arg.clone());
         }
-        _ => {
-            println!("(quick subset; pass `all` for the full suite)\n");
-            run_table1(&quick)?;
-            run_fig7(&quick)?;
-            run_fig8(4)?;
-            run_fig9(&quick)?;
-            run_q3(&quick)?;
-            run_q4(&quick)?;
-            run_tracegen(&quick)?;
+    }
+    let experiment = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "quick".to_string());
+
+    let mut registry = ExperimentRegistry::standard();
+    registry.register(SweepExperiment);
+
+    match experiment.as_str() {
+        "all" => {
+            let mut session = full_session();
+            registry.register(Fig8Experiment { scale: 20 });
+            for run in registry.run_all(&mut session)? {
+                println!("=== {} ===", run.title);
+                println!("{}", report::render(&run.output, format)?);
+            }
+            print_cache_summary(&session);
+        }
+        "quick" => {
+            let mut session = quick_session();
+            for run in registry.run_all(&mut session)? {
+                println!("=== {} ===", run.title);
+                println!("{}", report::render(&run.output, format)?);
+            }
+            print_cache_summary(&session);
+        }
+        name => {
+            let mut session = full_session();
+            registry.register(Fig8Experiment { scale: 20 });
+            match registry.run(name, &mut session)? {
+                Some(run) => {
+                    println!("=== {} ===", run.title);
+                    println!("{}", report::render(&run.output, format)?);
+                    print_cache_summary(&session);
+                }
+                None => {
+                    let mut names = registry.names();
+                    names.push("all");
+                    return Err(format!(
+                        "unknown experiment `{name}`; available: {}",
+                        names.join(", ")
+                    )
+                    .into());
+                }
+            }
         }
     }
     Ok(())
+}
+
+/// The paper-sized session: the 21-workload suite × the Figure-7 designs.
+fn full_session() -> Evaluator {
+    Evaluator::builder()
+        .workloads(suite::full_suite())
+        .defense_matrix(cassandra::core::experiments::FIG7_DESIGNS)
+        .build()
+}
+
+/// A fast subset for demos and smoke runs.
+fn quick_session() -> Evaluator {
+    Evaluator::builder()
+        .workloads(quick_workloads())
+        .defense_matrix([DefenseMode::UnsafeBaseline, DefenseMode::Cassandra])
+        .build()
+}
+
+fn print_cache_summary(session: &Evaluator) {
+    let stats = session.cache_stats();
+    println!(
+        "(analysis cache: {} distinct programs analyzed once, {} cache hits, {} requests)",
+        stats.misses,
+        stats.hits,
+        stats.requests()
+    );
 }

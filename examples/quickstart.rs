@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use cassandra::prelude::*;
 use cassandra::kernels::suite;
+use cassandra::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick a workload: BearSSL-style ChaCha20 over 256 bytes.

@@ -7,13 +7,28 @@
 //! The paper: *Cassandra: Efficient Enforcement of Sequential Execution for
 //! Cryptographic Programs*, ISCA 2025.
 //!
-//! ## Quickstart
+//! ## Quickstart: the evaluation session API
 //!
 //! ```
 //! use cassandra::prelude::*;
 //!
-//! // Build a constant-time kernel, analyze its branches and run it on the
-//! // Cassandra-enabled processor model.
+//! // Build an evaluation session: workloads × designs, with the Algorithm-2
+//! // analysis of each program cached and shared across the whole session.
+//! let mut session = Evaluator::builder()
+//!     .workload(cassandra::kernels::suite::chacha20_workload(64))
+//!     .defense_matrix([DefenseMode::UnsafeBaseline, DefenseMode::Cassandra])
+//!     .build();
+//! let records = session.sweep().expect("sweep");
+//! assert_eq!(records.len(), 2);
+//! assert!(records.iter().all(|r| r.stats.committed_instructions > 0));
+//! assert_eq!(session.cache_stats().misses, 1); // analyzed once, simulated twice
+//! ```
+//!
+//! ## Deprecated path: stateless free functions
+//!
+//! ```
+//! use cassandra::prelude::*;
+//!
 //! let workload = cassandra::kernels::suite::chacha20_workload(64);
 //! let bundle = analyze_workload(&workload).expect("trace analysis");
 //! let mut cfg = CpuConfig::golden_cove_like();
@@ -31,7 +46,12 @@ pub use cassandra_trace as trace;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use cassandra_core::{analyze_program, analyze_workload, simulate_program, simulate_workload, AnalysisBundle};
+    pub use cassandra_core::eval::{DesignPoint, EvalRecord, Evaluator, EvaluatorBuilder};
+    pub use cassandra_core::registry::{Experiment, ExperimentOutput, ExperimentRegistry};
+    pub use cassandra_core::report::{self, ReportFormat};
+    pub use cassandra_core::{
+        analyze_program, analyze_workload, simulate_program, simulate_workload, AnalysisBundle,
+    };
     pub use cassandra_cpu::config::{CpuConfig, DefenseMode};
     pub use cassandra_cpu::pipeline::SimOutcome;
     pub use cassandra_isa::program::Program;

@@ -68,8 +68,7 @@ fn cassandra_replays_crypto_branches_without_speculation() {
 fn baseline_speculates_on_crypto_branches() {
     let workload = suite::sha256_workload(192);
     let analysis = analyze_workload(&workload).unwrap();
-    let outcome =
-        simulate_workload(&workload, &analysis, &CpuConfig::golden_cove_like()).unwrap();
+    let outcome = simulate_workload(&workload, &analysis, &CpuConfig::golden_cove_like()).unwrap();
     assert!(outcome.stats.bpu.pht_lookups > 0);
     assert!(outcome.stats.mispredictions > 0);
 }

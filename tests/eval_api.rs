@@ -1,0 +1,178 @@
+//! Integration tests for the evaluation session API: analysis caching,
+//! registry/legacy parity, and JSON round-trips.
+
+use cassandra::core::experiments::{self, FIG7_DESIGNS};
+use cassandra::core::registry::{Fig8Experiment, Q4Experiment, SweepExperiment};
+use cassandra::core::security;
+use cassandra::kernels::suite;
+use cassandra::prelude::*;
+
+fn quick_workloads() -> Vec<Workload> {
+    vec![
+        suite::chacha20_workload(64),
+        suite::sha256_workload(96),
+        suite::des_workload(4),
+    ]
+}
+
+/// The headline cache property: a full multi-experiment evaluation analyzes
+/// each distinct program exactly once, however many designs and experiments
+/// consume it.
+#[test]
+fn full_registry_run_analyzes_each_program_exactly_once() {
+    let workloads = quick_workloads();
+    let n = workloads.len() as u64;
+    let mut session = Evaluator::builder()
+        .workloads(workloads)
+        .defense_matrix(FIG7_DESIGNS)
+        .build();
+    let mut registry = ExperimentRegistry::standard();
+    registry.register(SweepExperiment);
+    let runs = registry.run_all(&mut session).unwrap();
+    assert_eq!(runs.len(), 9);
+
+    let stats = session.cache_stats();
+    // Session workloads + 10 fig8 synthetics + 16 security gadget builds.
+    assert_eq!(
+        stats.misses,
+        n + 10 + 16,
+        "exactly one analysis per program"
+    );
+    assert_eq!(session.analyzed_programs() as u64, stats.misses);
+    // Every experiment after the first re-uses the session workloads'
+    // analyses: table1/fig7(4 designs)/fig9(2)/q3(2)/q4(3)/tracegen/sweep.
+    assert!(stats.hits > 10 * n, "cache hits {} too low", stats.hits);
+
+    // Running the whole registry again must add zero analyses.
+    registry.run_all(&mut session).unwrap();
+    assert_eq!(session.cache_stats().misses, stats.misses);
+}
+
+/// The registry path must reproduce the legacy free-function drivers
+/// bit-for-bit (same structs, same floats) on a small suite.
+#[test]
+fn registry_outputs_match_legacy_free_functions() {
+    let workloads = quick_workloads();
+    let mut session = Evaluator::builder().workloads(workloads.clone()).build();
+    let mut registry = ExperimentRegistry::standard();
+    registry.register(Fig8Experiment { scale: 2 });
+    registry.register(Q4Experiment {
+        flush_interval: 5_000,
+    });
+    let runs = registry.run_all(&mut session).unwrap();
+    let by_name = |name: &str| {
+        runs.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing run {name}"))
+            .output
+            .clone()
+    };
+
+    assert_eq!(
+        by_name("table1"),
+        ExperimentOutput::Table1(experiments::table1(&workloads).unwrap())
+    );
+    assert_eq!(
+        by_name("fig7"),
+        ExperimentOutput::Fig7(experiments::figure7(&workloads, &FIG7_DESIGNS).unwrap())
+    );
+    assert_eq!(
+        by_name("fig8"),
+        ExperimentOutput::Fig8(experiments::figure8(2).unwrap())
+    );
+    assert_eq!(
+        by_name("fig9"),
+        ExperimentOutput::Fig9(experiments::figure9(&workloads).unwrap())
+    );
+    assert_eq!(
+        by_name("q3"),
+        ExperimentOutput::Q3(experiments::q3_cassandra_lite(&workloads).unwrap())
+    );
+    assert_eq!(
+        by_name("q4"),
+        ExperimentOutput::Q4(experiments::q4_btu_flush(&workloads, 5_000).unwrap())
+    );
+    assert_eq!(
+        by_name("security"),
+        ExperimentOutput::Security(
+            security::security_sweep(&security::SECURITY_SWEEP_DESIGNS).unwrap()
+        )
+    );
+}
+
+/// Every experiment output serializes to JSON and deserializes back to an
+/// equal value (timing-carrying outputs round-trip too: durations are
+/// exact `{secs, nanos}` pairs and floats use shortest-roundtrip text).
+#[test]
+fn experiment_outputs_round_trip_through_json() {
+    let mut session = Evaluator::builder()
+        .workloads(quick_workloads())
+        .defense_matrix([DefenseMode::UnsafeBaseline, DefenseMode::Cassandra])
+        .build();
+    let mut registry = ExperimentRegistry::standard();
+    registry.register(SweepExperiment);
+    for run in registry.run_all(&mut session).unwrap() {
+        let json = report::render_json(&run.output).unwrap();
+        let back: ExperimentOutput = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, run.output, "JSON round trip of {}", run.name);
+    }
+}
+
+/// EvalRecords carry everything the figures need, and the sweep honours the
+/// configured matrix ordering.
+#[test]
+fn sweep_records_are_complete_and_ordered() {
+    let mut session = Evaluator::builder()
+        .workloads(quick_workloads())
+        .designs([
+            DesignPoint::from_defense(DefenseMode::UnsafeBaseline),
+            DesignPoint::new(
+                "Cassandra+flush",
+                CpuConfig::golden_cove_like()
+                    .with_defense(DefenseMode::Cassandra)
+                    .with_btu_flush_interval(5_000),
+            ),
+        ])
+        .build();
+    let records = session.sweep().unwrap();
+    assert_eq!(records.len(), 6);
+    for pair in records.chunks(2) {
+        assert_eq!(pair[0].workload, pair[1].workload);
+        assert_eq!(pair[0].design, "UnsafeBaseline");
+        assert_eq!(pair[1].design, "Cassandra+flush");
+        assert_eq!(pair[1].defense, DefenseMode::Cassandra);
+        assert_eq!(
+            pair[0].stats.committed_instructions, pair[1].stats.committed_instructions,
+            "defenses must not change architectural behaviour"
+        );
+        assert_eq!(pair[1].stats.mispredictions, 0);
+    }
+}
+
+/// The deprecated-path free functions and the session produce identical
+/// simulation statistics.
+#[test]
+fn free_function_shims_match_the_session() {
+    let w = suite::poly1305_workload(32);
+    let cfg = CpuConfig::golden_cove_like().with_defense(DefenseMode::CassandraStl);
+
+    let legacy_analysis = analyze_workload(&w).unwrap();
+    let legacy = simulate_workload(&w, &legacy_analysis, &cfg).unwrap();
+
+    let mut session = Evaluator::new();
+    let outcome = session.simulate_cached(&w, &cfg).unwrap();
+    assert_eq!(outcome.stats, legacy.stats);
+
+    let record = session.eval(&w, &DesignPoint::new("stl", cfg)).unwrap();
+    assert_eq!(record.stats, legacy.stats);
+    assert!(record.timing.analysis_cached, "second use hits the cache");
+
+    // The shim's bundle and the session's cached bundle are semantically
+    // identical: same replay-relevant content fingerprint.
+    let session_analysis = session.analysis(&w).unwrap();
+    assert_eq!(
+        legacy_analysis.bundle.fingerprint(),
+        session_analysis.bundle.fingerprint(),
+        "one-shot and session analyses must replay the same traces"
+    );
+}

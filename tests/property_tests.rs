@@ -1,102 +1,151 @@
-//! Property-based tests over the core data structures and invariants:
+//! Property-style tests over the core data structures and invariants:
 //! losslessness of every trace representation, BTU replay fidelity, and
 //! constant-time invariants of the kernels.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these use a deterministic xorshift generator: each property is checked
+//! over a fixed number of pseudo-random cases. Failures print the seed of the
+//! offending case so it can be replayed.
 
 use cassandra::btu::cursor::TraceCursor;
 use cassandra::btu::encode::EncodedBranchTrace;
 use cassandra::trace::kmers::{compress, KmersConfig};
 use cassandra::trace::vanilla::VanillaTrace;
-use proptest::prelude::*;
 
-/// Strategy: a plausible branch-target sequence — loop-like runs of a few
-/// distinct targets, as produced by real (constant-time) code.
-fn target_sequences() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec((0usize..6, 1usize..20), 1..40).prop_map(|runs| {
-        let mut out = Vec::new();
-        for (target, len) in runs {
-            out.extend(std::iter::repeat(target * 7 + 1).take(len));
-        }
-        out
-    })
+/// Deterministic xorshift64* PRNG; good enough for test-case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Run-length encoding of raw traces is lossless.
-    #[test]
-    fn vanilla_rle_roundtrips(targets in target_sequences()) {
-        let vanilla = VanillaTrace::from_targets(&targets);
-        prop_assert_eq!(vanilla.expand(), targets);
+/// A plausible branch-target sequence — loop-like runs of a few distinct
+/// targets, as produced by real (constant-time) code. Mirrors the old
+/// proptest strategy: 1..40 runs of (target in 0..6, length in 1..20).
+fn target_sequence(rng: &mut Rng) -> Vec<usize> {
+    let runs = rng.range(1, 40);
+    let mut out = Vec::new();
+    for _ in 0..runs {
+        let target = rng.range(0, 6) as usize * 7 + 1;
+        let len = rng.range(1, 20) as usize;
+        out.extend(std::iter::repeat_n(target, len));
     }
+    out
+}
 
-    /// The k-mers compression of Algorithm 1 is lossless and never produces a
-    /// longer trace than the vanilla representation.
-    #[test]
-    fn kmers_compression_is_lossless(targets in target_sequences()) {
+const CASES: u64 = 64;
+
+/// Run-length encoding of raw traces is lossless.
+#[test]
+fn vanilla_rle_roundtrips() {
+    for seed in 1..=CASES {
+        let targets = target_sequence(&mut Rng::new(seed));
+        let vanilla = VanillaTrace::from_targets(&targets);
+        assert_eq!(vanilla.expand(), targets, "seed {seed}");
+    }
+}
+
+/// The k-mers compression of Algorithm 1 is lossless and never produces a
+/// longer trace than the vanilla representation.
+#[test]
+fn kmers_compression_is_lossless() {
+    for seed in 1..=CASES {
+        let targets = target_sequence(&mut Rng::new(seed));
         let vanilla = VanillaTrace::from_targets(&targets);
         let kmers = compress(&vanilla, &KmersConfig::default());
-        prop_assert_eq!(kmers.expand(), vanilla.expand());
-        prop_assert!(kmers.trace_size() <= vanilla.len().max(1));
+        assert_eq!(kmers.expand(), vanilla.expand(), "seed {seed}");
+        assert!(
+            kmers.trace_size() <= vanilla.len().max(1),
+            "seed {seed}: compressed trace grew"
+        );
     }
+}
 
-    /// The hardware encoding (pattern elements + trace elements) expands back
-    /// to exactly the recorded target sequence, and the BTU cursor replays it
-    /// in order — Cassandra's core correctness property.
-    #[test]
-    fn btu_encoding_and_cursor_replay_the_trace(targets in target_sequences(), branch_pc in 0usize..512) {
+/// The hardware encoding (pattern elements + trace elements) expands back to
+/// exactly the recorded target sequence, and the BTU cursor replays it in
+/// order — Cassandra's core correctness property.
+#[test]
+fn btu_encoding_and_cursor_replay_the_trace() {
+    for seed in 1..=CASES {
+        let mut rng = Rng::new(seed);
+        let targets = target_sequence(&mut rng);
+        let branch_pc = rng.range(0, 512) as usize;
         let vanilla = VanillaTrace::from_targets(&targets);
         let kmers = compress(&vanilla, &KmersConfig::default());
         let encoded = EncodedBranchTrace::from_kmers(branch_pc, &kmers, true);
-        prop_assert_eq!(encoded.expand_targets(), targets.clone());
+        assert_eq!(encoded.expand_targets(), targets, "seed {seed}");
 
         let mut cursor = TraceCursor::new();
         let replay: Vec<usize> = (0..targets.len())
             .map(|_| cursor.next_target(&encoded).expect("trace has elements"))
             .collect();
-        prop_assert_eq!(replay, targets);
+        assert_eq!(replay, targets, "seed {seed}");
     }
+}
 
-    /// Pattern-element repetition counts always fit the 8-bit hardware field.
-    #[test]
-    fn pattern_repetitions_fit_hardware(targets in target_sequences()) {
+/// Pattern-element repetition counts always fit the 8-bit hardware field.
+#[test]
+fn pattern_repetitions_fit_hardware() {
+    for seed in 1..=CASES {
+        let targets = target_sequence(&mut Rng::new(seed));
         let vanilla = VanillaTrace::from_targets(&targets);
         let kmers = compress(&vanilla, &KmersConfig::default());
         let encoded = EncodedBranchTrace::from_kmers(100, &kmers, true);
         for p in &encoded.patterns {
-            prop_assert!(u64::from(p.repetitions) <= 255);
+            assert!(u64::from(p.repetitions) <= 255, "seed {seed}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The ChaCha20 kernel executes the same number of instructions for any
-    /// key — the executable-level constant-time property the paper relies on.
-    #[test]
-    fn chacha20_kernel_is_constant_time_in_the_key(key_byte in 0u8..=255) {
-        use cassandra::kernels::kernel::chacha20;
-        let nonce = [5u8; 12];
-        let msg = vec![0u8; 64];
-        let k_a = chacha20::build(&[key_byte; 32], 1, &nonce, &msg);
-        let k_b = chacha20::build(&[key_byte.wrapping_add(1); 32], 1, &nonce, &msg);
-        let (_, steps_a) = k_a.run_functional_counted().unwrap();
-        let (_, steps_b) = k_b.run_functional_counted().unwrap();
-        prop_assert_eq!(steps_a, steps_b);
+/// The ChaCha20 kernel executes the same number of instructions for any key —
+/// the executable-level constant-time property the paper relies on.
+#[test]
+fn chacha20_kernel_is_constant_time_in_the_key() {
+    use cassandra::kernels::kernel::chacha20;
+    let nonce = [5u8; 12];
+    let msg = vec![0u8; 64];
+    let mut rng = Rng::new(0xC0FFEE);
+    let mut baseline = None;
+    for _ in 0..8 {
+        let key_byte = rng.range(0, 256) as u8;
+        let kernel = chacha20::build(&[key_byte; 32], 1, &nonce, &msg);
+        let (_, steps) = kernel.run_functional_counted().unwrap();
+        match baseline {
+            None => baseline = Some(steps),
+            Some(expected) => assert_eq!(steps, expected, "key byte {key_byte}"),
+        }
     }
+}
 
-    /// Montgomery-ladder exponentiation in the kernel matches the reference
-    /// for arbitrary exponents (functional correctness under randomisation).
-    #[test]
-    fn modexp_kernel_matches_reference(e0 in any::<u64>(), e1 in any::<u64>()) {
-        use cassandra::kernels::kernel::modexp;
-        use cassandra::kernels::reference::modexp as reference;
-        const P61: u64 = (1 << 61) - 1;
-        let exp = [e0, e1];
+/// Montgomery-ladder exponentiation in the kernel matches the reference for
+/// arbitrary exponents (functional correctness under randomisation).
+#[test]
+fn modexp_kernel_matches_reference() {
+    use cassandra::kernels::kernel::modexp;
+    use cassandra::kernels::reference::modexp as reference;
+    const P61: u64 = (1 << 61) - 1;
+    let mut rng = Rng::new(0xBADC0DE);
+    for case in 0..8 {
+        let exp = [rng.next_u64(), rng.next_u64()];
         let kernel = modexp::build(P61, 3, &exp, 128);
         let out = kernel.run_functional().unwrap();
         let got = u64::from_le_bytes(out.try_into().unwrap());
-        prop_assert_eq!(got, reference::mod_exp(P61, 3, &exp, 128));
+        assert_eq!(got, reference::mod_exp(P61, 3, &exp, 128), "case {case}");
     }
 }

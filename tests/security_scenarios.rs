@@ -54,7 +54,10 @@ fn scenarios_5_and_6_non_crypto_branch_to_crypto_gadgets() {
     for gadget in [LeakGadget::CryptoMemory, LeakGadget::CryptoRegister] {
         let unsafe_v = verdict(DefenseMode::UnsafeBaseline, BranchSite::NonCrypto, gadget);
         let cass_v = verdict(DefenseMode::Cassandra, BranchSite::NonCrypto, gadget);
-        assert!(cass_v.is_protected(), "{gadget:?}: integrity check must hold");
+        assert!(
+            cass_v.is_protected(),
+            "{gadget:?}: integrity check must hold"
+        );
         // The memory gadget leaks on the baseline (the register gadget's
         // register is declassified, so it may legitimately look public).
         if gadget == LeakGadget::CryptoMemory {
@@ -69,7 +72,11 @@ fn scenarios_5_and_6_non_crypto_branch_to_crypto_gadgets() {
 #[test]
 fn scenario_7_non_crypto_register_gadget_is_harmless() {
     for defense in [DefenseMode::UnsafeBaseline, DefenseMode::Cassandra] {
-        let v = verdict(defense, BranchSite::NonCrypto, LeakGadget::NonCryptoRegister);
+        let v = verdict(
+            defense,
+            BranchSite::NonCrypto,
+            LeakGadget::NonCryptoRegister,
+        );
         assert!(v.is_protected(), "{defense:?}");
     }
 }
@@ -80,7 +87,11 @@ fn scenario_7_non_crypto_register_gadget_is_harmless() {
 /// non-crypto code closes it.
 #[test]
 fn scenario_8_software_isolation_needs_a_companion_defense() {
-    let cass = verdict(DefenseMode::Cassandra, BranchSite::NonCrypto, LeakGadget::NonCryptoMemory);
+    let cass = verdict(
+        DefenseMode::Cassandra,
+        BranchSite::NonCrypto,
+        LeakGadget::NonCryptoMemory,
+    );
     assert!(
         !cass.is_protected(),
         "Cassandra alone does not provide software isolation (scenario 8)"
@@ -111,6 +122,9 @@ fn listing1_loop_skip_is_blocked_by_cassandra() {
     // (so the contract traces legitimately differ in that one access); what
     // Cassandra guarantees is that nothing executes transiently, i.e. the
     // secret `m` is never leaked before the decryption loop completes.
-    assert!(!verdict.transient_activity, "no wrong-path execution under Cassandra");
+    assert!(
+        !verdict.transient_activity,
+        "no wrong-path execution under Cassandra"
+    );
     assert!(verdict.is_protected());
 }
