@@ -1,8 +1,8 @@
-//! Discussion Q3 — Cassandra-lite (single-target hints only, no BTU) versus
-//! full Cassandra.
+//! Discussion Q3 — restricted frontends (Cassandra-lite, Fence,
+//! Cassandra-noTC) versus full Cassandra.
 
 use cassandra_core::eval::Evaluator;
-use cassandra_core::experiments::{q3_with, quick_workloads};
+use cassandra_core::experiments::{q3_with, quick_workloads, Q3_VARIANTS};
 use cassandra_core::registry::{ExperimentOutput, ExperimentRegistry};
 use cassandra_core::report;
 use cassandra_kernels::suite;
@@ -17,24 +17,26 @@ fn bench(c: &mut Criterion) {
     println!("\n=== {} (full suite) ===", run.title);
     println!("{}", report::render_text(&run.output));
     if let ExperimentOutput::Q3(rows) = &run.output {
-        let mut by_group: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+        // Average slowdown per (variant, workload group) — whatever variant
+        // list the registry's default enumerates, not a hand-listed one.
+        let mut by_key: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
         for r in rows {
-            by_group
-                .entry(r.group.to_string())
+            by_key
+                .entry(format!("{} on {}", r.design, r.group))
                 .or_default()
                 .push(r.slowdown_pct);
         }
-        for (group, slowdowns) in by_group {
+        for (key, slowdowns) in by_key {
             let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
-            println!("average Cassandra-lite slowdown in {group}: {avg:+.2}%");
+            println!("average slowdown of {key}: {avg:+.2}%");
         }
     }
 
     let workloads = quick_workloads();
     let mut warm = Evaluator::new();
-    q3_with(&mut warm, &workloads).expect("warm-up");
-    c.bench_function("q3/cassandra_lite_quick_suite_cached", |b| {
-        b.iter(|| q3_with(&mut warm, &workloads).expect("q3"))
+    q3_with(&mut warm, &workloads, &Q3_VARIANTS).expect("warm-up");
+    c.bench_function("q3/restricted_frontends_quick_suite_cached", |b| {
+        b.iter(|| q3_with(&mut warm, &workloads, &Q3_VARIANTS).expect("q3"))
     });
 }
 

@@ -103,6 +103,18 @@ impl BranchTraceUnit {
         self.config
     }
 
+    /// Re-sizes the Trace Cache, evicting least-recently-used residents if
+    /// the new geometry is smaller. `0` models a unit with no Trace Cache at
+    /// all: every multi-target lookup streams its trace from the data pages
+    /// and pays the miss penalty (the `Cassandra-noTC` scenario).
+    pub fn set_trace_cache_entries(&mut self, entries: usize) {
+        self.config.entries = entries;
+        while self.resident.len() > entries {
+            self.resident.remove(0);
+            self.stats.evictions += 1;
+        }
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> BtuStats {
         self.stats
@@ -207,6 +219,11 @@ impl BranchTraceUnit {
     /// Marks `pc` resident, evicting the least recently used entry if needed.
     /// Returns `(hit, extra_latency)`.
     fn touch_entry(&mut self, pc: usize) -> (bool, u64) {
+        if self.config.entries == 0 {
+            // No Trace Cache: nothing is ever resident, every lookup streams.
+            self.stats.misses += 1;
+            return (false, self.config.miss_penalty);
+        }
         if let Some(idx) = self.resident.iter().position(|&p| p == pc) {
             self.resident.remove(idx);
             self.resident.push(pc);
@@ -341,6 +358,90 @@ mod tests {
         btu.fetch_lookup(inner_pc);
         assert!(btu.stats().evictions >= 1);
         assert_eq!(btu.stats().hits, 0);
+    }
+
+    #[test]
+    fn one_entry_btu_restores_checkpoints_under_squash_despite_eviction() {
+        // A 1-entry Trace Cache thrashed by two multi-target branches must
+        // still replay correctly after a squash: the Checkpoint Table state
+        // lives in the data pages and survives evictions.
+        let program = nested_program();
+        let bundle = generate_traces(&program, None, 100_000).unwrap();
+        let encoded = EncodedTraces::from_bundle(&program, &bundle);
+        let mut btu = BranchTraceUnit::new(
+            BtuConfig {
+                entries: 1,
+                miss_penalty: 7,
+            },
+            encoded,
+        );
+        let inner_pc = 3;
+        let outer_pc = 5;
+
+        // Commit the first inner execution, then run ahead speculatively.
+        let first = btu.fetch_lookup(inner_pc).next_pc.unwrap();
+        btu.commit_branch(inner_pc);
+        let second = btu.fetch_lookup(inner_pc).next_pc.unwrap();
+        // Touching the outer branch evicts the inner entry (capacity 1).
+        let outer = btu.fetch_lookup(outer_pc);
+        assert!(btu.stats().evictions >= 1, "the 1-entry cache must evict");
+        assert_eq!(outer.extra_latency, 7, "outer is a cold miss");
+
+        // Squash: both fetch cursors roll back to their committed positions.
+        btu.squash();
+        let replayed = btu.fetch_lookup(inner_pc);
+        assert_eq!(
+            replayed.next_pc,
+            Some(second),
+            "inner replay resumes at the committed checkpoint, not at {first}"
+        );
+        assert_eq!(
+            replayed.extra_latency, 7,
+            "the evicted entry pays the miss penalty again"
+        );
+        // The outer branch restarts from its (never-committed) beginning.
+        assert_eq!(btu.fetch_lookup(outer_pc).next_pc, outer.next_pc);
+    }
+
+    #[test]
+    fn zero_entry_trace_cache_always_misses() {
+        // entries == 0 models Cassandra-noTC: nothing is ever resident, every
+        // multi-target lookup streams its trace and pays the miss penalty.
+        let program = nested_program();
+        let bundle = generate_traces(&program, None, 100_000).unwrap();
+        let encoded = EncodedTraces::from_bundle(&program, &bundle);
+        let mut btu = BranchTraceUnit::new(
+            BtuConfig {
+                entries: 0,
+                miss_penalty: 9,
+            },
+            encoded,
+        );
+        let inner_pc = 3;
+        for _ in 0..4 {
+            let lookup = btu.fetch_lookup(inner_pc);
+            assert!(lookup.next_pc.is_some(), "replay still works without a TC");
+            assert_eq!(lookup.extra_latency, 9);
+            btu.commit_branch(inner_pc);
+        }
+        assert_eq!(btu.stats().hits, 0);
+        assert_eq!(btu.stats().misses, 4);
+    }
+
+    #[test]
+    fn shrinking_the_trace_cache_evicts_down_to_the_new_geometry() {
+        let program = nested_program();
+        let mut btu = btu_for(&program);
+        btu.fetch_lookup(3);
+        btu.fetch_lookup(5);
+        let evictions_before = btu.stats().evictions;
+        btu.set_trace_cache_entries(0);
+        assert_eq!(btu.config().entries, 0);
+        assert_eq!(btu.stats().evictions, evictions_before + 2);
+        // Subsequent lookups keep replaying, as cold misses.
+        let lookup = btu.fetch_lookup(3);
+        assert!(lookup.next_pc.is_some());
+        assert_eq!(lookup.extra_latency, btu.config().miss_penalty);
     }
 
     #[test]

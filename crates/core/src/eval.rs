@@ -183,6 +183,15 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Adds every design point registered in a policy registry (see
+    /// [`crate::policies::PolicyRegistry`]); the usual way to sweep "every
+    /// modelled defense scenario" without hand-listing variants.
+    #[must_use]
+    pub fn policies(mut self, registry: &crate::policies::PolicyRegistry) -> Self {
+        self.designs.extend(registry.designs().iter().cloned());
+        self
+    }
+
     /// Overrides the profiling step budget for every analysis (default: the
     /// workload's own `step_limit`).
     #[must_use]

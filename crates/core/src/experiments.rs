@@ -115,8 +115,14 @@ impl Fig7Result {
     /// The average speedup (negative = slowdown) of a design versus the
     /// unsafe baseline, in percent.
     pub fn speedup_pct(&self, design: DefenseMode) -> f64 {
+        self.speedup_pct_of(design.label())
+    }
+
+    /// [`Fig7Result::speedup_pct`] by design label — the one place the
+    /// speedup formula lives (reports reuse it per swept design).
+    pub fn speedup_pct_of(&self, label: &str) -> f64 {
         self.geomean
-            .get(design.label())
+            .get(label)
             .map_or(0.0, |norm| (1.0 - norm) * 100.0)
     }
 }
@@ -315,54 +321,80 @@ pub fn figure9(workloads: &[Workload]) -> Result<Fig9Result, IsaError> {
     figure9_with(&mut Evaluator::new(), workloads)
 }
 
-// -------------------------------------------------------------- Q3: lite
+// ----------------------------------------- Q3: restricted-frontend variants
 
-/// One row of the Cassandra-lite comparison (discussion Q3).
+/// The restricted-frontend variants the Q3 experiment compares against full
+/// Cassandra by default: the paper's Cassandra-lite, plus the serializing
+/// Fence lower bound and the zero-Trace-Cache Cassandra-noTC scenario.
+pub const Q3_VARIANTS: [DefenseMode; 3] = [
+    DefenseMode::CassandraLite,
+    DefenseMode::Fence,
+    DefenseMode::CassandraNoTc,
+];
+
+/// One row of the restricted-frontend comparison (discussion Q3): a
+/// workload under one variant, versus full Cassandra.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Q3Row {
     /// Workload name.
     pub workload: String,
     /// Workload group.
     pub group: WorkloadGroup,
+    /// Label of the compared variant.
+    pub design: String,
     /// Cycles under full Cassandra.
     pub cassandra_cycles: u64,
-    /// Cycles under Cassandra-lite.
-    pub lite_cycles: u64,
-    /// Slowdown of Cassandra-lite over Cassandra, in percent.
+    /// Cycles under the variant.
+    pub variant_cycles: u64,
+    /// Slowdown of the variant over Cassandra, in percent.
     pub slowdown_pct: f64,
 }
 
-/// Regenerates the Q3 comparison through an evaluation session.
+/// Regenerates the Q3 comparison through an evaluation session: every
+/// workload under full Cassandra versus each `variant`. New frontend
+/// policies run through here unchanged — pass their modes.
 ///
 /// # Errors
 ///
 /// Propagates analysis or simulation errors.
-pub fn q3_with(ev: &mut Evaluator, workloads: &[Workload]) -> Result<Vec<Q3Row>, IsaError> {
+pub fn q3_with(
+    ev: &mut Evaluator,
+    workloads: &[Workload],
+    variants: &[DefenseMode],
+) -> Result<Vec<Q3Row>, IsaError> {
     let base_cfg = CpuConfig::golden_cove_like();
     let mut rows = Vec::new();
     for w in workloads {
         let full = ev.simulate_cached(w, &base_cfg.with_defense(DefenseMode::Cassandra))?;
-        let lite = ev.simulate_cached(w, &base_cfg.with_defense(DefenseMode::CassandraLite))?;
-        rows.push(Q3Row {
-            workload: w.name.clone(),
-            group: w.group,
-            cassandra_cycles: full.stats.cycles,
-            lite_cycles: lite.stats.cycles,
-            slowdown_pct: (lite.stats.cycles as f64 / full.stats.cycles.max(1) as f64 - 1.0)
-                * 100.0,
-        });
+        for variant in variants {
+            let restricted = ev.simulate_cached(w, &base_cfg.with_defense(*variant))?;
+            rows.push(Q3Row {
+                workload: w.name.clone(),
+                group: w.group,
+                design: variant.label().to_string(),
+                cassandra_cycles: full.stats.cycles,
+                variant_cycles: restricted.stats.cycles,
+                slowdown_pct: (restricted.stats.cycles as f64 / full.stats.cycles.max(1) as f64
+                    - 1.0)
+                    * 100.0,
+            });
+        }
     }
     Ok(rows)
 }
 
-/// Regenerates the Q3 comparison for the given workloads (one-shot shim;
-/// prefer [`q3_with`]).
+/// The paper's original Q3 shape — Cassandra-lite only — on a one-shot
+/// session (deprecated-path shim; prefer [`q3_with`]).
 ///
 /// # Errors
 ///
 /// Propagates analysis or simulation errors.
 pub fn q3_cassandra_lite(workloads: &[Workload]) -> Result<Vec<Q3Row>, IsaError> {
-    q3_with(&mut Evaluator::new(), workloads)
+    q3_with(
+        &mut Evaluator::new(),
+        workloads,
+        &[DefenseMode::CassandraLite],
+    )
 }
 
 // -------------------------------------------------------------- Q4: flush
@@ -541,7 +573,29 @@ mod tests {
     fn q3_lite_is_not_faster_than_full_cassandra() {
         let rows = q3_cassandra_lite(&[suite::sha256_workload(96)]).unwrap();
         assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].design, DefenseMode::CassandraLite.label());
         assert!(rows[0].slowdown_pct >= 0.0);
+    }
+
+    #[test]
+    fn q3_compares_every_restricted_variant_against_cassandra() {
+        let workloads = [suite::chacha20_workload(64)];
+        let rows = q3_with(&mut Evaluator::new(), &workloads, &Q3_VARIANTS).unwrap();
+        assert_eq!(rows.len(), Q3_VARIANTS.len());
+        for (row, variant) in rows.iter().zip(Q3_VARIANTS) {
+            assert_eq!(row.design, variant.label());
+            assert!(
+                row.slowdown_pct >= 0.0,
+                "{}: a restricted frontend cannot beat full Cassandra",
+                row.design
+            );
+        }
+        // The serializing Fence baseline is strictly slower than Cassandra.
+        let fence = rows
+            .iter()
+            .find(|r| r.design == DefenseMode::Fence.label())
+            .unwrap();
+        assert!(fence.variant_cycles > fence.cassandra_cycles);
     }
 
     #[test]
@@ -565,7 +619,7 @@ mod tests {
         table1_with(&mut ev, &workloads).unwrap();
         figure7_with(&mut ev, &workloads, &FIG7_DESIGNS).unwrap();
         figure9_with(&mut ev, &workloads).unwrap();
-        q3_with(&mut ev, &workloads).unwrap();
+        q3_with(&mut ev, &workloads, &Q3_VARIANTS).unwrap();
         q4_with(&mut ev, &workloads, 50_000).unwrap();
         trace_generation_timing_with(&mut ev, &workloads).unwrap();
         assert_eq!(

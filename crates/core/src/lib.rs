@@ -18,8 +18,10 @@
 //! On top of it, [`registry::ExperimentRegistry`] unifies every paper
 //! experiment (Table 1, Figures 7–9, Q3, Q4, the Table-2 security sweep and
 //! the §7.5 trace-generation timing) behind the [`registry::Experiment`]
-//! trait, and [`report`] renders any [`registry::ExperimentOutput`] to
-//! text, CSV or JSON.
+//! trait, [`policies::PolicyRegistry`] enumerates the modelled defense
+//! scenarios as named design points (so sweeps and the security experiment
+//! never hand-list `DefenseMode` variants), and [`report`] renders any
+//! [`registry::ExperimentOutput`] to text, CSV or JSON.
 //!
 //! ```
 //! use cassandra_core::eval::Evaluator;
@@ -73,6 +75,7 @@
 
 pub mod eval;
 pub mod experiments;
+pub mod policies;
 pub mod registry;
 pub mod report;
 pub mod security;
@@ -87,6 +90,7 @@ use cassandra_kernels::workload::Workload;
 use cassandra_trace::genproc::TraceBundle;
 
 pub use eval::{DesignPoint, EvalRecord, Evaluator};
+pub use policies::PolicyRegistry;
 pub use registry::{Experiment, ExperimentOutput, ExperimentRegistry};
 
 /// Default profiling step budget for trace generation.

@@ -1,0 +1,139 @@
+//! The defense-policy registry.
+//!
+//! A registered policy is a named [`DesignPoint`]: a label plus the complete
+//! [`CpuConfig`](cassandra_cpu::config::CpuConfig) that realises it. The
+//! [`PolicyRegistry`] is how sweeps, the security experiment, reports and
+//! the example binaries enumerate the modelled defense scenarios — instead
+//! of hand-listing `DefenseMode` variants at every call site. The standard
+//! registry holds one entry per [`DefenseMode::ALL`] element; custom
+//! scenarios (different BTU geometry, memory latency, flush intervals, …)
+//! are additional registrations, exactly like the experiment registry of
+//! [`crate::registry`].
+
+use crate::eval::DesignPoint;
+use cassandra_cpu::config::DefenseMode;
+
+/// An enumerable, label-addressed collection of defense design points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRegistry {
+    designs: Vec<DesignPoint>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PolicyRegistry {
+            designs: Vec::new(),
+        }
+    }
+
+    /// One design point per modelled defense, over the Table-3 baseline, in
+    /// [`DefenseMode::ALL`] reporting order.
+    pub fn standard() -> Self {
+        let mut registry = Self::new();
+        for mode in DefenseMode::ALL {
+            registry.register(DesignPoint::from_defense(mode));
+        }
+        registry
+    }
+
+    /// Adds a design point, replacing any previous one with the same label.
+    pub fn register(&mut self, design: DesignPoint) {
+        self.designs.retain(|d| d.label != design.label);
+        self.designs.push(design);
+    }
+
+    /// The registered design points, in registration order.
+    pub fn designs(&self) -> &[DesignPoint] {
+        &self.designs
+    }
+
+    /// The defense of every registered design, in order (for drivers that
+    /// take plain `DefenseMode` lists).
+    pub fn defenses(&self) -> Vec<DefenseMode> {
+        self.designs.iter().map(|d| d.config.defense).collect()
+    }
+
+    /// The registered labels, in order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.designs.iter().map(|d| d.label.as_str()).collect()
+    }
+
+    /// Looks up a design point by its label (the same string
+    /// `DefenseMode::label` / `CpuConfig::design_label` produce).
+    pub fn get(&self, label: &str) -> Option<&DesignPoint> {
+        self.designs.iter().find(|d| d.label == label)
+    }
+
+    /// Number of registered policies.
+    pub fn len(&self) -> usize {
+        self.designs.len()
+    }
+
+    /// True if no policy is registered.
+    pub fn is_empty(&self) -> bool {
+        self.designs.is_empty()
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl IntoIterator for PolicyRegistry {
+    type Item = DesignPoint;
+    type IntoIter = std::vec::IntoIter<DesignPoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.designs.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_cpu::config::CpuConfig;
+
+    #[test]
+    fn standard_registry_covers_every_mode() {
+        let registry = PolicyRegistry::standard();
+        assert_eq!(registry.len(), DefenseMode::ALL.len());
+        for mode in DefenseMode::ALL {
+            let design = registry
+                .get(mode.label())
+                .unwrap_or_else(|| panic!("missing policy {}", mode.label()));
+            assert_eq!(design.config.defense, mode);
+        }
+        assert_eq!(registry.defenses(), DefenseMode::ALL.to_vec());
+    }
+
+    #[test]
+    fn register_replaces_by_label() {
+        let mut registry = PolicyRegistry::standard();
+        let n = registry.len();
+        let tweaked = DesignPoint::new(
+            "Cassandra",
+            CpuConfig::golden_cove_like()
+                .with_defense(DefenseMode::Cassandra)
+                .with_memory_latency(500),
+        );
+        registry.register(tweaked.clone());
+        assert_eq!(registry.len(), n);
+        assert_eq!(registry.get("Cassandra"), Some(&tweaked));
+    }
+
+    #[test]
+    fn custom_scenarios_extend_the_enumeration() {
+        let mut registry = PolicyRegistry::standard();
+        let custom = DesignPoint::from_config(
+            CpuConfig::golden_cove_like()
+                .with_defense(DefenseMode::Cassandra)
+                .with_btu_flush_interval(5_000),
+        );
+        registry.register(custom.clone());
+        assert!(registry.labels().contains(&"Cassandra+flush5000"));
+        assert_eq!(registry.into_iter().last(), Some(custom));
+    }
+}

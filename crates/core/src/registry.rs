@@ -15,9 +15,10 @@
 use crate::eval::{EvalRecord, Evaluator};
 use crate::experiments::{
     self, Fig7Result, Fig8Point, Fig9Result, Q3Row, Q4Result, Table1Result, TraceGenRow,
-    FIG7_DESIGNS,
+    FIG7_DESIGNS, Q3_VARIANTS,
 };
-use crate::security::{self, SecurityMatrix, SECURITY_SWEEP_DESIGNS};
+use crate::policies::PolicyRegistry;
+use crate::security::{self, SecurityMatrix};
 use cassandra_cpu::config::DefenseMode;
 use cassandra_isa::error::IsaError;
 use serde::{Deserialize, Serialize};
@@ -151,20 +152,32 @@ impl Experiment for Fig9Experiment {
     }
 }
 
-/// Q3: Cassandra-lite vs full Cassandra.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Q3Experiment;
+/// Q3: restricted frontends (Cassandra-lite, Fence, Cassandra-noTC, …) vs
+/// full Cassandra.
+#[derive(Debug, Clone)]
+pub struct Q3Experiment {
+    /// The restricted-frontend variants to compare against Cassandra.
+    pub variants: Vec<DefenseMode>,
+}
+
+impl Default for Q3Experiment {
+    fn default() -> Self {
+        Q3Experiment {
+            variants: Q3_VARIANTS.to_vec(),
+        }
+    }
+}
 
 impl Experiment for Q3Experiment {
     fn name(&self) -> &'static str {
         "q3"
     }
     fn title(&self) -> &'static str {
-        "Q3: Cassandra-lite vs Cassandra"
+        "Q3: restricted frontends vs Cassandra"
     }
     fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
         let workloads = ev.shared_workloads();
-        experiments::q3_with(ev, &workloads).map(ExperimentOutput::Q3)
+        experiments::q3_with(ev, &workloads, &self.variants).map(ExperimentOutput::Q3)
     }
 }
 
@@ -199,14 +212,17 @@ impl Experiment for Q4Experiment {
 /// Figure 6 / Table 2: the gadget-scenario security sweep.
 #[derive(Debug, Clone)]
 pub struct SecurityExperiment {
-    /// The designs to compare on the gadget scenarios.
+    /// The designs to compare on the gadget scenarios. The default
+    /// enumerates the standard policy registry, so every registered defense
+    /// (including new frontend policies) is security-checked without edits
+    /// here.
     pub designs: Vec<DefenseMode>,
 }
 
 impl Default for SecurityExperiment {
     fn default() -> Self {
         SecurityExperiment {
-            designs: SECURITY_SWEEP_DESIGNS.to_vec(),
+            designs: PolicyRegistry::standard().defenses(),
         }
     }
 }
@@ -297,7 +313,7 @@ impl ExperimentRegistry {
         registry.register(Fig7Experiment::default());
         registry.register(Fig8Experiment::default());
         registry.register(Fig9Experiment);
-        registry.register(Q3Experiment);
+        registry.register(Q3Experiment::default());
         registry.register(Q4Experiment::default());
         registry.register(SecurityExperiment::default());
         registry.register(TraceGenExperiment);

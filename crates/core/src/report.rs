@@ -96,18 +96,19 @@ pub fn format_fig7(result: &Fig7Result) -> String {
         out.push_str(&format!(" {:>18.4}", result.geomean[*d]));
     }
     out.push('\n');
-    out.push_str(&format!(
-        "\nCassandra speedup vs UnsafeBaseline: {:+.2}%\n",
-        result.speedup_pct(DefenseMode::Cassandra)
-    ));
-    out.push_str(&format!(
-        "Cassandra+STL speedup vs UnsafeBaseline: {:+.2}%\n",
-        result.speedup_pct(DefenseMode::CassandraStl)
-    ));
-    out.push_str(&format!(
-        "SPT slowdown vs UnsafeBaseline: {:+.2}%\n",
-        -result.speedup_pct(DefenseMode::Spt)
-    ));
+    // One speedup line per swept design (negative = slowdown) — whatever
+    // policies the sweep enumerated, not a hand-listed subset.
+    let baseline = DefenseMode::UnsafeBaseline.label();
+    out.push('\n');
+    for label in result.geomean.keys() {
+        if label == baseline {
+            continue;
+        }
+        out.push_str(&format!(
+            "{label} speedup vs {baseline}: {:+.2}%\n",
+            result.speedup_pct_of(label)
+        ));
+    }
     out
 }
 
@@ -153,20 +154,21 @@ pub fn format_fig9(result: &Fig9Result) -> String {
     out
 }
 
-/// Renders the Q3 Cassandra-lite comparison.
+/// Renders the Q3 restricted-frontend comparison.
 pub fn format_q3(rows: &[Q3Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:>8} {:>14} {:>14} {:>12}\n",
-        "Workload", "Group", "Cassandra", "Cassandra-lite", "Slowdown[%]"
+        "{:<22} {:>8} {:<18} {:>14} {:>14} {:>12}\n",
+        "Workload", "Group", "Variant", "Cassandra", "Variant", "Slowdown[%]"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<22} {:>8} {:>14} {:>14} {:>12.2}\n",
+            "{:<22} {:>8} {:<18} {:>14} {:>14} {:>12.2}\n",
             r.workload,
             r.group.to_string(),
+            r.design,
             r.cassandra_cycles,
-            r.lite_cycles,
+            r.variant_cycles,
             r.slowdown_pct
         ));
     }
@@ -397,8 +399,9 @@ pub fn render_csv(output: &ExperimentOutput) -> String {
             &[
                 "workload",
                 "group",
+                "design",
                 "cassandra_cycles",
-                "lite_cycles",
+                "variant_cycles",
                 "slowdown_pct",
             ],
             rows.iter()
@@ -406,8 +409,9 @@ pub fn render_csv(output: &ExperimentOutput) -> String {
                     vec![
                         r.workload.clone(),
                         r.group.to_string(),
+                        r.design.clone(),
                         r.cassandra_cycles.to_string(),
-                        r.lite_cycles.to_string(),
+                        r.variant_cycles.to_string(),
                         r.slowdown_pct.to_string(),
                     ]
                 })

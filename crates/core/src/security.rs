@@ -10,6 +10,7 @@
 use crate::eval::Evaluator;
 use crate::{analyze_program, simulate_program, AnalysisBundle};
 use cassandra_cpu::config::{CpuConfig, DefenseMode};
+use cassandra_cpu::pipeline::SimOutcome;
 use cassandra_isa::error::IsaError;
 use cassandra_isa::exec::contract_trace;
 use cassandra_isa::observe::ContractTrace;
@@ -17,15 +18,29 @@ use cassandra_isa::program::Program;
 use cassandra_kernels::gadgets::{scenario, BranchSite, GadgetProgram, LeakGadget};
 use serde::{Deserialize, Serialize};
 
-/// The attacker-visible result of running one program build.
+/// The attacker-visible result of running one program build. Holds the
+/// simulation outcome by value — the access traces are borrowed from it, so
+/// building and comparing observations allocates nothing beyond the run
+/// itself (the security differ compares one pair per sweep cell).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LeakageObservation {
     /// Sequential (architectural) contract trace under the ct leakage model.
     pub contract: ContractTrace,
-    /// Attacker-visible data-access sequence (architectural + transient).
-    pub attacker_accesses: Vec<u64>,
+    /// The full simulation outcome, including both access traces.
+    pub outcome: SimOutcome,
+}
+
+impl LeakageObservation {
+    /// Attacker-visible data-access sequence (architectural + transient),
+    /// borrowed — compare with `Iterator::eq`, collect only if needed.
+    pub fn attacker_accesses(&self) -> impl Iterator<Item = u64> + '_ {
+        self.outcome.attacker_visible_accesses()
+    }
+
     /// Accesses made only by squashed wrong-path execution.
-    pub transient_accesses: Vec<u64>,
+    pub fn transient_accesses(&self) -> &[u64] {
+        &self.outcome.transient_accesses
+    }
 }
 
 /// Profiling step budget for the small gadget programs.
@@ -45,8 +60,7 @@ pub fn observe(program: &Program, config: &CpuConfig) -> Result<LeakageObservati
     let outcome = simulate_program(program, analysis.as_ref(), config)?;
     Ok(LeakageObservation {
         contract: contract_trace(program, GADGET_STEP_LIMIT)?,
-        attacker_accesses: outcome.attacker_visible_accesses(),
-        transient_accesses: outcome.transient_accesses,
+        outcome,
     })
 }
 
@@ -69,8 +83,7 @@ pub fn observe_with(
     let outcome = Evaluator::simulate_program(program, analysis.as_deref(), config)?;
     Ok(LeakageObservation {
         contract: contract_trace(program, GADGET_STEP_LIMIT)?,
-        attacker_accesses: outcome.attacker_visible_accesses(),
-        transient_accesses: outcome.transient_accesses,
+        outcome,
     })
 }
 
@@ -99,9 +112,9 @@ impl ScenarioVerdict {
         ScenarioVerdict {
             scenario: scenario.into(),
             contract_equal: o0.contract == o1.contract,
-            attacker_trace_equal: o0.attacker_accesses == o1.attacker_accesses,
-            transient_activity: !o0.transient_accesses.is_empty()
-                || !o1.transient_accesses.is_empty(),
+            attacker_trace_equal: o0.attacker_accesses().eq(o1.attacker_accesses()),
+            transient_activity: !o0.transient_accesses().is_empty()
+                || !o1.transient_accesses().is_empty(),
         }
     }
 
@@ -148,7 +161,7 @@ pub fn check_contract_satisfaction(
         // Different contract traces: the premise is vacuous.
         return Ok(true);
     }
-    Ok(oa.attacker_accesses == ob.attacker_accesses)
+    Ok(oa.attacker_accesses().eq(ob.attacker_accesses()))
 }
 
 // ------------------------------------------------------------ Table-2 sweep

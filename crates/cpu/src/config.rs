@@ -1,9 +1,17 @@
 //! Processor configuration (the paper's Table 3) and defense selection.
 
+use crate::policy::{DefensePolicy, FrontendKind};
 use cassandra_btu::unit::BtuConfig;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 
 /// Which secure-speculation design the pipeline models (§7).
+///
+/// A mode is only a *name*: the mechanisms it enables are described by the
+/// [`DefensePolicy`] returned from [`DefenseMode::policy`], which the
+/// pipeline resolves once at construction. The flag methods below
+/// (`uses_btu`, `disables_stl`, …) are thin views over that policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum DefenseMode {
     /// Unprotected out-of-order baseline: the BPU predicts every branch,
@@ -29,36 +37,75 @@ pub enum DefenseMode {
     Prospect,
     /// Cassandra combined with ProSpeCT for the non-crypto part (§7.3).
     CassandraProspect,
+    /// Serializing lower bound: every branch stalls fetch until it resolves.
+    /// No speculation ever happens, at the classic fence-everything cost.
+    Fence,
+    /// Cassandra with a zero-entry Trace Cache: every multi-target crypto
+    /// branch streams its trace from the data pages and pays the miss
+    /// penalty on every lookup.
+    CassandraNoTc,
 }
 
 impl DefenseMode {
+    /// Every modelled defense, in reporting order. Design matrices, sweeps
+    /// and CLI helpers enumerate this instead of hand-listing variants.
+    pub const ALL: [DefenseMode; 9] = [
+        DefenseMode::UnsafeBaseline,
+        DefenseMode::Fence,
+        DefenseMode::Cassandra,
+        DefenseMode::CassandraStl,
+        DefenseMode::CassandraLite,
+        DefenseMode::CassandraNoTc,
+        DefenseMode::Spt,
+        DefenseMode::Prospect,
+        DefenseMode::CassandraProspect,
+    ];
+
+    /// The structured mechanism description of this defense, resolved once
+    /// by the pipeline at construction.
+    pub const fn policy(self) -> DefensePolicy {
+        let base = DefensePolicy::baseline();
+        match self {
+            DefenseMode::UnsafeBaseline => base,
+            DefenseMode::Cassandra => base.with_frontend(FrontendKind::Btu),
+            DefenseMode::CassandraStl => base
+                .with_frontend(FrontendKind::Btu)
+                .without_stl_forwarding(),
+            DefenseMode::CassandraLite => base.with_frontend(FrontendKind::BtuLite),
+            DefenseMode::Spt => base.delaying_transmitters(),
+            DefenseMode::Prospect => base.blocking_tainted(),
+            DefenseMode::CassandraProspect => {
+                base.with_frontend(FrontendKind::Btu).blocking_tainted()
+            }
+            DefenseMode::Fence => base.with_frontend(FrontendKind::Fence),
+            DefenseMode::CassandraNoTc => base
+                .with_frontend(FrontendKind::Btu)
+                .with_trace_cache_entries(0),
+        }
+    }
+
     /// True if crypto branches are driven by the BTU / hints instead of the BPU.
     pub fn uses_btu(self) -> bool {
-        matches!(
-            self,
-            DefenseMode::Cassandra
-                | DefenseMode::CassandraStl
-                | DefenseMode::CassandraLite
-                | DefenseMode::CassandraProspect
-        )
+        self.policy().frontend.uses_btu()
     }
 
     /// True if store-to-load forwarding is disabled (data-flow protection).
     pub fn disables_stl(self) -> bool {
-        matches!(self, DefenseMode::CassandraStl)
+        !self.policy().stl_forwarding
     }
 
     /// True if ProSpeCT-style taint blocking is active.
     pub fn prospect_taint(self) -> bool {
-        matches!(self, DefenseMode::Prospect | DefenseMode::CassandraProspect)
+        self.policy().block_tainted
     }
 
     /// True if SPT-style transmitter delaying is active.
     pub fn spt_delay(self) -> bool {
-        matches!(self, DefenseMode::Spt)
+        self.policy().delay_transmitters
     }
 
-    /// Short label used in reports and figures.
+    /// Short label used in reports and figures. Round-trips through
+    /// [`FromStr`], so CLI arguments and config files can use these names.
     pub fn label(self) -> &'static str {
         match self {
             DefenseMode::UnsafeBaseline => "UnsafeBaseline",
@@ -68,7 +115,45 @@ impl DefenseMode {
             DefenseMode::Spt => "SPT",
             DefenseMode::Prospect => "ProSpeCT",
             DefenseMode::CassandraProspect => "Cassandra+ProSpeCT",
+            DefenseMode::Fence => "Fence",
+            DefenseMode::CassandraNoTc => "Cassandra-noTC",
         }
+    }
+}
+
+/// Error returned when parsing an unknown defense label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDefenseModeError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseDefenseModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let labels: Vec<&str> = DefenseMode::ALL.iter().map(|d| d.label()).collect();
+        write!(
+            f,
+            "unknown defense `{}`; expected one of: {}",
+            self.input,
+            labels.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseDefenseModeError {}
+
+impl FromStr for DefenseMode {
+    type Err = ParseDefenseModeError;
+
+    /// Parses a defense by its [`DefenseMode::label`] (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DefenseMode::ALL
+            .iter()
+            .copied()
+            .find(|d| d.label().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseDefenseModeError {
+                input: s.to_string(),
+            })
     }
 }
 
@@ -260,13 +345,49 @@ mod tests {
     fn defense_mode_flags() {
         assert!(DefenseMode::Cassandra.uses_btu());
         assert!(DefenseMode::CassandraLite.uses_btu());
+        assert!(DefenseMode::CassandraNoTc.uses_btu());
         assert!(!DefenseMode::UnsafeBaseline.uses_btu());
+        assert!(!DefenseMode::Fence.uses_btu());
         assert!(DefenseMode::CassandraStl.disables_stl());
         assert!(!DefenseMode::Cassandra.disables_stl());
         assert!(DefenseMode::Prospect.prospect_taint());
         assert!(DefenseMode::CassandraProspect.prospect_taint());
         assert!(DefenseMode::Spt.spt_delay());
         assert_eq!(DefenseMode::CassandraStl.label(), "Cassandra+STL");
+    }
+
+    #[test]
+    fn every_mode_is_listed_exactly_once() {
+        let mut labels: Vec<&str> = DefenseMode::ALL.iter().map(|d| d.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), DefenseMode::ALL.len());
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for mode in DefenseMode::ALL {
+            assert_eq!(mode.label().parse::<DefenseMode>(), Ok(mode));
+            // Case-insensitive for CLI friendliness.
+            assert_eq!(
+                mode.label().to_ascii_lowercase().parse::<DefenseMode>(),
+                Ok(mode)
+            );
+        }
+        let err = "NotADefense".parse::<DefenseMode>().unwrap_err();
+        assert!(err.to_string().contains("NotADefense"));
+        assert!(err.to_string().contains("Cassandra"));
+    }
+
+    #[test]
+    fn policies_describe_the_new_scenarios() {
+        use crate::policy::FrontendKind;
+        assert_eq!(DefenseMode::Fence.policy().frontend, FrontendKind::Fence);
+        let no_tc = DefenseMode::CassandraNoTc.policy();
+        assert_eq!(no_tc.frontend, FrontendKind::Btu);
+        assert_eq!(no_tc.trace_cache_entries, Some(0));
+        assert!(DefenseMode::CassandraStl.policy().frontend.uses_btu());
+        assert!(!DefenseMode::CassandraStl.policy().stl_forwarding);
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! The pluggable branch-source layer.
+//!
+//! A [`BranchSource`] is the frontend's answer to "what happens when a
+//! branch is fetched?". The pipeline core never looks at the configured
+//! [`crate::config::DefenseMode`]; it resolves the mode's
+//! [`crate::policy::DefensePolicy`] once at construction, builds the matching
+//! source with [`build_source`], and from then on only interprets
+//! [`FrontendDecision`]s. Adding a new frontend scenario means implementing
+//! this trait (or describing a policy that maps onto an existing source) —
+//! not editing the pipeline.
+//!
+//! Four sources ship with the model:
+//!
+//! * [`BpuSource`] — the speculative baseline: PHT/BTB/RSB predict every
+//!   branch (UnsafeBaseline, SPT, ProSpeCT);
+//! * [`BtuSource`] — full Cassandra: crypto branches are replayed from the
+//!   Branch Trace Unit, non-crypto branches use the BPU behind the
+//!   crypto-range integrity check (Cassandra, +STL, +ProSpeCT, -noTC);
+//! * [`LiteSource`] — Cassandra-lite: only single-target crypto hints are
+//!   honoured, every other crypto branch stalls fetch until resolve;
+//! * [`FenceSource`] — the serializing lower bound: every branch stalls
+//!   fetch until it resolves, so nothing ever executes speculatively.
+
+use crate::bpu::{BpuStats, BranchPredictionUnit};
+use crate::config::CpuConfig;
+use crate::policy::FrontendKind;
+use cassandra_btu::unit::{BranchTraceUnit, BtuStats};
+use cassandra_isa::instr::BranchKind;
+use cassandra_isa::program::Program;
+use cassandra_trace::hints::BranchHint;
+use std::fmt;
+
+/// One branch reaching the frontend, together with its resolved outcome.
+///
+/// The pipeline model is functional-directed: the architectural outcome of
+/// the branch is known when it is fetched, so sources receive prediction
+/// inputs and resolution feedback in one event and train themselves
+/// immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchEvent {
+    /// PC of the branch instruction.
+    pub pc: usize,
+    /// Static kind of the branch.
+    pub kind: BranchKind,
+    /// Resolved direction (always true for unconditional branches).
+    pub taken: bool,
+    /// Resolved next PC.
+    pub actual_target: usize,
+    /// Decode-time target for direct branches.
+    pub direct_target: Option<usize>,
+    /// Fall-through PC (`pc + 1`).
+    pub fallthrough: usize,
+    /// True if the branch lives in a crypto PC range.
+    pub is_crypto: bool,
+}
+
+/// What fetch does at this branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// Fetch was steered onto the correct path (predicted correctly or
+    /// trace-replayed), paying `extra_latency` additional frontend cycles
+    /// (e.g. Trace Cache miss streaming).
+    Proceed {
+        /// Extra frontend cycles before fetch resumes.
+        extra_latency: u64,
+    },
+    /// Fetch was redirected to the wrong target: the pipeline executes a
+    /// bounded wrong path from `wrong_target` and squashes at resolve.
+    Mispredict {
+        /// The wrongly predicted next PC.
+        wrong_target: usize,
+    },
+    /// The frontend has no usable target: fetch stalls until the branch
+    /// resolves.
+    Stall,
+}
+
+/// A source's full decision for one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendDecision {
+    /// What fetch does.
+    pub outcome: FetchOutcome,
+    /// Whether this branch keeps younger instructions speculative until it
+    /// resolves. BTU-replayed crypto branches do not open a speculation
+    /// window (§6.2: they are replayed, not predicted); every other branch
+    /// does.
+    pub opens_speculation_window: bool,
+}
+
+impl FrontendDecision {
+    fn speculative(outcome: FetchOutcome) -> Self {
+        FrontendDecision {
+            outcome,
+            opens_speculation_window: true,
+        }
+    }
+
+    fn replayed(outcome: FetchOutcome) -> Self {
+        FrontendDecision {
+            outcome,
+            opens_speculation_window: false,
+        }
+    }
+}
+
+/// The pluggable frontend: decides fetch behaviour at branches and tracks
+/// the speculation state that must survive commits, squashes and flushes.
+pub trait BranchSource: fmt::Debug {
+    /// Predicts and resolves one correct-path branch (the model is
+    /// functional-directed, so both happen in one call): returns the fetch
+    /// decision and applies any training/speculative-cursor updates.
+    fn on_branch(&mut self, event: &BranchEvent) -> FrontendDecision;
+
+    /// The branch retired: commit architectural frontend state (the BTU's
+    /// Checkpoint Table position). Called for every committed branch.
+    fn on_commit(&mut self, _event: &BranchEvent) {}
+
+    /// A wrong-path branch was fetched: advance speculative-only state (the
+    /// BTU's fetch cursor); it will be rolled back by [`on_squash`].
+    ///
+    /// [`on_squash`]: BranchSource::on_squash
+    fn on_wrong_path_branch(&mut self, _pc: usize, _is_crypto: bool) {}
+
+    /// A misprediction squash: roll speculative frontend state back to the
+    /// committed checkpoints.
+    fn on_squash(&mut self) {}
+
+    /// Whole-unit flush (context switch between crypto applications, Q4).
+    /// Returns true if the source had flushable state.
+    fn flush(&mut self) -> bool {
+        false
+    }
+
+    /// Accumulated branch-predictor statistics.
+    fn bpu_stats(&self) -> BpuStats {
+        BpuStats::default()
+    }
+
+    /// Accumulated BTU statistics, if this source drives one.
+    fn btu_stats(&self) -> Option<BtuStats> {
+        None
+    }
+}
+
+/// BPU prediction with resolution feedback, shared by every source that
+/// predicts non-crypto branches. When `crypto_guard` is set, predictions
+/// that would speculatively redirect fetch into a crypto PC range are
+/// converted into stalls (the Cassandra integrity check).
+fn bpu_outcome(
+    bpu: &mut BranchPredictionUnit,
+    event: &BranchEvent,
+    crypto_guard: Option<&Program>,
+) -> FetchOutcome {
+    let prediction = bpu.predict(event.pc, event.kind, event.direct_target, event.fallthrough);
+    if let (Some(program), Some(target)) = (crypto_guard, prediction.target) {
+        if program.is_crypto_pc(target) {
+            bpu.update(event.pc, event.kind, event.taken, event.actual_target);
+            return FetchOutcome::Stall;
+        }
+    }
+    let outcome = match prediction.target {
+        Some(predicted) if predicted == event.actual_target => {
+            FetchOutcome::Proceed { extra_latency: 0 }
+        }
+        Some(predicted) => FetchOutcome::Mispredict {
+            wrong_target: predicted,
+        },
+        // No prediction available (BTB/RSB miss): wait for resolution.
+        None => FetchOutcome::Stall,
+    };
+    bpu.update(event.pc, event.kind, event.taken, event.actual_target);
+    outcome
+}
+
+/// The configured BPU geometry, shared by every source that predicts.
+fn bpu_for(config: &CpuConfig) -> BranchPredictionUnit {
+    BranchPredictionUnit::new(config.pht_entries, config.btb_entries, config.rsb_entries)
+}
+
+/// Flushes an optional BTU; true if there was one to flush.
+fn flush_btu(btu: &mut Option<BranchTraceUnit>) -> bool {
+    match btu {
+        Some(btu) => {
+            btu.flush();
+            true
+        }
+        None => false,
+    }
+}
+
+/// The speculative baseline: the BPU predicts every branch.
+#[derive(Debug)]
+pub struct BpuSource {
+    bpu: BranchPredictionUnit,
+}
+
+impl BpuSource {
+    /// A BPU source with the configured table geometry.
+    pub fn new(config: &CpuConfig) -> Self {
+        BpuSource {
+            bpu: bpu_for(config),
+        }
+    }
+}
+
+impl BranchSource for BpuSource {
+    fn on_branch(&mut self, event: &BranchEvent) -> FrontendDecision {
+        FrontendDecision::speculative(bpu_outcome(&mut self.bpu, event, None))
+    }
+
+    fn bpu_stats(&self) -> BpuStats {
+        self.bpu.stats()
+    }
+}
+
+/// Full Cassandra: crypto branches replay the BTU trace, non-crypto branches
+/// use the BPU behind the crypto-range integrity check.
+#[derive(Debug)]
+pub struct BtuSource<'p> {
+    program: &'p Program,
+    bpu: BranchPredictionUnit,
+    btu: Option<BranchTraceUnit>,
+}
+
+impl<'p> BtuSource<'p> {
+    /// A BTU-backed source; `btu` is `None` when no traces were provided
+    /// (every crypto branch then stalls until it resolves).
+    pub fn new(program: &'p Program, config: &CpuConfig, btu: Option<BranchTraceUnit>) -> Self {
+        BtuSource {
+            program,
+            bpu: bpu_for(config),
+            btu,
+        }
+    }
+}
+
+impl BranchSource for BtuSource<'_> {
+    fn on_branch(&mut self, event: &BranchEvent) -> FrontendDecision {
+        if !event.is_crypto {
+            return FrontendDecision::speculative(bpu_outcome(
+                &mut self.bpu,
+                event,
+                Some(self.program),
+            ));
+        }
+        let outcome = match &mut self.btu {
+            Some(btu) => {
+                let lookup = btu.fetch_lookup(event.pc);
+                if lookup.needs_stall {
+                    // No usable trace: stall until the branch resolves
+                    // (footnote 4 / §4.3).
+                    FetchOutcome::Stall
+                } else {
+                    debug_assert_eq!(
+                        lookup.next_pc,
+                        Some(event.actual_target),
+                        "BTU must replay the sequential trace (branch at {})",
+                        event.pc
+                    );
+                    FetchOutcome::Proceed {
+                        extra_latency: lookup.extra_latency,
+                    }
+                }
+            }
+            None => FetchOutcome::Stall,
+        };
+        FrontendDecision::replayed(outcome)
+    }
+
+    fn on_commit(&mut self, event: &BranchEvent) {
+        if event.is_crypto {
+            if let Some(btu) = &mut self.btu {
+                btu.commit_branch(event.pc);
+            }
+        }
+    }
+
+    fn on_wrong_path_branch(&mut self, pc: usize, is_crypto: bool) {
+        // A wrong-path crypto branch consults the BTU and advances its
+        // speculative cursor; the squash rolls it back.
+        if is_crypto {
+            if let Some(btu) = &mut self.btu {
+                let _ = btu.fetch_lookup(pc);
+            }
+        }
+    }
+
+    fn on_squash(&mut self) {
+        if let Some(btu) = &mut self.btu {
+            btu.squash();
+        }
+    }
+
+    fn flush(&mut self) -> bool {
+        flush_btu(&mut self.btu)
+    }
+
+    fn bpu_stats(&self) -> BpuStats {
+        self.bpu.stats()
+    }
+
+    fn btu_stats(&self) -> Option<BtuStats> {
+        self.btu.as_ref().map(BranchTraceUnit::stats)
+    }
+}
+
+/// Cassandra-lite (Q3): single-target crypto branches follow their hint,
+/// every other crypto branch stalls fetch until it resolves. No Trace Cache
+/// or Checkpoint Table is modelled — the unit only reads hint bytes.
+#[derive(Debug)]
+pub struct LiteSource<'p> {
+    program: &'p Program,
+    bpu: BranchPredictionUnit,
+    btu: Option<BranchTraceUnit>,
+}
+
+impl<'p> LiteSource<'p> {
+    /// A hint-only source; `btu` supplies the encoded hints when present.
+    pub fn new(program: &'p Program, config: &CpuConfig, btu: Option<BranchTraceUnit>) -> Self {
+        LiteSource {
+            program,
+            bpu: bpu_for(config),
+            btu,
+        }
+    }
+}
+
+impl BranchSource for LiteSource<'_> {
+    fn on_branch(&mut self, event: &BranchEvent) -> FrontendDecision {
+        if !event.is_crypto {
+            return FrontendDecision::speculative(bpu_outcome(
+                &mut self.bpu,
+                event,
+                Some(self.program),
+            ));
+        }
+        let hint = self.btu.as_ref().and_then(|b| b.encoded().hint(event.pc));
+        let outcome = match hint {
+            Some(BranchHint::SingleTarget { .. }) => FetchOutcome::Proceed { extra_latency: 0 },
+            _ => FetchOutcome::Stall,
+        };
+        FrontendDecision::replayed(outcome)
+    }
+
+    fn flush(&mut self) -> bool {
+        flush_btu(&mut self.btu)
+    }
+
+    fn bpu_stats(&self) -> BpuStats {
+        self.bpu.stats()
+    }
+
+    fn btu_stats(&self) -> Option<BtuStats> {
+        self.btu.as_ref().map(BranchTraceUnit::stats)
+    }
+}
+
+/// The serializing lower bound: every branch stalls fetch until it resolves,
+/// so no instruction ever executes speculatively.
+#[derive(Debug, Default)]
+pub struct FenceSource;
+
+impl BranchSource for FenceSource {
+    fn on_branch(&mut self, _event: &BranchEvent) -> FrontendDecision {
+        FrontendDecision::speculative(FetchOutcome::Stall)
+    }
+}
+
+/// Builds the branch source selected by the already-resolved defense
+/// policy, applying any Trace Cache geometry override.
+pub fn build_source<'p>(
+    program: &'p Program,
+    config: &CpuConfig,
+    policy: &crate::policy::DefensePolicy,
+    mut btu: Option<BranchTraceUnit>,
+) -> Box<dyn BranchSource + 'p> {
+    if let (Some(entries), Some(btu)) = (policy.trace_cache_entries, btu.as_mut()) {
+        btu.set_trace_cache_entries(entries);
+    }
+    match policy.frontend {
+        FrontendKind::Bpu => Box::new(BpuSource::new(config)),
+        FrontendKind::Btu => Box::new(BtuSource::new(program, config, btu)),
+        FrontendKind::BtuLite => Box::new(LiteSource::new(program, config, btu)),
+        FrontendKind::Fence => Box::new(FenceSource),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_isa::builder::ProgramBuilder;
+
+    fn event(pc: usize, taken: bool, actual: usize, direct: Option<usize>) -> BranchEvent {
+        BranchEvent {
+            pc,
+            kind: BranchKind::CondDirect,
+            taken,
+            actual_target: actual,
+            direct_target: direct,
+            fallthrough: pc + 1,
+            is_crypto: false,
+        }
+    }
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new("tiny");
+        b.begin_crypto();
+        b.nop();
+        b.end_crypto();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fence_source_stalls_everything() {
+        let mut src = FenceSource;
+        let decision = src.on_branch(&event(4, true, 9, Some(9)));
+        assert_eq!(decision.outcome, FetchOutcome::Stall);
+        assert!(decision.opens_speculation_window);
+        assert_eq!(src.bpu_stats(), BpuStats::default());
+        assert!(src.btu_stats().is_none());
+        assert!(!src.flush());
+    }
+
+    #[test]
+    fn bpu_source_predicts_and_trains() {
+        let config = CpuConfig::golden_cove_like();
+        let mut src = BpuSource::new(&config);
+        // Weakly-taken initial state: a taken branch is predicted correctly.
+        let d = src.on_branch(&event(10, true, 2, Some(2)));
+        assert_eq!(d.outcome, FetchOutcome::Proceed { extra_latency: 0 });
+        // A never-taken branch mispredicts while the counter is taken.
+        let d = src.on_branch(&event(20, false, 21, Some(99)));
+        assert_eq!(d.outcome, FetchOutcome::Mispredict { wrong_target: 99 });
+        assert!(src.bpu_stats().pht_lookups >= 2);
+        assert!(src.bpu_stats().updates >= 2);
+    }
+
+    #[test]
+    fn btu_source_without_traces_stalls_crypto_branches() {
+        let program = tiny_program();
+        let config = CpuConfig::golden_cove_like();
+        let mut src = BtuSource::new(&program, &config, None);
+        let mut e = event(0, true, 0, Some(0));
+        e.is_crypto = true;
+        let d = src.on_branch(&e);
+        assert_eq!(d.outcome, FetchOutcome::Stall);
+        assert!(
+            !d.opens_speculation_window,
+            "replayed branches open no window"
+        );
+        assert!(!src.flush(), "nothing to flush without a BTU");
+    }
+
+    #[test]
+    fn integrity_check_blocks_speculative_entry_into_crypto_ranges() {
+        let program = tiny_program(); // PC 0 is crypto.
+        let config = CpuConfig::golden_cove_like();
+        let mut src = BtuSource::new(&program, &config, None);
+        // Non-crypto branch whose predicted target (taken, direct target 0)
+        // lands inside the crypto range: the frontend must stall instead of
+        // redirecting speculatively.
+        let e = event(5, true, 0, Some(0));
+        let d = src.on_branch(&e);
+        assert_eq!(d.outcome, FetchOutcome::Stall);
+        assert!(d.opens_speculation_window);
+    }
+}

@@ -4,8 +4,14 @@
 //! reproduction: branch prediction (PHT/BTB/RSB), a four-level cache
 //! hierarchy, the Cassandra Branch Trace Unit integration, the defense models
 //! compared in the paper's evaluation (unsafe baseline, Cassandra,
-//! Cassandra+STL, Cassandra-lite, SPT, ProSpeCT, Cassandra+ProSpeCT) and an
-//! analytic power/area model.
+//! Cassandra+STL, Cassandra-lite, SPT, ProSpeCT, Cassandra+ProSpeCT, plus
+//! the Fence and Cassandra-noTC scenarios) and an analytic power/area model.
+//!
+//! Defenses are layered: a [`config::DefenseMode`] is only a *name*; the
+//! mechanisms it enables live in a [`policy::DefensePolicy`] (resolved once
+//! at pipeline construction) and the frontend behaviour behind the
+//! [`frontend::BranchSource`] trait. The pipeline core never matches on the
+//! mode — new defense scenarios are new policy values / branch sources.
 //!
 //! The main entry point is [`pipeline::simulate`]:
 //!
@@ -34,11 +40,15 @@
 pub mod bpu;
 pub mod cache;
 pub mod config;
+pub mod frontend;
 pub mod pipeline;
+pub mod policy;
 pub mod power;
 pub mod stats;
 
-pub use config::{CpuConfig, DefenseMode};
+pub use config::{CpuConfig, DefenseMode, ParseDefenseModeError};
+pub use frontend::{BranchEvent, BranchSource, FetchOutcome, FrontendDecision};
 pub use pipeline::{simulate, SimOutcome, Simulator};
+pub use policy::{DefensePolicy, FrontendKind};
 pub use power::{power_area_report, PowerAreaReport};
 pub use stats::SimStats;

@@ -15,9 +15,10 @@
 //! stalls, BTU-driven fetch redirection, store-to-load forwarding (and its
 //! removal), SPT-style transmitter delays and ProSpeCT-style taint blocking.
 
-use crate::bpu::BranchPredictionUnit;
 use crate::cache::CacheHierarchy;
-use crate::config::{CpuConfig, DefenseMode};
+use crate::config::CpuConfig;
+use crate::frontend::{self, BranchEvent, BranchSource, FetchOutcome};
+use crate::policy::DefensePolicy;
 use crate::stats::SimStats;
 use cassandra_btu::unit::BranchTraceUnit;
 use cassandra_isa::error::IsaError;
@@ -25,7 +26,6 @@ use cassandra_isa::instr::{BranchKind, Instr};
 use cassandra_isa::memory::Memory;
 use cassandra_isa::program::{Program, STACK_TOP};
 use cassandra_isa::reg::{Reg, NUM_REGS, SP};
-use cassandra_trace::hints::BranchHint;
 use std::collections::HashSet;
 use std::collections::VecDeque;
 
@@ -50,10 +50,15 @@ pub struct SimOutcome {
 impl SimOutcome {
     /// The full attacker-visible sequence of data-cache accesses
     /// (architectural and transient, in program order of occurrence).
-    pub fn attacker_visible_accesses(&self) -> Vec<u64> {
-        let mut all = self.architectural_accesses.clone();
-        all.extend(&self.transient_accesses);
-        all
+    ///
+    /// Borrows both underlying traces — callers that only compare or scan
+    /// the sequence (the security differ does this once per run) allocate
+    /// nothing; collect explicitly if an owned `Vec` is needed.
+    pub fn attacker_visible_accesses(&self) -> impl Iterator<Item = u64> + '_ {
+        self.architectural_accesses
+            .iter()
+            .chain(&self.transient_accesses)
+            .copied()
     }
 }
 
@@ -69,8 +74,11 @@ struct InflightStore {
 pub struct Simulator<'p> {
     program: &'p Program,
     config: CpuConfig,
-    bpu: BranchPredictionUnit,
-    btu: Option<BranchTraceUnit>,
+    /// The defense policy, resolved once from `config.defense`; the pipeline
+    /// consults only this (and the frontend below), never the mode itself.
+    policy: DefensePolicy,
+    /// The pluggable branch source steering fetch at branches.
+    frontend: Box<dyn BranchSource + 'p>,
     caches: CacheHierarchy,
     stats: SimStats,
 
@@ -109,14 +117,11 @@ impl<'p> Simulator<'p> {
         }
         let mut regs = [0u64; NUM_REGS];
         regs[SP.index()] = STACK_TOP;
+        let policy = config.defense.policy();
         Simulator {
             program,
-            bpu: BranchPredictionUnit::new(
-                config.pht_entries,
-                config.btb_entries,
-                config.rsb_entries,
-            ),
-            btu,
+            frontend: frontend::build_source(program, &config, &policy, btu),
+            policy,
             caches: CacheHierarchy::new(&config),
             stats: SimStats::default(),
             regs,
@@ -154,9 +159,9 @@ impl<'p> Simulator<'p> {
             self.step_correct_path()?;
         }
         self.stats.cycles = self.commit_cycle.max(self.fetch_cycle);
-        self.stats.bpu = self.bpu.stats();
-        if let Some(btu) = &self.btu {
-            self.stats.btu = btu.stats();
+        self.stats.bpu = self.frontend.bpu_stats();
+        if let Some(btu) = self.frontend.btu_stats() {
+            self.stats.btu = btu;
         }
         self.stats.caches = self.caches.stats();
         Ok(SimOutcome {
@@ -261,15 +266,12 @@ impl<'p> Simulator<'p> {
         // Defense policies that delay execution while speculative.
         let any_src_tainted = sources.iter().any(|r| self.taint_of(*r));
         let is_transmitter = instr.is_mem() || instr.is_branch();
-        if self.config.defense.spt_delay() && is_transmitter && start < self.older_branches_resolved
+        if self.policy.delay_transmitters && is_transmitter && start < self.older_branches_resolved
         {
             start = self.older_branches_resolved;
             self.stats.defense_delayed_instructions += 1;
         }
-        if self.config.defense.prospect_taint()
-            && any_src_tainted
-            && start < self.older_branches_resolved
-        {
+        if self.policy.block_tainted && any_src_tainted && start < self.older_branches_resolved {
             start = self.older_branches_resolved;
             self.stats.defense_delayed_instructions += 1;
         }
@@ -407,23 +409,16 @@ impl<'p> Simulator<'p> {
             if is_crypto {
                 self.stats.committed_crypto_branches += 1;
             }
-            let resolve = complete;
-            self.handle_branch_frontend(
+            let event = BranchEvent {
                 pc,
                 kind,
                 taken,
                 actual_target,
                 direct_target,
+                fallthrough: pc + 1,
                 is_crypto,
-                fetch_cycle,
-                resolve,
-            );
-            // Crypto branches under Cassandra are replayed, not predicted, so
-            // they do not open a speculation window (§6.2); every other branch
-            // keeps younger instructions speculative until it resolves.
-            if !(self.config.defense.uses_btu() && is_crypto) {
-                self.older_branches_resolved = self.older_branches_resolved.max(resolve);
-            }
+            };
+            self.handle_branch_frontend(&event, fetch_cycle, complete);
         }
 
         // In-order commit with commit-width constraint.
@@ -444,13 +439,12 @@ impl<'p> Simulator<'p> {
         }
         self.stats.committed_instructions += 1;
 
-        // Periodic BTU flush experiment (Q4).
+        // Periodic frontend flush experiment (Q4).
         if self.config.btu_flush_interval > 0 {
             self.committed_since_flush += 1;
             if self.committed_since_flush >= self.config.btu_flush_interval {
                 self.committed_since_flush = 0;
-                if let Some(btu) = &mut self.btu {
-                    btu.flush();
+                if self.frontend.flush() {
                     self.stats.periodic_btu_flushes += 1;
                 }
             }
@@ -471,7 +465,7 @@ impl<'p> Simulator<'p> {
             .find(|s| s.granule == granule && s.commit_cycle > start);
         let latency = self.caches.access_data(addr);
         match forwarding {
-            Some(store) if !self.config.defense.disables_stl() => {
+            Some(store) if self.policy.stl_forwarding => {
                 self.stats.stl_forwards += 1;
                 start.max(store.data_ready) + 1
             }
@@ -498,102 +492,41 @@ impl<'p> Simulator<'p> {
         });
     }
 
-    /// Frontend behaviour at a branch: BTU redirection or BPU prediction,
-    /// integrity checks, stalls, mispredictions and wrong-path excursions.
-    #[allow(clippy::too_many_arguments)]
-    fn handle_branch_frontend(
-        &mut self,
-        pc: usize,
-        kind: BranchKind,
-        taken: bool,
-        actual_target: usize,
-        direct_target: Option<usize>,
-        is_crypto: bool,
-        fetch_cycle: u64,
-        resolve: u64,
-    ) {
-        let defense = self.config.defense;
-        if defense.uses_btu() && is_crypto {
-            if defense == DefenseMode::CassandraLite {
-                // Only single-target hints are honoured; everything else
-                // stalls fetch until the branch resolves.
-                let hint = self.btu.as_ref().and_then(|b| b.encoded().hint(pc));
-                match hint {
-                    Some(BranchHint::SingleTarget { .. }) => {}
-                    _ => {
-                        self.stats.fetch_stalls += 1;
-                        self.redirect_fetch(resolve + 1);
-                    }
-                }
-                return;
-            }
-            // Full Cassandra: the BTU dictates the next PC.
-            let lookup = self.btu.as_mut().map(|btu| btu.fetch_lookup(pc));
-            match lookup {
-                Some(lookup) if !lookup.needs_stall => {
-                    debug_assert_eq!(
-                        lookup.next_pc,
-                        Some(actual_target),
-                        "BTU must replay the sequential trace (branch at {pc})"
-                    );
-                    if lookup.extra_latency > 0 {
-                        self.redirect_fetch(fetch_cycle + lookup.extra_latency);
-                    }
-                    if let Some(btu) = &mut self.btu {
-                        btu.commit_branch(pc);
-                    }
-                }
-                _ => {
-                    // No usable trace (or no traces provided at all): stall
-                    // until the branch resolves.
-                    self.stats.fetch_stalls += 1;
-                    self.redirect_fetch(resolve + 1);
+    /// Frontend behaviour at a branch: the configured [`BranchSource`]
+    /// decides (replay, prediction, integrity stall, fence); the pipeline
+    /// only interprets the decision — redirects, wrong-path excursions and
+    /// squash recovery. No defense-specific branching lives here.
+    fn handle_branch_frontend(&mut self, event: &BranchEvent, fetch_cycle: u64, resolve: u64) {
+        let decision = self.frontend.on_branch(event);
+        match decision.outcome {
+            FetchOutcome::Proceed { extra_latency } => {
+                if extra_latency > 0 {
+                    self.redirect_fetch(fetch_cycle + extra_latency);
                 }
             }
-            return;
-        }
-
-        // Non-crypto branch (or a design without a BTU): the BPU predicts.
-        let prediction = self.bpu.predict(pc, kind, direct_target, pc + 1);
-
-        // Cassandra integrity check: never speculatively redirect fetch into
-        // the crypto PC ranges from a non-crypto branch.
-        if defense.uses_btu() {
-            if let Some(t) = prediction.target {
-                if self.program.is_crypto_pc(t) {
-                    self.stats.fetch_stalls += 1;
-                    self.redirect_fetch(resolve + 1);
-                    self.bpu.update(pc, kind, taken, actual_target);
-                    return;
-                }
-            }
-        }
-
-        match prediction.target {
-            Some(predicted) if predicted == actual_target => {
-                // Correct prediction: no penalty.
-            }
-            Some(predicted) => {
+            FetchOutcome::Mispredict { wrong_target } => {
                 // Misprediction: execute a bounded wrong path, then squash.
                 self.stats.mispredictions += 1;
                 let window = (resolve.saturating_sub(fetch_cycle) + 1) * self.config.fetch_width;
                 let budget = window
                     .min(WRONG_PATH_CAP)
                     .min(self.config.rob_entries as u64);
-                self.run_wrong_path(predicted, budget);
+                self.run_wrong_path(wrong_target, budget);
                 self.redirect_fetch(resolve + self.config.mispredict_redirect_penalty);
-                if let Some(btu) = &mut self.btu {
-                    btu.squash();
-                }
+                self.frontend.on_squash();
             }
-            None => {
-                // No prediction available (BTB/RSB miss): the frontend waits
-                // for the branch to resolve.
+            FetchOutcome::Stall => {
+                // No usable target: fetch waits for the branch to resolve.
                 self.stats.fetch_stalls += 1;
                 self.redirect_fetch(resolve + 1);
             }
         }
-        self.bpu.update(pc, kind, taken, actual_target);
+        self.frontend.on_commit(event);
+        // Replayed branches do not open a speculation window (§6.2); every
+        // other branch keeps younger instructions speculative until resolve.
+        if decision.opens_speculation_window {
+            self.older_branches_resolved = self.older_branches_resolved.max(resolve);
+        }
     }
 
     /// Executes up to `budget` wrong-path instructions starting at `start_pc`
@@ -615,6 +548,12 @@ impl<'p> Simulator<'p> {
             let instr = instr.clone();
             executed += 1;
             let is_crypto = self.program.is_crypto_pc(pc);
+            // SPT delays transmitters until they are non-speculative, so
+            // wrong-path loads, stores and branches never execute before the
+            // squash — the excursion ends at the first one.
+            if self.policy.delay_transmitters && (instr.is_mem() || instr.is_branch()) {
+                break;
+            }
             let mut next_pc = pc + 1;
             match instr {
                 Instr::Alu { op, rd, rs1, rs2 } => {
@@ -642,7 +581,7 @@ impl<'p> Simulator<'p> {
                     // ProSpeCT blocks speculative execution of instructions
                     // with tainted operands, so a wrong-path load with a
                     // tainted address never reaches the cache.
-                    if self.config.defense.prospect_taint() && self.taint_of(base) {
+                    if self.policy.block_tainted && self.taint_of(base) {
                         break;
                     }
                     let v = self.mem.read(addr, width);
@@ -709,12 +648,10 @@ impl<'p> Simulator<'p> {
                 Instr::Nop => {}
                 Instr::Halt => break,
             }
-            // Under Cassandra, a wrong-path crypto branch would consult the
-            // BTU; the squash below rolls its speculative position back.
-            if self.config.defense.uses_btu() && is_crypto && instr.is_branch() {
-                if let Some(btu) = &mut self.btu {
-                    let _ = btu.fetch_lookup(pc);
-                }
+            // A wrong-path branch may advance speculative frontend state
+            // (the BTU's fetch cursor); the squash below rolls it back.
+            if instr.is_branch() {
+                self.frontend.on_wrong_path_branch(pc, is_crypto);
             }
             self.stats.squashed_instructions += 1;
             pc = next_pc;
@@ -748,12 +685,19 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DefenseMode as Mode;
     use cassandra_btu::encode::EncodedTraces;
     use cassandra_btu::unit::BtuConfig;
     use cassandra_isa::builder::ProgramBuilder;
     use cassandra_isa::exec::Executor;
     use cassandra_isa::reg::{A0, A1, A2, ZERO};
     use cassandra_trace::genproc::generate_traces;
+
+    /// Defenses are selected by label here, round-tripping the `FromStr`
+    /// impl — and keeping this file free of per-mode references.
+    fn defense(label: &str) -> Mode {
+        label.parse().expect("known defense label")
+    }
 
     fn loop_program(iters: u64) -> Program {
         let mut b = ProgramBuilder::new("timing-loop");
@@ -798,15 +742,9 @@ mod tests {
     fn all_defenses_commit_the_same_instructions() {
         let program = loop_program(32);
         let baseline = simulate(&program, CpuConfig::golden_cove_like(), None).unwrap();
-        for defense in [
-            DefenseMode::Cassandra,
-            DefenseMode::CassandraStl,
-            DefenseMode::CassandraLite,
-            DefenseMode::Spt,
-            DefenseMode::Prospect,
-        ] {
-            let cfg = CpuConfig::golden_cove_like().with_defense(defense);
-            let btu = if defense.uses_btu() {
+        for mode in Mode::ALL {
+            let cfg = CpuConfig::golden_cove_like().with_defense(mode);
+            let btu = if mode.uses_btu() {
                 Some(btu_for(&program))
             } else {
                 None
@@ -814,7 +752,11 @@ mod tests {
             let outcome = simulate(&program, cfg, btu).unwrap();
             assert_eq!(
                 outcome.stats.committed_instructions, baseline.stats.committed_instructions,
-                "{defense:?} must not change architectural behaviour"
+                "{mode:?} must not change architectural behaviour"
+            );
+            assert_eq!(
+                outcome.architectural_accesses, baseline.architectural_accesses,
+                "{mode:?} must not change the architectural access trace"
             );
             assert!(outcome.halted);
         }
@@ -823,11 +765,50 @@ mod tests {
     #[test]
     fn cassandra_has_no_crypto_mispredictions() {
         let program = loop_program(64);
-        let cfg = CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra);
+        let cfg = CpuConfig::golden_cove_like().with_defense(defense("Cassandra"));
         let outcome = simulate(&program, cfg, Some(btu_for(&program))).unwrap();
         assert_eq!(outcome.stats.mispredictions, 0);
         assert_eq!(outcome.stats.squashed_instructions, 0);
         assert!(outcome.stats.btu.lookups > 0);
+    }
+
+    #[test]
+    fn fence_stalls_every_branch_and_never_speculates() {
+        let program = loop_program(64);
+        let base = simulate(&program, CpuConfig::golden_cove_like(), None).unwrap();
+        let cfg = CpuConfig::golden_cove_like().with_defense(defense("Fence"));
+        let fence = simulate(&program, cfg, None).unwrap();
+        assert_eq!(fence.stats.mispredictions, 0);
+        assert_eq!(fence.stats.squashed_instructions, 0);
+        assert!(fence.transient_accesses.is_empty());
+        assert_eq!(
+            fence.stats.fetch_stalls, fence.stats.committed_branches,
+            "every branch stalls fetch until resolve"
+        );
+        assert!(fence.stats.cycles > base.stats.cycles);
+    }
+
+    #[test]
+    fn zero_entry_trace_cache_pays_the_miss_penalty_per_lookup() {
+        let program = loop_program(64);
+        let full = simulate(
+            &program,
+            CpuConfig::golden_cove_like().with_defense(defense("Cassandra")),
+            Some(btu_for(&program)),
+        )
+        .unwrap();
+        let no_tc = simulate(
+            &program,
+            CpuConfig::golden_cove_like().with_defense(defense("Cassandra-noTC")),
+            Some(btu_for(&program)),
+        )
+        .unwrap();
+        // Replay is still exact (no mispredictions), but every multi-target
+        // lookup misses and the runtime pays for the streaming.
+        assert_eq!(no_tc.stats.mispredictions, 0);
+        assert!(no_tc.stats.btu.misses > full.stats.btu.misses);
+        assert_eq!(no_tc.stats.btu.hits, 0);
+        assert!(no_tc.stats.cycles > full.stats.cycles);
     }
 
     #[test]
@@ -844,12 +825,16 @@ mod tests {
         let base = simulate(&program, CpuConfig::golden_cove_like(), None).unwrap();
         let spt = simulate(
             &program,
-            CpuConfig::golden_cove_like().with_defense(DefenseMode::Spt),
+            CpuConfig::golden_cove_like().with_defense(defense("SPT")),
             None,
         )
         .unwrap();
         assert!(spt.stats.cycles >= base.stats.cycles);
         assert!(spt.stats.defense_delayed_instructions > 0);
+        assert!(
+            spt.transient_accesses.is_empty(),
+            "SPT never executes wrong-path transmitters"
+        );
     }
 
     #[test]
@@ -857,13 +842,13 @@ mod tests {
         let program = loop_program(64);
         let lite = simulate(
             &program,
-            CpuConfig::golden_cove_like().with_defense(DefenseMode::CassandraLite),
+            CpuConfig::golden_cove_like().with_defense(defense("Cassandra-lite")),
             Some(btu_for(&program)),
         )
         .unwrap();
         let full = simulate(
             &program,
-            CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra),
+            CpuConfig::golden_cove_like().with_defense(defense("Cassandra")),
             Some(btu_for(&program)),
         )
         .unwrap();

@@ -10,7 +10,8 @@
 //! Every kernel exposes a `build(..)` function returning a
 //! [`KernelProgram`]: the ISA [`Program`](cassandra_isa::Program) plus enough
 //! metadata to locate its outputs in memory, so tests can check functional
-//! correctness against the matching [`reference`] implementation.
+//! correctness against the matching [`reference`](mod@reference)
+//! implementation.
 //!
 //! ## Substitutions
 //!

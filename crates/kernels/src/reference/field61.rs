@@ -79,8 +79,8 @@ pub fn cswap(bit: u64, a: u64, b: u64) -> (u64, u64) {
 
 /// One step of the Montgomery ladder (xDBLADD) on projective x-coordinates.
 ///
-/// Given (X2:Z2) = [n]P and (X3:Z3) = [n+1]P plus the affine x-coordinate
-/// `x1` of the base point, returns ([2n]P, [2n+1]P).
+/// Given `(X2:Z2) = [n]P` and `(X3:Z3) = [n+1]P` plus the affine
+/// x-coordinate `x1` of the base point, returns `([2n]P, [2n+1]P)`.
 #[allow(clippy::many_single_char_names)]
 pub fn ladder_step(x1: u64, x2: u64, z2: u64, x3: u64, z3: u64) -> (u64, u64, u64, u64) {
     let a = add(x2, z2);
@@ -100,8 +100,8 @@ pub fn ladder_step(x1: u64, x2: u64, z2: u64, x3: u64, z3: u64) -> (u64, u64, u6
 }
 
 /// Montgomery-ladder scalar multiplication: returns the affine x-coordinate
-/// of [scalar]P given the affine x-coordinate `x1` of P. `bits` is the number
-/// of scalar bits processed (255 for the curve25519-shaped workload).
+/// of `[scalar]P` given the affine x-coordinate `x1` of P. `bits` is the
+/// number of scalar bits processed (255 for the curve25519-shaped workload).
 pub fn scalar_mult(x1: u64, scalar: &[u64], bits: usize) -> u64 {
     let x1 = reduce(x1);
     let mut x2 = 1u64;

@@ -1,5 +1,5 @@
 //! Kyber-shaped lattice arithmetic: NTT-based polynomial multiplication over
-//! Z_q[X]/(X^256 - 1) with q = 3329, plus the module-level matrix/vector
+//! `Z_q[X]/(X^256 - 1)` with q = 3329, plus the module-level matrix/vector
 //! products that dominate Kyber512/768 key encapsulation.
 //!
 //! **Substitution note.** Real Kyber uses a negacyclic NTT (X^256 + 1) with a

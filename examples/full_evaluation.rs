@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --example full_evaluation -- [EXPERIMENT] [--format text|csv|json]
+//! cargo run --release --example full_evaluation -- \
+//!     [EXPERIMENT] [--format text|csv|json] [--designs LABEL,LABEL,...]
 //! ```
 //!
 //! `EXPERIMENT` is a registry name (`table1`, `fig7`, `fig8`, `fig9`, `q3`,
@@ -12,15 +13,22 @@
 //! 21-workload suite — takes a few minutes in release mode), or nothing for
 //! a quick subset. All experiments share one evaluation session, so each
 //! workload's Algorithm-2 analysis runs exactly once.
+//!
+//! `--designs` selects the session's sweep matrix by defense label
+//! (e.g. `--designs UnsafeBaseline,Fence,Cassandra-noTC`); the labels are
+//! parsed with `DefenseMode::from_str`, and the default matrix enumerates
+//! the standard policy registry — no variant is hand-listed here.
 
 use cassandra::core::experiments::quick_workloads;
 use cassandra::core::registry::{Fig8Experiment, SweepExperiment};
+use cassandra::core::PolicyRegistry;
 use cassandra::kernels::suite;
 use cassandra::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut format = ReportFormat::Text;
+    let mut designs: Option<Vec<DefenseMode>> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -36,6 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 None => return Err("--format requires a value (text, csv or json)".into()),
             };
+        } else if arg == "--designs" {
+            let spec = iter
+                .next()
+                .ok_or("--designs requires a comma-separated list of defense labels")?;
+            designs = Some(
+                spec.split(',')
+                    .map(|label| label.trim().parse::<DefenseMode>())
+                    .collect::<Result<_, _>>()?,
+            );
         } else {
             positional.push(arg.clone());
         }
@@ -50,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match experiment.as_str() {
         "all" => {
-            let mut session = full_session();
+            let mut session = full_session(designs.as_deref());
             registry.register(Fig8Experiment { scale: 20 });
             for run in registry.run_all(&mut session)? {
                 println!("=== {} ===", run.title);
@@ -59,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print_cache_summary(&session);
         }
         "quick" => {
-            let mut session = quick_session();
+            let mut session = quick_session(designs.as_deref());
             for run in registry.run_all(&mut session)? {
                 println!("=== {} ===", run.title);
                 println!("{}", report::render(&run.output, format)?);
@@ -67,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print_cache_summary(&session);
         }
         name => {
-            let mut session = full_session();
+            let mut session = full_session(designs.as_deref());
             registry.register(Fig8Experiment { scale: 20 });
             match registry.run(name, &mut session)? {
                 Some(run) => {
@@ -90,20 +107,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// The paper-sized session: the 21-workload suite × the Figure-7 designs.
-fn full_session() -> Evaluator {
-    Evaluator::builder()
-        .workloads(suite::full_suite())
-        .defense_matrix(cassandra::core::experiments::FIG7_DESIGNS)
-        .build()
+fn session_for(workloads: Vec<Workload>, designs: Option<&[DefenseMode]>) -> Evaluator {
+    let builder = Evaluator::builder().workloads(workloads);
+    match designs {
+        Some(defenses) => builder.defense_matrix(defenses.iter().copied()).build(),
+        // Default: every policy in the standard registry.
+        None => builder.policies(&PolicyRegistry::standard()).build(),
+    }
+}
+
+/// The paper-sized session: the 21-workload suite × the selected designs.
+fn full_session(designs: Option<&[DefenseMode]>) -> Evaluator {
+    session_for(suite::full_suite(), designs)
 }
 
 /// A fast subset for demos and smoke runs.
-fn quick_session() -> Evaluator {
-    Evaluator::builder()
-        .workloads(quick_workloads())
-        .defense_matrix([DefenseMode::UnsafeBaseline, DefenseMode::Cassandra])
-        .build()
+fn quick_session(designs: Option<&[DefenseMode]>) -> Evaluator {
+    session_for(quick_workloads(), designs)
 }
 
 fn print_cache_summary(session: &Evaluator) {

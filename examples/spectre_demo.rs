@@ -2,7 +2,10 @@
 //! Figure 5(a) leaks a secret on the unsafe baseline and is blocked by
 //! Cassandra.
 //!
-//! Run with `cargo run --release --example spectre_demo`.
+//! Run with `cargo run --release --example spectre_demo`. Pass defense
+//! labels (e.g. `Cassandra-lite Fence`) to compare other designs, or `all`
+//! for every modelled defense — labels are parsed with
+//! `DefenseMode::from_str`, so nothing here hard-codes the variant list.
 
 use cassandra::core::security::observe;
 use cassandra::kernels::gadgets::{scenario, BranchSite, LeakGadget};
@@ -12,14 +15,25 @@ fn transient_trace(defense: DefenseMode, secret: u64) -> Vec<u64> {
     let gadget = scenario(BranchSite::Crypto, LeakGadget::CryptoRegister, secret);
     let cfg = CpuConfig::golden_cove_like().with_defense(defense);
     let obs = observe(&gadget.program, &cfg).expect("simulation succeeds");
-    obs.transient_accesses
+    obs.transient_accesses().to_vec()
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let defenses: Vec<DefenseMode> = if args.iter().any(|a| a == "all") {
+        DefenseMode::ALL.to_vec()
+    } else if args.is_empty() {
+        vec![DefenseMode::UnsafeBaseline, DefenseMode::Cassandra]
+    } else {
+        args.iter()
+            .map(|a| a.parse::<DefenseMode>())
+            .collect::<Result<_, _>>()?
+    };
+
     println!("Transient register leak (Figure 5a): the branch is never taken");
     println!("architecturally, but its taken path leaks a secret register.\n");
 
-    for defense in [DefenseMode::UnsafeBaseline, DefenseMode::Cassandra] {
+    for defense in defenses {
         let t0 = transient_trace(defense, 0x0000_0000_0000_0000);
         let t1 = transient_trace(defense, 0xffff_ffff_ffff_ffff);
         println!("--- {} ---", defense.label());
@@ -31,4 +45,5 @@ fn main() {
             println!("=> the attacker-visible cache footprint depends on the secret: LEAK\n");
         }
     }
+    Ok(())
 }

@@ -47,13 +47,16 @@ pub use cassandra_trace as trace;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use cassandra_core::eval::{DesignPoint, EvalRecord, Evaluator, EvaluatorBuilder};
+    pub use cassandra_core::policies::PolicyRegistry;
     pub use cassandra_core::registry::{Experiment, ExperimentOutput, ExperimentRegistry};
     pub use cassandra_core::report::{self, ReportFormat};
     pub use cassandra_core::{
         analyze_program, analyze_workload, simulate_program, simulate_workload, AnalysisBundle,
     };
     pub use cassandra_cpu::config::{CpuConfig, DefenseMode};
+    pub use cassandra_cpu::frontend::{BranchEvent, BranchSource, FetchOutcome, FrontendDecision};
     pub use cassandra_cpu::pipeline::SimOutcome;
+    pub use cassandra_cpu::policy::{DefensePolicy, FrontendKind};
     pub use cassandra_isa::program::Program;
     pub use cassandra_kernels::workload::Workload;
 }

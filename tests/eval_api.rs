@@ -1,7 +1,7 @@
 //! Integration tests for the evaluation session API: analysis caching,
 //! registry/legacy parity, and JSON round-trips.
 
-use cassandra::core::experiments::{self, FIG7_DESIGNS};
+use cassandra::core::experiments::{self, FIG7_DESIGNS, Q3_VARIANTS};
 use cassandra::core::registry::{Fig8Experiment, Q4Experiment, SweepExperiment};
 use cassandra::core::security;
 use cassandra::kernels::suite;
@@ -86,18 +86,25 @@ fn registry_outputs_match_legacy_free_functions() {
     );
     assert_eq!(
         by_name("q3"),
-        ExperimentOutput::Q3(experiments::q3_cassandra_lite(&workloads).unwrap())
+        ExperimentOutput::Q3(
+            experiments::q3_with(&mut Evaluator::new(), &workloads, &Q3_VARIANTS).unwrap()
+        )
     );
     assert_eq!(
         by_name("q4"),
         ExperimentOutput::Q4(experiments::q4_btu_flush(&workloads, 5_000).unwrap())
     );
+    // The registry's security default enumerates the full policy registry;
+    // the stateless driver reproduces it when handed the same design list.
     assert_eq!(
         by_name("security"),
         ExperimentOutput::Security(
-            security::security_sweep(&security::SECURITY_SWEEP_DESIGNS).unwrap()
+            security::security_sweep(&PolicyRegistry::standard().defenses()).unwrap()
         )
     );
+    // And the paper's two-design Table 2 is still a plain subset call.
+    let table2 = security::security_sweep(&security::SECURITY_SWEEP_DESIGNS).unwrap();
+    assert_eq!(table2.cells.len(), 16);
 }
 
 /// Every experiment output serializes to JSON and deserializes back to an

@@ -1,0 +1,170 @@
+//! Invariants of the pluggable frontend/defense-policy layer.
+//!
+//! Every policy registered in the standard [`PolicyRegistry`] — including
+//! the `Fence` and `Cassandra-noTC` scenarios added purely as policies —
+//! must preserve architectural behaviour exactly, run through the existing
+//! experiment drivers without driver edits, and sit where the paper's
+//! performance ordering expects.
+
+use cassandra::core::experiments::{figure7_with, q3_with};
+use cassandra::core::security::security_sweep_with;
+use cassandra::kernels::gadgets::{BranchSite, LeakGadget};
+use cassandra::kernels::suite;
+use cassandra::prelude::*;
+
+/// The sweep-matrix invariant: every registered policy commits the
+/// identical instruction stream and the identical architectural data-access
+/// trace as the unsafe baseline — defenses change timing, never semantics.
+#[test]
+fn every_registered_policy_preserves_the_architectural_trace() {
+    let workloads = [suite::chacha20_workload(64), suite::des_workload(4)];
+    let registry = PolicyRegistry::standard();
+    assert_eq!(registry.len(), DefenseMode::ALL.len());
+    let mut ev = Evaluator::new();
+    for w in &workloads {
+        let baseline = ev
+            .simulate_cached(w, &CpuConfig::golden_cove_like())
+            .unwrap();
+        assert!(baseline.halted);
+        for design in registry.designs() {
+            let outcome = ev.simulate_cached(w, &design.config).unwrap();
+            assert!(outcome.halted, "{}: {}", w.name, design.label);
+            assert_eq!(
+                outcome.stats.committed_instructions, baseline.stats.committed_instructions,
+                "{}: {} changed the committed instruction stream",
+                w.name, design.label
+            );
+            assert_eq!(
+                outcome.architectural_accesses, baseline.architectural_accesses,
+                "{}: {} changed the architectural access trace",
+                w.name, design.label
+            );
+        }
+    }
+}
+
+/// `Fence` and `Cassandra-noTC` run through the existing Figure-7 driver
+/// with no driver edits, and `Fence` is strictly slower than Cassandra on
+/// the crypto suite (it is the serializing lower bound).
+#[test]
+fn fence_and_no_tc_run_through_fig7_unchanged() {
+    let workloads = vec![suite::chacha20_workload(64), suite::sha256_workload(96)];
+    let designs = [
+        DefenseMode::UnsafeBaseline,
+        DefenseMode::Cassandra,
+        DefenseMode::Fence,
+        DefenseMode::CassandraNoTc,
+    ];
+    let mut ev = Evaluator::new();
+    let fig7 = figure7_with(&mut ev, &workloads, &designs).unwrap();
+    let cassandra = fig7.geomean[DefenseMode::Cassandra.label()];
+    let fence = fig7.geomean[DefenseMode::Fence.label()];
+    let no_tc = fig7.geomean[DefenseMode::CassandraNoTc.label()];
+    assert!(
+        fence > cassandra,
+        "Fence ({fence:.4}) must be strictly slower than Cassandra ({cassandra:.4})"
+    );
+    assert!(
+        no_tc >= cassandra,
+        "a zero-entry Trace Cache cannot beat the full one"
+    );
+    // Per-workload, not just in the geomean.
+    for row in &fig7.rows {
+        assert!(
+            row.cycles[DefenseMode::Fence.label()] > row.cycles[DefenseMode::Cassandra.label()],
+            "{}: Fence must be strictly slower",
+            row.workload
+        );
+    }
+}
+
+/// Same for the Q3 driver: the new policies are just more variants.
+#[test]
+fn fence_and_no_tc_run_through_q3_unchanged() {
+    let workloads = [suite::chacha20_workload(64)];
+    let mut ev = Evaluator::new();
+    let rows = q3_with(
+        &mut ev,
+        &workloads,
+        &[DefenseMode::Fence, DefenseMode::CassandraNoTc],
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 2);
+    let fence = &rows[0];
+    assert_eq!(fence.design, DefenseMode::Fence.label());
+    assert!(
+        fence.variant_cycles > fence.cassandra_cycles,
+        "Fence strictly slower than Cassandra"
+    );
+    assert!(rows[1].slowdown_pct >= 0.0);
+}
+
+/// `Cassandra-noTC` replays exactly like Cassandra but pays a Trace Cache
+/// miss on every multi-target lookup: nonzero `BtuStats::misses`, zero hits.
+#[test]
+fn cassandra_no_tc_streams_every_multi_target_lookup() {
+    let w = suite::sha256_workload(96);
+    let mut ev = Evaluator::new();
+    let base = CpuConfig::golden_cove_like();
+    let full = ev
+        .simulate_cached(&w, &base.with_defense(DefenseMode::Cassandra))
+        .unwrap();
+    let no_tc = ev
+        .simulate_cached(&w, &base.with_defense(DefenseMode::CassandraNoTc))
+        .unwrap();
+    assert_eq!(no_tc.stats.mispredictions, 0, "replay is still exact");
+    assert!(no_tc.stats.btu.misses > 0, "every lookup streams");
+    assert_eq!(no_tc.stats.btu.hits, 0, "nothing is ever resident");
+    assert!(no_tc.stats.btu.misses > full.stats.btu.misses);
+    assert!(no_tc.stats.cycles >= full.stats.cycles);
+}
+
+/// The new policies run through the existing security sweep unchanged:
+/// `Fence` never speculates (all eight scenarios protected); `Cassandra-noTC`
+/// protects exactly what Cassandra protects (scenario 8 — software
+/// isolation — stays out of scope).
+#[test]
+fn fence_and_no_tc_run_through_the_security_sweep_unchanged() {
+    let mut ev = Evaluator::new();
+    let matrix =
+        security_sweep_with(&mut ev, &[DefenseMode::Fence, DefenseMode::CassandraNoTc]).unwrap();
+    assert_eq!(matrix.cells.len(), 16);
+    assert!(matrix.all_protected_under(DefenseMode::Fence.label()));
+    for cell in &matrix.cells {
+        if cell.design == DefenseMode::Fence.label() {
+            assert!(
+                !cell.verdict.transient_activity,
+                "{}: Fence never executes a wrong path",
+                cell.scenario
+            );
+        }
+    }
+    let no_tc_leaks: Vec<_> = matrix
+        .cells
+        .iter()
+        .filter(|c| c.design == DefenseMode::CassandraNoTc.label() && !c.verdict.is_protected())
+        .collect();
+    assert_eq!(no_tc_leaks.len(), 1, "{no_tc_leaks:?}");
+    assert_eq!(no_tc_leaks[0].site, BranchSite::NonCrypto);
+    assert_eq!(no_tc_leaks[0].gadget, LeakGadget::NonCryptoMemory);
+}
+
+/// The policy registry drives the sweep through the builder: one record per
+/// workload × registered policy, in registry order.
+#[test]
+fn builder_policies_sweep_the_whole_registry() {
+    let registry = PolicyRegistry::standard();
+    let mut session = Evaluator::builder()
+        .workload(suite::chacha20_workload(64))
+        .policies(&registry)
+        .build();
+    let records = session.sweep().unwrap();
+    assert_eq!(records.len(), registry.len());
+    let labels: Vec<&str> = records.iter().map(|r| r.design.as_str()).collect();
+    assert_eq!(labels, registry.labels());
+    assert_eq!(
+        session.cache_stats().misses,
+        1,
+        "one analysis, nine designs"
+    );
+}
