@@ -18,6 +18,7 @@ fn bench(c: &mut Criterion) {
     let mut registry = ExperimentRegistry::standard();
     registry.register(Q4Experiment {
         flush_interval: FLUSH_INTERVAL,
+        ..Q4Experiment::default()
     });
     let mut session = Evaluator::builder().workloads(suite::full_suite()).build();
     let run = registry
@@ -29,9 +30,9 @@ fn bench(c: &mut Criterion) {
 
     let workloads = quick_workloads();
     let mut warm = Evaluator::new();
-    q4_with(&mut warm, &workloads, FLUSH_INTERVAL).expect("warm-up");
+    q4_with(&mut warm, &workloads, FLUSH_INTERVAL, 2).expect("warm-up");
     c.bench_function("q4/btu_flush_quick_suite_cached", |b| {
-        b.iter(|| q4_with(&mut warm, &workloads, FLUSH_INTERVAL).expect("q4"))
+        b.iter(|| q4_with(&mut warm, &workloads, FLUSH_INTERVAL, 2).expect("q4"))
     });
 }
 

@@ -1,5 +1,6 @@
-//! The runtime Branch Trace Unit: fetch, commit, squash, eviction and flush
-//! flows (§5.3 of the paper).
+//! The runtime Branch Trace Unit: fetch, commit, squash, eviction, flush and
+//! per-context partitioning flows (§5.3 of the paper, plus the Q4 discussion
+//! of context switches between crypto applications).
 
 use crate::cursor::TraceCursor;
 use crate::element::{entry_storage_bits, ELEMENTS_PER_ENTRY};
@@ -17,6 +18,12 @@ pub struct BtuConfig {
     /// Extra frontend latency (cycles) when a multi-target branch misses in
     /// the Trace Cache and its trace must be fetched from the data pages.
     pub miss_penalty: u64,
+    /// Number of way-partitions the Trace Cache is split into for
+    /// per-context isolation (discussion Q4): `1` is the paper's
+    /// unpartitioned unit, `n > 1` divides the `entries` ways across up to
+    /// `n` concurrently resident crypto-application contexts, so a context
+    /// switch costs a partition reassignment instead of a whole-unit flush.
+    pub partitions: usize,
 }
 
 impl Default for BtuConfig {
@@ -24,6 +31,7 @@ impl Default for BtuConfig {
         BtuConfig {
             entries: 16,
             miss_penalty: 20,
+            partitions: 1,
         }
     }
 }
@@ -49,6 +57,12 @@ pub struct BtuStats {
     pub commits: u64,
     /// Squash recoveries.
     pub squashes: u64,
+    /// Context switches served by activating a (possibly new) partition
+    /// instead of flushing the whole unit.
+    pub partition_switches: u64,
+    /// Partition reassignments that had to steal an owned partition from
+    /// another context (evicting its residents).
+    pub partition_steals: u64,
 }
 
 /// The answer of a fetch-time BTU lookup.
@@ -72,17 +86,28 @@ struct BranchState {
     committed: TraceCursor,
 }
 
+/// One way-partition of the Trace Cache: the context owning it plus its
+/// resident branch PCs, most recently used last.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Partition {
+    owner: Option<u64>,
+    resident: Vec<usize>,
+}
+
 /// The Branch Trace Unit.
 #[derive(Debug, Clone)]
 pub struct BranchTraceUnit {
     config: BtuConfig,
     encoded: EncodedTraces,
     /// Per-branch replay state; conceptually the Checkpoint Table backed by
-    /// the trace data pages, so it survives evictions and flushes.
+    /// the trace data pages, so it survives evictions, flushes and partition
+    /// reassignments.
     state: BTreeMap<usize, BranchState>,
-    /// Branch PCs currently resident in the Trace Cache, most recently used
-    /// last.
-    resident: Vec<usize>,
+    /// The Trace Cache residency, split into way-partitions (a single
+    /// partition models the paper's unpartitioned unit).
+    partitions: Vec<Partition>,
+    /// Index of the partition serving the active context.
+    active: usize,
     stats: BtuStats,
 }
 
@@ -93,7 +118,8 @@ impl BranchTraceUnit {
             config,
             encoded,
             state: BTreeMap::new(),
-            resident: Vec::new(),
+            partitions: vec![Partition::default(); config.partitions.max(1)],
+            active: 0,
             stats: BtuStats::default(),
         }
     }
@@ -103,16 +129,34 @@ impl BranchTraceUnit {
         self.config
     }
 
-    /// Re-sizes the Trace Cache, evicting least-recently-used residents if
-    /// the new geometry is smaller. `0` models a unit with no Trace Cache at
-    /// all: every multi-target lookup streams its trace from the data pages
-    /// and pays the miss penalty (the `Cassandra-noTC` scenario).
+    /// Re-sizes the Trace Cache, evicting least-recently-used residents of
+    /// every partition if the new geometry is smaller. `0` models a unit
+    /// with no Trace Cache at all: every multi-target lookup streams its
+    /// trace from the data pages and pays the miss penalty (the
+    /// `Cassandra-noTC` scenario).
     pub fn set_trace_cache_entries(&mut self, entries: usize) {
         self.config.entries = entries;
-        while self.resident.len() > entries {
-            self.resident.remove(0);
-            self.stats.evictions += 1;
+        for idx in 0..self.partitions.len() {
+            let capacity = self.partition_capacity(idx);
+            let partition = &mut self.partitions[idx];
+            while partition.resident.len() > capacity {
+                partition.resident.remove(0);
+                self.stats.evictions += 1;
+            }
         }
+    }
+
+    /// Re-partitions the Trace Cache into `partitions` way-partitions
+    /// (clamped to at least one). Repartitioning is a reconfiguration: all
+    /// residency is evicted (the checkpoint state in the data pages
+    /// survives, exactly as for a flush) and the active context restarts on
+    /// partition 0.
+    pub fn set_partitions(&mut self, partitions: usize) {
+        let evicted: usize = self.partitions.iter().map(|p| p.resident.len()).sum();
+        self.stats.evictions += evicted as u64;
+        self.config.partitions = partitions.max(1);
+        self.partitions = vec![Partition::default(); self.config.partitions];
+        self.active = 0;
     }
 
     /// Accumulated statistics.
@@ -120,7 +164,8 @@ impl BranchTraceUnit {
         self.stats
     }
 
-    /// Total BTU storage in bits (for the area model).
+    /// Total BTU storage in bits (for the area model). Partitioning divides
+    /// the existing ways; it adds no storage.
     pub fn storage_bits(&self) -> usize {
         self.config.entries * entry_storage_bits()
     }
@@ -129,6 +174,114 @@ impl BranchTraceUnit {
     pub fn knows_branch(&self, pc: usize) -> bool {
         self.encoded.hint(pc).is_some()
     }
+
+    // ------------------------------------------------------- partitioning
+
+    /// Number of Trace Cache ways owned by partition `idx`: the `entries`
+    /// ways are divided as evenly as possible, earlier partitions taking the
+    /// remainder.
+    pub fn partition_capacity(&self, idx: usize) -> usize {
+        let n = self.partitions.len();
+        self.config.entries / n + usize::from(idx < self.config.entries % n)
+    }
+
+    /// The partition currently serving fetch.
+    pub fn active_partition(&self) -> usize {
+        self.active
+    }
+
+    /// The context owning partition `idx`, if any.
+    pub fn partition_owner(&self, idx: usize) -> Option<u64> {
+        self.partitions.get(idx).and_then(|p| p.owner)
+    }
+
+    /// Resident entry count per partition (used by tests and reports).
+    pub fn partition_occupancy(&self) -> Vec<usize> {
+        self.partitions.iter().map(|p| p.resident.len()).collect()
+    }
+
+    /// Returns the partition assigned to `context`, assigning one if the
+    /// context has none yet: an unowned partition if available (drained
+    /// first — leftover residency belongs to whoever filled it before the
+    /// partition was claimed, and contexts never share ways), otherwise the
+    /// next owned partition is stolen (its residents are evicted — their
+    /// checkpoints live in the data pages and survive).
+    pub fn assign_partition(&mut self, context: u64) -> usize {
+        if let Some(idx) = self
+            .partitions
+            .iter()
+            .position(|p| p.owner == Some(context))
+        {
+            return idx;
+        }
+        if let Some(idx) = self.partitions.iter().position(|p| p.owner.is_none()) {
+            self.evict_partition(idx);
+            self.partitions[idx].owner = Some(context);
+            return idx;
+        }
+        // All partitions owned: steal the one furthest from the active
+        // (round-robin distance), never the active context's own partition.
+        let n = self.partitions.len();
+        let victim = (self.active + 1) % n;
+        self.stats.partition_steals += 1;
+        self.evict_partition(victim);
+        self.partitions[victim].owner = Some(context);
+        victim
+    }
+
+    /// Explicitly moves `context` onto partition `idx` (clamped to the
+    /// partition count): the target's foreign residents are evicted, and the
+    /// context's previous partition (if different) is disowned and drained.
+    /// If the moved context was the active one, the active partition follows
+    /// it, so fetch never fills a disowned partition. This is the Q4
+    /// partition-reassignment primitive; [`switch_context`] is the common
+    /// assign-and-activate flow on top of [`assign_partition`].
+    ///
+    /// [`switch_context`]: BranchTraceUnit::switch_context
+    /// [`assign_partition`]: BranchTraceUnit::assign_partition
+    pub fn reassign(&mut self, context: u64, idx: usize) {
+        let idx = idx.min(self.partitions.len() - 1);
+        if let Some(old) = self
+            .partitions
+            .iter()
+            .position(|p| p.owner == Some(context))
+        {
+            if old == idx {
+                return;
+            }
+            self.evict_partition(old);
+            self.partitions[old].owner = None;
+            if self.active == old {
+                self.active = idx;
+            }
+        }
+        if self.partitions[idx].owner.is_some() {
+            self.stats.partition_steals += 1;
+        }
+        self.evict_partition(idx);
+        self.partitions[idx].owner = Some(context);
+    }
+
+    /// A context switch served by partition reassignment instead of a
+    /// whole-unit flush (Q4): the incoming context's partition becomes the
+    /// active one, leaving every other partition's residency warm. Returns
+    /// true if the active partition changed.
+    pub fn switch_context(&mut self, context: u64) -> bool {
+        self.stats.partition_switches += 1;
+        let idx = self.assign_partition(context);
+        let changed = idx != self.active;
+        self.active = idx;
+        changed
+    }
+
+    /// Drops every resident of partition `idx`, counting the evictions.
+    fn evict_partition(&mut self, idx: usize) {
+        let drained = self.partitions[idx].resident.len();
+        self.stats.evictions += drained as u64;
+        self.partitions[idx].resident.clear();
+    }
+
+    // ------------------------------------------------------------ lookups
 
     /// Fetch flow (§5.3): determines the next PC for a crypto branch being
     /// fetched and advances the speculative trace position.
@@ -208,34 +361,41 @@ impl BranchTraceUnit {
         }
     }
 
-    /// Flushes the Trace Cache residency (context switch between two crypto
-    /// applications, discussion Q4). Replay positions survive in the
-    /// checkpoint data pages, but the next lookups pay the miss latency again.
+    /// Flushes the Trace Cache residency of every partition (the whole-unit
+    /// context-switch model of discussion Q4). Replay positions survive in
+    /// the checkpoint data pages, but the next lookups pay the miss latency
+    /// again.
     pub fn flush(&mut self) {
         self.stats.flushes += 1;
-        self.resident.clear();
+        for partition in &mut self.partitions {
+            partition.resident.clear();
+        }
     }
 
-    /// Marks `pc` resident, evicting the least recently used entry if needed.
-    /// Returns `(hit, extra_latency)`.
+    /// Marks `pc` resident in the active partition, evicting its least
+    /// recently used entry if the partition is full. Returns
+    /// `(hit, extra_latency)`.
     fn touch_entry(&mut self, pc: usize) -> (bool, u64) {
-        if self.config.entries == 0 {
-            // No Trace Cache: nothing is ever resident, every lookup streams.
+        let capacity = self.partition_capacity(self.active);
+        if capacity == 0 {
+            // No Trace Cache ways for this context: nothing is ever
+            // resident, every lookup streams.
             self.stats.misses += 1;
             return (false, self.config.miss_penalty);
         }
-        if let Some(idx) = self.resident.iter().position(|&p| p == pc) {
-            self.resident.remove(idx);
-            self.resident.push(pc);
+        let partition = &mut self.partitions[self.active];
+        if let Some(idx) = partition.resident.iter().position(|&p| p == pc) {
+            partition.resident.remove(idx);
+            partition.resident.push(pc);
             self.stats.hits += 1;
             return (true, 0);
         }
         self.stats.misses += 1;
-        if self.resident.len() >= self.config.entries {
-            self.resident.remove(0);
+        if partition.resident.len() >= capacity {
+            partition.resident.remove(0);
             self.stats.evictions += 1;
         }
-        self.resident.push(pc);
+        partition.resident.push(pc);
         (false, self.config.miss_penalty)
     }
 
@@ -275,10 +435,14 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn btu_for(program: &Program) -> BranchTraceUnit {
+    fn btu_with(program: &Program, config: BtuConfig) -> BranchTraceUnit {
         let bundle = generate_traces(program, None, 100_000).unwrap();
         let encoded = EncodedTraces::from_bundle(program, &bundle);
-        BranchTraceUnit::new(BtuConfig::default(), encoded)
+        BranchTraceUnit::new(config, encoded)
+    }
+
+    fn btu_for(program: &Program) -> BranchTraceUnit {
+        btu_with(program, BtuConfig::default())
     }
 
     /// Replays a program's crypto branches through the BTU and checks every
@@ -342,14 +506,13 @@ mod tests {
     fn lru_eviction_under_pressure() {
         // A tiny 1-entry BTU with two multi-target branches must evict.
         let program = nested_program();
-        let bundle = generate_traces(&program, None, 100_000).unwrap();
-        let encoded = EncodedTraces::from_bundle(&program, &bundle);
-        let mut btu = BranchTraceUnit::new(
+        let mut btu = btu_with(
+            &program,
             BtuConfig {
                 entries: 1,
                 miss_penalty: 5,
+                ..BtuConfig::default()
             },
-            encoded,
         );
         let inner_pc = 3;
         let outer_pc = 5;
@@ -366,14 +529,13 @@ mod tests {
         // still replay correctly after a squash: the Checkpoint Table state
         // lives in the data pages and survives evictions.
         let program = nested_program();
-        let bundle = generate_traces(&program, None, 100_000).unwrap();
-        let encoded = EncodedTraces::from_bundle(&program, &bundle);
-        let mut btu = BranchTraceUnit::new(
+        let mut btu = btu_with(
+            &program,
             BtuConfig {
                 entries: 1,
                 miss_penalty: 7,
+                ..BtuConfig::default()
             },
-            encoded,
         );
         let inner_pc = 3;
         let outer_pc = 5;
@@ -408,14 +570,13 @@ mod tests {
         // entries == 0 models Cassandra-noTC: nothing is ever resident, every
         // multi-target lookup streams its trace and pays the miss penalty.
         let program = nested_program();
-        let bundle = generate_traces(&program, None, 100_000).unwrap();
-        let encoded = EncodedTraces::from_bundle(&program, &bundle);
-        let mut btu = BranchTraceUnit::new(
+        let mut btu = btu_with(
+            &program,
             BtuConfig {
                 entries: 0,
                 miss_penalty: 9,
+                ..BtuConfig::default()
             },
-            encoded,
         );
         let inner_pc = 3;
         for _ in 0..4 {
@@ -459,5 +620,227 @@ mod tests {
         let btu = btu_for(&program);
         let kib = btu.storage_bits() as f64 / 8.0 / 1024.0;
         assert!(kib > 1.0 && kib < 2.5, "{kib:.2} KiB");
+    }
+
+    // --------------------------------------------------------- partitioning
+
+    #[test]
+    fn partition_capacities_split_the_ways_evenly() {
+        let program = nested_program();
+        let btu = btu_with(
+            &program,
+            BtuConfig {
+                entries: 5,
+                partitions: 2,
+                ..BtuConfig::default()
+            },
+        );
+        assert_eq!(btu.partition_capacity(0), 3);
+        assert_eq!(btu.partition_capacity(1), 2);
+        assert_eq!(btu.partition_occupancy(), vec![0, 0]);
+    }
+
+    #[test]
+    fn context_switch_keeps_the_other_partition_warm() {
+        let program = nested_program();
+        let mut btu = btu_with(
+            &program,
+            BtuConfig {
+                entries: 4,
+                miss_penalty: 11,
+                partitions: 2,
+            },
+        );
+        let inner_pc = 3;
+        // Context 0 warms up its partition.
+        btu.switch_context(0);
+        assert_eq!(btu.fetch_lookup(inner_pc).extra_latency, 11, "cold miss");
+        assert_eq!(btu.fetch_lookup(inner_pc).extra_latency, 0, "warm hit");
+        // Context 1 gets its own partition; its first lookup is cold.
+        assert!(btu.switch_context(1));
+        assert_eq!(btu.fetch_lookup(inner_pc).extra_latency, 11);
+        // Switching back to context 0 is free: its partition stayed warm.
+        assert!(btu.switch_context(0));
+        assert_eq!(btu.fetch_lookup(inner_pc).extra_latency, 0);
+        assert_eq!(btu.stats().partition_switches, 3);
+        assert_eq!(btu.stats().partition_steals, 0);
+        assert_eq!(btu.partition_occupancy(), vec![1, 1]);
+    }
+
+    #[test]
+    fn oversubscribed_contexts_steal_partitions() {
+        let program = nested_program();
+        let mut btu = btu_with(
+            &program,
+            BtuConfig {
+                entries: 4,
+                miss_penalty: 11,
+                partitions: 2,
+            },
+        );
+        let inner_pc = 3;
+        btu.switch_context(0);
+        btu.fetch_lookup(inner_pc);
+        btu.switch_context(1);
+        btu.fetch_lookup(inner_pc);
+        // A third context must steal a partition (not the active one).
+        btu.switch_context(2);
+        assert_eq!(btu.stats().partition_steals, 1);
+        assert_eq!(btu.partition_owner(btu.active_partition()), Some(2));
+        // The stolen partition was drained.
+        assert_eq!(
+            btu.partition_occupancy().iter().sum::<usize>(),
+            1,
+            "only the surviving context's entry remains resident"
+        );
+    }
+
+    #[test]
+    fn reassign_moves_a_context_and_drains_both_partitions() {
+        let program = nested_program();
+        let mut btu = btu_with(
+            &program,
+            BtuConfig {
+                entries: 4,
+                miss_penalty: 11,
+                partitions: 2,
+            },
+        );
+        let inner_pc = 3;
+        btu.switch_context(0);
+        btu.fetch_lookup(inner_pc);
+        btu.switch_context(1);
+        btu.fetch_lookup(inner_pc);
+        let evictions_before = btu.stats().evictions;
+        // Move context 0 onto context 1's partition: both the old partition
+        // and the stolen one are drained.
+        let target = 1 - btu.active_partition();
+        btu.reassign(0, btu.active_partition());
+        assert_eq!(btu.partition_owner(1 - target), Some(0));
+        assert_eq!(btu.stats().evictions, evictions_before + 2);
+        assert_eq!(btu.stats().partition_steals, 1);
+        // Reassigning a context to its own partition is a no-op.
+        let steals = btu.stats().partition_steals;
+        btu.reassign(0, 1 - target);
+        assert_eq!(btu.stats().partition_steals, steals);
+    }
+
+    #[test]
+    fn partition_reassignment_preserves_replay_positions() {
+        // The checkpoint state lives in the data pages: arbitrary partition
+        // churn changes only residency (latency), never the replayed target.
+        let program = nested_program();
+        let raw = cassandra_trace::collect::collect_raw_traces(&program, 100_000).unwrap();
+        let inner_pc = 3;
+        let expected: Vec<usize> = raw
+            .iter()
+            .find(|(pc, _)| **pc == inner_pc)
+            .map(|(_, t)| t.targets.clone())
+            .unwrap();
+        let mut btu = btu_with(
+            &program,
+            BtuConfig {
+                entries: 2,
+                miss_penalty: 3,
+                partitions: 2,
+            },
+        );
+        for (i, want) in expected.iter().enumerate() {
+            btu.switch_context((i % 3) as u64); // includes steals
+            let lookup = btu.fetch_lookup(inner_pc);
+            btu.commit_branch(inner_pc);
+            assert_eq!(lookup.next_pc, Some(*want), "execution {i}");
+        }
+    }
+
+    #[test]
+    fn claiming_an_unowned_partition_drains_leftover_residency() {
+        // Residency filled before any context registered (owner None) must
+        // not be inherited by the first context that claims the partition:
+        // contexts never share warm ways.
+        let program = nested_program();
+        let mut btu = btu_with(
+            &program,
+            BtuConfig {
+                entries: 4,
+                miss_penalty: 11,
+                partitions: 2,
+            },
+        );
+        let inner_pc = 3;
+        btu.fetch_lookup(inner_pc); // warms unowned partition 0
+        assert_eq!(btu.partition_occupancy(), vec![1, 0]);
+        btu.switch_context(7); // first registered context claims partition 0
+        assert_eq!(btu.partition_owner(0), Some(7));
+        assert_eq!(
+            btu.partition_occupancy(),
+            vec![0, 0],
+            "the claimed partition starts cold"
+        );
+        assert_eq!(btu.fetch_lookup(inner_pc).extra_latency, 11);
+    }
+
+    #[test]
+    fn reassigning_the_active_context_moves_the_active_partition() {
+        let program = nested_program();
+        let mut btu = btu_with(
+            &program,
+            BtuConfig {
+                entries: 4,
+                miss_penalty: 11,
+                partitions: 2,
+            },
+        );
+        btu.switch_context(0);
+        assert_eq!(btu.active_partition(), 0);
+        btu.reassign(0, 1);
+        assert_eq!(
+            btu.active_partition(),
+            1,
+            "fetch must follow the reassigned active context"
+        );
+        assert_eq!(btu.partition_owner(1), Some(0));
+        assert_eq!(btu.partition_owner(0), None);
+        // Fetch now fills the owned partition, not the disowned one.
+        btu.fetch_lookup(3);
+        assert_eq!(btu.partition_occupancy(), vec![0, 1]);
+    }
+
+    #[test]
+    fn whole_flush_drains_every_partition() {
+        let program = nested_program();
+        let mut btu = btu_with(
+            &program,
+            BtuConfig {
+                entries: 4,
+                miss_penalty: 11,
+                partitions: 2,
+            },
+        );
+        btu.switch_context(0);
+        btu.fetch_lookup(3);
+        btu.switch_context(1);
+        btu.fetch_lookup(3);
+        btu.flush();
+        assert_eq!(btu.partition_occupancy(), vec![0, 0]);
+        assert_eq!(btu.stats().flushes, 1);
+    }
+
+    #[test]
+    fn set_partitions_repartitions_and_evicts() {
+        let program = nested_program();
+        let mut btu = btu_for(&program);
+        btu.fetch_lookup(3);
+        btu.fetch_lookup(5);
+        let before = btu.stats().evictions;
+        btu.set_partitions(2);
+        assert_eq!(btu.config().partitions, 2);
+        assert_eq!(btu.stats().evictions, before + 2);
+        assert_eq!(btu.partition_occupancy(), vec![0, 0]);
+        // Replay still works after repartitioning.
+        assert!(btu.fetch_lookup(3).next_pc.is_some());
+        // Clamped to at least one partition.
+        btu.set_partitions(0);
+        assert_eq!(btu.config().partitions, 1);
     }
 }

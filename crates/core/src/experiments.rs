@@ -397,20 +397,37 @@ pub fn q3_cassandra_lite(workloads: &[Workload]) -> Result<Vec<Q3Row>, IsaError>
     )
 }
 
-// -------------------------------------------------------------- Q4: flush
+// ----------------------------------------------- Q4: context-switch pricing
 
-/// The Q4 result: Cassandra's speedup with and without periodic BTU flushes.
+/// Default number of application contexts the Q4 partition-reassignment
+/// variant rotates through — one per partition of the `Cassandra-part`
+/// design point, so the rotation never steals.
+pub const Q4_PARTITION_CONTEXTS: u64 = DefenseMode::PARTITIONED_BTU_CONTEXTS as u64;
+
+/// The Q4 result: Cassandra's speedup without context switches, and with
+/// context switches priced two ways — as whole-BTU flushes (the paper's Q4
+/// model) and as per-context partition reassignments (the partitioned-BTU
+/// deployment), side by side.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Q4Result {
-    /// Geomean speedup of Cassandra without flushes (percent).
+    /// Geomean speedup of Cassandra without context switches (percent).
     pub speedup_no_flush_pct: f64,
-    /// Geomean speedup with the periodic flush enabled (percent).
+    /// Geomean speedup when every context switch flushes the whole BTU
+    /// (percent).
     pub speedup_with_flush_pct: f64,
-    /// The flush interval used (committed instructions).
+    /// Geomean speedup when every context switch is a partition
+    /// reassignment on the way-partitioned BTU (percent).
+    pub speedup_with_partition_pct: f64,
+    /// The context-switch interval used (committed instructions).
     pub flush_interval: u64,
+    /// Number of application contexts rotated through by the partition
+    /// variant.
+    pub partition_contexts: u64,
 }
 
-/// Regenerates the Q4 experiment through an evaluation session.
+/// Regenerates the Q4 experiment through an evaluation session: Cassandra's
+/// speedup with context switches priced as whole-unit flushes versus as
+/// partition reassignments rotating through `partition_contexts` contexts.
 ///
 /// # Errors
 ///
@@ -419,10 +436,19 @@ pub fn q4_with(
     ev: &mut Evaluator,
     workloads: &[Workload],
     flush_interval: u64,
+    partition_contexts: u64,
 ) -> Result<Q4Result, IsaError> {
     let base_cfg = CpuConfig::golden_cove_like();
+    let flush_cfg = base_cfg
+        .with_defense(DefenseMode::Cassandra)
+        .with_btu_flush_interval(flush_interval);
+    let part_cfg = base_cfg
+        .with_defense(DefenseMode::CassandraPartitioned)
+        .with_btu_flush_interval(flush_interval)
+        .with_btu_switch_contexts(partition_contexts.max(1));
     let mut log_sum_no_flush = 0.0;
     let mut log_sum_flush = 0.0;
+    let mut log_sum_part = 0.0;
     for w in workloads {
         let base = ev.simulate_cached(w, &base_cfg)?.stats.cycles.max(1);
         let cass = ev
@@ -430,30 +456,38 @@ pub fn q4_with(
             .stats
             .cycles
             .max(1);
-        let flush_cfg = base_cfg
-            .with_defense(DefenseMode::Cassandra)
-            .with_btu_flush_interval(flush_interval);
         let flushed = ev.simulate_cached(w, &flush_cfg)?.stats.cycles.max(1);
+        let partitioned = ev.simulate_cached(w, &part_cfg)?.stats.cycles.max(1);
         log_sum_no_flush += (cass as f64 / base as f64).ln();
         log_sum_flush += (flushed as f64 / base as f64).ln();
+        log_sum_part += (partitioned as f64 / base as f64).ln();
     }
     let n = workloads.len().max(1) as f64;
+    let speedup = |log_sum: f64| (1.0 - (log_sum / n).exp()) * 100.0;
     Ok(Q4Result {
-        speedup_no_flush_pct: (1.0 - (log_sum_no_flush / n).exp()) * 100.0,
-        speedup_with_flush_pct: (1.0 - (log_sum_flush / n).exp()) * 100.0,
+        speedup_no_flush_pct: speedup(log_sum_no_flush),
+        speedup_with_flush_pct: speedup(log_sum_flush),
+        speedup_with_partition_pct: speedup(log_sum_part),
         flush_interval,
+        partition_contexts: partition_contexts.max(1),
     })
 }
 
-/// Regenerates the Q4 experiment: flushing the BTU periodically (modelling
-/// 250 Hz context switches) and measuring the impact on Cassandra's speedup
-/// (one-shot shim; prefer [`q4_with`]).
+/// Regenerates the Q4 experiment: context switches every `flush_interval`
+/// committed instructions (modelling a 250 Hz timer), priced as whole-BTU
+/// flushes and as partition reassignments over [`Q4_PARTITION_CONTEXTS`]
+/// contexts (one-shot shim; prefer [`q4_with`]).
 ///
 /// # Errors
 ///
 /// Propagates analysis or simulation errors.
 pub fn q4_btu_flush(workloads: &[Workload], flush_interval: u64) -> Result<Q4Result, IsaError> {
-    q4_with(&mut Evaluator::new(), workloads, flush_interval)
+    q4_with(
+        &mut Evaluator::new(),
+        workloads,
+        flush_interval,
+        Q4_PARTITION_CONTEXTS,
+    )
 }
 
 // --------------------------------------------------- §7.5: trace generation
@@ -603,6 +637,23 @@ mod tests {
         let workloads = vec![suite::chacha20_workload(64)];
         let q4 = q4_btu_flush(&workloads, 5_000).unwrap();
         assert!(q4.speedup_with_flush_pct <= q4.speedup_no_flush_pct + 1e-9);
+        assert_eq!(q4.partition_contexts, Q4_PARTITION_CONTEXTS);
+    }
+
+    #[test]
+    fn q4_partition_reassignment_beats_whole_flushes() {
+        // A short switch interval makes the whole-unit flush pay many Trace
+        // Cache refills; the partitioned BTU keeps every context's partition
+        // warm across switches and must not be slower.
+        let workloads = vec![suite::chacha20_workload(64)];
+        let q4 = q4_with(&mut Evaluator::new(), &workloads, 2_000, 2).unwrap();
+        assert!(
+            q4.speedup_with_partition_pct >= q4.speedup_with_flush_pct - 1e-9,
+            "partition {} vs flush {}",
+            q4.speedup_with_partition_pct,
+            q4.speedup_with_flush_pct
+        );
+        assert!(q4.speedup_with_partition_pct <= q4.speedup_no_flush_pct + 1e-9);
     }
 
     #[test]
@@ -620,7 +671,7 @@ mod tests {
         figure7_with(&mut ev, &workloads, &FIG7_DESIGNS).unwrap();
         figure9_with(&mut ev, &workloads).unwrap();
         q3_with(&mut ev, &workloads, &Q3_VARIANTS).unwrap();
-        q4_with(&mut ev, &workloads, 50_000).unwrap();
+        q4_with(&mut ev, &workloads, 50_000, Q4_PARTITION_CONTEXTS).unwrap();
         trace_generation_timing_with(&mut ev, &workloads).unwrap();
         assert_eq!(
             ev.cache_stats().misses,

@@ -181,17 +181,21 @@ impl Experiment for Q3Experiment {
     }
 }
 
-/// Q4: periodic BTU flushes (context switches).
+/// Q4: periodic context switches, priced as whole-BTU flushes versus
+/// partition reassignments on the way-partitioned BTU.
 #[derive(Debug, Clone, Copy)]
 pub struct Q4Experiment {
-    /// Flush interval in committed instructions.
+    /// Context-switch interval in committed instructions.
     pub flush_interval: u64,
+    /// Application contexts rotated through by the partition variant.
+    pub partition_contexts: u64,
 }
 
 impl Default for Q4Experiment {
     fn default() -> Self {
         Q4Experiment {
             flush_interval: 50_000,
+            partition_contexts: experiments::Q4_PARTITION_CONTEXTS,
         }
     }
 }
@@ -201,11 +205,12 @@ impl Experiment for Q4Experiment {
         "q4"
     }
     fn title(&self) -> &'static str {
-        "Q4: periodic BTU flushes (context switches)"
+        "Q4: context switches (whole-BTU flush vs partition reassignment)"
     }
     fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
         let workloads = ev.shared_workloads();
-        experiments::q4_with(ev, &workloads, self.flush_interval).map(ExperimentOutput::Q4)
+        experiments::q4_with(ev, &workloads, self.flush_interval, self.partition_contexts)
+            .map(ExperimentOutput::Q4)
     }
 }
 
@@ -397,7 +402,10 @@ mod tests {
     fn register_replaces_by_name() {
         let mut registry = ExperimentRegistry::standard();
         let before = registry.names().len();
-        registry.register(Q4Experiment { flush_interval: 7 });
+        registry.register(Q4Experiment {
+            flush_interval: 7,
+            ..Q4Experiment::default()
+        });
         assert_eq!(registry.names().len(), before);
     }
 

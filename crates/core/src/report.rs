@@ -175,11 +175,18 @@ pub fn format_q3(rows: &[Q3Row]) -> String {
     out
 }
 
-/// Renders the Q4 BTU-flush experiment.
+/// Renders the Q4 context-switch experiment (flush vs partition variants).
 pub fn format_q4(result: &Q4Result) -> String {
     format!(
-        "Cassandra speedup without flushes: {:+.2}%\nCassandra speedup with a BTU flush every {} instructions: {:+.2}%\n",
-        result.speedup_no_flush_pct, result.flush_interval, result.speedup_with_flush_pct
+        "Cassandra speedup without context switches: {:+.2}%\n\
+         Context switch every {} instructions, priced as ...\n\
+         ... a whole-BTU flush:                    {:+.2}%\n\
+         ... a partition reassignment ({} ctx):     {:+.2}%\n",
+        result.speedup_no_flush_pct,
+        result.flush_interval,
+        result.speedup_with_flush_pct,
+        result.partition_contexts,
+        result.speedup_with_partition_pct
     )
 }
 
@@ -420,13 +427,17 @@ pub fn render_csv(output: &ExperimentOutput) -> String {
         ExperimentOutput::Q4(r) => csv_table(
             &[
                 "flush_interval",
+                "partition_contexts",
                 "speedup_no_flush_pct",
                 "speedup_with_flush_pct",
+                "speedup_with_partition_pct",
             ],
             vec![vec![
                 r.flush_interval.to_string(),
+                r.partition_contexts.to_string(),
                 r.speedup_no_flush_pct.to_string(),
                 r.speedup_with_flush_pct.to_string(),
+                r.speedup_with_partition_pct.to_string(),
             ]],
         ),
         ExperimentOutput::Security(matrix) => csv_table(
@@ -587,12 +598,17 @@ mod tests {
     }
 
     #[test]
-    fn q4_rendering_mentions_interval() {
+    fn q4_rendering_mentions_interval_and_both_variants() {
         let q4 = experiments::Q4Result {
             speedup_no_flush_pct: 1.85,
             speedup_with_flush_pct: 1.80,
+            speedup_with_partition_pct: 1.83,
             flush_interval: 400_000,
+            partition_contexts: 2,
         };
-        assert!(format_q4(&q4).contains("400000"));
+        let text = format_q4(&q4);
+        assert!(text.contains("400000"));
+        assert!(text.contains("whole-BTU flush"));
+        assert!(text.contains("partition reassignment"));
     }
 }

@@ -44,22 +44,38 @@ pub enum DefenseMode {
     /// branch streams its trace from the data pages and pays the miss
     /// penalty on every lookup.
     CassandraNoTc,
+    /// Hybrid tournament frontend: per-PC confidence counters arbitrate each
+    /// crypto branch between BTU replay and the speculative BPU, modelling a
+    /// deployment where only hot crypto branches earn traces. Cold crypto
+    /// branches speculate (and may leak) until they are promoted.
+    Tournament,
+    /// Cassandra with the BTU's Trace Cache ways split into per-context
+    /// partitions (discussion Q4): context switches between crypto
+    /// applications cost a partition reassignment instead of a whole-unit
+    /// flush.
+    CassandraPartitioned,
 }
 
 impl DefenseMode {
     /// Every modelled defense, in reporting order. Design matrices, sweeps
     /// and CLI helpers enumerate this instead of hand-listing variants.
-    pub const ALL: [DefenseMode; 9] = [
+    pub const ALL: [DefenseMode; 11] = [
         DefenseMode::UnsafeBaseline,
         DefenseMode::Fence,
         DefenseMode::Cassandra,
         DefenseMode::CassandraStl,
         DefenseMode::CassandraLite,
         DefenseMode::CassandraNoTc,
+        DefenseMode::CassandraPartitioned,
+        DefenseMode::Tournament,
         DefenseMode::Spt,
         DefenseMode::Prospect,
         DefenseMode::CassandraProspect,
     ];
+
+    /// The number of BTU partitions the `Cassandra-part` design point splits
+    /// the Trace Cache into (two co-resident crypto applications, Q4).
+    pub const PARTITIONED_BTU_CONTEXTS: usize = 2;
 
     /// The structured mechanism description of this defense, resolved once
     /// by the pipeline at construction.
@@ -81,6 +97,10 @@ impl DefenseMode {
             DefenseMode::CassandraNoTc => base
                 .with_frontend(FrontendKind::Btu)
                 .with_trace_cache_entries(0),
+            DefenseMode::Tournament => base.with_frontend(FrontendKind::Tournament),
+            DefenseMode::CassandraPartitioned => base
+                .with_frontend(FrontendKind::Btu)
+                .with_btu_partitions(Self::PARTITIONED_BTU_CONTEXTS),
         }
     }
 
@@ -117,6 +137,8 @@ impl DefenseMode {
             DefenseMode::CassandraProspect => "Cassandra+ProSpeCT",
             DefenseMode::Fence => "Fence",
             DefenseMode::CassandraNoTc => "Cassandra-noTC",
+            DefenseMode::Tournament => "Tournament",
+            DefenseMode::CassandraPartitioned => "Cassandra-part",
         }
     }
 }
@@ -212,9 +234,15 @@ pub struct CpuConfig {
     pub defense: DefenseMode,
     /// BTU geometry (used by the Cassandra modes).
     pub btu: BtuConfig,
-    /// If non-zero, flush the BTU every `btu_flush_interval` committed
-    /// instructions (models the 250 Hz context-switch experiment, Q4).
+    /// If non-zero, a context switch happens every `btu_flush_interval`
+    /// committed instructions (models the 250 Hz context-switch experiment,
+    /// Q4). What a switch costs depends on `btu_switch_contexts`.
     pub btu_flush_interval: u64,
+    /// How the periodic context switch is modelled: `0` flushes the whole
+    /// BTU (the paper's Q4 pricing); `n > 0` instead rotates the active
+    /// context through `n` application contexts via BTU partition
+    /// reassignment, leaving the other partitions' residency warm.
+    pub btu_switch_contexts: u64,
     /// Maximum committed instructions before the simulation stops.
     pub max_instructions: u64,
 }
@@ -263,6 +291,7 @@ impl CpuConfig {
             defense: DefenseMode::UnsafeBaseline,
             btu: BtuConfig::default(),
             btu_flush_interval: 0,
+            btu_switch_contexts: 0,
             max_instructions: 200_000_000,
         }
     }
@@ -286,6 +315,15 @@ impl CpuConfig {
         self
     }
 
+    /// The same configuration with the periodic context switch priced as a
+    /// BTU partition reassignment rotating through `contexts` application
+    /// contexts instead of a whole-unit flush (0 restores the flush model;
+    /// the Q4 partition-reassignment variant).
+    pub fn with_btu_switch_contexts(mut self, contexts: u64) -> Self {
+        self.btu_switch_contexts = contexts;
+        self
+    }
+
     /// The same configuration with a different committed-instruction budget.
     pub fn with_max_instructions(mut self, max_instructions: u64) -> Self {
         self.max_instructions = max_instructions;
@@ -304,6 +342,9 @@ impl CpuConfig {
         let mut label = self.defense.label().to_string();
         if self.btu_flush_interval != 0 {
             label.push_str(&format!("+flush{}", self.btu_flush_interval));
+        }
+        if self.btu_switch_contexts != 0 {
+            label.push_str(&format!("+ctx{}", self.btu_switch_contexts));
         }
         let base = CpuConfig::golden_cove_like();
         if self.memory_latency != base.memory_latency {
@@ -346,6 +387,8 @@ mod tests {
         assert!(DefenseMode::Cassandra.uses_btu());
         assert!(DefenseMode::CassandraLite.uses_btu());
         assert!(DefenseMode::CassandraNoTc.uses_btu());
+        assert!(DefenseMode::Tournament.uses_btu());
+        assert!(DefenseMode::CassandraPartitioned.uses_btu());
         assert!(!DefenseMode::UnsafeBaseline.uses_btu());
         assert!(!DefenseMode::Fence.uses_btu());
         assert!(DefenseMode::CassandraStl.disables_stl());
@@ -388,6 +431,24 @@ mod tests {
         assert_eq!(no_tc.trace_cache_entries, Some(0));
         assert!(DefenseMode::CassandraStl.policy().frontend.uses_btu());
         assert!(!DefenseMode::CassandraStl.policy().stl_forwarding);
+        let tournament = DefenseMode::Tournament.policy();
+        assert_eq!(tournament.frontend, FrontendKind::Tournament);
+        assert_eq!(tournament.btu_partitions, None);
+        let partitioned = DefenseMode::CassandraPartitioned.policy();
+        assert_eq!(partitioned.frontend, FrontendKind::Btu);
+        assert_eq!(
+            partitioned.btu_partitions,
+            Some(DefenseMode::PARTITIONED_BTU_CONTEXTS)
+        );
+    }
+
+    #[test]
+    fn context_switch_knobs_shape_the_design_label() {
+        let cfg = CpuConfig::golden_cove_like()
+            .with_defense(DefenseMode::CassandraPartitioned)
+            .with_btu_flush_interval(5_000)
+            .with_btu_switch_contexts(2);
+        assert_eq!(cfg.design_label(), "Cassandra-part+flush5000+ctx2");
     }
 
     #[test]

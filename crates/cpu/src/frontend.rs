@@ -9,17 +9,21 @@
 //! this trait (or describing a policy that maps onto an existing source) —
 //! not editing the pipeline.
 //!
-//! Four sources ship with the model:
+//! Five sources ship with the model:
 //!
 //! * [`BpuSource`] — the speculative baseline: PHT/BTB/RSB predict every
 //!   branch (UnsafeBaseline, SPT, ProSpeCT);
 //! * [`BtuSource`] — full Cassandra: crypto branches are replayed from the
 //!   Branch Trace Unit, non-crypto branches use the BPU behind the
-//!   crypto-range integrity check (Cassandra, +STL, +ProSpeCT, -noTC);
+//!   crypto-range integrity check (Cassandra, +STL, +ProSpeCT, -noTC, and
+//!   the way-partitioned `Cassandra-part` deployment);
 //! * [`LiteSource`] — Cassandra-lite: only single-target crypto hints are
 //!   honoured, every other crypto branch stalls fetch until resolve;
 //! * [`FenceSource`] — the serializing lower bound: every branch stalls
-//!   fetch until it resolves, so nothing ever executes speculatively.
+//!   fetch until it resolves, so nothing ever executes speculatively;
+//! * [`TournamentSource`] — the hybrid tournament: per-PC confidence
+//!   counters arbitrate each crypto branch between BTU replay (hot branches
+//!   that earned a trace) and the speculative BPU (cold branches).
 
 use crate::bpu::{BpuStats, BranchPredictionUnit};
 use crate::config::CpuConfig;
@@ -129,6 +133,18 @@ pub trait BranchSource: fmt::Debug {
     /// Returns true if the source had flushable state.
     fn flush(&mut self) -> bool {
         false
+    }
+
+    /// A context switch priced as a BTU partition reassignment instead of a
+    /// whole-unit flush (the Q4 partition variant): activate `context`'s
+    /// partition, leaving the other partitions' residency warm. Returns true
+    /// if the source had state to switch. Sources without partition support
+    /// fall back to their whole-unit [`flush`] — a context switch is never
+    /// cheaper than the flush-priced model just because a source ignores it.
+    ///
+    /// [`flush`]: BranchSource::flush
+    fn on_context_switch(&mut self, _context: u64) -> bool {
+        self.flush()
     }
 
     /// Accumulated branch-predictor statistics.
@@ -295,6 +311,16 @@ impl BranchSource for BtuSource<'_> {
         flush_btu(&mut self.btu)
     }
 
+    fn on_context_switch(&mut self, context: u64) -> bool {
+        match &mut self.btu {
+            Some(btu) => {
+                btu.switch_context(context);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn bpu_stats(&self) -> BpuStats {
         self.bpu.stats()
     }
@@ -366,6 +392,168 @@ impl BranchSource for FenceSource {
     }
 }
 
+/// Default number of executions a crypto branch needs before the tournament
+/// frontend trusts its BTU trace over the BPU (its trace is "installed").
+pub const TOURNAMENT_PROMOTE_THRESHOLD: u32 = 4;
+
+/// The hybrid tournament frontend: per-PC confidence counters arbitrate each
+/// crypto branch between BTU replay and the speculative BPU, modelling a
+/// deployment where only hot crypto branches earn traces.
+///
+/// A crypto branch starts *cold*: the BPU predicts it speculatively (no
+/// crypto-range guard — its targets live inside the range by construction),
+/// so it can mispredict and leak transiently, exactly like the unsafe
+/// baseline. Every execution increments its confidence counter; once the
+/// counter saturates at the promotion threshold the branch is *hot* and all
+/// further executions replay the BTU trace without opening a speculation
+/// window. The BTU's replay cursors are advanced from the very first
+/// execution (the unit observes the branch while its trace is being
+/// installed), so promotion resumes the trace at the correct position.
+/// Non-crypto branches use the guarded BPU, as under full Cassandra.
+#[derive(Debug)]
+pub struct TournamentSource<'p> {
+    program: &'p Program,
+    bpu: BranchPredictionUnit,
+    btu: Option<BranchTraceUnit>,
+    /// Per-context confidence tables, keyed by application context: each
+    /// context's counters survive switches away and back, exactly like its
+    /// BTU partition's residency (a whole-unit flush drops them all).
+    confidence: std::collections::BTreeMap<u64, std::collections::BTreeMap<usize, u32>>,
+    active_context: u64,
+    threshold: u32,
+}
+
+impl<'p> TournamentSource<'p> {
+    /// A tournament source with the given promotion threshold; `btu` is
+    /// `None` when no traces were provided (every crypto branch then stays
+    /// on the BPU forever — nothing can be promoted).
+    pub fn new(
+        program: &'p Program,
+        config: &CpuConfig,
+        btu: Option<BranchTraceUnit>,
+        threshold: u32,
+    ) -> Self {
+        TournamentSource {
+            program,
+            bpu: bpu_for(config),
+            btu,
+            confidence: std::collections::BTreeMap::new(),
+            active_context: 0,
+            threshold,
+        }
+    }
+
+    /// The promotion threshold in use.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The active context's confidence counter of a branch (saturates at the
+    /// threshold).
+    pub fn confidence(&self, pc: usize) -> u32 {
+        self.confidence
+            .get(&self.active_context)
+            .and_then(|table| table.get(&pc))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl BranchSource for TournamentSource<'_> {
+    fn on_branch(&mut self, event: &BranchEvent) -> FrontendDecision {
+        if !event.is_crypto {
+            return FrontendDecision::speculative(bpu_outcome(
+                &mut self.bpu,
+                event,
+                Some(self.program),
+            ));
+        }
+        // The BTU tracks the branch from its first execution so that the
+        // replay position is correct at promotion time; the *decision* below
+        // arbitrates which component steers fetch.
+        let lookup = self.btu.as_mut().map(|btu| btu.fetch_lookup(event.pc));
+        let conf = self
+            .confidence
+            .entry(self.active_context)
+            .or_default()
+            .entry(event.pc)
+            .or_insert(0);
+        let hot = *conf >= self.threshold;
+        *conf = (*conf + 1).min(self.threshold);
+        if hot {
+            let outcome = match lookup {
+                Some(lookup) if !lookup.needs_stall => {
+                    debug_assert_eq!(
+                        lookup.next_pc,
+                        Some(event.actual_target),
+                        "promoted branch at {} must replay the sequential trace",
+                        event.pc
+                    );
+                    FetchOutcome::Proceed {
+                        extra_latency: lookup.extra_latency,
+                    }
+                }
+                // Promoted but unreplayable (input-dependent hint / no
+                // trace): stall until resolve, as under full Cassandra.
+                _ => FetchOutcome::Stall,
+            };
+            FrontendDecision::replayed(outcome)
+        } else {
+            FrontendDecision::speculative(bpu_outcome(&mut self.bpu, event, None))
+        }
+    }
+
+    fn on_commit(&mut self, event: &BranchEvent) {
+        if event.is_crypto {
+            if let Some(btu) = &mut self.btu {
+                btu.commit_branch(event.pc);
+            }
+        }
+    }
+
+    fn on_wrong_path_branch(&mut self, pc: usize, is_crypto: bool) {
+        if is_crypto {
+            if let Some(btu) = &mut self.btu {
+                let _ = btu.fetch_lookup(pc);
+            }
+        }
+    }
+
+    fn on_squash(&mut self) {
+        if let Some(btu) = &mut self.btu {
+            btu.squash();
+        }
+    }
+
+    fn flush(&mut self) -> bool {
+        // A whole-unit flush drops every context's confidence table with the
+        // traces: all branches start cold again.
+        self.confidence.clear();
+        flush_btu(&mut self.btu)
+    }
+
+    fn on_context_switch(&mut self, context: u64) -> bool {
+        // Each context keeps its own confidence table (selected here), just
+        // as its BTU partition keeps its residency.
+        self.active_context = context;
+        match &mut self.btu {
+            Some(btu) => {
+                btu.switch_context(context);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn bpu_stats(&self) -> BpuStats {
+        self.bpu.stats()
+    }
+
+    fn btu_stats(&self) -> Option<BtuStats> {
+        self.btu.as_ref().map(BranchTraceUnit::stats)
+    }
+}
+
 /// Builds the branch source selected by the already-resolved defense
 /// policy, applying any Trace Cache geometry override.
 pub fn build_source<'p>(
@@ -377,11 +565,22 @@ pub fn build_source<'p>(
     if let (Some(entries), Some(btu)) = (policy.trace_cache_entries, btu.as_mut()) {
         btu.set_trace_cache_entries(entries);
     }
+    if let (Some(partitions), Some(btu)) = (policy.btu_partitions, btu.as_mut()) {
+        btu.set_partitions(partitions);
+    }
     match policy.frontend {
         FrontendKind::Bpu => Box::new(BpuSource::new(config)),
         FrontendKind::Btu => Box::new(BtuSource::new(program, config, btu)),
         FrontendKind::BtuLite => Box::new(LiteSource::new(program, config, btu)),
         FrontendKind::Fence => Box::new(FenceSource),
+        FrontendKind::Tournament => Box::new(TournamentSource::new(
+            program,
+            config,
+            btu,
+            policy
+                .tournament_threshold
+                .unwrap_or(TOURNAMENT_PROMOTE_THRESHOLD),
+        )),
     }
 }
 
@@ -450,6 +649,134 @@ mod tests {
             "replayed branches open no window"
         );
         assert!(!src.flush(), "nothing to flush without a BTU");
+    }
+
+    fn nested_crypto_program() -> Program {
+        use cassandra_isa::reg::{A0, A1, ZERO};
+        let mut b = ProgramBuilder::new("nested");
+        b.begin_crypto();
+        b.li(A0, 3);
+        b.label("outer");
+        b.li(A1, 2);
+        b.label("inner");
+        b.addi(A1, A1, -1);
+        b.bne(A1, ZERO, "inner");
+        b.addi(A0, A0, -1);
+        b.bne(A0, ZERO, "outer");
+        b.end_crypto();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn btu_for(program: &Program) -> BranchTraceUnit {
+        use cassandra_btu::encode::EncodedTraces;
+        use cassandra_btu::unit::BtuConfig;
+        let bundle = cassandra_trace::genproc::generate_traces(program, None, 100_000).unwrap();
+        let encoded = EncodedTraces::from_bundle(program, &bundle);
+        BranchTraceUnit::new(BtuConfig::default(), encoded)
+    }
+
+    #[test]
+    fn tournament_promotes_a_branch_after_the_threshold() {
+        // The inner-loop branch of the nested program (PC 3) executes six
+        // times; with a threshold of 2 the first two decisions are
+        // speculative (BPU) and every later one is a BTU replay.
+        let program = nested_crypto_program();
+        let raw = cassandra_trace::collect::collect_raw_traces(&program, 100_000).unwrap();
+        let inner_pc = 3;
+        let targets: Vec<usize> = raw
+            .iter()
+            .find(|(pc, _)| **pc == inner_pc)
+            .map(|(_, t)| t.targets.clone())
+            .unwrap();
+        let config = CpuConfig::golden_cove_like();
+        let mut src = TournamentSource::new(&program, &config, Some(btu_for(&program)), 2);
+        for (i, &target) in targets.iter().enumerate() {
+            let mut e = event(inner_pc, target != inner_pc + 1, target, Some(targets[0]));
+            e.is_crypto = true;
+            let d = src.on_branch(&e);
+            src.on_commit(&e);
+            if i < 2 {
+                assert!(
+                    d.opens_speculation_window,
+                    "execution {i} must still be speculative (cold)"
+                );
+            } else {
+                assert!(
+                    !d.opens_speculation_window,
+                    "execution {i} must be a BTU replay (hot)"
+                );
+                assert_eq!(
+                    d.outcome,
+                    FetchOutcome::Proceed { extra_latency: 0 },
+                    "execution {i} replays the exact trace"
+                );
+            }
+        }
+        assert_eq!(src.confidence(inner_pc), src.threshold(), "saturated");
+        assert!(
+            src.bpu_stats().pht_lookups >= 2,
+            "the BPU handled cold runs"
+        );
+        assert!(src.btu_stats().unwrap().lookups >= targets.len() as u64);
+    }
+
+    #[test]
+    fn tournament_without_traces_never_promotes() {
+        let program = tiny_program();
+        let config = CpuConfig::golden_cove_like();
+        let mut src = TournamentSource::new(&program, &config, None, 0);
+        let mut e = event(0, true, 0, Some(0));
+        e.is_crypto = true;
+        // Threshold 0 means instantly hot, but with no BTU the replay falls
+        // back to a stall (as under trace-less Cassandra).
+        let d = src.on_branch(&e);
+        assert_eq!(d.outcome, FetchOutcome::Stall);
+        assert!(!d.opens_speculation_window);
+        assert!(!src.on_context_switch(1), "no partition state to switch");
+    }
+
+    #[test]
+    fn tournament_confidence_is_per_context() {
+        // Promotion earned by context 0 must not leak to context 1, and must
+        // survive switching away and back — mirroring partition residency.
+        let program = nested_crypto_program();
+        let config = CpuConfig::golden_cove_like();
+        let mut src = TournamentSource::new(&program, &config, Some(btu_for(&program)), 1);
+        let mut e = event(3, true, 2, Some(2));
+        e.is_crypto = true;
+        src.on_branch(&e);
+        src.on_commit(&e);
+        assert_eq!(src.confidence(3), 1, "context 0 promoted the branch");
+        assert!(src.on_context_switch(1));
+        assert_eq!(src.confidence(3), 0, "context 1 starts cold");
+        assert!(src.on_context_switch(0));
+        assert_eq!(src.confidence(3), 1, "context 0's table survived");
+        // A whole-unit flush drops every context's table.
+        assert!(src.flush());
+        assert_eq!(src.confidence(3), 0);
+    }
+
+    #[test]
+    fn lite_source_prices_context_switches_as_flushes() {
+        // LiteSource has no partition state: the conservative default routes
+        // a context switch through its whole-unit flush.
+        let program = nested_crypto_program();
+        let config = CpuConfig::golden_cove_like();
+        let mut src = LiteSource::new(&program, &config, Some(btu_for(&program)));
+        assert!(src.on_context_switch(1));
+        assert_eq!(src.btu_stats().unwrap().flushes, 1);
+    }
+
+    #[test]
+    fn btu_source_forwards_context_switches() {
+        let program = nested_crypto_program();
+        let config = CpuConfig::golden_cove_like();
+        let mut src = BtuSource::new(&program, &config, Some(btu_for(&program)));
+        assert!(src.on_context_switch(1));
+        assert_eq!(src.btu_stats().unwrap().partition_switches, 1);
+        let mut none = BtuSource::new(&program, &config, None);
+        assert!(!none.on_context_switch(1));
     }
 
     #[test]

@@ -101,6 +101,9 @@ pub struct Simulator<'p> {
     inflight_stores: VecDeque<InflightStore>,
     older_branches_resolved: u64,
     committed_since_flush: u64,
+    /// The application context currently "running" for the periodic
+    /// context-switch experiment (Q4 partition-reassignment variant).
+    current_context: u64,
 
     // Attacker-visible traces.
     architectural_accesses: Vec<u64>,
@@ -118,9 +121,16 @@ impl<'p> Simulator<'p> {
         let mut regs = [0u64; NUM_REGS];
         regs[SP.index()] = STACK_TOP;
         let policy = config.defense.policy();
+        let mut frontend = frontend::build_source(program, &config, &policy, btu);
+        if config.btu_switch_contexts > 0 {
+            // Register the initial context on its partition up front, so the
+            // first periodic switch cannot hand context 0's warm partition
+            // to the incoming context.
+            frontend.on_context_switch(0);
+        }
         Simulator {
             program,
-            frontend: frontend::build_source(program, &config, &policy, btu),
+            frontend,
             policy,
             caches: CacheHierarchy::new(&config),
             stats: SimStats::default(),
@@ -140,6 +150,7 @@ impl<'p> Simulator<'p> {
             inflight_stores: VecDeque::new(),
             older_branches_resolved: 0,
             committed_since_flush: 0,
+            current_context: 0,
             architectural_accesses: Vec::new(),
             transient_accesses: Vec::new(),
             config,
@@ -439,12 +450,20 @@ impl<'p> Simulator<'p> {
         }
         self.stats.committed_instructions += 1;
 
-        // Periodic frontend flush experiment (Q4).
+        // Periodic context-switch experiment (Q4): price each switch either
+        // as a whole-unit flush (the paper's model) or as a BTU partition
+        // reassignment rotating through `btu_switch_contexts` applications.
         if self.config.btu_flush_interval > 0 {
             self.committed_since_flush += 1;
             if self.committed_since_flush >= self.config.btu_flush_interval {
                 self.committed_since_flush = 0;
-                if self.frontend.flush() {
+                if self.config.btu_switch_contexts > 0 {
+                    self.current_context =
+                        (self.current_context + 1) % self.config.btu_switch_contexts;
+                    if self.frontend.on_context_switch(self.current_context) {
+                        self.stats.context_switches += 1;
+                    }
+                } else if self.frontend.flush() {
                     self.stats.periodic_btu_flushes += 1;
                 }
             }
@@ -498,6 +517,7 @@ impl<'p> Simulator<'p> {
     /// squash recovery. No defense-specific branching lives here.
     fn handle_branch_frontend(&mut self, event: &BranchEvent, fetch_cycle: u64, resolve: u64) {
         let decision = self.frontend.on_branch(event);
+        let mut squash_after_commit = false;
         match decision.outcome {
             FetchOutcome::Proceed { extra_latency } => {
                 if extra_latency > 0 {
@@ -513,7 +533,7 @@ impl<'p> Simulator<'p> {
                     .min(self.config.rob_entries as u64);
                 self.run_wrong_path(wrong_target, budget);
                 self.redirect_fetch(resolve + self.config.mispredict_redirect_penalty);
-                self.frontend.on_squash();
+                squash_after_commit = true;
             }
             FetchOutcome::Stall => {
                 // No usable target: fetch waits for the branch to resolve.
@@ -521,7 +541,15 @@ impl<'p> Simulator<'p> {
                 self.redirect_fetch(resolve + 1);
             }
         }
+        // The mispredicted branch itself retires architecturally: commit its
+        // frontend state *before* the squash, so sources whose crypto
+        // branches can mispredict (a cold tournament branch) roll their
+        // speculative cursors back to a checkpoint that already includes
+        // this execution.
         self.frontend.on_commit(event);
+        if squash_after_commit {
+            self.frontend.on_squash();
+        }
         // Replayed branches do not open a speculation window (§6.2); every
         // other branch keeps younger instructions speculative until resolve.
         if decision.opens_speculation_window {
@@ -809,6 +837,63 @@ mod tests {
         assert!(no_tc.stats.btu.misses > full.stats.btu.misses);
         assert_eq!(no_tc.stats.btu.hits, 0);
         assert!(no_tc.stats.cycles > full.stats.cycles);
+    }
+
+    #[test]
+    fn tournament_promotes_the_hot_loop_branch() {
+        let program = loop_program(64);
+        let baseline = simulate(&program, CpuConfig::golden_cove_like(), None).unwrap();
+        let cfg = CpuConfig::golden_cove_like().with_defense(defense("Tournament"));
+        let outcome = simulate(&program, cfg, Some(btu_for(&program))).unwrap();
+        // Architectural behaviour is untouched; both components saw work.
+        assert_eq!(
+            outcome.stats.committed_instructions,
+            baseline.stats.committed_instructions
+        );
+        assert_eq!(
+            outcome.architectural_accesses,
+            baseline.architectural_accesses
+        );
+        assert!(outcome.stats.btu.lookups > 0, "hot executions replay");
+        assert!(
+            outcome.stats.bpu.pht_lookups > 0,
+            "cold executions hit the BPU"
+        );
+        // The hot loop branch is promoted long before the mispredicted exit,
+        // so the tournament avoids the baseline's loop-exit squash.
+        assert!(outcome.stats.mispredictions <= baseline.stats.mispredictions);
+    }
+
+    #[test]
+    fn partition_reassignment_is_cheaper_than_whole_flushes() {
+        let program = loop_program(64);
+        let base = CpuConfig::golden_cove_like();
+        let flush_cfg = base
+            .with_defense(defense("Cassandra"))
+            .with_btu_flush_interval(50);
+        let flushed = simulate(&program, flush_cfg, Some(btu_for(&program))).unwrap();
+        let part_cfg = base
+            .with_defense(defense("Cassandra-part"))
+            .with_btu_flush_interval(50)
+            .with_btu_switch_contexts(2);
+        let partitioned = simulate(&program, part_cfg, Some(btu_for(&program))).unwrap();
+
+        assert!(flushed.stats.periodic_btu_flushes > 1, "flushes happened");
+        assert_eq!(partitioned.stats.periodic_btu_flushes, 0);
+        assert!(partitioned.stats.context_switches > 1, "switches happened");
+        assert!(partitioned.stats.btu.partition_switches > 1);
+        // Same architectural behaviour, and the reassignment variant never
+        // pays more Trace Cache misses than the whole-unit flush.
+        assert_eq!(
+            partitioned.stats.committed_instructions,
+            flushed.stats.committed_instructions
+        );
+        assert_eq!(
+            partitioned.architectural_accesses,
+            flushed.architectural_accesses
+        );
+        assert!(partitioned.stats.btu.misses <= flushed.stats.btu.misses);
+        assert!(partitioned.stats.cycles <= flushed.stats.cycles);
     }
 
     #[test]

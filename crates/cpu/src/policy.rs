@@ -25,12 +25,20 @@ pub enum FrontendKind {
     /// Serializing baseline: every branch stalls fetch until it resolves.
     /// The classic speculation-free lower bound.
     Fence,
+    /// Hybrid tournament: per-PC confidence counters arbitrate each crypto
+    /// branch between BTU replay (hot branches that earned a trace) and the
+    /// speculative BPU (cold branches); non-crypto branches use the guarded
+    /// BPU as under Cassandra.
+    Tournament,
 }
 
 impl FrontendKind {
     /// True if this frontend consumes BTU traces / hints for crypto branches.
     pub fn uses_btu(self) -> bool {
-        matches!(self, FrontendKind::Btu | FrontendKind::BtuLite)
+        matches!(
+            self,
+            FrontendKind::Btu | FrontendKind::BtuLite | FrontendKind::Tournament
+        )
     }
 }
 
@@ -56,6 +64,14 @@ pub struct DefensePolicy {
     /// the zero-entry `Cassandra-noTC` scenario where every multi-target
     /// lookup streams its trace from the data pages).
     pub trace_cache_entries: Option<usize>,
+    /// Splits the BTU's Trace Cache ways into this many per-context
+    /// partitions (the Q4 partition-reassignment scenario); `None` keeps the
+    /// unpartitioned unit of the paper's Table 3.
+    pub btu_partitions: Option<usize>,
+    /// Overrides the tournament frontend's promotion threshold: how many
+    /// executions a crypto branch needs before its BTU trace is trusted over
+    /// the BPU. `None` uses [`crate::frontend::TOURNAMENT_PROMOTE_THRESHOLD`].
+    pub tournament_threshold: Option<u32>,
 }
 
 impl DefensePolicy {
@@ -68,6 +84,8 @@ impl DefensePolicy {
             delay_transmitters: false,
             block_tainted: false,
             trace_cache_entries: None,
+            btu_partitions: None,
+            tournament_threshold: None,
         }
     }
 
@@ -105,6 +123,20 @@ impl DefensePolicy {
         self.trace_cache_entries = Some(entries);
         self
     }
+
+    /// The same policy with the BTU's ways split into per-context partitions.
+    #[must_use]
+    pub const fn with_btu_partitions(mut self, partitions: usize) -> Self {
+        self.btu_partitions = Some(partitions);
+        self
+    }
+
+    /// The same policy with a tournament promotion-threshold override.
+    #[must_use]
+    pub const fn with_tournament_threshold(mut self, threshold: u32) -> Self {
+        self.tournament_threshold = Some(threshold);
+        self
+    }
 }
 
 impl Default for DefensePolicy {
@@ -125,6 +157,8 @@ mod tests {
         assert!(!p.delay_transmitters);
         assert!(!p.block_tainted);
         assert_eq!(p.trace_cache_entries, None);
+        assert_eq!(p.btu_partitions, None);
+        assert_eq!(p.tournament_threshold, None);
     }
 
     #[test]
@@ -132,16 +166,21 @@ mod tests {
         let p = DefensePolicy::baseline()
             .with_frontend(FrontendKind::Btu)
             .without_stl_forwarding()
-            .with_trace_cache_entries(0);
+            .with_trace_cache_entries(0)
+            .with_btu_partitions(2)
+            .with_tournament_threshold(8);
         assert_eq!(p.frontend, FrontendKind::Btu);
         assert!(!p.stl_forwarding);
         assert_eq!(p.trace_cache_entries, Some(0));
+        assert_eq!(p.btu_partitions, Some(2));
+        assert_eq!(p.tournament_threshold, Some(8));
     }
 
     #[test]
     fn frontend_btu_usage() {
         assert!(FrontendKind::Btu.uses_btu());
         assert!(FrontendKind::BtuLite.uses_btu());
+        assert!(FrontendKind::Tournament.uses_btu());
         assert!(!FrontendKind::Bpu.uses_btu());
         assert!(!FrontendKind::Fence.uses_btu());
     }

@@ -30,6 +30,9 @@ pub struct SimStats {
     pub stl_forwards: u64,
     /// BTU flushes triggered by the periodic flush interval (Q4).
     pub periodic_btu_flushes: u64,
+    /// Context switches served by BTU partition reassignment instead of a
+    /// whole-unit flush (the Q4 partition variant).
+    pub context_switches: u64,
     /// Branch predictor statistics.
     pub bpu: BpuStats,
     /// BTU statistics.

@@ -15,9 +15,13 @@
 //! workload's Algorithm-2 analysis runs exactly once.
 //!
 //! `--designs` selects the session's sweep matrix by defense label
-//! (e.g. `--designs UnsafeBaseline,Fence,Cassandra-noTC`); the labels are
-//! parsed with `DefenseMode::from_str`, and the default matrix enumerates
-//! the standard policy registry — no variant is hand-listed here.
+//! (e.g. `--designs UnsafeBaseline,Fence,Tournament,Cassandra-part`); the
+//! labels are parsed with `DefenseMode::from_str`, and the default matrix
+//! enumerates the standard policy registry — no variant is hand-listed
+//! here, so the tournament and partitioned-BTU design points flow through
+//! every driver (fig7, q3, security, sweep) with zero edits to this file.
+//! `q4` reports the context-switch cost priced both as whole-BTU flushes
+//! and as partition reassignments on the way-partitioned BTU.
 
 use cassandra::core::experiments::quick_workloads;
 use cassandra::core::registry::{Fig8Experiment, SweepExperiment};

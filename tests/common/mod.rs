@@ -1,0 +1,175 @@
+//! The shared differential-test harness.
+//!
+//! Every integration-test binary (`policy_invariants`, `end_to_end`,
+//! `security_scenarios`, `property_tests`, …) compiles this module via
+//! `mod common;` instead of carrying its own copy of the program builders,
+//! golden-stream capture and policy-matrix runner. The central idea: the
+//! **unsafe baseline's committed instruction stream and architectural
+//! data-access trace are the golden reference**, and every registered
+//! defense policy — present and future — is differentially checked against
+//! it. A new policy registered in `PolicyRegistry::standard()` is picked up
+//! here automatically; no test edits required.
+
+// Each test binary uses a subset of the harness; the rest would otherwise
+// trip `-D warnings` on dead code.
+#![allow(dead_code)]
+
+use cassandra::kernels::gadgets::{scenario, BranchSite, GadgetProgram, LeakGadget};
+use cassandra::kernels::suite;
+use cassandra::prelude::*;
+
+// ------------------------------------------------------- program builders
+
+/// The small workload set shared by the integration tests: one workload per
+/// library group plus a hint-heavy table cipher, sized for sub-second runs.
+pub fn quick_workloads() -> Vec<Workload> {
+    vec![
+        suite::chacha20_workload(64),
+        suite::sha256_workload(96),
+        suite::poly1305_workload(64),
+        suite::des_workload(4),
+    ]
+}
+
+/// A deterministically seeded nested-loop crypto program: `outer` iterations
+/// of an inner loop whose trip count varies per builder call. Used by the
+/// property tests to generate arbitrarily many distinct multi-target branch
+/// traces without proptest.
+pub fn nested_loop_program(name: &str, outer: u64, inner: u64) -> Program {
+    use cassandra::isa::builder::ProgramBuilder;
+    use cassandra::isa::reg::{A0, A1, ZERO};
+    let mut b = ProgramBuilder::new(name);
+    b.begin_crypto();
+    b.li(A0, outer.max(1));
+    b.label("outer");
+    b.li(A1, inner.max(1));
+    b.label("inner");
+    b.addi(A1, A1, -1);
+    b.bne(A1, ZERO, "inner");
+    b.addi(A0, A0, -1);
+    b.bne(A0, ZERO, "outer");
+    b.end_crypto();
+    b.halt();
+    b.build().expect("valid generated program")
+}
+
+// --------------------------------------------------------- golden streams
+
+/// The golden architectural reference of one workload: the unsafe baseline's
+/// committed instruction stream and architectural data-access trace.
+pub struct Golden {
+    /// Workload name (for assertion messages).
+    pub workload: String,
+    /// The full baseline outcome.
+    pub outcome: SimOutcome,
+}
+
+/// Captures the golden committed stream of a workload through the session
+/// (the analysis is cached, so capturing goldens never re-runs Algorithm 2).
+pub fn capture_golden(ev: &mut Evaluator, workload: &Workload) -> Golden {
+    let outcome = ev
+        .simulate_cached(workload, &CpuConfig::golden_cove_like())
+        .expect("baseline simulation");
+    assert!(outcome.halted, "{}: baseline must halt", workload.name);
+    Golden {
+        workload: workload.name.clone(),
+        outcome,
+    }
+}
+
+/// Asserts that an outcome commits the identical instruction stream and the
+/// identical architectural access trace as the golden baseline — defenses
+/// change timing, never semantics.
+pub fn assert_matches_golden(golden: &Golden, outcome: &SimOutcome, design: &str) {
+    assert!(outcome.halted, "{}: {design} did not halt", golden.workload);
+    assert_eq!(
+        outcome.stats.committed_instructions, golden.outcome.stats.committed_instructions,
+        "{}: {design} changed the committed instruction stream",
+        golden.workload
+    );
+    assert_eq!(
+        outcome.architectural_accesses, golden.outcome.architectural_accesses,
+        "{}: {design} changed the architectural access trace",
+        golden.workload
+    );
+}
+
+// ----------------------------------------------------- policy-matrix runs
+
+/// Runs every design of `registry` over every workload, differentially
+/// checking each outcome against the workload's golden stream, and hands
+/// `(workload, design, golden, outcome)` to the caller for policy-specific
+/// assertions.
+pub fn run_policy_matrix(
+    ev: &mut Evaluator,
+    workloads: &[Workload],
+    registry: &PolicyRegistry,
+    mut check: impl FnMut(&Workload, &DesignPoint, &Golden, &SimOutcome),
+) {
+    for w in workloads {
+        let golden = capture_golden(ev, w);
+        for design in registry.designs() {
+            let outcome = ev
+                .simulate_cached(w, &design.config)
+                .unwrap_or_else(|e| panic!("{}: {} failed: {e:?}", w.name, design.label));
+            assert_matches_golden(&golden, &outcome, &design.label);
+            check(w, design, &golden, &outcome);
+        }
+    }
+}
+
+/// [`run_policy_matrix`] over the standard registry with no extra checks:
+/// the plain sweep-matrix invariant.
+pub fn assert_standard_matrix_preserves_goldens(ev: &mut Evaluator, workloads: &[Workload]) {
+    run_policy_matrix(ev, workloads, &PolicyRegistry::standard(), |_, _, _, _| {});
+}
+
+// --------------------------------------------------------- security sweep
+
+/// Evaluates one gadget scenario under one defense (both secrets, verdict by
+/// trace comparison) — shared by the security tests and demos.
+pub fn verdict(
+    defense: DefenseMode,
+    site: BranchSite,
+    gadget: LeakGadget,
+) -> cassandra::core::security::ScenarioVerdict {
+    let cfg = CpuConfig::golden_cove_like().with_defense(defense);
+    cassandra::core::security::evaluate_scenario(
+        &format!("{site:?}->{gadget:?}"),
+        |secret| scenario(site, gadget, secret),
+        &cfg,
+    )
+    .expect("scenario evaluation")
+}
+
+/// Builds one gadget scenario program (used by tests that inspect traces
+/// directly instead of going through the verdict helper).
+pub fn gadget(site: BranchSite, leak: LeakGadget, secret: u64) -> GadgetProgram {
+    scenario(site, leak, secret)
+}
+
+// ------------------------------------------------- deterministic generator
+
+/// Deterministic xorshift64* PRNG; good enough for test-case generation.
+/// Seeded per property so failures are replayable from the printed seed.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}

@@ -1,48 +1,31 @@
 //! Cross-crate integration tests: the full analyze → encode → simulate
-//! pipeline on real kernels, across all defense designs.
+//! pipeline on real kernels, across all defense designs, differentially
+//! checked against the golden baseline stream via the shared harness.
+
+mod common;
 
 use cassandra::kernels::suite;
 use cassandra::prelude::*;
 
 /// Every design must preserve architectural behaviour: same committed
-/// instruction count, same functional output as the reference executor.
+/// instruction count, same architectural access trace as the golden
+/// baseline. The matrix runner covers the whole standard registry —
+/// including `Tournament` and `Cassandra-part` — without listing variants.
 #[test]
 fn all_designs_preserve_architectural_behaviour() {
-    let workload = suite::poly1305_workload(64);
-    let analysis = analyze_workload(&workload).unwrap();
-    let base_cfg = CpuConfig::golden_cove_like();
-    let baseline = simulate_workload(&workload, &analysis, &base_cfg).unwrap();
-    assert!(baseline.halted);
-    for defense in [
-        DefenseMode::Cassandra,
-        DefenseMode::CassandraStl,
-        DefenseMode::CassandraLite,
-        DefenseMode::Spt,
-        DefenseMode::Prospect,
-        DefenseMode::CassandraProspect,
-    ] {
-        let outcome =
-            simulate_workload(&workload, &analysis, &base_cfg.with_defense(defense)).unwrap();
-        assert!(outcome.halted, "{defense:?} did not finish");
-        assert_eq!(
-            outcome.stats.committed_instructions, baseline.stats.committed_instructions,
-            "{defense:?} changed the committed instruction count"
-        );
-    }
+    let workloads = [suite::poly1305_workload(64)];
+    let mut ev = Evaluator::new();
+    common::assert_standard_matrix_preserves_goldens(&mut ev, &workloads);
 }
 
 /// Cassandra's headline property on real kernels: zero mispredictions, zero
 /// squashes, and all crypto branch redirections served by the BTU or hints.
 #[test]
 fn cassandra_replays_crypto_branches_without_speculation() {
-    for workload in [
-        suite::chacha20_workload(128),
-        suite::sha256_workload(128),
-        suite::des_workload(8),
-    ] {
-        let analysis = analyze_workload(&workload).unwrap();
-        let cfg = CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra);
-        let outcome = simulate_workload(&workload, &analysis, &cfg).unwrap();
+    let mut ev = Evaluator::new();
+    let cfg = CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra);
+    for workload in common::quick_workloads() {
+        let outcome = ev.simulate_cached(&workload, &cfg).unwrap();
         assert_eq!(outcome.stats.mispredictions, 0, "{}", workload.name);
         assert_eq!(outcome.stats.squashed_instructions, 0, "{}", workload.name);
         assert!(
@@ -67,32 +50,28 @@ fn cassandra_replays_crypto_branches_without_speculation() {
 #[test]
 fn baseline_speculates_on_crypto_branches() {
     let workload = suite::sha256_workload(192);
-    let analysis = analyze_workload(&workload).unwrap();
-    let outcome = simulate_workload(&workload, &analysis, &CpuConfig::golden_cove_like()).unwrap();
-    assert!(outcome.stats.bpu.pht_lookups > 0);
-    assert!(outcome.stats.mispredictions > 0);
+    let mut ev = Evaluator::new();
+    let golden = common::capture_golden(&mut ev, &workload);
+    assert!(golden.outcome.stats.bpu.pht_lookups > 0);
+    assert!(golden.outcome.stats.mispredictions > 0);
 }
 
 /// Cassandra must not be slower than the unsafe baseline on the quick suite
 /// (the paper reports a small speedup on the full suite).
 #[test]
 fn cassandra_is_not_slower_than_the_baseline_on_crypto_kernels() {
+    let mut ev = Evaluator::new();
+    let cass_cfg = CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra);
     for workload in suite::quick_suite() {
-        let analysis = analyze_workload(&workload).unwrap();
-        let base_cfg = CpuConfig::golden_cove_like();
-        let baseline = simulate_workload(&workload, &analysis, &base_cfg).unwrap();
-        let cassandra = simulate_workload(
-            &workload,
-            &analysis,
-            &base_cfg.with_defense(DefenseMode::Cassandra),
-        )
-        .unwrap();
+        let golden = common::capture_golden(&mut ev, &workload);
+        let cassandra = ev.simulate_cached(&workload, &cass_cfg).unwrap();
+        common::assert_matches_golden(&golden, &cassandra, "Cassandra");
         assert!(
-            cassandra.stats.cycles as f64 <= baseline.stats.cycles as f64 * 1.02,
+            cassandra.stats.cycles as f64 <= golden.outcome.stats.cycles as f64 * 1.02,
             "{}: Cassandra {} cycles vs baseline {}",
             workload.name,
             cassandra.stats.cycles,
-            baseline.stats.cycles
+            golden.outcome.stats.cycles
         );
     }
 }
@@ -107,19 +86,15 @@ fn synthetic_mixes_run_under_prospect_designs() {
         sandbox_pct: 50,
         crypto_pct: 50,
     };
+    let mut ev = Evaluator::new();
     for variant in [CryptoVariant::ChaChaLike, CryptoVariant::CurveLike] {
         let kernel = build_mix(variant, mix, 4);
         let workload = Workload::new("mix", WorkloadGroup::Synthetic, kernel);
-        let analysis = analyze_workload(&workload).unwrap();
-        let base_cfg = CpuConfig::golden_cove_like();
-        let base = simulate_workload(&workload, &analysis, &base_cfg).unwrap();
+        let golden = common::capture_golden(&mut ev, &workload);
         for defense in [DefenseMode::Prospect, DefenseMode::CassandraProspect] {
-            let outcome =
-                simulate_workload(&workload, &analysis, &base_cfg.with_defense(defense)).unwrap();
-            assert_eq!(
-                outcome.stats.committed_instructions,
-                base.stats.committed_instructions
-            );
+            let cfg = CpuConfig::golden_cove_like().with_defense(defense);
+            let outcome = ev.simulate_cached(&workload, &cfg).unwrap();
+            common::assert_matches_golden(&golden, &outcome, defense.label());
         }
     }
 }

@@ -1,19 +1,14 @@
 //! Integration tests for the evaluation session API: analysis caching,
 //! registry/legacy parity, and JSON round-trips.
 
+mod common;
+
 use cassandra::core::experiments::{self, FIG7_DESIGNS, Q3_VARIANTS};
 use cassandra::core::registry::{Fig8Experiment, Q4Experiment, SweepExperiment};
 use cassandra::core::security;
 use cassandra::kernels::suite;
 use cassandra::prelude::*;
-
-fn quick_workloads() -> Vec<Workload> {
-    vec![
-        suite::chacha20_workload(64),
-        suite::sha256_workload(96),
-        suite::des_workload(4),
-    ]
-}
+use common::quick_workloads;
 
 /// The headline cache property: a full multi-experiment evaluation analyzes
 /// each distinct program exactly once, however many designs and experiments
@@ -58,6 +53,7 @@ fn registry_outputs_match_legacy_free_functions() {
     registry.register(Fig8Experiment { scale: 2 });
     registry.register(Q4Experiment {
         flush_interval: 5_000,
+        ..Q4Experiment::default()
     });
     let runs = registry.run_all(&mut session).unwrap();
     let by_name = |name: &str| {
@@ -129,8 +125,10 @@ fn experiment_outputs_round_trip_through_json() {
 /// configured matrix ordering.
 #[test]
 fn sweep_records_are_complete_and_ordered() {
+    let workloads = quick_workloads();
+    let n = workloads.len();
     let mut session = Evaluator::builder()
-        .workloads(quick_workloads())
+        .workloads(workloads)
         .designs([
             DesignPoint::from_defense(DefenseMode::UnsafeBaseline),
             DesignPoint::new(
@@ -142,7 +140,7 @@ fn sweep_records_are_complete_and_ordered() {
         ])
         .build();
     let records = session.sweep().unwrap();
-    assert_eq!(records.len(), 6);
+    assert_eq!(records.len(), 2 * n);
     for pair in records.chunks(2) {
         assert_eq!(pair[0].workload, pair[1].workload);
         assert_eq!(pair[0].design, "UnsafeBaseline");

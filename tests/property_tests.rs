@@ -1,39 +1,23 @@
 //! Property-style tests over the core data structures and invariants:
-//! losslessness of every trace representation, BTU replay fidelity, and
-//! constant-time invariants of the kernels.
+//! losslessness of every trace representation, BTU replay fidelity under
+//! partition churn, tournament confidence saturation, and constant-time
+//! invariants of the kernels.
 //!
 //! The build environment has no crates.io access, so instead of `proptest`
-//! these use a deterministic xorshift generator: each property is checked
-//! over a fixed number of pseudo-random cases. Failures print the seed of the
-//! offending case so it can be replayed.
+//! these use the deterministic seeded generator from the shared `common`
+//! harness: each property is checked over a fixed number of pseudo-random
+//! cases (randomly generated programs included). Failures print the seed of
+//! the offending case so it can be replayed.
+
+mod common;
 
 use cassandra::btu::cursor::TraceCursor;
-use cassandra::btu::encode::EncodedBranchTrace;
+use cassandra::btu::encode::{EncodedBranchTrace, EncodedTraces};
+use cassandra::btu::unit::{BranchTraceUnit, BtuConfig};
+use cassandra::trace::genproc::generate_traces;
 use cassandra::trace::kmers::{compress, KmersConfig};
 use cassandra::trace::vanilla::VanillaTrace;
-
-/// Deterministic xorshift64* PRNG; good enough for test-case generation.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed.max(1))
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    /// Uniform value in `[lo, hi)`.
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next_u64() % (hi - lo)
-    }
-}
+use common::Rng;
 
 /// A plausible branch-target sequence — loop-like runs of a few distinct
 /// targets, as produced by real (constant-time) code. Mirrors the old
@@ -110,6 +94,177 @@ fn pattern_repetitions_fit_hardware() {
         for p in &encoded.patterns {
             assert!(u64::from(p.repetitions) <= 255, "seed {seed}");
         }
+    }
+}
+
+// ------------------------------------------- generated-program BTU churn
+
+/// A seeded random nested-loop program plus the recorded target sequences of
+/// its two multi-target branches (inner at PC 3, outer at PC 5).
+fn generated_case(rng: &mut Rng) -> (BranchTraceUnit, Vec<(usize, Vec<usize>)>, BtuConfig) {
+    let outer = rng.range(2, 6);
+    let inner = rng.range(2, 6);
+    let program = common::nested_loop_program("generated", outer, inner);
+    let raw = cassandra::trace::collect::collect_raw_traces(&program, 100_000).unwrap();
+    let expected: Vec<(usize, Vec<usize>)> =
+        raw.iter().map(|(pc, t)| (*pc, t.targets.clone())).collect();
+    let bundle = generate_traces(&program, None, 100_000).unwrap();
+    let encoded = EncodedTraces::from_bundle(&program, &bundle);
+    let config = BtuConfig {
+        entries: rng.range(1, 6) as usize,
+        miss_penalty: rng.range(1, 30),
+        partitions: rng.range(1, 4) as usize,
+    };
+    (BranchTraceUnit::new(config, encoded), expected, config)
+}
+
+/// Partition eviction bounds: whatever sequence of lookups, context
+/// switches, reassignments and flushes a generated program drives, no
+/// partition ever holds more residents than its way capacity — and the
+/// replayed targets still follow each branch's recorded sequence exactly.
+#[test]
+fn generated_partition_churn_bounds_occupancy_and_keeps_replay_exact() {
+    for seed in 1..=CASES {
+        let mut rng = Rng::new(seed);
+        let (mut btu, expected, _) = generated_case(&mut rng);
+        let mut position: Vec<usize> = vec![0; expected.len()];
+        loop {
+            // Pick a branch that still has recorded executions left.
+            let live: Vec<usize> = (0..expected.len())
+                .filter(|&i| position[i] < expected[i].1.len())
+                .collect();
+            let Some(&choice) = live.get(rng.range(0, live.len().max(1) as u64) as usize) else {
+                break;
+            };
+            // Random context churn between committed executions.
+            match rng.range(0, 5) {
+                0 => {
+                    btu.switch_context(rng.range(0, 4));
+                }
+                1 => {
+                    let idx = rng.range(0, btu.config().partitions as u64) as usize;
+                    btu.reassign(rng.range(0, 4), idx);
+                }
+                2 => btu.flush(),
+                _ => {}
+            }
+            let (pc, targets) = &expected[choice];
+            let lookup = btu.fetch_lookup(*pc);
+            btu.commit_branch(*pc);
+            assert_eq!(
+                lookup.next_pc,
+                Some(targets[position[choice]]),
+                "seed {seed}: branch {pc} execution {}",
+                position[choice]
+            );
+            position[choice] += 1;
+            // The eviction invariant, after every single operation.
+            for (idx, occupancy) in btu.partition_occupancy().iter().enumerate() {
+                assert!(
+                    *occupancy <= btu.partition_capacity(idx),
+                    "seed {seed}: partition {idx} over capacity"
+                );
+            }
+        }
+        let total: usize = expected.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(btu.stats().commits as usize, total, "seed {seed}");
+    }
+}
+
+/// Reassignment under squash: speculative run-ahead followed by arbitrary
+/// partition churn and a squash always resumes the replay at the committed
+/// checkpoint — partitioning changes residency (latency), never positions.
+#[test]
+fn generated_reassignment_under_squash_restores_checkpoints() {
+    for seed in 1..=CASES {
+        let mut rng = Rng::new(seed);
+        let (mut btu, expected, config) = generated_case(&mut rng);
+        let (pc, targets) = expected
+            .iter()
+            .max_by_key(|(_, t)| t.len())
+            .expect("has branches");
+        let committed = rng.range(0, targets.len() as u64 - 1) as usize;
+        for (i, want) in targets.iter().enumerate().take(committed) {
+            let lookup = btu.fetch_lookup(*pc);
+            btu.commit_branch(*pc);
+            assert_eq!(lookup.next_pc, Some(*want), "seed {seed}: warm-up {i}");
+        }
+        // Speculative run-ahead past the committed point (never committed).
+        let ahead = rng.range(1, 4).min((targets.len() - committed) as u64);
+        for _ in 0..ahead {
+            btu.fetch_lookup(*pc);
+        }
+        // Arbitrary partition churn while speculation is in flight.
+        btu.switch_context(rng.range(1, 4));
+        btu.reassign(0, rng.range(0, config.partitions as u64) as usize);
+        if rng.range(0, 2) == 0 {
+            btu.flush();
+        }
+        // Squash: the next lookup must replay the committed position.
+        btu.squash();
+        let lookup = btu.fetch_lookup(*pc);
+        assert_eq!(
+            lookup.next_pc,
+            Some(targets[committed]),
+            "seed {seed}: replay must resume at committed execution {committed}"
+        );
+    }
+}
+
+/// Tournament confidence saturation: for any generated program and any
+/// threshold, exactly the first `threshold` executions of a crypto branch
+/// are speculative (BPU) and every later one is a replayed BTU redirect;
+/// the counter saturates at the threshold.
+#[test]
+fn generated_tournament_confidence_saturates_at_the_threshold() {
+    use cassandra::cpu::frontend::{BranchEvent, BranchSource, TournamentSource};
+    use cassandra::isa::instr::BranchKind;
+    for seed in 1..=CASES {
+        let mut rng = Rng::new(seed);
+        let outer = rng.range(2, 5);
+        let inner = rng.range(2, 5);
+        let program = common::nested_loop_program("generated", outer, inner);
+        let raw = cassandra::trace::collect::collect_raw_traces(&program, 100_000).unwrap();
+        let inner_pc = 3usize;
+        let targets: Vec<usize> = raw
+            .iter()
+            .find(|(pc, _)| **pc == inner_pc)
+            .map(|(_, t)| t.targets.clone())
+            .unwrap();
+        let bundle = generate_traces(&program, None, 100_000).unwrap();
+        let encoded = EncodedTraces::from_bundle(&program, &bundle);
+        let btu = BranchTraceUnit::new(BtuConfig::default(), encoded);
+        let threshold = rng.range(0, targets.len() as u64 + 2) as u32;
+        let config = cassandra::cpu::config::CpuConfig::golden_cove_like();
+        let mut src = TournamentSource::new(&program, &config, Some(btu), threshold);
+        for (i, &target) in targets.iter().enumerate() {
+            let event = BranchEvent {
+                pc: inner_pc,
+                kind: BranchKind::CondDirect,
+                taken: target != inner_pc + 1,
+                actual_target: target,
+                direct_target: Some(2),
+                fallthrough: inner_pc + 1,
+                is_crypto: true,
+            };
+            let decision = src.on_branch(&event);
+            src.on_commit(&event);
+            assert_eq!(
+                decision.opens_speculation_window,
+                (i as u32) < threshold,
+                "seed {seed}: execution {i}, threshold {threshold}"
+            );
+            assert_eq!(
+                src.confidence(inner_pc),
+                ((i + 1) as u32).min(threshold),
+                "seed {seed}: counter saturates at the threshold"
+            );
+        }
+        assert_eq!(
+            src.confidence(inner_pc),
+            threshold.min(targets.len() as u32),
+            "seed {seed}: saturated at min(threshold, executions)"
+        );
     }
 }
 

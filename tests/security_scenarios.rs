@@ -3,21 +3,14 @@
 //! Every scenario is evaluated by building the gadget twice with different
 //! secrets and comparing the attacker-visible data-access traces (which
 //! include wrong-path accesses). A design protects a scenario when equal
-//! sequential contract traces imply equal attacker-visible traces.
+//! sequential contract traces imply equal attacker-visible traces. The
+//! `verdict` helper lives in the shared `common` harness.
 
-use cassandra::core::security::{evaluate_scenario, ScenarioVerdict};
+mod common;
+
 use cassandra::kernels::gadgets::{BranchSite, LeakGadget};
 use cassandra::prelude::*;
-
-fn verdict(defense: DefenseMode, site: BranchSite, gadget: LeakGadget) -> ScenarioVerdict {
-    let cfg = CpuConfig::golden_cove_like().with_defense(defense);
-    evaluate_scenario(
-        &format!("{site:?}->{gadget:?}"),
-        |secret| cassandra::kernels::gadgets::scenario(site, gadget, secret),
-        &cfg,
-    )
-    .expect("scenario evaluation")
-}
+use common::verdict;
 
 /// Scenarios 1 and 2: crypto leak gadgets after a crypto branch must be
 /// protected by Cassandra (BTU-enforced sequential flow) but leak on the
@@ -107,10 +100,51 @@ fn scenario_8_software_isolation_needs_a_companion_defense() {
     );
 }
 
+/// The way-partitioned BTU changes Trace Cache residency, never replay:
+/// scenario-for-scenario it must match full Cassandra's verdicts exactly.
+#[test]
+fn partitioned_btu_matches_cassandras_verdicts() {
+    for site in [BranchSite::Crypto, BranchSite::NonCrypto] {
+        for gadget in [
+            LeakGadget::CryptoRegister,
+            LeakGadget::CryptoMemory,
+            LeakGadget::NonCryptoRegister,
+            LeakGadget::NonCryptoMemory,
+        ] {
+            let cass = verdict(DefenseMode::Cassandra, site, gadget);
+            let part = verdict(DefenseMode::CassandraPartitioned, site, gadget);
+            assert_eq!(
+                cass.is_protected(),
+                part.is_protected(),
+                "{site:?}->{gadget:?}"
+            );
+        }
+    }
+}
+
+/// The tournament's modeled security trade-off: a cold (once-executed)
+/// crypto branch is still BPU-predicted, so the Figure-5(a) register gadget
+/// leaks exactly as on the baseline — the deployment only protects branches
+/// hot enough to have earned a trace.
+#[test]
+fn tournament_cold_branches_leak_like_the_baseline() {
+    let v = verdict(
+        DefenseMode::Tournament,
+        BranchSite::Crypto,
+        LeakGadget::CryptoRegister,
+    );
+    assert!(v.contract_equal, "the gadget is constant-time");
+    assert!(
+        !v.is_protected(),
+        "a cold crypto branch must still leak transiently under Tournament"
+    );
+}
+
 /// The Listing-1 decryption loop: skipping the loop transiently would leak
 /// the secret on the baseline; Cassandra replays the loop sequentially.
 #[test]
 fn listing1_loop_skip_is_blocked_by_cassandra() {
+    use cassandra::core::security::evaluate_scenario;
     let cfg = CpuConfig::golden_cove_like().with_defense(DefenseMode::Cassandra);
     let verdict = evaluate_scenario(
         "listing1",
