@@ -214,6 +214,26 @@ impl EvaluatorBuilder {
 
 /// A reusable evaluation session: memoized Algorithm-2 analyses plus batched
 /// design-point sweeps. See the [module documentation](self).
+///
+/// ```
+/// use cassandra_core::eval::Evaluator;
+/// use cassandra_cpu::config::DefenseMode;
+/// use cassandra_kernels::suite;
+///
+/// let mut session = Evaluator::builder()
+///     .workload(suite::des_workload(4))
+///     .defense_matrix([DefenseMode::UnsafeBaseline, DefenseMode::Cassandra])
+///     .build();
+///
+/// let records = session.sweep()?;
+/// assert_eq!(records.len(), 2);
+///
+/// // Sweeping again reuses the memoized analysis: one miss, ever.
+/// session.sweep()?;
+/// assert_eq!(session.cache_stats().misses, 1);
+/// assert!(session.cache_stats().hits >= 1);
+/// # Ok::<(), cassandra_isa::error::IsaError>(())
+/// ```
 pub struct Evaluator {
     workloads: Arc<[Workload]>,
     designs: Arc<[DesignPoint]>,
@@ -360,7 +380,7 @@ impl Evaluator {
         analysis: Option<&AnalysisBundle>,
         config: &CpuConfig,
     ) -> Result<SimOutcome, IsaError> {
-        let btu = if config.defense.uses_btu() {
+        let btu = if config.resolved_policy().frontend.uses_btu() {
             analysis.map(|a| a.make_btu(config))
         } else {
             None

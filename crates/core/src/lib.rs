@@ -90,7 +90,7 @@ use cassandra_kernels::workload::Workload;
 use cassandra_trace::genproc::TraceBundle;
 
 pub use eval::{DesignPoint, EvalRecord, Evaluator};
-pub use policies::PolicyRegistry;
+pub use policies::{GridSweep, PolicyRegistry};
 pub use registry::{Experiment, ExperimentOutput, ExperimentRegistry};
 
 /// Default profiling step budget for trace generation.

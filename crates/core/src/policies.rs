@@ -1,7 +1,7 @@
-//! The defense-policy registry.
+//! The defense-policy registry and grid-sweep expansion.
 //!
 //! A registered policy is a named [`DesignPoint`]: a label plus the complete
-//! [`CpuConfig`](cassandra_cpu::config::CpuConfig) that realises it. The
+//! [`CpuConfig`] that realises it. The
 //! [`PolicyRegistry`] is how sweeps, the security experiment, reports and
 //! the example binaries enumerate the modelled defense scenarios — instead
 //! of hand-listing `DefenseMode` variants at every call site. The standard
@@ -9,9 +9,17 @@
 //! scenarios (different BTU geometry, memory latency, flush intervals, …)
 //! are additional registrations, exactly like the experiment registry of
 //! [`crate::registry`].
+//!
+//! [`GridSweep`] generates those custom registrations in bulk: a grid
+//! specification over the policy-parameterised knobs (tournament promotion
+//! threshold, BTU partition count, BTU geometry, Trace Cache miss penalty,
+//! mispredict redirect penalty) expands into one design point per grid cell,
+//! so fig7-style sensitivity frontiers come from a single sweep invocation
+//! instead of hand-built config lists.
 
 use crate::eval::DesignPoint;
-use cassandra_cpu::config::DefenseMode;
+use cassandra_cpu::config::{CpuConfig, DefenseMode};
+use serde::{Deserialize, Serialize};
 
 /// An enumerable, label-addressed collection of defense design points.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +37,16 @@ impl PolicyRegistry {
 
     /// One design point per modelled defense, over the Table-3 baseline, in
     /// [`DefenseMode::ALL`] reporting order.
+    ///
+    /// ```
+    /// use cassandra_core::policies::PolicyRegistry;
+    /// use cassandra_cpu::config::DefenseMode;
+    ///
+    /// let registry = PolicyRegistry::standard();
+    /// assert_eq!(registry.len(), DefenseMode::ALL.len());
+    /// let cassandra = registry.get("Cassandra").expect("registered");
+    /// assert_eq!(cassandra.config.defense, DefenseMode::Cassandra);
+    /// ```
     pub fn standard() -> Self {
         let mut registry = Self::new();
         for mode in DefenseMode::ALL {
@@ -41,6 +59,14 @@ impl PolicyRegistry {
     pub fn register(&mut self, design: DesignPoint) {
         self.designs.retain(|d| d.label != design.label);
         self.designs.push(design);
+    }
+
+    /// Adds every design point of `designs`, replacing same-labelled
+    /// entries (used to fold a [`GridSweep`] expansion into a registry).
+    pub fn register_all(&mut self, designs: impl IntoIterator<Item = DesignPoint>) {
+        for design in designs {
+            self.register(design);
+        }
     }
 
     /// The registered design points, in registration order.
@@ -91,6 +117,182 @@ impl IntoIterator for PolicyRegistry {
     }
 }
 
+// -------------------------------------------------------------- grid sweeps
+
+/// A sensitivity-sweep grid over the policy-parameterised knobs.
+///
+/// Each axis is a list of values to sweep; an **empty axis means "keep the
+/// Table-3 baseline value"** and contributes exactly one (non-)setting, so
+/// the expansion size is the product of the non-empty axes times the number
+/// of base defenses. Expansion is deterministic: defenses vary slowest, then
+/// (in order) tournament threshold, BTU partitions, BTU entries, miss
+/// penalty and redirect penalty. Labels come from
+/// [`CpuConfig::design_label`], so every grid cell is self-describing
+/// (`Tournament+thr8+btu8`, `Cassandra+miss40+redir12`, …) and two cells
+/// that resolve to the same configuration collapse onto one registry entry.
+///
+/// The threshold and partition axes act through
+/// [`CpuConfig::with_tournament_threshold`] /
+/// [`CpuConfig::with_btu_partitions`]: they override the policy the defense
+/// derives, and are simply ignored by frontends that never read them (a
+/// `Fence` point with a tournament threshold prices identically to plain
+/// `Fence`).
+///
+/// ```
+/// use cassandra_core::policies::GridSweep;
+/// use cassandra_cpu::config::DefenseMode;
+///
+/// let grid = GridSweep::over([DefenseMode::Tournament])
+///     .tournament_thresholds([2, 8])
+///     .btu_entries([8, 16]);
+/// assert_eq!(grid.len(), 4);
+///
+/// let registry = grid.expand();
+/// assert_eq!(
+///     registry.labels(),
+///     [
+///         "Tournament+btu8+thr2",
+///         "Tournament+thr2",
+///         "Tournament+btu8+thr8",
+///         "Tournament+thr8",
+///     ]
+/// );
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GridSweep {
+    /// Base defenses expanded at every grid cell.
+    pub defenses: Vec<DefenseMode>,
+    /// Tournament promotion-threshold axis.
+    pub tournament_thresholds: Vec<u32>,
+    /// BTU partition-count axis.
+    pub btu_partitions: Vec<usize>,
+    /// BTU entry-count (geometry) axis.
+    pub btu_entries: Vec<usize>,
+    /// Trace Cache miss-penalty axis (cycles).
+    pub miss_penalties: Vec<u64>,
+    /// Mispredict redirect-penalty axis (cycles).
+    pub redirect_penalties: Vec<u64>,
+}
+
+impl GridSweep {
+    /// A grid over `defenses` with every axis at its baseline value.
+    pub fn over(defenses: impl IntoIterator<Item = DefenseMode>) -> Self {
+        GridSweep {
+            defenses: defenses.into_iter().collect(),
+            ..GridSweep::default()
+        }
+    }
+
+    /// Sweeps the tournament promotion threshold over `values`.
+    #[must_use]
+    pub fn tournament_thresholds(mut self, values: impl IntoIterator<Item = u32>) -> Self {
+        self.tournament_thresholds = values.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the BTU partition count over `values`.
+    #[must_use]
+    pub fn btu_partitions(mut self, values: impl IntoIterator<Item = usize>) -> Self {
+        self.btu_partitions = values.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the BTU entry count over `values`.
+    #[must_use]
+    pub fn btu_entries(mut self, values: impl IntoIterator<Item = usize>) -> Self {
+        self.btu_entries = values.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the Trace Cache miss penalty over `values`.
+    #[must_use]
+    pub fn miss_penalties(mut self, values: impl IntoIterator<Item = u64>) -> Self {
+        self.miss_penalties = values.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the mispredict redirect penalty over `values`.
+    #[must_use]
+    pub fn redirect_penalties(mut self, values: impl IntoIterator<Item = u64>) -> Self {
+        self.redirect_penalties = values.into_iter().collect();
+        self
+    }
+
+    /// Number of grid cells (before same-label collapsing).
+    pub fn len(&self) -> usize {
+        fn axis(len: usize) -> usize {
+            len.max(1)
+        }
+        self.defenses.len()
+            * axis(self.tournament_thresholds.len())
+            * axis(self.btu_partitions.len())
+            * axis(self.btu_entries.len())
+            * axis(self.miss_penalties.len())
+            * axis(self.redirect_penalties.len())
+    }
+
+    /// True if the grid has no base defense (and therefore expands to
+    /// nothing).
+    pub fn is_empty(&self) -> bool {
+        self.defenses.is_empty()
+    }
+
+    /// The grid cells as design points, in expansion order (defense-major).
+    pub fn design_points(&self) -> Vec<DesignPoint> {
+        fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().copied().map(Some).collect()
+            }
+        }
+        let thresholds = axis(&self.tournament_thresholds);
+        let partitions = axis(&self.btu_partitions);
+        let entries = axis(&self.btu_entries);
+        let misses = axis(&self.miss_penalties);
+        let redirects = axis(&self.redirect_penalties);
+
+        let mut points = Vec::with_capacity(self.len());
+        for &defense in &self.defenses {
+            for &thr in &thresholds {
+                for &part in &partitions {
+                    for &ent in &entries {
+                        for &miss in &misses {
+                            for &redir in &redirects {
+                                let mut cfg = CpuConfig::golden_cove_like().with_defense(defense);
+                                if let Some(t) = thr {
+                                    cfg = cfg.with_tournament_threshold(t);
+                                }
+                                if let Some(p) = part {
+                                    cfg = cfg.with_btu_partitions(p);
+                                }
+                                if let Some(e) = ent {
+                                    cfg = cfg.with_btu_entries(e);
+                                }
+                                if let Some(m) = miss {
+                                    cfg = cfg.with_btu_miss_penalty(m);
+                                }
+                                if let Some(r) = redir {
+                                    cfg = cfg.with_mispredict_redirect_penalty(r);
+                                }
+                                points.push(DesignPoint::from_config(cfg));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Expands the grid into a registry (same-labelled cells collapse).
+    pub fn expand(&self) -> PolicyRegistry {
+        let mut registry = PolicyRegistry::new();
+        registry.register_all(self.design_points());
+        registry
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +324,66 @@ mod tests {
         registry.register(tweaked.clone());
         assert_eq!(registry.len(), n);
         assert_eq!(registry.get("Cassandra"), Some(&tweaked));
+    }
+
+    #[test]
+    fn grid_sweep_expands_the_axis_product() {
+        let grid = GridSweep::over([DefenseMode::Cassandra, DefenseMode::Tournament])
+            .miss_penalties([10, 20, 40])
+            .redirect_penalties([6, 12]);
+        assert_eq!(grid.len(), 12);
+        let points = grid.design_points();
+        assert_eq!(points.len(), 12);
+        // Defense-major, then miss penalty, then redirect penalty.
+        assert_eq!(points[0].config.defense, DefenseMode::Cassandra);
+        assert_eq!(points[0].config.btu.miss_penalty, 10);
+        assert_eq!(points[0].config.mispredict_redirect_penalty, 6);
+        assert_eq!(points[1].config.mispredict_redirect_penalty, 12);
+        assert_eq!(points[6].config.defense, DefenseMode::Tournament);
+        // Baseline values (miss 20, redirect 6) contribute no suffix.
+        assert_eq!(points[2].label, "Cassandra");
+        assert_eq!(points[11].label, "Tournament+redir12+miss40");
+    }
+
+    #[test]
+    fn grid_sweep_cells_collapse_by_label_on_expand() {
+        // Overriding Cassandra-part's partition count with its own default
+        // (2) resolves to the registered baseline config: both cells share
+        // one label and the expansion dedupes them.
+        let grid = GridSweep::over([DefenseMode::CassandraPartitioned]).btu_partitions([2, 4]);
+        assert_eq!(grid.len(), 2);
+        let registry = grid.expand();
+        assert_eq!(
+            registry.labels(),
+            ["Cassandra-part", "Cassandra-part+part4"]
+        );
+        let baseline = registry.get("Cassandra-part").unwrap();
+        assert_eq!(
+            baseline.config.resolved_policy(),
+            DefenseMode::CassandraPartitioned.policy()
+        );
+    }
+
+    #[test]
+    fn empty_grid_expands_to_nothing() {
+        let grid = GridSweep::default().tournament_thresholds([1, 2, 3]);
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 0);
+        assert!(grid.expand().is_empty());
+    }
+
+    #[test]
+    fn grid_sweep_round_trips_through_serde() {
+        let grid = GridSweep::over([DefenseMode::Tournament])
+            .tournament_thresholds([2, 8])
+            .btu_partitions([1, 2])
+            .btu_entries([8])
+            .miss_penalties([40])
+            .redirect_penalties([12]);
+        let json = serde_json::to_string(&grid).unwrap();
+        let back: GridSweep = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, grid);
+        assert_eq!(back.expand().labels(), grid.expand().labels());
     }
 
     #[test]

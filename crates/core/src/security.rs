@@ -52,7 +52,7 @@ const GADGET_STEP_LIMIT: u64 = 10_000_000;
 ///
 /// Propagates analysis or simulation errors.
 pub fn observe(program: &Program, config: &CpuConfig) -> Result<LeakageObservation, IsaError> {
-    let analysis: Option<AnalysisBundle> = if config.defense.uses_btu() {
+    let analysis: Option<AnalysisBundle> = if config.resolved_policy().frontend.uses_btu() {
         Some(analyze_program(program, GADGET_STEP_LIMIT)?)
     } else {
         None
@@ -75,7 +75,7 @@ pub fn observe_with(
     program: &Program,
     config: &CpuConfig,
 ) -> Result<LeakageObservation, IsaError> {
-    let analysis = if config.defense.uses_btu() {
+    let analysis = if config.resolved_policy().frontend.uses_btu() {
         Some(ev.analyze_program(program, GADGET_STEP_LIMIT)?)
     } else {
         None

@@ -232,6 +232,13 @@ pub struct CpuConfig {
     pub rsb_entries: usize,
     /// The defense configuration being simulated.
     pub defense: DefenseMode,
+    /// Optional per-configuration override of the policy derived from
+    /// `defense`. `None` (the default) resolves `defense.policy()` at
+    /// `Simulator::new`; sensitivity sweeps set this through the
+    /// [`CpuConfig::with_tournament_threshold`] /
+    /// [`CpuConfig::with_btu_partitions`] builders to vary policy knobs
+    /// without introducing a new [`DefenseMode`] per grid point.
+    pub policy_override: Option<DefensePolicy>,
     /// BTU geometry (used by the Cassandra modes).
     pub btu: BtuConfig,
     /// If non-zero, a context switch happens every `btu_flush_interval`
@@ -289,6 +296,7 @@ impl CpuConfig {
             btb_entries: 4096,
             rsb_entries: 32,
             defense: DefenseMode::UnsafeBaseline,
+            policy_override: None,
             btu: BtuConfig::default(),
             btu_flush_interval: 0,
             btu_switch_contexts: 0,
@@ -296,9 +304,58 @@ impl CpuConfig {
         }
     }
 
-    /// The same configuration with a different defense.
+    /// The same configuration with a different defense. Clears any policy
+    /// override: the defense defines the policy unless a `with_*` policy
+    /// builder is applied *afterwards*.
     pub fn with_defense(mut self, defense: DefenseMode) -> Self {
         self.defense = defense;
+        self.policy_override = None;
+        self
+    }
+
+    /// The policy the pipeline will resolve at construction: the override if
+    /// one is set, otherwise the policy derived from the configured defense.
+    pub fn resolved_policy(&self) -> DefensePolicy {
+        self.policy_override
+            .unwrap_or_else(|| self.defense.policy())
+    }
+
+    /// The same configuration with the tournament frontend's promotion
+    /// threshold overridden (how many executions a crypto branch needs
+    /// before its BTU trace is trusted over the BPU). Only read by
+    /// [`FrontendKind::Tournament`] sources; apply after
+    /// [`CpuConfig::with_defense`].
+    pub fn with_tournament_threshold(mut self, threshold: u32) -> Self {
+        self.policy_override = Some(self.resolved_policy().with_tournament_threshold(threshold));
+        self
+    }
+
+    /// The same configuration with the BTU's Trace Cache ways split into
+    /// `partitions` per-context partitions (the Q4 partition-reassignment
+    /// model). Apply after [`CpuConfig::with_defense`].
+    pub fn with_btu_partitions(mut self, partitions: usize) -> Self {
+        self.policy_override = Some(self.resolved_policy().with_btu_partitions(partitions));
+        self
+    }
+
+    /// The same configuration with a different BTU entry count (Pattern
+    /// Table / Trace Cache / Checkpoint Table entries).
+    pub fn with_btu_entries(mut self, entries: usize) -> Self {
+        self.btu.entries = entries;
+        self
+    }
+
+    /// The same configuration with a different Trace Cache miss penalty
+    /// (extra frontend cycles when a multi-target trace streams from the
+    /// data pages).
+    pub fn with_btu_miss_penalty(mut self, penalty: u64) -> Self {
+        self.btu.miss_penalty = penalty;
+        self
+    }
+
+    /// The same configuration with a different mispredict redirect penalty.
+    pub fn with_mispredict_redirect_penalty(mut self, penalty: u64) -> Self {
+        self.mispredict_redirect_penalty = penalty;
         self
     }
 
@@ -337,7 +394,10 @@ impl CpuConfig {
     }
 
     /// A short label describing how this configuration differs from the
-    /// Table-3 baseline — used by design-point sweeps to name columns.
+    /// Table-3 baseline — used by design-point sweeps to name columns. Every
+    /// swept knob contributes its own suffix (`+flush`, `+ctx`, `+mem`,
+    /// `+redir`, `+btu`, `+miss`, `+thr`, `+part`, `+tc`), so grid-expanded
+    /// design points get distinct, self-describing labels.
     pub fn design_label(&self) -> String {
         let mut label = self.defense.label().to_string();
         if self.btu_flush_interval != 0 {
@@ -350,8 +410,35 @@ impl CpuConfig {
         if self.memory_latency != base.memory_latency {
             label.push_str(&format!("+mem{}", self.memory_latency));
         }
-        if self.btu != base.btu {
-            label.push_str("+btu");
+        if self.mispredict_redirect_penalty != base.mispredict_redirect_penalty {
+            label.push_str(&format!("+redir{}", self.mispredict_redirect_penalty));
+        }
+        if self.btu.entries != base.btu.entries {
+            label.push_str(&format!("+btu{}", self.btu.entries));
+        }
+        if self.btu.miss_penalty != base.btu.miss_penalty {
+            label.push_str(&format!("+miss{}", self.btu.miss_penalty));
+        }
+        if self.btu.partitions != base.btu.partitions {
+            label.push_str(&format!("+part{}", self.btu.partitions));
+        }
+        if let Some(over) = self.policy_override {
+            let derived = self.defense.policy();
+            if over.tournament_threshold != derived.tournament_threshold {
+                if let Some(t) = over.tournament_threshold {
+                    label.push_str(&format!("+thr{t}"));
+                }
+            }
+            if over.btu_partitions != derived.btu_partitions {
+                if let Some(p) = over.btu_partitions {
+                    label.push_str(&format!("+part{p}"));
+                }
+            }
+            if over.trace_cache_entries != derived.trace_cache_entries {
+                if let Some(e) = over.trace_cache_entries {
+                    label.push_str(&format!("+tc{e}"));
+                }
+            }
         }
         label
     }
@@ -455,5 +542,53 @@ mod tests {
     fn with_defense_builder() {
         let c = CpuConfig::golden_cove_like().with_defense(DefenseMode::Spt);
         assert_eq!(c.defense, DefenseMode::Spt);
+    }
+
+    #[test]
+    fn policy_override_builders_resolve_and_label() {
+        let base = CpuConfig::golden_cove_like().with_defense(DefenseMode::Tournament);
+        assert_eq!(base.resolved_policy(), DefenseMode::Tournament.policy());
+        assert_eq!(base.design_label(), "Tournament");
+
+        let cfg = base.with_tournament_threshold(8).with_btu_partitions(4);
+        let policy = cfg.resolved_policy();
+        assert_eq!(policy.tournament_threshold, Some(8));
+        assert_eq!(policy.btu_partitions, Some(4));
+        // Unrelated policy bits stay as the defense derived them.
+        assert_eq!(policy.frontend, DefenseMode::Tournament.policy().frontend);
+        assert_eq!(cfg.design_label(), "Tournament+thr8+part4");
+
+        // with_defense resets the override: the defense defines the policy.
+        let reset = cfg.with_defense(DefenseMode::Cassandra);
+        assert_eq!(reset.policy_override, None);
+        assert_eq!(reset.resolved_policy(), DefenseMode::Cassandra.policy());
+    }
+
+    #[test]
+    fn geometry_and_penalty_builders_shape_the_label() {
+        let cfg = CpuConfig::golden_cove_like()
+            .with_defense(DefenseMode::Cassandra)
+            .with_btu_entries(8)
+            .with_btu_miss_penalty(40)
+            .with_mispredict_redirect_penalty(12);
+        assert_eq!(cfg.btu.entries, 8);
+        assert_eq!(cfg.btu.miss_penalty, 40);
+        assert_eq!(cfg.mispredict_redirect_penalty, 12);
+        assert_eq!(cfg.design_label(), "Cassandra+redir12+btu8+miss40");
+    }
+
+    #[test]
+    fn override_matching_the_derived_policy_adds_no_suffix() {
+        // Cassandra-part derives btu_partitions = Some(2); overriding with
+        // the same count must not change the label (grid points collapse
+        // onto the registered baseline instead of duplicating it).
+        let cfg = CpuConfig::golden_cove_like()
+            .with_defense(DefenseMode::CassandraPartitioned)
+            .with_btu_partitions(DefenseMode::PARTITIONED_BTU_CONTEXTS);
+        assert_eq!(cfg.design_label(), "Cassandra-part");
+        assert_eq!(
+            cfg.resolved_policy(),
+            DefenseMode::CassandraPartitioned.policy()
+        );
     }
 }

@@ -120,7 +120,7 @@ impl<'p> Simulator<'p> {
         }
         let mut regs = [0u64; NUM_REGS];
         regs[SP.index()] = STACK_TOP;
-        let policy = config.defense.policy();
+        let policy = config.resolved_policy();
         let mut frontend = frontend::build_source(program, &config, &policy, btu);
         if config.btu_switch_contexts > 0 {
             // Register the initial context on its partition up front, so the

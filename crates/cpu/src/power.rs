@@ -82,7 +82,7 @@ pub fn power_area_report(config: &CpuConfig, stats: &SimStats) -> PowerAreaRepor
     let btu_accesses = stats.btu.lookups as f64 + stats.btu.commits as f64;
     let mem_accesses = (stats.caches.l1d.accesses) as f64;
 
-    let has_btu = config.defense.uses_btu();
+    let has_btu = config.resolved_policy().frontend.uses_btu();
 
     let fetch_dynamic =
         instructions * ENERGY_FETCH_PER_INSTR + bpu_accesses * ENERGY_BPU_PER_ACCESS;

@@ -1,0 +1,111 @@
+//! A small blocking client for the wire protocol, used by the `connect`
+//! subcommand of the example driver and by the loopback tests.
+
+use crate::protocol::{self, Request, Response};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One client connection. Requests are synchronous: send a line, then read
+/// response lines until the terminal one (see [`Response::is_terminal`]).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line without waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        self.send_raw(&protocol::encode(request))
+    }
+
+    /// Sends a raw line (no validation — this is how the tests exercise the
+    /// server's error envelope).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the server hung up, `InvalidData` on an
+    /// unparseable response, and propagated socket errors otherwise.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if !line.trim().is_empty() {
+                break;
+            }
+        }
+        protocol::decode(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })
+    }
+
+    /// Sends one request and collects its full response stream (zero or
+    /// more `Record`s followed by one terminal response).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send`] / [`Client::recv`] errors.
+    pub fn request(&mut self, request: &Request) -> io::Result<Vec<Response>> {
+        self.send(request)?;
+        self.collect_stream()
+    }
+
+    /// Sends a raw line and collects its full response stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send_raw`] / [`Client::recv`] errors.
+    pub fn request_raw(&mut self, line: &str) -> io::Result<Vec<Response>> {
+        self.send_raw(line)?;
+        self.collect_stream()
+    }
+
+    fn collect_stream(&mut self) -> io::Result<Vec<Response>> {
+        let mut responses = Vec::new();
+        loop {
+            let response = self.recv()?;
+            let terminal = response.is_terminal();
+            responses.push(response);
+            if terminal {
+                return Ok(responses);
+            }
+        }
+    }
+}

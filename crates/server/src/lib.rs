@@ -1,0 +1,42 @@
+//! # cassandra-server
+//!
+//! The batch evaluation service of the Cassandra reproduction: a
+//! long-running TCP server holding **one** [`EvalService`] session, so the
+//! fingerprint-memoized Algorithm-2 analyses of
+//! [`cassandra_core::eval::Evaluator`] are shared across every client and
+//! request — the expensive half of an evaluation runs once per distinct
+//! program for the server's whole lifetime.
+//!
+//! The environment is fully offline, so the transport is deliberately
+//! boring: `std::net` sockets, a fixed worker-thread pool, and
+//! newline-delimited JSON framed with the vendored `serde_json` shim. The
+//! wire format is documented message-by-message in `docs/PROTOCOL.md`;
+//! requests cover session introspection (`Ping`, `ListPolicies`,
+//! `ListWorkloads`), workload ingestion (`Submit`), design-matrix
+//! evaluation (`Sweep`) and grid expansion over the policy-parameterised
+//! knobs (`GridSweep`, built on [`cassandra_core::policies::GridSweep`]).
+//! Sweep responses stream one `EvalRecord` per line and close with a
+//! summary carrying the session's cache counters and the same plain-text
+//! report offline `Experiment` runs render.
+//!
+//! ```
+//! use cassandra_server::{serve, Client, EvalService, Request, Response};
+//!
+//! let handle = serve("127.0.0.1:0", EvalService::new(), 2)?;
+//! let mut client = Client::connect(handle.addr())?;
+//! let responses = client.request(&Request::Ping)?;
+//! assert!(matches!(responses[0], Response::Pong { .. }));
+//! client.request(&Request::Shutdown)?;
+//! handle.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use client::Client;
+pub use protocol::{GridSpec, Request, Response, SweepSummary, WorkloadSpec, PROTOCOL_VERSION};
+pub use server::{serve, ServerHandle};
+pub use service::EvalService;

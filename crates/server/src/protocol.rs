@@ -1,0 +1,315 @@
+//! The wire protocol: request/response types and newline-delimited JSON
+//! framing.
+//!
+//! Every message is one JSON value on one line (`\n`-terminated, no
+//! newlines inside a message — the vendored `serde_json` never emits them
+//! in compact mode). Requests and responses are externally tagged serde
+//! enums: unit variants are bare JSON strings (`"Ping"`), data variants are
+//! single-entry objects (`{"Submit": {...}}`). The full format, with a
+//! literal example per message type, is documented in `docs/PROTOCOL.md`.
+//!
+//! Wire-level strings name things the way the CLI does: defense design
+//! points by their [`DefenseMode::label`] (`"Cassandra-part"`, not the Rust
+//! variant name) and workloads by their paper name (`"ChaCha20_ct"`).
+
+use cassandra_core::eval::{CacheStats, EvalRecord};
+use cassandra_core::policies::GridSweep;
+use cassandra_cpu::config::DefenseMode;
+use serde::{Deserialize, Serialize};
+
+/// Protocol revision reported by [`Response::Pong`]; bumped on breaking wire
+/// changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// How a [`Request::Submit`] names the workload to ingest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// A named program from the paper's evaluation suite
+    /// (`cassandra_kernels::suite::full_suite`), e.g. `"ChaCha20_ct"`,
+    /// `"kyber512"`, `"RSA_i62"`.
+    Suite {
+        /// The suite workload name (Table-1 spelling).
+        name: String,
+    },
+    /// A kernel family instantiated at a given size, optionally renamed.
+    Kernel {
+        /// Kernel family id: `chacha20`, `sha256`, `aes128`, `des`,
+        /// `poly1305`, `modexp`, `x25519`, `kyber` or `sphincs`.
+        family: String,
+        /// Input size (stream/message bytes, or block count for `des`);
+        /// ignored by the fixed-shape families (`modexp`, `x25519`,
+        /// `kyber`, `sphincs`).
+        size: u64,
+        /// Optional name for the ingested workload (defaults to the
+        /// family's suite name).
+        name: Option<String>,
+    },
+}
+
+/// The wire form of a [`GridSweep`]: defense design points are named by
+/// label and every axis is listed explicitly (empty = keep the Table-3
+/// baseline value for that knob).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Base defense labels (`"Cassandra"`, `"Tournament"`, …), parsed with
+    /// [`DefenseMode`]'s `FromStr`. Must be non-empty.
+    pub defenses: Vec<String>,
+    /// Tournament promotion-threshold axis.
+    pub tournament_thresholds: Vec<u32>,
+    /// BTU partition-count axis.
+    pub btu_partitions: Vec<usize>,
+    /// BTU entry-count axis.
+    pub btu_entries: Vec<usize>,
+    /// Trace Cache miss-penalty axis (cycles).
+    pub miss_penalties: Vec<u64>,
+    /// Mispredict redirect-penalty axis (cycles).
+    pub redirect_penalties: Vec<u64>,
+}
+
+impl GridSpec {
+    /// Parses the defense labels and builds the typed grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an empty defense list or an
+    /// unknown label.
+    pub fn to_grid(&self) -> Result<GridSweep, String> {
+        if self.defenses.is_empty() {
+            return Err("GridSweep requires at least one defense label".to_string());
+        }
+        let defenses: Vec<DefenseMode> = self
+            .defenses
+            .iter()
+            .map(|label| label.parse::<DefenseMode>().map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        Ok(GridSweep::over(defenses)
+            .tournament_thresholds(self.tournament_thresholds.iter().copied())
+            .btu_partitions(self.btu_partitions.iter().copied())
+            .btu_entries(self.btu_entries.iter().copied())
+            .miss_penalties(self.miss_penalties.iter().copied())
+            .redirect_penalties(self.redirect_penalties.iter().copied()))
+    }
+}
+
+/// One client request (one line on the wire).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness / version check. → [`Response::Pong`].
+    Ping,
+    /// Enumerate the registered design points. → [`Response::Policies`].
+    ListPolicies,
+    /// Enumerate the ingested workloads. → [`Response::Workloads`].
+    ListWorkloads,
+    /// Ingest a workload into the session. → [`Response::Submitted`].
+    Submit {
+        /// What to ingest.
+        spec: WorkloadSpec,
+    },
+    /// Evaluate workloads × registered policies. → a stream of
+    /// [`Response::Record`] followed by [`Response::Done`].
+    Sweep {
+        /// Submitted workload names; empty = every submitted workload.
+        workloads: Vec<String>,
+        /// Registered policy labels; empty = every registered policy.
+        policies: Vec<String>,
+    },
+    /// Expand a parameter grid into design points (registered into the
+    /// session's policy registry) and evaluate workloads × grid. → a stream
+    /// of [`Response::Record`] followed by [`Response::Done`].
+    GridSweep {
+        /// Submitted workload names; empty = every submitted workload.
+        workloads: Vec<String>,
+        /// The grid specification.
+        grid: GridSpec,
+    },
+    /// Stop the server after this response. → [`Response::ShuttingDown`].
+    Shutdown,
+}
+
+/// Metadata closing a sweep response stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Number of [`Response::Record`] lines streamed before this summary.
+    pub records: usize,
+    /// Labels of the design points evaluated, in record (column) order.
+    pub designs: Vec<String>,
+    /// Analysis-cache counters of the server's session *after* this sweep —
+    /// a repeated identical request shows pure hits here.
+    pub cache: CacheStats,
+    /// Distinct programs analyzed by the session so far.
+    pub analyzed_programs: usize,
+    /// The same plain-text rendering offline runs print
+    /// (`cassandra_core::report::render_text` over the record stream).
+    pub report: String,
+}
+
+/// One server response (one line on the wire).
+// Record dominates the enum's size by design: it is the streamed payload
+// and exists in bulk; boxing it would only add indirection (and the
+// vendored serde shim does not derive through `Box`).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Liveness reply carrying [`PROTOCOL_VERSION`].
+    Pong {
+        /// The server's protocol revision.
+        protocol: u32,
+    },
+    /// The registered design-point labels, in registration order.
+    Policies {
+        /// Policy labels (also valid in [`Request::Sweep`]).
+        labels: Vec<String>,
+    },
+    /// The ingested workload names, in submission order.
+    Workloads {
+        /// Workload names (also valid in sweep requests).
+        names: Vec<String>,
+    },
+    /// A workload was ingested (or replaced an identically named one).
+    Submitted {
+        /// The workload's name inside the session.
+        name: String,
+        /// Its library group (`BearSSL`, `OpenSSL`, `PQC`, `Synthetic`).
+        group: String,
+    },
+    /// One evaluation record of a streaming sweep response.
+    Record(EvalRecord),
+    /// End of a sweep stream, with session metadata.
+    Done(SweepSummary),
+    /// Acknowledgement of [`Request::Shutdown`]; the server stops accepting
+    /// connections after sending it.
+    ShuttingDown,
+    /// The error envelope: the request could not be parsed or served. The
+    /// connection stays usable.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// True for every response that terminates a request's reply stream
+    /// (everything except [`Response::Record`]).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Response::Record(_))
+    }
+}
+
+/// Encodes one message as its single-line wire form (no trailing newline).
+pub fn encode<T: Serialize>(message: &T) -> String {
+    serde_json::to_string(message).expect("vendored serde_json is infallible")
+}
+
+/// Decodes one wire line into a message.
+///
+/// # Errors
+///
+/// Returns the underlying serde error on malformed JSON or a shape
+/// mismatch.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, serde_json::Error> {
+    serde_json::from_str(line.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_requests_are_bare_strings() {
+        assert_eq!(encode(&Request::Ping), "\"Ping\"");
+        assert_eq!(encode(&Request::ListPolicies), "\"ListPolicies\"");
+        assert_eq!(
+            decode::<Request>("\"Shutdown\"").unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Ping,
+            Request::ListPolicies,
+            Request::ListWorkloads,
+            Request::Submit {
+                spec: WorkloadSpec::Suite {
+                    name: "ChaCha20_ct".to_string(),
+                },
+            },
+            Request::Submit {
+                spec: WorkloadSpec::Kernel {
+                    family: "sha256".to_string(),
+                    size: 128,
+                    name: Some("my-hash".to_string()),
+                },
+            },
+            Request::Sweep {
+                workloads: vec!["ChaCha20_ct".to_string()],
+                policies: vec!["Cassandra".to_string(), "Fence".to_string()],
+            },
+            Request::GridSweep {
+                workloads: Vec::new(),
+                grid: GridSpec {
+                    defenses: vec!["Tournament".to_string()],
+                    tournament_thresholds: vec![2, 8],
+                    btu_partitions: Vec::new(),
+                    btu_entries: vec![8],
+                    miss_penalties: Vec::new(),
+                    redirect_penalties: Vec::new(),
+                },
+            },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = encode(&request);
+            assert!(!line.contains('\n'), "framing must stay single-line");
+            assert_eq!(decode::<Request>(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn grid_spec_parses_defense_labels() {
+        let spec = GridSpec {
+            defenses: vec!["Cassandra-part".to_string(), "tournament".to_string()],
+            tournament_thresholds: vec![4],
+            btu_partitions: vec![2, 4],
+            btu_entries: Vec::new(),
+            miss_penalties: Vec::new(),
+            redirect_penalties: Vec::new(),
+        };
+        let grid = spec.to_grid().unwrap();
+        assert_eq!(
+            grid.defenses,
+            [DefenseMode::CassandraPartitioned, DefenseMode::Tournament]
+        );
+        assert_eq!(grid.len(), 4, "2 defenses x 1 threshold x 2 partitions");
+    }
+
+    #[test]
+    fn grid_spec_rejects_bad_input() {
+        let empty = GridSpec {
+            defenses: Vec::new(),
+            tournament_thresholds: Vec::new(),
+            btu_partitions: Vec::new(),
+            btu_entries: Vec::new(),
+            miss_penalties: Vec::new(),
+            redirect_penalties: Vec::new(),
+        };
+        assert!(empty.to_grid().unwrap_err().contains("at least one"));
+        let unknown = GridSpec {
+            defenses: vec!["NotADefense".to_string()],
+            ..empty
+        };
+        assert!(unknown.to_grid().unwrap_err().contains("NotADefense"));
+    }
+
+    #[test]
+    fn error_envelope_round_trips() {
+        let resp = Response::Error {
+            message: "invalid request: expected `,` or `}` in JSON object".to_string(),
+        };
+        let line = encode(&resp);
+        assert!(line.starts_with("{\"Error\""));
+        assert_eq!(decode::<Response>(&line).unwrap(), resp);
+        assert!(resp.is_terminal());
+    }
+}

@@ -1,0 +1,240 @@
+//! The TCP front of the evaluation service: a `std::net` listener, a fixed
+//! worker-thread pool and per-connection newline-delimited JSON framing.
+//!
+//! Design constraints (see the crate docs): the build environment is
+//! offline, so there is no async runtime — the server is a plain blocking
+//! accept loop handing connections to `threads` workers over an mpsc
+//! channel. All requests serialize on one `Mutex<EvalService>`: the session
+//! (and its analysis cache) is the shared resource, while each individual
+//! sweep still simulates its design matrix in parallel inside
+//! `Evaluator::sweep_matrix` (with the default `parallel` feature).
+//!
+//! Shutdown is cooperative: [`ServerHandle::shutdown`] (or a client
+//! `Shutdown` request) raises a flag; the accept loop polls it between
+//! non-blocking accepts and idle connections notice it through their read
+//! timeout, so [`ServerHandle::join`] returns promptly with no dangling
+//! threads.
+
+use crate::protocol::{self, Request, Response};
+use crate::service::EvalService;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Poll interval of the non-blocking accept loop and the per-connection
+/// read timeout; bounds how long shutdown can lag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Per-write timeout on response frames: a stalled reader costs at most
+/// this long per write before its connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running server: its bound address plus the shutdown/join controls.
+/// Dropping the handle shuts the server down and joins its threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raises the shutdown flag; the accept loop and idle connections stop
+    /// within one poll interval.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the accept loop and every worker have exited (after
+    /// [`ServerHandle::shutdown`] or a client `Shutdown` request).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            handle.join().expect("server accept thread panicked");
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `service` on a pool of `threads` connection
+/// workers until shut down. Returns immediately; the listener runs on
+/// background threads.
+///
+/// # Errors
+///
+/// Propagates socket errors from binding the listener.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    service: EvalService,
+    threads: usize,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let service = Arc::new(Mutex::new(service));
+
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        thread::spawn(move || accept_loop(listener, service, shutdown, threads.max(1)))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<Mutex<EvalService>>,
+    shutdown: Arc<AtomicBool>,
+    threads: usize,
+) {
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..threads)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || worker_loop(&rx, &service, &shutdown))
+        })
+        .collect();
+
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Send only fails once every worker is gone; stop accepting.
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => break,
+        }
+    }
+    drop(tx); // Unblocks workers waiting on the channel.
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    service: &Mutex<EvalService>,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        // Holding the lock across recv is fine: exactly one idle worker
+        // waits on the channel, the rest queue on the mutex.
+        let stream = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(stream) => {
+                let _ = handle_connection(stream, service, shutdown);
+            }
+            Err(_) => return, // Channel closed: the server is shutting down.
+        }
+    }
+}
+
+/// Serves one client connection: reads one request per line, streams the
+/// response lines, keeps the connection open across requests.
+fn handle_connection(
+    stream: TcpStream,
+    service: &Mutex<EvalService>,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    // BSD-derived platforms let accepted sockets inherit the listener's
+    // non-blocking mode; force blocking so the read timeout below governs
+    // the idle poll instead of a busy WouldBlock spin.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    // Bound writes so a client that stops reading mid-stream errors this
+    // connection out instead of blocking a worker (and the service lock)
+    // forever on a full send buffer.
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF: client hung up.
+            Ok(_) => {
+                let taken = std::mem::take(&mut line);
+                let trimmed = taken.trim();
+                if !trimmed.is_empty() {
+                    serve_request(trimmed, service, shutdown, &mut writer)?;
+                    if shutdown.load(Ordering::Relaxed) {
+                        return Ok(());
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle poll; `line` keeps any partial read. Stop waiting for
+                // more input once shutdown is raised.
+                if shutdown.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve_request(
+    line: &str,
+    service: &Mutex<EvalService>,
+    shutdown: &AtomicBool,
+    writer: &mut TcpStream,
+) -> io::Result<()> {
+    match protocol::decode::<Request>(line) {
+        Ok(request) => {
+            let is_shutdown = matches!(request, Request::Shutdown);
+            {
+                let mut service = service
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                service.handle(request, &mut |response| write_response(writer, &response))?;
+            }
+            if is_shutdown {
+                shutdown.store(true, Ordering::Relaxed);
+            }
+            Ok(())
+        }
+        Err(e) => write_response(
+            writer,
+            &Response::Error {
+                message: format!("invalid request: {e}"),
+            },
+        ),
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut frame = protocol::encode(response);
+    frame.push('\n');
+    writer.write_all(frame.as_bytes())?;
+    writer.flush()
+}

@@ -1,0 +1,471 @@
+//! The request handler: one long-lived evaluation session behind the wire
+//! protocol.
+//!
+//! An [`EvalService`] owns the server's [`Evaluator`] — the same session
+//! type offline drivers use — so every analysis is memoized by program
+//! fingerprint and shared across *all* client requests: the second client
+//! to sweep a workload pays zero analysis time, observable through the
+//! [`SweepSummary::cache`] counters. It also owns the session's
+//! [`PolicyRegistry`] (seeded with the standard design points) and the set
+//! of submitted workloads. `GridSweep` requests expand into registry
+//! entries, so grid-discovered design points stay addressable by label in
+//! later `Sweep` requests.
+//!
+//! The service is transport-agnostic: [`EvalService::handle`] maps one
+//! [`Request`] to a stream of [`Response`]s through a caller-provided sink,
+//! and the loopback tests drive it both in-process and over TCP.
+
+use crate::protocol::{Request, Response, SweepSummary, WorkloadSpec, PROTOCOL_VERSION};
+use cassandra_core::eval::{DesignPoint, Evaluator};
+use cassandra_core::policies::PolicyRegistry;
+use cassandra_core::registry::ExperimentOutput;
+use cassandra_core::report;
+use cassandra_kernels::suite;
+use cassandra_kernels::workload::Workload;
+use std::io;
+
+/// A sink receiving the response stream of one request.
+pub type ResponseSink<'a> = dyn FnMut(Response) -> io::Result<()> + 'a;
+
+/// The server-side evaluation session: a memoized [`Evaluator`], the policy
+/// registry and the submitted workload set. See the
+/// [module documentation](self).
+pub struct EvalService {
+    evaluator: Evaluator,
+    policies: PolicyRegistry,
+    workloads: Vec<Workload>,
+}
+
+impl Default for EvalService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalService {
+    /// A fresh session: the standard policy registry, no workloads ingested
+    /// yet, an empty analysis cache.
+    pub fn new() -> Self {
+        EvalService {
+            evaluator: Evaluator::new(),
+            policies: PolicyRegistry::standard(),
+            workloads: Vec::new(),
+        }
+    }
+
+    /// The session's evaluator (for cache introspection).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// The session's policy registry (standard entries plus every grid
+    /// expansion served so far).
+    pub fn policies(&self) -> &PolicyRegistry {
+        &self.policies
+    }
+
+    /// Names of the workloads ingested so far, in submission order.
+    pub fn workload_names(&self) -> Vec<String> {
+        self.workloads.iter().map(|w| w.name.clone()).collect()
+    }
+
+    /// Serves one request, writing the response stream to `sink`. Protocol
+    /// and evaluation failures become [`Response::Error`] envelopes; `Err`
+    /// is reserved for sink (I/O) failures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors returned by `sink`.
+    pub fn handle(&mut self, request: Request, sink: &mut ResponseSink<'_>) -> io::Result<()> {
+        match request {
+            Request::Ping => sink(Response::Pong {
+                protocol: PROTOCOL_VERSION,
+            }),
+            Request::ListPolicies => sink(Response::Policies {
+                labels: self
+                    .policies
+                    .labels()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect(),
+            }),
+            Request::ListWorkloads => sink(Response::Workloads {
+                names: self.workload_names(),
+            }),
+            Request::Submit { spec } => match resolve_spec(&spec) {
+                Ok(workload) => {
+                    let response = Response::Submitted {
+                        name: workload.name.clone(),
+                        group: workload.group.to_string(),
+                    };
+                    self.workloads.retain(|w| w.name != workload.name);
+                    self.workloads.push(workload);
+                    sink(response)
+                }
+                Err(message) => sink(Response::Error { message }),
+            },
+            Request::Sweep {
+                workloads,
+                policies,
+            } => match self.select_designs(&policies) {
+                Ok(designs) => self.run_sweep(&workloads, designs, sink),
+                Err(message) => sink(Response::Error { message }),
+            },
+            Request::GridSweep { workloads, grid } => match grid.to_grid() {
+                Ok(grid) => {
+                    // Validate the workload selection before touching shared
+                    // state: a rejected request must not leave grid entries
+                    // behind in the session registry.
+                    if let Err(message) = self.select_workloads(&workloads) {
+                        return sink(Response::Error { message });
+                    }
+                    let expansion = grid.expand();
+                    let designs = expansion.designs().to_vec();
+                    // Grid cells become first-class registry entries: later
+                    // Sweep requests can address them by label.
+                    self.policies.register_all(expansion);
+                    self.run_sweep(&workloads, designs, sink)
+                }
+                Err(message) => sink(Response::Error { message }),
+            },
+            Request::Shutdown => sink(Response::ShuttingDown),
+        }
+    }
+
+    /// Resolves policy labels against the registry; empty selects all.
+    fn select_designs(&self, labels: &[String]) -> Result<Vec<DesignPoint>, String> {
+        if labels.is_empty() {
+            return Ok(self.policies.designs().to_vec());
+        }
+        labels
+            .iter()
+            .map(|label| {
+                self.policies.get(label).cloned().ok_or_else(|| {
+                    format!(
+                        "unknown policy `{label}`; registered: {}",
+                        self.policies.labels().join(", ")
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Resolves workload names against the submitted set; empty selects
+    /// all.
+    fn select_workloads(&self, names: &[String]) -> Result<Vec<Workload>, String> {
+        if self.workloads.is_empty() {
+            return Err(
+                "no workloads submitted; send a Submit request before sweeping".to_string(),
+            );
+        }
+        if names.is_empty() {
+            return Ok(self.workloads.clone());
+        }
+        names
+            .iter()
+            .map(|name| {
+                self.workloads
+                    .iter()
+                    .find(|w| &w.name == name)
+                    .cloned()
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown workload `{name}`; submitted: {}",
+                            self.workload_names().join(", ")
+                        )
+                    })
+            })
+            .collect()
+    }
+
+    /// Runs workloads × designs through the shared session and streams the
+    /// records plus the closing summary.
+    fn run_sweep(
+        &mut self,
+        workload_names: &[String],
+        designs: Vec<DesignPoint>,
+        sink: &mut ResponseSink<'_>,
+    ) -> io::Result<()> {
+        let workloads = match self.select_workloads(workload_names) {
+            Ok(workloads) => workloads,
+            Err(message) => return sink(Response::Error { message }),
+        };
+        if designs.is_empty() {
+            return sink(Response::Error {
+                message: "the sweep selects no design points".to_string(),
+            });
+        }
+        match self.evaluator.sweep_matrix(&workloads, &designs) {
+            Ok(records) => {
+                for record in &records {
+                    sink(Response::Record(record.clone()))?;
+                }
+                let summary = SweepSummary {
+                    records: records.len(),
+                    designs: designs.iter().map(|d| d.label.clone()).collect(),
+                    cache: self.evaluator.cache_stats(),
+                    analyzed_programs: self.evaluator.analyzed_programs(),
+                    // The exact formatter offline Experiment runs use.
+                    report: report::render_text(&ExperimentOutput::Records(records)),
+                };
+                sink(Response::Done(summary))
+            }
+            Err(e) => sink(Response::Error {
+                message: format!("evaluation failed: {e}"),
+            }),
+        }
+    }
+}
+
+/// Upper bound on `WorkloadSpec::Kernel` sizes. The sized kernels allocate
+/// message buffers proportional to `size` and simulation time grows with
+/// it; an unchecked size would let one request abort or wedge the
+/// long-lived server (and lose its warmed analysis cache).
+const MAX_KERNEL_SIZE: u64 = 1 << 20;
+
+/// Builds the workload a [`WorkloadSpec`] names.
+fn resolve_spec(spec: &WorkloadSpec) -> Result<Workload, String> {
+    match spec {
+        WorkloadSpec::Suite { name } => suite::full_suite()
+            .into_iter()
+            .find(|w| &w.name == name)
+            .ok_or_else(|| {
+                let names: Vec<String> = suite::full_suite().into_iter().map(|w| w.name).collect();
+                format!(
+                    "unknown suite workload `{name}`; available: {}",
+                    names.join(", ")
+                )
+            }),
+        WorkloadSpec::Kernel { family, size, name } => {
+            if *size > MAX_KERNEL_SIZE {
+                return Err(format!(
+                    "kernel size {size} exceeds the limit of {MAX_KERNEL_SIZE}"
+                ));
+            }
+            let size = (*size as usize).max(1);
+            let mut workload = match family.as_str() {
+                "chacha20" => suite::chacha20_workload(size),
+                "sha256" => suite::sha256_workload(size),
+                "aes128" | "aes" => suite::aes_ctr_workload(size),
+                "des" | "feistel" => suite::des_workload(size),
+                "poly1305" => suite::poly1305_workload(size),
+                "modexp" => suite::modpow_workload(),
+                "x25519" => suite::ec_c25519_workload(),
+                "kyber" => suite::kyber512_workload(),
+                "sphincs" => suite::sphincs_shake_workload(),
+                other => {
+                    return Err(format!(
+                        "unknown kernel family `{other}`; available: chacha20, sha256, \
+                         aes128, des, poly1305, modexp, x25519, kyber, sphincs"
+                    ))
+                }
+            };
+            if let Some(name) = name {
+                workload.name = name.clone();
+            }
+            Ok(workload)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::GridSpec;
+    use cassandra_cpu::config::DefenseMode;
+
+    fn collect(service: &mut EvalService, request: Request) -> Vec<Response> {
+        let mut out = Vec::new();
+        service
+            .handle(request, &mut |r| {
+                out.push(r);
+                Ok(())
+            })
+            .unwrap();
+        out
+    }
+
+    #[test]
+    fn ping_reports_the_protocol_version() {
+        let mut service = EvalService::new();
+        assert_eq!(
+            collect(&mut service, Request::Ping),
+            [Response::Pong {
+                protocol: PROTOCOL_VERSION
+            }]
+        );
+    }
+
+    #[test]
+    fn list_policies_matches_the_standard_registry() {
+        let mut service = EvalService::new();
+        let responses = collect(&mut service, Request::ListPolicies);
+        let Response::Policies { labels } = &responses[0] else {
+            panic!("expected Policies, got {responses:?}");
+        };
+        assert_eq!(labels.len(), DefenseMode::ALL.len());
+        assert!(labels.iter().any(|l| l == "Cassandra-part"));
+    }
+
+    #[test]
+    fn submit_by_kernel_family_and_rename() {
+        let mut service = EvalService::new();
+        let responses = collect(
+            &mut service,
+            Request::Submit {
+                spec: WorkloadSpec::Kernel {
+                    family: "chacha20".to_string(),
+                    size: 64,
+                    name: Some("my-stream".to_string()),
+                },
+            },
+        );
+        assert_eq!(
+            responses,
+            [Response::Submitted {
+                name: "my-stream".to_string(),
+                group: "BearSSL".to_string()
+            }]
+        );
+        assert_eq!(service.workload_names(), ["my-stream"]);
+        // Resubmitting the same name replaces, not duplicates.
+        collect(
+            &mut service,
+            Request::Submit {
+                spec: WorkloadSpec::Kernel {
+                    family: "chacha20".to_string(),
+                    size: 128,
+                    name: Some("my-stream".to_string()),
+                },
+            },
+        );
+        assert_eq!(service.workload_names(), ["my-stream"]);
+    }
+
+    #[test]
+    fn sweep_without_workloads_is_an_error_envelope() {
+        let mut service = EvalService::new();
+        let responses = collect(
+            &mut service,
+            Request::Sweep {
+                workloads: Vec::new(),
+                policies: Vec::new(),
+            },
+        );
+        assert!(
+            matches!(&responses[0], Response::Error { message } if message.contains("Submit")),
+            "{responses:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_policy_label_is_an_error_envelope() {
+        let mut service = EvalService::new();
+        collect(
+            &mut service,
+            Request::Submit {
+                spec: WorkloadSpec::Suite {
+                    name: "DES_ct".to_string(),
+                },
+            },
+        );
+        let responses = collect(
+            &mut service,
+            Request::Sweep {
+                workloads: Vec::new(),
+                policies: vec!["NotAPolicy".to_string()],
+            },
+        );
+        assert!(
+            matches!(&responses[0], Response::Error { message } if message.contains("NotAPolicy")),
+            "{responses:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_kernel_submit_is_rejected() {
+        let mut service = EvalService::new();
+        let responses = collect(
+            &mut service,
+            Request::Submit {
+                spec: WorkloadSpec::Kernel {
+                    family: "chacha20".to_string(),
+                    size: u64::MAX,
+                    name: None,
+                },
+            },
+        );
+        assert!(
+            matches!(&responses[0], Response::Error { message } if message.contains("limit")),
+            "{responses:?}"
+        );
+        assert!(service.workload_names().is_empty());
+    }
+
+    #[test]
+    fn rejected_grid_sweep_does_not_register_its_expansion() {
+        let mut service = EvalService::new();
+        let before = service.policies().len();
+        // No workloads submitted: the request fails validation…
+        let responses = collect(
+            &mut service,
+            Request::GridSweep {
+                workloads: Vec::new(),
+                grid: GridSpec {
+                    defenses: vec!["Cassandra".to_string()],
+                    tournament_thresholds: Vec::new(),
+                    btu_partitions: Vec::new(),
+                    btu_entries: vec![8],
+                    miss_penalties: Vec::new(),
+                    redirect_penalties: Vec::new(),
+                },
+            },
+        );
+        assert!(
+            matches!(&responses[0], Response::Error { .. }),
+            "{responses:?}"
+        );
+        // …and must leave no grid cells behind in the shared registry.
+        assert_eq!(service.policies().len(), before);
+        assert!(service.policies().get("Cassandra+btu8").is_none());
+    }
+
+    #[test]
+    fn grid_sweep_registers_its_expansion() {
+        let mut service = EvalService::new();
+        collect(
+            &mut service,
+            Request::Submit {
+                spec: WorkloadSpec::Kernel {
+                    family: "des".to_string(),
+                    size: 4,
+                    name: None,
+                },
+            },
+        );
+        let before = service.policies().len();
+        let responses = collect(
+            &mut service,
+            Request::GridSweep {
+                workloads: Vec::new(),
+                grid: GridSpec {
+                    defenses: vec!["Cassandra".to_string()],
+                    tournament_thresholds: Vec::new(),
+                    btu_partitions: Vec::new(),
+                    btu_entries: vec![8],
+                    miss_penalties: Vec::new(),
+                    redirect_penalties: Vec::new(),
+                },
+            },
+        );
+        let Response::Done(summary) = responses.last().unwrap() else {
+            panic!("expected Done, got {responses:?}");
+        };
+        assert_eq!(summary.records, 1);
+        assert_eq!(summary.designs, ["Cassandra+btu8"]);
+        assert!(summary.report.contains("Cassandra+btu8"));
+        // The expansion became a registry entry, addressable by later Sweeps.
+        assert_eq!(service.policies().len(), before + 1);
+        assert!(service.policies().get("Cassandra+btu8").is_some());
+    }
+}

@@ -1,0 +1,293 @@
+//! Loopback integration tests: a real server thread driven over TCP, with
+//! the results cross-checked against a direct offline `Evaluator` run.
+
+use cassandra_core::eval::{EvalRecord, Evaluator};
+use cassandra_kernels::suite;
+use cassandra_server::{
+    serve, Client, EvalService, GridSpec, Request, Response, SweepSummary, WorkloadSpec,
+    PROTOCOL_VERSION,
+};
+use std::time::Duration;
+
+fn start() -> (cassandra_server::ServerHandle, Client) {
+    let handle = serve("127.0.0.1:0", EvalService::new(), 2).expect("bind loopback");
+    let client = Client::connect(handle.addr()).expect("connect");
+    (handle, client)
+}
+
+fn submit_quick_pair(client: &mut Client) {
+    for spec in [
+        WorkloadSpec::Kernel {
+            family: "chacha20".to_string(),
+            size: 64,
+            name: None,
+        },
+        WorkloadSpec::Suite {
+            name: "DES_ct".to_string(),
+        },
+    ] {
+        let responses = client.request(&Request::Submit { spec }).unwrap();
+        assert!(
+            matches!(responses[0], Response::Submitted { .. }),
+            "{responses:?}"
+        );
+    }
+}
+
+fn quick_grid() -> GridSpec {
+    GridSpec {
+        defenses: vec!["Cassandra".to_string(), "Tournament".to_string()],
+        tournament_thresholds: vec![2],
+        btu_partitions: Vec::new(),
+        btu_entries: vec![8, 16],
+        miss_penalties: Vec::new(),
+        redirect_penalties: Vec::new(),
+    }
+}
+
+/// Splits a sweep response stream into its records and closing summary.
+fn split_stream(responses: Vec<Response>) -> (Vec<EvalRecord>, SweepSummary) {
+    let mut records = Vec::new();
+    let mut summary = None;
+    for response in responses {
+        match response {
+            Response::Record(record) => records.push(record),
+            Response::Done(done) => summary = Some(done),
+            other => panic!("unexpected response in sweep stream: {other:?}"),
+        }
+    }
+    (records, summary.expect("sweep stream must end with Done"))
+}
+
+/// The wire form of a record with wall-clock times zeroed: everything else
+/// (stats, labels, cache flags) must match an offline run byte for byte.
+fn canonical_json(record: &EvalRecord) -> String {
+    let mut record = record.clone();
+    record.timing.analysis = Duration::ZERO;
+    record.timing.simulate = Duration::ZERO;
+    serde_json::to_string(&record).expect("serialize record")
+}
+
+#[test]
+fn grid_sweep_matches_offline_evaluator_byte_for_byte() {
+    let (handle, mut client) = start();
+    submit_quick_pair(&mut client);
+
+    let responses = client
+        .request(&Request::GridSweep {
+            workloads: Vec::new(),
+            grid: quick_grid(),
+        })
+        .unwrap();
+    let (records, summary) = split_stream(responses);
+
+    // Offline reference: the same grid expanded by the same code, swept by a
+    // fresh Evaluator over the same workloads.
+    let designs = quick_grid().to_grid().unwrap().expand().designs().to_vec();
+    let workloads = vec![suite::chacha20_workload(64), suite::des_workload(32)];
+    let mut offline = Evaluator::new();
+    let expected = offline.sweep_matrix(&workloads, &designs).unwrap();
+
+    assert_eq!(summary.records, records.len());
+    assert_eq!(records.len(), expected.len(), "2 workloads × 4 grid cells");
+    for (served, local) in records.iter().zip(&expected) {
+        assert_eq!(
+            canonical_json(served),
+            canonical_json(local),
+            "{}/{} diverged between server and offline run",
+            served.workload,
+            served.design
+        );
+    }
+
+    // The summary reuses the offline Experiment formatter verbatim.
+    assert_eq!(
+        summary.report,
+        cassandra_core::report::render_text(&cassandra_core::registry::ExperimentOutput::Records(
+            expected
+        ))
+    );
+    // The threshold axis annotates every base defense (it is ignored by
+    // non-tournament frontends but kept in the label for self-description).
+    assert_eq!(
+        summary.designs,
+        [
+            "Cassandra+btu8+thr2",
+            "Cassandra+thr2",
+            "Tournament+btu8+thr2",
+            "Tournament+thr2"
+        ]
+    );
+
+    client.request(&Request::Shutdown).unwrap();
+    handle.join();
+}
+
+#[test]
+fn second_identical_request_is_served_from_the_analysis_cache() {
+    let (_handle, mut client) = start();
+    submit_quick_pair(&mut client);
+
+    let first = client
+        .request(&Request::GridSweep {
+            workloads: Vec::new(),
+            grid: quick_grid(),
+        })
+        .unwrap();
+    let (first_records, first_summary) = split_stream(first);
+    assert_eq!(first_summary.cache.misses, 2, "one analysis per workload");
+    assert!(first_records.iter().all(|r| !r.timing.analysis_cached));
+
+    let second = client
+        .request(&Request::GridSweep {
+            workloads: Vec::new(),
+            grid: quick_grid(),
+        })
+        .unwrap();
+    let (second_records, second_summary) = split_stream(second);
+
+    // No new analyses; the memoized bundles served the repeat request.
+    assert_eq!(second_summary.cache.misses, first_summary.cache.misses);
+    assert!(
+        second_summary.cache.hits >= first_summary.cache.hits + 2,
+        "repeat request must hit the cache: {:?} -> {:?}",
+        first_summary.cache,
+        second_summary.cache
+    );
+    assert_eq!(second_summary.analyzed_programs, 2);
+    assert!(second_records.iter().all(|r| r.timing.analysis_cached));
+
+    // And the simulations themselves are deterministic.
+    for (a, b) in first_records.iter().zip(&second_records) {
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.design, b.design);
+    }
+}
+
+#[test]
+fn sweep_by_labels_can_address_grid_entries() {
+    let (_handle, mut client) = start();
+    submit_quick_pair(&mut client);
+
+    // Before the grid runs, its labels are unknown.
+    let responses = client
+        .request(&Request::Sweep {
+            workloads: Vec::new(),
+            policies: vec!["Tournament+thr2".to_string()],
+        })
+        .unwrap();
+    assert!(matches!(&responses[0], Response::Error { message }
+        if message.contains("Tournament+thr2")));
+
+    client
+        .request(&Request::GridSweep {
+            workloads: Vec::new(),
+            grid: quick_grid(),
+        })
+        .unwrap();
+
+    // The grid expansion registered its cells: now addressable by label.
+    let responses = client
+        .request(&Request::Sweep {
+            workloads: vec!["ChaCha20_ct".to_string()],
+            policies: vec!["Tournament+thr2".to_string(), "UnsafeBaseline".to_string()],
+        })
+        .unwrap();
+    let (records, summary) = split_stream(responses);
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].design, "Tournament+thr2");
+    assert_eq!(records[1].design, "UnsafeBaseline");
+    assert!(records.iter().all(|r| r.workload == "ChaCha20_ct"));
+    assert!(records.iter().all(|r| r.timing.analysis_cached));
+    assert!(summary.cache.hits > 0);
+
+    let responses = client.request(&Request::ListPolicies).unwrap();
+    let Response::Policies { labels } = &responses[0] else {
+        panic!("expected Policies, got {responses:?}");
+    };
+    assert!(labels.iter().any(|l| l == "Tournament+thr2"));
+    assert!(labels.iter().any(|l| l == "Cassandra+btu8+thr2"));
+}
+
+#[test]
+fn malformed_requests_get_an_error_envelope_and_the_connection_survives() {
+    let (_handle, mut client) = start();
+
+    // Unparseable JSON.
+    let responses = client.request_raw("{this is not json").unwrap();
+    assert!(
+        matches!(&responses[0], Response::Error { message } if message.contains("invalid request")),
+        "{responses:?}"
+    );
+
+    // Valid JSON, wrong shape.
+    let responses = client.request_raw("{\"NoSuchRequest\": {}}").unwrap();
+    assert!(
+        matches!(&responses[0], Response::Error { .. }),
+        "{responses:?}"
+    );
+
+    // Unknown workload spec inside a valid request.
+    let responses = client
+        .request(&Request::Submit {
+            spec: WorkloadSpec::Suite {
+                name: "NotAWorkload".to_string(),
+            },
+        })
+        .unwrap();
+    assert!(
+        matches!(&responses[0], Response::Error { message } if message.contains("NotAWorkload")),
+        "{responses:?}"
+    );
+
+    // The same connection still serves well-formed requests.
+    let responses = client.request(&Request::Ping).unwrap();
+    assert_eq!(
+        responses,
+        [Response::Pong {
+            protocol: PROTOCOL_VERSION
+        }]
+    );
+}
+
+#[test]
+fn two_clients_share_one_session() {
+    let (handle, mut first) = start();
+    submit_quick_pair(&mut first);
+    let responses = first
+        .request(&Request::Sweep {
+            workloads: vec!["DES_ct".to_string()],
+            policies: vec!["Cassandra".to_string()],
+        })
+        .unwrap();
+    let (_, summary) = split_stream(responses);
+    assert_eq!(summary.cache.misses, 1);
+
+    // A second client sees the submitted workloads and hits the same cache.
+    let mut second = Client::connect(handle.addr()).unwrap();
+    let responses = second.request(&Request::ListWorkloads).unwrap();
+    let Response::Workloads { names } = &responses[0] else {
+        panic!("expected Workloads, got {responses:?}");
+    };
+    assert_eq!(names, &["ChaCha20_ct", "DES_ct"]);
+
+    let responses = second
+        .request(&Request::Sweep {
+            workloads: vec!["DES_ct".to_string()],
+            policies: vec!["Cassandra".to_string()],
+        })
+        .unwrap();
+    let (records, summary) = split_stream(responses);
+    assert_eq!(summary.cache.misses, 1, "no re-analysis for client #2");
+    assert!(summary.cache.hits >= 1);
+    assert!(records[0].timing.analysis_cached);
+}
+
+#[test]
+fn shutdown_request_stops_the_server_cleanly() {
+    let (handle, mut client) = start();
+    let responses = client.request(&Request::Shutdown).unwrap();
+    assert_eq!(responses, [Response::ShuttingDown]);
+    // join() only returns once the accept loop and workers have exited.
+    handle.join();
+}

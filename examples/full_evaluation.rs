@@ -1,11 +1,15 @@
 //! Regenerates the paper's evaluation tables and figures through the
-//! experiment registry.
+//! experiment registry, and fronts the long-running evaluation service.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release --example full_evaluation -- \
 //!     [EXPERIMENT] [--format text|csv|json] [--designs LABEL,LABEL,...]
+//! cargo run --release --example full_evaluation -- \
+//!     serve [--addr HOST:PORT] [--threads N] [--smoke]
+//! cargo run --release --example full_evaluation -- \
+//!     connect [--addr HOST:PORT] [REQUEST-JSON ...]
 //! ```
 //!
 //! `EXPERIMENT` is a registry name (`table1`, `fig7`, `fig8`, `fig9`, `q3`,
@@ -22,17 +26,30 @@
 //! every driver (fig7, q3, security, sweep) with zero edits to this file.
 //! `q4` reports the context-switch cost priced both as whole-BTU flushes
 //! and as partition reassignments on the way-partitioned BTU.
+//!
+//! `serve` runs the evaluation service (see `docs/PROTOCOL.md`): one
+//! long-lived session whose memoized analyses are shared across every
+//! client request. `--smoke` instead runs a self-contained round trip
+//! (spawn on an ephemeral port, Submit + GridSweep over loopback, clean
+//! shutdown) — CI uses it. `connect` sends newline-delimited JSON requests
+//! (from the command line or stdin) and prints each response line.
 
 use cassandra::core::experiments::quick_workloads;
 use cassandra::core::registry::{Fig8Experiment, SweepExperiment};
 use cassandra::core::PolicyRegistry;
 use cassandra::kernels::suite;
 use cassandra::prelude::*;
+use cassandra::server::{serve, Client, EvalService, GridSpec, Request, Response, WorkloadSpec};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:9417";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut format = ReportFormat::Text;
     let mut designs: Option<Vec<DefenseMode>> = None;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut threads = 4usize;
+    let mut smoke = false;
     let mut positional: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -57,6 +74,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .map(|label| label.trim().parse::<DefenseMode>())
                     .collect::<Result<_, _>>()?,
             );
+        } else if arg == "--addr" {
+            addr = iter
+                .next()
+                .ok_or("--addr requires a HOST:PORT value")?
+                .clone();
+        } else if arg == "--threads" {
+            threads = iter
+                .next()
+                .ok_or("--threads requires a worker count")?
+                .parse()?;
+        } else if arg == "--smoke" {
+            smoke = true;
         } else {
             positional.push(arg.clone());
         }
@@ -65,6 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .first()
         .cloned()
         .unwrap_or_else(|| "quick".to_string());
+
+    match experiment.as_str() {
+        "serve" => return run_server(&addr, threads, smoke),
+        "connect" => return run_client(&addr, &positional[1..]),
+        _ => {}
+    }
 
     let mut registry = ExperimentRegistry::standard();
     registry.register(SweepExperiment);
@@ -138,4 +173,84 @@ fn print_cache_summary(session: &Evaluator) {
         stats.hits,
         stats.requests()
     );
+}
+
+// ------------------------------------------------------ evaluation service
+
+/// `serve`: run the evaluation service until a client sends `Shutdown` (or,
+/// with `--smoke`, drive one loopback round trip and exit).
+fn run_server(addr: &str, threads: usize, smoke: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let bind_addr = if smoke { "127.0.0.1:0" } else { addr };
+    let handle = serve(bind_addr, EvalService::new(), threads)?;
+    println!(
+        "cassandra-server listening on {} ({} workers); protocol: docs/PROTOCOL.md",
+        handle.addr(),
+        threads
+    );
+    if smoke {
+        smoke_round_trip(handle.addr())?;
+    }
+    handle.join();
+    println!("server stopped");
+    Ok(())
+}
+
+/// The CI smoke run: Submit + GridSweep + Shutdown over loopback, asserting
+/// the session's cache metadata on the way.
+fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error::Error>> {
+    let mut client = Client::connect(addr)?;
+    client.request(&Request::Submit {
+        spec: WorkloadSpec::Kernel {
+            family: "chacha20".to_string(),
+            size: 64,
+            name: None,
+        },
+    })?;
+    let responses = client.request(&Request::GridSweep {
+        workloads: Vec::new(),
+        grid: GridSpec {
+            defenses: vec!["Cassandra".to_string(), "Tournament".to_string()],
+            tournament_thresholds: vec![2, 8],
+            btu_partitions: Vec::new(),
+            btu_entries: Vec::new(),
+            miss_penalties: vec![20, 40],
+            redirect_penalties: Vec::new(),
+        },
+    })?;
+    let Some(Response::Done(summary)) = responses.last() else {
+        return Err(format!("smoke GridSweep failed: {:?}", responses.last()).into());
+    };
+    println!("{}", summary.report);
+    println!(
+        "smoke: {} records over {} designs, cache {:?}",
+        summary.records,
+        summary.designs.len(),
+        summary.cache
+    );
+    if summary.records == 0 {
+        return Err("smoke GridSweep produced no records".into());
+    }
+    client.request(&Request::Shutdown)?;
+    Ok(())
+}
+
+/// `connect`: send requests (command-line args, or stdin lines if none) to
+/// a running server and print every response line.
+fn run_client(addr: &str, requests: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut client = Client::connect(addr)?;
+    let lines: Vec<String> = if requests.is_empty() {
+        use std::io::BufRead;
+        std::io::stdin().lock().lines().collect::<Result<_, _>>()?
+    } else {
+        requests.to_vec()
+    };
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        for response in client.request_raw(&line)? {
+            println!("{}", cassandra::server::protocol::encode(&response));
+        }
+    }
+    Ok(())
 }

@@ -42,12 +42,13 @@ pub use cassandra_core as core;
 pub use cassandra_cpu as cpu;
 pub use cassandra_isa as isa;
 pub use cassandra_kernels as kernels;
+pub use cassandra_server as server;
 pub use cassandra_trace as trace;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use cassandra_core::eval::{DesignPoint, EvalRecord, Evaluator, EvaluatorBuilder};
-    pub use cassandra_core::policies::PolicyRegistry;
+    pub use cassandra_core::policies::{GridSweep, PolicyRegistry};
     pub use cassandra_core::registry::{Experiment, ExperimentOutput, ExperimentRegistry};
     pub use cassandra_core::report::{self, ReportFormat};
     pub use cassandra_core::{
