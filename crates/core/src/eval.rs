@@ -1,32 +1,51 @@
-//! The evaluation session API: cached analysis and batched design-point
-//! sweeps.
+//! The evaluation session API: a shared analysis store, stateless sweep
+//! executors, and the [`Evaluator`] facade over the pair.
 //!
 //! The paper's evaluation runs one trace-generation pass (Algorithm 2) per
 //! workload and then simulates that workload under many defense designs.
 //! The free functions in the crate root re-derive the analysis on every
-//! call; an [`Evaluator`] instead memoizes each [`AnalysisBundle`] keyed by
-//! the program's content fingerprint
+//! call; this module instead memoizes each [`AnalysisBundle`] keyed by the
+//! program's content fingerprint
 //! ([`cassandra_trace::fingerprint::program_fingerprint`]), so a full
 //! multi-experiment evaluation analyzes every distinct program **exactly
-//! once** no matter how many design points or experiments consume it.
+//! once** no matter how many design points, experiments or concurrent
+//! requests consume it.
+//!
+//! ## The two layers
+//!
+//! * [`AnalysisStore`] — the thread-safe analysis cache. A fingerprint-keyed
+//!   map of `Arc<AnalysisBundle>`s behind an `RwLock`, with per-fingerprint
+//!   **in-flight guards**: when two threads request the same un-analyzed
+//!   program, one runs Algorithm 2 and the other blocks until the result
+//!   lands, so the exactly-once property holds under concurrency. Cache
+//!   counters are atomics, observable through [`AnalysisStore::stats`], and
+//!   the whole store serializes to an [`AnalysisSnapshot`] for warm-starts.
+//! * [`SweepExecutor`] — a stateless sweep engine borrowing a store and
+//!   evaluating workload × design matrices into [`EvalRecord`]s. Any number
+//!   of executors can run against one store concurrently. Sweeps honor a
+//!   [`CancelToken`], checked between design-point cells, and can stream
+//!   records in matrix order as they complete
+//!   ([`SweepExecutor::sweep_stream`]).
 //!
 //! ## Session model
 //!
-//! An `Evaluator` is built once per evaluation session — with a workload
-//! set, a design matrix ([`DesignPoint`]s: a label plus a complete
-//! [`CpuConfig`]) and an optional step budget — and then handed to any
-//! number of experiments (see [`crate::registry`]). [`Evaluator::sweep`]
-//! evaluates the full workload × design matrix and yields a uniform
-//! [`EvalRecord`] stream; individual experiments use
-//! [`Evaluator::simulate_cached`] / [`Evaluator::analysis`] for their more
-//! specialised shapes. Cache effectiveness is observable through
-//! [`Evaluator::cache_stats`].
+//! An [`Evaluator`] is a thin facade over one store plus per-call executors:
+//! built once per evaluation session — with a workload set, a design matrix
+//! ([`DesignPoint`]s: a label plus a complete [`CpuConfig`]) and an optional
+//! step budget — and then handed to any number of experiments (see
+//! [`crate::registry`]). [`Evaluator::sweep`] evaluates the full workload ×
+//! design matrix and yields a uniform [`EvalRecord`] stream; individual
+//! experiments use [`Evaluator::simulate_cached`] / [`Evaluator::analysis`]
+//! for their more specialised shapes. Sessions built with
+//! [`EvaluatorBuilder::store`] share one `Arc<AnalysisStore>`, which is how
+//! the evaluation server lets N in-flight requests share one cache.
 //!
 //! With the `parallel` feature (enabled by default) sweeps simulate design
 //! points on all available cores using scoped threads; analysis stays
-//! serial so the exactly-once property is trivially preserved. (The
-//! vendored offline toolchain has no `rayon`; the thread pool is a small
-//! `std::thread::scope` work queue with identical output ordering.)
+//! serial (guarded per fingerprint) so the exactly-once property is
+//! trivially preserved. (The vendored offline toolchain has no `rayon`; the
+//! thread pool is a small `std::thread::scope` work queue with identical
+//! output ordering.)
 
 use crate::{AnalysisBundle, ANALYSIS_STEP_LIMIT};
 use cassandra_btu::encode::EncodedTraces;
@@ -39,8 +58,10 @@ use cassandra_kernels::workload::{Workload, WorkloadGroup};
 use cassandra_trace::fingerprint::program_fingerprint;
 use cassandra_trace::genproc::generate_traces;
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// One point of the design matrix: a named, complete processor
@@ -87,7 +108,7 @@ impl DesignPoint {
     }
 }
 
-/// Analysis-cache counters of one [`Evaluator`] session.
+/// Analysis-cache counters of one [`AnalysisStore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Analyses served from the memoization cache.
@@ -133,10 +154,637 @@ pub struct EvalRecord {
     pub timing: EvalTiming,
 }
 
-struct CachedAnalysis {
+// --------------------------------------------------------------- cancel
+
+/// A cooperative cancellation handle.
+///
+/// Cloning shares the flag: hand one clone to a sweep and keep the other to
+/// cancel it from another thread. Sweeps check the token **between
+/// design-point cells** (and between per-workload analyses), so
+/// cancellation latency is bounded by one simulation, never observed
+/// mid-cell.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag; every sweep holding a clone stops at its next
+    /// between-cells check.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// How a cancellable sweep ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepOutcome {
+    /// Every cell of the matrix was evaluated and emitted.
+    Complete,
+    /// The sweep stopped early: its [`CancelToken`] was raised (or the emit
+    /// callback declined a record). Already-completed analyses stay in the
+    /// store; unemitted records are dropped.
+    Cancelled,
+}
+
+// ------------------------------------------------------- analysis store
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct StoreEntry {
     bundle: Arc<AnalysisBundle>,
     elapsed: Duration,
 }
+
+/// Rendezvous point for threads requesting a fingerprint that is being
+/// analyzed right now.
+#[derive(Default)]
+struct InFlight {
+    done: Mutex<bool>,
+    ready: Condvar,
+}
+
+/// Releases an in-flight guard on every exit path (success, error, panic):
+/// removes the fingerprint from the in-flight map and wakes the waiters.
+struct AnalyzerGuard<'a> {
+    store: &'a AnalysisStore,
+    key: u64,
+    flight: Arc<InFlight>,
+}
+
+impl Drop for AnalyzerGuard<'_> {
+    fn drop(&mut self) {
+        lock(&self.store.in_flight).remove(&self.key);
+        *lock(&self.flight.done) = true;
+        self.flight.ready.notify_all();
+    }
+}
+
+/// The thread-safe analysis cache: fingerprint-keyed `Arc<AnalysisBundle>`s
+/// behind an `RwLock`, exactly-once analysis under concurrency via
+/// per-fingerprint in-flight guards, and atomic [`CacheStats`].
+///
+/// A store is the shared half of an evaluation session: any number of
+/// [`SweepExecutor`]s (or [`Evaluator`] facades built with
+/// [`EvaluatorBuilder::store`]) can consume one store concurrently — this
+/// is what lets the evaluation server run N requests in flight against one
+/// cache. Lookups take the read lock only; Algorithm 2 itself runs with
+/// **no** store lock held, so a slow analysis never blocks hits on other
+/// programs.
+#[derive(Default)]
+pub struct AnalysisStore {
+    entries: RwLock<HashMap<u64, StoreEntry>>,
+    in_flight: Mutex<HashMap<u64, Arc<InFlight>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+enum Role<'a> {
+    Analyzer(AnalyzerGuard<'a>),
+    Waiter(Arc<InFlight>),
+}
+
+impl AnalysisStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache counters (hits/misses) accumulated so far. Entries loaded from
+    /// an [`AnalysisSnapshot`] count as neither until first use, then as
+    /// hits.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct programs currently held.
+    pub fn len(&self) -> usize {
+        self.read_entries().len()
+    }
+
+    /// True if no program has been analyzed or absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn read_entries(&self) -> std::sync::RwLockReadGuard<'_, HashMap<u64, StoreEntry>> {
+        self.entries.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_entries(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<u64, StoreEntry>> {
+        self.entries.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lookup(&self, key: u64) -> Option<(Arc<AnalysisBundle>, Duration)> {
+        self.read_entries()
+            .get(&key)
+            .map(|e| (Arc::clone(&e.bundle), e.elapsed))
+    }
+
+    /// The memoized analysis of `program`, with its timing and cache
+    /// disposition. Exactly one thread runs Algorithm 2 per fingerprint:
+    /// concurrent requests for an in-flight program block until the result
+    /// lands and then count as hits.
+    ///
+    /// Cache hits deliberately ignore `step_limit`: a stored bundle is
+    /// **budget-independent** — Algorithm 2 *errors* (`StepLimitExceeded`)
+    /// rather than truncating when a profiling run exhausts its budget, so
+    /// every bundle that exists came from a run that halted on its own and
+    /// any sufficient budget produces the identical bundle. The budget
+    /// only gates whether a *cold* analysis completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling-run errors from Algorithm 2. On error the
+    /// in-flight guard is released, so a later request retries the
+    /// analysis.
+    pub fn entry(
+        &self,
+        program: &Program,
+        step_limit: u64,
+    ) -> Result<(Arc<AnalysisBundle>, EvalTiming), IsaError> {
+        let key = program_fingerprint(program);
+        loop {
+            if let Some((bundle, elapsed)) = self.lookup(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((
+                    bundle,
+                    EvalTiming {
+                        analysis: elapsed,
+                        analysis_cached: true,
+                        simulate: Duration::ZERO,
+                    },
+                ));
+            }
+            let role = {
+                let mut in_flight = lock(&self.in_flight);
+                // Close the race where the analyzer finished (and dropped
+                // its guard) between our lookup above and this lock.
+                if self.read_entries().contains_key(&key) {
+                    continue;
+                }
+                match in_flight.entry(key) {
+                    Entry::Occupied(e) => Role::Waiter(Arc::clone(e.get())),
+                    Entry::Vacant(v) => {
+                        let flight = Arc::new(InFlight::default());
+                        v.insert(Arc::clone(&flight));
+                        Role::Analyzer(AnalyzerGuard {
+                            store: self,
+                            key,
+                            flight,
+                        })
+                    }
+                }
+            };
+            match role {
+                Role::Waiter(flight) => {
+                    let mut done = lock(&flight.done);
+                    while !*done {
+                        done = flight
+                            .ready
+                            .wait(done)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    // Loop back to the fast path; if the analyzer failed,
+                    // this thread contends to become the next analyzer.
+                }
+                Role::Analyzer(guard) => {
+                    let start = Instant::now();
+                    let analysis = Arc::new(Evaluator::analyze_once(program, step_limit)?);
+                    let elapsed = start.elapsed();
+                    self.write_entries().insert(
+                        key,
+                        StoreEntry {
+                            bundle: Arc::clone(&analysis),
+                            elapsed,
+                        },
+                    );
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    drop(guard);
+                    return Ok((
+                        analysis,
+                        EvalTiming {
+                            analysis: elapsed,
+                            analysis_cached: false,
+                            simulate: Duration::ZERO,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The memoized analysis of an arbitrary program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling-run errors from Algorithm 2.
+    pub fn analyze_program(
+        &self,
+        program: &Program,
+        step_limit: u64,
+    ) -> Result<Arc<AnalysisBundle>, IsaError> {
+        self.entry(program, step_limit).map(|(bundle, _)| bundle)
+    }
+
+    /// Serializes the store's contents for a later warm-start. Entries are
+    /// ordered by fingerprint, so equal stores snapshot identically.
+    pub fn snapshot(&self) -> AnalysisSnapshot {
+        let entries = self.read_entries();
+        let mut out: Vec<SnapshotEntry> = entries
+            .iter()
+            .map(|(&fingerprint, e)| SnapshotEntry {
+                fingerprint,
+                elapsed: e.elapsed,
+                analysis: (*e.bundle).clone(),
+            })
+            .collect();
+        out.sort_by_key(|e| e.fingerprint);
+        AnalysisSnapshot { entries: out }
+    }
+
+    /// Loads a snapshot's analyses into the store, skipping fingerprints it
+    /// already holds; returns how many entries were absorbed. Warmed
+    /// entries count as cache hits on first use (they never re-run
+    /// Algorithm 2), which is how a warm-started server's `Done.cache`
+    /// reports them.
+    pub fn absorb(&self, snapshot: AnalysisSnapshot) -> usize {
+        let mut entries = self.write_entries();
+        let mut absorbed = 0;
+        for entry in snapshot.entries {
+            if let Entry::Vacant(v) = entries.entry(entry.fingerprint) {
+                v.insert(StoreEntry {
+                    bundle: Arc::new(entry.analysis),
+                    elapsed: entry.elapsed,
+                });
+                absorbed += 1;
+            }
+        }
+        absorbed
+    }
+}
+
+/// One serialized [`AnalysisStore`] entry: the program fingerprint, the
+/// original analysis wall time, and the full [`AnalysisBundle`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Content fingerprint the store keys this analysis by.
+    pub fingerprint: u64,
+    /// Wall time of the original Algorithm-2 run (reported by cached
+    /// timings).
+    pub elapsed: Duration,
+    /// The memoized analysis.
+    pub analysis: AnalysisBundle,
+}
+
+/// The serializable contents of an [`AnalysisStore`] (see
+/// [`AnalysisStore::snapshot`] / [`AnalysisStore::absorb`]); the evaluation
+/// server's `--cache-file` warm-start format.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisSnapshot {
+    /// Stored analyses, ordered by fingerprint.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+// ------------------------------------------------------- sweep executor
+
+/// A stateless sweep engine over a borrowed [`AnalysisStore`]: evaluates
+/// workload × design matrices into [`EvalRecord`]s, honoring a
+/// [`CancelToken`] between design-point cells.
+///
+/// Executors hold no mutable state of their own, so any number can run
+/// concurrently against one store — the server materializes one per
+/// request. [`SweepExecutor::sweep_matrix`] collects the full record
+/// vector; [`SweepExecutor::sweep_stream`] emits records in matrix order as
+/// cells complete, which is what the wire protocol streams.
+pub struct SweepExecutor<'a> {
+    store: &'a AnalysisStore,
+    step_limit: Option<u64>,
+}
+
+impl<'a> SweepExecutor<'a> {
+    /// An executor over `store` with no step-budget override.
+    pub fn new(store: &'a AnalysisStore) -> Self {
+        SweepExecutor {
+            store,
+            step_limit: None,
+        }
+    }
+
+    /// Overrides the profiling step budget for every analysis this executor
+    /// triggers (default: each workload's own `step_limit`).
+    #[must_use]
+    pub fn with_step_limit(mut self, step_limit: Option<u64>) -> Self {
+        self.step_limit = step_limit;
+        self
+    }
+
+    /// The store this executor evaluates against.
+    pub fn store(&self) -> &'a AnalysisStore {
+        self.store
+    }
+
+    fn analysis_entry(
+        &self,
+        program: &Program,
+        workload_limit: u64,
+    ) -> Result<(Arc<AnalysisBundle>, EvalTiming), IsaError> {
+        self.store
+            .entry(program, self.step_limit.unwrap_or(workload_limit))
+    }
+
+    /// Evaluates one workload at one design point, yielding a uniform
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or simulation errors.
+    pub fn eval(&self, workload: &Workload, design: &DesignPoint) -> Result<EvalRecord, IsaError> {
+        let (analysis, mut timing) =
+            self.analysis_entry(&workload.kernel.program, workload.kernel.step_limit)?;
+        let mut cfg = design.config;
+        cfg.max_instructions = cfg.max_instructions.max(workload.kernel.step_limit);
+        let start = Instant::now();
+        let outcome = Evaluator::simulate_program(&workload.kernel.program, Some(&analysis), &cfg)?;
+        timing.simulate = start.elapsed();
+        Ok(record_from(workload, design, outcome.stats, timing))
+    }
+
+    /// Evaluates the full workload × design matrix, returning the records
+    /// in matrix order (workload-major). Analyses run exactly once per
+    /// distinct program; simulations run in parallel when the `parallel`
+    /// feature is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or simulation errors.
+    pub fn sweep_matrix(
+        &self,
+        workloads: &[Workload],
+        designs: &[DesignPoint],
+    ) -> Result<Vec<EvalRecord>, IsaError> {
+        let mut records = Vec::with_capacity(workloads.len() * designs.len());
+        let outcome = self.sweep_stream(workloads, designs, &CancelToken::new(), |record| {
+            records.push(record);
+            true
+        })?;
+        debug_assert_eq!(
+            outcome,
+            SweepOutcome::Complete,
+            "nothing cancels this token"
+        );
+        Ok(records)
+    }
+
+    /// Evaluates the matrix like [`SweepExecutor::sweep_matrix`], but emits
+    /// each record through `emit` — in matrix order, as soon as its cell
+    /// (and every earlier cell) has completed — instead of collecting them.
+    ///
+    /// Cancellation is checked between design-point cells: once `cancel` is
+    /// raised (or `emit` returns `false`), workers stop picking up cells,
+    /// nothing more is emitted, and the sweep returns
+    /// [`SweepOutcome::Cancelled`]. Analyses completed before the
+    /// cancellation stay in the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or simulation errors (the first one, if several
+    /// cells fail concurrently).
+    pub fn sweep_stream<F>(
+        &self,
+        workloads: &[Workload],
+        designs: &[DesignPoint],
+        cancel: &CancelToken,
+        emit: F,
+    ) -> Result<SweepOutcome, IsaError>
+    where
+        F: FnMut(EvalRecord) -> bool + Send,
+    {
+        // Phase 1 (serial): analyze every workload once, through the store;
+        // the in-flight guards make concurrent sweeps share, not duplicate,
+        // this work.
+        let mut analyses: Vec<(Arc<AnalysisBundle>, EvalTiming)> =
+            Vec::with_capacity(workloads.len());
+        for w in workloads {
+            if cancel.is_cancelled() {
+                return Ok(SweepOutcome::Cancelled);
+            }
+            analyses.push(self.analysis_entry(&w.kernel.program, w.kernel.step_limit)?);
+        }
+
+        // Phase 2: simulate every (workload, design) cell.
+        let jobs: Vec<(usize, usize)> = (0..workloads.len())
+            .flat_map(|wi| (0..designs.len()).map(move |di| (wi, di)))
+            .collect();
+        let run_one = |&(wi, di): &(usize, usize)| -> Result<EvalRecord, IsaError> {
+            let w = &workloads[wi];
+            let d = &designs[di];
+            let (bundle, mut timing) = (&analyses[wi].0, analyses[wi].1);
+            let mut cfg = d.config;
+            cfg.max_instructions = cfg.max_instructions.max(w.kernel.step_limit);
+            let start = Instant::now();
+            let outcome = Evaluator::simulate_program(&w.kernel.program, Some(bundle), &cfg)?;
+            timing.simulate = start.elapsed();
+            Ok(record_from(w, d, outcome.stats, timing))
+        };
+        stream_jobs(&jobs, run_one, cancel, emit)
+    }
+}
+
+fn record_from(
+    workload: &Workload,
+    design: &DesignPoint,
+    stats: SimStats,
+    timing: EvalTiming,
+) -> EvalRecord {
+    EvalRecord {
+        workload: workload.name.clone(),
+        group: workload.group,
+        design: design.label.clone(),
+        defense: design.config.defense,
+        stats,
+        timing,
+    }
+}
+
+/// The single-threaded job loop: cancellation checked between cells.
+fn stream_serial<J, R, F>(
+    jobs: &[J],
+    run_one: R,
+    cancel: &CancelToken,
+    mut emit: F,
+) -> Result<SweepOutcome, IsaError>
+where
+    R: Fn(&J) -> Result<EvalRecord, IsaError>,
+    F: FnMut(EvalRecord) -> bool,
+{
+    for job in jobs {
+        if cancel.is_cancelled() {
+            return Ok(SweepOutcome::Cancelled);
+        }
+        let record = run_one(job)?;
+        if !emit(record) {
+            return Ok(SweepOutcome::Cancelled);
+        }
+    }
+    Ok(SweepOutcome::Complete)
+}
+
+/// Runs `run_one` over `jobs` on all available cores, emitting results in
+/// job order as the completed prefix grows. Workers check `cancel` before
+/// every cell.
+#[cfg(feature = "parallel")]
+fn stream_jobs<J, R, F>(
+    jobs: &[J],
+    run_one: R,
+    cancel: &CancelToken,
+    emit: F,
+) -> Result<SweepOutcome, IsaError>
+where
+    J: Sync,
+    R: Fn(&J) -> Result<EvalRecord, IsaError> + Sync,
+    F: FnMut(EvalRecord) -> bool + Send,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+    if threads <= 1 {
+        return stream_serial(jobs, run_one, cancel, emit);
+    }
+    stream_parallel(jobs, run_one, cancel, emit, threads)
+}
+
+/// The multi-worker body of [`stream_jobs`], with an explicit thread count
+/// (separate so tests exercise it on any host).
+#[cfg(feature = "parallel")]
+fn stream_parallel<J, R, F>(
+    jobs: &[J],
+    run_one: R,
+    cancel: &CancelToken,
+    emit: F,
+    threads: usize,
+) -> Result<SweepOutcome, IsaError>
+where
+    J: Sync,
+    R: Fn(&J) -> Result<EvalRecord, IsaError> + Sync,
+    F: FnMut(EvalRecord) -> bool + Send,
+{
+    use std::sync::atomic::AtomicUsize;
+
+    /// In-order emission state: completed cells park in `slots` until the
+    /// contiguous prefix reaches them. `emitting` designates the one
+    /// worker currently delivering records, so the (possibly slow — on the
+    /// server it is a TCP write) emit call runs with **no** lock on this
+    /// state: other workers keep depositing results and picking up cells.
+    struct EmitState {
+        next: usize,
+        slots: Vec<Option<EvalRecord>>,
+        emitting: bool,
+    }
+
+    let state = Mutex::new(EmitState {
+        next: 0,
+        slots: (0..jobs.len()).map(|_| None).collect(),
+        emitting: false,
+    });
+    // Only the designated emitter touches `emit`, so this lock is never
+    // contended; it exists to make the callback shareable across workers.
+    let emitter = Mutex::new(emit);
+    let next_job = AtomicUsize::new(0);
+    let error: Mutex<Option<IsaError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if cancel.is_cancelled() {
+                    return;
+                }
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    return;
+                }
+                match run_one(&jobs[i]) {
+                    Ok(record) => {
+                        lock(&state).slots[i] = Some(record);
+                        // Emit the contiguous completed prefix, in order,
+                        // unless another worker is already on it (it will
+                        // re-check for our deposit after each emit).
+                        loop {
+                            let record = {
+                                let mut st = lock(&state);
+                                if st.emitting || cancel.is_cancelled() || st.next >= st.slots.len()
+                                {
+                                    break;
+                                }
+                                let slot = st.next;
+                                let Some(record) = st.slots[slot].take() else {
+                                    break;
+                                };
+                                st.next += 1;
+                                st.emitting = true;
+                                record
+                            };
+                            let keep = {
+                                let mut emit = lock(&emitter);
+                                (*emit)(record)
+                            };
+                            lock(&state).emitting = false;
+                            if !keep {
+                                cancel.cancel();
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        lock(&error).get_or_insert(e);
+                        cancel.cancel();
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        return Err(e);
+    }
+    if cancel.is_cancelled() {
+        return Ok(SweepOutcome::Cancelled);
+    }
+    Ok(SweepOutcome::Complete)
+}
+
+/// Serial fallback when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+fn stream_jobs<J, R, F>(
+    jobs: &[J],
+    run_one: R,
+    cancel: &CancelToken,
+    emit: F,
+) -> Result<SweepOutcome, IsaError>
+where
+    R: Fn(&J) -> Result<EvalRecord, IsaError>,
+    F: FnMut(EvalRecord) -> bool,
+{
+    stream_serial(jobs, run_one, cancel, emit)
+}
+
+// ------------------------------------------------------------ evaluator
 
 /// Builder for an [`Evaluator`] session.
 #[derive(Default)]
@@ -144,6 +792,7 @@ pub struct EvaluatorBuilder {
     workloads: Vec<Workload>,
     designs: Vec<DesignPoint>,
     step_limit: Option<u64>,
+    store: Option<Arc<AnalysisStore>>,
 }
 
 impl EvaluatorBuilder {
@@ -200,20 +849,28 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Shares an existing analysis store instead of creating a private one;
+    /// sessions built over the same store share every memoized analysis
+    /// (and its cache counters).
+    #[must_use]
+    pub fn store(mut self, store: Arc<AnalysisStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Evaluator {
         Evaluator {
             workloads: Arc::from(self.workloads),
             designs: Arc::from(self.designs),
             step_limit: self.step_limit,
-            cache: HashMap::new(),
-            stats: CacheStats::default(),
+            store: self.store.unwrap_or_default(),
         }
     }
 }
 
-/// A reusable evaluation session: memoized Algorithm-2 analyses plus batched
-/// design-point sweeps. See the [module documentation](self).
+/// A reusable evaluation session: a facade over one [`AnalysisStore`] plus
+/// per-call [`SweepExecutor`]s. See the [module documentation](self).
 ///
 /// ```
 /// use cassandra_core::eval::Evaluator;
@@ -238,8 +895,7 @@ pub struct Evaluator {
     workloads: Arc<[Workload]>,
     designs: Arc<[DesignPoint]>,
     step_limit: Option<u64>,
-    cache: HashMap<u64, CachedAnalysis>,
-    stats: CacheStats,
+    store: Arc<AnalysisStore>,
 }
 
 impl Default for Evaluator {
@@ -278,14 +934,27 @@ impl Evaluator {
         &self.designs
     }
 
+    /// The session's analysis store as a cheaply clonable handle; build
+    /// another session over it ([`EvaluatorBuilder::store`]) or hand it to
+    /// [`SweepExecutor`]s to share the memoized analyses.
+    pub fn shared_store(&self) -> Arc<AnalysisStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// A sweep executor over this session's store, carrying its step-budget
+    /// override.
+    pub fn executor(&self) -> SweepExecutor<'_> {
+        SweepExecutor::new(&self.store).with_step_limit(self.step_limit)
+    }
+
     /// Analysis-cache counters (hits/misses) accumulated so far.
     pub fn cache_stats(&self) -> CacheStats {
-        self.stats
+        self.store.stats()
     }
 
     /// Number of distinct programs analyzed so far.
     pub fn analyzed_programs(&self) -> usize {
-        self.cache.len()
+        self.store.len()
     }
 
     // ------------------------------------------------------------ analysis
@@ -302,47 +971,6 @@ impl Evaluator {
         Ok(AnalysisBundle { bundle, encoded })
     }
 
-    /// Cache lookup/fill sharing one fingerprint computation; returns the
-    /// bundle plus its analysis wall time and whether it was a cache hit.
-    fn analysis_entry(
-        &mut self,
-        program: &Program,
-        step_limit: u64,
-    ) -> Result<(Arc<AnalysisBundle>, EvalTiming), IsaError> {
-        let key = program_fingerprint(program);
-        if let Some(cached) = self.cache.get(&key) {
-            self.stats.hits += 1;
-            return Ok((
-                Arc::clone(&cached.bundle),
-                EvalTiming {
-                    analysis: cached.elapsed,
-                    analysis_cached: true,
-                    simulate: Duration::ZERO,
-                },
-            ));
-        }
-        let start = Instant::now();
-        let step_limit = self.step_limit.unwrap_or(step_limit);
-        let analysis = Arc::new(Self::analyze_once(program, step_limit)?);
-        let elapsed = start.elapsed();
-        self.stats.misses += 1;
-        self.cache.insert(
-            key,
-            CachedAnalysis {
-                bundle: Arc::clone(&analysis),
-                elapsed,
-            },
-        );
-        Ok((
-            analysis,
-            EvalTiming {
-                analysis: elapsed,
-                analysis_cached: false,
-                simulate: Duration::ZERO,
-            },
-        ))
-    }
-
     /// The memoized analysis of an arbitrary program.
     ///
     /// # Errors
@@ -353,8 +981,8 @@ impl Evaluator {
         program: &Program,
         step_limit: u64,
     ) -> Result<Arc<AnalysisBundle>, IsaError> {
-        self.analysis_entry(program, step_limit)
-            .map(|(bundle, _)| bundle)
+        self.store
+            .analyze_program(program, self.step_limit.unwrap_or(step_limit))
     }
 
     /// The memoized analysis of a workload's kernel.
@@ -416,14 +1044,7 @@ impl Evaluator {
         workload: &Workload,
         design: &DesignPoint,
     ) -> Result<EvalRecord, IsaError> {
-        let (analysis, mut timing) =
-            self.analysis_entry(&workload.kernel.program, workload.kernel.step_limit)?;
-        let mut cfg = design.config;
-        cfg.max_instructions = cfg.max_instructions.max(workload.kernel.step_limit);
-        let start = Instant::now();
-        let outcome = Self::simulate_program(&workload.kernel.program, Some(&analysis), &cfg)?;
-        timing.simulate = start.elapsed();
-        Ok(record_from(workload, design, outcome.stats, timing))
+        self.executor().eval(workload, design)
     }
 
     // --------------------------------------------------------------- sweep
@@ -443,7 +1064,7 @@ impl Evaluator {
     }
 
     /// Evaluates an explicit workload × design matrix against this
-    /// session's cache.
+    /// session's store.
     ///
     /// # Errors
     ///
@@ -453,98 +1074,8 @@ impl Evaluator {
         workloads: &[Workload],
         designs: &[DesignPoint],
     ) -> Result<Vec<EvalRecord>, IsaError> {
-        // Phase 1 (serial): analyze every workload once, through the cache.
-        let mut analyses: Vec<(Arc<AnalysisBundle>, EvalTiming)> =
-            Vec::with_capacity(workloads.len());
-        for w in workloads {
-            analyses.push(self.analysis_entry(&w.kernel.program, w.kernel.step_limit)?);
-        }
-
-        // Phase 2: simulate every (workload, design) pair.
-        let jobs: Vec<(usize, usize)> = (0..workloads.len())
-            .flat_map(|wi| (0..designs.len()).map(move |di| (wi, di)))
-            .collect();
-        let run_one = |&(wi, di): &(usize, usize)| -> Result<EvalRecord, IsaError> {
-            let w = &workloads[wi];
-            let d = &designs[di];
-            let (bundle, mut timing) = (&analyses[wi].0, analyses[wi].1);
-            let mut cfg = d.config;
-            cfg.max_instructions = cfg.max_instructions.max(w.kernel.step_limit);
-            let start = Instant::now();
-            let outcome = Self::simulate_program(&w.kernel.program, Some(bundle), &cfg)?;
-            timing.simulate = start.elapsed();
-            Ok(record_from(w, d, outcome.stats, timing))
-        };
-        run_jobs(&jobs, run_one).into_iter().collect()
+        self.executor().sweep_matrix(workloads, designs)
     }
-}
-
-fn record_from(
-    workload: &Workload,
-    design: &DesignPoint,
-    stats: SimStats,
-    timing: EvalTiming,
-) -> EvalRecord {
-    EvalRecord {
-        workload: workload.name.clone(),
-        group: workload.group,
-        design: design.label.clone(),
-        defense: design.config.defense,
-        stats,
-        timing,
-    }
-}
-
-/// Runs `run_one` over `jobs`, returning results in job order.
-#[cfg(feature = "parallel")]
-fn run_jobs<J, R, F>(jobs: &[J], run_one: F) -> Vec<R>
-where
-    J: Sync,
-    R: Send,
-    F: Fn(&J) -> R + Sync,
-{
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(jobs.len().max(1));
-    if threads <= 1 {
-        return jobs.iter().map(&run_one).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(jobs.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        local.push((i, run_one(&jobs[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            indexed.extend(handle.join().expect("sweep worker thread panicked"));
-        }
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
-}
-
-/// Serial fallback when the `parallel` feature is disabled.
-#[cfg(not(feature = "parallel"))]
-fn run_jobs<J, R, F>(jobs: &[J], run_one: F) -> Vec<R>
-where
-    F: Fn(&J) -> R,
-{
-    jobs.iter().map(run_one).collect()
 }
 
 /// The default profiling step budget, re-exported for builder users.
@@ -629,5 +1160,257 @@ mod tests {
             .with_btu_flush_interval(5000);
         let p = DesignPoint::from_config(cfg);
         assert_eq!(p.label, "Cassandra+flush5000");
+    }
+
+    #[test]
+    fn sessions_share_one_store() {
+        let store = Arc::new(AnalysisStore::new());
+        let w = suite::des_workload(4);
+        let mut first = Evaluator::builder()
+            .store(Arc::clone(&store))
+            .workload(w.clone())
+            .defense_matrix([DefenseMode::Cassandra])
+            .build();
+        first.sweep().unwrap();
+        assert_eq!(store.stats().misses, 1);
+
+        // A second session over the same store reuses the analysis.
+        let mut second = Evaluator::builder()
+            .store(Arc::clone(&store))
+            .workload(w)
+            .defense_matrix([DefenseMode::UnsafeBaseline])
+            .build();
+        let records = second.sweep().unwrap();
+        assert_eq!(store.stats().misses, 1, "no re-analysis across sessions");
+        assert!(records[0].timing.analysis_cached);
+        assert_eq!(second.cache_stats(), store.stats());
+    }
+
+    #[test]
+    fn concurrent_requests_analyze_exactly_once() {
+        let store = AnalysisStore::new();
+        let w = suite::chacha20_workload(64);
+        let threads = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    store.entry(&w.kernel.program, w.kernel.step_limit).unwrap();
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1, "in-flight guard deduplicates analysis");
+        assert_eq!(stats.hits, threads - 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_sweep_stops_early_and_keeps_analyses() {
+        let store = AnalysisStore::new();
+        let executor = SweepExecutor::new(&store);
+        let workloads = [suite::chacha20_workload(64)];
+        let designs: Vec<DesignPoint> = DefenseMode::ALL
+            .into_iter()
+            .map(DesignPoint::from_defense)
+            .collect();
+
+        // Cancel from inside the emit callback after the first record.
+        let cancel = CancelToken::new();
+        let mut emitted = 0usize;
+        let outcome = executor
+            .sweep_stream(&workloads, &designs, &cancel, |_| {
+                emitted += 1;
+                cancel.cancel();
+                true
+            })
+            .unwrap();
+        assert_eq!(outcome, SweepOutcome::Cancelled);
+        assert!(
+            emitted < designs.len(),
+            "cancellation must stop the stream early ({emitted} records)"
+        );
+
+        // The workload's analysis survived: a full re-sweep is pure hits.
+        let misses = store.stats().misses;
+        assert_eq!(misses, 1);
+        let records = executor.sweep_matrix(&workloads, &designs).unwrap();
+        assert_eq!(records.len(), designs.len());
+        assert_eq!(store.stats().misses, misses, "repeat sweep re-analyzed");
+        assert!(records.iter().all(|r| r.timing.analysis_cached));
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_emits_nothing() {
+        let store = AnalysisStore::new();
+        let executor = SweepExecutor::new(&store);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let outcome = executor
+            .sweep_stream(
+                &[suite::des_workload(4)],
+                &[DesignPoint::from_defense(DefenseMode::Cassandra)],
+                &cancel,
+                |_| panic!("nothing may be emitted after cancellation"),
+            )
+            .unwrap();
+        assert_eq!(outcome, SweepOutcome::Cancelled);
+        assert_eq!(store.stats().requests(), 0);
+    }
+
+    #[test]
+    fn sweep_stream_emits_in_matrix_order() {
+        let store = AnalysisStore::new();
+        let executor = SweepExecutor::new(&store);
+        let workloads = [suite::chacha20_workload(64), suite::des_workload(4)];
+        let designs: Vec<DesignPoint> = [
+            DefenseMode::UnsafeBaseline,
+            DefenseMode::Cassandra,
+            DefenseMode::Fence,
+        ]
+        .into_iter()
+        .map(DesignPoint::from_defense)
+        .collect();
+        let mut streamed = Vec::new();
+        let outcome = executor
+            .sweep_stream(&workloads, &designs, &CancelToken::new(), |r| {
+                streamed.push(r);
+                true
+            })
+            .unwrap();
+        assert_eq!(outcome, SweepOutcome::Complete);
+        let collected = executor.sweep_matrix(&workloads, &designs).unwrap();
+        assert_eq!(streamed.len(), collected.len());
+        for (s, c) in streamed.iter().zip(&collected) {
+            assert_eq!((&s.workload, &s.design), (&c.workload, &c.design));
+            assert_eq!(s.stats, c.stats);
+        }
+    }
+
+    /// A synthetic record for driving the emitter machinery without real
+    /// simulations.
+    #[cfg(feature = "parallel")]
+    fn dummy_record(i: usize) -> EvalRecord {
+        EvalRecord {
+            workload: i.to_string(),
+            group: WorkloadGroup::Synthetic,
+            design: "dummy".to_string(),
+            defense: DefenseMode::UnsafeBaseline,
+            stats: SimStats::default(),
+            timing: EvalTiming::default(),
+        }
+    }
+
+    /// The parallel emitter must deliver records in job order even when
+    /// cells complete out of order, on any host (thread count forced).
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_emitter_preserves_job_order() {
+        let jobs: Vec<usize> = (0..64).collect();
+        let run_one = |&i: &usize| {
+            // Earlier jobs finish later, forcing out-of-order completion
+            // and slot parking.
+            std::thread::sleep(Duration::from_micros(((64 - i) % 7) as u64 * 100));
+            Ok(dummy_record(i))
+        };
+        let mut seen = Vec::new();
+        let outcome = stream_parallel(
+            &jobs,
+            run_one,
+            &CancelToken::new(),
+            |r| {
+                seen.push(r.workload.clone());
+                true
+            },
+            4,
+        )
+        .unwrap();
+        assert_eq!(outcome, SweepOutcome::Complete);
+        let expected: Vec<String> = (0..64).map(|i| i.to_string()).collect();
+        assert_eq!(seen, expected, "records must stream in matrix order");
+    }
+
+    /// Declining a record from the emit callback cancels the sweep: nothing
+    /// further is emitted and workers stop picking up cells.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_emitter_stops_when_emit_declines() {
+        let jobs: Vec<usize> = (0..64).collect();
+        let run_one = |&i: &usize| Ok(dummy_record(i));
+        let cancel = CancelToken::new();
+        let mut emitted = 0usize;
+        let outcome = stream_parallel(
+            &jobs,
+            run_one,
+            &cancel,
+            |_| {
+                emitted += 1;
+                emitted < 5
+            },
+            4,
+        )
+        .unwrap();
+        assert_eq!(outcome, SweepOutcome::Cancelled);
+        assert_eq!(emitted, 5, "nothing streams after the declined record");
+        assert!(cancel.is_cancelled());
+    }
+
+    /// A failing cell aborts the sweep with its error, even with other
+    /// cells in flight.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_emitter_propagates_cell_errors() {
+        let jobs: Vec<usize> = (0..32).collect();
+        let run_one = |&i: &usize| {
+            if i == 10 {
+                Err(IsaError::StepLimitExceeded { limit: 10 })
+            } else {
+                Ok(dummy_record(i))
+            }
+        };
+        let err = stream_parallel(&jobs, run_one, &CancelToken::new(), |_| true, 4).unwrap_err();
+        assert!(matches!(err, IsaError::StepLimitExceeded { limit: 10 }));
+    }
+
+    #[test]
+    fn analyses_are_budget_independent() {
+        // The property cache hits rely on: Algorithm 2 errors rather than
+        // truncating when the budget runs out, so any sufficient budget
+        // produces the identical bundle…
+        let w = suite::des_workload(4);
+        let exact = Evaluator::analyze_once(&w.kernel.program, w.kernel.step_limit).unwrap();
+        let generous =
+            Evaluator::analyze_once(&w.kernel.program, w.kernel.step_limit * 16).unwrap();
+        assert_eq!(exact.encoded, generous.encoded);
+        assert_eq!(exact.bundle.branches, generous.bundle.branches);
+        // …and an insufficient budget is a hard error, never a bundle.
+        let err = Evaluator::analyze_once(&w.kernel.program, 1_000).unwrap_err();
+        assert!(matches!(
+            err,
+            cassandra_isa::error::IsaError::StepLimitExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_warm_starts() {
+        let store = AnalysisStore::new();
+        let w = suite::des_workload(4);
+        store.entry(&w.kernel.program, w.kernel.step_limit).unwrap();
+        let snapshot = store.snapshot();
+        assert_eq!(snapshot.entries.len(), 1);
+
+        // The snapshot survives the wire format.
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: AnalysisSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snapshot);
+
+        // A fresh store absorbs it and serves the entry as a hit.
+        let warmed = AnalysisStore::new();
+        assert_eq!(warmed.absorb(back.clone()), 1);
+        assert_eq!(warmed.absorb(back), 0, "duplicate entries are skipped");
+        let (_, timing) = warmed
+            .entry(&w.kernel.program, w.kernel.step_limit)
+            .unwrap();
+        assert!(timing.analysis_cached);
+        assert_eq!(warmed.stats(), CacheStats { hits: 1, misses: 0 });
     }
 }

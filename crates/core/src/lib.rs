@@ -15,6 +15,14 @@
 //! design points, sweeps or experiments consume the result, and sweeps the
 //! design matrix in parallel when the `parallel` feature (default) is on.
 //!
+//! Under the facade, the session is two composable layers (see
+//! [`eval`]): a thread-safe [`eval::AnalysisStore`] (exactly-once analysis
+//! under concurrency, serializable for warm-starts) and stateless
+//! [`eval::SweepExecutor`]s that borrow it (streaming, cancellable
+//! sweeps via [`eval::CancelToken`]). Sessions built with
+//! [`eval::EvaluatorBuilder::store`] share one store — the evaluation
+//! server runs N concurrent requests against a single cache this way.
+//!
 //! On top of it, [`registry::ExperimentRegistry`] unifies every paper
 //! experiment (Table 1, Figures 7–9, Q3, Q4, the Table-2 security sweep and
 //! the §7.5 trace-generation timing) behind the [`registry::Experiment`]
@@ -88,9 +96,13 @@ use cassandra_isa::error::IsaError;
 use cassandra_isa::program::Program;
 use cassandra_kernels::workload::Workload;
 use cassandra_trace::genproc::TraceBundle;
+use serde::{Deserialize, Serialize};
 
-pub use eval::{DesignPoint, EvalRecord, Evaluator};
-pub use policies::{GridSweep, PolicyRegistry};
+pub use eval::{
+    AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, Evaluator,
+    SweepExecutor, SweepOutcome,
+};
+pub use policies::{GridSweep, PolicyConflict, PolicyRegistry};
 pub use registry::{Experiment, ExperimentOutput, ExperimentRegistry};
 
 /// Default profiling step budget for trace generation.
@@ -98,7 +110,10 @@ pub const ANALYSIS_STEP_LIMIT: u64 = 200_000_000;
 
 /// The result of the software side of Cassandra for one program: the
 /// compressed per-branch traces plus their hardware encoding.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so an [`eval::AnalysisStore`] can snapshot its contents for
+/// warm-starts (see [`eval::AnalysisSnapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnalysisBundle {
     /// Output of the trace-generation procedure (Algorithm 2).
     pub bundle: TraceBundle,

@@ -1,11 +1,13 @@
 //! # cassandra-server
 //!
 //! The batch evaluation service of the Cassandra reproduction: a
-//! long-running TCP server holding **one** [`EvalService`] session, so the
-//! fingerprint-memoized Algorithm-2 analyses of
-//! [`cassandra_core::eval::Evaluator`] are shared across every client and
-//! request — the expensive half of an evaluation runs once per distinct
-//! program for the server's whole lifetime.
+//! long-running, **concurrent** TCP server holding one [`EvalService`]
+//! session around one thread-safe
+//! [`cassandra_core::eval::AnalysisStore`], so the fingerprint-memoized
+//! Algorithm-2 analyses are shared across every client and request — the
+//! expensive half of an evaluation runs once per distinct program for the
+//! server's whole lifetime — while requests from different connections
+//! are served in parallel (a long sweep never delays a `Ping`).
 //!
 //! The environment is fully offline, so the transport is deliberately
 //! boring: `std::net` sockets, a fixed worker-thread pool, and
@@ -13,11 +15,15 @@
 //! wire format is documented message-by-message in `docs/PROTOCOL.md`;
 //! requests cover session introspection (`Ping`, `ListPolicies`,
 //! `ListWorkloads`), workload ingestion (`Submit`), design-matrix
-//! evaluation (`Sweep`) and grid expansion over the policy-parameterised
-//! knobs (`GridSweep`, built on [`cassandra_core::policies::GridSweep`]).
-//! Sweep responses stream one `EvalRecord` per line and close with a
+//! evaluation (`Sweep`), grid expansion over the policy-parameterised
+//! knobs (`GridSweep`, built on [`cassandra_core::policies::GridSweep`])
+//! and per-request cancellation (`Cancel`, addressing the client-supplied
+//! id of an in-flight request; see [`RequestEnvelope`]). Sweep responses
+//! stream one `EvalRecord` per line as cells complete and close with a
 //! summary carrying the session's cache counters and the same plain-text
-//! report offline `Experiment` runs render.
+//! report offline `Experiment` runs render — or with `Cancelled`, after
+//! which no further records follow. [`EvalService::with_cache_file`]
+//! persists the analysis store across server restarts.
 //!
 //! ```
 //! use cassandra_server::{serve, Client, EvalService, Request, Response};
@@ -37,6 +43,9 @@ pub mod server;
 pub mod service;
 
 pub use client::Client;
-pub use protocol::{GridSpec, Request, Response, SweepSummary, WorkloadSpec, PROTOCOL_VERSION};
+pub use protocol::{
+    GridSpec, Request, RequestEnvelope, Response, ResponseEnvelope, SweepSummary, WorkloadSpec,
+    PROTOCOL_VERSION,
+};
 pub use server::{serve, ServerHandle};
 pub use service::EvalService;

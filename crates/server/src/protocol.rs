@@ -1,5 +1,5 @@
-//! The wire protocol: request/response types and newline-delimited JSON
-//! framing.
+//! The wire protocol: request/response types, request-id envelopes and
+//! newline-delimited JSON framing.
 //!
 //! Every message is one JSON value on one line (`\n`-terminated, no
 //! newlines inside a message — the vendored `serde_json` never emits them
@@ -7,6 +7,14 @@
 //! enums: unit variants are bare JSON strings (`"Ping"`), data variants are
 //! single-entry objects (`{"Submit": {...}}`). The full format, with a
 //! literal example per message type, is documented in `docs/PROTOCOL.md`.
+//!
+//! Since protocol v2 a request may carry a client-supplied **id** by
+//! wrapping itself in a [`RequestEnvelope`]
+//! (`{"id":"sweep-1","request":{...}}`); the server then echoes that id in
+//! a [`ResponseEnvelope`] around **every** line of the response stream, and
+//! the id becomes a handle for [`Request::Cancel`]. Bare (un-enveloped)
+//! requests keep working exactly as in v1 and get bare responses, so the
+//! two framings never mix within one request's stream.
 //!
 //! Wire-level strings name things the way the CLI does: defense design
 //! points by their [`DefenseMode::label`] (`"Cassandra-part"`, not the Rust
@@ -18,8 +26,9 @@ use cassandra_cpu::config::DefenseMode;
 use serde::{Deserialize, Serialize};
 
 /// Protocol revision reported by [`Response::Pong`]; bumped on breaking wire
-/// changes.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// changes. v2 added request-id envelopes, `Cancel` and `Cancelled` (v1
+/// bare framing still decodes).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// How a [`Request::Submit`] names the workload to ingest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -122,8 +131,40 @@ pub enum Request {
         /// The grid specification.
         grid: GridSpec,
     },
+    /// Cancel the in-flight request carrying this client-supplied id (see
+    /// [`RequestEnvelope`]); its stream terminates with
+    /// [`Response::Cancelled`] instead of `Done`, and so does this
+    /// request's. → [`Response::Cancelled`], or [`Response::Error`] when no
+    /// in-flight request carries the id.
+    Cancel {
+        /// The id the target request was submitted under.
+        id: String,
+    },
     /// Stop the server after this response. → [`Response::ShuttingDown`].
     Shutdown,
+}
+
+/// The v2 request framing: a client-supplied id around a [`Request`]. The
+/// server echoes the id in a [`ResponseEnvelope`] around every line of this
+/// request's response stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client-chosen id; in-flight ids must be unique per server, and a
+    /// sweep's id is the handle [`Request::Cancel`] takes.
+    pub id: String,
+    /// The wrapped request.
+    pub request: Request,
+}
+
+/// The v2 response framing: the request's id echoed around each
+/// [`Response`] line. Only sent for requests that arrived in a
+/// [`RequestEnvelope`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// The id of the request this line answers.
+    pub id: String,
+    /// The wrapped response.
+    pub response: Response,
 }
 
 /// Metadata closing a sweep response stream.
@@ -176,6 +217,14 @@ pub enum Response {
     Record(EvalRecord),
     /// End of a sweep stream, with session metadata.
     Done(SweepSummary),
+    /// Terminal line of a sweep stream stopped by [`Request::Cancel`] (no
+    /// further `Record`s follow), and the acknowledgement sent to the
+    /// canceling connection. Analyses completed before the cancellation
+    /// stay cached.
+    Cancelled {
+        /// The cancelled request's id.
+        id: String,
+    },
     /// Acknowledgement of [`Request::Shutdown`]; the server stops accepting
     /// connections after sending it.
     ShuttingDown,
@@ -208,6 +257,47 @@ pub fn encode<T: Serialize>(message: &T) -> String {
 /// mismatch.
 pub fn decode<T: Deserialize>(line: &str) -> Result<T, serde_json::Error> {
     serde_json::from_str(line.trim())
+}
+
+/// True for a value shaped like an envelope: an object carrying an `id`
+/// field plus the given payload field.
+fn is_envelope(value: &serde::Value, payload: &str) -> bool {
+    value.get_field("id").is_some() && value.get_field(payload).is_some()
+}
+
+/// Decodes one request line in either framing: a [`RequestEnvelope`]
+/// (v2, `{"id":…,"request":…}`) yields `(Some(id), request)`, a bare
+/// [`Request`] (v1) yields `(None, request)`.
+///
+/// # Errors
+///
+/// Returns the underlying serde error on malformed JSON or a line that is
+/// neither framing.
+pub fn decode_request(line: &str) -> Result<(Option<String>, Request), serde_json::Error> {
+    let value: serde::Value = serde_json::from_str(line.trim())?;
+    if is_envelope(&value, "request") {
+        let envelope = RequestEnvelope::from_value(&value)?;
+        Ok((Some(envelope.id), envelope.request))
+    } else {
+        Ok((None, Request::from_value(&value)?))
+    }
+}
+
+/// Decodes one response line in either framing (the mirror of
+/// [`decode_request`], used by clients).
+///
+/// # Errors
+///
+/// Returns the underlying serde error on malformed JSON or a line that is
+/// neither framing.
+pub fn decode_response(line: &str) -> Result<(Option<String>, Response), serde_json::Error> {
+    let value: serde::Value = serde_json::from_str(line.trim())?;
+    if is_envelope(&value, "response") {
+        let envelope = ResponseEnvelope::from_value(&value)?;
+        Ok((Some(envelope.id), envelope.response))
+    } else {
+        Ok((None, Response::from_value(&value)?))
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +347,9 @@ mod tests {
                     redirect_penalties: Vec::new(),
                 },
             },
+            Request::Cancel {
+                id: "sweep-1".to_string(),
+            },
             Request::Shutdown,
         ];
         for request in requests {
@@ -264,6 +357,65 @@ mod tests {
             assert!(!line.contains('\n'), "framing must stay single-line");
             assert_eq!(decode::<Request>(&line).unwrap(), request);
         }
+    }
+
+    #[test]
+    fn envelopes_round_trip_and_coexist_with_bare_framing() {
+        let envelope = RequestEnvelope {
+            id: "sweep-1".to_string(),
+            request: Request::Sweep {
+                workloads: Vec::new(),
+                policies: vec!["Cassandra".to_string()],
+            },
+        };
+        let line = encode(&envelope);
+        assert!(line.starts_with("{\"id\":\"sweep-1\""), "{line}");
+        assert_eq!(
+            decode_request(&line).unwrap(),
+            (Some("sweep-1".to_string()), envelope.request.clone())
+        );
+
+        // Bare v1 framing still decodes, with no id.
+        assert_eq!(decode_request("\"Ping\"").unwrap(), (None, Request::Ping));
+        assert_eq!(
+            decode_request(&encode(&envelope.request)).unwrap(),
+            (None, envelope.request)
+        );
+
+        // Responses mirror the request framing.
+        let tagged = ResponseEnvelope {
+            id: "sweep-1".to_string(),
+            response: Response::Cancelled {
+                id: "sweep-1".to_string(),
+            },
+        };
+        let line = encode(&tagged);
+        assert_eq!(
+            decode_response(&line).unwrap(),
+            (Some("sweep-1".to_string()), tagged.response.clone())
+        );
+        assert_eq!(
+            decode_response(&encode(&tagged.response)).unwrap(),
+            (None, tagged.response)
+        );
+        assert_eq!(
+            decode_response("\"ShuttingDown\"").unwrap(),
+            (None, Response::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn cancel_and_cancelled_are_terminal_and_single_line() {
+        let cancel = Request::Cancel {
+            id: "grid".to_string(),
+        };
+        assert_eq!(encode(&cancel), "{\"Cancel\":{\"id\":\"grid\"}}");
+        let cancelled = Response::Cancelled {
+            id: "grid".to_string(),
+        };
+        assert_eq!(encode(&cancelled), "{\"Cancelled\":{\"id\":\"grid\"}}");
+        assert!(cancelled.is_terminal());
+        assert_eq!(decode::<Response>(&encode(&cancelled)).unwrap(), cancelled);
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! Design constraints (see the crate docs): the build environment is
 //! offline, so there is no async runtime — the server is a plain blocking
 //! accept loop handing connections to `threads` workers over an mpsc
-//! channel. All requests serialize on one `Mutex<EvalService>`: the session
-//! (and its analysis cache) is the shared resource, while each individual
-//! sweep still simulates its design matrix in parallel inside
-//! `Evaluator::sweep_matrix` (with the default `parallel` feature).
+//! channel. The [`EvalService`] is internally synchronized (`&self`
+//! handlers, each shared table behind its own lock, one thread-safe
+//! analysis store), so workers serve their connections **concurrently**: a
+//! long `GridSweep` on one connection — itself simulating its design matrix
+//! on all cores — never delays a `Ping` or `ListPolicies` on another, and a
+//! `Cancel` naming an in-flight request's id stops that sweep mid-matrix.
 //!
 //! Shutdown is cooperative: [`ServerHandle::shutdown`] (or a client
 //! `Shutdown` request) raises a flag; the accept loop polls it between
@@ -15,7 +17,7 @@
 //! timeout, so [`ServerHandle::join`] returns promptly with no dangling
 //! threads.
 
-use crate::protocol::{self, Request, Response};
+use crate::protocol::{self, Request, Response, ResponseEnvelope};
 use crate::service::EvalService;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -73,7 +75,10 @@ impl Drop for ServerHandle {
 
 /// Binds `addr` and serves `service` on a pool of `threads` connection
 /// workers until shut down. Returns immediately; the listener runs on
-/// background threads.
+/// background threads. Each worker owns one connection at a time and
+/// requests run concurrently across workers (the service is internally
+/// synchronized), so `threads` bounds both concurrent connections and
+/// concurrent requests.
 ///
 /// # Errors
 ///
@@ -87,7 +92,7 @@ pub fn serve(
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let service = Arc::new(Mutex::new(service));
+    let service = Arc::new(service);
 
     let accept = {
         let shutdown = Arc::clone(&shutdown);
@@ -103,7 +108,7 @@ pub fn serve(
 
 fn accept_loop(
     listener: TcpListener,
-    service: Arc<Mutex<EvalService>>,
+    service: Arc<EvalService>,
     shutdown: Arc<AtomicBool>,
     threads: usize,
 ) {
@@ -136,11 +141,7 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
-    service: &Mutex<EvalService>,
-    shutdown: &AtomicBool,
-) {
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &EvalService, shutdown: &AtomicBool) {
     loop {
         // Holding the lock across recv is fine: exactly one idle worker
         // waits on the channel, the rest queue on the mutex.
@@ -158,10 +159,13 @@ fn worker_loop(
 }
 
 /// Serves one client connection: reads one request per line, streams the
-/// response lines, keeps the connection open across requests.
+/// response lines, keeps the connection open across requests. Requests on
+/// *other* connections proceed in parallel on their own workers; within one
+/// connection, requests are sequential (issue a `Cancel` from a second
+/// connection to stop a sweep that is still streaming here).
 fn handle_connection(
     stream: TcpStream,
-    service: &Mutex<EvalService>,
+    service: &EvalService,
     shutdown: &AtomicBool,
 ) -> io::Result<()> {
     // BSD-derived platforms let accepted sockets inherit the listener's
@@ -170,8 +174,8 @@ fn handle_connection(
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     // Bound writes so a client that stops reading mid-stream errors this
-    // connection out instead of blocking a worker (and the service lock)
-    // forever on a full send buffer.
+    // connection out instead of blocking a worker forever on a full send
+    // buffer.
     stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -205,35 +209,42 @@ fn handle_connection(
 
 fn serve_request(
     line: &str,
-    service: &Mutex<EvalService>,
+    service: &EvalService,
     shutdown: &AtomicBool,
     writer: &mut TcpStream,
 ) -> io::Result<()> {
-    match protocol::decode::<Request>(line) {
-        Ok(request) => {
+    match protocol::decode_request(line) {
+        Ok((id, request)) => {
             let is_shutdown = matches!(request, Request::Shutdown);
-            {
-                let mut service = service
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                service.handle(request, &mut |response| write_response(writer, &response))?;
-            }
+            // Echo the request's framing: enveloped requests get every
+            // response line wrapped with their id, bare requests get bare
+            // lines.
+            let mut sink = |response: Response| match &id {
+                Some(id) => write_line(
+                    writer,
+                    protocol::encode(&ResponseEnvelope {
+                        id: id.clone(),
+                        response,
+                    }),
+                ),
+                None => write_line(writer, protocol::encode(&response)),
+            };
+            service.handle_tagged(id.as_deref(), request, &mut sink)?;
             if is_shutdown {
                 shutdown.store(true, Ordering::Relaxed);
             }
             Ok(())
         }
-        Err(e) => write_response(
+        Err(e) => write_line(
             writer,
-            &Response::Error {
+            protocol::encode(&Response::Error {
                 message: format!("invalid request: {e}"),
-            },
+            }),
         ),
     }
 }
 
-fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
-    let mut frame = protocol::encode(response);
+fn write_line(writer: &mut TcpStream, mut frame: String) -> io::Result<()> {
     frame.push('\n');
     writer.write_all(frame.as_bytes())?;
     writer.flush()

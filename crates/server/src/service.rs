@@ -1,39 +1,67 @@
 //! The request handler: one long-lived evaluation session behind the wire
-//! protocol.
+//! protocol, safe to drive from any number of threads at once.
 //!
-//! An [`EvalService`] owns the server's [`Evaluator`] — the same session
-//! type offline drivers use — so every analysis is memoized by program
-//! fingerprint and shared across *all* client requests: the second client
-//! to sweep a workload pays zero analysis time, observable through the
-//! [`SweepSummary::cache`] counters. It also owns the session's
-//! [`PolicyRegistry`] (seeded with the standard design points) and the set
-//! of submitted workloads. `GridSweep` requests expand into registry
-//! entries, so grid-discovered design points stay addressable by label in
-//! later `Sweep` requests.
+//! An [`EvalService`] owns the server's [`AnalysisStore`] — the same
+//! thread-safe cache offline [`cassandra_core::eval::Evaluator`] sessions
+//! use — so every
+//! Algorithm-2 analysis is memoized by program fingerprint and shared
+//! across *all* client requests: the second client to sweep a workload pays
+//! zero analysis time, observable through the [`SweepSummary::cache`]
+//! counters. It also owns the session's [`PolicyRegistry`] (seeded with the
+//! standard design points) and the set of submitted workloads, each behind
+//! its own lock. [`EvalService::handle`] therefore takes `&self`: requests
+//! from different connections run **concurrently**, a sweep simulating its
+//! matrix while other requests are answered. Sweeps stream their records as
+//! cells complete and honor per-request cancellation
+//! ([`Request::Cancel`] against the id of an in-flight request).
 //!
-//! The service is transport-agnostic: [`EvalService::handle`] maps one
-//! [`Request`] to a stream of [`Response`]s through a caller-provided sink,
-//! and the loopback tests drive it both in-process and over TCP.
+//! Lock hierarchy (never hold two at once except as listed): `policies` and
+//! `workloads` are leaf locks taken briefly to resolve a request's
+//! selection; `cancels` maps in-flight request ids to [`CancelToken`]s; the
+//! store's internal locks are below all of them. No lock is held while a
+//! sweep simulates or while responses are written.
+//!
+//! The service is transport-agnostic: [`EvalService::handle_tagged`] maps
+//! one [`Request`] (plus its optional client-supplied id) to a stream of
+//! [`Response`]s through a caller-provided sink, and the loopback tests
+//! drive it both in-process and over TCP. With
+//! [`EvalService::with_cache_file`] the analysis store warm-starts from a
+//! snapshot file and re-serializes itself on a clean `Shutdown`.
 
 use crate::protocol::{Request, Response, SweepSummary, WorkloadSpec, PROTOCOL_VERSION};
-use cassandra_core::eval::{DesignPoint, Evaluator};
+use cassandra_core::eval::{
+    AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, SweepExecutor,
+    SweepOutcome,
+};
 use cassandra_core::policies::PolicyRegistry;
 use cassandra_core::registry::ExperimentOutput;
 use cassandra_core::report;
 use cassandra_kernels::suite;
 use cassandra_kernels::workload::Workload;
+use std::collections::HashMap;
 use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-/// A sink receiving the response stream of one request.
-pub type ResponseSink<'a> = dyn FnMut(Response) -> io::Result<()> + 'a;
+/// A sink receiving the response stream of one request. `Send` because a
+/// streaming sweep emits records from its worker threads.
+pub type ResponseSink<'a> = dyn FnMut(Response) -> io::Result<()> + Send + 'a;
 
-/// The server-side evaluation session: a memoized [`Evaluator`], the policy
-/// registry and the submitted workload set. See the
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The server-side evaluation session: a shared [`AnalysisStore`], the
+/// policy registry and the submitted workload set, each behind its own
+/// lock so requests proceed concurrently. See the
 /// [module documentation](self).
 pub struct EvalService {
-    evaluator: Evaluator,
-    policies: PolicyRegistry,
-    workloads: Vec<Workload>,
+    store: Arc<AnalysisStore>,
+    policies: Mutex<PolicyRegistry>,
+    workloads: Mutex<Vec<Workload>>,
+    /// In-flight request ids → their cancellation tokens.
+    cancels: Mutex<HashMap<String, CancelToken>>,
+    cache_file: Option<PathBuf>,
 }
 
 impl Default for EvalService {
@@ -42,48 +70,121 @@ impl Default for EvalService {
     }
 }
 
+/// A sweep's reserved slot in the in-flight id table: holds the request's
+/// [`CancelToken`] and deregisters the id on every exit path.
+struct SweepTicket<'a> {
+    service: &'a EvalService,
+    id: Option<&'a str>,
+    token: CancelToken,
+}
+
+impl Drop for SweepTicket<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            lock(&self.service.cancels).remove(id);
+        }
+    }
+}
+
 impl EvalService {
     /// A fresh session: the standard policy registry, no workloads ingested
-    /// yet, an empty analysis cache.
+    /// yet, an empty analysis store.
     pub fn new() -> Self {
         EvalService {
-            evaluator: Evaluator::new(),
-            policies: PolicyRegistry::standard(),
-            workloads: Vec::new(),
+            store: Arc::new(AnalysisStore::new()),
+            policies: Mutex::new(PolicyRegistry::standard()),
+            workloads: Mutex::new(Vec::new()),
+            cancels: Mutex::new(HashMap::new()),
+            cache_file: None,
         }
     }
 
-    /// The session's evaluator (for cache introspection).
-    pub fn evaluator(&self) -> &Evaluator {
-        &self.evaluator
+    /// Warm-starts the analysis store from `path` (best-effort: a missing
+    /// or unreadable snapshot starts cold) and re-serializes the store to
+    /// the same path on a clean `Shutdown` request. Warmed entries never
+    /// re-run Algorithm 2, so `Done.cache` reports them as hits.
+    #[must_use]
+    pub fn with_cache_file(mut self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(snapshot) = serde_json::from_str::<AnalysisSnapshot>(&text) {
+                self.store.absorb(snapshot);
+            }
+        }
+        self.cache_file = Some(path);
+        self
     }
 
-    /// The session's policy registry (standard entries plus every grid
-    /// expansion served so far).
-    pub fn policies(&self) -> &PolicyRegistry {
-        &self.policies
+    /// Serializes the analysis store to the configured cache file,
+    /// returning how many analyses were written (0 without a cache file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from writing the snapshot.
+    pub fn save_cache(&self) -> io::Result<usize> {
+        let Some(path) = &self.cache_file else {
+            return Ok(0);
+        };
+        let snapshot = self.store.snapshot();
+        let entries = snapshot.entries.len();
+        let text = serde_json::to_string(&snapshot)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, text)?;
+        Ok(entries)
+    }
+
+    /// The session's shared analysis store (for cache introspection and
+    /// cross-session sharing).
+    pub fn store(&self) -> &Arc<AnalysisStore> {
+        &self.store
+    }
+
+    /// A snapshot of the session's policy registry (standard entries plus
+    /// every grid expansion served so far).
+    pub fn policies(&self) -> PolicyRegistry {
+        lock(&self.policies).clone()
     }
 
     /// Names of the workloads ingested so far, in submission order.
     pub fn workload_names(&self) -> Vec<String> {
-        self.workloads.iter().map(|w| w.name.clone()).collect()
+        lock(&self.workloads)
+            .iter()
+            .map(|w| w.name.clone())
+            .collect()
     }
 
-    /// Serves one request, writing the response stream to `sink`. Protocol
-    /// and evaluation failures become [`Response::Error`] envelopes; `Err`
-    /// is reserved for sink (I/O) failures.
+    /// Serves one id-less request ([`EvalService::handle_tagged`] with no
+    /// id — the v1 framing).
     ///
     /// # Errors
     ///
     /// Propagates errors returned by `sink`.
-    pub fn handle(&mut self, request: Request, sink: &mut ResponseSink<'_>) -> io::Result<()> {
+    pub fn handle(&self, request: Request, sink: &mut ResponseSink<'_>) -> io::Result<()> {
+        self.handle_tagged(None, request, sink)
+    }
+
+    /// Serves one request, writing the response stream to `sink`. `id` is
+    /// the client-supplied request id, if the request arrived in a
+    /// [`crate::protocol::RequestEnvelope`]; while a sweep with an id is in
+    /// flight, a concurrent [`Request::Cancel`] with the same id stops it.
+    /// Protocol and evaluation failures become [`Response::Error`]
+    /// envelopes; `Err` is reserved for sink (I/O) failures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors returned by `sink`.
+    pub fn handle_tagged(
+        &self,
+        id: Option<&str>,
+        request: Request,
+        sink: &mut ResponseSink<'_>,
+    ) -> io::Result<()> {
         match request {
             Request::Ping => sink(Response::Pong {
                 protocol: PROTOCOL_VERSION,
             }),
             Request::ListPolicies => sink(Response::Policies {
-                labels: self
-                    .policies
+                labels: lock(&self.policies)
                     .labels()
                     .into_iter()
                     .map(str::to_string)
@@ -98,8 +199,10 @@ impl EvalService {
                         name: workload.name.clone(),
                         group: workload.group.to_string(),
                     };
-                    self.workloads.retain(|w| w.name != workload.name);
-                    self.workloads.push(workload);
+                    let mut workloads = lock(&self.workloads);
+                    workloads.retain(|w| w.name != workload.name);
+                    workloads.push(workload);
+                    drop(workloads);
                     sink(response)
                 }
                 Err(message) => sink(Response::Error { message }),
@@ -108,42 +211,75 @@ impl EvalService {
                 workloads,
                 policies,
             } => match self.select_designs(&policies) {
-                Ok(designs) => self.run_sweep(&workloads, designs, sink),
+                Ok(designs) => match self.reserve_id(id) {
+                    Ok(ticket) => self.run_sweep(ticket, &workloads, designs, sink),
+                    Err(message) => sink(Response::Error { message }),
+                },
                 Err(message) => sink(Response::Error { message }),
             },
             Request::GridSweep { workloads, grid } => match grid.to_grid() {
                 Ok(grid) => {
-                    // Validate the workload selection before touching shared
-                    // state: a rejected request must not leave grid entries
-                    // behind in the session registry.
+                    // Validate the workload selection and reserve the
+                    // request id before touching shared state: a rejected
+                    // request must not leave grid entries behind in the
+                    // session registry.
                     if let Err(message) = self.select_workloads(&workloads) {
                         return sink(Response::Error { message });
                     }
+                    let ticket = match self.reserve_id(id) {
+                        Ok(ticket) => ticket,
+                        Err(message) => return sink(Response::Error { message }),
+                    };
                     let expansion = grid.expand();
                     let designs = expansion.designs().to_vec();
                     // Grid cells become first-class registry entries: later
                     // Sweep requests can address them by label.
-                    self.policies.register_all(expansion);
-                    self.run_sweep(&workloads, designs, sink)
+                    // Re-registering identical cells is a no-op; a label
+                    // that would change an existing registration is a
+                    // protocol error (register_all is atomic on conflict).
+                    if let Err(conflict) = lock(&self.policies).register_all(expansion) {
+                        return sink(Response::Error {
+                            message: conflict.to_string(),
+                        });
+                    }
+                    self.run_sweep(ticket, &workloads, designs, sink)
                 }
                 Err(message) => sink(Response::Error { message }),
             },
-            Request::Shutdown => sink(Response::ShuttingDown),
+            Request::Cancel { id: target } => {
+                let token = lock(&self.cancels).get(&target).cloned();
+                match token {
+                    Some(token) => {
+                        token.cancel();
+                        sink(Response::Cancelled { id: target })
+                    }
+                    None => sink(Response::Error {
+                        message: format!("no in-flight request with id `{target}`"),
+                    }),
+                }
+            }
+            Request::Shutdown => {
+                // Best-effort warm-start snapshot on clean shutdown; a
+                // failed write must not block the acknowledgement.
+                let _ = self.save_cache();
+                sink(Response::ShuttingDown)
+            }
         }
     }
 
     /// Resolves policy labels against the registry; empty selects all.
     fn select_designs(&self, labels: &[String]) -> Result<Vec<DesignPoint>, String> {
+        let policies = lock(&self.policies);
         if labels.is_empty() {
-            return Ok(self.policies.designs().to_vec());
+            return Ok(policies.designs().to_vec());
         }
         labels
             .iter()
             .map(|label| {
-                self.policies.get(label).cloned().ok_or_else(|| {
+                policies.get(label).cloned().ok_or_else(|| {
                     format!(
                         "unknown policy `{label}`; registered: {}",
-                        self.policies.labels().join(", ")
+                        policies.labels().join(", ")
                     )
                 })
             })
@@ -153,35 +289,64 @@ impl EvalService {
     /// Resolves workload names against the submitted set; empty selects
     /// all.
     fn select_workloads(&self, names: &[String]) -> Result<Vec<Workload>, String> {
-        if self.workloads.is_empty() {
+        let workloads = lock(&self.workloads);
+        if workloads.is_empty() {
             return Err(
                 "no workloads submitted; send a Submit request before sweeping".to_string(),
             );
         }
         if names.is_empty() {
-            return Ok(self.workloads.clone());
+            return Ok(workloads.clone());
         }
         names
             .iter()
             .map(|name| {
-                self.workloads
+                workloads
                     .iter()
                     .find(|w| &w.name == name)
                     .cloned()
                     .ok_or_else(|| {
                         format!(
                             "unknown workload `{name}`; submitted: {}",
-                            self.workload_names().join(", ")
+                            workloads
+                                .iter()
+                                .map(|w| w.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
                         )
                     })
             })
             .collect()
     }
 
-    /// Runs workloads × designs through the shared session and streams the
-    /// records plus the closing summary.
+    /// Reserves `id` in the in-flight table for concurrent cancellation
+    /// (the returned ticket deregisters it on drop). Performed *before*
+    /// any shared-state mutation, so a duplicate-id rejection leaves no
+    /// residue behind.
+    fn reserve_id<'a>(&'a self, id: Option<&'a str>) -> Result<SweepTicket<'a>, String> {
+        let token = CancelToken::new();
+        if let Some(id) = id {
+            let mut cancels = lock(&self.cancels);
+            if cancels.contains_key(id) {
+                return Err(format!("request id `{id}` is already in flight"));
+            }
+            cancels.insert(id.to_string(), token.clone());
+        }
+        Ok(SweepTicket {
+            service: self,
+            id,
+            token,
+        })
+    }
+
+    /// Runs workloads × designs against the shared store, streaming each
+    /// record as its cell (and every earlier cell) completes, then the
+    /// closing summary — or `Cancelled`, with nothing further, when the
+    /// request's token is raised mid-sweep. No service lock is held while
+    /// the sweep simulates.
     fn run_sweep(
-        &mut self,
+        &self,
+        ticket: SweepTicket<'_>,
         workload_names: &[String],
         designs: Vec<DesignPoint>,
         sink: &mut ResponseSink<'_>,
@@ -195,21 +360,41 @@ impl EvalService {
                 message: "the sweep selects no design points".to_string(),
             });
         }
-        match self.evaluator.sweep_matrix(&workloads, &designs) {
-            Ok(records) => {
-                for record in &records {
-                    sink(Response::Record(record.clone()))?;
+
+        let mut streamed: Vec<EvalRecord> = Vec::new();
+        let mut sink_error: Option<io::Error> = None;
+        let executor = SweepExecutor::new(&self.store);
+        let outcome =
+            executor.sweep_stream(&workloads, &designs, &ticket.token, |record| {
+                match sink(Response::Record(record.clone())) {
+                    Ok(()) => {
+                        streamed.push(record);
+                        true
+                    }
+                    Err(e) => {
+                        sink_error = Some(e);
+                        false
+                    }
                 }
+            });
+        if let Some(e) = sink_error {
+            return Err(e);
+        }
+        match outcome {
+            Ok(SweepOutcome::Complete) => {
                 let summary = SweepSummary {
-                    records: records.len(),
+                    records: streamed.len(),
                     designs: designs.iter().map(|d| d.label.clone()).collect(),
-                    cache: self.evaluator.cache_stats(),
-                    analyzed_programs: self.evaluator.analyzed_programs(),
+                    cache: self.store.stats(),
+                    analyzed_programs: self.store.len(),
                     // The exact formatter offline Experiment runs use.
-                    report: report::render_text(&ExperimentOutput::Records(records)),
+                    report: report::render_text(&ExperimentOutput::Records(streamed)),
                 };
                 sink(Response::Done(summary))
             }
+            Ok(SweepOutcome::Cancelled) => sink(Response::Cancelled {
+                id: ticket.id.unwrap_or_default().to_string(),
+            }),
             Err(e) => sink(Response::Error {
                 message: format!("evaluation failed: {e}"),
             }),
@@ -274,10 +459,14 @@ mod tests {
     use crate::protocol::GridSpec;
     use cassandra_cpu::config::DefenseMode;
 
-    fn collect(service: &mut EvalService, request: Request) -> Vec<Response> {
+    fn collect(service: &EvalService, request: Request) -> Vec<Response> {
+        collect_tagged(service, None, request)
+    }
+
+    fn collect_tagged(service: &EvalService, id: Option<&str>, request: Request) -> Vec<Response> {
         let mut out = Vec::new();
         service
-            .handle(request, &mut |r| {
+            .handle_tagged(id, request, &mut |r| {
                 out.push(r);
                 Ok(())
             })
@@ -287,9 +476,9 @@ mod tests {
 
     #[test]
     fn ping_reports_the_protocol_version() {
-        let mut service = EvalService::new();
+        let service = EvalService::new();
         assert_eq!(
-            collect(&mut service, Request::Ping),
+            collect(&service, Request::Ping),
             [Response::Pong {
                 protocol: PROTOCOL_VERSION
             }]
@@ -298,8 +487,8 @@ mod tests {
 
     #[test]
     fn list_policies_matches_the_standard_registry() {
-        let mut service = EvalService::new();
-        let responses = collect(&mut service, Request::ListPolicies);
+        let service = EvalService::new();
+        let responses = collect(&service, Request::ListPolicies);
         let Response::Policies { labels } = &responses[0] else {
             panic!("expected Policies, got {responses:?}");
         };
@@ -309,9 +498,9 @@ mod tests {
 
     #[test]
     fn submit_by_kernel_family_and_rename() {
-        let mut service = EvalService::new();
+        let service = EvalService::new();
         let responses = collect(
-            &mut service,
+            &service,
             Request::Submit {
                 spec: WorkloadSpec::Kernel {
                     family: "chacha20".to_string(),
@@ -330,7 +519,7 @@ mod tests {
         assert_eq!(service.workload_names(), ["my-stream"]);
         // Resubmitting the same name replaces, not duplicates.
         collect(
-            &mut service,
+            &service,
             Request::Submit {
                 spec: WorkloadSpec::Kernel {
                     family: "chacha20".to_string(),
@@ -344,9 +533,9 @@ mod tests {
 
     #[test]
     fn sweep_without_workloads_is_an_error_envelope() {
-        let mut service = EvalService::new();
+        let service = EvalService::new();
         let responses = collect(
-            &mut service,
+            &service,
             Request::Sweep {
                 workloads: Vec::new(),
                 policies: Vec::new(),
@@ -360,9 +549,9 @@ mod tests {
 
     #[test]
     fn unknown_policy_label_is_an_error_envelope() {
-        let mut service = EvalService::new();
+        let service = EvalService::new();
         collect(
-            &mut service,
+            &service,
             Request::Submit {
                 spec: WorkloadSpec::Suite {
                     name: "DES_ct".to_string(),
@@ -370,7 +559,7 @@ mod tests {
             },
         );
         let responses = collect(
-            &mut service,
+            &service,
             Request::Sweep {
                 workloads: Vec::new(),
                 policies: vec!["NotAPolicy".to_string()],
@@ -384,9 +573,9 @@ mod tests {
 
     #[test]
     fn oversized_kernel_submit_is_rejected() {
-        let mut service = EvalService::new();
+        let service = EvalService::new();
         let responses = collect(
-            &mut service,
+            &service,
             Request::Submit {
                 spec: WorkloadSpec::Kernel {
                     family: "chacha20".to_string(),
@@ -404,11 +593,11 @@ mod tests {
 
     #[test]
     fn rejected_grid_sweep_does_not_register_its_expansion() {
-        let mut service = EvalService::new();
+        let service = EvalService::new();
         let before = service.policies().len();
         // No workloads submitted: the request fails validation…
         let responses = collect(
-            &mut service,
+            &service,
             Request::GridSweep {
                 workloads: Vec::new(),
                 grid: GridSpec {
@@ -432,9 +621,9 @@ mod tests {
 
     #[test]
     fn grid_sweep_registers_its_expansion() {
-        let mut service = EvalService::new();
+        let service = EvalService::new();
         collect(
-            &mut service,
+            &service,
             Request::Submit {
                 spec: WorkloadSpec::Kernel {
                     family: "des".to_string(),
@@ -445,7 +634,7 @@ mod tests {
         );
         let before = service.policies().len();
         let responses = collect(
-            &mut service,
+            &service,
             Request::GridSweep {
                 workloads: Vec::new(),
                 grid: GridSpec {
@@ -467,5 +656,171 @@ mod tests {
         // The expansion became a registry entry, addressable by later Sweeps.
         assert_eq!(service.policies().len(), before + 1);
         assert!(service.policies().get("Cassandra+btu8").is_some());
+
+        // Re-submitting the identical grid is a no-op on the registry, not
+        // a silent overwrite (and not an error).
+        let responses = collect(
+            &service,
+            Request::GridSweep {
+                workloads: Vec::new(),
+                grid: GridSpec {
+                    defenses: vec!["Cassandra".to_string()],
+                    tournament_thresholds: Vec::new(),
+                    btu_partitions: Vec::new(),
+                    btu_entries: vec![8],
+                    miss_penalties: Vec::new(),
+                    redirect_penalties: Vec::new(),
+                },
+            },
+        );
+        assert!(matches!(responses.last(), Some(Response::Done(_))));
+        assert_eq!(service.policies().len(), before + 1);
+    }
+
+    #[test]
+    fn duplicate_id_grid_sweep_leaves_no_registry_residue() {
+        let service = EvalService::new();
+        collect(
+            &service,
+            Request::Submit {
+                spec: WorkloadSpec::Kernel {
+                    family: "des".to_string(),
+                    size: 4,
+                    name: None,
+                },
+            },
+        );
+        let before = service.policies().len();
+        let service_ref = &service;
+        let mut probed = false;
+        service
+            .handle_tagged(
+                Some("dup"),
+                Request::Sweep {
+                    workloads: Vec::new(),
+                    policies: vec!["Cassandra".to_string(), "Fence".to_string()],
+                },
+                &mut |r| {
+                    if matches!(r, Response::Record(_)) && !probed {
+                        probed = true;
+                        // While `dup` is in flight, a GridSweep reusing the
+                        // id is rejected…
+                        let responses = collect_tagged(
+                            service_ref,
+                            Some("dup"),
+                            Request::GridSweep {
+                                workloads: Vec::new(),
+                                grid: GridSpec {
+                                    defenses: vec!["Cassandra".to_string()],
+                                    tournament_thresholds: Vec::new(),
+                                    btu_partitions: Vec::new(),
+                                    btu_entries: vec![64],
+                                    miss_penalties: Vec::new(),
+                                    redirect_penalties: Vec::new(),
+                                },
+                            },
+                        );
+                        assert!(
+                            matches!(&responses[0], Response::Error { message }
+                                if message.contains("already in flight")),
+                            "{responses:?}"
+                        );
+                        // …and must not leave its expansion in the shared
+                        // registry.
+                        assert_eq!(service_ref.policies().len(), before);
+                        assert!(service_ref.policies().get("Cassandra+btu64").is_none());
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert!(probed, "the rejected grid must have been probed mid-sweep");
+        assert_eq!(service.policies().len(), before);
+    }
+
+    #[test]
+    fn cancel_of_unknown_id_is_an_error_envelope() {
+        let service = EvalService::new();
+        let responses = collect(
+            &service,
+            Request::Cancel {
+                id: "nope".to_string(),
+            },
+        );
+        assert!(
+            matches!(&responses[0], Response::Error { message } if message.contains("nope")),
+            "{responses:?}"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_terminates_with_cancelled_and_no_records() {
+        let service = EvalService::new();
+        collect(
+            &service,
+            Request::Submit {
+                spec: WorkloadSpec::Kernel {
+                    family: "des".to_string(),
+                    size: 4,
+                    name: None,
+                },
+            },
+        );
+        // Cancel the id from inside the sink on the first response the
+        // sweep emits — deterministic without a second thread: the sweep
+        // registers its token before evaluating anything, so cancelling on
+        // the first record stops the stream immediately after it.
+        let service_ref = &service;
+        let mut responses = Vec::new();
+        service_ref
+            .handle_tagged(
+                Some("s1"),
+                Request::Sweep {
+                    workloads: Vec::new(),
+                    policies: Vec::new(),
+                },
+                &mut |r| {
+                    if matches!(r, Response::Record(_)) {
+                        let cancels = collect(
+                            service_ref,
+                            Request::Cancel {
+                                id: "s1".to_string(),
+                            },
+                        );
+                        assert_eq!(
+                            cancels,
+                            [Response::Cancelled {
+                                id: "s1".to_string()
+                            }]
+                        );
+                    }
+                    responses.push(r);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        let records = responses
+            .iter()
+            .filter(|r| matches!(r, Response::Record(_)))
+            .count();
+        assert!(
+            records < DefenseMode::ALL.len(),
+            "cancellation must stop the stream early ({records} records)"
+        );
+        assert_eq!(
+            responses.last(),
+            Some(&Response::Cancelled {
+                id: "s1".to_string()
+            }),
+            "cancelled sweeps terminate with Cancelled, not Done"
+        );
+        // The id is free again afterwards.
+        let responses = collect(
+            &service,
+            Request::Cancel {
+                id: "s1".to_string(),
+            },
+        );
+        assert!(matches!(&responses[0], Response::Error { .. }));
     }
 }

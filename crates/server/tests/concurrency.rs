@@ -1,0 +1,257 @@
+//! Concurrency integration tests: requests from different connections run
+//! in parallel against one shared analysis store, and in-flight sweeps are
+//! cancellable by their client-supplied id.
+//!
+//! The "long" sweep is a 48-cell grid over a chacha20(512) workload —
+//! seconds of wall time in debug builds — so the short-request and
+//! cancellation probes land mid-sweep with a wide margin.
+
+use cassandra_server::{serve, Client, EvalService, GridSpec, Request, Response, WorkloadSpec};
+use std::thread;
+use std::time::Instant;
+
+const SWEEP_ID: &str = "long-sweep";
+
+/// 1 defense × 4 BTU-entry values × 4 miss penalties × 3 redirect
+/// penalties = 48 grid cells.
+fn long_grid() -> GridSpec {
+    GridSpec {
+        defenses: vec!["Cassandra".to_string()],
+        tournament_thresholds: Vec::new(),
+        btu_partitions: Vec::new(),
+        btu_entries: vec![4, 8, 16, 32],
+        miss_penalties: vec![10, 20, 30, 40],
+        redirect_penalties: vec![6, 12, 24],
+    }
+}
+
+const LONG_GRID_CELLS: usize = 48;
+
+fn start() -> (cassandra_server::ServerHandle, Client) {
+    let handle = serve("127.0.0.1:0", EvalService::new(), 4).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let responses = client
+        .request(&Request::Submit {
+            spec: WorkloadSpec::Kernel {
+                family: "chacha20".to_string(),
+                size: 512,
+                name: None,
+            },
+        })
+        .unwrap();
+    assert!(
+        matches!(responses[0], Response::Submitted { .. }),
+        "{responses:?}"
+    );
+    (handle, client)
+}
+
+/// Reads one request's full tagged stream, asserting the id is echoed on
+/// every line; returns the stream and the instant the terminal line
+/// arrived.
+fn drain_tagged(client: &mut Client, id: &str) -> (Vec<Response>, Instant) {
+    let mut responses = Vec::new();
+    loop {
+        let (got, response) = client.recv_tagged().unwrap();
+        assert_eq!(got.as_deref(), Some(id), "every line echoes the request id");
+        let terminal = response.is_terminal();
+        responses.push(response);
+        if terminal {
+            return (responses, Instant::now());
+        }
+    }
+}
+
+/// A `Ping` and a `ListPolicies` issued on a second connection while a long
+/// `GridSweep` streams on the first complete long before the sweep's
+/// `Done` — the request that serialized every client on one session lock
+/// is gone.
+#[test]
+fn short_requests_complete_during_a_long_sweep() {
+    let (handle, mut sweeper) = start();
+
+    let started = Instant::now();
+    sweeper
+        .send_tagged(
+            SWEEP_ID,
+            &Request::GridSweep {
+                workloads: Vec::new(),
+                grid: long_grid(),
+            },
+        )
+        .unwrap();
+    let drain = thread::spawn(move || {
+        let (responses, done_at) = drain_tagged(&mut sweeper, SWEEP_ID);
+        (responses, done_at)
+    });
+
+    // Probe from a second connection while the sweep is in flight.
+    let mut prober = Client::connect(handle.addr()).unwrap();
+    let ping_sent = Instant::now();
+    let pong = prober.request(&Request::Ping).unwrap();
+    let ping_latency = ping_sent.elapsed();
+    assert!(matches!(pong[0], Response::Pong { .. }), "{pong:?}");
+    let policies = prober.request(&Request::ListPolicies).unwrap();
+    assert!(
+        matches!(&policies[0], Response::Policies { labels } if !labels.is_empty()),
+        "{policies:?}"
+    );
+    let probes_done_at = Instant::now();
+
+    let (responses, sweep_done_at) = drain.join().unwrap();
+    assert!(
+        matches!(responses.last(), Some(Response::Done(_))),
+        "sweep must end with Done: {:?}",
+        responses.last()
+    );
+    let records = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Record(_)))
+        .count();
+    assert_eq!(records, LONG_GRID_CELLS);
+
+    // The short requests finished while the sweep was still streaming…
+    assert!(
+        probes_done_at < sweep_done_at,
+        "Ping/ListPolicies must complete before the sweep's Done"
+    );
+    // …and were answered orders of magnitude faster than the sweep (the
+    // serialized server answered them only after the whole sweep).
+    let sweep_duration = sweep_done_at.duration_since(started);
+    assert!(
+        sweep_duration >= ping_latency * 5,
+        "ping ({ping_latency:?}) must not wait for the sweep ({sweep_duration:?})"
+    );
+
+    handle.shutdown();
+}
+
+/// A `Cancel` naming an in-flight sweep's id terminates the sweep's stream
+/// with `Cancelled` (no further `Record` lines, no `Done`), leaves the
+/// store's analyses intact — the repeated sweep is pure cache hits — and
+/// frees the id.
+#[test]
+fn cancel_stops_a_sweep_and_preserves_the_store() {
+    let (_handle, mut sweeper) = start();
+
+    sweeper
+        .send_tagged(
+            SWEEP_ID,
+            &Request::GridSweep {
+                workloads: Vec::new(),
+                grid: long_grid(),
+            },
+        )
+        .unwrap();
+
+    // Wait for the first streamed record — the sweep is mid-matrix — then
+    // cancel it from a side connection (the sweeping connection is busy
+    // streaming).
+    let (id, first) = sweeper.recv_tagged().unwrap();
+    assert_eq!(id.as_deref(), Some(SWEEP_ID));
+    assert!(matches!(first, Response::Record(_)), "{first:?}");
+    let ack = sweeper.cancel(SWEEP_ID).unwrap();
+    assert_eq!(
+        ack,
+        Response::Cancelled {
+            id: SWEEP_ID.to_string()
+        }
+    );
+
+    // The sweep's own stream terminates with Cancelled; whatever records
+    // were already in flight arrive first, but far fewer than the matrix.
+    let mut records = 1usize;
+    let terminal = loop {
+        let (id, response) = sweeper.recv_tagged().unwrap();
+        assert_eq!(id.as_deref(), Some(SWEEP_ID));
+        match response {
+            Response::Record(_) => records += 1,
+            other => break other,
+        }
+    };
+    assert_eq!(
+        terminal,
+        Response::Cancelled {
+            id: SWEEP_ID.to_string()
+        },
+        "a cancelled sweep ends with Cancelled, not Done"
+    );
+    assert!(
+        records < LONG_GRID_CELLS,
+        "cancellation must stop the stream early ({records}/{LONG_GRID_CELLS} records)"
+    );
+
+    // The workload's analysis survived the cancellation: repeating the
+    // same sweep re-simulates but never re-analyzes.
+    let responses = sweeper
+        .request(&Request::GridSweep {
+            workloads: Vec::new(),
+            grid: long_grid(),
+        })
+        .unwrap();
+    let Some(Response::Done(summary)) = responses.last() else {
+        panic!("expected Done, got {:?}", responses.last());
+    };
+    assert_eq!(summary.records, LONG_GRID_CELLS);
+    assert_eq!(
+        summary.cache.misses, 1,
+        "repeat sweep after cancel must be pure cache hits: {:?}",
+        summary.cache
+    );
+    for response in &responses {
+        if let Response::Record(record) = response {
+            assert!(
+                record.timing.analysis_cached,
+                "{}/{} re-analyzed after cancellation",
+                record.workload, record.design
+            );
+        }
+    }
+
+    // The cancelled id is free again: cancelling it now is an error.
+    let stale = sweeper.cancel(SWEEP_ID).unwrap();
+    assert!(
+        matches!(&stale, Response::Error { message } if message.contains(SWEEP_ID)),
+        "{stale:?}"
+    );
+}
+
+/// Two sweeps tagged with the same id cannot be in flight at once; the
+/// second is rejected without evaluating anything.
+#[test]
+fn duplicate_in_flight_ids_are_rejected() {
+    let (handle, mut sweeper) = start();
+    sweeper
+        .send_tagged(
+            SWEEP_ID,
+            &Request::GridSweep {
+                workloads: Vec::new(),
+                grid: long_grid(),
+            },
+        )
+        .unwrap();
+    let (_, first) = sweeper.recv_tagged().unwrap();
+    assert!(matches!(first, Response::Record(_)), "{first:?}");
+
+    // Same id from a second connection while the first is in flight.
+    let mut other = Client::connect(handle.addr()).unwrap();
+    let responses = other
+        .request_tagged(
+            SWEEP_ID,
+            &Request::Sweep {
+                workloads: Vec::new(),
+                policies: vec!["Cassandra".to_string()],
+            },
+        )
+        .unwrap();
+    assert!(
+        matches!(&responses[0], Response::Error { message }
+            if message.contains("already in flight")),
+        "{responses:?}"
+    );
+
+    // Cancel the long sweep so the test exits quickly.
+    sweeper.cancel(SWEEP_ID).unwrap();
+    let (cancelled, _) = drain_tagged(&mut sweeper, SWEEP_ID);
+    assert!(matches!(cancelled.last(), Some(Response::Cancelled { .. })));
+}

@@ -291,3 +291,60 @@ fn shutdown_request_stops_the_server_cleanly() {
     // join() only returns once the accept loop and workers have exited.
     handle.join();
 }
+
+#[test]
+fn cache_file_warm_starts_a_restarted_server() {
+    let path =
+        std::env::temp_dir().join(format!("cassandra-warm-start-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let sweep = Request::Sweep {
+        workloads: Vec::new(),
+        policies: vec!["Cassandra".to_string(), "UnsafeBaseline".to_string()],
+    };
+
+    // First server lifetime: analyze two workloads, then a clean Shutdown
+    // serializes the analysis store to the cache file.
+    {
+        let service = EvalService::new().with_cache_file(&path);
+        let handle = serve("127.0.0.1:0", service, 2).expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        submit_quick_pair(&mut client);
+        let (_, summary) = split_stream(client.request(&sweep).unwrap());
+        assert_eq!(summary.cache.misses, 2, "cold start analyzes");
+        client.request(&Request::Shutdown).unwrap();
+        handle.join();
+    }
+    assert!(path.exists(), "clean Shutdown must write the snapshot");
+
+    // Second lifetime: the store warm-starts from disk, so the same sweep
+    // never runs Algorithm 2 — warmed entries surface as pure hits.
+    {
+        let service = EvalService::new().with_cache_file(&path);
+        let handle = serve("127.0.0.1:0", service, 2).expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        submit_quick_pair(&mut client);
+        let (records, summary) = split_stream(client.request(&sweep).unwrap());
+        assert_eq!(summary.cache.misses, 0, "warm start: {:?}", summary.cache);
+        assert_eq!(summary.cache.hits, 2);
+        assert_eq!(summary.analyzed_programs, 2);
+        assert!(records.iter().all(|r| r.timing.analysis_cached));
+        client.request(&Request::Shutdown).unwrap();
+        handle.join();
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_or_corrupt_cache_file_starts_cold() {
+    let path = std::env::temp_dir().join(format!(
+        "cassandra-corrupt-cache-{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, "{not a snapshot").unwrap();
+    let service = EvalService::new().with_cache_file(&path);
+    assert!(service.store().is_empty(), "corrupt snapshots are ignored");
+    let missing = EvalService::new()
+        .with_cache_file(std::env::temp_dir().join("cassandra-never-written.json"));
+    assert!(missing.store().is_empty());
+    let _ = std::fs::remove_file(&path);
+}

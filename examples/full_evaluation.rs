@@ -7,7 +7,7 @@
 //! cargo run --release --example full_evaluation -- \
 //!     [EXPERIMENT] [--format text|csv|json] [--designs LABEL,LABEL,...]
 //! cargo run --release --example full_evaluation -- \
-//!     serve [--addr HOST:PORT] [--threads N] [--smoke]
+//!     serve [--addr HOST:PORT] [--threads N] [--cache-file PATH] [--smoke]
 //! cargo run --release --example full_evaluation -- \
 //!     connect [--addr HOST:PORT] [REQUEST-JSON ...]
 //! ```
@@ -29,10 +29,14 @@
 //!
 //! `serve` runs the evaluation service (see `docs/PROTOCOL.md`): one
 //! long-lived session whose memoized analyses are shared across every
-//! client request. `--smoke` instead runs a self-contained round trip
-//! (spawn on an ephemeral port, Submit + GridSweep over loopback, clean
-//! shutdown) — CI uses it. `connect` sends newline-delimited JSON requests
-//! (from the command line or stdin) and prints each response line.
+//! client request, with requests from different connections served
+//! concurrently. `--cache-file PATH` warm-starts the analysis store from a
+//! snapshot and re-serializes it on a clean client `Shutdown`. `--smoke`
+//! instead runs a self-contained concurrent round trip (spawn on an
+//! ephemeral port, Submit + a tagged GridSweep streaming on one connection
+//! while a second connection pings mid-sweep, clean shutdown) — CI uses
+//! it. `connect` sends newline-delimited JSON requests (from the command
+//! line or stdin) and prints each response line.
 
 use cassandra::core::experiments::quick_workloads;
 use cassandra::core::registry::{Fig8Experiment, SweepExperiment};
@@ -50,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut threads = 4usize;
     let mut smoke = false;
+    let mut cache_file: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -86,6 +91,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .parse()?;
         } else if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--cache-file" {
+            cache_file = Some(
+                iter.next()
+                    .ok_or("--cache-file requires a snapshot path")?
+                    .clone(),
+            );
         } else {
             positional.push(arg.clone());
         }
@@ -96,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| "quick".to_string());
 
     match experiment.as_str() {
-        "serve" => return run_server(&addr, threads, smoke),
+        "serve" => return run_server(&addr, threads, smoke, cache_file.as_deref()),
         "connect" => return run_client(&addr, &positional[1..]),
         _ => {}
     }
@@ -178,10 +189,23 @@ fn print_cache_summary(session: &Evaluator) {
 // ------------------------------------------------------ evaluation service
 
 /// `serve`: run the evaluation service until a client sends `Shutdown` (or,
-/// with `--smoke`, drive one loopback round trip and exit).
-fn run_server(addr: &str, threads: usize, smoke: bool) -> Result<(), Box<dyn std::error::Error>> {
+/// with `--smoke`, drive one concurrent loopback round trip and exit).
+fn run_server(
+    addr: &str,
+    threads: usize,
+    smoke: bool,
+    cache_file: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let bind_addr = if smoke { "127.0.0.1:0" } else { addr };
-    let handle = serve(bind_addr, EvalService::new(), threads)?;
+    let mut service = EvalService::new();
+    if let Some(path) = cache_file {
+        service = service.with_cache_file(path);
+        println!(
+            "analysis cache: warm-started {} analyses from {path} (re-saved on clean Shutdown)",
+            service.store().len()
+        );
+    }
+    let handle = serve(bind_addr, service, threads)?;
     println!(
         "cassandra-server listening on {} ({} workers); protocol: docs/PROTOCOL.md",
         handle.addr(),
@@ -195,42 +219,79 @@ fn run_server(addr: &str, threads: usize, smoke: bool) -> Result<(), Box<dyn std
     Ok(())
 }
 
-/// The CI smoke run: Submit + GridSweep + Shutdown over loopback, asserting
-/// the session's cache metadata on the way.
+/// The CI smoke run: two concurrent connections against one server — an
+/// id-tagged GridSweep streaming on the first while the second pings
+/// mid-sweep — asserting interleaved progress, the session's cache
+/// metadata and a clean shutdown.
 fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error::Error>> {
-    let mut client = Client::connect(addr)?;
-    client.request(&Request::Submit {
+    use std::time::Instant;
+
+    let mut sweeper = Client::connect(addr)?;
+    sweeper.request(&Request::Submit {
         spec: WorkloadSpec::Kernel {
             family: "chacha20".to_string(),
-            size: 64,
+            size: 4096,
             name: None,
         },
     })?;
-    let responses = client.request(&Request::GridSweep {
-        workloads: Vec::new(),
-        grid: GridSpec {
-            defenses: vec!["Cassandra".to_string(), "Tournament".to_string()],
-            tournament_thresholds: vec![2, 8],
-            btu_partitions: Vec::new(),
-            btu_entries: Vec::new(),
-            miss_penalties: vec![20, 40],
-            redirect_penalties: Vec::new(),
+
+    // A 2 defenses × 2 thresholds × 3 miss penalties = 12-cell grid over a
+    // chacha20(4096) workload: long enough that the second connection's
+    // ping provably lands mid-sweep.
+    sweeper.send_tagged(
+        "smoke-sweep",
+        &Request::GridSweep {
+            workloads: Vec::new(),
+            grid: GridSpec {
+                defenses: vec!["Cassandra".to_string(), "Tournament".to_string()],
+                tournament_thresholds: vec![2, 8],
+                btu_partitions: Vec::new(),
+                btu_entries: Vec::new(),
+                miss_penalties: vec![10, 20, 40],
+                redirect_penalties: Vec::new(),
+            },
         },
-    })?;
-    let Some(Response::Done(summary)) = responses.last() else {
-        return Err(format!("smoke GridSweep failed: {:?}", responses.last()).into());
+    )?;
+    let drain = std::thread::spawn(move || -> std::io::Result<(usize, Response, Instant)> {
+        let mut records = 0usize;
+        loop {
+            let (id, response) = sweeper.recv_tagged()?;
+            assert_eq!(id.as_deref(), Some("smoke-sweep"), "id echoed per line");
+            match response {
+                Response::Record(_) => records += 1,
+                terminal => return Ok((records, terminal, Instant::now())),
+            }
+        }
+    });
+
+    // Second connection: short requests must complete while the sweep
+    // streams.
+    let mut prober = Client::connect(addr)?;
+    let pong = prober.request(&Request::Ping)?;
+    if !matches!(pong[0], Response::Pong { .. }) {
+        return Err(format!("smoke Ping failed: {pong:?}").into());
+    }
+    let pong_at = Instant::now();
+
+    let (records, terminal, done_at) = drain.join().expect("smoke drain thread")?;
+    let Response::Done(summary) = terminal else {
+        return Err(format!("smoke GridSweep failed: {terminal:?}").into());
     };
     println!("{}", summary.report);
     println!(
-        "smoke: {} records over {} designs, cache {:?}",
+        "smoke: {} records over {} designs, cache {:?}; ping answered mid-sweep: {}",
         summary.records,
         summary.designs.len(),
-        summary.cache
+        summary.cache,
+        pong_at < done_at,
     );
-    if summary.records == 0 {
-        return Err("smoke GridSweep produced no records".into());
+    if summary.records == 0 || records != summary.records {
+        return Err("smoke GridSweep streamed no (or miscounted) records".into());
     }
-    client.request(&Request::Shutdown)?;
+    if pong_at >= done_at {
+        return Err("smoke Ping did not complete before the sweep's Done".into());
+    }
+    prober.request(&Request::Shutdown)?;
     Ok(())
 }
 

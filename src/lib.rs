@@ -47,7 +47,10 @@ pub use cassandra_trace as trace;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use cassandra_core::eval::{DesignPoint, EvalRecord, Evaluator, EvaluatorBuilder};
+    pub use cassandra_core::eval::{
+        AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, Evaluator,
+        EvaluatorBuilder, SweepExecutor, SweepOutcome,
+    };
     pub use cassandra_core::policies::{GridSweep, PolicyRegistry};
     pub use cassandra_core::registry::{Experiment, ExperimentOutput, ExperimentRegistry};
     pub use cassandra_core::report::{self, ReportFormat};

@@ -154,6 +154,53 @@ fn sweep_records_are_complete_and_ordered() {
     }
 }
 
+/// `Evaluator::sweep` output is pinned byte-for-byte (wall-times zeroed)
+/// against a committed golden fixture captured before the
+/// AnalysisStore/SweepExecutor split, so refactors of the evaluation layer
+/// cannot silently change a single record field. Regenerate with
+/// `BLESS_GOLDEN=1 cargo test --test eval_api sweep_matches`.
+#[test]
+fn sweep_matches_committed_golden_records() {
+    use std::time::Duration;
+
+    let mut session = Evaluator::builder()
+        .workloads([suite::chacha20_workload(64), suite::des_workload(4)])
+        .policies(&PolicyRegistry::standard())
+        .build();
+    let records = session.sweep().unwrap();
+    let lines: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.timing.analysis = Duration::ZERO;
+            r.timing.simulate = Duration::ZERO;
+            serde_json::to_string(&r).unwrap()
+        })
+        .collect();
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/sweep_records.jsonl"
+    );
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(golden_path, lines.join("\n") + "\n").unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden fixture missing; regenerate with BLESS_GOLDEN=1");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        lines.len(),
+        golden_lines.len(),
+        "record count diverged from the golden fixture"
+    );
+    for (i, (got, want)) in lines.iter().zip(&golden_lines).enumerate() {
+        assert_eq!(
+            got, *want,
+            "record {i} diverged from the golden fixture (wall-times zeroed)"
+        );
+    }
+}
+
 /// The deprecated-path free functions and the session produce identical
 /// simulation statistics.
 #[test]
