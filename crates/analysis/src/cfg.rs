@@ -1,0 +1,343 @@
+//! Control-flow graph construction over a flat [`Program`] instruction list.
+//!
+//! The CFG is the substrate of both taint passes: architectural dataflow
+//! iterates its edges to a fixpoint, and the speculative pass walks bounded
+//! wrong-path windows along them. Edges **over-approximate** dynamic control
+//! flow — every edge the [`cassandra_isa::exec::Executor`] can take is
+//! present, plus possibly more:
+//!
+//! * conditional branches contribute both the taken and the fall-through
+//!   edge;
+//! * indirect jumps and calls
+//!   ([`BranchKind::is_potentially_multi_target`](cassandra_isa::instr::BranchKind::is_potentially_multi_target))
+//!   whose target register is not a build-time constant get the full
+//!   indirect-target set — every label position, since the builder's
+//!   [`li_label`](cassandra_isa::builder::ProgramBuilder::li_label) is the
+//!   only way programs materialise code addresses;
+//! * `ret` edges go to the return sites of every call that targets a
+//!   function entry from which the `ret` is intraprocedurally reachable —
+//!   not just the dynamically matching one. This is still sound: any
+//!   dynamically executed `ret` pops the return address of its most recent
+//!   unmatched call, and the path from that call's target to the `ret`
+//!   (with nested call/return pairs collapsed) is exactly an
+//!   intraprocedural path, so the edge is present. Restricting to the
+//!   containing function keeps abstract states of unrelated functions from
+//!   merging at every call's return site, which matters for taint
+//!   precision.
+//!
+//! The over-approximation direction matters: the differential property
+//! tests assert `dynamic edges ⊆ static edges`, never the converse.
+
+use cassandra_isa::instr::Instr;
+use cassandra_isa::program::Program;
+use std::collections::BTreeSet;
+
+/// A maximal straight-line instruction sequence `[start, end)` with control
+/// transfers only at the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index of the block.
+    pub start: usize,
+    /// One past the last instruction index of the block.
+    pub end: usize,
+    /// Start indices of the successor blocks.
+    pub successors: Vec<usize>,
+}
+
+/// The static control-flow graph of one program: per-instruction successor
+/// sets plus the derived basic-block partition.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<usize>>,
+    blocks: Vec<BasicBlock>,
+    return_sites: Vec<usize>,
+    indirect_targets: Vec<usize>,
+    ret_targets: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len();
+        // Indirect control transfers can land on any label: `li_label` is
+        // the only constructor of code addresses in the builder API.
+        let indirect_targets: Vec<usize> = program
+            .labels
+            .values()
+            .copied()
+            .filter(|&t| t < n)
+            .collect();
+        let return_sites: Vec<usize> = program
+            .instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i, Instr::Call { .. } | Instr::CallIndirect { .. }))
+            .map(|(pc, _)| pc + 1)
+            .filter(|&t| t < n)
+            .collect();
+
+        let ret_targets = compute_ret_targets(program, &indirect_targets, &return_sites);
+
+        let mut succs: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (pc, instr) in program.instrs.iter().enumerate() {
+            let fall = pc + 1;
+            let mut out: Vec<usize> = match instr {
+                Instr::Branch { target, .. } => vec![fall, *target],
+                Instr::Jump { target } | Instr::Call { target } => vec![*target],
+                Instr::JumpIndirect { .. } | Instr::CallIndirect { .. } => indirect_targets.clone(),
+                Instr::Ret => ret_targets[pc].clone(),
+                Instr::Halt => Vec::new(),
+                _ => vec![fall],
+            };
+            out.retain(|&t| t < n);
+            out.sort_unstable();
+            out.dedup();
+            succs.push(out);
+        }
+
+        let blocks = build_blocks(n, &succs);
+        Cfg {
+            succs,
+            blocks,
+            return_sites,
+            indirect_targets,
+            ret_targets,
+        }
+    }
+
+    /// Number of instructions (CFG nodes).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successor instruction indices of `pc` (empty for `halt` or an
+    /// out-of-range index).
+    pub fn successors(&self, pc: usize) -> &[usize] {
+        self.succs.get(pc).map_or(&[], Vec::as_slice)
+    }
+
+    /// True if the static graph contains the edge `from → to`.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.successors(from).contains(&to)
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// The basic-block partition, ordered by start index.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// All return sites (the instruction after each call).
+    pub fn return_sites(&self) -> &[usize] {
+        &self.return_sites
+    }
+
+    /// Targets of a `ret` at `pc`: the return sites of every call whose
+    /// target function intraprocedurally reaches this `ret` (empty for a
+    /// non-`ret` or out-of-range pc).
+    pub fn ret_targets(&self, pc: usize) -> &[usize] {
+        self.ret_targets.get(pc).map_or(&[], Vec::as_slice)
+    }
+
+    /// The indirect-target set: every label position, the over-approximated
+    /// target set of `jr`/`callr` with a non-constant register.
+    pub fn indirect_targets(&self) -> &[usize] {
+        &self.indirect_targets
+    }
+}
+
+/// For every `ret` instruction, the set of return sites it may transfer
+/// to: the union, over all function entries that intraprocedurally reach
+/// the `ret`, of the return sites of calls targeting that entry.
+///
+/// Intraprocedural reachability walks fall-through, branch and jump edges
+/// from a call target, and *steps over* nested calls (a `call` continues
+/// at its own return site — the nested body is the callee's business).
+/// `CallIndirect` counts as a call site of every indirect target.
+fn compute_ret_targets(
+    program: &Program,
+    indirect_targets: &[usize],
+    return_sites: &[usize],
+) -> Vec<Vec<usize>> {
+    let n = program.len();
+    // entry pc → return sites of calls targeting it.
+    let mut callers: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (pc, instr) in program.instrs.iter().enumerate() {
+        match instr {
+            Instr::Call { target } if *target < n && pc + 1 < n => {
+                callers.entry(*target).or_default().push(pc + 1);
+            }
+            Instr::CallIndirect { .. } => {
+                for &t in indirect_targets {
+                    if pc + 1 < n {
+                        callers.entry(t).or_default().push(pc + 1);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut ret_targets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (&entry, sites) in &callers {
+        // BFS over intraprocedural edges from the function entry.
+        let mut seen = vec![false; n];
+        let mut stack = vec![entry];
+        seen[entry] = true;
+        while let Some(pc) = stack.pop() {
+            let nexts: Vec<usize> = match &program.instrs[pc] {
+                Instr::Branch { target, .. } => vec![pc + 1, *target],
+                Instr::Jump { target } => vec![*target],
+                // Step over the callee: execution resumes after the call.
+                Instr::Call { .. } | Instr::CallIndirect { .. } => vec![pc + 1],
+                Instr::JumpIndirect { .. } => indirect_targets.to_vec(),
+                Instr::Ret => {
+                    ret_targets[pc].extend(sites.iter().copied());
+                    Vec::new()
+                }
+                Instr::Halt => Vec::new(),
+                _ => vec![pc + 1],
+            };
+            for t in nexts {
+                if t < n && !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    program
+        .instrs
+        .iter()
+        .enumerate()
+        .map(|(pc, instr)| {
+            if !matches!(instr, Instr::Ret) {
+                return Vec::new();
+            }
+            if ret_targets[pc].is_empty() {
+                // Reached by no known call entry (e.g. only via fall-through
+                // from straight-line code): fall back to every return site.
+                return_sites.to_vec()
+            } else {
+                ret_targets[pc].iter().copied().collect()
+            }
+        })
+        .collect()
+}
+
+/// Partitions `[0, n)` into basic blocks given per-instruction successors.
+fn build_blocks(n: usize, succs: &[Vec<usize>]) -> Vec<BasicBlock> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut leaders: BTreeSet<usize> = BTreeSet::new();
+    leaders.insert(0);
+    for (pc, out) in succs.iter().enumerate() {
+        // An instruction with anything but a single fall-through successor
+        // ends its block; all its targets start one.
+        let diverts = out.len() != 1 || out[0] != pc + 1;
+        if diverts {
+            for &t in out {
+                leaders.insert(t);
+            }
+            if pc + 1 < n {
+                leaders.insert(pc + 1);
+            }
+        }
+    }
+    let starts: Vec<usize> = leaders.into_iter().collect();
+    let mut blocks = Vec::with_capacity(starts.len());
+    for (i, &start) in starts.iter().enumerate() {
+        let end = starts.get(i + 1).copied().unwrap_or(n);
+        let mut successors: Vec<usize> = succs[end - 1].clone();
+        successors.sort_unstable();
+        successors.dedup();
+        blocks.push(BasicBlock {
+            start,
+            end,
+            successors,
+        });
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_isa::builder::ProgramBuilder;
+    use cassandra_isa::reg::{A0, A1, ZERO};
+
+    fn diamond() -> Program {
+        let mut b = ProgramBuilder::new("diamond");
+        b.li(A0, 1);
+        b.beq(A0, ZERO, "else"); // 1
+        b.li(A1, 10); // 2
+        b.j("join"); // 3
+        b.label("else");
+        b.li(A1, 20); // 4
+        b.label("join");
+        b.halt(); // 5
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn branch_has_both_edges_and_halt_none() {
+        let cfg = Cfg::build(&diamond());
+        assert_eq!(cfg.successors(1), &[2, 4]);
+        assert_eq!(cfg.successors(3), &[5]);
+        assert!(cfg.successors(5).is_empty());
+        assert!(cfg.has_edge(1, 4));
+        assert!(!cfg.has_edge(1, 5));
+    }
+
+    #[test]
+    fn blocks_partition_the_program() {
+        let cfg = Cfg::build(&diamond());
+        let covered: usize = cfg.blocks().iter().map(|b| b.end - b.start).sum();
+        assert_eq!(covered, cfg.len());
+        assert_eq!(cfg.blocks()[0].start, 0);
+        // Block boundaries sit at the branch targets.
+        assert!(cfg.blocks().iter().any(|b| b.start == 4));
+        assert!(cfg.blocks().iter().any(|b| b.start == 5));
+    }
+
+    #[test]
+    fn ret_targets_every_return_site() {
+        let mut b = ProgramBuilder::new("calls");
+        b.call("f"); // 0 → return site 1
+        b.call("f"); // 1 → return site 2
+        b.halt(); // 2
+        b.func("f");
+        b.ret(); // 3
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.return_sites(), &[1, 2]);
+        assert_eq!(cfg.successors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn indirect_jump_targets_all_labels() {
+        let mut b = ProgramBuilder::new("indirect");
+        b.li_label(A0, "t1"); // 0
+        b.jr(A0); // 1
+        b.label("t1");
+        b.nop(); // 2
+        b.label("t2");
+        b.halt(); // 3
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.successors(1), &[2, 3]);
+        assert_eq!(cfg.indirect_targets(), &[2, 3]);
+    }
+}

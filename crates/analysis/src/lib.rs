@@ -1,0 +1,185 @@
+//! Static constant-time and speculative-leakage analysis over
+//! [`cassandra_isa`] programs.
+//!
+//! The crate answers, without running a single simulated cycle, the two
+//! questions the dynamic harness in `cassandra-core` can only sample:
+//!
+//! 1. **Architectural constant-time** — can any branch condition or
+//!    load/store address depend on a secret on *any* architecturally
+//!    reachable path? A forward taint dataflow over the static CFG
+//!    ([`Cfg`]) answers this with a sound over-approximation: registers
+//!    and region-granular memory carry taint seeded from the program's
+//!    `secret_ranges`, states join at merge points, and the iteration runs
+//!    to a fixpoint.
+//! 2. **Speculative transmission** — even if architecturally clean, does a
+//!    bounded wrong-path window after some conditional (a Spectre-PHT
+//!    mispredict) reach a secret-tainted sink? The speculative pass
+//!    re-runs the same transfer function down both successors of every
+//!    reachable conditional, with the ProSpeCT rule that a transient
+//!    `declassify` does not launder taint.
+//!
+//! The contract, relied on by the differential tests against the
+//! simulator, is **over-approximate, never under-approximate**: a
+//! [`StaticVerdict::CtClean`] program never produces a secret-dependent
+//! attacker-visible trace dynamically, while a flagged program may or may
+//! not leak in practice (false positives are allowed, false negatives are
+//! a bug).
+//!
+//! ```
+//! use cassandra_isa::builder::ProgramBuilder;
+//! use cassandra_isa::reg::{A0, T0, ZERO};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let key = b.alloc_secret_u64s("key", &[7]);
+//! b.li(T0, key);
+//! b.ld(A0, T0, 0);
+//! b.beq(A0, ZERO, "end"); // branches on the secret
+//! b.label("end");
+//! b.halt();
+//! let report = cassandra_analysis::analyze(&b.build().unwrap());
+//! assert_eq!(report.verdict(), cassandra_analysis::StaticVerdict::ArchLeak);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cfg;
+pub mod report;
+pub mod speculative;
+pub mod taint;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use report::{Finding, FindingKind, StaticReport, StaticVerdict};
+
+use cassandra_isa::instr::Instr;
+use cassandra_isa::program::Program;
+
+/// Default speculative window length in instructions — sized like a
+/// generous reorder-buffer wrong-path budget, and comfortably longer than
+/// every gadget in `cassandra-kernels`.
+pub const DEFAULT_SPECULATIVE_WINDOW: usize = 64;
+
+/// Analyzes `program` with the [`DEFAULT_SPECULATIVE_WINDOW`].
+pub fn analyze(program: &Program) -> StaticReport {
+    analyze_with(program, DEFAULT_SPECULATIVE_WINDOW)
+}
+
+/// Analyzes `program` with an explicit speculative window length.
+///
+/// Runs CFG construction, the architectural taint fixpoint and the
+/// bounded wrong-path pass, and assembles the [`StaticReport`].
+pub fn analyze_with(program: &Program, window: usize) -> StaticReport {
+    let cfg = Cfg::build(program);
+    let (map, _) = taint::MemoryMap::build(program);
+    let arch = taint::arch_fixpoint(program, &map, &cfg);
+    let transient = speculative::speculative_pass(program, &map, &cfg, &arch, window);
+
+    let mut findings: Vec<Finding> = arch
+        .events
+        .iter()
+        .map(|e| Finding {
+            pc: e.pc,
+            kind: e.kind,
+            transient: false,
+            branch_pc: None,
+        })
+        .collect();
+    // One transient finding per sink, attributed to the lowest-pc branch
+    // whose window reaches it (TransientEvent order is (event, branch_pc)).
+    let mut seen_transient: Vec<taint::Event> = Vec::new();
+    for t in &transient {
+        if seen_transient.contains(&t.event) {
+            continue;
+        }
+        seen_transient.push(t.event);
+        findings.push(Finding {
+            pc: t.event.pc,
+            kind: t.event.kind,
+            transient: true,
+            branch_pc: Some(t.branch_pc),
+        });
+    }
+    findings.sort();
+
+    let tainted_branches: Vec<usize> = arch
+        .branch_taint
+        .iter()
+        .filter(|&(_, &t)| t)
+        .map(|(&pc, _)| pc)
+        .collect();
+    let conditional_branches = program
+        .instrs
+        .iter()
+        .filter(|i| matches!(i, Instr::Branch { .. }))
+        .count();
+
+    StaticReport {
+        program_name: program.name.clone(),
+        instructions: program.len(),
+        cfg_blocks: cfg.blocks().len(),
+        cfg_edges: cfg.edge_count(),
+        conditional_branches,
+        tainted_branches,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cassandra_isa::builder::ProgramBuilder;
+    use cassandra_isa::reg::{A0, T0, ZERO};
+
+    #[test]
+    fn straight_line_public_program_is_ct_clean() {
+        let mut b = ProgramBuilder::new("clean");
+        let data = b.alloc_u64s("data", &[1, 2, 3]);
+        b.li(T0, data);
+        b.ld(A0, T0, 0);
+        b.beq(A0, ZERO, "end");
+        b.label("end");
+        b.halt();
+        let report = analyze(&b.build().unwrap());
+        assert_eq!(report.verdict(), StaticVerdict::CtClean);
+        assert!(report.is_ct_clean());
+        assert!(!report.is_transient_transmitter());
+        assert!(report.tainted_branches.is_empty());
+    }
+
+    #[test]
+    fn report_serializes_round_trip() {
+        let mut b = ProgramBuilder::new("roundtrip");
+        let key = b.alloc_secret_u64s("key", &[7]);
+        b.li(T0, key);
+        b.ld(A0, T0, 0);
+        b.beq(A0, ZERO, "end");
+        b.label("end");
+        b.halt();
+        let report = analyze(&b.build().unwrap());
+        assert_eq!(report.verdict(), StaticVerdict::ArchLeak);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StaticReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn verdict_ordering_prefers_arch_over_transient() {
+        let finding = |transient| Finding {
+            pc: 1,
+            kind: FindingKind::LoadAddress,
+            transient,
+            branch_pc: transient.then_some(0),
+        };
+        let mut report = StaticReport {
+            program_name: "x".into(),
+            instructions: 2,
+            cfg_blocks: 1,
+            cfg_edges: 1,
+            conditional_branches: 0,
+            tainted_branches: Vec::new(),
+            findings: vec![finding(true)],
+        };
+        assert_eq!(report.verdict(), StaticVerdict::TransientLeak);
+        report.findings.push(finding(false));
+        assert_eq!(report.verdict(), StaticVerdict::ArchLeak);
+    }
+}

@@ -1,0 +1,143 @@
+//! The per-program output of the analyzer: findings, the three-way
+//! verdict and the [`StaticReport`] summary consumed by the registry's
+//! `lint` experiment and the server's `Lint` request.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of constant-time sink a finding fired on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FindingKind {
+    /// A branch condition (or indirect jump/call target register) may
+    /// depend on a secret.
+    BranchCondition,
+    /// A load address may depend on a secret.
+    LoadAddress,
+    /// A store address may depend on a secret.
+    StoreAddress,
+}
+
+impl FindingKind {
+    /// Short lowercase name used by the text and CSV renderers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FindingKind::BranchCondition => "branch-condition",
+            FindingKind::LoadAddress => "load-address",
+            FindingKind::StoreAddress => "store-address",
+        }
+    }
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One potential leak site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Finding {
+    /// Instruction index of the sink.
+    pub pc: usize,
+    /// What kind of sink fired.
+    pub kind: FindingKind,
+    /// `false`: reachable architecturally. `true`: only inside a bounded
+    /// wrong-path window (a transient transmitter).
+    pub transient: bool,
+    /// For transient findings, the conditional branch whose mispredict
+    /// opens the window the sink was found in.
+    pub branch_pc: Option<usize>,
+}
+
+/// The three-way static verdict on one program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StaticVerdict {
+    /// No secret-tainted sink, architecturally or transiently.
+    CtClean,
+    /// Clean architecturally, but a bounded wrong-path window reaches a
+    /// secret-tainted sink: a speculative (Spectre-PHT) transmitter.
+    TransientLeak,
+    /// A secret-tainted sink is architecturally reachable: the program is
+    /// not constant-time even without speculation.
+    ArchLeak,
+}
+
+impl StaticVerdict {
+    /// Short hyphenated name used by the table renderers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StaticVerdict::CtClean => "ct-clean",
+            StaticVerdict::TransientLeak => "transient-leak",
+            StaticVerdict::ArchLeak => "arch-leak",
+        }
+    }
+}
+
+impl fmt::Display for StaticVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The full static analysis result for one program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticReport {
+    /// Name of the analyzed program.
+    pub program_name: String,
+    /// Instruction count.
+    pub instructions: usize,
+    /// Basic blocks in the static CFG.
+    pub cfg_blocks: usize,
+    /// Edges in the static CFG.
+    pub cfg_edges: usize,
+    /// Conditional branches in the program.
+    pub conditional_branches: usize,
+    /// Instruction indices of architecturally reachable conditional
+    /// branches whose condition may be secret-tainted.
+    pub tainted_branches: Vec<usize>,
+    /// All findings, architectural first, sorted by `(pc, kind)`.
+    pub findings: Vec<Finding>,
+}
+
+impl StaticReport {
+    /// The three-way verdict: any architectural finding ⇒
+    /// [`ArchLeak`](StaticVerdict::ArchLeak), else any transient finding ⇒
+    /// [`TransientLeak`](StaticVerdict::TransientLeak), else
+    /// [`CtClean`](StaticVerdict::CtClean).
+    pub fn verdict(&self) -> StaticVerdict {
+        if self.findings.iter().any(|f| !f.transient) {
+            StaticVerdict::ArchLeak
+        } else if self.findings.is_empty() {
+            StaticVerdict::CtClean
+        } else {
+            StaticVerdict::TransientLeak
+        }
+    }
+
+    /// True when the program has no findings at all.
+    pub fn is_ct_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// True when a wrong-path window reaches a secret-tainted sink — the
+    /// program transmits transiently (it may *also* leak architecturally).
+    pub fn is_transient_transmitter(&self) -> bool {
+        self.findings.iter().any(|f| f.transient)
+    }
+
+    /// True when the architectural pass found the branch at `pc` reachable
+    /// with a possibly secret-tainted condition.
+    pub fn branch_is_tainted(&self, pc: usize) -> bool {
+        self.tainted_branches.binary_search(&pc).is_ok()
+    }
+
+    /// Findings of the architectural pass only.
+    pub fn arch_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.transient)
+    }
+
+    /// Findings seen only inside speculative windows.
+    pub fn transient_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.transient)
+    }
+}

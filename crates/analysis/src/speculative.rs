@@ -1,0 +1,277 @@
+//! The speculative extension: bounded wrong-path taint windows.
+//!
+//! After every architecturally reachable conditional branch the analyzer
+//! models a Spectre-PHT mispredict by re-running the taint transfer from
+//! **both** successors — including an edge the architectural pass pruned
+//! as constant-infeasible, which is exactly how the `gadgets.rs` trigger
+//! branches (`beq` on constants, never taken) smuggle execution onto their
+//! transient paths. Each window walks up to `window` instructions with
+//! wrong-path semantics: [`Declassify`](cassandra_isa::instr::Instr) does
+//! **not** clear taint, because declassification is an architectural
+//! commitment and a squashed window that touched the secret has already
+//! transmitted it (the ProSpeCT rule).
+//!
+//! Windows start from the branch's architectural in-state, so values the
+//! program declassified *before* the branch stay public inside the window
+//! — a transiently executed leak of already-public data is not a finding.
+
+use crate::cfg::Cfg;
+use crate::taint::{
+    bypass_merge, ArchAnalysis, Event, Interproc, MemoryMap, Next, State, Transfer,
+};
+use cassandra_isa::instr::Instr;
+use cassandra_isa::program::Program;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A leak event found only inside a speculative window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TransientEvent {
+    /// The underlying sink event.
+    pub event: Event,
+    /// The conditional branch whose mispredict opens the window.
+    pub branch_pc: usize,
+}
+
+/// Runs bounded wrong-path windows after every architecturally reachable
+/// conditional branch and returns the events seen inside them.
+///
+/// Events the architectural pass already reported are filtered out — a
+/// transient finding is one *only* reachable down a wrong path.
+pub fn speculative_pass(
+    program: &Program,
+    map: &MemoryMap,
+    cfg: &Cfg,
+    arch: &ArchAnalysis,
+    window: usize,
+) -> Vec<TransientEvent> {
+    let n = program.len();
+    let transfer = Transfer::new(program, map, true);
+    let interproc = Interproc::build(program, cfg);
+    let mut out: BTreeSet<TransientEvent> = BTreeSet::new();
+
+    for pc in 0..n {
+        let Some(Instr::Branch { target, .. }) = program.instr(pc) else {
+            continue;
+        };
+        let Some(in_state) = arch.in_states[pc].as_ref() else {
+            continue;
+        };
+        // A mispredict can send execution down either edge regardless of
+        // what the condition evaluates to.
+        let mut seeds: Vec<usize> = Vec::new();
+        if pc + 1 < n {
+            seeds.push(pc + 1);
+        }
+        if *target < n && *target != pc + 1 {
+            seeds.push(*target);
+        }
+        for seed in seeds {
+            run_window(
+                &transfer, cfg, &interproc, seed, in_state, window, pc, arch, &mut out,
+            );
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Walks one wrong-path window from `seed`, joining states per pc, and
+/// records sink events not already known architecturally.
+///
+/// Return edges get the same interprocedural bypass as the architectural
+/// pass: registers the callee never writes come from the caller's state at
+/// the call — the window's own state when the call happened inside the
+/// window, the architectural in-state otherwise.
+#[allow(clippy::too_many_arguments)]
+fn run_window(
+    transfer: &Transfer<'_>,
+    cfg: &Cfg,
+    interproc: &Interproc,
+    seed: usize,
+    in_state: &State,
+    window: usize,
+    branch_pc: usize,
+    arch: &ArchAnalysis,
+    out: &mut BTreeSet<TransientEvent>,
+) {
+    // Per-pc joined state and the largest remaining budget it was reached
+    // with; re-visit only when either improves, so the walk terminates.
+    let mut visited: BTreeMap<usize, (State, usize)> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    visited.insert(seed, (in_state.clone(), window));
+    queue.push_back(seed);
+
+    let mut events = Vec::new();
+    let mut succs = Vec::new();
+    while let Some(pc) = queue.pop_front() {
+        let (state, budget) = visited.get(&pc).cloned().expect("queued pc is visited");
+        if budget == 0 {
+            continue;
+        }
+        let mut state = state;
+        events.clear();
+        let next = transfer.apply(pc, &mut state, &mut events);
+        for e in &events {
+            if !arch.events.contains(e) {
+                out.insert(TransientEvent {
+                    event: *e,
+                    branch_pc,
+                });
+            }
+        }
+
+        let remaining = budget - 1;
+        let enqueue = |succ: usize,
+                       incoming: &State,
+                       visited: &mut BTreeMap<usize, (State, usize)>,
+                       queue: &mut VecDeque<usize>| {
+            let revisit = match visited.get_mut(&succ) {
+                Some((existing, depth)) => {
+                    let grew = existing.join_from(incoming, transfer.memory_map());
+                    let deeper = remaining > *depth;
+                    if deeper {
+                        *depth = remaining;
+                    }
+                    grew || deeper
+                }
+                None => {
+                    visited.insert(succ, (incoming.clone(), remaining));
+                    true
+                }
+            };
+            if revisit {
+                queue.push_back(succ);
+            }
+        };
+
+        if matches!(next, Next::Ret) {
+            if let Some(edges) = interproc.ret_edges.get(&pc) {
+                for &(site, writeset) in edges {
+                    let caller = visited
+                        .get(&(site - 1))
+                        .map(|(s, _)| s.clone())
+                        .or_else(|| arch.in_states[site - 1].clone());
+                    let Some(caller) = caller else { continue };
+                    let merged = bypass_merge(&caller, &state, writeset, transfer.memory_map());
+                    enqueue(site, &merged, &mut visited, &mut queue);
+                }
+                continue;
+            }
+        }
+        transfer.successors(pc, next, cfg, &mut succs);
+        for &succ in &succs {
+            enqueue(succ, &state, &mut visited, &mut queue);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::FindingKind;
+    use crate::taint::arch_fixpoint;
+    use cassandra_isa::builder::ProgramBuilder;
+    use cassandra_isa::reg::{A0, A1, T0, ZERO};
+
+    fn transient_events(program: &Program, window: usize) -> Vec<TransientEvent> {
+        let cfg = Cfg::build(program);
+        let (map, _) = MemoryMap::build(program);
+        let arch = arch_fixpoint(program, &map, &cfg);
+        assert!(arch.events.is_empty(), "arch-clean precondition");
+        speculative_pass(program, &map, &cfg, &arch, window)
+    }
+
+    /// The canonical gadget shape: a constant never-taken branch guarding a
+    /// secret-indexed load. Architecturally dead, transiently reachable.
+    #[test]
+    fn never_taken_branch_guards_transient_transmitter() {
+        let mut b = ProgramBuilder::new("transient-gadget");
+        let s = b.alloc_secret_u64s("key", &[0x5a]);
+        let probe = b.alloc_zeros("probe", 128);
+        b.li(T0, 1);
+        let branch_pc = b.here();
+        b.beq(T0, ZERO, "transient"); // provably never taken
+        b.halt();
+        b.label("transient");
+        b.li(T0, s);
+        b.ld(A0, T0, 0); // secret
+        b.li(A1, probe);
+        b.add(A1, A1, A0);
+        let leak_pc = b.here();
+        b.lb(A0, A1, 0); // transmit
+        b.halt();
+        let p = b.build().unwrap();
+        let events = transient_events(&p, 64);
+        assert!(events.iter().any(|t| t.event.pc == leak_pc
+            && t.event.kind == FindingKind::LoadAddress
+            && t.branch_pc == branch_pc));
+    }
+
+    /// Declassification inside the window does not launder taint.
+    #[test]
+    fn transient_declassify_keeps_taint() {
+        let mut b = ProgramBuilder::new("transient-declass");
+        let s = b.alloc_secret_u64s("key", &[0x77]);
+        let probe = b.alloc_zeros("probe", 128);
+        b.li(T0, 1);
+        b.beq(T0, ZERO, "transient");
+        b.halt();
+        b.label("transient");
+        b.li(T0, s);
+        b.ld(A0, T0, 0);
+        b.declassify(A0, A0); // architectural no-op on the wrong path
+        b.li(A1, probe);
+        b.add(A1, A1, A0);
+        b.lb(A0, A1, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let events = transient_events(&p, 64);
+        assert!(!events.is_empty());
+    }
+
+    /// Values declassified *before* the branch stay public in the window.
+    #[test]
+    fn pre_branch_declassified_value_is_public_in_window() {
+        let mut b = ProgramBuilder::new("public-window");
+        let s = b.alloc_secret_u64s("key", &[0x11]);
+        let probe = b.alloc_zeros("probe", 128);
+        b.li(T0, s);
+        b.ld(A0, T0, 0);
+        b.declassify(A0, A0); // public from here on
+        b.li(T0, 1);
+        b.beq(T0, ZERO, "transient");
+        b.halt();
+        b.label("transient");
+        b.li(A1, probe);
+        b.add(A1, A1, A0);
+        b.lb(A0, A1, 0); // leaks a declassified (public) value
+        b.halt();
+        let p = b.build().unwrap();
+        let events = transient_events(&p, 64);
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    /// The window bound is honoured: a transmitter beyond it is not
+    /// reached.
+    #[test]
+    fn window_bound_limits_the_walk() {
+        let mut b = ProgramBuilder::new("deep-gadget");
+        let s = b.alloc_secret_u64s("key", &[0x5a]);
+        let probe = b.alloc_zeros("probe", 128);
+        b.li(T0, 1);
+        b.beq(T0, ZERO, "transient");
+        b.halt();
+        b.label("transient");
+        for _ in 0..32 {
+            b.nop();
+        }
+        b.li(T0, s);
+        b.ld(A0, T0, 0);
+        b.li(A1, probe);
+        b.add(A1, A1, A0);
+        b.lb(A0, A1, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(transient_events(&p, 8).is_empty());
+        assert!(!transient_events(&p, 64).is_empty());
+    }
+}

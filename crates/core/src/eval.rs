@@ -48,6 +48,7 @@
 //! output ordering.)
 
 use crate::{AnalysisBundle, ANALYSIS_STEP_LIMIT};
+use cassandra_analysis::StaticReport;
 use cassandra_btu::encode::EncodedTraces;
 use cassandra_cpu::config::{CpuConfig, DefenseMode};
 use cassandra_cpu::pipeline::{simulate, SimOutcome};
@@ -249,6 +250,7 @@ pub struct AnalysisStore {
     in_flight: Mutex<HashMap<u64, Arc<InFlight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    lints: RwLock<HashMap<u64, Arc<StaticReport>>>,
 }
 
 enum Role<'a> {
@@ -402,8 +404,43 @@ impl AnalysisStore {
         self.entry(program, step_limit).map(|(bundle, _)| bundle)
     }
 
+    /// The memoized static constant-time report of `program` (see
+    /// [`cassandra_analysis::analyze`]), keyed by the same content
+    /// fingerprint as the dynamic (Algorithm 2) analyses but held in a
+    /// separate map: static lint is deterministic and infallible, so it
+    /// needs no in-flight guard — a rare duplicate computation under
+    /// concurrency produces an identical report and one copy wins.
+    ///
+    /// Lint results do **not** count towards [`stats`](Self::stats): those
+    /// counters meter Algorithm-2 profiling runs only, and several tests
+    /// pin their exact arithmetic.
+    pub fn lint(&self, program: &Program) -> Arc<StaticReport> {
+        let key = program_fingerprint(program);
+        if let Some(report) = self
+            .lints
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            return Arc::clone(report);
+        }
+        let report = Arc::new(cassandra_analysis::analyze(program));
+        let mut lints = self.lints.write().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(lints.entry(key).or_insert(report))
+    }
+
+    /// Number of distinct programs with a memoized static lint report.
+    pub fn linted_programs(&self) -> usize {
+        self.lints
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
     /// Serializes the store's contents for a later warm-start. Entries are
     /// ordered by fingerprint, so equal stores snapshot identically.
+    /// Static lint reports are not snapshotted — recomputing them is
+    /// milliseconds, unlike Algorithm-2 profiling runs.
     pub fn snapshot(&self) -> AnalysisSnapshot {
         let entries = self.read_entries();
         let mut out: Vec<SnapshotEntry> = entries
@@ -992,6 +1029,19 @@ impl Evaluator {
     /// Propagates profiling-run errors from Algorithm 2.
     pub fn analysis(&mut self, workload: &Workload) -> Result<Arc<AnalysisBundle>, IsaError> {
         self.analyze_program(&workload.kernel.program, workload.kernel.step_limit)
+    }
+
+    /// The memoized static constant-time & speculative-leakage report of an
+    /// arbitrary program, served from the shared [`AnalysisStore`]. Unlike
+    /// [`analyze_program`](Self::analyze_program), this never executes the
+    /// program — it is a pure static pass over the instruction list.
+    pub fn lint_program(&self, program: &Program) -> Arc<StaticReport> {
+        self.store.lint(program)
+    }
+
+    /// The memoized static lint report of a workload's kernel.
+    pub fn lint_workload(&self, workload: &Workload) -> Arc<StaticReport> {
+        self.lint_program(&workload.kernel.program)
     }
 
     // ---------------------------------------------------------- simulation

@@ -50,7 +50,7 @@
 //!
 //! // … and the full experiment suite, sharing the same analysis cache.
 //! let runs = ExperimentRegistry::standard().run_all(&mut session)?;
-//! assert_eq!(runs.len(), 8);
+//! assert_eq!(runs.len(), 9);
 //! println!("{}", report::render_text(&runs[0].output));
 //! assert_eq!(session.cache_stats().misses, 2 + 10 + 16); // each program once
 //! # Ok(())
@@ -83,6 +83,7 @@
 
 pub mod eval;
 pub mod experiments;
+pub mod lint;
 pub mod policies;
 pub mod registry;
 pub mod report;

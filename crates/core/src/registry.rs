@@ -3,7 +3,8 @@
 //! Every paper experiment implements [`Experiment`]: a name plus a
 //! `run(&mut Evaluator)` that produces a typed [`ExperimentOutput`]. The
 //! [`ExperimentRegistry`] holds the standard set (Table 1, Figures 7–9, Q3,
-//! Q4, the Table-2 security sweep and the §7.5 trace-generation timing), so
+//! Q4, the Table-2 security sweep, the §7.5 trace-generation timing and the
+//! static constant-time lint), so
 //! examples, benches and the [`ExperimentRegistry::run_all`] entry point
 //! enumerate the evaluation generically instead of hard-coding one driver
 //! per figure. Because all experiments share one [`Evaluator`] session, a
@@ -17,6 +18,7 @@ use crate::experiments::{
     self, Fig7Result, Fig8Point, Fig9Result, Q3Row, Q4Result, Table1Result, TraceGenRow,
     FIG7_DESIGNS, Q3_VARIANTS,
 };
+use crate::lint::{self, LintRow};
 use crate::policies::PolicyRegistry;
 use crate::security::{self, SecurityMatrix};
 use cassandra_cpu::config::DefenseMode;
@@ -43,6 +45,8 @@ pub enum ExperimentOutput {
     Security(SecurityMatrix),
     /// §7.5: trace-generation timing.
     TraceGen(Vec<TraceGenRow>),
+    /// Static constant-time & speculative-leakage lint verdicts.
+    Lint(Vec<LintRow>),
     /// A raw design-point sweep (the uniform [`EvalRecord`] stream).
     Records(Vec<EvalRecord>),
 }
@@ -261,6 +265,29 @@ impl Experiment for TraceGenExperiment {
     }
 }
 
+/// Static constant-time & speculative-leakage lint of the session
+/// workloads.
+///
+/// Unlike every other experiment, this never executes a program: verdicts
+/// come from the pure static pass in [`cassandra_analysis`], memoized on
+/// the session's shared [`AnalysisStore`](crate::eval::AnalysisStore).
+/// Algorithm-2 cache counters are untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintExperiment;
+
+impl Experiment for LintExperiment {
+    fn name(&self) -> &'static str {
+        "lint"
+    }
+    fn title(&self) -> &'static str {
+        "Static lint: constant-time & speculative-leakage verdicts"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        let workloads = ev.shared_workloads();
+        Ok(ExperimentOutput::Lint(lint::lint_with(ev, &workloads)))
+    }
+}
+
 /// The raw workload × design sweep over the session's configured matrix.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SweepExperiment;
@@ -322,6 +349,7 @@ impl ExperimentRegistry {
         registry.register(Q4Experiment::default());
         registry.register(SecurityExperiment::default());
         registry.register(TraceGenExperiment);
+        registry.register(LintExperiment);
         registry
     }
 
@@ -392,7 +420,7 @@ mod tests {
         let registry = ExperimentRegistry::standard();
         assert_eq!(
             registry.names(),
-            ["table1", "fig7", "fig8", "fig9", "q3", "q4", "security", "tracegen"]
+            ["table1", "fig7", "fig8", "fig9", "q3", "q4", "security", "tracegen", "lint"]
         );
         assert!(registry.get("fig7").is_some());
         assert!(registry.get("nope").is_none());
@@ -416,12 +444,13 @@ mod tests {
         let mut ev = Evaluator::builder().workloads(workloads).build();
         let registry = ExperimentRegistry::standard();
         let runs = registry.run_all(&mut ev).unwrap();
-        assert_eq!(runs.len(), 8);
+        assert_eq!(runs.len(), 9);
 
         // Distinct programs analyzed: the session workloads (once each,
         // shared by table1/fig7/fig9/q3/q4/tracegen), the fig8 synthetic
         // mixes (2 variants × 5 mixes) and the security gadgets (8 scenarios
-        // × 2 secrets). No program is ever analyzed twice.
+        // × 2 secrets). No program is ever analyzed twice, and the static
+        // lint experiment contributes zero — it never runs Algorithm 2.
         let stats = ev.cache_stats();
         assert_eq!(stats.misses, n_workloads + 10 + 16);
         assert_eq!(ev.analyzed_programs() as u64, stats.misses);

@@ -10,8 +10,10 @@ use crate::eval::EvalRecord;
 use crate::experiments::{
     Fig7Result, Fig8Point, Fig9Result, Q3Row, Q4Result, Table1Result, TraceGenRow,
 };
+use crate::lint::LintRow;
 use crate::registry::ExperimentOutput;
 use crate::security::SecurityMatrix;
+use cassandra_analysis::StaticVerdict;
 use cassandra_cpu::config::DefenseMode;
 
 /// Output format selector for [`render`].
@@ -220,7 +222,7 @@ pub fn format_security(matrix: &SecurityMatrix) -> String {
     ));
     for c in &matrix.cells {
         out.push_str(&format!(
-            "{:<36} {:<18} {:>9} {:>9} {:>10} {:>10}\n",
+            "{:<36} {:<18} {:>9} {:>9} {:>10} {:>10}",
             c.scenario,
             c.design,
             c.verdict.contract_equal,
@@ -232,10 +234,49 @@ pub fn format_security(matrix: &SecurityMatrix) -> String {
                 "LEAK"
             }
         ));
+        if !c.verdict.divergent_accesses.is_empty() {
+            out.push_str(&format!(
+                "  diverging: {}",
+                hex_list(&c.verdict.divergent_accesses)
+            ));
+        }
+        out.push('\n');
     }
     out.push_str(&format!(
         "\n{} leaking (scenario, design) pairs\n",
         matrix.leak_count()
+    ));
+    out
+}
+
+/// Renders the static-lint verdict table (workloads × verdicts).
+pub fn format_lint(rows: &[LintRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>15} {:>7} {:>7} {:>8} {:>6} {:>10}\n",
+        "Workload", "Group", "Verdict", "Instrs", "CondBr", "Tainted", "Arch", "Transient"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>10} {:>15} {:>7} {:>7} {:>8} {:>6} {:>10}\n",
+            r.workload,
+            r.group.to_string(),
+            r.verdict.to_string(),
+            r.instructions,
+            r.conditional_branches,
+            r.tainted_branches,
+            r.arch_findings,
+            r.transient_findings
+        ));
+    }
+    let clean = rows
+        .iter()
+        .filter(|r| r.verdict == StaticVerdict::CtClean)
+        .count();
+    out.push_str(&format!(
+        "\n{clean}/{} workloads certified ct-clean (verdicts over-approximate: \
+         ct-clean is a guarantee, leak verdicts may be conservative)\n",
+        rows.len()
     ));
     out
 }
@@ -275,8 +316,17 @@ pub fn render_text(output: &ExperimentOutput) -> String {
         ExperimentOutput::Q4(r) => format_q4(r),
         ExperimentOutput::Security(r) => format_security(r),
         ExperimentOutput::TraceGen(r) => format_trace_gen(r),
+        ExperimentOutput::Lint(r) => format_lint(r),
         ExperimentOutput::Records(r) => format_records(r),
     }
+}
+
+fn hex_list(addrs: &[u64]) -> String {
+    addrs
+        .iter()
+        .map(|a| format!("{a:#x}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn csv_escape(field: &str) -> String {
@@ -448,6 +498,7 @@ pub fn render_csv(output: &ExperimentOutput) -> String {
                 "attacker_trace_equal",
                 "transient_activity",
                 "protected",
+                "divergent_accesses",
             ],
             matrix
                 .cells
@@ -460,6 +511,12 @@ pub fn render_csv(output: &ExperimentOutput) -> String {
                         c.verdict.attacker_trace_equal.to_string(),
                         c.verdict.transient_activity.to_string(),
                         c.verdict.is_protected().to_string(),
+                        c.verdict
+                            .divergent_accesses
+                            .iter()
+                            .map(|a| format!("{a:#x}"))
+                            .collect::<Vec<_>>()
+                            .join(";"),
                     ]
                 })
                 .collect(),
@@ -482,6 +539,32 @@ pub fn render_csv(output: &ExperimentOutput) -> String {
                         r.collect.as_micros().to_string(),
                         r.vanilla.as_micros().to_string(),
                         r.kmers.as_micros().to_string(),
+                    ]
+                })
+                .collect(),
+        ),
+        ExperimentOutput::Lint(rows) => csv_table(
+            &[
+                "workload",
+                "group",
+                "verdict",
+                "instructions",
+                "conditional_branches",
+                "tainted_branches",
+                "arch_findings",
+                "transient_findings",
+            ],
+            rows.iter()
+                .map(|r| {
+                    vec![
+                        r.workload.clone(),
+                        r.group.to_string(),
+                        r.verdict.to_string(),
+                        r.instructions.to_string(),
+                        r.conditional_branches.to_string(),
+                        r.tainted_branches.to_string(),
+                        r.arch_findings.to_string(),
+                        r.transient_findings.to_string(),
                     ]
                 })
                 .collect(),
@@ -579,7 +662,7 @@ mod tests {
         let mut registry = crate::registry::ExperimentRegistry::standard();
         registry.register(crate::registry::SweepExperiment);
         let runs = registry.run_all(&mut ev).unwrap();
-        assert_eq!(runs.len(), 9);
+        assert_eq!(runs.len(), 10);
         for run in &runs {
             let text = render_text(&run.output);
             assert!(!text.is_empty(), "{}: empty text", run.name);

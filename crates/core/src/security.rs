@@ -99,7 +99,19 @@ pub struct ScenarioVerdict {
     pub attacker_trace_equal: bool,
     /// Whether any wrong-path (transient) accesses happened at all.
     pub transient_activity: bool,
+    /// The offending addresses when the attacker traces differ: at each
+    /// position where the two access sequences disagree (including length
+    /// overhang), both sides' addresses, capped at
+    /// [`MAX_DIVERGENT_ACCESSES`] entries. Empty exactly when
+    /// `attacker_trace_equal` — this is what makes a differential-test
+    /// failure debuggable instead of a bare leak count.
+    #[serde(default)]
+    pub divergent_accesses: Vec<u64>,
 }
+
+/// Cap on [`ScenarioVerdict::divergent_accesses`]: enough to localise a
+/// leaking gadget without dragging full megabyte-scale traces into reports.
+pub const MAX_DIVERGENT_ACCESSES: usize = 8;
 
 impl ScenarioVerdict {
     /// Builds the verdict by comparing the observations of two builds of the
@@ -109,12 +121,25 @@ impl ScenarioVerdict {
         o0: &LeakageObservation,
         o1: &LeakageObservation,
     ) -> Self {
+        let mut divergent_accesses = Vec::new();
+        let (mut a, mut b) = (o0.attacker_accesses(), o1.attacker_accesses());
+        loop {
+            let pair = (a.next(), b.next());
+            if pair == (None, None) || divergent_accesses.len() >= MAX_DIVERGENT_ACCESSES {
+                break;
+            }
+            if pair.0 != pair.1 {
+                divergent_accesses.extend([pair.0, pair.1].into_iter().flatten());
+            }
+        }
+        divergent_accesses.truncate(MAX_DIVERGENT_ACCESSES);
         ScenarioVerdict {
             scenario: scenario.into(),
             contract_equal: o0.contract == o1.contract,
-            attacker_trace_equal: o0.attacker_accesses().eq(o1.attacker_accesses()),
+            attacker_trace_equal: divergent_accesses.is_empty(),
             transient_activity: !o0.transient_accesses().is_empty()
                 || !o1.transient_accesses().is_empty(),
+            divergent_accesses,
         }
     }
 
@@ -286,6 +311,11 @@ mod tests {
             "the transient register leak must be visible on the baseline"
         );
         assert!(!verdict.is_protected());
+        assert!(
+            !verdict.divergent_accesses.is_empty()
+                && verdict.divergent_accesses.len() <= MAX_DIVERGENT_ACCESSES,
+            "a leaking cell must name the offending addresses: {verdict:?}"
+        );
     }
 
     #[test]
@@ -299,6 +329,10 @@ mod tests {
         assert!(verdict.contract_equal);
         assert!(verdict.attacker_trace_equal, "no secret-dependent accesses");
         assert!(verdict.is_protected());
+        assert!(
+            verdict.divergent_accesses.is_empty(),
+            "equal traces must report no divergent addresses"
+        );
     }
 
     #[test]

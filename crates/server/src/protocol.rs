@@ -21,13 +21,16 @@
 //! variant name) and workloads by their paper name (`"ChaCha20_ct"`).
 
 use cassandra_core::eval::{CacheStats, EvalRecord};
+use cassandra_core::lint::LintRow;
 use cassandra_core::policies::GridSweep;
 use cassandra_cpu::config::DefenseMode;
 use serde::{Deserialize, Serialize};
 
 /// Protocol revision reported by [`Response::Pong`]; bumped on breaking wire
 /// changes. v2 added request-id envelopes, `Cancel` and `Cancelled` (v1
-/// bare framing still decodes).
+/// bare framing still decodes). The static-analysis `Lint`/`LintReport`
+/// pair is a purely additive v2 extension — old clients never see it, so
+/// the revision is unchanged.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// How a [`Request::Submit`] names the workload to ingest.
@@ -131,6 +134,14 @@ pub enum Request {
         /// The grid specification.
         grid: GridSpec,
     },
+    /// Statically lint workloads with the constant-time &
+    /// speculative-leakage analyzer — a pure static pass served from the
+    /// session's shared analysis store; nothing is executed or simulated.
+    /// → [`Response::LintReport`].
+    Lint {
+        /// Submitted workload names; empty = every submitted workload.
+        workloads: Vec<String>,
+    },
     /// Cancel the in-flight request carrying this client-supplied id (see
     /// [`RequestEnvelope`]); its stream terminates with
     /// [`Response::Cancelled`] instead of `Done`, and so does this
@@ -217,6 +228,15 @@ pub enum Response {
     Record(EvalRecord),
     /// End of a sweep stream, with session metadata.
     Done(SweepSummary),
+    /// The static-lint verdicts for a [`Request::Lint`], one row per
+    /// workload in request order, plus the same plain-text table offline
+    /// `lint` runs print.
+    LintReport {
+        /// Per-workload verdict rows.
+        rows: Vec<LintRow>,
+        /// `cassandra_core::report::render_text` over the rows.
+        report: String,
+    },
     /// Terminal line of a sweep stream stopped by [`Request::Cancel`] (no
     /// further `Record`s follow), and the acknowledgement sent to the
     /// canceling connection. Analyses completed before the cancellation
@@ -347,6 +367,9 @@ mod tests {
                     redirect_penalties: Vec::new(),
                 },
             },
+            Request::Lint {
+                workloads: vec!["ChaCha20_ct".to_string()],
+            },
             Request::Cancel {
                 id: "sweep-1".to_string(),
             },
@@ -416,6 +439,22 @@ mod tests {
         assert_eq!(encode(&cancelled), "{\"Cancelled\":{\"id\":\"grid\"}}");
         assert!(cancelled.is_terminal());
         assert_eq!(decode::<Response>(&encode(&cancelled)).unwrap(), cancelled);
+    }
+
+    #[test]
+    fn lint_request_and_report_round_trip() {
+        let lint = Request::Lint {
+            workloads: Vec::new(),
+        };
+        assert_eq!(encode(&lint), "{\"Lint\":{\"workloads\":[]}}");
+        assert_eq!(decode::<Request>(&encode(&lint)).unwrap(), lint);
+
+        let report = Response::LintReport {
+            rows: Vec::new(),
+            report: "Workload ...\n".to_string(),
+        };
+        assert!(report.is_terminal(), "a lint reply is a single line");
+        assert_eq!(decode::<Response>(&encode(&report)).unwrap(), report);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use cassandra_core::eval::{
     AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, SweepExecutor,
     SweepOutcome,
 };
+use cassandra_core::lint::LintRow;
 use cassandra_core::policies::PolicyRegistry;
 use cassandra_core::registry::ExperimentOutput;
 use cassandra_core::report;
@@ -243,6 +244,20 @@ impl EvalService {
                         });
                     }
                     self.run_sweep(ticket, &workloads, designs, sink)
+                }
+                Err(message) => sink(Response::Error { message }),
+            },
+            Request::Lint { workloads } => match self.select_workloads(&workloads) {
+                Ok(selected) => {
+                    // Pure static pass served from the shared store: repeat
+                    // lints of a program another request (or session) already
+                    // linted are cache lookups, like sweep analyses.
+                    let rows: Vec<LintRow> = selected
+                        .iter()
+                        .map(|w| LintRow::from_report(w, &self.store.lint(&w.kernel.program)))
+                        .collect();
+                    let report = report::render_text(&ExperimentOutput::Lint(rows.clone()));
+                    sink(Response::LintReport { rows, report })
                 }
                 Err(message) => sink(Response::Error { message }),
             },
@@ -529,6 +544,68 @@ mod tests {
             },
         );
         assert_eq!(service.workload_names(), ["my-stream"]);
+    }
+
+    #[test]
+    fn lint_reports_static_verdicts_from_the_shared_store() {
+        use cassandra_analysis::StaticVerdict;
+        let service = EvalService::new();
+        collect(
+            &service,
+            Request::Submit {
+                spec: WorkloadSpec::Kernel {
+                    family: "chacha20".to_string(),
+                    size: 64,
+                    name: None,
+                },
+            },
+        );
+        collect(
+            &service,
+            Request::Submit {
+                spec: WorkloadSpec::Suite {
+                    name: "AES_CTR".to_string(),
+                },
+            },
+        );
+        let responses = collect(
+            &service,
+            Request::Lint {
+                workloads: Vec::new(),
+            },
+        );
+        let [Response::LintReport { rows, report }] = responses.as_slice() else {
+            panic!("expected one LintReport, got {responses:?}");
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].verdict, StaticVerdict::CtClean);
+        assert_eq!(rows[1].verdict, StaticVerdict::ArchLeak, "table AES");
+        assert!(report.contains("ct-clean") && report.contains("arch-leak"));
+        // Served from the store: no Algorithm-2 runs, reports memoized.
+        assert_eq!(service.store.stats().misses, 0);
+        assert_eq!(service.store.linted_programs(), 2);
+        collect(
+            &service,
+            Request::Lint {
+                workloads: vec!["AES_CTR".to_string()],
+            },
+        );
+        assert_eq!(service.store.linted_programs(), 2, "repeat lints are hits");
+    }
+
+    #[test]
+    fn lint_without_workloads_is_an_error_envelope() {
+        let service = EvalService::new();
+        let responses = collect(
+            &service,
+            Request::Lint {
+                workloads: Vec::new(),
+            },
+        );
+        assert!(
+            matches!(&responses[0], Response::Error { message } if message.contains("Submit")),
+            "{responses:?}"
+        );
     }
 
     #[test]

@@ -13,10 +13,15 @@
 //! ```
 //!
 //! `EXPERIMENT` is a registry name (`table1`, `fig7`, `fig8`, `fig9`, `q3`,
-//! `q4`, `security`, `tracegen`), `all` (every experiment on the full
-//! 21-workload suite — takes a few minutes in release mode), or nothing for
-//! a quick subset. All experiments share one evaluation session, so each
-//! workload's Algorithm-2 analysis runs exactly once.
+//! `q4`, `security`, `tracegen`, `lint`), `all` (every experiment on the
+//! full 21-workload suite — takes a few minutes in release mode), or nothing
+//! for a quick subset. All experiments share one evaluation session, so each
+//! workload's Algorithm-2 analysis runs exactly once. `lint` renders the
+//! static constant-time/speculative-leakage verdict table without running a
+//! single simulation; `--smoke` with a named experiment swaps in the quick
+//! workload subset (CI runs `lint --smoke`). The same verdicts are served
+//! over the wire via the protocol's `Lint` request (`connect
+//! '{"Lint":{"workloads":[]}}'`).
 //!
 //! `--designs` selects the session's sweep matrix by defense label
 //! (e.g. `--designs UnsafeBaseline,Fence,Tournament,Cassandra-part`); the
@@ -34,8 +39,8 @@
 //! snapshot and re-serializes it on a clean client `Shutdown`. `--smoke`
 //! instead runs a self-contained concurrent round trip (spawn on an
 //! ephemeral port, Submit + a tagged GridSweep streaming on one connection
-//! while a second connection pings mid-sweep, clean shutdown) — CI uses
-//! it. `connect` sends newline-delimited JSON requests (from the command
+//! while a second connection pings mid-sweep, a static Lint of the
+//! submitted workloads, clean shutdown) — CI uses it. `connect` sends newline-delimited JSON requests (from the command
 //! line or stdin) and prints each response line.
 
 use cassandra::core::experiments::quick_workloads;
@@ -134,7 +139,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print_cache_summary(&session);
         }
         name => {
-            let mut session = full_session(designs.as_deref());
+            // `--smoke` trades the paper-sized suite for the quick subset so
+            // CI can exercise a single experiment end-to-end in seconds.
+            let mut session = if smoke {
+                quick_session(designs.as_deref())
+            } else {
+                full_session(designs.as_deref())
+            };
             registry.register(Fig8Experiment { scale: 20 });
             match registry.run(name, &mut session)? {
                 Some(run) => {
@@ -222,7 +233,8 @@ fn run_server(
 /// The CI smoke run: two concurrent connections against one server — an
 /// id-tagged GridSweep streaming on the first while the second pings
 /// mid-sweep — asserting interleaved progress, the session's cache
-/// metadata and a clean shutdown.
+/// metadata, a static Lint of the submitted workloads and a clean
+/// shutdown.
 fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error::Error>> {
     use std::time::Instant;
 
@@ -291,6 +303,20 @@ fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error
     if pong_at >= done_at {
         return Err("smoke Ping did not complete before the sweep's Done".into());
     }
+
+    // Static lint over every submitted workload: pure analysis, no
+    // simulation, served from the same shared store.
+    let lint = prober.request(&Request::Lint {
+        workloads: Vec::new(),
+    })?;
+    let Some(Response::LintReport { rows, report }) = lint.last() else {
+        return Err(format!("smoke Lint failed: {lint:?}").into());
+    };
+    println!("{report}");
+    if rows.is_empty() {
+        return Err("smoke Lint returned no rows".into());
+    }
+
     prober.request(&Request::Shutdown)?;
     Ok(())
 }

@@ -37,6 +37,7 @@
 //! assert!(result.stats.committed_instructions > 0);
 //! ```
 
+pub use cassandra_analysis as analysis;
 pub use cassandra_btu as btu;
 pub use cassandra_core as core;
 pub use cassandra_cpu as cpu;
@@ -47,10 +48,12 @@ pub use cassandra_trace as trace;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use cassandra_analysis::{analyze, StaticReport, StaticVerdict};
     pub use cassandra_core::eval::{
         AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, Evaluator,
         EvaluatorBuilder, SweepExecutor, SweepOutcome,
     };
+    pub use cassandra_core::lint::LintRow;
     pub use cassandra_core::policies::{GridSweep, PolicyRegistry};
     pub use cassandra_core::registry::{Experiment, ExperimentOutput, ExperimentRegistry};
     pub use cassandra_core::report::{self, ReportFormat};

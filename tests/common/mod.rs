@@ -148,6 +148,78 @@ pub fn gadget(site: BranchSite, leak: LeakGadget, secret: u64) -> GadgetProgram 
     scenario(site, leak, secret)
 }
 
+/// A deterministically random program mixing public bounded loops,
+/// secret-dependent branches, calls to a shared helper and loads from both
+/// public and secret data — the input space of the static/dynamic
+/// differential property tests. Two calls with the same `rng` stream and
+/// different `secret` values build programs with **identical code** (labels,
+/// branch pcs, loop bounds) differing only in the secret data words, so
+/// per-pc dynamic behaviour is directly comparable across the pair.
+///
+/// Every generated program halts on every input: loop trip counts come from
+/// the rng (never the secret), and secret-dependent branches only skip
+/// straight-line arithmetic.
+pub fn random_taint_program(rng: &mut Rng, secret: u64) -> Program {
+    use cassandra::isa::builder::ProgramBuilder;
+    use cassandra::isa::reg::{A0, A1, A2, A3, A4, T0, T1, ZERO};
+    let mut b = ProgramBuilder::new("random-taint");
+    let secret_base = b.alloc_secret_u64s("sec", &[secret, secret ^ 0x1234]);
+    let pub_words: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+    let pub_base = b.alloc_u64s("pub", &pub_words);
+    let out = b.alloc_zeros("out", 16);
+
+    b.begin_crypto();
+    b.li(T0, secret_base);
+    b.ld(A0, T0, 0); // A0 = secret (tainted)
+    b.li(T1, pub_base);
+    b.ld(A1, T1, 0); // A1 = public
+    let blocks = rng.range(2, 6);
+    for i in 0..blocks {
+        match rng.range(0, 4) {
+            0 => {
+                // Public bounded loop: statically untainted branch.
+                let label = format!("loop{i}");
+                b.li(A2, rng.range(1, 5));
+                b.label(label.clone());
+                b.addi(A1, A1, 7);
+                b.addi(A2, A2, -1);
+                b.bne(A2, ZERO, &label);
+            }
+            1 => {
+                // Secret-dependent branch skipping straight-line code:
+                // statically tainted, outcome differs across secrets.
+                let label = format!("skip{i}");
+                b.andi(A3, A0, 1 << (i % 8));
+                b.beq(A3, ZERO, &label);
+                b.xori(A1, A1, 0x55);
+                b.addi(A1, A1, 1);
+                b.label(label);
+            }
+            2 => {
+                // Call/ret pair: exercises return edges in the CFG.
+                b.call("helper");
+            }
+            _ => {
+                // Public-indexed load: address derived from untainted data.
+                b.andi(A4, A1, 0x18);
+                b.add(A4, A4, T1);
+                b.ld(A4, A4, 0);
+                b.xor(A1, A1, A4);
+            }
+        }
+    }
+    // Store the public accumulator; constant target address.
+    b.li(A4, out);
+    b.sd(A1, A4, 0);
+    b.end_crypto();
+    b.halt();
+    b.func("helper");
+    b.muli(A1, A1, 3);
+    b.addi(A1, A1, 11);
+    b.ret();
+    b.build().expect("valid generated program")
+}
+
 // ------------------------------------------------- deterministic generator
 
 /// Deterministic xorshift64* PRNG; good enough for test-case generation.
