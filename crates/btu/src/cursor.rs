@@ -37,17 +37,20 @@ impl TraceCursor {
     }
 
     /// The current position (used for checkpointing / statistics).
+    #[inline]
     pub fn position(&self) -> TracePosition {
         self.position
     }
 
     /// Restores a previously saved position.
+    #[inline]
     pub fn restore(&mut self, position: TracePosition) {
         self.position = position;
     }
 
     /// Returns the target PC of the next branch execution and advances the
     /// cursor. Returns `None` only for traces with no elements.
+    #[inline]
     pub fn next_target(&mut self, trace: &EncodedBranchTrace) -> Option<usize> {
         if trace.trace.is_empty() {
             return None;

@@ -4,10 +4,12 @@
 
 use crate::cursor::TraceCursor;
 use crate::element::{entry_storage_bits, ELEMENTS_PER_ENTRY};
-use crate::encode::EncodedTraces;
+use crate::encode::{EncodedBranchTrace, EncodedTraces};
 use cassandra_trace::hints::BranchHint;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+
+/// Sentinel in the PC → slot table for branches without an encoded trace.
+const NO_SLOT: u32 = u32::MAX;
 
 /// Configuration of the BTU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,14 +97,28 @@ struct Partition {
 }
 
 /// The Branch Trace Unit.
+///
+/// Per-branch structures are slot-indexed dense tables built once at
+/// construction rather than tree maps: branch PCs are small instruction
+/// indices, so a PC-indexed LUT answers the hint in O(1), and each
+/// multi-target branch gets a slot holding its replay cursors next to a
+/// clone of its encoded trace. Fetch, commit and the squash scan touch only
+/// these flat arrays — the hot per-branch path does no tree walks.
 #[derive(Debug, Clone)]
 pub struct BranchTraceUnit {
     config: BtuConfig,
     encoded: EncodedTraces,
-    /// Per-branch replay state; conceptually the Checkpoint Table backed by
+    /// PC-indexed hint LUT mirroring `encoded.hints`.
+    hint_of: Vec<Option<BranchHint>>,
+    /// PC-indexed slot table: `NO_SLOT` for PCs without an encoded trace.
+    slot_of: Vec<u32>,
+    /// Per-slot replay state; conceptually the Checkpoint Table backed by
     /// the trace data pages, so it survives evictions, flushes and partition
     /// reassignments.
-    state: BTreeMap<usize, BranchState>,
+    slots: Vec<BranchState>,
+    /// Per-slot encoded trace, cloned out of `encoded` in slot order so a
+    /// lookup advances its cursor without touching the trace map.
+    slot_traces: Vec<EncodedBranchTrace>,
     /// The Trace Cache residency, split into way-partitions (a single
     /// partition models the paper's unpartitioned unit).
     partitions: Vec<Partition>,
@@ -114,10 +130,35 @@ pub struct BranchTraceUnit {
 impl BranchTraceUnit {
     /// Creates a BTU for a program's encoded traces.
     pub fn new(config: BtuConfig, encoded: EncodedTraces) -> Self {
+        let table_len = encoded
+            .hints
+            .hints
+            .keys()
+            .chain(encoded.traces.keys())
+            .max()
+            .map_or(0, |&max_pc| max_pc + 1);
+        let mut hint_of = vec![None; table_len];
+        for (&pc, &hint) in &encoded.hints.hints {
+            hint_of[pc] = Some(hint);
+        }
+        let mut slot_of = vec![NO_SLOT; table_len];
+        let mut slots = Vec::with_capacity(encoded.traces.len());
+        let mut slot_traces = Vec::with_capacity(encoded.traces.len());
+        for (&pc, trace) in &encoded.traces {
+            slot_of[pc] = slots.len() as u32;
+            slots.push(BranchState {
+                fetch: TraceCursor::new(),
+                committed: TraceCursor::new(),
+            });
+            slot_traces.push(trace.clone());
+        }
         BranchTraceUnit {
             config,
             encoded,
-            state: BTreeMap::new(),
+            hint_of,
+            slot_of,
+            slots,
+            slot_traces,
             partitions: vec![Partition::default(); config.partitions.max(1)],
             active: 0,
             stats: BtuStats::default(),
@@ -125,6 +166,7 @@ impl BranchTraceUnit {
     }
 
     /// The configuration in use.
+    #[inline]
     pub fn config(&self) -> BtuConfig {
         self.config
     }
@@ -160,6 +202,7 @@ impl BranchTraceUnit {
     }
 
     /// Accumulated statistics.
+    #[inline]
     pub fn stats(&self) -> BtuStats {
         self.stats
     }
@@ -170,9 +213,19 @@ impl BranchTraceUnit {
         self.config.entries * entry_storage_bits()
     }
 
+    /// The hint of an analyzed crypto branch, answered from the dense LUT.
+    ///
+    /// Equivalent to `encoded().hint(pc)` without the tree lookup; frontends
+    /// probe this once per fetched branch.
+    #[inline]
+    pub fn hint(&self, pc: usize) -> Option<BranchHint> {
+        self.hint_of.get(pc).copied().flatten()
+    }
+
     /// Whether the given PC is an analyzed crypto branch the BTU knows about.
+    #[inline]
     pub fn knows_branch(&self, pc: usize) -> bool {
-        self.encoded.hint(pc).is_some()
+        self.hint(pc).is_some()
     }
 
     // ------------------------------------------------------- partitioning
@@ -186,6 +239,7 @@ impl BranchTraceUnit {
     }
 
     /// The partition currently serving fetch.
+    #[inline]
     pub fn active_partition(&self) -> usize {
         self.active
     }
@@ -287,7 +341,7 @@ impl BranchTraceUnit {
     /// fetched and advances the speculative trace position.
     pub fn fetch_lookup(&mut self, pc: usize) -> BtuLookup {
         self.stats.lookups += 1;
-        match self.encoded.hint(pc) {
+        match self.hint(pc) {
             // Single-target branches carry their target in the hint bytes and
             // consume no BTU resources.
             Some(BranchHint::SingleTarget { target }) => {
@@ -312,7 +366,8 @@ impl BranchTraceUnit {
             }
             Some(BranchHint::MultiTarget { .. }) => {
                 let (hit, extra_latency) = self.touch_entry(pc);
-                let Some(trace) = self.encoded.traces.get(&pc) else {
+                let slot = self.slot_of.get(pc).copied().unwrap_or(NO_SLOT);
+                if slot == NO_SLOT {
                     // Hinted as multi-target but the trace is unavailable:
                     // behave like a stall (defensive; not expected).
                     self.stats.stall_lookups += 1;
@@ -322,12 +377,9 @@ impl BranchTraceUnit {
                         needs_stall: true,
                         extra_latency,
                     };
-                };
-                let state = self.state.entry(pc).or_insert_with(|| BranchState {
-                    fetch: TraceCursor::new(),
-                    committed: TraceCursor::new(),
-                });
-                let next_pc = state.fetch.next_target(trace);
+                }
+                let trace = &self.slot_traces[slot as usize];
+                let next_pc = self.slots[slot as usize].fetch.next_target(trace);
                 BtuLookup {
                     next_pc,
                     hit,
@@ -341,13 +393,14 @@ impl BranchTraceUnit {
     /// Commit flow (§5.3): a crypto branch retired, so the committed position
     /// (Checkpoint Table) advances by one execution.
     pub fn commit_branch(&mut self, pc: usize) {
-        if !matches!(self.encoded.hint(pc), Some(BranchHint::MultiTarget { .. })) {
+        if !matches!(self.hint(pc), Some(BranchHint::MultiTarget { .. })) {
             return;
         }
         self.stats.commits += 1;
-        if let (Some(trace), Some(state)) = (self.encoded.traces.get(&pc), self.state.get_mut(&pc))
-        {
-            let _ = state.committed.next_target(trace);
+        let slot = self.slot_of.get(pc).copied().unwrap_or(NO_SLOT);
+        if slot != NO_SLOT {
+            let trace = &self.slot_traces[slot as usize];
+            let _ = self.slots[slot as usize].committed.next_target(trace);
         }
     }
 
@@ -355,7 +408,7 @@ impl BranchTraceUnit {
     /// every branch, back to the committed checkpoints.
     pub fn squash(&mut self) {
         self.stats.squashes += 1;
-        for state in self.state.values_mut() {
+        for state in &mut self.slots {
             let committed = state.committed.position();
             state.fetch.restore(committed);
         }
@@ -401,11 +454,13 @@ impl BranchTraceUnit {
 
     /// Number of elements per Trace Cache entry (exposed for the CPU model's
     /// prefetch bookkeeping).
+    #[inline]
     pub fn elements_per_entry(&self) -> usize {
         ELEMENTS_PER_ENTRY
     }
 
     /// Read-only access to the encoded traces (used by reports).
+    #[inline]
     pub fn encoded(&self) -> &EncodedTraces {
         &self.encoded
     }
@@ -732,10 +787,10 @@ mod tests {
         let program = nested_program();
         let raw = cassandra_trace::collect::collect_raw_traces(&program, 100_000).unwrap();
         let inner_pc = 3;
-        let expected: Vec<usize> = raw
+        let expected: &[usize] = raw
             .iter()
             .find(|(pc, _)| **pc == inner_pc)
-            .map(|(_, t)| t.targets.clone())
+            .map(|(_, t)| t.targets.as_slice())
             .unwrap();
         let mut btu = btu_with(
             &program,

@@ -11,6 +11,11 @@
 use cassandra_isa::instr::BranchKind;
 use serde::{Deserialize, Serialize};
 
+/// `Some(n - 1)` when `n` is a power of two — a modulo-by-mask shortcut.
+fn mask_of(n: usize) -> Option<usize> {
+    n.is_power_of_two().then(|| n - 1)
+}
+
 /// Statistics of BPU usage (also feeds the power model).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BpuStats {
@@ -28,8 +33,13 @@ pub struct BpuStats {
 #[derive(Debug, Clone)]
 pub struct BranchPredictionUnit {
     pht: Vec<u8>,
+    /// `pht.len() - 1` when the PHT size is a power of two (the configured
+    /// geometry), so indexing is a mask, not a hardware division.
+    pht_mask: Option<usize>,
     global_history: u64,
     btb: Vec<Option<(usize, usize)>>,
+    /// As `pht_mask`, for the BTB.
+    btb_mask: Option<usize>,
     rsb: Vec<usize>,
     rsb_capacity: usize,
     stats: BpuStats,
@@ -52,8 +62,10 @@ impl BranchPredictionUnit {
             // taken, and never-taken "guard" branches mispredict on first
             // encounter — the classic Spectre training state.
             pht: vec![2u8; pht_entries.max(1)],
+            pht_mask: mask_of(pht_entries.max(1)),
             global_history: 0,
             btb: vec![None; btb_entries.max(1)],
+            btb_mask: mask_of(btb_entries.max(1)),
             rsb: Vec::new(),
             rsb_capacity: rsb_entries.max(1),
             stats: BpuStats::default(),
@@ -65,12 +77,21 @@ impl BranchPredictionUnit {
         self.stats
     }
 
+    #[inline]
     fn pht_index(&self, pc: usize) -> usize {
-        ((pc as u64) ^ self.global_history) as usize % self.pht.len()
+        let hashed = ((pc as u64) ^ self.global_history) as usize;
+        match self.pht_mask {
+            Some(mask) => hashed & mask,
+            None => hashed % self.pht.len(),
+        }
     }
 
+    #[inline]
     fn btb_index(&self, pc: usize) -> usize {
-        pc % self.btb.len()
+        match self.btb_mask {
+            Some(mask) => pc & mask,
+            None => pc % self.btb.len(),
+        }
     }
 
     /// Predicts the outcome of a branch at `pc` with fall-through

@@ -25,12 +25,45 @@ impl CacheStats {
     }
 }
 
+/// Sentinel for "no line": real line numbers are `addr >> log2(line_bytes)`
+/// and never reach `u64::MAX`.
+const NO_LINE: u64 = u64::MAX;
+
 /// One set-associative cache with LRU replacement.
+///
+/// Set storage is sparse: `slot_of[set]` maps a set to a 1-based slot in a
+/// grow-on-demand arena of `ways`-sized tag groups (0 = never touched), so
+/// constructing a cache zeroes 4 bytes per set instead of a full tag array
+/// — the 30 MiB L3 of the paper's Table 3 has 30 720 sets, and sweeps pay
+/// that construction once per cell. Within a group the `lens[slot]` valid
+/// tags are ordered LRU → MRU, so an access is a bounded scan of one
+/// contiguous slice and an in-place shift. When the geometry is a power of
+/// two (every configured level), set indexing is shift/mask instead of
+/// hardware division. `mru_line` caches the most recently accessed line:
+/// re-accessing it is a guaranteed hit that needs no LRU reorder (it is
+/// already most-recent in its set), which short-circuits the common
+/// sequential-fetch case.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<u64>>,
+    /// set → 1-based arena slot of its tag group; 0 = set never accessed.
+    slot_of: Vec<u32>,
+    /// Arena of `ways`-sized tag groups, one per touched set; entries
+    /// `[slot*ways, slot*ways + lens[slot])` are resident, oldest first.
+    tags: Vec<u64>,
+    /// Number of valid ways per touched set, indexed by arena slot.
+    lens: Vec<u16>,
     ways: usize,
+    set_count: u64,
+    /// `set_count - 1` when `set_count` is a power of two.
+    set_mask: u64,
+    sets_pow2: bool,
     line_bytes: u64,
+    /// `log2(line_bytes)` when `line_bytes` is a power of two.
+    line_shift: u32,
+    line_pow2: bool,
+    /// The line of the most recent `access` (`NO_LINE` after flush). Pure
+    /// fast-path cache: that line is resident and MRU in its set.
+    mru_line: u64,
     latency: u64,
     stats: CacheStats,
 }
@@ -39,43 +72,101 @@ impl Cache {
     /// Builds a cache from its configuration.
     pub fn new(config: &CacheConfig) -> Self {
         let lines = (config.size_bytes / config.line_bytes).max(1);
-        let sets = (lines / config.ways).max(1);
+        let set_count = (lines / config.ways).max(1) as u64;
+        let line_bytes = config.line_bytes as u64;
         Cache {
-            sets: vec![Vec::new(); sets],
+            slot_of: vec![0; set_count as usize],
+            tags: Vec::new(),
+            lens: Vec::new(),
             ways: config.ways,
-            line_bytes: config.line_bytes as u64,
+            set_count,
+            set_mask: set_count.wrapping_sub(1),
+            sets_pow2: set_count.is_power_of_two(),
+            line_bytes,
+            line_shift: line_bytes.trailing_zeros(),
+            line_pow2: line_bytes.is_power_of_two(),
+            mru_line: NO_LINE,
             latency: config.latency,
             stats: CacheStats::default(),
         }
     }
 
+    /// The arena slot of `set`, allocating its tag group on first touch.
+    #[inline]
+    fn slot_mut(&mut self, set: usize) -> usize {
+        let slot = self.slot_of[set];
+        if slot != 0 {
+            return (slot - 1) as usize;
+        }
+        let idx = self.lens.len();
+        self.slot_of[set] = (idx + 1) as u32;
+        self.tags.resize(self.tags.len() + self.ways, 0);
+        self.lens.push(0);
+        idx
+    }
+
     /// Hit latency of this level.
+    #[inline]
     pub fn latency(&self) -> u64 {
         self.latency
     }
 
     /// Accumulated statistics.
+    #[inline]
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
+    #[inline]
+    fn line_of(&self, addr: u64) -> u64 {
+        if self.line_pow2 {
+            addr >> self.line_shift
+        } else {
+            addr / self.line_bytes
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (if self.sets_pow2 {
+            line & self.set_mask
+        } else {
+            line % self.set_count
+        }) as usize
+    }
+
     /// Accesses `addr`, returns `true` on hit, inserting the line (LRU) in
     /// either case.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.stats.accesses += 1;
-        let line = addr / self.line_bytes;
-        let set_count = self.sets.len() as u64;
-        let set = &mut self.sets[(line % set_count) as usize];
-        if let Some(pos) = set.iter().position(|&l| l == line) {
-            set.remove(pos);
-            set.push(line);
+        let line = self.line_of(addr);
+        if line == self.mru_line {
+            // Still resident and still MRU: nothing was accessed since.
+            self.stats.hits += 1;
+            return true;
+        }
+        self.mru_line = line;
+        let set = self.set_of(line);
+        let slot = self.slot_mut(set);
+        let base = slot * self.ways;
+        let len = self.lens[slot] as usize;
+        let ways = &mut self.tags[base..base + len];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            // Promote to MRU: shift younger lines down, put `line` last.
+            ways.copy_within(pos + 1.., pos);
+            ways[len - 1] = line;
             self.stats.hits += 1;
             true
         } else {
-            if set.len() >= self.ways {
-                set.remove(0);
+            if len >= self.ways {
+                // Evict the LRU (slot 0) by shifting the set down.
+                ways.copy_within(1.., 0);
+                ways[len - 1] = line;
+            } else {
+                self.tags[base + len] = line;
+                self.lens[slot] = (len + 1) as u16;
             }
-            set.push(line);
             self.stats.misses += 1;
             false
         }
@@ -84,16 +175,21 @@ impl Cache {
     /// Whether the address is currently cached (does not update LRU or stats;
     /// used by the side-channel observer).
     pub fn probe(&self, addr: u64) -> bool {
-        let line = addr / self.line_bytes;
-        let set = &self.sets[(line % self.sets.len() as u64) as usize];
-        set.contains(&line)
+        let line = self.line_of(addr);
+        let slot = self.slot_of[self.set_of(line)];
+        if slot == 0 {
+            return false;
+        }
+        let base = (slot - 1) as usize * self.ways;
+        self.tags[base..base + self.lens[(slot - 1) as usize] as usize].contains(&line)
     }
 
     /// Invalidates the whole cache.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.slot_of.fill(0);
+        self.tags.clear();
+        self.lens.clear();
+        self.mru_line = NO_LINE;
     }
 }
 
@@ -130,6 +226,17 @@ impl CacheHierarchy {
             l3: Cache::new(&config.l3),
             memory_latency: config.memory_latency,
         }
+    }
+
+    /// Folds `n` same-line instruction-fetch hits into the L1I statistics.
+    ///
+    /// The pipeline short-circuits fetches that stay on the line of the
+    /// previous fetch: that line is the L1I's MRU line, so each such access
+    /// would be a guaranteed hit at base latency with no replacement-state
+    /// change — only the counters move, and they can move in bulk.
+    pub fn note_instr_hits(&mut self, n: u64) {
+        self.l1i.stats.accesses += n;
+        self.l1i.stats.hits += n;
     }
 
     /// Access latency for an instruction fetch at byte address `addr`.

@@ -360,7 +360,7 @@ impl BranchSource for LiteSource<'_> {
                 Some(self.program),
             ));
         }
-        let hint = self.btu.as_ref().and_then(|b| b.encoded().hint(event.pc));
+        let hint = self.btu.as_ref().and_then(|b| b.hint(event.pc));
         let outcome = match hint {
             Some(BranchHint::SingleTarget { .. }) => FetchOutcome::Proceed { extra_latency: 0 },
             _ => FetchOutcome::Stall,
@@ -417,8 +417,10 @@ pub struct TournamentSource<'p> {
     btu: Option<BranchTraceUnit>,
     /// Per-context confidence tables, keyed by application context: each
     /// context's counters survive switches away and back, exactly like its
-    /// BTU partition's residency (a whole-unit flush drops them all).
-    confidence: std::collections::BTreeMap<u64, std::collections::BTreeMap<usize, u32>>,
+    /// BTU partition's residency (a whole-unit flush drops them all). Each
+    /// table is dense, indexed by PC — crypto branches hit it on every
+    /// execution, so the counter must be one load away.
+    confidence: std::collections::BTreeMap<u64, Vec<u32>>,
     active_context: u64,
     threshold: u32,
 }
@@ -453,7 +455,7 @@ impl<'p> TournamentSource<'p> {
     pub fn confidence(&self, pc: usize) -> u32 {
         self.confidence
             .get(&self.active_context)
-            .and_then(|table| table.get(&pc))
+            .and_then(|table| table.get(pc))
             .copied()
             .unwrap_or(0)
     }
@@ -472,12 +474,11 @@ impl BranchSource for TournamentSource<'_> {
         // replay position is correct at promotion time; the *decision* below
         // arbitrates which component steers fetch.
         let lookup = self.btu.as_mut().map(|btu| btu.fetch_lookup(event.pc));
-        let conf = self
+        let len = self.program.len();
+        let conf = &mut self
             .confidence
             .entry(self.active_context)
-            .or_default()
-            .entry(event.pc)
-            .or_insert(0);
+            .or_insert_with(|| vec![0; len])[event.pc];
         let hot = *conf >= self.threshold;
         *conf = (*conf + 1).min(self.threshold);
         if hot {
@@ -684,10 +685,10 @@ mod tests {
         let program = nested_crypto_program();
         let raw = cassandra_trace::collect::collect_raw_traces(&program, 100_000).unwrap();
         let inner_pc = 3;
-        let targets: Vec<usize> = raw
+        let targets: &[usize] = raw
             .iter()
             .find(|(pc, _)| **pc == inner_pc)
-            .map(|(_, t)| t.targets.clone())
+            .map(|(_, t)| t.targets.as_slice())
             .unwrap();
         let config = CpuConfig::golden_cove_like();
         let mut src = TournamentSource::new(&program, &config, Some(btu_for(&program)), 2);

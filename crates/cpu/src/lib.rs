@@ -45,6 +45,7 @@ pub mod pipeline;
 pub mod policy;
 pub mod power;
 pub mod stats;
+pub mod taint;
 
 pub use config::{CpuConfig, DefenseMode, ParseDefenseModeError};
 pub use frontend::{BranchEvent, BranchSource, FetchOutcome, FrontendDecision};

@@ -20,20 +20,21 @@ use crate::config::CpuConfig;
 use crate::frontend::{self, BranchEvent, BranchSource, FetchOutcome};
 use crate::policy::DefensePolicy;
 use crate::stats::SimStats;
+use crate::taint::TaintSet;
 use cassandra_btu::unit::BranchTraceUnit;
 use cassandra_isa::error::IsaError;
 use cassandra_isa::instr::{BranchKind, Instr};
 use cassandra_isa::memory::Memory;
 use cassandra_isa::program::{Program, STACK_TOP};
 use cassandra_isa::reg::{Reg, NUM_REGS, SP};
-use std::collections::HashSet;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Maximum number of wrong-path instructions executed per misprediction.
 const WRONG_PATH_CAP: u64 = 64;
 
 /// The result of a simulation run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimOutcome {
     /// Timing and event statistics.
     pub stats: SimStats,
@@ -69,6 +70,19 @@ struct InflightStore {
     commit_cycle: u64,
 }
 
+/// One wrong-path store's rollback record: the overwritten bytes, inline.
+///
+/// Wrong-path writes are at most 8 bytes (the widest store, or the return
+/// address pushed by `call`), so the snapshot fits in a fixed array and the
+/// undo log is a flat `Vec<UndoEntry>` the simulator reuses across
+/// squashes — truncated, never reallocated, on the per-misprediction path.
+#[derive(Debug, Clone, Copy)]
+struct UndoEntry {
+    addr: u64,
+    len: u8,
+    bytes: [u8; 8],
+}
+
 /// Functional + timing state of one simulated core.
 #[derive(Debug)]
 pub struct Simulator<'p> {
@@ -83,22 +97,62 @@ pub struct Simulator<'p> {
     stats: SimStats,
 
     // Speculative architectural state (correct path).
-    regs: [u64; NUM_REGS],
-    reg_taint: [bool; NUM_REGS],
+    //
+    // The register file carries one extra slot: writes to the architectural
+    // zero register land in slot `NUM_REGS` (a write sink) instead of being
+    // guarded by a data-dependent `is_zero` branch, so reads are plain
+    // loads — slot 0 provably stays `0`/untainted. Operand registers vary
+    // per instruction, which made the old read-side guard an unpredictable
+    // host branch on the interpreter's hottest path.
+    regs: [u64; NUM_REGS + 1],
+    reg_taint: [bool; NUM_REGS + 1],
     mem: Memory,
-    mem_taint: HashSet<u64>,
+    mem_taint: TaintSet,
     call_depth: u64,
     pc: usize,
     halted: bool,
+    /// Reusable wrong-path store undo log; always empty between excursions.
+    mem_undo: Vec<UndoEntry>,
 
     // Timing state.
     fetch_cycle: u64,
     fetch_slots_used: u64,
+    /// `log2(l1i.line_bytes)` when that is a power of two — enables the
+    /// same-line fetch short-circuit in [`Self::fetch_slot`].
+    fetch_line_shift: Option<u32>,
+    /// The L1I line of the most recent correct-path fetch. Mirrors the
+    /// L1I's MRU line exactly (every instruction access flows through
+    /// `fetch_slot`), so a fetch staying on this line is a guaranteed hit
+    /// at base latency and skips the cache model entirely.
+    cur_fetch_line: u64,
+    /// Same-line fetch hits not yet folded into the L1I counters; drained
+    /// once at the end of `run` via `CacheHierarchy::note_instr_hits`.
+    pending_fetch_hits: u64,
     reg_ready: [u64; NUM_REGS],
-    rob: VecDeque<u64>,
+    /// Commit cycles of the last `rob_entries` instructions, as a flat ring:
+    /// `rob[rob_head]` is the slot of the instruction `rob_entries` back
+    /// (zero while the window is still filling — a no-op under `max`), so
+    /// the "stall dispatch until the oldest ROB entry retires" rule is one
+    /// read and one write per instruction instead of `VecDeque` traffic.
+    rob: Vec<u64>,
+    rob_head: usize,
     commit_cycle: u64,
     commits_in_cycle: u64,
     inflight_stores: VecDeque<InflightStore>,
+    /// Counting filter over `inflight_stores` granules: bucket
+    /// [`Self::filter_bucket`] holds how many queued stores hash there. A
+    /// load whose bucket is zero provably has no forwarding match and skips
+    /// the store-queue scan entirely (the queue sits at `sq_entries` ≈ 100
+    /// in steady state, so the scan — not the cache — dominated load cost).
+    store_filter: Vec<u32>,
+    /// Per-bucket upper bound on the `commit_cycle` of the bucket's queued
+    /// stores: monotone under pushes and deliberately left stale on
+    /// eviction, so it only ever over-approximates. A load whose bucket
+    /// bound is `<= start` provably cannot match the scan's
+    /// `commit_cycle > start` condition — this is what filters the common
+    /// "reload of a long-retired spill slot" case a membership count alone
+    /// cannot.
+    store_filter_bound: Vec<u64>,
     older_branches_resolved: u64,
     committed_since_flush: u64,
     /// The application context currently "running" for the periodic
@@ -118,7 +172,7 @@ impl<'p> Simulator<'p> {
         for region in &program.data {
             mem.write_bytes(region.addr, &region.bytes);
         }
-        let mut regs = [0u64; NUM_REGS];
+        let mut regs = [0u64; NUM_REGS + 1];
         regs[SP.index()] = STACK_TOP;
         let policy = config.resolved_policy();
         let mut frontend = frontend::build_source(program, &config, &policy, btu);
@@ -128,6 +182,12 @@ impl<'p> Simulator<'p> {
             // to the incoming context.
             frontend.on_context_switch(0);
         }
+        // Pre-size every hot-loop collection so the steady state never
+        // grows: the access traces gain at most one entry per committed /
+        // squashed instruction (capped so a huge budget cannot balloon the
+        // up-front reservation), the ROB and store queue are bounded by
+        // their configured depths, and the undo log by the wrong-path cap.
+        let access_hint = config.max_instructions.min(1 << 16) as usize;
         Simulator {
             program,
             frontend,
@@ -135,24 +195,33 @@ impl<'p> Simulator<'p> {
             caches: CacheHierarchy::new(&config),
             stats: SimStats::default(),
             regs,
-            reg_taint: [false; NUM_REGS],
+            reg_taint: [false; NUM_REGS + 1],
             mem,
-            mem_taint: HashSet::new(),
+            mem_taint: TaintSet::new(),
             call_depth: 0,
             pc: 0,
             halted: false,
+            mem_undo: Vec::with_capacity(2 * WRONG_PATH_CAP as usize),
             fetch_cycle: 0,
             fetch_slots_used: 0,
+            fetch_line_shift: (config.l1i.line_bytes as u64)
+                .is_power_of_two()
+                .then(|| (config.l1i.line_bytes as u64).trailing_zeros()),
+            cur_fetch_line: u64::MAX,
+            pending_fetch_hits: 0,
             reg_ready: [0; NUM_REGS],
-            rob: VecDeque::new(),
+            rob: vec![0; config.rob_entries.max(1)],
+            rob_head: 0,
             commit_cycle: 0,
             commits_in_cycle: 0,
-            inflight_stores: VecDeque::new(),
+            inflight_stores: VecDeque::with_capacity(config.sq_entries + 1),
+            store_filter: vec![0; Self::FILTER_BUCKETS],
+            store_filter_bound: vec![0; Self::FILTER_BUCKETS],
             older_branches_resolved: 0,
             committed_since_flush: 0,
             current_context: 0,
-            architectural_accesses: Vec::new(),
-            transient_accesses: Vec::new(),
+            architectural_accesses: Vec::with_capacity(access_hint),
+            transient_accesses: Vec::with_capacity(access_hint),
             config,
         }
     }
@@ -170,6 +239,8 @@ impl<'p> Simulator<'p> {
             self.step_correct_path()?;
         }
         self.stats.cycles = self.commit_cycle.max(self.fetch_cycle);
+        self.caches.note_instr_hits(self.pending_fetch_hits);
+        self.pending_fetch_hits = 0;
         self.stats.bpu = self.frontend.bpu_stats();
         if let Some(btu) = self.frontend.btu_stats() {
             self.stats.btu = btu;
@@ -185,27 +256,41 @@ impl<'p> Simulator<'p> {
 
     // ------------------------------------------------------------ registers
 
+    #[inline(always)]
     fn reg(&self, r: Reg) -> u64 {
-        if r.is_zero() {
-            0
-        } else {
-            self.regs[r.index()]
-        }
+        // Slot 0 is never written (zero-register writes go to the sink slot),
+        // so the architectural "reads as zero" rule needs no branch here.
+        self.regs[r.index()]
     }
 
+    #[inline(always)]
     fn set_reg(&mut self, r: Reg, value: u64, tainted: bool) {
-        if !r.is_zero() {
-            self.regs[r.index()] = value;
-            self.reg_taint[r.index()] = tainted;
-        }
+        // Redirect zero-register writes to the sink slot `NUM_REGS`; the
+        // index select compiles to a cmov instead of a data-dependent branch.
+        let slot = if r.is_zero() { NUM_REGS } else { r.index() };
+        self.regs[slot] = value;
+        self.reg_taint[slot] = tainted;
     }
 
+    #[inline(always)]
     fn taint_of(&self, r: Reg) -> bool {
-        !r.is_zero() && self.reg_taint[r.index()]
+        self.reg_taint[r.index()]
     }
 
     fn granule(addr: u64) -> u64 {
         addr & !7
+    }
+
+    /// Number of `store_filter` buckets; power of two, ~36× the configured
+    /// store-queue depth so collision-driven false positives stay rare.
+    const FILTER_BUCKETS: usize = 4096;
+
+    /// The `store_filter` bucket of a granule (Fibonacci hash of the high
+    /// bits; counts, so false positives only cost a scan — never wrong
+    /// timing).
+    #[inline]
+    fn filter_bucket(granule: u64) -> usize {
+        ((granule >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) as usize
     }
 
     // ------------------------------------------------------------- frontend
@@ -213,7 +298,24 @@ impl<'p> Simulator<'p> {
     /// Allocates a fetch slot for the instruction at `pc`, accounting for
     /// fetch width and instruction-cache misses. Returns the fetch cycle.
     fn fetch_slot(&mut self, pc: usize) -> u64 {
-        let latency = self.caches.access_instr(Program::byte_addr(pc));
+        let addr = Program::byte_addr(pc);
+        if let Some(shift) = self.fetch_line_shift {
+            if addr >> shift == self.cur_fetch_line {
+                // Same line as the previous fetch: a guaranteed L1I hit at
+                // base latency (the line is the L1I's MRU line and repeated
+                // MRU accesses change no replacement state), so only the
+                // fetch-width bookkeeping and a deferred hit count remain.
+                self.pending_fetch_hits += 1;
+                if self.fetch_slots_used >= self.config.fetch_width {
+                    self.fetch_cycle += 1;
+                    self.fetch_slots_used = 0;
+                }
+                self.fetch_slots_used += 1;
+                return self.fetch_cycle;
+            }
+            self.cur_fetch_line = addr >> shift;
+        }
+        let latency = self.caches.access_instr(addr);
         let extra = latency.saturating_sub(self.config.l1i.latency);
         if extra > 0 {
             self.fetch_cycle += extra;
@@ -237,83 +339,91 @@ impl<'p> Simulator<'p> {
 
     // ------------------------------------------------------------ main step
 
-    /// Fetches, functionally executes and times one correct-path instruction.
-    fn step_correct_path(&mut self) -> Result<(), IsaError> {
-        let pc = self.pc;
-        let instr = self
-            .program
-            .instr(pc)
-            .ok_or(IsaError::PcOutOfRange {
-                pc,
-                len: self.program.len(),
-            })?
-            .clone();
-        let is_crypto = self.program.is_crypto_pc(pc);
-        let fetch_cycle = self.fetch_slot(pc);
-
-        // Dispatch is limited by the frontend depth and ROB occupancy.
-        let mut dispatch = fetch_cycle + self.config.frontend_depth;
-        while self.rob.len() >= self.config.rob_entries {
-            let oldest = self.rob.pop_front().unwrap_or(dispatch);
-            dispatch = dispatch.max(oldest);
-        }
-
-        // Operand readiness.
-        let sources = instr.sources();
-        let mut operands_ready = sources
-            .iter()
-            .map(|r| self.reg_ready[r.index()])
-            .max()
-            .unwrap_or(0);
-        // call/ret implicitly read the stack pointer.
-        if matches!(
-            instr,
-            Instr::Call { .. } | Instr::CallIndirect { .. } | Instr::Ret
-        ) {
-            operands_ready = operands_ready.max(self.reg_ready[SP.index()]);
-        }
-        let mut start = dispatch.max(operands_ready);
-
-        // Defense policies that delay execution while speculative.
-        let any_src_tainted = sources.iter().any(|r| self.taint_of(*r));
-        let is_transmitter = instr.is_mem() || instr.is_branch();
-        if self.policy.delay_transmitters && is_transmitter && start < self.older_branches_resolved
+    /// Issue cycle of an instruction dispatched at `dispatch` whose operands
+    /// are ready at `ready`, applying the defense policies that delay
+    /// execution while speculative. `is_mem_or_branch` and `tainted_source`
+    /// are the per-instruction predicates those policies test (the caller
+    /// knows them statically per opcode, so no opcode re-dispatch happens
+    /// here).
+    #[inline(always)]
+    fn issue_at(
+        &mut self,
+        dispatch: u64,
+        ready: u64,
+        is_mem_or_branch: bool,
+        tainted_source: bool,
+    ) -> u64 {
+        let mut start = dispatch.max(ready);
+        if self.policy.delay_transmitters
+            && is_mem_or_branch
+            && start < self.older_branches_resolved
         {
             start = self.older_branches_resolved;
             self.stats.defense_delayed_instructions += 1;
         }
-        if self.policy.block_tainted && any_src_tainted && start < self.older_branches_resolved {
+        if self.policy.block_tainted && tainted_source && start < self.older_branches_resolved {
             start = self.older_branches_resolved;
             self.stats.defense_delayed_instructions += 1;
         }
+        start
+    }
 
-        // Functional execution + memory timing.
-        let mut complete = if instr.is_branch() {
-            start + self.config.branch_resolve_latency
-        } else {
-            start + instr.base_latency()
-        };
+    /// Fetches, functionally executes and times one correct-path instruction.
+    ///
+    /// The opcode is dispatched exactly once: every arm computes its own
+    /// operand readiness, defense delay, latency and functional effect
+    /// inline. The interpreter's cost is dominated by indirect-branch
+    /// mispredictions on the host, so folding the former `sources()` /
+    /// `is_mem()` / `base_latency()` pre-passes into the one `match` — they
+    /// each re-dispatched on the opcode — is a measured win, not a style
+    /// choice.
+    fn step_correct_path(&mut self) -> Result<(), IsaError> {
+        let pc = self.pc;
+        let instr = *self.program.instr(pc).ok_or(IsaError::PcOutOfRange {
+            pc,
+            len: self.program.len(),
+        })?;
+        let fetch_cycle = self.fetch_slot(pc);
+
+        // Dispatch is limited by the frontend depth and ROB occupancy: the
+        // slot about to be overwritten holds the commit cycle of the
+        // instruction `rob_entries` back (0 while the window fills).
+        let dispatch = (fetch_cycle + self.config.frontend_depth).max(self.rob[self.rob_head]);
+        let brl = self.config.branch_resolve_latency;
+
+        let complete;
         let mut next_pc = pc + 1;
         let mut branch_outcome: Option<(BranchKind, bool, usize, Option<usize>)> = None;
 
         match instr {
             Instr::Alu { op, rd, rs1, rs2 } => {
-                let v = op.apply(self.reg(rs1), self.reg(rs2));
+                let ready = self.reg_ready[rs1.index()].max(self.reg_ready[rs2.index()]);
                 let t = self.taint_of(rs1) || self.taint_of(rs2);
+                let start = self.issue_at(dispatch, ready, false, t);
+                complete = start + op.latency();
+                let v = op.apply(self.reg(rs1), self.reg(rs2));
                 self.set_reg(rd, v, t);
                 self.reg_ready[rd.index()] = complete;
             }
             Instr::AluImm { op, rd, rs1, imm } => {
-                let v = op.apply(self.reg(rs1), imm as u64);
+                let ready = self.reg_ready[rs1.index()];
                 let t = self.taint_of(rs1);
+                let start = self.issue_at(dispatch, ready, false, t);
+                complete = start + op.latency();
+                let v = op.apply(self.reg(rs1), imm as u64);
                 self.set_reg(rd, v, t);
                 self.reg_ready[rd.index()] = complete;
             }
             Instr::LoadImm { rd, imm } => {
+                let start = self.issue_at(dispatch, 0, false, false);
+                complete = start + 1;
                 self.set_reg(rd, imm, false);
                 self.reg_ready[rd.index()] = complete;
             }
             Instr::Declassify { rd, rs1 } => {
+                let ready = self.reg_ready[rs1.index()];
+                let start = self.issue_at(dispatch, ready, false, self.taint_of(rs1));
+                complete = start + 1;
                 let v = self.reg(rs1);
                 self.set_reg(rd, v, false);
                 self.reg_ready[rd.index()] = complete;
@@ -324,10 +434,12 @@ impl<'p> Simulator<'p> {
                 offset,
                 width,
             } => {
+                let ready = self.reg_ready[base.index()];
+                let start = self.issue_at(dispatch, ready, true, self.taint_of(base));
                 let addr = self.reg(base).wrapping_add(offset as u64);
                 let v = self.mem.read(addr, width);
                 let tainted = self.program.is_secret_addr(addr)
-                    || self.mem_taint.contains(&Self::granule(addr));
+                    || self.mem_taint.contains(Self::granule(addr));
                 self.set_reg(rd, v, tainted);
                 complete = self.time_load(start, addr);
                 self.reg_ready[rd.index()] = complete;
@@ -339,13 +451,16 @@ impl<'p> Simulator<'p> {
                 offset,
                 width,
             } => {
+                let ready = self.reg_ready[src.index()].max(self.reg_ready[base.index()]);
+                let t = self.taint_of(src) || self.taint_of(base);
+                let start = self.issue_at(dispatch, ready, true, t);
                 let addr = self.reg(base).wrapping_add(offset as u64);
                 let v = self.reg(src);
                 self.mem.write(addr, v, width);
                 if self.taint_of(src) {
                     self.mem_taint.insert(Self::granule(addr));
                 } else {
-                    self.mem_taint.remove(&Self::granule(addr));
+                    self.mem_taint.remove(Self::granule(addr));
                 }
                 complete = start + 1;
                 self.record_store(addr, complete);
@@ -358,19 +473,31 @@ impl<'p> Simulator<'p> {
                 rs2,
                 target,
             } => {
+                let ready = self.reg_ready[rs1.index()].max(self.reg_ready[rs2.index()]);
+                let t = self.taint_of(rs1) || self.taint_of(rs2);
+                let start = self.issue_at(dispatch, ready, true, t);
+                complete = start + brl;
                 let taken = cond.eval(self.reg(rs1), self.reg(rs2));
                 next_pc = if taken { target } else { pc + 1 };
                 branch_outcome = Some((BranchKind::CondDirect, taken, next_pc, Some(target)));
             }
             Instr::Jump { target } => {
+                let start = self.issue_at(dispatch, 0, true, false);
+                complete = start + brl;
                 next_pc = target;
                 branch_outcome = Some((BranchKind::UncondDirect, true, target, Some(target)));
             }
             Instr::JumpIndirect { rs1 } => {
+                let ready = self.reg_ready[rs1.index()];
+                let start = self.issue_at(dispatch, ready, true, self.taint_of(rs1));
+                complete = start + brl;
                 next_pc = self.reg(rs1) as usize;
                 branch_outcome = Some((BranchKind::Indirect, true, next_pc, None));
             }
             Instr::Call { target } => {
+                let ready = self.reg_ready[SP.index()];
+                let start = self.issue_at(dispatch, ready, true, false);
+                complete = start + brl;
                 next_pc = target;
                 let sp = self.reg(SP).wrapping_sub(8);
                 self.set_reg(SP, sp, false);
@@ -383,6 +510,9 @@ impl<'p> Simulator<'p> {
                 branch_outcome = Some((BranchKind::Call, true, target, Some(target)));
             }
             Instr::CallIndirect { rs1 } => {
+                let ready = self.reg_ready[rs1.index()].max(self.reg_ready[SP.index()]);
+                let start = self.issue_at(dispatch, ready, true, self.taint_of(rs1));
+                complete = start + brl;
                 next_pc = self.reg(rs1) as usize;
                 let sp = self.reg(SP).wrapping_sub(8);
                 self.set_reg(SP, sp, false);
@@ -398,24 +528,34 @@ impl<'p> Simulator<'p> {
                 if self.call_depth == 0 {
                     return Err(IsaError::ReturnWithoutCall { pc });
                 }
+                let ready = self.reg_ready[SP.index()];
+                let start = self.issue_at(dispatch, ready, true, false);
                 self.call_depth -= 1;
                 let sp = self.reg(SP);
                 let ret = self.mem.read_u64(sp) as usize;
                 self.set_reg(SP, sp.wrapping_add(8), false);
-                complete = complete.max(self.time_load(start, sp));
+                complete = (start + brl).max(self.time_load(start, sp));
                 self.reg_ready[SP.index()] = complete;
                 self.architectural_accesses.push(sp);
                 next_pc = ret;
                 branch_outcome = Some((BranchKind::Return, true, ret, None));
             }
-            Instr::Nop => {}
+            Instr::Nop => {
+                let start = self.issue_at(dispatch, 0, false, false);
+                complete = start + 1;
+            }
             Instr::Halt => {
+                let start = self.issue_at(dispatch, 0, false, false);
+                complete = start + 1;
                 self.halted = true;
             }
         }
 
         // Branch handling: frontend redirection, prediction and penalties.
         if let Some((kind, taken, actual_target, direct_target)) = branch_outcome {
+            // Only branches consult the crypto ranges; keep the range scan
+            // off the straight-line path.
+            let is_crypto = self.program.is_crypto_pc(pc);
             self.stats.committed_branches += 1;
             if is_crypto {
                 self.stats.committed_crypto_branches += 1;
@@ -432,21 +572,27 @@ impl<'p> Simulator<'p> {
             self.handle_branch_frontend(&event, fetch_cycle, complete);
         }
 
-        // In-order commit with commit-width constraint.
-        let proposed = (complete + 1).max(self.commit_cycle);
-        if proposed > self.commit_cycle {
-            self.commit_cycle = proposed;
-            self.commits_in_cycle = 1;
+        // In-order commit with commit-width constraint. Written with
+        // conditional moves rather than an if/else ladder: whether an
+        // instruction advances the commit cycle alternates data-dependently,
+        // which made this branch a steady source of host mispredictions.
+        let proposed = complete + 1;
+        let advanced = proposed > self.commit_cycle;
+        let width_full = !advanced && self.commits_in_cycle >= self.config.commit_width;
+        self.commit_cycle = if advanced {
+            proposed
         } else {
-            if self.commits_in_cycle >= self.config.commit_width {
-                self.commit_cycle += 1;
-                self.commits_in_cycle = 0;
-            }
-            self.commits_in_cycle += 1;
-        }
-        self.rob.push_back(self.commit_cycle);
-        if self.rob.len() > self.config.rob_entries {
-            self.rob.pop_front();
+            self.commit_cycle + u64::from(width_full)
+        };
+        self.commits_in_cycle = if advanced || width_full {
+            1
+        } else {
+            self.commits_in_cycle + 1
+        };
+        self.rob[self.rob_head] = self.commit_cycle;
+        self.rob_head += 1;
+        if self.rob_head == self.rob.len() {
+            self.rob_head = 0;
         }
         self.stats.committed_instructions += 1;
 
@@ -477,11 +623,21 @@ impl<'p> Simulator<'p> {
     /// `start` and accessing `addr`.
     fn time_load(&mut self, start: u64, addr: u64) -> u64 {
         let granule = Self::granule(addr);
-        let forwarding = self
-            .inflight_stores
-            .iter()
-            .rev()
-            .find(|s| s.granule == granule && s.commit_cycle > start);
+        // Zero bucket ⇒ no queued store shares this granule; bound ≤ start
+        // ⇒ no member can pass the scan's `commit_cycle > start` test. In
+        // either case the scan below provably cannot match; otherwise it
+        // falls through to the exact scan, so the filter never changes
+        // which store (if any) forwards.
+        let bucket = Self::filter_bucket(granule);
+        let forwarding =
+            if self.store_filter[bucket] == 0 || self.store_filter_bound[bucket] <= start {
+                None
+            } else {
+                self.inflight_stores
+                    .iter()
+                    .rev()
+                    .find(|s| s.granule == granule && s.commit_cycle > start)
+            };
         let latency = self.caches.access_data(addr);
         match forwarding {
             Some(store) if self.policy.stl_forwarding => {
@@ -502,10 +658,16 @@ impl<'p> Simulator<'p> {
     fn record_store(&mut self, addr: u64, data_ready: u64) {
         let commit_cycle = data_ready + self.config.frontend_depth;
         if self.inflight_stores.len() >= self.config.sq_entries {
-            self.inflight_stores.pop_front();
+            if let Some(evicted) = self.inflight_stores.pop_front() {
+                self.store_filter[Self::filter_bucket(evicted.granule)] -= 1;
+            }
         }
+        let granule = Self::granule(addr);
+        let bucket = Self::filter_bucket(granule);
+        self.store_filter[bucket] += 1;
+        self.store_filter_bound[bucket] = self.store_filter_bound[bucket].max(commit_cycle);
         self.inflight_stores.push_back(InflightStore {
-            granule: Self::granule(addr),
+            granule,
             data_ready,
             commit_cycle,
         });
@@ -557,25 +719,42 @@ impl<'p> Simulator<'p> {
         }
     }
 
+    /// Records the bytes a wrong-path store is about to overwrite in the
+    /// reusable undo log.
+    #[inline]
+    fn snapshot_for_undo(&mut self, addr: u64, len: usize) {
+        let mut bytes = [0u8; 8];
+        self.mem.read_into(addr, &mut bytes[..len]);
+        self.mem_undo.push(UndoEntry {
+            addr,
+            len: len as u8,
+            bytes,
+        });
+    }
+
     /// Executes up to `budget` wrong-path instructions starting at `start_pc`
     /// with full state rollback afterwards. Their data accesses pollute the
     /// caches and are recorded as transient observations.
+    ///
+    /// Register state is checkpointed by value; memory writes are undone
+    /// from the flat `mem_undo` log. `mem_taint` needs no checkpoint at all:
+    /// wrong-path loads only *read* it and wrong-path stores deliberately
+    /// skip the taint update (a squashed store must not change which
+    /// granules the architectural path considers secret), so the taint
+    /// delta of an excursion is empty by construction.
     fn run_wrong_path(&mut self, start_pc: usize, budget: u64) {
         let saved_regs = self.regs;
         let saved_taint = self.reg_taint;
         let saved_call_depth = self.call_depth;
-        let saved_mem_taint = self.mem_taint.clone();
-        let mut mem_undo: Vec<(u64, Vec<u8>)> = Vec::new();
+        debug_assert!(self.mem_undo.is_empty());
 
         let mut pc = start_pc;
         let mut executed = 0u64;
         while executed < budget {
-            let Some(instr) = self.program.instr(pc) else {
+            let Some(&instr) = self.program.instr(pc) else {
                 break;
             };
-            let instr = instr.clone();
             executed += 1;
-            let is_crypto = self.program.is_crypto_pc(pc);
             // SPT delays transmitters until they are non-speculative, so
             // wrong-path loads, stores and branches never execute before the
             // squash — the excursion ends at the first one.
@@ -614,7 +793,7 @@ impl<'p> Simulator<'p> {
                     }
                     let v = self.mem.read(addr, width);
                     let tainted = self.program.is_secret_addr(addr)
-                        || self.mem_taint.contains(&Self::granule(addr));
+                        || self.mem_taint.contains(Self::granule(addr));
                     self.set_reg(rd, v, tainted);
                     let _ = self.caches.access_data(addr);
                     self.transient_accesses.push(addr);
@@ -629,7 +808,7 @@ impl<'p> Simulator<'p> {
                     // Stores do not modify the cache or memory before commit;
                     // record the old bytes for rollback of the speculative
                     // memory image.
-                    mem_undo.push((addr, self.mem.read_bytes(addr, width.bytes() as usize)));
+                    self.snapshot_for_undo(addr, width.bytes() as usize);
                     let v = self.reg(src);
                     self.mem.write(addr, v, width);
                 }
@@ -646,7 +825,7 @@ impl<'p> Simulator<'p> {
                 Instr::JumpIndirect { rs1 } => next_pc = self.reg(rs1) as usize,
                 Instr::Call { target } => {
                     let sp = self.reg(SP).wrapping_sub(8);
-                    mem_undo.push((sp, self.mem.read_bytes(sp, 8)));
+                    self.snapshot_for_undo(sp, 8);
                     self.set_reg(SP, sp, false);
                     self.mem.write_u64(sp, (pc + 1) as u64);
                     self.call_depth += 1;
@@ -654,7 +833,7 @@ impl<'p> Simulator<'p> {
                 }
                 Instr::CallIndirect { rs1 } => {
                     let sp = self.reg(SP).wrapping_sub(8);
-                    mem_undo.push((sp, self.mem.read_bytes(sp, 8)));
+                    self.snapshot_for_undo(sp, 8);
                     let target = self.reg(rs1) as usize;
                     self.set_reg(SP, sp, false);
                     self.mem.write_u64(sp, (pc + 1) as u64);
@@ -679,20 +858,25 @@ impl<'p> Simulator<'p> {
             // A wrong-path branch may advance speculative frontend state
             // (the BTU's fetch cursor); the squash below rolls it back.
             if instr.is_branch() {
-                self.frontend.on_wrong_path_branch(pc, is_crypto);
+                self.frontend
+                    .on_wrong_path_branch(pc, self.program.is_crypto_pc(pc));
             }
             self.stats.squashed_instructions += 1;
             pc = next_pc;
         }
 
-        // Roll back the speculative state.
-        for (addr, bytes) in mem_undo.into_iter().rev() {
-            self.mem.write_bytes(addr, &bytes);
+        // Roll back the speculative state. The undo log is drained in
+        // reverse so overlapping wrong-path stores unwind correctly, then
+        // handed back to keep its buffer for the next excursion.
+        let mut undo = std::mem::take(&mut self.mem_undo);
+        for entry in undo.drain(..).rev() {
+            self.mem
+                .write_bytes(entry.addr, &entry.bytes[..entry.len as usize]);
         }
+        self.mem_undo = undo;
         self.regs = saved_regs;
         self.reg_taint = saved_taint;
         self.call_depth = saved_call_depth;
-        self.mem_taint = saved_mem_taint;
     }
 }
 

@@ -167,14 +167,10 @@ impl<'p> Executor<'p> {
             return Ok(StepOutcome::Halted);
         }
         let pc = self.pc;
-        let instr = self
-            .program
-            .instr(pc)
-            .ok_or(IsaError::PcOutOfRange {
-                pc,
-                len: self.program.len(),
-            })?
-            .clone();
+        let instr = *self.program.instr(pc).ok_or(IsaError::PcOutOfRange {
+            pc,
+            len: self.program.len(),
+        })?;
         let is_crypto = self.program.is_crypto_pc(pc);
         observer.on_step(pc, is_crypto);
         self.steps += 1;

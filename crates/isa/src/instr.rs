@@ -219,11 +219,74 @@ impl fmt::Display for BranchKind {
     }
 }
 
+/// The source registers read by one instruction, stored inline.
+///
+/// No instruction reads more than two registers, so the set fits in a fixed
+/// two-element array plus a length — [`Instr::sources`] is called once per
+/// fetched instruction on the simulator hot loop, and returning a `Vec`
+/// there would put a heap allocation on every simulated instruction.
+/// Dereferences to `&[Reg]`, so it iterates and indexes like a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceRegs {
+    regs: [Reg; 2],
+    len: u8,
+}
+
+impl SourceRegs {
+    const NONE: SourceRegs = SourceRegs {
+        regs: [crate::reg::ZERO; 2],
+        len: 0,
+    };
+
+    #[inline]
+    const fn one(r: Reg) -> SourceRegs {
+        SourceRegs {
+            regs: [r, crate::reg::ZERO],
+            len: 1,
+        }
+    }
+
+    #[inline]
+    const fn two(a: Reg, b: Reg) -> SourceRegs {
+        SourceRegs {
+            regs: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The sources as a slice, in operand order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for SourceRegs {
+    type Target = [Reg];
+
+    #[inline]
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SourceRegs {
+    type Item = &'a Reg;
+    type IntoIter = std::slice::Iter<'a, Reg>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A single instruction.
 ///
 /// Control-flow targets are instruction indices into the owning
-/// [`crate::program::Program`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// [`crate::program::Program`]. Every variant's payload is plain data, so
+/// instructions are `Copy`: the simulator executes fetched instructions by
+/// value instead of cloning them out of the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Instr {
     /// Register-register ALU operation: `rd = op(rs1, rs2)`.
     Alu {
@@ -326,6 +389,7 @@ pub enum Instr {
 
 impl Instr {
     /// Returns the branch kind if this is a control-flow instruction.
+    #[inline]
     pub fn branch_kind(&self) -> Option<BranchKind> {
         match self {
             Instr::Branch { .. } => Some(BranchKind::CondDirect),
@@ -339,23 +403,27 @@ impl Instr {
     }
 
     /// True for any control-flow instruction.
+    #[inline]
     pub fn is_branch(&self) -> bool {
         self.branch_kind().is_some()
     }
 
     /// True for loads.
+    #[inline]
     pub fn is_load(&self) -> bool {
         matches!(self, Instr::Load { .. })
     }
 
     /// True for stores. `call` also writes memory (the return address) but is
     /// not reported here; the timing model special-cases it.
+    #[inline]
     pub fn is_store(&self) -> bool {
         matches!(self, Instr::Store { .. })
     }
 
     /// True for instructions that access data memory, including the implicit
     /// stack accesses of `call` and `ret`.
+    #[inline]
     pub fn is_mem(&self) -> bool {
         matches!(
             self,
@@ -369,26 +437,28 @@ impl Instr {
 
     /// Source registers read by the instruction (excluding the implicit stack
     /// pointer of `call`/`ret`, which is reported separately by the timing
-    /// model).
-    pub fn sources(&self) -> Vec<Reg> {
+    /// model). Returned inline — no allocation.
+    #[inline]
+    pub fn sources(&self) -> SourceRegs {
         match *self {
-            Instr::Alu { rs1, rs2, .. } => vec![rs1, rs2],
-            Instr::AluImm { rs1, .. } => vec![rs1],
-            Instr::LoadImm { .. } => vec![],
-            Instr::Load { base, .. } => vec![base],
-            Instr::Store { src, base, .. } => vec![src, base],
-            Instr::Branch { rs1, rs2, .. } => vec![rs1, rs2],
-            Instr::Jump { .. } => vec![],
-            Instr::JumpIndirect { rs1 } => vec![rs1],
-            Instr::Call { .. } => vec![],
-            Instr::CallIndirect { rs1 } => vec![rs1],
-            Instr::Ret => vec![],
-            Instr::Declassify { rs1, .. } => vec![rs1],
-            Instr::Nop | Instr::Halt => vec![],
+            Instr::Alu { rs1, rs2, .. } => SourceRegs::two(rs1, rs2),
+            Instr::AluImm { rs1, .. } => SourceRegs::one(rs1),
+            Instr::LoadImm { .. } => SourceRegs::NONE,
+            Instr::Load { base, .. } => SourceRegs::one(base),
+            Instr::Store { src, base, .. } => SourceRegs::two(src, base),
+            Instr::Branch { rs1, rs2, .. } => SourceRegs::two(rs1, rs2),
+            Instr::Jump { .. } => SourceRegs::NONE,
+            Instr::JumpIndirect { rs1 } => SourceRegs::one(rs1),
+            Instr::Call { .. } => SourceRegs::NONE,
+            Instr::CallIndirect { rs1 } => SourceRegs::one(rs1),
+            Instr::Ret => SourceRegs::NONE,
+            Instr::Declassify { rs1, .. } => SourceRegs::one(rs1),
+            Instr::Nop | Instr::Halt => SourceRegs::NONE,
         }
     }
 
     /// Destination register written by the instruction, if any.
+    #[inline]
     pub fn dest(&self) -> Option<Reg> {
         match *self {
             Instr::Alu { rd, .. }
@@ -402,6 +472,7 @@ impl Instr {
 
     /// Execution latency in cycles used by the timing model (cache misses add
     /// to this for memory operations).
+    #[inline]
     pub fn base_latency(&self) -> u64 {
         match self {
             Instr::Alu { op, .. } | Instr::AluImm { op, .. } => op.latency(),
@@ -543,7 +614,7 @@ mod tests {
             rs1: A1,
             rs2: A2,
         };
-        assert_eq!(i.sources(), vec![A1, A2]);
+        assert_eq!(i.sources().as_slice(), &[A1, A2]);
         assert_eq!(i.dest(), Some(A0));
         let s = Instr::Store {
             src: A0,
@@ -551,7 +622,7 @@ mod tests {
             offset: 8,
             width: MemWidth::Double,
         };
-        assert_eq!(s.sources(), vec![A0, A1]);
+        assert_eq!(s.sources().as_slice(), &[A0, A1]);
         assert_eq!(s.dest(), None);
         assert!(s.is_store() && s.is_mem() && !s.is_load());
     }

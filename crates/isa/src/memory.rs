@@ -3,9 +3,16 @@
 //! Memory is organised as 4 KiB pages allocated on demand, which keeps large
 //! but sparsely-used address spaces (data, stack, trace pages) cheap. All
 //! accesses are little-endian.
+//!
+//! The page table is a `Vec` sorted by page index rather than a hash map:
+//! kernels touch a handful of pages with strong locality, so a last-page
+//! hint makes the common same-page access a single bounds check, and the
+//! fallback is a binary search over a few cache-resident entries instead of
+//! hashing the address on every byte. All multi-byte accessors copy through
+//! fixed stack buffers — nothing on the read path allocates.
 
 use crate::instr::MemWidth;
-use std::collections::HashMap;
+use std::cell::Cell;
 
 /// Size of a memory page in bytes.
 pub const PAGE_SIZE: u64 = 4096;
@@ -25,10 +32,23 @@ pub const PAGE_SIZE: u64 = 4096;
 /// assert_eq!(mem.read_u8(0x1000), 0x0d); // little endian
 /// assert_eq!(mem.read_u64(0x9999), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Allocated pages, sorted by page index.
+    pages: Vec<(u64, Box<[u8; PAGE_SIZE as usize]>)>,
+    /// Index into `pages` of the most recently touched page. Pure cache:
+    /// never observable, hence interior-mutable behind `&self` reads and
+    /// excluded from equality.
+    hint: Cell<usize>,
 }
+
+impl PartialEq for Memory {
+    fn eq(&self, other: &Self) -> bool {
+        self.pages == other.pages
+    }
+}
+
+impl Eq for Memory {}
 
 impl Memory {
     /// Creates an empty memory.
@@ -37,69 +57,164 @@ impl Memory {
     }
 
     /// Number of allocated pages (for tests and statistics).
+    #[inline]
     pub fn allocated_pages(&self) -> usize {
         self.pages.len()
     }
 
+    /// Index of `page` in the sorted table, trying the last-used hint
+    /// before falling back to binary search.
+    #[inline]
+    fn page_slot(&self, page: u64) -> Option<usize> {
+        let hint = self.hint.get();
+        if let Some((p, _)) = self.pages.get(hint) {
+            if *p == page {
+                return Some(hint);
+            }
+        }
+        match self.pages.binary_search_by_key(&page, |(p, _)| *p) {
+            Ok(i) => {
+                self.hint.set(i);
+                Some(i)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The backing array of `page`, if allocated.
+    #[inline]
+    fn page(&self, page: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.page_slot(page).map(|i| &*self.pages[i].1)
+    }
+
+    /// The backing array of `page`, allocating a zeroed page on first write.
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        let i = match self.page_slot(page) {
+            Some(i) => i,
+            None => {
+                let i = self
+                    .pages
+                    .binary_search_by_key(&page, |(p, _)| *p)
+                    .unwrap_err();
+                self.pages
+                    .insert(i, (page, Box::new([0u8; PAGE_SIZE as usize])));
+                self.hint.set(i);
+                i
+            }
+        };
+        &mut self.pages[i].1
+    }
+
     /// Reads a single byte.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
-        let page = addr / PAGE_SIZE;
         let off = (addr % PAGE_SIZE) as usize;
-        self.pages.get(&page).map_or(0, |p| p[off])
+        self.page(addr / PAGE_SIZE).map_or(0, |p| p[off])
     }
 
     /// Writes a single byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = addr / PAGE_SIZE;
         let off = (addr % PAGE_SIZE) as usize;
-        let p = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
-        p[off] = value;
+        self.page_mut(addr / PAGE_SIZE)[off] = value;
+    }
+
+    /// Fills `buf` with the bytes starting at `addr`, page by page, without
+    /// allocating. Unallocated ranges read as zero.
+    pub fn read_into(&self, addr: u64, buf: &mut [u8]) {
+        let mut addr = addr;
+        let mut buf = buf;
+        while !buf.is_empty() {
+            let off = (addr % PAGE_SIZE) as usize;
+            let n = buf.len().min(PAGE_SIZE as usize - off);
+            match self.page(addr / PAGE_SIZE) {
+                Some(p) => buf[..n].copy_from_slice(&p[off..off + n]),
+                None => buf[..n].fill(0),
+            }
+            buf = &mut buf[n..];
+            addr += n as u64;
+        }
     }
 
     /// Reads `n` bytes starting at `addr` (little-endian order preserved).
+    ///
+    /// Allocates the returned buffer; hot paths should prefer
+    /// [`Memory::read_into`] with a stack buffer.
     pub fn read_bytes(&self, addr: u64, n: usize) -> Vec<u8> {
-        (0..n as u64).map(|i| self.read_u8(addr + i)).collect()
+        let mut buf = vec![0u8; n];
+        self.read_into(addr, &mut buf);
+        buf
     }
 
-    /// Writes a byte slice starting at `addr`.
+    /// Writes a byte slice starting at `addr`, page by page.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
+        let mut addr = addr;
+        let mut bytes = bytes;
+        while !bytes.is_empty() {
+            let off = (addr % PAGE_SIZE) as usize;
+            let n = bytes.len().min(PAGE_SIZE as usize - off);
+            self.page_mut(addr / PAGE_SIZE)[off..off + n].copy_from_slice(&bytes[..n]);
+            bytes = &bytes[n..];
+            addr += n as u64;
         }
     }
 
     /// Reads a little-endian `u32`.
+    #[inline]
     pub fn read_u32(&self, addr: u64) -> u32 {
-        let mut buf = [0u8; 4];
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64);
+        let off = (addr % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 4 {
+            // Within one page: read straight out of the backing array.
+            return match self.page(addr / PAGE_SIZE) {
+                Some(p) => u32::from_le_bytes(p[off..off + 4].try_into().unwrap()),
+                None => 0,
+            };
         }
+        let mut buf = [0u8; 4];
+        self.read_into(addr, &mut buf);
         u32::from_le_bytes(buf)
     }
 
     /// Writes a little-endian `u32`.
+    #[inline]
     pub fn write_u32(&mut self, addr: u64, value: u32) {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 4 {
+            self.page_mut(addr / PAGE_SIZE)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         self.write_bytes(addr, &value.to_le_bytes());
     }
 
     /// Reads a little-endian `u64`.
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
-        let mut buf = [0u8; 8];
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64);
+        let off = (addr % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            // Within one page: read straight out of the backing array.
+            return match self.page(addr / PAGE_SIZE) {
+                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
+                None => 0,
+            };
         }
+        let mut buf = [0u8; 8];
+        self.read_into(addr, &mut buf);
         u64::from_le_bytes(buf)
     }
 
     /// Writes a little-endian `u64`.
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, value: u64) {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            self.page_mut(addr / PAGE_SIZE)[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         self.write_bytes(addr, &value.to_le_bytes());
     }
 
     /// Reads a value of the given width, zero-extended to 64 bits.
+    #[inline]
     pub fn read(&self, addr: u64, width: MemWidth) -> u64 {
         match width {
             MemWidth::Byte => u64::from(self.read_u8(addr)),
@@ -109,6 +224,7 @@ impl Memory {
     }
 
     /// Writes the low bytes of `value` with the given width.
+    #[inline]
     pub fn write(&mut self, addr: u64, value: u64, width: MemWidth) {
         match width {
             MemWidth::Byte => self.write_u8(addr, value as u8),
@@ -166,5 +282,37 @@ mod tests {
         let mut mem = Memory::new();
         mem.write(0, 0xffff_ffff_ffff_ffff, MemWidth::Word);
         assert_eq!(mem.read_u64(0), 0xffff_ffff);
+    }
+
+    #[test]
+    fn read_into_spans_allocated_and_missing_pages() {
+        let mut mem = Memory::new();
+        // Allocate only the second of three touched pages.
+        mem.write_u8(PAGE_SIZE, 0xaa);
+        mem.write_u8(2 * PAGE_SIZE - 1, 0xbb);
+        let mut buf = [0xffu8; 3 * PAGE_SIZE as usize];
+        mem.read_into(0, &mut buf);
+        assert_eq!(buf[0], 0, "missing leading page reads as zero");
+        assert_eq!(buf[PAGE_SIZE as usize], 0xaa);
+        assert_eq!(buf[2 * PAGE_SIZE as usize - 1], 0xbb);
+        assert_eq!(buf[2 * PAGE_SIZE as usize], 0, "missing trailing page");
+        assert_eq!(mem.allocated_pages(), 1);
+    }
+
+    #[test]
+    fn hint_survives_interleaved_pages() {
+        let mut mem = Memory::new();
+        mem.write_u64(0, 1);
+        mem.write_u64(5 * PAGE_SIZE, 2);
+        mem.write_u64(3 * PAGE_SIZE, 3);
+        // Alternating reads across pages keep hitting the right data even
+        // though each read moves the last-page hint.
+        for _ in 0..4 {
+            assert_eq!(mem.read_u64(0), 1);
+            assert_eq!(mem.read_u64(5 * PAGE_SIZE), 2);
+            assert_eq!(mem.read_u64(3 * PAGE_SIZE), 3);
+        }
+        let clone = mem.clone();
+        assert_eq!(clone, mem, "equality ignores the hint");
     }
 }

@@ -1,0 +1,154 @@
+//! Heap-allocation budget of the simulator's hot loop.
+//!
+//! The perf work of PR 7 promises an *allocation-free steady state*: after
+//! `Simulator::new` pre-sizes every collection, neither committing an
+//! instruction nor squashing a wrong path may touch the allocator. Rather
+//! than asserting an absolute allocation count (brittle against incidental
+//! setup changes), this test counts allocations with a wrapping global
+//! allocator and asserts the count is **independent of how many
+//! instructions run**: a run of `2N` instructions must allocate exactly as
+//! often as a run of `N`. Any per-instruction or per-squash allocation —
+//! including amortized `Vec` regrowth of a collection that was supposed to
+//! be pre-sized — makes the longer run allocate more and fails the test.
+//!
+//! The binary holds exactly one `#[test]` so no concurrent test pollutes
+//! the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cassandra::cpu::config::{CpuConfig, DefenseMode};
+use cassandra::cpu::pipeline::simulate;
+use cassandra::isa::builder::ProgramBuilder;
+use cassandra::isa::program::Program;
+use cassandra::isa::reg::{A0, A1, A2, A3, SP, ZERO};
+
+/// Counts every allocation (and regrowth) without changing behavior.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// An endless, well-predicted loop: the pure correct-path commit stream
+/// (ALU ops, a spill store, a reload) with a backward branch the BPU locks
+/// onto almost immediately.
+fn straight_loop() -> Program {
+    let mut b = ProgramBuilder::new("alloc-probe-straight");
+    b.li(A0, 1);
+    b.li(A1, 0);
+    b.label("loop");
+    b.add(A1, A1, A0);
+    b.xori(A1, A1, 0x5a);
+    b.sd(A1, SP, -8);
+    b.ld(A2, SP, -8);
+    b.j("loop");
+    b.halt();
+    b.build().expect("valid probe program")
+}
+
+/// An endless loop whose forward branch follows the parity of an LCG: the
+/// pattern defeats the pattern-history table, so the run keeps opening
+/// wrong-path windows and squashing them — the squash/undo path must be
+/// as allocation-free as the commit path.
+fn mispredicting_loop() -> Program {
+    let mut b = ProgramBuilder::new("alloc-probe-squash");
+    b.li(A0, 12345);
+    b.li(A3, 0);
+    b.label("loop");
+    b.muli(A0, A0, 6364136223846793005);
+    b.addi(A0, A0, 1442695040888963407);
+    b.srli(A1, A0, 33);
+    b.andi(A1, A1, 1);
+    b.beq(A1, ZERO, "skip");
+    // Taken side: memory traffic that a mispredicted skip executes
+    // transiently and must undo.
+    b.sd(A0, SP, -16);
+    b.ld(A2, SP, -16);
+    b.addi(A3, A3, 1);
+    b.label("skip");
+    b.j("loop");
+    b.halt();
+    b.build().expect("valid probe program")
+}
+
+/// Runs `program` for `max_instructions` committed instructions and returns
+/// how many heap allocations the whole simulation (constructor + run) made,
+/// along with how many wrong-path instructions were squashed.
+fn allocs_for(program: &Program, max_instructions: u64) -> (u64, u64) {
+    let mut config = CpuConfig::golden_cove_like();
+    config.defense = DefenseMode::UnsafeBaseline;
+    config.max_instructions = max_instructions;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let outcome = simulate(program, config, None).expect("probe program simulates");
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        outcome.stats.committed_instructions, max_instructions,
+        "the probe loop must outlast the instruction budget"
+    );
+    std::hint::black_box(&outcome);
+    (after - before, outcome.stats.squashed_instructions)
+}
+
+/// The allocation count of a simulation, taken as the minimum over a few
+/// identical runs: the simulator itself is deterministic, but the libtest
+/// harness thread may allocate concurrently and inflate a single sample.
+fn min_allocs_for(program: &Program, max_instructions: u64) -> (u64, u64) {
+    (0..5)
+        .map(|_| allocs_for(program, max_instructions))
+        .min()
+        .expect("non-empty sample set")
+}
+
+/// Doubling the instruction count must not change the allocation count —
+/// neither on the pure commit path nor under sustained mispredict/squash
+/// pressure. (`N` stays within the pre-sized access-trace capacity hint,
+/// which covers budgets up to `1 << 16`.)
+#[test]
+fn hot_loop_makes_no_per_instruction_or_per_squash_allocations() {
+    for (label, wants_squashes, program) in [
+        ("straight loop", false, straight_loop()),
+        ("mispredicting loop", true, mispredicting_loop()),
+    ] {
+        // Warm-up run absorbs one-time lazy initialization.
+        allocs_for(&program, 1 << 10);
+        let (short, _) = min_allocs_for(&program, 1 << 12);
+        let (long, squashed) = min_allocs_for(&program, 1 << 13);
+        if wants_squashes {
+            assert!(
+                squashed > 100,
+                "{label}: expected sustained mispredictions, saw only \
+                 {squashed} squashed instructions — the probe no longer \
+                 exercises the squash path"
+            );
+        }
+        assert_eq!(
+            short, long,
+            "{label}: doubling the instruction budget changed the allocation \
+             count ({short} vs {long}) — something allocates per instruction \
+             or per squash"
+        );
+    }
+}
