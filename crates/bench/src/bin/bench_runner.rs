@@ -14,8 +14,8 @@
 //!   fraction below the committed `after` cells/sec. This is the CI gate.
 
 use cassandra_bench::{
-    measure_suite_best, validate_trajectory, BenchTrajectory, Measurement, SuiteTrajectory,
-    REPRESENTATIVE_POLICIES, TRAJECTORY_SCHEMA,
+    guarded_speedup, measure_suite_best, validate_trajectory, BenchTrajectory, Measurement,
+    SuiteTrajectory, REPRESENTATIVE_POLICIES, TRAJECTORY_SCHEMA,
 };
 use std::process::ExitCode;
 
@@ -118,12 +118,18 @@ fn cmd_emit(mut args: Vec<String>) -> ExitCode {
             .map(|s| s.to_string())
             .collect(),
         smoke: SuiteTrajectory {
-            speedup_cells_per_sec: after_smoke.cells_per_sec / before_smoke.cells_per_sec,
+            speedup_cells_per_sec: guarded_speedup(
+                after_smoke.cells_per_sec,
+                before_smoke.cells_per_sec,
+            ),
             before: before_smoke,
             after: after_smoke,
         },
         paper: SuiteTrajectory {
-            speedup_cells_per_sec: after_paper.cells_per_sec / before_paper.cells_per_sec,
+            speedup_cells_per_sec: guarded_speedup(
+                after_paper.cells_per_sec,
+                before_paper.cells_per_sec,
+            ),
             before: before_paper,
             after: after_paper,
         },

@@ -141,6 +141,40 @@ pub fn representative_designs() -> Vec<DesignPoint> {
         .collect()
 }
 
+/// `count / wall_seconds` with the denominator clamped away from zero.
+///
+/// Coarse clocks can report a zero-second wall for a trivially short suite,
+/// and a raw division would put `inf` into the committed trajectory — which
+/// the bundled JSON writer serializes as `null`, so the file would no longer
+/// re-read as a `BenchTrajectory` under `bench-runner check`. A `NaN` wall
+/// clamps too (`f64::max` discards a `NaN` operand), so the result is always
+/// finite for finite `count`.
+pub fn per_second(count: f64, wall_seconds: f64) -> f64 {
+    count / wall_seconds.max(f64::EPSILON)
+}
+
+/// The throughput ratio `after / before`, guarded against degenerate
+/// baselines.
+///
+/// The measured path can only produce large-but-finite rates (walls are
+/// clamped via [`per_second`]), but `emit` also compares against numbers
+/// re-read from a baseline file, which a truncated or hand-edited JSON can
+/// leave zero, negative or non-finite. Dividing by those would persist
+/// `inf`/`NaN`; instead any such pair yields `0.0`, which
+/// [`validate_trajectory`] rejects as "not positive" — the failure is loud
+/// at emit/check time rather than silently committed.
+pub fn guarded_speedup(after_cells_per_sec: f64, before_cells_per_sec: f64) -> f64 {
+    let defined = after_cells_per_sec.is_finite()
+        && before_cells_per_sec.is_finite()
+        && after_cells_per_sec > 0.0
+        && before_cells_per_sec > 0.0;
+    if defined {
+        after_cells_per_sec / before_cells_per_sec
+    } else {
+        0.0
+    }
+}
+
 /// Runs `suite_name` across the representative policies and returns the
 /// timed measurement. Analyses are generated (and cached) before timing
 /// starts, so the wall clock covers simulation only.
@@ -178,9 +212,9 @@ pub fn measure_suite(suite_name: &str) -> Measurement {
             policy: design.label.clone(),
             cells: workloads.len() as u64,
             wall_seconds: wall,
-            cells_per_sec: workloads.len() as f64 / wall,
+            cells_per_sec: per_second(workloads.len() as f64, wall),
             simulated_cycles: cycles,
-            sim_cycles_per_sec: cycles as f64 / wall,
+            sim_cycles_per_sec: per_second(cycles as f64, wall),
         });
     }
 
@@ -190,9 +224,9 @@ pub fn measure_suite(suite_name: &str) -> Measurement {
         workloads: workloads.iter().map(|w| w.name.clone()).collect(),
         cells,
         wall_seconds: total_wall,
-        cells_per_sec: cells as f64 / total_wall.max(f64::EPSILON),
+        cells_per_sec: per_second(cells as f64, total_wall),
         simulated_cycles: total_cycles,
-        sim_cycles_per_sec: total_cycles as f64 / total_wall.max(f64::EPSILON),
+        sim_cycles_per_sec: per_second(total_cycles as f64, total_wall),
         policies,
     }
 }
@@ -292,6 +326,56 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_wall_clocks_stay_finite_and_round_trip_as_json() {
+        // A zero-second wall (coarse clock, trivially short suite) must not
+        // put inf into the measurement...
+        let rate = per_second(4.0, 0.0);
+        assert!(rate.is_finite() && rate > 0.0, "rate = {rate}");
+        // ...and neither must a NaN wall (f64::max discards the NaN).
+        assert!(per_second(4.0, f64::NAN).is_finite());
+
+        let m = Measurement {
+            suite: "smoke".to_string(),
+            workloads: vec!["w".to_string()],
+            cells: 4,
+            wall_seconds: 0.0_f64.max(f64::EPSILON),
+            cells_per_sec: rate,
+            simulated_cycles: 9,
+            sim_cycles_per_sec: per_second(9.0, 0.0),
+            policies: Vec::new(),
+        };
+        // The persisted JSON carries real numbers (the bundled writer emits
+        // `null` for non-finite floats, which would not re-read as f64)...
+        let text = serde_json::to_string(&m).unwrap();
+        assert!(
+            !text.contains("null"),
+            "degenerate measurement leaked a non-finite number: {text}"
+        );
+        // ...and the document round-trips to an equal, usable value.
+        let back: Measurement = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.cells, m.cells);
+        assert!(back.cells_per_sec.is_finite() && back.cells_per_sec > 0.0);
+        assert!(back.sim_cycles_per_sec.is_finite());
+    }
+
+    #[test]
+    fn speedup_is_guarded_against_degenerate_baselines() {
+        assert_eq!(guarded_speedup(3.0, 1.5), 2.0);
+        for (after, before) in [
+            (5.0, 0.0),
+            (5.0, -1.0),
+            (5.0, f64::NAN),
+            (5.0, f64::INFINITY),
+            (f64::NAN, 5.0),
+            (f64::INFINITY, 5.0),
+            (0.0, 5.0),
+        ] {
+            let s = guarded_speedup(after, before);
+            assert_eq!(s, 0.0, "speedup({after}, {before}) = {s}");
+        }
+    }
+
+    #[test]
     fn validation_flags_a_broken_trajectory() {
         let m = measure_suite("smoke");
         let good = BenchTrajectory {
@@ -325,8 +409,17 @@ mod tests {
         let mut bad = good.clone();
         bad.schema = "nonsense".to_string();
         bad.smoke.after.cells_per_sec = f64::NAN;
+        // A degenerate baseline flows through the guard as 0.0, which
+        // validation must reject rather than pass as a "finite" speedup.
+        bad.paper.speedup_cells_per_sec = guarded_speedup(m.cells_per_sec, 0.0);
         let problems = validate_trajectory(&bad);
         assert!(problems.iter().any(|p| p.contains("schema")));
         assert!(problems.iter().any(|p| p.contains("cells_per_sec")));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("paper.speedup_cells_per_sec")),
+            "guarded speedup sentinel not flagged: {problems:?}"
+        );
     }
 }

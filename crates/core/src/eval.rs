@@ -50,6 +50,7 @@
 use crate::{AnalysisBundle, ANALYSIS_STEP_LIMIT};
 use cassandra_analysis::StaticReport;
 use cassandra_btu::encode::EncodedTraces;
+use cassandra_btu::unit::ContextBtuStats;
 use cassandra_cpu::config::{CpuConfig, DefenseMode};
 use cassandra_cpu::pipeline::{simulate, SimOutcome};
 use cassandra_cpu::stats::SimStats;
@@ -153,6 +154,11 @@ pub struct EvalRecord {
     pub stats: SimStats,
     /// Wall-clock timing breakdown.
     pub timing: EvalTiming,
+    /// Per-context BTU statistics, one entry per application context the BTU
+    /// saw. Empty (and omitted from serialized records) for single-context
+    /// runs, so existing record streams are byte-identical.
+    #[serde(skip_if_default)]
+    pub btu_contexts: Vec<ContextBtuStats>,
 }
 
 // --------------------------------------------------------------- cancel
@@ -559,7 +565,7 @@ impl<'a> SweepExecutor<'a> {
         let start = Instant::now();
         let outcome = Evaluator::simulate_program(&workload.kernel.program, Some(&analysis), &cfg)?;
         timing.simulate = start.elapsed();
-        Ok(record_from(workload, design, outcome.stats, timing))
+        Ok(record_from(workload, design, outcome, timing))
     }
 
     /// Evaluates the full workload × design matrix, returning the records
@@ -637,7 +643,7 @@ impl<'a> SweepExecutor<'a> {
             let start = Instant::now();
             let outcome = Evaluator::simulate_program(&w.kernel.program, Some(bundle), &cfg)?;
             timing.simulate = start.elapsed();
-            Ok(record_from(w, d, outcome.stats, timing))
+            Ok(record_from(w, d, outcome, timing))
         };
         stream_jobs(&jobs, run_one, cancel, emit)
     }
@@ -646,7 +652,7 @@ impl<'a> SweepExecutor<'a> {
 fn record_from(
     workload: &Workload,
     design: &DesignPoint,
-    stats: SimStats,
+    outcome: SimOutcome,
     timing: EvalTiming,
 ) -> EvalRecord {
     EvalRecord {
@@ -654,8 +660,9 @@ fn record_from(
         group: workload.group,
         design: design.label.clone(),
         defense: design.config.defense,
-        stats,
+        stats: outcome.stats,
         timing,
+        btu_contexts: outcome.btu_contexts,
     }
 }
 
@@ -1347,6 +1354,7 @@ mod tests {
             defense: DefenseMode::UnsafeBaseline,
             stats: SimStats::default(),
             timing: EvalTiming::default(),
+            btu_contexts: Vec::new(),
         }
     }
 

@@ -50,7 +50,7 @@
 //!
 //! // … and the full experiment suite, sharing the same analysis cache.
 //! let runs = ExperimentRegistry::standard().run_all(&mut session)?;
-//! assert_eq!(runs.len(), 9);
+//! assert_eq!(runs.len(), 10);
 //! println!("{}", report::render_text(&runs[0].output));
 //! assert_eq!(session.cache_stats().misses, 2 + 10 + 16); // each program once
 //! # Ok(())
@@ -81,6 +81,7 @@
 //! # }
 //! ```
 
+pub mod consolidation;
 pub mod eval;
 pub mod experiments;
 pub mod lint;
@@ -99,6 +100,7 @@ use cassandra_kernels::workload::Workload;
 use cassandra_trace::genproc::TraceBundle;
 use serde::{Deserialize, Serialize};
 
+pub use consolidation::{consolidation, consolidation_with, ConsolidationResult};
 pub use eval::{
     AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, Evaluator,
     SweepExecutor, SweepOutcome,

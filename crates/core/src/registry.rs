@@ -13,6 +13,7 @@
 //! Outputs are serde-serializable; [`crate::report`] renders any of them to
 //! text, CSV or JSON.
 
+use crate::consolidation::{self, ConsolidationResult};
 use crate::eval::{EvalRecord, Evaluator};
 use crate::experiments::{
     self, Fig7Result, Fig8Point, Fig9Result, Q3Row, Q4Result, Table1Result, TraceGenRow,
@@ -47,6 +48,8 @@ pub enum ExperimentOutput {
     TraceGen(Vec<TraceGenRow>),
     /// Static constant-time & speculative-leakage lint verdicts.
     Lint(Vec<LintRow>),
+    /// N-tenant consolidation: one shared core under every switch policy.
+    Consolidation(ConsolidationResult),
     /// A raw design-point sweep (the uniform [`EvalRecord`] stream).
     Records(Vec<EvalRecord>),
 }
@@ -288,6 +291,40 @@ impl Experiment for LintExperiment {
     }
 }
 
+/// N-tenant consolidation: a mix cycled from the session workloads,
+/// round-robined over one shared pipeline + BTU under the flush,
+/// partition-reassignment and scheduler-driven switch policies.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsolidationExperiment {
+    /// Tenants in the mix (the suite is cycled to fill it).
+    pub tenants: usize,
+    /// Scheduling quantum in committed instructions.
+    pub quantum: u64,
+}
+
+impl Default for ConsolidationExperiment {
+    fn default() -> Self {
+        ConsolidationExperiment {
+            tenants: consolidation::CONSOLIDATION_TENANTS,
+            quantum: consolidation::CONSOLIDATION_QUANTUM,
+        }
+    }
+}
+
+impl Experiment for ConsolidationExperiment {
+    fn name(&self) -> &'static str {
+        "consolidation"
+    }
+    fn title(&self) -> &'static str {
+        "Consolidation: N-tenant mixes on one shared core"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        let workloads = ev.shared_workloads();
+        consolidation::consolidation_with(ev, &workloads, self.tenants, self.quantum)
+            .map(ExperimentOutput::Consolidation)
+    }
+}
+
 /// The raw workload × design sweep over the session's configured matrix.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SweepExperiment;
@@ -350,6 +387,7 @@ impl ExperimentRegistry {
         registry.register(SecurityExperiment::default());
         registry.register(TraceGenExperiment);
         registry.register(LintExperiment);
+        registry.register(ConsolidationExperiment::default());
         registry
     }
 
@@ -420,7 +458,18 @@ mod tests {
         let registry = ExperimentRegistry::standard();
         assert_eq!(
             registry.names(),
-            ["table1", "fig7", "fig8", "fig9", "q3", "q4", "security", "tracegen", "lint"]
+            [
+                "table1",
+                "fig7",
+                "fig8",
+                "fig9",
+                "q3",
+                "q4",
+                "security",
+                "tracegen",
+                "lint",
+                "consolidation"
+            ]
         );
         assert!(registry.get("fig7").is_some());
         assert!(registry.get("nope").is_none());
@@ -444,13 +493,14 @@ mod tests {
         let mut ev = Evaluator::builder().workloads(workloads).build();
         let registry = ExperimentRegistry::standard();
         let runs = registry.run_all(&mut ev).unwrap();
-        assert_eq!(runs.len(), 9);
+        assert_eq!(runs.len(), 10);
 
         // Distinct programs analyzed: the session workloads (once each,
-        // shared by table1/fig7/fig9/q3/q4/tracegen), the fig8 synthetic
-        // mixes (2 variants × 5 mixes) and the security gadgets (8 scenarios
-        // × 2 secrets). No program is ever analyzed twice, and the static
-        // lint experiment contributes zero — it never runs Algorithm 2.
+        // shared by table1/fig7/fig9/q3/q4/tracegen/consolidation), the
+        // fig8 synthetic mixes (2 variants × 5 mixes) and the security
+        // gadgets (8 scenarios × 2 secrets). No program is ever analyzed
+        // twice, and the static lint experiment contributes zero — it never
+        // runs Algorithm 2.
         let stats = ev.cache_stats();
         assert_eq!(stats.misses, n_workloads + 10 + 16);
         assert_eq!(ev.analyzed_programs() as u64, stats.misses);

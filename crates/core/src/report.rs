@@ -6,6 +6,7 @@
 //! accept any [`ExperimentOutput`] from the registry, so `run_all` output
 //! can be dumped uniformly in every format.
 
+use crate::consolidation::ConsolidationResult;
 use crate::eval::EvalRecord;
 use crate::experiments::{
     Fig7Result, Fig8Point, Fig9Result, Q3Row, Q4Result, Table1Result, TraceGenRow,
@@ -281,6 +282,55 @@ pub fn format_lint(rows: &[LintRow]) -> String {
     out
 }
 
+/// Renders the consolidation experiment (per-policy, per-tenant rows).
+pub fn format_consolidation(result: &ConsolidationResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Consolidation: {} tenants, quantum {} instructions\n",
+        result.tenant_count, result.quantum
+    ));
+    for p in &result.policies {
+        out.push_str(&format!(
+            "\nPolicy {:<10} ({}): {} context switches, {} total cycles, \
+             geomean slowdown {:.3}x\n",
+            p.policy,
+            p.defense.label(),
+            p.context_switches,
+            p.total_cycles,
+            p.geomean_slowdown
+        ));
+        out.push_str(&format!(
+            "  {:>3} {:<22} {:>10} {:>12} {:>12} {:>9} {:>11} {:>8} {:>9} {:>7}\n",
+            "Ctx",
+            "Workload",
+            "Committed",
+            "Cycles",
+            "Solo",
+            "Slowdown",
+            "BtuLookups",
+            "HitRate",
+            "Evictions",
+            "Steals"
+        ));
+        for t in &p.tenants {
+            out.push_str(&format!(
+                "  {:>3} {:<22} {:>10} {:>12} {:>12} {:>8.3}x {:>11} {:>8.3} {:>9} {:>7}\n",
+                t.context,
+                t.workload,
+                t.committed_instructions,
+                t.attributed_cycles,
+                t.solo_cycles,
+                t.slowdown,
+                t.btu.lookups,
+                t.btu.hit_rate(),
+                t.btu.evictions,
+                t.btu.steals_suffered
+            ));
+        }
+    }
+    out
+}
+
 /// Renders a raw design-point sweep.
 pub fn format_records(records: &[EvalRecord]) -> String {
     let mut out = String::new();
@@ -317,6 +367,7 @@ pub fn render_text(output: &ExperimentOutput) -> String {
         ExperimentOutput::Security(r) => format_security(r),
         ExperimentOutput::TraceGen(r) => format_trace_gen(r),
         ExperimentOutput::Lint(r) => format_lint(r),
+        ExperimentOutput::Consolidation(r) => format_consolidation(r),
         ExperimentOutput::Records(r) => format_records(r),
     }
 }
@@ -569,6 +620,47 @@ pub fn render_csv(output: &ExperimentOutput) -> String {
                 })
                 .collect(),
         ),
+        ExperimentOutput::Consolidation(r) => csv_table(
+            &[
+                "policy",
+                "defense",
+                "context",
+                "workload",
+                "committed_instructions",
+                "attributed_cycles",
+                "solo_cycles",
+                "slowdown",
+                "context_switches",
+                "btu_lookups",
+                "btu_hit_rate",
+                "btu_evictions",
+                "btu_steals_suffered",
+                "btu_partition_switches",
+            ],
+            r.policies
+                .iter()
+                .flat_map(|p| {
+                    p.tenants.iter().map(move |t| {
+                        vec![
+                            p.policy.clone(),
+                            p.defense.label().to_string(),
+                            t.context.to_string(),
+                            t.workload.clone(),
+                            t.committed_instructions.to_string(),
+                            t.attributed_cycles.to_string(),
+                            t.solo_cycles.to_string(),
+                            t.slowdown.to_string(),
+                            p.context_switches.to_string(),
+                            t.btu.lookups.to_string(),
+                            t.btu.hit_rate().to_string(),
+                            t.btu.evictions.to_string(),
+                            t.btu.steals_suffered.to_string(),
+                            t.btu.partition_switches.to_string(),
+                        ]
+                    })
+                })
+                .collect(),
+        ),
         ExperimentOutput::Records(records) => csv_table(
             &[
                 "workload",
@@ -662,7 +754,7 @@ mod tests {
         let mut registry = crate::registry::ExperimentRegistry::standard();
         registry.register(crate::registry::SweepExperiment);
         let runs = registry.run_all(&mut ev).unwrap();
-        assert_eq!(runs.len(), 10);
+        assert_eq!(runs.len(), 11);
         for run in &runs {
             let text = render_text(&run.output);
             assert!(!text.is_empty(), "{}: empty text", run.name);

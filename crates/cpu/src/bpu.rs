@@ -72,6 +72,11 @@ impl BranchPredictionUnit {
         }
     }
 
+    /// A fresh, untrained predictor with the same table geometry.
+    pub fn fresh_like(&self) -> Self {
+        Self::new(self.pht.len(), self.btb.len(), self.rsb_capacity)
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> BpuStats {
         self.stats

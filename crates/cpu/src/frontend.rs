@@ -28,11 +28,48 @@
 use crate::bpu::{BpuStats, BranchPredictionUnit};
 use crate::config::CpuConfig;
 use crate::policy::FrontendKind;
-use cassandra_btu::unit::{BranchTraceUnit, BtuStats};
+use cassandra_btu::unit::{BranchTraceUnit, BtuStats, ContextBtuStats, VictimPolicy};
 use cassandra_isa::instr::BranchKind;
 use cassandra_isa::program::Program;
 use cassandra_trace::hints::BranchHint;
 use std::fmt;
+
+/// The per-tenant slice of a source's frontend state, checkpointed and
+/// restored by the multi-tenant simulator on each context switch. The BPU
+/// (PHT counters, global history, BTB, RSB) is per-tenant architectural
+/// state; the BTU is deliberately *not* here — it is the shared, partitioned
+/// unit the tenants contend over.
+#[derive(Debug, Default)]
+pub struct TenantFrontendState {
+    /// The tenant's branch predictor, `None` until its first switch-out.
+    pub bpu: Option<BranchPredictionUnit>,
+}
+
+/// The per-program facts a frontend source keeps after construction: the
+/// crypto PC ranges (the integrity guard) and the text length (PC-indexed
+/// table sizing). Owned — sources carry no borrow of the program, so the
+/// multi-tenant simulator can retarget a source at the incoming tenant's
+/// program on each context switch.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramProfile {
+    crypto_ranges: Vec<std::ops::Range<usize>>,
+    len: usize,
+}
+
+impl ProgramProfile {
+    /// Captures `program`'s crypto ranges and text length.
+    pub fn of(program: &Program) -> Self {
+        ProgramProfile {
+            crypto_ranges: program.crypto_ranges.clone(),
+            len: program.len(),
+        }
+    }
+
+    /// Whether instruction index `pc` lies inside a crypto range.
+    fn is_crypto_pc(&self, pc: usize) -> bool {
+        self.crypto_ranges.iter().any(|r| r.contains(&pc))
+    }
+}
 
 /// One branch reaching the frontend, together with its resolved outcome.
 ///
@@ -147,6 +184,32 @@ pub trait BranchSource: fmt::Debug {
         self.flush()
     }
 
+    /// Retargets the source at the incoming tenant's program (multi-tenant
+    /// context switch): the crypto-range integrity guard and any PC-indexed
+    /// tables must consult the program that is about to run. Sources that
+    /// never look at the program ignore this.
+    fn retarget_program(&mut self, _profile: ProgramProfile) {}
+
+    /// Exchanges the source's per-tenant frontend state (the BPU) with the
+    /// given checkpoint slot: the current state moves into the slot and the
+    /// slot's state (or a fresh one, on a tenant's first activation) becomes
+    /// current. Sources without per-tenant state ignore this.
+    fn swap_tenant_state(&mut self, _slot: &mut TenantFrontendState) {}
+
+    /// Installs a steal-victim policy on the source's BTU, if it drives one
+    /// (the OS-scheduler model of the multi-tenant simulator).
+    fn set_btu_victim_policy(&mut self, _policy: VictimPolicy) {}
+
+    /// Registers `context`'s own encoded traces on the source's BTU, if it
+    /// drives one (multi-tenant consolidation: each tenant replays its own
+    /// program's traces through the shared unit).
+    fn register_btu_context(
+        &mut self,
+        _context: u64,
+        _encoded: cassandra_btu::encode::EncodedTraces,
+    ) {
+    }
+
     /// Accumulated branch-predictor statistics.
     fn bpu_stats(&self) -> BpuStats {
         BpuStats::default()
@@ -156,6 +219,19 @@ pub trait BranchSource: fmt::Debug {
     fn btu_stats(&self) -> Option<BtuStats> {
         None
     }
+
+    /// Per-context BTU statistics, if this source drives a BTU that has
+    /// seen context switches (empty otherwise).
+    fn btu_context_stats(&self) -> Vec<ContextBtuStats> {
+        Vec::new()
+    }
+}
+
+/// Swaps a source's BPU with a tenant checkpoint slot, materializing a
+/// fresh same-geometry predictor on a tenant's first activation.
+fn swap_bpu(bpu: &mut BranchPredictionUnit, slot: &mut TenantFrontendState) {
+    let incoming = slot.bpu.take().unwrap_or_else(|| bpu.fresh_like());
+    slot.bpu = Some(std::mem::replace(bpu, incoming));
 }
 
 /// BPU prediction with resolution feedback, shared by every source that
@@ -165,11 +241,11 @@ pub trait BranchSource: fmt::Debug {
 fn bpu_outcome(
     bpu: &mut BranchPredictionUnit,
     event: &BranchEvent,
-    crypto_guard: Option<&Program>,
+    crypto_guard: Option<&ProgramProfile>,
 ) -> FetchOutcome {
     let prediction = bpu.predict(event.pc, event.kind, event.direct_target, event.fallthrough);
-    if let (Some(program), Some(target)) = (crypto_guard, prediction.target) {
-        if program.is_crypto_pc(target) {
+    if let (Some(profile), Some(target)) = (crypto_guard, prediction.target) {
+        if profile.is_crypto_pc(target) {
             bpu.update(event.pc, event.kind, event.taken, event.actual_target);
             return FetchOutcome::Stall;
         }
@@ -224,6 +300,10 @@ impl BranchSource for BpuSource {
         FrontendDecision::speculative(bpu_outcome(&mut self.bpu, event, None))
     }
 
+    fn swap_tenant_state(&mut self, slot: &mut TenantFrontendState) {
+        swap_bpu(&mut self.bpu, slot);
+    }
+
     fn bpu_stats(&self) -> BpuStats {
         self.bpu.stats()
     }
@@ -232,31 +312,31 @@ impl BranchSource for BpuSource {
 /// Full Cassandra: crypto branches replay the BTU trace, non-crypto branches
 /// use the BPU behind the crypto-range integrity check.
 #[derive(Debug)]
-pub struct BtuSource<'p> {
-    program: &'p Program,
+pub struct BtuSource {
+    profile: ProgramProfile,
     bpu: BranchPredictionUnit,
     btu: Option<BranchTraceUnit>,
 }
 
-impl<'p> BtuSource<'p> {
+impl BtuSource {
     /// A BTU-backed source; `btu` is `None` when no traces were provided
     /// (every crypto branch then stalls until it resolves).
-    pub fn new(program: &'p Program, config: &CpuConfig, btu: Option<BranchTraceUnit>) -> Self {
+    pub fn new(program: &Program, config: &CpuConfig, btu: Option<BranchTraceUnit>) -> Self {
         BtuSource {
-            program,
+            profile: ProgramProfile::of(program),
             bpu: bpu_for(config),
             btu,
         }
     }
 }
 
-impl BranchSource for BtuSource<'_> {
+impl BranchSource for BtuSource {
     fn on_branch(&mut self, event: &BranchEvent) -> FrontendDecision {
         if !event.is_crypto {
             return FrontendDecision::speculative(bpu_outcome(
                 &mut self.bpu,
                 event,
-                Some(self.program),
+                Some(&self.profile),
             ));
         }
         let outcome = match &mut self.btu {
@@ -312,12 +392,36 @@ impl BranchSource for BtuSource<'_> {
     }
 
     fn on_context_switch(&mut self, context: u64) -> bool {
+        // Forward the BTU's verdict: registering the first context or
+        // re-activating the current one is not a switch, so the pipeline's
+        // `context_switches` agrees with the BTU's `partition_switches`.
         match &mut self.btu {
-            Some(btu) => {
-                btu.switch_context(context);
-                true
-            }
+            Some(btu) => btu.switch_context(context),
             None => false,
+        }
+    }
+
+    fn retarget_program(&mut self, profile: ProgramProfile) {
+        self.profile = profile;
+    }
+
+    fn swap_tenant_state(&mut self, slot: &mut TenantFrontendState) {
+        swap_bpu(&mut self.bpu, slot);
+    }
+
+    fn set_btu_victim_policy(&mut self, policy: VictimPolicy) {
+        if let Some(btu) = &mut self.btu {
+            btu.set_victim_policy(policy);
+        }
+    }
+
+    fn register_btu_context(
+        &mut self,
+        context: u64,
+        encoded: cassandra_btu::encode::EncodedTraces,
+    ) {
+        if let Some(btu) = &mut self.btu {
+            btu.register_context(context, encoded);
         }
     }
 
@@ -328,36 +432,42 @@ impl BranchSource for BtuSource<'_> {
     fn btu_stats(&self) -> Option<BtuStats> {
         self.btu.as_ref().map(BranchTraceUnit::stats)
     }
+
+    fn btu_context_stats(&self) -> Vec<ContextBtuStats> {
+        self.btu
+            .as_ref()
+            .map_or_else(Vec::new, |btu| btu.context_stats().to_vec())
+    }
 }
 
 /// Cassandra-lite (Q3): single-target crypto branches follow their hint,
 /// every other crypto branch stalls fetch until it resolves. No Trace Cache
 /// or Checkpoint Table is modelled — the unit only reads hint bytes.
 #[derive(Debug)]
-pub struct LiteSource<'p> {
-    program: &'p Program,
+pub struct LiteSource {
+    profile: ProgramProfile,
     bpu: BranchPredictionUnit,
     btu: Option<BranchTraceUnit>,
 }
 
-impl<'p> LiteSource<'p> {
+impl LiteSource {
     /// A hint-only source; `btu` supplies the encoded hints when present.
-    pub fn new(program: &'p Program, config: &CpuConfig, btu: Option<BranchTraceUnit>) -> Self {
+    pub fn new(program: &Program, config: &CpuConfig, btu: Option<BranchTraceUnit>) -> Self {
         LiteSource {
-            program,
+            profile: ProgramProfile::of(program),
             bpu: bpu_for(config),
             btu,
         }
     }
 }
 
-impl BranchSource for LiteSource<'_> {
+impl BranchSource for LiteSource {
     fn on_branch(&mut self, event: &BranchEvent) -> FrontendDecision {
         if !event.is_crypto {
             return FrontendDecision::speculative(bpu_outcome(
                 &mut self.bpu,
                 event,
-                Some(self.program),
+                Some(&self.profile),
             ));
         }
         let hint = self.btu.as_ref().and_then(|b| b.hint(event.pc));
@@ -370,6 +480,14 @@ impl BranchSource for LiteSource<'_> {
 
     fn flush(&mut self) -> bool {
         flush_btu(&mut self.btu)
+    }
+
+    fn retarget_program(&mut self, profile: ProgramProfile) {
+        self.profile = profile;
+    }
+
+    fn swap_tenant_state(&mut self, slot: &mut TenantFrontendState) {
+        swap_bpu(&mut self.bpu, slot);
     }
 
     fn bpu_stats(&self) -> BpuStats {
@@ -411,32 +529,34 @@ pub const TOURNAMENT_PROMOTE_THRESHOLD: u32 = 4;
 /// installed), so promotion resumes the trace at the correct position.
 /// Non-crypto branches use the guarded BPU, as under full Cassandra.
 #[derive(Debug)]
-pub struct TournamentSource<'p> {
-    program: &'p Program,
+pub struct TournamentSource {
+    profile: ProgramProfile,
     bpu: BranchPredictionUnit,
     btu: Option<BranchTraceUnit>,
     /// Per-context confidence tables, keyed by application context: each
     /// context's counters survive switches away and back, exactly like its
     /// BTU partition's residency (a whole-unit flush drops them all). Each
     /// table is dense, indexed by PC — crypto branches hit it on every
-    /// execution, so the counter must be one load away.
+    /// execution, so the counter must be one load away. Tables grow on
+    /// demand so a retarget at a longer tenant program cannot index out of
+    /// bounds.
     confidence: std::collections::BTreeMap<u64, Vec<u32>>,
     active_context: u64,
     threshold: u32,
 }
 
-impl<'p> TournamentSource<'p> {
+impl TournamentSource {
     /// A tournament source with the given promotion threshold; `btu` is
     /// `None` when no traces were provided (every crypto branch then stays
     /// on the BPU forever — nothing can be promoted).
     pub fn new(
-        program: &'p Program,
+        program: &Program,
         config: &CpuConfig,
         btu: Option<BranchTraceUnit>,
         threshold: u32,
     ) -> Self {
         TournamentSource {
-            program,
+            profile: ProgramProfile::of(program),
             bpu: bpu_for(config),
             btu,
             confidence: std::collections::BTreeMap::new(),
@@ -461,24 +581,25 @@ impl<'p> TournamentSource<'p> {
     }
 }
 
-impl BranchSource for TournamentSource<'_> {
+impl BranchSource for TournamentSource {
     fn on_branch(&mut self, event: &BranchEvent) -> FrontendDecision {
         if !event.is_crypto {
             return FrontendDecision::speculative(bpu_outcome(
                 &mut self.bpu,
                 event,
-                Some(self.program),
+                Some(&self.profile),
             ));
         }
         // The BTU tracks the branch from its first execution so that the
         // replay position is correct at promotion time; the *decision* below
         // arbitrates which component steers fetch.
         let lookup = self.btu.as_mut().map(|btu| btu.fetch_lookup(event.pc));
-        let len = self.program.len();
-        let conf = &mut self
-            .confidence
-            .entry(self.active_context)
-            .or_insert_with(|| vec![0; len])[event.pc];
+        let len = self.profile.len.max(event.pc + 1);
+        let table = self.confidence.entry(self.active_context).or_default();
+        if table.len() < len {
+            table.resize(len, 0);
+        }
+        let conf = &mut table[event.pc];
         let hot = *conf >= self.threshold;
         *conf = (*conf + 1).min(self.threshold);
         if hot {
@@ -535,14 +656,37 @@ impl BranchSource for TournamentSource<'_> {
 
     fn on_context_switch(&mut self, context: u64) -> bool {
         // Each context keeps its own confidence table (selected here), just
-        // as its BTU partition keeps its residency.
+        // as its BTU partition keeps its residency. The BTU's verdict is
+        // forwarded: registration and same-context re-activation count
+        // nothing.
         self.active_context = context;
         match &mut self.btu {
-            Some(btu) => {
-                btu.switch_context(context);
-                true
-            }
+            Some(btu) => btu.switch_context(context),
             None => false,
+        }
+    }
+
+    fn retarget_program(&mut self, profile: ProgramProfile) {
+        self.profile = profile;
+    }
+
+    fn swap_tenant_state(&mut self, slot: &mut TenantFrontendState) {
+        swap_bpu(&mut self.bpu, slot);
+    }
+
+    fn set_btu_victim_policy(&mut self, policy: VictimPolicy) {
+        if let Some(btu) = &mut self.btu {
+            btu.set_victim_policy(policy);
+        }
+    }
+
+    fn register_btu_context(
+        &mut self,
+        context: u64,
+        encoded: cassandra_btu::encode::EncodedTraces,
+    ) {
+        if let Some(btu) = &mut self.btu {
+            btu.register_context(context, encoded);
         }
     }
 
@@ -553,16 +697,22 @@ impl BranchSource for TournamentSource<'_> {
     fn btu_stats(&self) -> Option<BtuStats> {
         self.btu.as_ref().map(BranchTraceUnit::stats)
     }
+
+    fn btu_context_stats(&self) -> Vec<ContextBtuStats> {
+        self.btu
+            .as_ref()
+            .map_or_else(Vec::new, |btu| btu.context_stats().to_vec())
+    }
 }
 
 /// Builds the branch source selected by the already-resolved defense
 /// policy, applying any Trace Cache geometry override.
-pub fn build_source<'p>(
-    program: &'p Program,
+pub fn build_source(
+    program: &Program,
     config: &CpuConfig,
     policy: &crate::policy::DefensePolicy,
     mut btu: Option<BranchTraceUnit>,
-) -> Box<dyn BranchSource + 'p> {
+) -> Box<dyn BranchSource> {
     if let (Some(entries), Some(btu)) = (policy.trace_cache_entries, btu.as_mut()) {
         btu.set_trace_cache_entries(entries);
     }
@@ -744,6 +894,8 @@ mod tests {
         let program = nested_crypto_program();
         let config = CpuConfig::golden_cove_like();
         let mut src = TournamentSource::new(&program, &config, Some(btu_for(&program)), 1);
+        // Register the initial context (not a counted switch).
+        assert!(!src.on_context_switch(0));
         let mut e = event(3, true, 2, Some(2));
         e.is_crypto = true;
         src.on_branch(&e);
@@ -774,10 +926,34 @@ mod tests {
         let program = nested_crypto_program();
         let config = CpuConfig::golden_cove_like();
         let mut src = BtuSource::new(&program, &config, Some(btu_for(&program)));
-        assert!(src.on_context_switch(1));
+        // The first call registers the initial context: nothing counted.
+        assert!(!src.on_context_switch(1));
+        assert_eq!(src.btu_stats().unwrap().partition_switches, 0);
+        // A real change forwards the BTU's verdict and counts once.
+        assert!(src.on_context_switch(2));
+        assert_eq!(src.btu_stats().unwrap().partition_switches, 1);
+        // Re-activating the active context is a no-op, in agreement.
+        assert!(!src.on_context_switch(2));
         assert_eq!(src.btu_stats().unwrap().partition_switches, 1);
         let mut none = BtuSource::new(&program, &config, None);
         assert!(!none.on_context_switch(1));
+    }
+
+    #[test]
+    fn swap_tenant_state_exchanges_the_bpu() {
+        let config = CpuConfig::golden_cove_like();
+        let mut src = BpuSource::new(&config);
+        src.on_branch(&event(10, true, 2, Some(2)));
+        let trained = src.bpu_stats();
+        assert!(trained.pht_lookups >= 1);
+        // Switching to a fresh tenant materializes an untrained BPU…
+        let mut tenant_a = TenantFrontendState::default();
+        src.swap_tenant_state(&mut tenant_a);
+        assert_eq!(src.bpu_stats(), BpuStats::default());
+        assert!(tenant_a.bpu.is_some(), "the trained BPU went into the slot");
+        // …and swapping back restores the trained one exactly.
+        src.swap_tenant_state(&mut tenant_a);
+        assert_eq!(src.bpu_stats(), trained);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod bpu;
 pub mod cache;
 pub mod config;
 pub mod frontend;
+pub mod multi;
 pub mod pipeline;
 pub mod policy;
 pub mod power;
@@ -49,6 +50,9 @@ pub mod taint;
 
 pub use config::{CpuConfig, DefenseMode, ParseDefenseModeError};
 pub use frontend::{BranchEvent, BranchSource, FetchOutcome, FrontendDecision};
+pub use multi::{
+    simulate_multi, MultiTenantOutcome, MultiTenantSimulator, SwitchPolicy, Tenant, TenantOutcome,
+};
 pub use pipeline::{simulate, SimOutcome, Simulator};
 pub use policy::{DefensePolicy, FrontendKind};
 pub use power::{power_area_report, PowerAreaReport};

@@ -17,11 +17,13 @@
 
 use crate::cache::CacheHierarchy;
 use crate::config::CpuConfig;
-use crate::frontend::{self, BranchEvent, BranchSource, FetchOutcome};
+use crate::frontend::{
+    self, BranchEvent, BranchSource, FetchOutcome, ProgramProfile, TenantFrontendState,
+};
 use crate::policy::DefensePolicy;
 use crate::stats::SimStats;
 use crate::taint::TaintSet;
-use cassandra_btu::unit::BranchTraceUnit;
+use cassandra_btu::unit::{BranchTraceUnit, ContextBtuStats};
 use cassandra_isa::error::IsaError;
 use cassandra_isa::instr::{BranchKind, Instr};
 use cassandra_isa::memory::Memory;
@@ -46,6 +48,12 @@ pub struct SimOutcome {
     pub transient_accesses: Vec<u64>,
     /// True if the program executed its `halt` instruction within the budget.
     pub halted: bool,
+    /// Per-context BTU statistics, populated only when the run registered
+    /// application contexts on the BTU (context-switching and multi-tenant
+    /// runs); empty — and omitted from the serialized form — otherwise, so
+    /// single-tenant outcomes are byte-identical to pre-multi-tenant ones.
+    #[serde(skip_if_default)]
+    pub btu_contexts: Vec<ContextBtuStats>,
 }
 
 impl SimOutcome {
@@ -83,6 +91,74 @@ struct UndoEntry {
     bytes: [u8; 8],
 }
 
+/// One parked tenant's per-context state in a multi-program run: everything
+/// its architectural stream depends on (registers, memory, taint, PC, call
+/// depth), its private slice of the frontend (the BPU), and its own access
+/// traces. Exchanged with the live pipeline state by
+/// [`Simulator::swap_tenant`] on each context switch.
+#[derive(Debug)]
+pub(crate) struct TenantCheckpoint<'p> {
+    program: &'p Program,
+    regs: [u64; NUM_REGS + 1],
+    reg_taint: [bool; NUM_REGS + 1],
+    mem: Memory,
+    mem_taint: TaintSet,
+    call_depth: u64,
+    pc: usize,
+    halted: bool,
+    architectural_accesses: Vec<u64>,
+    transient_accesses: Vec<u64>,
+    frontend_state: TenantFrontendState,
+}
+
+impl<'p> TenantCheckpoint<'p> {
+    /// A not-yet-started tenant: zeroed registers with SP at the stack top,
+    /// the program's initial data image, PC 0 — exactly the state
+    /// [`Simulator::new`] starts from, so an interleaved tenant's first
+    /// quantum begins where a solo run would.
+    pub(crate) fn fresh(program: &'p Program) -> Self {
+        let mut mem = Memory::new();
+        for region in &program.data {
+            mem.write_bytes(region.addr, &region.bytes);
+        }
+        let mut regs = [0u64; NUM_REGS + 1];
+        regs[SP.index()] = STACK_TOP;
+        TenantCheckpoint {
+            program,
+            regs,
+            reg_taint: [false; NUM_REGS + 1],
+            mem,
+            mem_taint: TaintSet::new(),
+            call_depth: 0,
+            pc: 0,
+            halted: false,
+            architectural_accesses: Vec::new(),
+            transient_accesses: Vec::new(),
+            frontend_state: TenantFrontendState::default(),
+        }
+    }
+
+    /// Whether this tenant's program has halted.
+    pub(crate) fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The parked BPU's statistics (zeroed before the tenant's first
+    /// activation).
+    pub(crate) fn bpu_stats(&self) -> crate::bpu::BpuStats {
+        self.frontend_state
+            .bpu
+            .as_ref()
+            .map(|bpu| bpu.stats())
+            .unwrap_or_default()
+    }
+
+    /// Consumes the checkpoint into the tenant's two access traces.
+    pub(crate) fn into_traces(self) -> (Vec<u64>, Vec<u64>) {
+        (self.architectural_accesses, self.transient_accesses)
+    }
+}
+
 /// Functional + timing state of one simulated core.
 #[derive(Debug)]
 pub struct Simulator<'p> {
@@ -92,7 +168,7 @@ pub struct Simulator<'p> {
     /// consults only this (and the frontend below), never the mode itself.
     policy: DefensePolicy,
     /// The pluggable branch source steering fetch at branches.
-    frontend: Box<dyn BranchSource + 'p>,
+    frontend: Box<dyn BranchSource>,
     caches: CacheHierarchy,
     stats: SimStats,
 
@@ -158,6 +234,14 @@ pub struct Simulator<'p> {
     /// The application context currently "running" for the periodic
     /// context-switch experiment (Q4 partition-reassignment variant).
     current_context: u64,
+    /// XORed into every address before it reaches a *timing* structure (the
+    /// caches, the store-queue granules, the same-line fetch filter). Zero
+    /// for single-tenant runs — a no-op. The multi-tenant simulator sets a
+    /// distinct high-bit salt per tenant so tenants whose programs reuse the
+    /// same virtual addresses do not alias in the shared caches or forward
+    /// stores to each other; functional state and the recorded access traces
+    /// always use the real addresses.
+    addr_salt: u64,
 
     // Attacker-visible traces.
     architectural_accesses: Vec<u64>,
@@ -220,6 +304,7 @@ impl<'p> Simulator<'p> {
             older_branches_resolved: 0,
             committed_since_flush: 0,
             current_context: 0,
+            addr_salt: 0,
             architectural_accesses: Vec::with_capacity(access_hint),
             transient_accesses: Vec::with_capacity(access_hint),
             config,
@@ -238,6 +323,23 @@ impl<'p> Simulator<'p> {
         while !self.halted && self.stats.committed_instructions < self.config.max_instructions {
             self.step_correct_path()?;
         }
+        Ok(self.into_outcome())
+    }
+
+    /// Runs up to `budget` more committed instructions (or until the active
+    /// program halts) and returns how many were committed. The multi-tenant
+    /// simulator drives one quantum at a time through this.
+    pub(crate) fn run_bounded(&mut self, budget: u64) -> Result<u64, IsaError> {
+        let start = self.stats.committed_instructions;
+        while !self.halted && self.stats.committed_instructions - start < budget {
+            self.step_correct_path()?;
+        }
+        Ok(self.stats.committed_instructions - start)
+    }
+
+    /// Folds the deferred counters into the statistics and consumes the
+    /// simulator into its outcome.
+    pub(crate) fn into_outcome(mut self) -> SimOutcome {
         self.stats.cycles = self.commit_cycle.max(self.fetch_cycle);
         self.caches.note_instr_hits(self.pending_fetch_hits);
         self.pending_fetch_hits = 0;
@@ -246,12 +348,69 @@ impl<'p> Simulator<'p> {
             self.stats.btu = btu;
         }
         self.stats.caches = self.caches.stats();
-        Ok(SimOutcome {
+        SimOutcome {
             stats: self.stats,
             architectural_accesses: self.architectural_accesses,
             transient_accesses: self.transient_accesses,
             halted: self.halted,
-        })
+            btu_contexts: self.frontend.btu_context_stats(),
+        }
+    }
+
+    /// The cycle the run has reached so far (commit or fetch, whichever is
+    /// further); monotone, so quantum deltas attribute cycles to tenants.
+    pub(crate) fn current_cycle(&self) -> u64 {
+        self.commit_cycle.max(self.fetch_cycle)
+    }
+
+    /// Whether the active program has halted.
+    pub(crate) fn active_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Direct access to the branch source (the multi-tenant simulator
+    /// registers tenant contexts, switches them and installs the steal-victim
+    /// policy through this).
+    pub(crate) fn frontend_mut(&mut self) -> &mut dyn BranchSource {
+        &mut *self.frontend
+    }
+
+    /// Records one counted context switch in the statistics.
+    pub(crate) fn note_context_switch(&mut self) {
+        self.stats.context_switches += 1;
+    }
+
+    /// Exchanges the live per-tenant state with a parked checkpoint (a
+    /// multi-tenant context switch): the running tenant's architectural
+    /// state, access traces and BPU move into the slot, and the slot's
+    /// become live. Shared structures — the caches, the BTU, the timing
+    /// state (ROB ring, store queue, register ready times) — deliberately
+    /// stay put: the model switches without draining the machine, and the
+    /// per-tenant `salt` keeps the tenants' cache lines and store-queue
+    /// granules disjoint (distinct physical pages behind equal virtual
+    /// addresses).
+    pub(crate) fn swap_tenant(&mut self, slot: &mut TenantCheckpoint<'p>, salt: u64) {
+        std::mem::swap(&mut self.program, &mut slot.program);
+        std::mem::swap(&mut self.regs, &mut slot.regs);
+        std::mem::swap(&mut self.reg_taint, &mut slot.reg_taint);
+        std::mem::swap(&mut self.mem, &mut slot.mem);
+        std::mem::swap(&mut self.mem_taint, &mut slot.mem_taint);
+        std::mem::swap(&mut self.call_depth, &mut slot.call_depth);
+        std::mem::swap(&mut self.pc, &mut slot.pc);
+        std::mem::swap(&mut self.halted, &mut slot.halted);
+        std::mem::swap(
+            &mut self.architectural_accesses,
+            &mut slot.architectural_accesses,
+        );
+        std::mem::swap(&mut self.transient_accesses, &mut slot.transient_accesses);
+        self.frontend.swap_tenant_state(&mut slot.frontend_state);
+        self.frontend
+            .retarget_program(ProgramProfile::of(self.program));
+        self.addr_salt = salt;
+        // The same-line fetch filter mirrors the L1I's MRU line for the
+        // *previous* tenant's salted text; invalidate it so the incoming
+        // tenant's first fetch consults the cache model.
+        self.cur_fetch_line = u64::MAX;
     }
 
     // ------------------------------------------------------------ registers
@@ -281,6 +440,15 @@ impl<'p> Simulator<'p> {
         addr & !7
     }
 
+    /// The address as the *timing* structures (caches, store queue, fetch
+    /// filter) see it. The per-tenant salt is zero outside multi-tenant
+    /// runs — a no-op; with it, tenants' equal virtual addresses land on
+    /// disjoint lines and granules, like distinct physical pages.
+    #[inline(always)]
+    fn salted(&self, addr: u64) -> u64 {
+        addr ^ self.addr_salt
+    }
+
     /// Number of `store_filter` buckets; power of two, ~36× the configured
     /// store-queue depth so collision-driven false positives stay rare.
     const FILTER_BUCKETS: usize = 4096;
@@ -298,7 +466,7 @@ impl<'p> Simulator<'p> {
     /// Allocates a fetch slot for the instruction at `pc`, accounting for
     /// fetch width and instruction-cache misses. Returns the fetch cycle.
     fn fetch_slot(&mut self, pc: usize) -> u64 {
-        let addr = Program::byte_addr(pc);
+        let addr = self.salted(Program::byte_addr(pc));
         if let Some(shift) = self.fetch_line_shift {
             if addr >> shift == self.cur_fetch_line {
                 // Same line as the previous fetch: a guaranteed L1I hit at
@@ -464,7 +632,8 @@ impl<'p> Simulator<'p> {
                 }
                 complete = start + 1;
                 self.record_store(addr, complete);
-                let _ = self.caches.access_data(addr);
+                let timing_addr = self.salted(addr);
+                let _ = self.caches.access_data(timing_addr);
                 self.architectural_accesses.push(addr);
             }
             Instr::Branch {
@@ -504,7 +673,8 @@ impl<'p> Simulator<'p> {
                 self.mem.write_u64(sp, (pc + 1) as u64);
                 self.call_depth += 1;
                 self.record_store(sp, complete);
-                let _ = self.caches.access_data(sp);
+                let timing_sp = self.salted(sp);
+                let _ = self.caches.access_data(timing_sp);
                 self.architectural_accesses.push(sp);
                 self.reg_ready[SP.index()] = complete;
                 branch_outcome = Some((BranchKind::Call, true, target, Some(target)));
@@ -519,7 +689,8 @@ impl<'p> Simulator<'p> {
                 self.mem.write_u64(sp, (pc + 1) as u64);
                 self.call_depth += 1;
                 self.record_store(sp, complete);
-                let _ = self.caches.access_data(sp);
+                let timing_sp = self.salted(sp);
+                let _ = self.caches.access_data(timing_sp);
                 self.architectural_accesses.push(sp);
                 self.reg_ready[SP.index()] = complete;
                 branch_outcome = Some((BranchKind::CallIndirect, true, next_pc, None));
@@ -622,6 +793,7 @@ impl<'p> Simulator<'p> {
     /// Store-to-load forwarding / memory timing for a load starting at
     /// `start` and accessing `addr`.
     fn time_load(&mut self, start: u64, addr: u64) -> u64 {
+        let addr = self.salted(addr);
         let granule = Self::granule(addr);
         // Zero bucket ⇒ no queued store shares this granule; bound ≤ start
         // ⇒ no member can pass the scan's `commit_cycle > start` test. In
@@ -656,6 +828,7 @@ impl<'p> Simulator<'p> {
     }
 
     fn record_store(&mut self, addr: u64, data_ready: u64) {
+        let addr = self.salted(addr);
         let commit_cycle = data_ready + self.config.frontend_depth;
         if self.inflight_stores.len() >= self.config.sq_entries {
             if let Some(evicted) = self.inflight_stores.pop_front() {
@@ -795,7 +968,8 @@ impl<'p> Simulator<'p> {
                     let tainted = self.program.is_secret_addr(addr)
                         || self.mem_taint.contains(Self::granule(addr));
                     self.set_reg(rd, v, tainted);
-                    let _ = self.caches.access_data(addr);
+                    let timing_addr = self.salted(addr);
+                    let _ = self.caches.access_data(timing_addr);
                     self.transient_accesses.push(addr);
                 }
                 Instr::Store {
@@ -849,7 +1023,8 @@ impl<'p> Simulator<'p> {
                     let ret = self.mem.read_u64(sp) as usize;
                     self.set_reg(SP, sp.wrapping_add(8), false);
                     self.transient_accesses.push(sp);
-                    let _ = self.caches.access_data(sp);
+                    let timing_sp = self.salted(sp);
+                    let _ = self.caches.access_data(timing_sp);
                     next_pc = ret;
                 }
                 Instr::Nop => {}
@@ -1078,6 +1253,31 @@ mod tests {
         );
         assert!(partitioned.stats.btu.misses <= flushed.stats.btu.misses);
         assert!(partitioned.stats.cycles <= flushed.stats.cycles);
+    }
+
+    #[test]
+    fn single_context_rotation_counts_no_switches() {
+        // `btu_switch_contexts: 1` rotates through one context: every
+        // periodic "switch" re-activates the already-active context, which
+        // must count nothing anywhere — the pipeline's `context_switches`
+        // and the BTU's `partition_switches` agree at zero, and the run is
+        // timing-identical to one with no rotation at all.
+        let program = loop_program(64);
+        let base = CpuConfig::golden_cove_like();
+        let cfg = base
+            .with_defense(defense("Cassandra-part"))
+            .with_btu_flush_interval(50)
+            .with_btu_switch_contexts(1);
+        let outcome = simulate(&program, cfg, Some(btu_for(&program))).unwrap();
+        assert_eq!(outcome.stats.context_switches, 0);
+        assert_eq!(outcome.stats.btu.partition_switches, 0);
+        assert_eq!(outcome.stats.periodic_btu_flushes, 0);
+        assert_eq!(outcome.stats.btu.flushes, 0);
+
+        let quiet_cfg = base.with_defense(defense("Cassandra-part"));
+        let quiet = simulate(&program, quiet_cfg, Some(btu_for(&program))).unwrap();
+        assert_eq!(outcome.stats.cycles, quiet.stats.cycles);
+        assert_eq!(outcome.stats.btu.misses, quiet.stats.btu.misses);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use cassandra_core::eval::{CacheStats, EvalRecord};
 use cassandra_core::lint::LintRow;
 use cassandra_core::policies::GridSweep;
+use cassandra_core::registry::ExperimentOutput;
 use cassandra_cpu::config::DefenseMode;
 use serde::{Deserialize, Serialize};
 
@@ -142,6 +143,19 @@ pub enum Request {
         /// Submitted workload names; empty = every submitted workload.
         workloads: Vec<String>,
     },
+    /// Run one registry experiment (`table1`, `fig7`, …, `consolidation`)
+    /// over the submitted workloads, through the server's shared analysis
+    /// store. A purely additive v2 extension, like `Lint`. →
+    /// [`Response::Experiment`], or [`Response::Error`] for an unknown
+    /// experiment name.
+    Experiment {
+        /// Registry key of the experiment (`ExperimentRegistry::standard`
+        /// names: `table1`, `fig7`, `fig8`, `fig9`, `q3`, `q4`, `security`,
+        /// `tracegen`, `lint`, `consolidation`).
+        name: String,
+        /// Submitted workload names; empty = every submitted workload.
+        workloads: Vec<String>,
+    },
     /// Cancel the in-flight request carrying this client-supplied id (see
     /// [`RequestEnvelope`]); its stream terminates with
     /// [`Response::Cancelled`] instead of `Done`, and so does this
@@ -235,6 +249,18 @@ pub enum Response {
         /// Per-workload verdict rows.
         rows: Vec<LintRow>,
         /// `cassandra_core::report::render_text` over the rows.
+        report: String,
+    },
+    /// A completed registry experiment for a [`Request::Experiment`]: the
+    /// typed output plus the same plain-text rendering offline runs print.
+    Experiment {
+        /// Registry key of the experiment that ran.
+        name: String,
+        /// Human-readable title.
+        title: String,
+        /// The typed output (renderable with `cassandra_core::report`).
+        output: ExperimentOutput,
+        /// `cassandra_core::report::render_text` over the output.
         report: String,
     },
     /// Terminal line of a sweep stream stopped by [`Request::Cancel`] (no
@@ -370,6 +396,10 @@ mod tests {
             Request::Lint {
                 workloads: vec!["ChaCha20_ct".to_string()],
             },
+            Request::Experiment {
+                name: "consolidation".to_string(),
+                workloads: Vec::new(),
+            },
             Request::Cancel {
                 id: "sweep-1".to_string(),
             },
@@ -491,6 +521,36 @@ mod tests {
             ..empty
         };
         assert!(unknown.to_grid().unwrap_err().contains("NotADefense"));
+    }
+
+    #[test]
+    fn experiment_request_and_response_round_trip() {
+        let request = Request::Experiment {
+            name: "consolidation".to_string(),
+            workloads: vec!["ChaCha20_ct".to_string()],
+        };
+        assert_eq!(
+            encode(&request),
+            "{\"Experiment\":{\"name\":\"consolidation\",\"workloads\":[\"ChaCha20_ct\"]}}"
+        );
+        assert_eq!(decode::<Request>(&encode(&request)).unwrap(), request);
+
+        let response = Response::Experiment {
+            name: "consolidation".to_string(),
+            title: "Consolidation: N-tenant mixes on one shared core".to_string(),
+            output: ExperimentOutput::Consolidation(
+                cassandra_core::consolidation::ConsolidationResult {
+                    tenant_count: 4,
+                    quantum: 5_000,
+                    policies: Vec::new(),
+                },
+            ),
+            report: "Consolidation: 4 tenants\n".to_string(),
+        };
+        assert!(response.is_terminal(), "an experiment reply is one line");
+        let line = encode(&response);
+        assert!(!line.contains('\n'), "framing must stay single-line");
+        assert_eq!(decode::<Response>(&line).unwrap(), response);
     }
 
     #[test]

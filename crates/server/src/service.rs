@@ -29,13 +29,14 @@
 //! snapshot file and re-serializes itself on a clean `Shutdown`.
 
 use crate::protocol::{Request, Response, SweepSummary, WorkloadSpec, PROTOCOL_VERSION};
+use cassandra_core::eval::Evaluator;
 use cassandra_core::eval::{
     AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, SweepExecutor,
     SweepOutcome,
 };
 use cassandra_core::lint::LintRow;
 use cassandra_core::policies::PolicyRegistry;
-use cassandra_core::registry::ExperimentOutput;
+use cassandra_core::registry::{ExperimentOutput, ExperimentRegistry};
 use cassandra_core::report;
 use cassandra_kernels::suite;
 use cassandra_kernels::workload::Workload;
@@ -261,6 +262,41 @@ impl EvalService {
                 }
                 Err(message) => sink(Response::Error { message }),
             },
+            Request::Experiment { name, workloads } => {
+                match self.select_workloads(&workloads) {
+                    Ok(selected) => {
+                        // A per-request session over the shared store: the
+                        // experiment reuses every analysis any request has
+                        // memoized, and leaves its own behind for the next.
+                        let mut ev = Evaluator::builder()
+                            .workloads(selected)
+                            .store(Arc::clone(&self.store))
+                            .build();
+                        let registry = ExperimentRegistry::standard();
+                        match registry.run(&name, &mut ev) {
+                            Ok(Some(run)) => {
+                                let report = report::render_text(&run.output);
+                                sink(Response::Experiment {
+                                    name: run.name,
+                                    title: run.title,
+                                    output: run.output,
+                                    report,
+                                })
+                            }
+                            Ok(None) => sink(Response::Error {
+                                message: format!(
+                                    "unknown experiment `{name}`; registered: {}",
+                                    registry.names().join(", ")
+                                ),
+                            }),
+                            Err(e) => sink(Response::Error {
+                                message: format!("experiment failed: {e}"),
+                            }),
+                        }
+                    }
+                    Err(message) => sink(Response::Error { message }),
+                }
+            }
             Request::Cancel { id: target } => {
                 let token = lock(&self.cancels).get(&target).cloned();
                 match token {
@@ -274,9 +310,16 @@ impl EvalService {
                 }
             }
             Request::Shutdown => {
-                // Best-effort warm-start snapshot on clean shutdown; a
-                // failed write must not block the acknowledgement.
-                let _ = self.save_cache();
+                // Warm-start snapshot on clean shutdown. A failed write must
+                // not block the acknowledgement, but it must not be silent
+                // either: the operator is about to lose the warmed cache, so
+                // the failure goes to stderr and onto the wire as an `Error`
+                // line ahead of `ShuttingDown`.
+                if let Err(e) = self.save_cache() {
+                    let message = format!("analysis cache snapshot not saved: {e}");
+                    eprintln!("cassandra-server: {message}");
+                    sink(Response::Error { message })?;
+                }
                 sink(Response::ShuttingDown)
             }
         }

@@ -293,6 +293,109 @@ fn shutdown_request_stops_the_server_cleanly() {
 }
 
 #[test]
+fn shutdown_with_unwritable_cache_file_completes_but_reports_the_failure() {
+    // A directory path is a guaranteed-unwritable snapshot target on every
+    // platform the suite runs on.
+    let service = EvalService::new().with_cache_file(std::env::temp_dir());
+    let handle = serve("127.0.0.1:0", service, 2).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // The failed snapshot surfaces as an Error line *before* ShuttingDown;
+    // read the stream manually since Error is itself a terminal response.
+    client.send(&Request::Shutdown).unwrap();
+    let first = client.recv().unwrap();
+    assert!(
+        matches!(&first, Response::Error { message } if message.contains("not saved")),
+        "expected the snapshot failure, got {first:?}"
+    );
+    let second = client.recv().unwrap();
+    assert_eq!(second, Response::ShuttingDown);
+
+    // The failure must not wedge the shutdown: the accept loop and workers
+    // still exit.
+    handle.join();
+}
+
+#[test]
+fn consolidation_experiment_runs_over_the_wire() {
+    let (_handle, mut client) = start();
+
+    // Experiments need workloads, like sweeps.
+    let responses = client
+        .request(&Request::Experiment {
+            name: "consolidation".to_string(),
+            workloads: Vec::new(),
+        })
+        .unwrap();
+    assert!(
+        matches!(&responses[0], Response::Error { message } if message.contains("Submit")),
+        "{responses:?}"
+    );
+
+    submit_quick_pair(&mut client);
+
+    // Unknown experiment names are error envelopes listing the registry.
+    let responses = client
+        .request(&Request::Experiment {
+            name: "nope".to_string(),
+            workloads: Vec::new(),
+        })
+        .unwrap();
+    assert!(
+        matches!(&responses[0], Response::Error { message }
+            if message.contains("nope") && message.contains("consolidation")),
+        "{responses:?}"
+    );
+
+    let responses = client
+        .request(&Request::Experiment {
+            name: "consolidation".to_string(),
+            workloads: Vec::new(),
+        })
+        .unwrap();
+    let [Response::Experiment {
+        name,
+        title,
+        output,
+        report,
+    }] = responses.as_slice()
+    else {
+        panic!("expected one Experiment response, got {responses:?}");
+    };
+    assert_eq!(name, "consolidation");
+    assert!(title.contains("Consolidation"));
+    let cassandra_core::registry::ExperimentOutput::Consolidation(result) = output else {
+        panic!("expected Consolidation output, got {output:?}");
+    };
+    // The standard registry experiment: a 4-tenant mix cycled from the two
+    // submitted workloads, under all three switch policies, with per-context
+    // BTU statistics and per-tenant slowdowns vs solo.
+    assert_eq!(result.tenant_count, 4);
+    assert_eq!(
+        result
+            .policies
+            .iter()
+            .map(|p| p.policy.as_str())
+            .collect::<Vec<_>>(),
+        ["flush", "partition", "scheduler"]
+    );
+    for policy in &result.policies {
+        assert_eq!(policy.tenants.len(), 4);
+        assert!(policy.context_switches > 0, "{}", policy.policy);
+        for tenant in &policy.tenants {
+            assert!(tenant.btu.lookups > 0, "{}", tenant.workload);
+            assert!((0.0..=1.0).contains(&tenant.btu.hit_rate()));
+            assert!(tenant.slowdown.is_finite() && tenant.slowdown > 0.0);
+            assert!(tenant.solo_cycles > 0);
+        }
+    }
+    // The wire report is the offline text rendering, verbatim.
+    assert_eq!(report, &cassandra_core::report::render_text(output));
+    assert!(report.contains("Policy flush"));
+    assert!(report.contains("HitRate"));
+}
+
+#[test]
 fn cache_file_warm_starts_a_restarted_server() {
     let path =
         std::env::temp_dir().join(format!("cassandra-warm-start-{}.json", std::process::id()));

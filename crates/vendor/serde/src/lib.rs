@@ -133,6 +133,14 @@ impl Value {
     }
 }
 
+/// Whether `value` equals its type's `Default`. Used by the derive's
+/// `#[serde(skip_if_default)]` codegen: the generic signature pins the
+/// comparison's right-hand side to `T`, which a literal
+/// `!= Default::default()` cannot for types with several `PartialEq` impls.
+pub fn is_default<T: Default + PartialEq>(value: &T) -> bool {
+    *value == T::default()
+}
+
 /// Types that can be converted into a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into a value tree.

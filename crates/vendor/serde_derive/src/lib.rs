@@ -15,7 +15,12 @@
 //!   variants (externally tagged single-entry objects) — the same external
 //!   representation real serde uses by default;
 //! * the `#[serde(skip)]` field attribute (field is omitted on serialize and
-//!   filled from `Default::default()` on deserialize).
+//!   filled from `Default::default()` on deserialize);
+//! * the `#[serde(skip_if_default)]` field attribute (field is omitted on
+//!   serialize when it equals `Default::default()` — requires `PartialEq +
+//!   Default` on the field type — and filled from `Default::default()` when
+//!   missing on deserialize). This keeps additive fields byte-invisible in
+//!   golden fixtures until they carry data.
 //!
 //! Generics are intentionally unsupported; the derive fails with a clear
 //! compile error if it encounters them.
@@ -29,6 +34,16 @@ struct Field {
     /// `None` for tuple fields.
     name: Option<String>,
     skip: bool,
+    /// Omit on serialize while the value equals `Default::default()`;
+    /// deserialize tolerates the field's absence the same way.
+    skip_if_default: bool,
+}
+
+/// Field-level `#[serde(...)]` switches recognised by the shim.
+#[derive(Default, Clone, Copy)]
+struct FieldAttrs {
+    skip: bool,
+    skip_if_default: bool,
 }
 
 enum Fields {
@@ -65,10 +80,10 @@ fn is_ident(tt: &TokenTree, word: &str) -> bool {
     matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
 }
 
-/// Consumes leading outer attributes, returning true if one of them was
-/// `#[serde(skip)]`.
-fn skip_attributes(tokens: &mut Tokens) -> bool {
-    let mut skip = false;
+/// Consumes leading outer attributes, returning which `#[serde(...)]`
+/// field switches (`skip`, `skip_if_default`) were present.
+fn skip_attributes(tokens: &mut Tokens) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while let Some(tt) = tokens.peek() {
         if !is_punct(tt, '#') {
             break;
@@ -81,8 +96,12 @@ fn skip_attributes(tokens: &mut Tokens) -> bool {
                     if is_ident(first, "serde") {
                         if let TokenTree::Group(args) = second {
                             let body = args.stream().to_string();
-                            if body.split(',').any(|p| p.trim() == "skip") {
-                                skip = true;
+                            for part in body.split(',') {
+                                match part.trim() {
+                                    "skip" => attrs.skip = true,
+                                    "skip_if_default" => attrs.skip_if_default = true,
+                                    _ => {}
+                                }
                             }
                         }
                     }
@@ -91,7 +110,7 @@ fn skip_attributes(tokens: &mut Tokens) -> bool {
             other => panic!("serde_derive shim: malformed attribute, got {other:?}"),
         }
     }
-    skip
+    attrs
 }
 
 /// Consumes an optional `pub` / `pub(...)` visibility.
@@ -131,7 +150,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut tokens: Tokens = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        let skip = skip_attributes(&mut tokens);
+        let attrs = skip_attributes(&mut tokens);
         skip_visibility(&mut tokens);
         let Some(tt) = tokens.next() else { break };
         let TokenTree::Ident(name) = tt else {
@@ -144,7 +163,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         skip_until_comma(&mut tokens);
         fields.push(Field {
             name: Some(name.to_string()),
-            skip,
+            skip: attrs.skip,
+            skip_if_default: attrs.skip_if_default,
         });
     }
     fields
@@ -154,13 +174,17 @@ fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
     let mut tokens: Tokens = stream.into_iter().peekable();
     let mut fields = Vec::new();
     while tokens.peek().is_some() {
-        let skip = skip_attributes(&mut tokens);
+        let attrs = skip_attributes(&mut tokens);
         skip_visibility(&mut tokens);
         if tokens.peek().is_none() {
             break;
         }
         skip_until_comma(&mut tokens);
-        fields.push(Field { name: None, skip });
+        fields.push(Field {
+            name: None,
+            skip: attrs.skip,
+            skip_if_default: attrs.skip_if_default,
+        });
     }
     fields
 }
@@ -253,10 +277,20 @@ fn serialize_named_fields(fields: &[Field], access_prefix: &str) -> String {
             continue;
         }
         let name = f.name.as_deref().unwrap();
-        out.push_str(&format!(
+        let push = format!(
             "fields.push((\"{name}\".to_string(), \
              ::serde::Serialize::to_value(&{access_prefix}{name})));\n"
-        ));
+        );
+        if f.skip_if_default {
+            // A generic helper pins `Rhs = T` for the comparison; a literal
+            // `!= Default::default()` is ambiguous for types (like `Vec`)
+            // with several `PartialEq` impls.
+            out.push_str(&format!(
+                "if !::serde::is_default(&{access_prefix}{name}) {{\n{push}}}\n"
+            ));
+        } else {
+            out.push_str(&push);
+        }
     }
     out.push_str("::serde::Value::Object(fields)\n");
     out
@@ -268,6 +302,13 @@ fn deserialize_named_fields(type_path: &str, fields: &[Field], source: &str) -> 
         let name = f.name.as_deref().unwrap();
         if f.skip {
             out.push_str(&format!("{name}: ::std::default::Default::default(),\n"));
+        } else if f.skip_if_default {
+            out.push_str(&format!(
+                "{name}: match ::serde::Value::get_field({source}, \"{name}\") {{\n\
+                 ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n\
+                 }},\n"
+            ));
         } else {
             out.push_str(&format!(
                 "{name}: match ::serde::Value::get_field({source}, \"{name}\") {{\n\

@@ -40,8 +40,9 @@
 //! instead runs a self-contained concurrent round trip (spawn on an
 //! ephemeral port, Submit + a tagged GridSweep streaming on one connection
 //! while a second connection pings mid-sweep, a static Lint of the
-//! submitted workloads, clean shutdown) — CI uses it. `connect` sends newline-delimited JSON requests (from the command
-//! line or stdin) and prints each response line.
+//! submitted workloads, a `consolidation` Experiment over the wire, clean
+//! shutdown) — CI uses it. `connect` sends newline-delimited JSON requests
+//! (from the command line or stdin) and prints each response line.
 
 use cassandra::core::experiments::quick_workloads;
 use cassandra::core::registry::{Fig8Experiment, SweepExperiment};
@@ -315,6 +316,30 @@ fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error
     println!("{report}");
     if rows.is_empty() {
         return Err("smoke Lint returned no rows".into());
+    }
+
+    // A registry experiment over the wire: the 4-tenant consolidation mix
+    // on a small kernel, sharing the session's analysis store.
+    prober.request(&Request::Submit {
+        spec: WorkloadSpec::Kernel {
+            family: "poly1305".to_string(),
+            size: 64,
+            name: Some("Poly1305_smoke".to_string()),
+        },
+    })?;
+    let consolidation = prober.request(&Request::Experiment {
+        name: "consolidation".to_string(),
+        workloads: vec!["Poly1305_smoke".to_string()],
+    })?;
+    let Some(Response::Experiment { output, report, .. }) = consolidation.last() else {
+        return Err(format!("smoke consolidation failed: {consolidation:?}").into());
+    };
+    println!("{report}");
+    let cassandra::core::registry::ExperimentOutput::Consolidation(result) = output else {
+        return Err("smoke consolidation returned the wrong output kind".into());
+    };
+    if result.policies.len() != 3 || result.policies.iter().any(|p| p.tenants.is_empty()) {
+        return Err("smoke consolidation covered no tenants".into());
     }
 
     prober.request(&Request::Shutdown)?;
