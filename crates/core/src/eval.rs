@@ -518,6 +518,7 @@ pub struct AnalysisSnapshot {
 pub struct SweepExecutor<'a> {
     store: &'a AnalysisStore,
     step_limit: Option<u64>,
+    threads: Option<usize>,
 }
 
 impl<'a> SweepExecutor<'a> {
@@ -526,6 +527,7 @@ impl<'a> SweepExecutor<'a> {
         SweepExecutor {
             store,
             step_limit: None,
+            threads: None,
         }
     }
 
@@ -534,6 +536,16 @@ impl<'a> SweepExecutor<'a> {
     #[must_use]
     pub fn with_step_limit(mut self, step_limit: Option<u64>) -> Self {
         self.step_limit = step_limit;
+        self
+    }
+
+    /// Overrides the worker-thread count of streaming sweeps (default: all
+    /// available cores, capped at the job count). `Some(1)` forces the
+    /// serial path; ignored when the `parallel` feature is disabled. Tests
+    /// use this to pin result determinism across thread counts.
+    #[must_use]
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -645,7 +657,7 @@ impl<'a> SweepExecutor<'a> {
             timing.simulate = start.elapsed();
             Ok(record_from(w, d, outcome, timing))
         };
-        stream_jobs(&jobs, run_one, cancel, emit)
+        stream_jobs(&jobs, run_one, cancel, emit, self.threads)
     }
 }
 
@@ -689,25 +701,30 @@ where
     Ok(SweepOutcome::Complete)
 }
 
-/// Runs `run_one` over `jobs` on all available cores, emitting results in
-/// job order as the completed prefix grows. Workers check `cancel` before
-/// every cell.
+/// Runs `run_one` over `jobs` on all available cores (or the explicit
+/// `threads` override), emitting results in job order as the completed
+/// prefix grows. Workers check `cancel` before every cell.
 #[cfg(feature = "parallel")]
 fn stream_jobs<J, R, F>(
     jobs: &[J],
     run_one: R,
     cancel: &CancelToken,
     emit: F,
+    threads: Option<usize>,
 ) -> Result<SweepOutcome, IsaError>
 where
     J: Sync,
     R: Fn(&J) -> Result<EvalRecord, IsaError> + Sync,
     F: FnMut(EvalRecord) -> bool + Send,
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(jobs.len().max(1));
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .min(jobs.len().max(1))
+        .max(1);
     if threads <= 1 {
         return stream_serial(jobs, run_one, cancel, emit);
     }
@@ -820,6 +837,7 @@ fn stream_jobs<J, R, F>(
     run_one: R,
     cancel: &CancelToken,
     emit: F,
+    _threads: Option<usize>,
 ) -> Result<SweepOutcome, IsaError>
 where
     R: Fn(&J) -> Result<EvalRecord, IsaError>,

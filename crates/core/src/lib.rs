@@ -50,7 +50,7 @@
 //!
 //! // … and the full experiment suite, sharing the same analysis cache.
 //! let runs = ExperimentRegistry::standard().run_all(&mut session)?;
-//! assert_eq!(runs.len(), 10);
+//! assert_eq!(runs.len(), 11);
 //! println!("{}", report::render_text(&runs[0].output));
 //! assert_eq!(session.cache_stats().misses, 2 + 10 + 16); // each program once
 //! # Ok(())
@@ -84,6 +84,7 @@
 pub mod consolidation;
 pub mod eval;
 pub mod experiments;
+pub mod frontier;
 pub mod lint;
 pub mod policies;
 pub mod registry;
@@ -104,6 +105,9 @@ pub use consolidation::{consolidation, consolidation_with, ConsolidationResult};
 pub use eval::{
     AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, Evaluator,
     SweepExecutor, SweepOutcome,
+};
+pub use frontier::{
+    frontier_with, AdaptiveSearch, FrontierCell, FrontierPoint, FrontierProgress, FrontierResult,
 };
 pub use policies::{GridSweep, PolicyConflict, PolicyRegistry};
 pub use registry::{Experiment, ExperimentOutput, ExperimentRegistry};

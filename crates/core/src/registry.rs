@@ -3,8 +3,9 @@
 //! Every paper experiment implements [`Experiment`]: a name plus a
 //! `run(&mut Evaluator)` that produces a typed [`ExperimentOutput`]. The
 //! [`ExperimentRegistry`] holds the standard set (Table 1, Figures 7–9, Q3,
-//! Q4, the Table-2 security sweep, the §7.5 trace-generation timing and the
-//! static constant-time lint), so
+//! Q4, the Table-2 security sweep, the §7.5 trace-generation timing, the
+//! static constant-time lint, the consolidation study and the Pareto
+//! frontier search), so
 //! examples, benches and the [`ExperimentRegistry::run_all`] entry point
 //! enumerate the evaluation generically instead of hard-coding one driver
 //! per figure. Because all experiments share one [`Evaluator`] session, a
@@ -14,11 +15,12 @@
 //! text, CSV or JSON.
 
 use crate::consolidation::{self, ConsolidationResult};
-use crate::eval::{EvalRecord, Evaluator};
+use crate::eval::{CancelToken, EvalRecord, Evaluator};
 use crate::experiments::{
     self, Fig7Result, Fig8Point, Fig9Result, Q3Row, Q4Result, Table1Result, TraceGenRow,
     FIG7_DESIGNS, Q3_VARIANTS,
 };
+use crate::frontier::{self, AdaptiveSearch, FrontierResult};
 use crate::lint::{self, LintRow};
 use crate::policies::PolicyRegistry;
 use crate::security::{self, SecurityMatrix};
@@ -52,6 +54,8 @@ pub enum ExperimentOutput {
     Consolidation(ConsolidationResult),
     /// A raw design-point sweep (the uniform [`EvalRecord`] stream).
     Records(Vec<EvalRecord>),
+    /// Performance × security Pareto frontier of a grid-sweep expansion.
+    Frontier(FrontierResult),
 }
 
 /// One paper experiment, runnable against any evaluation session.
@@ -325,6 +329,50 @@ impl Experiment for ConsolidationExperiment {
     }
 }
 
+/// Performance × security Pareto frontier of a grid-sweep expansion over
+/// the session workloads (see [`crate::frontier`]): exhaustive by default,
+/// successive-halving when `adaptive` is set.
+#[derive(Debug, Clone)]
+pub struct FrontierExperiment {
+    /// The grid whose expansion is scored.
+    pub grid: crate::policies::GridSweep,
+    /// Successive-halving configuration; `None` sweeps every cell on the
+    /// full workload group.
+    pub adaptive: Option<AdaptiveSearch>,
+}
+
+impl Default for FrontierExperiment {
+    fn default() -> Self {
+        FrontierExperiment {
+            grid: frontier::standard_grid(),
+            adaptive: None,
+        }
+    }
+}
+
+impl Experiment for FrontierExperiment {
+    fn name(&self) -> &'static str {
+        "frontier"
+    }
+    fn title(&self) -> &'static str {
+        "Frontier: performance × security Pareto search over a design grid"
+    }
+    fn run(&self, ev: &mut Evaluator) -> Result<ExperimentOutput, IsaError> {
+        let workloads = ev.shared_workloads();
+        let result = frontier::frontier_with(
+            ev,
+            &workloads,
+            &self.grid,
+            self.adaptive,
+            &CancelToken::new(),
+            |_| {},
+        )?;
+        Ok(ExperimentOutput::Frontier(
+            result.expect("an un-cancelled frontier run always completes"),
+        ))
+    }
+}
+
 /// The raw workload × design sweep over the session's configured matrix.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SweepExperiment;
@@ -388,6 +436,7 @@ impl ExperimentRegistry {
         registry.register(TraceGenExperiment);
         registry.register(LintExperiment);
         registry.register(ConsolidationExperiment::default());
+        registry.register(FrontierExperiment::default());
         registry
     }
 
@@ -468,7 +517,8 @@ mod tests {
                 "security",
                 "tracegen",
                 "lint",
-                "consolidation"
+                "consolidation",
+                "frontier"
             ]
         );
         assert!(registry.get("fig7").is_some());
@@ -493,14 +543,15 @@ mod tests {
         let mut ev = Evaluator::builder().workloads(workloads).build();
         let registry = ExperimentRegistry::standard();
         let runs = registry.run_all(&mut ev).unwrap();
-        assert_eq!(runs.len(), 10);
+        assert_eq!(runs.len(), 11);
 
         // Distinct programs analyzed: the session workloads (once each,
-        // shared by table1/fig7/fig9/q3/q4/tracegen/consolidation), the
-        // fig8 synthetic mixes (2 variants × 5 mixes) and the security
-        // gadgets (8 scenarios × 2 secrets). No program is ever analyzed
-        // twice, and the static lint experiment contributes zero — it never
-        // runs Algorithm 2.
+        // shared by table1/fig7/fig9/q3/q4/tracegen/consolidation/frontier),
+        // the fig8 synthetic mixes (2 variants × 5 mixes) and the security
+        // gadgets (8 scenarios × 2 secrets, shared by the security and
+        // frontier experiments). No program is ever analyzed twice, and the
+        // static lint experiment contributes zero — it never runs
+        // Algorithm 2.
         let stats = ev.cache_stats();
         assert_eq!(stats.misses, n_workloads + 10 + 16);
         assert_eq!(ev.analyzed_programs() as u64, stats.misses);

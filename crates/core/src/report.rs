@@ -11,6 +11,7 @@ use crate::eval::EvalRecord;
 use crate::experiments::{
     Fig7Result, Fig8Point, Fig9Result, Q3Row, Q4Result, Table1Result, TraceGenRow,
 };
+use crate::frontier::FrontierResult;
 use crate::lint::LintRow;
 use crate::registry::ExperimentOutput;
 use crate::security::SecurityMatrix;
@@ -353,6 +354,69 @@ pub fn format_records(records: &[EvalRecord]) -> String {
     out
 }
 
+/// Renders a Pareto-frontier search result (rung plan, frontier, cells).
+pub fn format_frontier(result: &FrontierResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Pareto frontier over {} workloads: {} grid cells, {} full-suite ({})\n",
+        result.workloads.len(),
+        result.cells_total,
+        result.cells_simulated_full,
+        if result.adaptive {
+            "successive halving"
+        } else {
+            "exhaustive"
+        }
+    ));
+    for (i, rung) in result.rungs.iter().enumerate() {
+        out.push_str(&format!(
+            "  rung {i}: {} cells on {} workloads -> kept {}\n",
+            rung.cells_in, rung.workloads, rung.cells_kept
+        ));
+    }
+    out.push_str(&format!(
+        "\nFrontier ({} points, security asc then slowdown asc):\n",
+        result.frontier.len()
+    ));
+    out.push_str(&format!(
+        "{:<28} {:<18} {:>10} {:>7}\n",
+        "Design", "Defense", "Slowdown", "Leaks"
+    ));
+    for p in &result.frontier {
+        out.push_str(&format!(
+            "{:<28} {:<18} {:>10.4} {:>7}\n",
+            p.label,
+            p.defense.label(),
+            p.geomean_slowdown,
+            p.security_leaks
+        ));
+    }
+    out.push_str(&format!(
+        "\nAll cells ({}):\n{:<28} {:>10} {:>7} {:>6} {:>9} {:>10} {:>11}\n",
+        result.cells.len(),
+        "Design",
+        "Slowdown",
+        "Leaks",
+        "Full",
+        "Frontier",
+        "Dominates",
+        "DominatedBy"
+    ));
+    for c in &result.cells {
+        out.push_str(&format!(
+            "{:<28} {:>10.4} {:>7} {:>6} {:>9} {:>10} {:>11}\n",
+            c.label,
+            c.geomean_slowdown,
+            c.security_leaks,
+            c.full_suite,
+            c.on_frontier,
+            c.dominates,
+            c.dominated_by
+        ));
+    }
+    out
+}
+
 // --------------------------------------------------------------- dispatch
 
 /// Renders any experiment output as plain text.
@@ -369,6 +433,7 @@ pub fn render_text(output: &ExperimentOutput) -> String {
         ExperimentOutput::Lint(r) => format_lint(r),
         ExperimentOutput::Consolidation(r) => format_consolidation(r),
         ExperimentOutput::Records(r) => format_records(r),
+        ExperimentOutput::Frontier(r) => format_frontier(r),
     }
 }
 
@@ -692,6 +757,33 @@ pub fn render_csv(output: &ExperimentOutput) -> String {
                 })
                 .collect(),
         ),
+        ExperimentOutput::Frontier(r) => csv_table(
+            &[
+                "design",
+                "defense",
+                "geomean_slowdown",
+                "security_leaks",
+                "full_suite",
+                "on_frontier",
+                "dominates",
+                "dominated_by",
+            ],
+            r.cells
+                .iter()
+                .map(|c| {
+                    vec![
+                        c.label.clone(),
+                        c.defense.label().to_string(),
+                        c.geomean_slowdown.to_string(),
+                        c.security_leaks.to_string(),
+                        c.full_suite.to_string(),
+                        c.on_frontier.to_string(),
+                        c.dominates.to_string(),
+                        c.dominated_by.to_string(),
+                    ]
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -754,7 +846,7 @@ mod tests {
         let mut registry = crate::registry::ExperimentRegistry::standard();
         registry.register(crate::registry::SweepExperiment);
         let runs = registry.run_all(&mut ev).unwrap();
-        assert_eq!(runs.len(), 11);
+        assert_eq!(runs.len(), 12);
         for run in &runs {
             let text = render_text(&run.output);
             assert!(!text.is_empty(), "{}: empty text", run.name);

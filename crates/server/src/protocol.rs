@@ -151,7 +151,9 @@ pub enum Request {
     Experiment {
         /// Registry key of the experiment (`ExperimentRegistry::standard`
         /// names: `table1`, `fig7`, `fig8`, `fig9`, `q3`, `q4`, `security`,
-        /// `tracegen`, `lint`, `consolidation`).
+        /// `tracegen`, `lint`, `consolidation`, `frontier`). `frontier`
+        /// runs the successive-halving search and streams
+        /// [`Response::Progress`] lines before its terminal reply.
         name: String,
         /// Submitted workload names; empty = every submitted workload.
         workloads: Vec<String>,
@@ -263,6 +265,17 @@ pub enum Response {
         /// `cassandra_core::report::render_text` over the output.
         report: String,
     },
+    /// Non-terminal progress line of a streamed frontier run: how many
+    /// workload simulations have completed out of a total that is fixed
+    /// before the first one starts (so clients can render a stable bar).
+    /// Streamed before the terminal [`Response::Experiment`] /
+    /// [`Response::Cancelled`] line of a `frontier` Experiment request.
+    Progress {
+        /// Simulations completed so far.
+        cells_done: usize,
+        /// Total simulations this run will perform (constant per run).
+        cells_total: usize,
+    },
     /// Terminal line of a sweep stream stopped by [`Request::Cancel`] (no
     /// further `Record`s follow), and the acknowledgement sent to the
     /// canceling connection. Analyses completed before the cancellation
@@ -284,9 +297,10 @@ pub enum Response {
 
 impl Response {
     /// True for every response that terminates a request's reply stream
-    /// (everything except [`Response::Record`]).
+    /// (everything except the streamed [`Response::Record`] and
+    /// [`Response::Progress`] lines).
     pub fn is_terminal(&self) -> bool {
-        !matches!(self, Response::Record(_))
+        !matches!(self, Response::Record(_) | Response::Progress { .. })
     }
 }
 
@@ -551,6 +565,29 @@ mod tests {
         let line = encode(&response);
         assert!(!line.contains('\n'), "framing must stay single-line");
         assert_eq!(decode::<Response>(&line).unwrap(), response);
+    }
+
+    #[test]
+    fn progress_lines_are_non_terminal_and_round_trip() {
+        let progress = Response::Progress {
+            cells_done: 3,
+            cells_total: 24,
+        };
+        assert_eq!(
+            encode(&progress),
+            "{\"Progress\":{\"cells_done\":3,\"cells_total\":24}}"
+        );
+        assert!(!progress.is_terminal(), "a stream continues after Progress");
+        assert_eq!(decode::<Response>(&encode(&progress)).unwrap(), progress);
+
+        let tagged = ResponseEnvelope {
+            id: "frontier-1".to_string(),
+            response: progress.clone(),
+        };
+        assert_eq!(
+            decode_response(&encode(&tagged)).unwrap(),
+            (Some("frontier-1".to_string()), progress)
+        );
     }
 
     #[test]

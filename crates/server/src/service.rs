@@ -34,9 +34,10 @@ use cassandra_core::eval::{
     AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, SweepExecutor,
     SweepOutcome,
 };
+use cassandra_core::frontier::{self, AdaptiveSearch};
 use cassandra_core::lint::LintRow;
 use cassandra_core::policies::PolicyRegistry;
-use cassandra_core::registry::{ExperimentOutput, ExperimentRegistry};
+use cassandra_core::registry::{Experiment, ExperimentOutput, ExperimentRegistry};
 use cassandra_core::report;
 use cassandra_kernels::suite;
 use cassandra_kernels::workload::Workload;
@@ -265,6 +266,13 @@ impl EvalService {
             Request::Experiment { name, workloads } => {
                 match self.select_workloads(&workloads) {
                     Ok(selected) => {
+                        // The frontier experiment is the one streamed
+                        // experiment: it reserves the request id (so
+                        // `Cancel` can prune it mid-rung) and emits
+                        // `Progress` lines before its terminal reply.
+                        if name == "frontier" {
+                            return self.run_frontier(id, selected, sink);
+                        }
                         // A per-request session over the shared store: the
                         // experiment reuses every analysis any request has
                         // memoized, and leaves its own behind for the next.
@@ -455,6 +463,71 @@ impl EvalService {
             }),
             Err(e) => sink(Response::Error {
                 message: format!("evaluation failed: {e}"),
+            }),
+        }
+    }
+
+    /// Serves a wire `frontier` Experiment: the successive-halving search
+    /// over the standard grid, streaming one [`Response::Progress`] line per
+    /// completed simulation cell before the terminal reply. The grid is
+    /// consumed as plain design points — nothing is registered into the
+    /// session's policy registry, so a cancelled run leaves no residue.
+    fn run_frontier(
+        &self,
+        id: Option<&str>,
+        workloads: Vec<Workload>,
+        sink: &mut ResponseSink<'_>,
+    ) -> io::Result<()> {
+        let ticket = match self.reserve_id(id) {
+            Ok(ticket) => ticket,
+            Err(message) => return sink(Response::Error { message }),
+        };
+        let mut ev = Evaluator::builder()
+            .workloads(workloads.clone())
+            .store(Arc::clone(&self.store))
+            .build();
+        let mut sink_error: Option<io::Error> = None;
+        let outcome = {
+            let sink = &mut *sink;
+            let sink_error = &mut sink_error;
+            frontier::frontier_with(
+                &mut ev,
+                &workloads,
+                &frontier::standard_grid(),
+                Some(AdaptiveSearch::default()),
+                &ticket.token,
+                move |p| {
+                    if sink_error.is_none() {
+                        if let Err(e) = sink(Response::Progress {
+                            cells_done: p.cells_done,
+                            cells_total: p.cells_total,
+                        }) {
+                            *sink_error = Some(e);
+                        }
+                    }
+                },
+            )
+        };
+        if let Some(e) = sink_error {
+            return Err(e);
+        }
+        match outcome {
+            Ok(Some(result)) => {
+                let experiment = cassandra_core::registry::FrontierExperiment::default();
+                let output = ExperimentOutput::Frontier(result);
+                let report = report::render_text(&output);
+                sink(Response::Experiment {
+                    name: Experiment::name(&experiment).to_string(),
+                    title: Experiment::title(&experiment).to_string(),
+                    output,
+                    report,
+                })
+            }
+            Ok(None) => sink(Response::Cancelled {
+                id: ticket.id.unwrap_or_default().to_string(),
+            }),
+            Err(e) => sink(Response::Error {
+                message: format!("experiment failed: {e}"),
             }),
         }
     }
@@ -855,6 +928,59 @@ mod tests {
             )
             .unwrap();
         assert!(probed, "the rejected grid must have been probed mid-sweep");
+        assert_eq!(service.policies().len(), before);
+    }
+
+    #[test]
+    fn frontier_experiment_streams_progress_then_a_terminal_reply() {
+        let service = EvalService::new();
+        for (family, size) in [("chacha20", 64), ("des", 4)] {
+            collect(
+                &service,
+                Request::Submit {
+                    spec: WorkloadSpec::Kernel {
+                        family: family.to_string(),
+                        size,
+                        name: None,
+                    },
+                },
+            );
+        }
+        let before = service.policies().len();
+        let responses = collect(
+            &service,
+            Request::Experiment {
+                name: "frontier".to_string(),
+                workloads: Vec::new(),
+            },
+        );
+        // Every line but the last is a Progress line with a fixed total.
+        let (terminal, progress) = responses.split_last().unwrap();
+        assert!(!progress.is_empty(), "{responses:?}");
+        let mut last_done = 0;
+        for line in progress {
+            let Response::Progress {
+                cells_done,
+                cells_total,
+            } = line
+            else {
+                panic!("expected Progress, got {line:?}");
+            };
+            assert!(!line.is_terminal());
+            assert!(*cells_done > last_done && cells_done <= cells_total);
+            last_done = *cells_done;
+        }
+        let Response::Experiment { name, output, .. } = terminal else {
+            panic!("expected Experiment, got {terminal:?}");
+        };
+        assert_eq!(name, "frontier");
+        let ExperimentOutput::Frontier(result) = output else {
+            panic!("expected Frontier output");
+        };
+        assert!(result.adaptive, "the wire path runs successive halving");
+        assert!(!result.frontier.is_empty());
+        // The grid expansion is consumed as plain design points: no
+        // registry residue.
         assert_eq!(service.policies().len(), before);
     }
 

@@ -216,6 +216,136 @@ fn cancel_stops_a_sweep_and_preserves_the_store() {
     );
 }
 
+/// A `Cancel` naming an in-flight frontier Experiment stops the
+/// successive-halving search mid-rung: the stream ends with `Cancelled`
+/// after a partial progress count, the grid expansion leaves nothing in the
+/// policy registry, and repeat requests complete from the analysis cache
+/// (the second repeat re-analyzes nothing at all).
+#[test]
+fn cancel_stops_a_frontier_search_and_preserves_the_store() {
+    const FRONTIER_ID: &str = "frontier-run";
+    let (handle, mut sweeper) = start();
+
+    let mut prober = Client::connect(handle.addr()).unwrap();
+    let labels_before =
+        |prober: &mut Client| -> Vec<Response> { prober.request(&Request::ListPolicies).unwrap() };
+    let before = labels_before(&mut prober);
+
+    sweeper
+        .send_tagged(
+            FRONTIER_ID,
+            &Request::Experiment {
+                name: "frontier".to_string(),
+                workloads: Vec::new(),
+            },
+        )
+        .unwrap();
+
+    // Wait for the first streamed progress line — the search is past its
+    // security probes and mid-rung — then cancel it.
+    let (id, first) = sweeper.recv_tagged().unwrap();
+    assert_eq!(id.as_deref(), Some(FRONTIER_ID));
+    assert!(
+        matches!(first, Response::Progress { .. }),
+        "a streamed frontier run leads with Progress: {first:?}"
+    );
+    let ack = sweeper.cancel(FRONTIER_ID).unwrap();
+    assert_eq!(
+        ack,
+        Response::Cancelled {
+            id: FRONTIER_ID.to_string()
+        }
+    );
+
+    // The frontier stream terminates with Cancelled after a partial rung.
+    let (responses, _) = drain_tagged(&mut sweeper, FRONTIER_ID);
+    assert_eq!(
+        responses.last(),
+        Some(&Response::Cancelled {
+            id: FRONTIER_ID.to_string()
+        }),
+        "a cancelled frontier run ends with Cancelled, not Experiment"
+    );
+    let last_progress = responses
+        .iter()
+        .rev()
+        .find_map(|r| match r {
+            Response::Progress {
+                cells_done,
+                cells_total,
+            } => Some((*cells_done, *cells_total)),
+            _ => None,
+        })
+        .expect("at least the first progress line was streamed");
+    assert!(
+        last_progress.0 < last_progress.1,
+        "cancellation must stop the search early ({}/{} cells)",
+        last_progress.0,
+        last_progress.1
+    );
+
+    // The grid expansion was consumed as plain design points: the shared
+    // policy registry is untouched by the cancelled run.
+    assert_eq!(labels_before(&mut prober), before);
+
+    // Analyses completed before the cancellation (the security gadget
+    // matrix) stay cached: the repeat request re-analyzes at most the
+    // workload itself…
+    let misses = |client: &mut Client| -> u64 {
+        let responses = client
+            .request(&Request::Sweep {
+                workloads: Vec::new(),
+                policies: vec!["UnsafeBaseline".to_string()],
+            })
+            .unwrap();
+        let Some(Response::Done(summary)) = responses.last() else {
+            panic!("expected Done, got {:?}", responses.last());
+        };
+        summary.cache.misses
+    };
+    let after_cancel = misses(&mut prober);
+
+    let rerun = |sweeper: &mut Client| -> Vec<Response> {
+        sweeper
+            .request(&Request::Experiment {
+                name: "frontier".to_string(),
+                workloads: Vec::new(),
+            })
+            .unwrap()
+    };
+    let responses = rerun(&mut sweeper);
+    assert!(
+        matches!(responses.last(), Some(Response::Experiment { .. })),
+        "the repeat frontier run completes: {:?}",
+        responses.last()
+    );
+    let after_first = misses(&mut prober);
+    assert!(
+        after_first - after_cancel <= 1,
+        "repeat after cancel re-analyzes at most the workload \
+         ({after_cancel} -> {after_first} misses)"
+    );
+
+    // …and a further repeat is pure cache hits.
+    let responses = rerun(&mut sweeper);
+    assert!(matches!(
+        responses.last(),
+        Some(Response::Experiment { .. })
+    ));
+    assert_eq!(
+        misses(&mut prober),
+        after_first,
+        "a repeat frontier run must be served from the analysis cache"
+    );
+
+    // The cancelled id is free again.
+    let stale = sweeper.cancel(FRONTIER_ID).unwrap();
+    assert!(
+        matches!(&stale, Response::Error { message } if message.contains(FRONTIER_ID)),
+        "{stale:?}"
+    );
+}
+
 /// Two sweeps tagged with the same id cannot be in flight at once; the
 /// second is rejected without evaluating anything.
 #[test]

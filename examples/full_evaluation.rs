@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release --example full_evaluation -- \
-//!     [EXPERIMENT] [--format text|csv|json] [--designs LABEL,LABEL,...]
+//!     [EXPERIMENT] [--format text|csv|json] [--designs LABEL,LABEL,...] [--adaptive]
 //! cargo run --release --example full_evaluation -- \
 //!     serve [--addr HOST:PORT] [--threads N] [--cache-file PATH] [--smoke]
 //! cargo run --release --example full_evaluation -- \
@@ -13,15 +13,20 @@
 //! ```
 //!
 //! `EXPERIMENT` is a registry name (`table1`, `fig7`, `fig8`, `fig9`, `q3`,
-//! `q4`, `security`, `tracegen`, `lint`), `all` (every experiment on the
-//! full 21-workload suite — takes a few minutes in release mode), or nothing
-//! for a quick subset. All experiments share one evaluation session, so each
-//! workload's Algorithm-2 analysis runs exactly once. `lint` renders the
-//! static constant-time/speculative-leakage verdict table without running a
+//! `q4`, `security`, `tracegen`, `lint`, `consolidation`, `frontier`),
+//! `all` (every experiment on the full 21-workload suite — takes a few
+//! minutes in release mode), or nothing for a quick subset. All experiments
+//! share one evaluation session, so each workload's Algorithm-2 analysis
+//! runs exactly once. `lint` renders the static
+//! constant-time/speculative-leakage verdict table without running a
 //! single simulation; `--smoke` with a named experiment swaps in the quick
-//! workload subset (CI runs `lint --smoke`). The same verdicts are served
-//! over the wire via the protocol's `Lint` request (`connect
-//! '{"Lint":{"workloads":[]}}'`).
+//! workload subset (CI runs `lint --smoke` and `frontier --smoke`). The
+//! same verdicts are served over the wire via the protocol's `Lint` request
+//! (`connect '{"Lint":{"workloads":[]}}'`). `frontier` computes the
+//! performance × security Pareto frontier of the standard design grid;
+//! `--adaptive` switches it from the exhaustive sweep to the
+//! successive-halving search (full-suite simulation only for cells
+//! surviving the smoke rung).
 //!
 //! `--designs` selects the session's sweep matrix by defense label
 //! (e.g. `--designs UnsafeBaseline,Fence,Tournament,Cassandra-part`); the
@@ -45,7 +50,8 @@
 //! (from the command line or stdin) and prints each response line.
 
 use cassandra::core::experiments::quick_workloads;
-use cassandra::core::registry::{Fig8Experiment, SweepExperiment};
+use cassandra::core::frontier::AdaptiveSearch;
+use cassandra::core::registry::{Fig8Experiment, FrontierExperiment, SweepExperiment};
 use cassandra::core::PolicyRegistry;
 use cassandra::kernels::suite;
 use cassandra::prelude::*;
@@ -60,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut threads = 4usize;
     let mut smoke = false;
+    let mut adaptive = false;
     let mut cache_file: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut iter = args.iter();
@@ -97,6 +104,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .parse()?;
         } else if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--adaptive" {
+            adaptive = true;
         } else if arg == "--cache-file" {
             cache_file = Some(
                 iter.next()
@@ -120,6 +129,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut registry = ExperimentRegistry::standard();
     registry.register(SweepExperiment);
+    if adaptive {
+        // Replace the registry's exhaustive frontier entry with the
+        // successive-halving search over the same grid.
+        registry.register(FrontierExperiment {
+            grid: cassandra::core::frontier::standard_grid(),
+            adaptive: Some(AdaptiveSearch::default()),
+        });
+    }
 
     match experiment.as_str() {
         "all" => {
@@ -341,6 +358,31 @@ fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error
     if result.policies.len() != 3 || result.policies.iter().any(|p| p.tenants.is_empty()) {
         return Err("smoke consolidation covered no tenants".into());
     }
+
+    // The streamed frontier experiment over the wire: successive halving
+    // over the standard grid, progress lines first, the Pareto set last.
+    let frontier = prober.request(&Request::Experiment {
+        name: "frontier".to_string(),
+        workloads: vec!["Poly1305_smoke".to_string()],
+    })?;
+    let progress_lines = frontier
+        .iter()
+        .filter(|r| matches!(r, Response::Progress { .. }))
+        .count();
+    let Some(Response::Experiment { output, report, .. }) = frontier.last() else {
+        return Err(format!("smoke frontier failed: {:?}", frontier.last()).into());
+    };
+    println!("{report}");
+    let cassandra::core::registry::ExperimentOutput::Frontier(result) = output else {
+        return Err("smoke frontier returned the wrong output kind".into());
+    };
+    if progress_lines == 0 || result.frontier.is_empty() || !result.adaptive {
+        return Err("smoke frontier streamed no progress or found no Pareto set".into());
+    }
+    println!(
+        "smoke: frontier streamed {progress_lines} progress lines, {} Pareto points",
+        result.frontier.len()
+    );
 
     prober.request(&Request::Shutdown)?;
     Ok(())

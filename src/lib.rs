@@ -53,6 +53,10 @@ pub mod prelude {
         AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, Evaluator,
         EvaluatorBuilder, SweepExecutor, SweepOutcome,
     };
+    pub use cassandra_core::frontier::{
+        frontier_with, AdaptiveSearch, FrontierCell, FrontierPoint, FrontierProgress,
+        FrontierResult,
+    };
     pub use cassandra_core::lint::LintRow;
     pub use cassandra_core::policies::{GridSweep, PolicyRegistry};
     pub use cassandra_core::registry::{Experiment, ExperimentOutput, ExperimentRegistry};

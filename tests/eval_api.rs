@@ -24,7 +24,7 @@ fn full_registry_run_analyzes_each_program_exactly_once() {
     let mut registry = ExperimentRegistry::standard();
     registry.register(SweepExperiment);
     let runs = registry.run_all(&mut session).unwrap();
-    assert_eq!(runs.len(), 11);
+    assert_eq!(runs.len(), 12);
 
     let stats = session.cache_stats();
     // Session workloads + 10 fig8 synthetics + 16 security gadget builds.
