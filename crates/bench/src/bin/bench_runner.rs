@@ -17,10 +17,20 @@
 //!   both `FrontierThroughput` reports as JSON. Informational (not part of
 //!   the committed trajectory schema); the summary prints the full-suite
 //!   cells the halving saved.
+//! * `server [--clients 1,4,8] [--repeat N] [--before-addr HOST:PORT]
+//!   [--out FILE]` — time end-to-end wire throughput against an in-process
+//!   server at each client count; with `--before-addr` (an externally
+//!   started pre-PR server binary) the rounds interleave before/after in
+//!   the same wall-clock window and the output is a full
+//!   `ServerSuiteTrajectory`, which `emit --server FILE` merges into the
+//!   trajectory document. `check --suite server` re-drives the in-process
+//!   server and gates on the committed after wire cells/sec at the highest
+//!   client count.
 
 use cassandra_bench::{
-    guarded_speedup, measure_frontier, measure_suite_best, validate_trajectory, BenchTrajectory,
-    Measurement, SuiteTrajectory, REPRESENTATIVE_POLICIES, TRAJECTORY_SCHEMA,
+    guarded_speedup, measure_frontier, measure_server_suite, measure_suite_best,
+    validate_trajectory, BenchTrajectory, Measurement, ServerMeasurement, ServerSuiteTrajectory,
+    SuiteTrajectory, REPRESENTATIVE_POLICIES, SERVER_SUITE_CLIENTS, TRAJECTORY_SCHEMA,
 };
 use std::process::ExitCode;
 
@@ -33,9 +43,13 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          bench-runner run --suite smoke|paper [--repeat N] [--out FILE]\n  \
-         bench-runner emit --pr N --before-smoke FILE --before-paper FILE --out FILE\n  \
-         bench-runner check --against FILE [--suite smoke|paper] [--max-regression 0.25]\n  \
-         bench-runner frontier --suite smoke|paper [--out FILE]"
+         bench-runner emit --pr N --before-smoke FILE --before-paper FILE \
+         [--server FILE] --out FILE\n  \
+         bench-runner check --against FILE [--suite smoke|paper|server] \
+         [--max-regression 0.25]\n  \
+         bench-runner frontier --suite smoke|paper [--out FILE]\n  \
+         bench-runner server [--clients 1,4,8] [--repeat N] \
+         [--before-addr HOST:PORT] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -106,6 +120,12 @@ fn cmd_emit(mut args: Vec<String>) -> ExitCode {
         read_measurement(&take_flag(&mut args, "--before-smoke").unwrap_or_else(|| usage()));
     let before_paper =
         read_measurement(&take_flag(&mut args, "--before-paper").unwrap_or_else(|| usage()));
+    let server: Option<ServerSuiteTrajectory> = take_flag(&mut args, "--server").map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read server trajectory `{path}`: {e}"));
+        serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse server trajectory `{path}`: {e}"))
+    });
     let out = take_flag(&mut args, "--out").unwrap_or_else(|| usage());
     if !args.is_empty() {
         usage();
@@ -139,6 +159,7 @@ fn cmd_emit(mut args: Vec<String>) -> ExitCode {
             before: before_paper,
             after: after_paper,
         },
+        server,
     };
     let problems = validate_trajectory(&trajectory);
     assert!(
@@ -149,6 +170,14 @@ fn cmd_emit(mut args: Vec<String>) -> ExitCode {
         "speedup: smoke ×{:.2}, paper ×{:.2}",
         trajectory.smoke.speedup_cells_per_sec, trajectory.paper.speedup_cells_per_sec
     );
+    if let Some(server) = &trajectory.server {
+        eprintln!(
+            "server wire speedup: ×{:.2} single client, ×{:.2} at {} clients",
+            server.speedup_single_client,
+            server.speedup_max_clients,
+            server.after.max_clients_run().map_or(0, |r| r.clients)
+        );
+    }
     let text = serde_json::to_string(&trajectory).expect("serializable trajectory");
     write_or_print(Some(&out), &text);
     ExitCode::SUCCESS
@@ -179,6 +208,9 @@ fn cmd_check(mut args: Vec<String>) -> ExitCode {
     }
     eprintln!("{against}: schema valid (PR {})", trajectory.pr);
 
+    if suite == "server" {
+        return check_server(&trajectory, &against, max_regression);
+    }
     let committed = match suite.as_str() {
         "smoke" => &trajectory.smoke.after,
         "paper" => &trajectory.paper.after,
@@ -199,6 +231,99 @@ fn cmd_check(mut args: Vec<String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("OK: throughput within budget");
+    ExitCode::SUCCESS
+}
+
+/// The `check --suite server` gate: re-drive an in-process server at the
+/// committed client counts and fail if wire cells/sec at the highest
+/// count fell more than the allowed fraction below the committed `after`.
+fn check_server(trajectory: &BenchTrajectory, against: &str, max_regression: f64) -> ExitCode {
+    let Some(server) = &trajectory.server else {
+        eprintln!("{against} has no server suite to check against");
+        return ExitCode::FAILURE;
+    };
+    let counts: Vec<usize> = server.after.runs.iter().map(|r| r.clients).collect();
+    let (current, _) = measure_server_suite(None, &counts, DEFAULT_REPEATS);
+    summarize_server(&current);
+    let committed = server
+        .after
+        .max_clients_run()
+        .expect("validated trajectory has runs");
+    let measured = current.max_clients_run().expect("measured suite has runs");
+    let floor = committed.cells_per_sec * (1.0 - max_regression);
+    eprintln!(
+        "committed after @{} clients: {:.1} wire cells/s, floor ({:.0}% regression \
+         allowed): {:.1}, current: {:.1}",
+        committed.clients,
+        committed.cells_per_sec,
+        max_regression * 100.0,
+        floor,
+        measured.cells_per_sec
+    );
+    if measured.cells_per_sec < floor {
+        eprintln!("FAIL: wire throughput regressed more than the allowed fraction");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("OK: wire throughput within budget");
+    ExitCode::SUCCESS
+}
+
+fn summarize_server(m: &ServerMeasurement) {
+    for run in &m.runs {
+        eprintln!(
+            "server @{} clients: {} wire cells in {:.3}s — {:.1} cells/s",
+            run.clients, run.cells, run.wall_seconds, run.cells_per_sec
+        );
+    }
+}
+
+/// `server`: time the wire suite. With `--before-addr`, interleave rounds
+/// against the externally started pre-PR server and emit a full
+/// `ServerSuiteTrajectory`; without it, emit the after-side
+/// `ServerMeasurement` only.
+fn cmd_server(mut args: Vec<String>) -> ExitCode {
+    let clients: Vec<usize> = take_flag(&mut args, "--clients")
+        .map(|list| {
+            list.split(',')
+                .map(|n| n.trim().parse().expect("--clients takes numbers"))
+                .collect()
+        })
+        .unwrap_or_else(|| SERVER_SUITE_CLIENTS.to_vec());
+    let repeats: u32 = take_flag(&mut args, "--repeat")
+        .map(|v| v.parse().expect("--repeat takes a number"))
+        .unwrap_or(DEFAULT_REPEATS);
+    let before_addr = take_flag(&mut args, "--before-addr").map(|addr| {
+        std::net::ToSocketAddrs::to_socket_addrs(&addr)
+            .unwrap_or_else(|e| panic!("cannot resolve --before-addr `{addr}`: {e}"))
+            .next()
+            .unwrap_or_else(|| panic!("--before-addr `{addr}` resolved to nothing"))
+    });
+    let out = take_flag(&mut args, "--out");
+    if !args.is_empty() {
+        usage();
+    }
+
+    let (after, before) = measure_server_suite(before_addr, &clients, repeats);
+    summarize_server(&after);
+    let text = match before {
+        Some(before) => {
+            let trajectory = cassandra_bench::server_trajectory(before, after);
+            eprintln!(
+                "server wire speedup: ×{:.2} single client, ×{:.2} at {} clients",
+                trajectory.speedup_single_client,
+                trajectory.speedup_max_clients,
+                trajectory.after.max_clients_run().map_or(0, |r| r.clients)
+            );
+            let problems = cassandra_bench::validate_server_trajectory(&trajectory);
+            assert!(
+                problems.is_empty(),
+                "emitted server trajectory invalid: {problems:?}"
+            );
+            serde_json::to_string(&trajectory).expect("serializable trajectory")
+        }
+        None => serde_json::to_string(&after).expect("serializable measurement"),
+    };
+    write_or_print(out.as_deref(), &text);
     ExitCode::SUCCESS
 }
 
@@ -250,6 +375,7 @@ fn main() -> ExitCode {
         "emit" => cmd_emit(args),
         "check" => cmd_check(args),
         "frontier" => cmd_frontier(args),
+        "server" => cmd_server(args),
         _ => usage(),
     }
 }

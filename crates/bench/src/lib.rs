@@ -10,12 +10,16 @@
 //! primary performance metric and is tracked PR-over-PR in `BENCH_<pr>.json`
 //! at the repository root.
 //!
-//! Two suites are defined:
+//! Three suites are defined:
 //!
 //! * `smoke` — the four quick workloads the integration tests share; fast
 //!   enough for CI to run on every push and compare against the committed
 //!   baseline;
-//! * `paper` — the full 21-workload evaluation suite of Table 1 / Fig. 7.
+//! * `paper` — the full 21-workload evaluation suite of Table 1 / Fig. 7;
+//! * `server` — end-to-end **wire** cells/sec through a running
+//!   evaluation server at 1/4/8 concurrent multiplexed clients (see
+//!   [`server_bench`]); optional in the trajectory document, present from
+//!   `BENCH_10.json` on.
 //!
 //! Both run across the same representative policy set (one per frontend
 //! family: the unsafe baseline, the fence lower bound, the two speculative
@@ -30,6 +34,14 @@ use cassandra_kernels::suite;
 use cassandra_kernels::workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+pub mod server_bench;
+
+pub use server_bench::{
+    measure_server_round, measure_server_suite, prepare_server_session, server_trajectory,
+    validate_server_trajectory, ServerMeasurement, ServerSuiteTrajectory, ServerThroughput,
+    SERVER_BENCH_THREADS, SERVER_SUITE_CLIENTS, SERVER_SWEEPS_PER_CLIENT,
+};
 
 /// Schema identifier written into every trajectory file.
 pub const TRAJECTORY_SCHEMA: &str = "cassandra-bench-trajectory/v1";
@@ -108,6 +120,11 @@ pub struct BenchTrajectory {
     pub smoke: SuiteTrajectory,
     /// The full paper suite.
     pub paper: SuiteTrajectory,
+    /// The wire-throughput server suite — absent from trajectories
+    /// committed before PR 10 (the field deserializes as `None` there and
+    /// is omitted on serialize while `None`).
+    #[serde(skip_if_default)]
+    pub server: Option<ServerSuiteTrajectory>,
 }
 
 /// The workloads of a named suite.
@@ -357,6 +374,9 @@ pub fn validate_trajectory(t: &BenchTrajectory) -> Vec<String> {
             problems.push(format!("{name}.speedup_cells_per_sec is not positive"));
         }
     }
+    if let Some(server) = &t.server {
+        problems.extend(validate_server_trajectory(server));
+    }
     problems
 }
 
@@ -491,8 +511,16 @@ mod tests {
                 },
                 speedup_cells_per_sec: 1.0,
             },
+            server: None,
         };
         assert!(validate_trajectory(&good).is_empty());
+
+        // Pre-PR-10 trajectory files have no `server` key: the field must
+        // deserialize as `None` and stay omitted on re-serialize.
+        let text = serde_json::to_string(&good).unwrap();
+        assert!(!text.contains("\"server\""), "None must be omitted: {text}");
+        let back: BenchTrajectory = serde_json::from_str(&text).unwrap();
+        assert!(back.server.is_none());
 
         let mut bad = good.clone();
         bad.schema = "nonsense".to_string();

@@ -2,6 +2,7 @@
 //! subcommand of the example driver and by the loopback tests.
 
 use crate::protocol::{self, Request, RequestEnvelope, Response};
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
@@ -146,6 +147,49 @@ impl Client {
     pub fn request_raw(&mut self, line: &str) -> io::Result<Vec<Response>> {
         self.send_raw(line)?;
         self.collect_stream(None)
+    }
+
+    /// Collects the interleaved streams of several in-flight tagged
+    /// requests on this connection (sent earlier with
+    /// [`Client::send_tagged`], each with a distinct id), routing every
+    /// response line to its stream by the echoed id. Returns once every
+    /// listed stream has received its terminal response; within one id the
+    /// lines arrive in order, but the server interleaves streams freely
+    /// (protocol v3 pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::recv_tagged`] errors; `InvalidData` if a line
+    /// carries an id not in `ids` or a finished stream receives another
+    /// line.
+    pub fn collect_multiplexed(
+        &mut self,
+        ids: &[&str],
+    ) -> io::Result<BTreeMap<String, Vec<Response>>> {
+        let mut streams: BTreeMap<String, Vec<Response>> = ids
+            .iter()
+            .map(|id| ((*id).to_string(), Vec::new()))
+            .collect();
+        let mut open: Vec<String> = streams.keys().cloned().collect();
+        while !open.is_empty() {
+            let (id, response) = self.recv_tagged()?;
+            let id = id.unwrap_or_default();
+            if !open.contains(&id) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for unexpected or finished stream {id:?}"),
+                ));
+            }
+            let terminal = response.is_terminal();
+            streams
+                .get_mut(&id)
+                .expect("open ids are stream keys")
+                .push(response);
+            if terminal {
+                open.retain(|open_id| *open_id != id);
+            }
+        }
+        Ok(streams)
     }
 
     /// Cancels the in-flight request tagged `id` — over a **fresh**

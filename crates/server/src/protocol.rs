@@ -16,11 +16,20 @@
 //! requests keep working exactly as in v1 and get bare responses, so the
 //! two framings never mix within one request's stream.
 //!
+//! Since protocol v3 **enveloped requests pipeline**: a client may send any
+//! number of tagged requests on one connection without waiting for earlier
+//! response streams to finish, and the server interleaves the streams
+//! line-by-line (the id on every line is what demultiplexes them). Within
+//! one id the line order is unchanged from v2; bare v1 requests are still
+//! served one at a time in arrival order. v3 also adds the shard-sync pair
+//! ([`Request::SnapshotShard`] / [`Request::AbsorbSnapshot`]) for moving
+//! analysis-store shards between server processes.
+//!
 //! Wire-level strings name things the way the CLI does: defense design
 //! points by their [`DefenseMode::label`] (`"Cassandra-part"`, not the Rust
 //! variant name) and workloads by their paper name (`"ChaCha20_ct"`).
 
-use cassandra_core::eval::{CacheStats, EvalRecord};
+use cassandra_core::eval::{AnalysisSnapshot, CacheStats, EvalRecord};
 use cassandra_core::lint::LintRow;
 use cassandra_core::policies::GridSweep;
 use cassandra_core::registry::ExperimentOutput;
@@ -31,8 +40,11 @@ use serde::{Deserialize, Serialize};
 /// changes. v2 added request-id envelopes, `Cancel` and `Cancelled` (v1
 /// bare framing still decodes). The static-analysis `Lint`/`LintReport`
 /// pair is a purely additive v2 extension — old clients never see it, so
-/// the revision is unchanged.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// the revision is unchanged. v3 lifts the one-request-at-a-time-per-
+/// connection restriction (enveloped requests pipeline and their response
+/// streams interleave — a behavioral change old clients can observe, hence
+/// the bump) and adds the `SnapshotShard`/`AbsorbSnapshot` shard-sync pair.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// How a [`Request::Submit`] names the workload to ingest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -167,6 +179,22 @@ pub enum Request {
         /// The id the target request was submitted under.
         id: String,
     },
+    /// Serialize one fingerprint-range shard of the server's analysis
+    /// store (protocol v3). → [`Response::ShardSnapshot`], or
+    /// [`Response::Error`] when `shard` is out of range.
+    SnapshotShard {
+        /// Shard index, `0..shards` as reported by
+        /// [`Response::ShardSnapshot`].
+        shard: usize,
+    },
+    /// Load a snapshot's analyses into the server's store, skipping
+    /// fingerprints it already holds (protocol v3) — the receiving half of
+    /// a `shard-sync`. → [`Response::Absorbed`].
+    AbsorbSnapshot {
+        /// The entries to absorb (any shard count; entries are re-routed
+        /// by fingerprint range on arrival).
+        snapshot: AnalysisSnapshot,
+    },
     /// Stop the server after this response. → [`Response::ShuttingDown`].
     Shutdown,
 }
@@ -265,16 +293,35 @@ pub enum Response {
         /// `cassandra_core::report::render_text` over the output.
         report: String,
     },
-    /// Non-terminal progress line of a streamed frontier run: how many
-    /// workload simulations have completed out of a total that is fixed
-    /// before the first one starts (so clients can render a stable bar).
-    /// Streamed before the terminal [`Response::Experiment`] /
-    /// [`Response::Cancelled`] line of a `frontier` Experiment request.
+    /// Non-terminal progress line of a streamed run: how many workload
+    /// simulations have completed out of a total that is fixed before the
+    /// first one starts (so clients can render a stable bar). Streamed by
+    /// `frontier` Experiment runs and (since v3) by `Sweep`/`GridSweep`
+    /// (one line after each `Record`) and `Submit` (a single `1/1` line),
+    /// always before the stream's terminal line; `cells_done` is strictly
+    /// monotone and `cells_total` constant within one request.
     Progress {
         /// Simulations completed so far.
         cells_done: usize,
         /// Total simulations this run will perform (constant per run).
         cells_total: usize,
+    },
+    /// One fingerprint-range shard of the server's analysis store, for a
+    /// [`Request::SnapshotShard`] (protocol v3).
+    ShardSnapshot {
+        /// The shard index this snapshot covers.
+        shard: usize,
+        /// The server store's total shard count (`shard < shards`).
+        shards: usize,
+        /// The shard's entries, ordered by fingerprint.
+        snapshot: AnalysisSnapshot,
+    },
+    /// Acknowledgement of a [`Request::AbsorbSnapshot`] (protocol v3).
+    Absorbed {
+        /// Entries in the submitted snapshot.
+        received: usize,
+        /// Entries actually absorbed (fingerprints the store lacked).
+        absorbed: usize,
     },
     /// Terminal line of a sweep stream stopped by [`Request::Cancel`] (no
     /// further `Record`s follow), and the acknowledgement sent to the
@@ -588,6 +635,39 @@ mod tests {
             decode_response(&encode(&tagged)).unwrap(),
             (Some("frontier-1".to_string()), progress)
         );
+    }
+
+    #[test]
+    fn shard_sync_messages_round_trip() {
+        let request = Request::SnapshotShard { shard: 2 };
+        assert_eq!(encode(&request), "{\"SnapshotShard\":{\"shard\":2}}");
+        assert_eq!(decode::<Request>(&encode(&request)).unwrap(), request);
+
+        let absorb = Request::AbsorbSnapshot {
+            snapshot: AnalysisSnapshot::default(),
+        };
+        let line = encode(&absorb);
+        assert!(line.starts_with("{\"AbsorbSnapshot\""), "{line}");
+        assert_eq!(decode::<Request>(&line).unwrap(), absorb);
+
+        let reply = Response::ShardSnapshot {
+            shard: 2,
+            shards: 8,
+            snapshot: AnalysisSnapshot::default(),
+        };
+        assert!(reply.is_terminal(), "a shard snapshot is one line");
+        assert_eq!(decode::<Response>(&encode(&reply)).unwrap(), reply);
+
+        let absorbed = Response::Absorbed {
+            received: 3,
+            absorbed: 1,
+        };
+        assert_eq!(
+            encode(&absorbed),
+            "{\"Absorbed\":{\"received\":3,\"absorbed\":1}}"
+        );
+        assert!(absorbed.is_terminal());
+        assert_eq!(decode::<Response>(&encode(&absorbed)).unwrap(), absorbed);
     }
 
     #[test]

@@ -1,39 +1,79 @@
-//! The TCP front of the evaluation service: a `std::net` listener, a fixed
-//! worker-thread pool and per-connection newline-delimited JSON framing.
+//! The TCP front of the evaluation service: a `std::net` listener,
+//! per-connection reader/writer threads and a shared request worker pool,
+//! with newline-delimited JSON framing.
 //!
 //! Design constraints (see the crate docs): the build environment is
-//! offline, so there is no async runtime — the server is a plain blocking
-//! accept loop handing connections to `threads` workers over an mpsc
-//! channel. The [`EvalService`] is internally synchronized (`&self`
-//! handlers, each shared table behind its own lock, one thread-safe
-//! analysis store), so workers serve their connections **concurrently**: a
-//! long `GridSweep` on one connection — itself simulating its design matrix
-//! on all cores — never delays a `Ping` or `ListPolicies` on another, and a
-//! `Cancel` naming an in-flight request's id stops that sweep mid-matrix.
+//! offline, so there is no async runtime — everything is plain blocking
+//! `std` threads. Since protocol v3 each connection **pipelines**: a
+//! reader thread decodes `RequestEnvelope`s continuously and dispatches
+//! each tagged streaming request (`Sweep`, `GridSweep`, `Lint`,
+//! `Experiment`) to the shared pool of `threads` request workers, while a
+//! per-connection writer thread fairly interleaves the tagged response
+//! lines of every in-flight stream onto the socket (round-robin, one line
+//! per stream per turn). Each stream feeds the writer through its own
+//! bounded queue, so one sweep producing records faster than the wire
+//! drains them blocks **its own** worker, never the reader or the other
+//! streams. Cheap requests (`Ping`, `Submit`, `Cancel`, shard-sync,
+//! `Shutdown`, …) are answered inline on the reader thread, which is why a
+//! `Cancel` sent on the same connection stops a sweep that is still
+//! streaming ahead of it. Bare (un-enveloped v1) requests have no id to
+//! demultiplex by, so they are served inline too — one at a time in
+//! arrival order, exactly as in v2.
 //!
 //! Shutdown is cooperative: [`ServerHandle::shutdown`] (or a client
-//! `Shutdown` request) raises a flag; the accept loop polls it between
-//! non-blocking accepts and idle connections notice it through their read
-//! timeout, so [`ServerHandle::join`] returns promptly with no dangling
+//! `Shutdown` request) raises a flag; the accept loop and idle readers
+//! notice it within one poll interval, in-flight streams run to
+//! completion, and [`ServerHandle::join`] returns with no dangling
 //! threads.
 
 use crate::protocol::{self, Request, Response, ResponseEnvelope};
 use crate::service::EvalService;
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-/// Poll interval of the non-blocking accept loop and the per-connection
-/// read timeout; bounds how long shutdown can lag.
+/// Per-connection read timeout; bounds how long shutdown can lag a
+/// reader thread (a blocking read returns as soon as data arrives, so
+/// this never delays a request).
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Poll interval of the non-blocking accept loop. Unlike the read
+/// timeout, this one is user-visible latency — a fresh connection's
+/// first request waits for the next accept poll — so it stays tight.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// Per-write timeout on response frames: a stalled reader costs at most
 /// this long per write before its connection is dropped.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Bounded depth of one stream's frame queue between its producing worker
+/// and the connection's writer thread. A stream that outruns the wire by
+/// this many lines blocks its own sweep (backpressure), not the
+/// connection.
+const STREAM_QUEUE_CAP: usize = 64;
+
+/// Upper bound on bytes coalesced into one socket write by the writer
+/// thread. Batching amortizes syscalls under load without letting one
+/// flush starve the queues for long.
+const WRITE_BATCH_BYTES: usize = 64 * 1024;
+
+/// The worker-pool size used when the operator does not pass `--threads`:
+/// one request worker per hardware thread (`available_parallelism`),
+/// falling back to 4 when the parallelism is unknown.
+pub fn default_worker_threads() -> usize {
+    thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A running server: its bound address plus the shutdown/join controls.
 /// Dropping the handle shuts the server down and joins its threads.
@@ -73,12 +113,13 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds `addr` and serves `service` on a pool of `threads` connection
-/// workers until shut down. Returns immediately; the listener runs on
-/// background threads. Each worker owns one connection at a time and
-/// requests run concurrently across workers (the service is internally
-/// synchronized), so `threads` bounds both concurrent connections and
-/// concurrent requests.
+/// Binds `addr` and serves `service` until shut down. Returns immediately;
+/// the listener runs on background threads. `threads` sizes the shared
+/// request worker pool that heavy tagged requests (sweeps, lints,
+/// experiments) are dispatched to — it bounds concurrent *simulations*,
+/// not concurrent connections: every connection gets its own lightweight
+/// reader and writer thread, and tagged requests from all connections
+/// multiplex over the one pool.
 ///
 /// # Errors
 ///
@@ -106,67 +147,338 @@ pub fn serve(
     })
 }
 
+// ------------------------------------------------------- request pool
+
+/// One unit of pool work: a request handler closure, boxed for the shared
+/// mpsc job channel.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// The shared request worker pool: heavy tagged requests from every
+/// connection funnel into one job queue consumed by `threads` workers.
+struct RequestPool {
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RequestPool {
+    fn new(threads: usize) -> Arc<Self> {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || pool_worker(&rx))
+            })
+            .collect();
+        Arc::new(RequestPool {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Enqueues a job; returns it back when the pool is already closed
+    /// (shutdown raced the dispatch) so the caller can run it inline.
+    fn submit(&self, job: Job) -> Result<(), Job> {
+        match lock(&self.tx).as_ref() {
+            Some(tx) => tx.send(job).map_err(|e| e.0),
+            None => Err(job),
+        }
+    }
+
+    /// Closes the job queue and joins the workers (in-flight jobs run to
+    /// completion).
+    fn close(&self) {
+        lock(&self.tx).take();
+        let workers = std::mem::take(&mut *lock(&self.workers));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn pool_worker(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Holding the lock across recv is fine: exactly one idle worker
+        // waits on the channel, the rest queue on the mutex.
+        let job = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // Channel closed: the server is shutting down.
+        }
+    }
+}
+
+// --------------------------------------------------- connection writer
+
+/// One in-flight response stream's slot in the connection writer: its
+/// bounded frame queue plus whether the producing request is still
+/// running.
+struct MuxStream {
+    token: u64,
+    queue: VecDeque<String>,
+    open: bool,
+}
+
+/// Shared state of one connection's writer thread: the active streams in
+/// open order plus the round-robin cursor.
+struct MuxState {
+    streams: Vec<MuxStream>,
+    next_slot: usize,
+    next_token: u64,
+    /// The reader is gone (EOF or shutdown): the writer exits once every
+    /// stream has closed and drained.
+    reader_done: bool,
+    /// The socket is gone (write error/timeout): producers stop blocking
+    /// and get an error instead.
+    dead: bool,
+}
+
+/// The per-connection response multiplexer: producers push encoded frames
+/// into per-stream bounded queues, the writer thread drains them onto the
+/// socket with a fair round-robin interleave.
+struct MuxWriter {
+    state: Mutex<MuxState>,
+    /// Writer waits here for frames (or closure).
+    frames: Condvar,
+    /// Producers wait here for queue space.
+    space: Condvar,
+}
+
+impl MuxWriter {
+    fn new() -> Arc<Self> {
+        Arc::new(MuxWriter {
+            state: Mutex::new(MuxState {
+                streams: Vec::new(),
+                next_slot: 0,
+                next_token: 0,
+                reader_done: false,
+                dead: false,
+            }),
+            frames: Condvar::new(),
+            space: Condvar::new(),
+        })
+    }
+
+    /// Opens a new stream slot and returns its producer handle.
+    fn open_stream(self: &Arc<Self>) -> StreamHandle {
+        let mut state = lock(&self.state);
+        let token = state.next_token;
+        state.next_token += 1;
+        state.streams.push(MuxStream {
+            token,
+            queue: VecDeque::new(),
+            open: true,
+        });
+        StreamHandle {
+            mux: Arc::clone(self),
+            token,
+        }
+    }
+
+    /// Marks the reader as gone; the writer exits once the remaining
+    /// streams finish.
+    fn reader_done(&self) {
+        lock(&self.state).reader_done = true;
+        self.frames.notify_all();
+    }
+}
+
+/// A producer's handle on its stream slot: pushes frames with per-stream
+/// backpressure and closes the slot on drop (every exit path of the
+/// request handler, including panics inside the pool job).
+struct StreamHandle {
+    mux: Arc<MuxWriter>,
+    token: u64,
+}
+
+impl StreamHandle {
+    /// Enqueues one encoded response line, blocking while this stream's
+    /// queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `BrokenPipe` once the connection's socket has died, so
+    /// an abandoned sweep stops simulating instead of streaming into the
+    /// void.
+    fn push(&self, frame: String) -> io::Result<()> {
+        let mut state = lock(&self.mux.state);
+        loop {
+            if state.dead {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "connection writer closed",
+                ));
+            }
+            let Some(stream) = state.streams.iter_mut().find(|s| s.token == self.token) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "response stream closed",
+                ));
+            };
+            if stream.queue.len() < STREAM_QUEUE_CAP {
+                stream.queue.push_back(frame);
+                self.mux.frames.notify_all();
+                return Ok(());
+            }
+            state = self
+                .mux
+                .space
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for StreamHandle {
+    fn drop(&mut self) {
+        let mut state = lock(&self.mux.state);
+        if let Some(stream) = state.streams.iter_mut().find(|s| s.token == self.token) {
+            stream.open = false;
+        }
+        self.mux.frames.notify_all();
+    }
+}
+
+/// The connection's writer thread: round-robins one frame per non-empty
+/// stream per turn (fair interleave), coalescing up to
+/// [`WRITE_BATCH_BYTES`] per socket write. Exits when the socket dies or
+/// when the reader is done and every stream has closed and drained.
+fn writer_loop(mut socket: TcpStream, mux: &MuxWriter) {
+    let mut batch = String::new();
+    loop {
+        batch.clear();
+        {
+            let mut state = lock(&mux.state);
+            loop {
+                if state.dead {
+                    return;
+                }
+                // Retire streams whose producer finished and whose queue
+                // has drained.
+                state.streams.retain(|s| s.open || !s.queue.is_empty());
+                if state.streams.is_empty() && state.reader_done {
+                    return;
+                }
+                // Round-robin: take one frame from each ready stream,
+                // starting after the slot served last, until the batch
+                // fills or a full cycle finds nothing more.
+                let n = state.streams.len();
+                let mut took = true;
+                while took && batch.len() < WRITE_BATCH_BYTES {
+                    took = false;
+                    for step in 0..n {
+                        let slot = (state.next_slot + step) % n;
+                        if let Some(frame) = state.streams[slot].queue.pop_front() {
+                            batch.push_str(&frame);
+                            batch.push('\n');
+                            state.next_slot = (slot + 1) % n;
+                            took = true;
+                            if batch.len() >= WRITE_BATCH_BYTES {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !batch.is_empty() {
+                    break;
+                }
+                state = mux
+                    .frames
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        // Queue space freed: wake blocked producers before the write so
+        // they refill while the syscall runs.
+        mux.space.notify_all();
+        if socket.write_all(batch.as_bytes()).is_err() {
+            lock(&mux.state).dead = true;
+            mux.frames.notify_all();
+            mux.space.notify_all();
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------- accept loop
+
 fn accept_loop(
     listener: TcpListener,
     service: Arc<EvalService>,
     shutdown: Arc<AtomicBool>,
     threads: usize,
 ) {
-    let (tx, rx) = mpsc::channel::<TcpStream>();
-    let rx = Arc::new(Mutex::new(rx));
-    let workers: Vec<JoinHandle<()>> = (0..threads)
-        .map(|_| {
-            let rx = Arc::clone(&rx);
-            let service = Arc::clone(&service);
-            let shutdown = Arc::clone(&shutdown);
-            thread::spawn(move || worker_loop(&rx, &service, &shutdown))
-        })
-        .collect();
-
+    let pool = RequestPool::new(threads);
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // Send only fails once every worker is gone; stop accepting.
-                if tx.send(stream).is_err() {
-                    break;
-                }
+                let service = Arc::clone(&service);
+                let shutdown = Arc::clone(&shutdown);
+                let pool = Arc::clone(&pool);
+                readers.push(thread::spawn(move || {
+                    let _ = handle_connection(stream, &service, &shutdown, &pool);
+                }));
+                // Reap finished connections so a long-lived server does
+                // not accumulate joined-but-unreclaimed handles.
+                readers.retain(|r| !r.is_finished());
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
             Err(_) => break,
         }
     }
-    drop(tx); // Unblocks workers waiting on the channel.
-    for worker in workers {
-        let _ = worker.join();
+    // Let in-flight requests finish, then the connection threads drain
+    // their writers and exit (their readers notice the shutdown flag
+    // within one poll interval).
+    pool.close();
+    for reader in readers {
+        let _ = reader.join();
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &EvalService, shutdown: &AtomicBool) {
-    loop {
-        // Holding the lock across recv is fine: exactly one idle worker
-        // waits on the channel, the rest queue on the mutex.
-        let stream = match rx.lock() {
-            Ok(rx) => rx.recv(),
-            Err(_) => return,
-        };
-        match stream {
-            Ok(stream) => {
-                let _ = handle_connection(stream, service, shutdown);
-            }
-            Err(_) => return, // Channel closed: the server is shutting down.
-        }
+/// True for requests answered inline on the connection's reader thread:
+/// everything that neither simulates nor analyzes, so the reader stays
+/// responsive (this is what lets a same-connection `Cancel` stop a sweep
+/// that is still streaming). Streaming/heavy requests go to the pool.
+fn runs_inline(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Ping
+            | Request::ListPolicies
+            | Request::ListWorkloads
+            | Request::Submit { .. }
+            | Request::Cancel { .. }
+            | Request::SnapshotShard { .. }
+            | Request::AbsorbSnapshot { .. }
+            | Request::Shutdown
+    )
+}
+
+/// Encodes one response line in the request's framing: enveloped requests
+/// get every line wrapped with their id, bare requests get bare lines.
+fn encode_frame(id: Option<&str>, response: Response) -> String {
+    match id {
+        Some(id) => protocol::encode(&ResponseEnvelope {
+            id: id.to_string(),
+            response,
+        }),
+        None => protocol::encode(&response),
     }
 }
 
-/// Serves one client connection: reads one request per line, streams the
-/// response lines, keeps the connection open across requests. Requests on
-/// *other* connections proceed in parallel on their own workers; within one
-/// connection, requests are sequential (issue a `Cancel` from a second
-/// connection to stop a sweep that is still streaming here).
+/// Serves one client connection (the reader half): decodes requests
+/// continuously, answering cheap ones inline and dispatching tagged
+/// streaming ones to the request pool, while the spawned writer thread
+/// interleaves all response streams onto the socket. See the module docs
+/// for the full pipelining contract.
 fn handle_connection(
     stream: TcpStream,
-    service: &EvalService,
+    service: &Arc<EvalService>,
     shutdown: &AtomicBool,
+    pool: &RequestPool,
 ) -> io::Result<()> {
     // BSD-derived platforms let accepted sockets inherit the listener's
     // non-blocking mode; force blocking so the read timeout below governs
@@ -174,22 +486,30 @@ fn handle_connection(
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     // Bound writes so a client that stops reading mid-stream errors this
-    // connection out instead of blocking a worker forever on a full send
-    // buffer.
+    // connection out instead of blocking its writer thread forever on a
+    // full send buffer.
     stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
-    let mut writer = stream.try_clone()?;
+    let socket = stream.try_clone()?;
+    let mux = MuxWriter::new();
+    let writer = {
+        let mux = Arc::clone(&mux);
+        thread::spawn(move || writer_loop(socket, &mux))
+    };
+
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    loop {
+    let result = loop {
         match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // EOF: client hung up.
+            Ok(0) => break Ok(()), // EOF: client hung up.
             Ok(_) => {
                 let taken = std::mem::take(&mut line);
                 let trimmed = taken.trim();
                 if !trimmed.is_empty() {
-                    serve_request(trimmed, service, shutdown, &mut writer)?;
+                    if let Err(e) = serve_line(trimmed, service, shutdown, pool, &mux) {
+                        break Err(e);
+                    }
                     if shutdown.load(Ordering::Relaxed) {
-                        return Ok(());
+                        break Ok(());
                     }
                 }
             }
@@ -199,53 +519,72 @@ fn handle_connection(
                 // Idle poll; `line` keeps any partial read. Stop waiting for
                 // more input once shutdown is raised.
                 if shutdown.load(Ordering::Relaxed) {
-                    return Ok(());
+                    break Ok(());
                 }
             }
-            Err(e) => return Err(e),
+            Err(e) => break Err(e),
         }
-    }
+    };
+    // In-flight pool streams keep the writer alive until they finish;
+    // joining it here keeps the connection's thread accounting exact.
+    mux.reader_done();
+    let _ = writer.join();
+    result
 }
 
-fn serve_request(
+/// Routes one decoded request line: inline on this thread, or onto the
+/// pool with its own response stream. `Err` means the connection is dead
+/// (mux closed under us) — request-level failures become `Error` frames.
+fn serve_line(
     line: &str,
-    service: &EvalService,
+    service: &Arc<EvalService>,
     shutdown: &AtomicBool,
-    writer: &mut TcpStream,
+    pool: &RequestPool,
+    mux: &Arc<MuxWriter>,
 ) -> io::Result<()> {
     match protocol::decode_request(line) {
         Ok((id, request)) => {
-            let is_shutdown = matches!(request, Request::Shutdown);
-            // Echo the request's framing: enveloped requests get every
-            // response line wrapped with their id, bare requests get bare
-            // lines.
-            let mut sink = |response: Response| match &id {
-                Some(id) => write_line(
-                    writer,
-                    protocol::encode(&ResponseEnvelope {
-                        id: id.clone(),
-                        response,
-                    }),
-                ),
-                None => write_line(writer, protocol::encode(&response)),
-            };
-            service.handle_tagged(id.as_deref(), request, &mut sink)?;
-            if is_shutdown {
-                shutdown.store(true, Ordering::Relaxed);
+            // Bare (v1) requests have no id to demultiplex their response
+            // lines by, so they run inline — the reader serves them one at
+            // a time in arrival order, exactly the v1 contract. Tagged
+            // cheap requests run inline too: dispatching them behind
+            // queued sweeps would cost responsiveness for no concurrency
+            // win.
+            if id.is_none() || runs_inline(&request) {
+                let is_shutdown = matches!(request, Request::Shutdown);
+                let handle = mux.open_stream();
+                let id = id.as_deref();
+                let mut sink = |response: Response| handle.push(encode_frame(id, response));
+                service.handle_tagged(id, request, &mut sink)?;
+                if is_shutdown {
+                    shutdown.store(true, Ordering::Relaxed);
+                }
+                return Ok(());
+            }
+            let handle = mux.open_stream();
+            let id = id.expect("tagged by the branch above");
+            let service = Arc::clone(service);
+            let job: Job = Box::new(move || {
+                let mut sink = |response: Response| handle.push(encode_frame(Some(&id), response));
+                // Sink errors mean the client is gone; the stream closes
+                // (handle drops) and there is nobody to report to.
+                let _ = service.handle_tagged(Some(&id), request, &mut sink);
+            });
+            if let Err(job) = pool.submit(job) {
+                // Shutdown raced the dispatch: serve the request inline
+                // rather than dropping it on the floor.
+                job();
             }
             Ok(())
         }
-        Err(e) => write_line(
-            writer,
-            protocol::encode(&Response::Error {
-                message: format!("invalid request: {e}"),
-            }),
-        ),
+        Err(e) => {
+            let handle = mux.open_stream();
+            handle.push(encode_frame(
+                None,
+                Response::Error {
+                    message: format!("invalid request: {e}"),
+                },
+            ))
+        }
     }
-}
-
-fn write_line(writer: &mut TcpStream, mut frame: String) -> io::Result<()> {
-    frame.push('\n');
-    writer.write_all(frame.as_bytes())?;
-    writer.flush()
 }

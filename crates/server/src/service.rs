@@ -25,14 +25,17 @@
 //! one [`Request`] (plus its optional client-supplied id) to a stream of
 //! [`Response`]s through a caller-provided sink, and the loopback tests
 //! drive it both in-process and over TCP. With
-//! [`EvalService::with_cache_file`] the analysis store warm-starts from a
-//! snapshot file and re-serializes itself on a clean `Shutdown`.
+//! [`EvalService::with_cache_file`] the analysis store warm-starts from the
+//! file (replaying any appended journal entries), **appends** each freshly
+//! completed analysis to it as a journal line — so a crashed server keeps
+//! everything analyzed before the crash — and compacts the journal back to
+//! a single snapshot line periodically and on a clean `Shutdown`.
 
 use crate::protocol::{Request, Response, SweepSummary, WorkloadSpec, PROTOCOL_VERSION};
 use cassandra_core::eval::Evaluator;
 use cassandra_core::eval::{
-    AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, SweepExecutor,
-    SweepOutcome,
+    AnalysisSnapshot, AnalysisStore, CancelToken, DesignPoint, EvalRecord, SnapshotEntry,
+    SweepExecutor, SweepOutcome,
 };
 use cassandra_core::frontier::{self, AdaptiveSearch};
 use cassandra_core::lint::LintRow;
@@ -42,9 +45,10 @@ use cassandra_core::report;
 use cassandra_kernels::suite;
 use cassandra_kernels::workload::Workload;
 use std::collections::HashMap;
-use std::io;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
 
 /// A sink receiving the response stream of one request. `Send` because a
 /// streaming sweep emits records from its worker threads.
@@ -64,7 +68,143 @@ pub struct EvalService {
     workloads: Mutex<Vec<Workload>>,
     /// In-flight request ids → their cancellation tokens.
     cancels: Mutex<HashMap<String, CancelToken>>,
-    cache_file: Option<PathBuf>,
+    journal: Option<Arc<CacheJournal>>,
+}
+
+/// Appended journal entries tolerated before the file is compacted back to
+/// a single snapshot line (keeps replay and file size bounded).
+const COMPACT_EVERY: usize = 32;
+
+/// The incremental `--cache-file` persistence: an NDJSON file whose first
+/// line is an [`AnalysisSnapshot`] (the compacted form) and whose following
+/// lines are individual [`SnapshotEntry`]s appended as analyses complete.
+/// See `docs/PROTOCOL.md` § "Cache journal file" for the on-disk format.
+struct CacheJournal {
+    path: PathBuf,
+    state: Mutex<JournalState>,
+}
+
+struct JournalState {
+    /// Open append handle, kept across appends; `None` until first use or
+    /// after an append failure (re-opened lazily).
+    file: Option<File>,
+    /// Journal lines appended since the last compaction.
+    appended: usize,
+}
+
+impl CacheJournal {
+    fn new(path: PathBuf) -> Self {
+        CacheJournal {
+            path,
+            state: Mutex::new(JournalState {
+                file: None,
+                appended: 0,
+            }),
+        }
+    }
+
+    /// Replays the journal into `store`: the leading snapshot line (if
+    /// any) and every appended entry, stopping with a warning at the first
+    /// malformed line — a crash can truncate the final append mid-line,
+    /// and everything before it is still good. Returns how many analyses
+    /// were loaded.
+    fn replay(&self, store: &AnalysisStore) -> usize {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return 0; // No file yet: cold start.
+        };
+        let mut loaded = 0;
+        for (index, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // A compacted snapshot line and a journal entry line are both
+            // accepted at any position; the writer only ever emits a
+            // snapshot first, but self-describing lines make replay
+            // order-independent.
+            if let Ok(snapshot) = serde_json::from_str::<AnalysisSnapshot>(line) {
+                loaded += store.absorb(snapshot);
+            } else if let Ok(entry) = serde_json::from_str::<SnapshotEntry>(line) {
+                loaded += store.absorb(AnalysisSnapshot {
+                    entries: vec![entry],
+                });
+            } else {
+                eprintln!(
+                    "cassandra-server: cache journal {} corrupt at line {} — \
+                     keeping the {} analyses replayed before it",
+                    self.path.display(),
+                    index + 1,
+                    loaded
+                );
+                break;
+            }
+        }
+        loaded
+    }
+
+    /// Appends one freshly completed analysis as a journal line, compacting
+    /// the file once [`COMPACT_EVERY`] lines have accumulated. Best-effort:
+    /// persistence failures are logged, never propagated into the request
+    /// that completed the analysis.
+    fn append(&self, entry: &SnapshotEntry, store: &AnalysisStore) {
+        let mut state = lock(&self.state);
+        if state.appended + 1 >= COMPACT_EVERY {
+            // The entry is already published in the store, so compacting
+            // instead of appending persists it too.
+            if let Err(e) = self.compact_locked(&mut state, store) {
+                eprintln!(
+                    "cassandra-server: cache journal compaction failed: {e} \
+                     (journal left as-is)"
+                );
+            }
+            return;
+        }
+        if state.file.is_none() {
+            state.file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+                .map_err(|e| {
+                    eprintln!(
+                        "cassandra-server: cache journal {} not appendable: {e}",
+                        self.path.display()
+                    );
+                })
+                .ok();
+        }
+        let Some(file) = state.file.as_mut() else {
+            return;
+        };
+        let mut line = serde_json::to_string(entry).expect("vendored serde_json is infallible");
+        line.push('\n');
+        match file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
+            Ok(()) => state.appended += 1,
+            Err(e) => {
+                eprintln!(
+                    "cassandra-server: cache journal append failed: {e} \
+                     (analysis kept in memory only)"
+                );
+                state.file = None;
+            }
+        }
+    }
+
+    /// Rewrites the file as a single compacted snapshot line of the whole
+    /// store. Returns how many analyses were written.
+    fn compact(&self, store: &AnalysisStore) -> io::Result<usize> {
+        let mut state = lock(&self.state);
+        self.compact_locked(&mut state, store)
+    }
+
+    fn compact_locked(&self, state: &mut JournalState, store: &AnalysisStore) -> io::Result<usize> {
+        let snapshot = store.snapshot();
+        let entries = snapshot.entries.len();
+        let mut text = serde_json::to_string(&snapshot).expect("vendored serde_json is infallible");
+        text.push('\n');
+        std::fs::write(&self.path, text)?;
+        state.file = None;
+        state.appended = 0;
+        Ok(entries)
+    }
 }
 
 impl Default for EvalService {
@@ -98,42 +238,50 @@ impl EvalService {
             policies: Mutex::new(PolicyRegistry::standard()),
             workloads: Mutex::new(Vec::new()),
             cancels: Mutex::new(HashMap::new()),
-            cache_file: None,
+            journal: None,
         }
     }
 
-    /// Warm-starts the analysis store from `path` (best-effort: a missing
-    /// or unreadable snapshot starts cold) and re-serializes the store to
-    /// the same path on a clean `Shutdown` request. Warmed entries never
-    /// re-run Algorithm 2, so `Done.cache` reports them as hits.
+    /// Enables incremental cache persistence on `path`: warm-starts the
+    /// analysis store by replaying the file (best-effort: a missing file
+    /// starts cold, a corrupt line stops the replay there with a logged
+    /// warning — never a panic), then journals every freshly completed
+    /// analysis to it as an appended line, so a crashed server keeps
+    /// everything analyzed before the crash. The journal is compacted back
+    /// to a single snapshot line every `COMPACT_EVERY` (32) appends and on
+    /// a clean `Shutdown`. Warmed entries never re-run Algorithm 2, so
+    /// `Done.cache` reports them as hits.
     #[must_use]
     pub fn with_cache_file(mut self, path: impl Into<PathBuf>) -> Self {
-        let path = path.into();
-        if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Ok(snapshot) = serde_json::from_str::<AnalysisSnapshot>(&text) {
-                self.store.absorb(snapshot);
-            }
-        }
-        self.cache_file = Some(path);
+        let journal = Arc::new(CacheJournal::new(path.into()));
+        journal.replay(&self.store);
+        // The observer must not keep the store alive (the store owns the
+        // observer): go through a weak reference for the compaction path.
+        let weak: Weak<AnalysisStore> = Arc::downgrade(&self.store);
+        let hook = Arc::clone(&journal);
+        self.store
+            .set_insert_observer(Some(Arc::new(move |entry: &SnapshotEntry| {
+                if let Some(store) = weak.upgrade() {
+                    hook.append(entry, &store);
+                }
+            })));
+        self.journal = Some(journal);
         self
     }
 
-    /// Serializes the analysis store to the configured cache file,
-    /// returning how many analyses were written (0 without a cache file).
+    /// Compacts the cache journal to a single snapshot line of the current
+    /// store, returning how many analyses were written (0 without a cache
+    /// file). Called on a clean `Shutdown`; crash persistence does not
+    /// depend on it (completed analyses are already journaled).
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors from writing the snapshot.
     pub fn save_cache(&self) -> io::Result<usize> {
-        let Some(path) = &self.cache_file else {
-            return Ok(0);
-        };
-        let snapshot = self.store.snapshot();
-        let entries = snapshot.entries.len();
-        let text = serde_json::to_string(&snapshot)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        std::fs::write(path, text)?;
-        Ok(entries)
+        match &self.journal {
+            Some(journal) => journal.compact(&self.store),
+            None => Ok(0),
+        }
     }
 
     /// The session's shared analysis store (for cache introspection and
@@ -206,6 +354,12 @@ impl EvalService {
                     workloads.retain(|w| w.name != workload.name);
                     workloads.push(workload);
                     drop(workloads);
+                    // Ingestion is a single cell; the 1/1 Progress line
+                    // gives Submit the same stream shape as the sweeps.
+                    sink(Response::Progress {
+                        cells_done: 1,
+                        cells_total: 1,
+                    })?;
                     sink(response)
                 }
                 Err(message) => sink(Response::Error { message }),
@@ -304,6 +458,37 @@ impl EvalService {
                     }
                     Err(message) => sink(Response::Error { message }),
                 }
+            }
+            Request::SnapshotShard { shard } => {
+                let shards = self.store.shard_count();
+                if shard >= shards {
+                    sink(Response::Error {
+                        message: format!(
+                            "shard {shard} out of range; this store has {shards} shard(s)"
+                        ),
+                    })
+                } else {
+                    sink(Response::ShardSnapshot {
+                        shard,
+                        shards,
+                        snapshot: self.store.snapshot_shard(shard),
+                    })
+                }
+            }
+            Request::AbsorbSnapshot { snapshot } => {
+                let received = snapshot.entries.len();
+                let absorbed = self.store.absorb(snapshot);
+                // Absorbed analyses don't fire the journal's insert
+                // observer (they weren't run here), so persist them by
+                // compacting — the compacted snapshot is the whole store.
+                if absorbed > 0 {
+                    if let Some(journal) = &self.journal {
+                        if let Err(e) = journal.compact(&self.store) {
+                            eprintln!("cassandra-server: absorbed snapshot not journaled: {e}");
+                        }
+                    }
+                }
+                sink(Response::Absorbed { received, absorbed })
             }
             Request::Cancel { id: target } => {
                 let token = lock(&self.cancels).get(&target).cloned();
@@ -430,19 +615,30 @@ impl EvalService {
         let mut streamed: Vec<EvalRecord> = Vec::new();
         let mut sink_error: Option<io::Error> = None;
         let executor = SweepExecutor::new(&self.store);
-        let outcome =
-            executor.sweep_stream(&workloads, &designs, &ticket.token, |record| {
-                match sink(Response::Record(record.clone())) {
-                    Ok(()) => {
-                        streamed.push(record);
-                        true
-                    }
-                    Err(e) => {
-                        sink_error = Some(e);
-                        false
-                    }
-                }
+        // One matrix cell per record: each record is chased by a Progress
+        // line (monotone cells_done, constant cells_total) so pipelined
+        // clients can make backpressure and cancel decisions mid-sweep.
+        let cells_total = workloads.len() * designs.len();
+        let mut cells_done = 0usize;
+        let outcome = executor.sweep_stream(&workloads, &designs, &ticket.token, |record| {
+            let emitted = sink(Response::Record(record.clone())).and_then(|()| {
+                cells_done += 1;
+                sink(Response::Progress {
+                    cells_done,
+                    cells_total,
+                })
             });
+            match emitted {
+                Ok(()) => {
+                    streamed.push(record);
+                    true
+                }
+                Err(e) => {
+                    sink_error = Some(e);
+                    false
+                }
+            }
+        });
         if let Some(e) = sink_error {
             return Err(e);
         }
@@ -642,10 +838,16 @@ mod tests {
         );
         assert_eq!(
             responses,
-            [Response::Submitted {
-                name: "my-stream".to_string(),
-                group: "BearSSL".to_string()
-            }]
+            [
+                Response::Progress {
+                    cells_done: 1,
+                    cells_total: 1
+                },
+                Response::Submitted {
+                    name: "my-stream".to_string(),
+                    group: "BearSSL".to_string()
+                }
+            ]
         );
         assert_eq!(service.workload_names(), ["my-stream"]);
         // Resubmitting the same name replaces, not duplicates.

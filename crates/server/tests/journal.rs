@@ -1,0 +1,161 @@
+//! Incremental cache-journal integration tests: completed analyses are
+//! appended to `--cache-file` as they happen, so an *aborted* server (no
+//! clean `Shutdown`) still restarts warm; a corrupt journal tail keeps the
+//! valid prefix, and a garbage-only journal boots cold without panicking.
+
+use cassandra_server::{serve, Client, EvalService, Request, Response, WorkloadSpec};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+fn journal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cassandra-journal-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn submit_quick_pair(client: &mut Client) {
+    for spec in [
+        WorkloadSpec::Kernel {
+            family: "chacha20".to_string(),
+            size: 64,
+            name: None,
+        },
+        WorkloadSpec::Suite {
+            name: "DES_ct".to_string(),
+        },
+    ] {
+        let responses = client.request(&Request::Submit { spec }).unwrap();
+        assert!(
+            matches!(responses.last(), Some(Response::Submitted { .. })),
+            "{responses:?}"
+        );
+    }
+}
+
+fn sweep() -> Request {
+    Request::Sweep {
+        workloads: Vec::new(),
+        policies: vec!["Cassandra".to_string(), "UnsafeBaseline".to_string()],
+    }
+}
+
+/// Runs one server lifetime against `path` and returns the sweep's cache
+/// counters; `clean` issues a `Shutdown` request (which compacts the
+/// journal), otherwise the handle is dropped without one — the abort case.
+fn lifetime(path: &Path, clean: bool) -> (u64, u64) {
+    let service = EvalService::new().with_cache_file(path);
+    let handle = serve("127.0.0.1:0", service, 2).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    submit_quick_pair(&mut client);
+    let responses = client.request(&sweep()).unwrap();
+    let Some(Response::Done(summary)) = responses.last() else {
+        panic!("expected Done, got {:?}", responses.last());
+    };
+    let counters = (summary.cache.hits, summary.cache.misses);
+    if clean {
+        client.request(&Request::Shutdown).unwrap();
+        handle.join();
+    }
+    // !clean: the handle drops here without a Shutdown request — the
+    // journal never compacts and save_cache never runs, like a crash
+    // between appends.
+    counters
+}
+
+/// An aborted server (dropped handle, no `Shutdown`) leaves its per-entry
+/// journal appends on disk: the restarted server replays them and the
+/// repeat sweep is pure cache hits.
+#[test]
+fn aborted_server_restarts_warm_from_the_journal() {
+    let path = journal_path("abort");
+    let _ = std::fs::remove_file(&path);
+
+    let (_, misses) = lifetime(&path, false);
+    assert_eq!(misses, 2, "cold start analyzes both workloads");
+
+    // The journal holds one SnapshotEntry line per fresh analysis — no
+    // compacted snapshot, because nothing ever shut down cleanly.
+    let journal = std::fs::read_to_string(&path).expect("journal written incrementally");
+    let lines: Vec<&str> = journal.lines().collect();
+    assert_eq!(lines.len(), 2, "one appended line per analysis:\n{journal}");
+    assert!(
+        lines.iter().all(|l| l.contains("\"fingerprint\"")),
+        "appended lines are individual entries:\n{journal}"
+    );
+
+    let (hits, misses) = lifetime(&path, false);
+    assert_eq!(misses, 0, "replayed journal serves the repeat sweep");
+    assert_eq!(hits, 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A clean `Shutdown` compacts the journal to a single snapshot line,
+/// which also warm-starts the next lifetime.
+#[test]
+fn clean_shutdown_compacts_the_journal_to_one_snapshot_line() {
+    let path = journal_path("compact");
+    let _ = std::fs::remove_file(&path);
+
+    let (_, misses) = lifetime(&path, true);
+    assert_eq!(misses, 2);
+    let journal = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = journal.lines().collect();
+    assert_eq!(lines.len(), 1, "compaction folds the appends:\n{journal}");
+    assert!(
+        lines[0].starts_with("{\"entries\":["),
+        "the compacted line is a whole-store snapshot:\n{journal}"
+    );
+
+    let (hits, misses) = lifetime(&path, true);
+    assert_eq!(misses, 0, "the snapshot warm-starts the next lifetime");
+    assert_eq!(hits, 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A corrupt tail (crash mid-append) costs only the truncated line: replay
+/// keeps every valid line before it, logs a warning, and does not panic.
+#[test]
+fn corrupt_journal_tail_keeps_the_valid_prefix() {
+    let path = journal_path("tail");
+    let _ = std::fs::remove_file(&path);
+
+    let (_, misses) = lifetime(&path, false);
+    assert_eq!(misses, 2);
+
+    // Simulate a crash mid-append: a truncated, unparseable final line.
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    file.write_all(b"{\"fingerprint\":12345,\"elapsed\"")
+        .unwrap();
+    drop(file);
+
+    let (hits, misses) = lifetime(&path, false);
+    assert_eq!(
+        misses, 0,
+        "the two valid lines before the corrupt tail must replay"
+    );
+    assert_eq!(hits, 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A journal that is garbage from the first line boots cold — a logged
+/// warning, an empty store, no panic.
+#[test]
+fn garbage_journal_boots_cold_without_panicking() {
+    let path = journal_path("garbage");
+    std::fs::write(&path, "this is not a journal\n{nor is this\n").unwrap();
+
+    let service = EvalService::new().with_cache_file(&path);
+    assert!(
+        service.store().is_empty(),
+        "garbage journals must be ignored, not replayed"
+    );
+
+    // The service still works (and journals fresh analyses) on top of it.
+    let (_, misses) = lifetime(&path, false);
+    assert_eq!(misses, 2, "cold start after a garbage journal");
+    let _ = std::fs::remove_file(&path);
+}

@@ -28,7 +28,7 @@ fn submit_quick_pair(client: &mut Client) {
     ] {
         let responses = client.request(&Request::Submit { spec }).unwrap();
         assert!(
-            matches!(responses[0], Response::Submitted { .. }),
+            matches!(responses.last(), Some(Response::Submitted { .. })),
             "{responses:?}"
         );
     }
@@ -45,16 +45,39 @@ fn quick_grid() -> GridSpec {
     }
 }
 
-/// Splits a sweep response stream into its records and closing summary.
+/// Splits a sweep response stream into its records and closing summary,
+/// checking the interleaved `Progress` lines count every record exactly
+/// once: `cells_done` is strictly monotone, `cells_total` never changes.
 fn split_stream(responses: Vec<Response>) -> (Vec<EvalRecord>, SweepSummary) {
     let mut records = Vec::new();
     let mut summary = None;
+    let mut last_done = 0usize;
+    let mut total = None;
     for response in responses {
         match response {
             Response::Record(record) => records.push(record),
+            Response::Progress {
+                cells_done,
+                cells_total,
+            } => {
+                assert!(
+                    cells_done > last_done,
+                    "progress must be strictly monotone ({last_done} -> {cells_done})"
+                );
+                last_done = cells_done;
+                assert_eq!(
+                    *total.get_or_insert(cells_total),
+                    cells_total,
+                    "cells_total must be constant across the stream"
+                );
+            }
             Response::Done(done) => summary = Some(done),
             other => panic!("unexpected response in sweep stream: {other:?}"),
         }
+    }
+    if let Some(total) = total {
+        assert_eq!(last_done, total, "the final progress line covers the grid");
+        assert_eq!(total, records.len(), "one progress tick per record");
     }
     (records, summary.expect("sweep stream must end with Done"))
 }
@@ -121,6 +144,72 @@ fn grid_sweep_matches_offline_evaluator_byte_for_byte() {
 
     client.request(&Request::Shutdown).unwrap();
     handle.join();
+}
+
+/// Sweeps stream one `Progress` line per completed cell in the pinned PR 9
+/// wire encoding, and `Submit` reports its single unit of work the same
+/// way. (The monotone/constant invariants are asserted by `split_stream`
+/// on every sweep in this suite; this test pins the raw bytes.)
+#[test]
+fn sweeps_and_submit_stream_pinned_progress_lines() {
+    let (_handle, mut client) = start();
+
+    let responses = client
+        .request(&Request::Submit {
+            spec: WorkloadSpec::Kernel {
+                family: "chacha20".to_string(),
+                size: 64,
+                name: None,
+            },
+        })
+        .unwrap();
+    assert_eq!(
+        responses.first(),
+        Some(&Response::Progress {
+            cells_done: 1,
+            cells_total: 1
+        }),
+        "Submit reports its single unit of work before Submitted"
+    );
+    assert!(matches!(responses.last(), Some(Response::Submitted { .. })));
+
+    // The raw wire bytes of a sweep's progress lines are the pinned PR 9
+    // encoding — read the stream line by line instead of via the client's
+    // decoder.
+    client
+        .send(&Request::Sweep {
+            workloads: Vec::new(),
+            policies: vec!["UnsafeBaseline".to_string(), "Cassandra".to_string()],
+        })
+        .unwrap();
+    let mut progress_lines = Vec::new();
+    loop {
+        let (_, response) = client.recv_tagged().unwrap();
+        if let Response::Progress {
+            cells_done,
+            cells_total,
+        } = &response
+        {
+            progress_lines.push(format!(
+                "{{\"Progress\":{{\"cells_done\":{cells_done},\"cells_total\":{cells_total}}}}}"
+            ));
+            assert_eq!(
+                serde_json::to_string(&response).unwrap(),
+                progress_lines.last().unwrap().as_str(),
+                "Progress keeps the pinned PR 9 field order"
+            );
+        }
+        if response.is_terminal() {
+            break;
+        }
+    }
+    assert_eq!(
+        progress_lines,
+        [
+            "{\"Progress\":{\"cells_done\":1,\"cells_total\":2}}",
+            "{\"Progress\":{\"cells_done\":2,\"cells_total\":2}}"
+        ]
+    );
 }
 
 #[test]
@@ -393,6 +482,93 @@ fn consolidation_experiment_runs_over_the_wire() {
     assert_eq!(report, &cassandra_core::report::render_text(output));
     assert!(report.contains("Policy flush"));
     assert!(report.contains("HitRate"));
+}
+
+/// Two server processes split a workload set by exchanging shard
+/// snapshots over the wire: every shard of a warmed server absorbed into
+/// a cold one makes the cold server's sweep pure cache hits.
+#[test]
+fn shard_snapshots_round_trip_between_two_servers() {
+    let (_warm_handle, mut warm) = start();
+    submit_quick_pair(&mut warm);
+    let sweep = Request::Sweep {
+        workloads: Vec::new(),
+        policies: vec!["Cassandra".to_string()],
+    };
+    let (_, summary) = split_stream(warm.request(&sweep).unwrap());
+    assert_eq!(summary.cache.misses, 2, "warm server analyzes once");
+
+    let (_cold_handle, mut cold) = start();
+    submit_quick_pair(&mut cold);
+
+    // Walk every shard of the warm server and absorb it into the cold one.
+    // The shard count comes from the first response, so the client needs
+    // no out-of-band knowledge of the server's sharding.
+    let mut shard = 0;
+    let mut shards = 1;
+    let mut transferred = 0usize;
+    let mut absorbed_total = 0usize;
+    while shard < shards {
+        let responses = warm.request(&Request::SnapshotShard { shard }).unwrap();
+        let [Response::ShardSnapshot {
+            shard: echoed,
+            shards: total,
+            snapshot,
+        }] = responses.as_slice()
+        else {
+            panic!("expected ShardSnapshot, got {responses:?}");
+        };
+        assert_eq!(*echoed, shard);
+        shards = *total;
+        transferred += snapshot.entries.len();
+        let responses = cold
+            .request(&Request::AbsorbSnapshot {
+                snapshot: snapshot.clone(),
+            })
+            .unwrap();
+        let [Response::Absorbed { received, absorbed }] = responses.as_slice() else {
+            panic!("expected Absorbed, got {responses:?}");
+        };
+        assert_eq!(*received, snapshot.entries.len());
+        assert_eq!(*absorbed, *received, "the cold store had none of these");
+        absorbed_total += absorbed;
+        shard += 1;
+    }
+    assert_eq!(transferred, 2, "both analyses travelled");
+    assert_eq!(absorbed_total, 2);
+
+    // The cold server now serves the same sweep without analyzing.
+    let (records, summary) = split_stream(cold.request(&sweep).unwrap());
+    assert_eq!(
+        summary.cache.misses, 0,
+        "absorbed shards: {:?}",
+        summary.cache
+    );
+    assert!(records.iter().all(|r| r.timing.analysis_cached));
+
+    // Re-absorbing is idempotent, and out-of-range shards are an error,
+    // not a panic.
+    let responses = cold.request(&Request::SnapshotShard { shard: 0 }).unwrap();
+    let [Response::ShardSnapshot { snapshot, .. }] = responses.as_slice() else {
+        panic!("expected ShardSnapshot, got {responses:?}");
+    };
+    let responses = warm
+        .request(&Request::AbsorbSnapshot {
+            snapshot: snapshot.clone(),
+        })
+        .unwrap();
+    let [Response::Absorbed { absorbed, .. }] = responses.as_slice() else {
+        panic!("expected Absorbed, got {responses:?}");
+    };
+    assert_eq!(*absorbed, 0, "the warm server already has every entry");
+
+    let responses = warm
+        .request(&Request::SnapshotShard { shard: shards })
+        .unwrap();
+    assert!(
+        matches!(&responses[0], Response::Error { message } if message.contains("out of range")),
+        "{responses:?}"
+    );
 }
 
 #[test]

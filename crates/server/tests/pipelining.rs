@@ -1,0 +1,246 @@
+//! Pipelining integration tests: two tagged requests multiplexed on ONE
+//! connection make independent progress (protocol v3), a stalled reader
+//! does not push a short stream's `Done` behind a long sweep, and
+//! cancelling one stream leaves the other's records byte-identical to a
+//! solo run.
+
+use cassandra_core::eval::EvalRecord;
+use cassandra_server::{serve, Client, EvalService, GridSpec, Request, Response, WorkloadSpec};
+use std::time::Duration;
+
+const LONG_ID: &str = "long-grid";
+const SHORT_ID: &str = "short-sweep";
+
+/// 48 grid cells over the big chacha20(512) workload — seconds of wall
+/// time in debug builds, so the short stream lands mid-sweep with a wide
+/// margin.
+fn long_grid() -> GridSpec {
+    GridSpec {
+        defenses: vec!["Cassandra".to_string()],
+        tournament_thresholds: Vec::new(),
+        btu_partitions: Vec::new(),
+        btu_entries: vec![4, 8, 16, 32],
+        miss_penalties: vec![10, 20, 30, 40],
+        redirect_penalties: vec![6, 12, 24],
+    }
+}
+
+fn long_request() -> Request {
+    Request::GridSweep {
+        workloads: vec!["ChaCha20_ct".to_string()],
+        grid: long_grid(),
+    }
+}
+
+/// The short stream sweeps a *different* workload, so its analysis-cache
+/// flags are independent of whether the long sweep ran first.
+fn short_request() -> Request {
+    Request::Sweep {
+        workloads: vec!["DES_ct".to_string()],
+        policies: vec!["UnsafeBaseline".to_string(), "Cassandra".to_string()],
+    }
+}
+
+fn start() -> (cassandra_server::ServerHandle, Client) {
+    let handle = serve("127.0.0.1:0", EvalService::new(), 4).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for spec in [
+        WorkloadSpec::Kernel {
+            family: "chacha20".to_string(),
+            size: 512,
+            name: None,
+        },
+        WorkloadSpec::Suite {
+            name: "DES_ct".to_string(),
+        },
+    ] {
+        let responses = client.request(&Request::Submit { spec }).unwrap();
+        assert!(
+            matches!(responses.last(), Some(Response::Submitted { .. })),
+            "{responses:?}"
+        );
+    }
+    (handle, client)
+}
+
+/// The wire form of a record with wall-clock times zeroed; everything else
+/// must match byte for byte.
+fn canonical_json(record: &EvalRecord) -> String {
+    let mut record = record.clone();
+    record.timing.analysis = Duration::ZERO;
+    record.timing.simulate = Duration::ZERO;
+    serde_json::to_string(&record).expect("serialize record")
+}
+
+fn records_of(stream: &[Response]) -> Vec<&EvalRecord> {
+    stream
+        .iter()
+        .filter_map(|response| match response {
+            Response::Record(record) => Some(record),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Two overlapping tagged sweeps on one connection: the short stream's
+/// `Done` must arrive long before the long sweep's, even when the client
+/// stalls (does not read the socket at all) right after sending both —
+/// the writer thread interleaves the streams fairly instead of queueing
+/// the short stream behind the 48-cell grid.
+#[test]
+fn stalled_reader_does_not_delay_the_other_stream() {
+    let (_handle, mut client) = start();
+
+    client.send_tagged(LONG_ID, &long_request()).unwrap();
+    client.send_tagged(SHORT_ID, &short_request()).unwrap();
+
+    // Deliberate stall: both requests are in flight server-side, nothing
+    // is being read. The short sweep finishes during the stall and its
+    // lines are already interleaved onto the wire.
+    std::thread::sleep(Duration::from_millis(500));
+
+    let mut short_done = false;
+    let mut long_done = false;
+    let mut long_frames_before_short_done = None;
+    let mut streams: std::collections::BTreeMap<String, Vec<Response>> = Default::default();
+    while !(short_done && long_done) {
+        let (id, response) = client.recv_tagged().unwrap();
+        let id = id.expect("every pipelined line is tagged");
+        let terminal = response.is_terminal();
+        streams.entry(id.clone()).or_default().push(response);
+        if terminal {
+            match id.as_str() {
+                SHORT_ID => {
+                    short_done = true;
+                    long_frames_before_short_done = Some(streams.get(LONG_ID).map_or(0, Vec::len));
+                }
+                LONG_ID => long_done = true,
+                other => panic!("unexpected stream {other:?}"),
+            }
+        }
+    }
+
+    // Fairness, asserted structurally (wall-clock is meaningless when the
+    // whole grid fits inside the stall): the short stream's Done must be
+    // interleaved near the front of the wire, not queued behind the long
+    // grid's ~97 frames. Round-robin puts it within the first handful;
+    // allow a generous margin of half the grid.
+    let ahead = long_frames_before_short_done.expect("short stream terminated");
+    assert!(
+        ahead < 48,
+        "the short sweep's Done arrived after {ahead} long-grid frames — \
+         it queued behind the long stream instead of interleaving"
+    );
+    assert!(
+        !streams[SHORT_ID].is_empty() && streams[LONG_ID].len() > ahead,
+        "both streams interleaved on one connection"
+    );
+
+    // Both streams are complete and well-formed.
+    assert!(matches!(
+        streams[LONG_ID].last(),
+        Some(Response::Done(summary)) if summary.records == 48
+    ));
+    assert!(matches!(
+        streams[SHORT_ID].last(),
+        Some(Response::Done(summary)) if summary.records == 2
+    ));
+    assert_eq!(records_of(&streams[SHORT_ID]).len(), 2);
+}
+
+/// Cancelling stream A mid-flight leaves concurrent stream B's records
+/// byte-identical (timings zeroed) to the same request served solo on a
+/// fresh server.
+#[test]
+fn cancelling_one_stream_leaves_the_other_byte_identical() {
+    // Solo reference run: the short sweep alone on a fresh server.
+    let solo = {
+        let (_handle, mut client) = start();
+        client
+            .request_tagged(SHORT_ID, &short_request())
+            .expect("solo run")
+    };
+    let solo_records: Vec<String> = records_of(&solo)
+        .iter()
+        .map(|r| canonical_json(r))
+        .collect();
+    assert_eq!(solo_records.len(), 2);
+
+    // Mixed run: the long grid and the short sweep share one connection;
+    // the grid is cancelled mid-flight.
+    let (_handle, mut client) = start();
+    client.send_tagged(LONG_ID, &long_request()).unwrap();
+    // Wait until the grid is genuinely mid-matrix before overlapping.
+    let (id, first) = client.recv_tagged().unwrap();
+    assert_eq!(id.as_deref(), Some(LONG_ID));
+    assert!(matches!(first, Response::Record(_)), "{first:?}");
+    client.send_tagged(SHORT_ID, &short_request()).unwrap();
+    client.cancel(LONG_ID).unwrap();
+
+    let streams = client.collect_multiplexed(&[LONG_ID, SHORT_ID]).unwrap();
+    assert_eq!(
+        streams[LONG_ID].last(),
+        Some(&Response::Cancelled {
+            id: LONG_ID.to_string()
+        }),
+        "the cancelled grid ends with Cancelled"
+    );
+    assert!(
+        matches!(streams[SHORT_ID].last(), Some(Response::Done(_))),
+        "the surviving sweep runs to completion: {:?}",
+        streams[SHORT_ID].last()
+    );
+
+    let mixed_records: Vec<String> = records_of(&streams[SHORT_ID])
+        .iter()
+        .map(|r| canonical_json(r))
+        .collect();
+    assert_eq!(
+        mixed_records, solo_records,
+        "stream B must be byte-identical to its solo run"
+    );
+}
+
+/// `collect_multiplexed` routes interleaved lines by id and preserves
+/// per-stream ordering: records within each stream arrive in matrix order
+/// even though the two streams interleave freely on the wire.
+#[test]
+fn per_stream_ordering_is_preserved_under_multiplexing() {
+    let (_handle, mut client) = start();
+    client.send_tagged(LONG_ID, &long_request()).unwrap();
+    client.send_tagged(SHORT_ID, &short_request()).unwrap();
+    let streams = client.collect_multiplexed(&[LONG_ID, SHORT_ID]).unwrap();
+
+    // Per-stream ordering: the long grid's records enumerate the matrix in
+    // the same order a solo request streams them.
+    let long_records = records_of(&streams[LONG_ID]);
+    assert_eq!(long_records.len(), 48);
+    let mut resolo = Client::connect(client.addr()).unwrap();
+    let solo = resolo.request(&long_request()).unwrap();
+    let solo_designs: Vec<&str> = records_of(&solo)
+        .iter()
+        .map(|r| r.design.as_str())
+        .collect();
+    let mixed_designs: Vec<&str> = long_records.iter().map(|r| r.design.as_str()).collect();
+    assert_eq!(mixed_designs, solo_designs);
+
+    // And progress on each stream counts that stream's own cells only.
+    for (id, expected_total) in [(LONG_ID, 48usize), (SHORT_ID, 2usize)] {
+        let mut last = 0usize;
+        for response in &streams[id] {
+            if let Response::Progress {
+                cells_done,
+                cells_total,
+            } = response
+            {
+                assert_eq!(*cells_total, expected_total, "{id}");
+                assert!(*cells_done > last, "{id}: monotone progress");
+                last = *cells_done;
+            }
+        }
+        assert_eq!(
+            last, expected_total,
+            "{id}: final progress covers the sweep"
+        );
+    }
+}

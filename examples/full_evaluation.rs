@@ -10,6 +10,8 @@
 //!     serve [--addr HOST:PORT] [--threads N] [--cache-file PATH] [--smoke]
 //! cargo run --release --example full_evaluation -- \
 //!     connect [--addr HOST:PORT] [REQUEST-JSON ...]
+//! cargo run --release --example full_evaluation -- \
+//!     shard-sync --from HOST:PORT --to HOST:PORT
 //! ```
 //!
 //! `EXPERIMENT` is a registry name (`table1`, `fig7`, `fig8`, `fig9`, `q3`,
@@ -39,15 +41,23 @@
 //!
 //! `serve` runs the evaluation service (see `docs/PROTOCOL.md`): one
 //! long-lived session whose memoized analyses are shared across every
-//! client request, with requests from different connections served
-//! concurrently. `--cache-file PATH` warm-starts the analysis store from a
-//! snapshot and re-serializes it on a clean client `Shutdown`. `--smoke`
-//! instead runs a self-contained concurrent round trip (spawn on an
-//! ephemeral port, Submit + a tagged GridSweep streaming on one connection
-//! while a second connection pings mid-sweep, a static Lint of the
-//! submitted workloads, a `consolidation` Experiment over the wire, clean
-//! shutdown) — CI uses it. `connect` sends newline-delimited JSON requests
-//! (from the command line or stdin) and prints each response line.
+//! client request, with tagged requests pipelined — even two sweeps on
+//! one connection interleave their streams (protocol v3). `--threads`
+//! sizes the shared request worker pool; when omitted it is auto-sized
+//! from `std::thread::available_parallelism` and the choice is logged at
+//! startup. `--cache-file PATH` journals the analysis store: replayed on
+//! boot, appended as analyses complete (so a crash keeps the warm state),
+//! compacted on a clean client `Shutdown`. `--smoke` instead runs a
+//! self-contained concurrent round trip (spawn on an ephemeral port, two
+//! overlapping tagged sweeps multiplexed on ONE connection while a second
+//! connection pings mid-sweep, a static Lint of the submitted workloads,
+//! a `consolidation` Experiment over the wire, a `shard-sync` round trip
+//! into a second server process, clean shutdown) — CI uses it. `connect`
+//! sends newline-delimited JSON requests (from the command line or stdin)
+//! and prints each response line. `shard-sync` copies every analysis
+//! shard from the `--from` server into the `--to` server over the wire
+//! (`SnapshotShard`/`AbsorbSnapshot`), so a fleet of server processes can
+//! split a workload set and then pool their analyses.
 
 use cassandra::core::experiments::quick_workloads;
 use cassandra::core::frontier::AdaptiveSearch;
@@ -55,7 +65,9 @@ use cassandra::core::registry::{Fig8Experiment, FrontierExperiment, SweepExperim
 use cassandra::core::PolicyRegistry;
 use cassandra::kernels::suite;
 use cassandra::prelude::*;
-use cassandra::server::{serve, Client, EvalService, GridSpec, Request, Response, WorkloadSpec};
+use cassandra::server::{
+    default_worker_threads, serve, Client, EvalService, GridSpec, Request, Response, WorkloadSpec,
+};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:9417";
 
@@ -64,10 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut format = ReportFormat::Text;
     let mut designs: Option<Vec<DefenseMode>> = None;
     let mut addr = DEFAULT_ADDR.to_string();
-    let mut threads = 4usize;
+    let mut threads: Option<usize> = None;
     let mut smoke = false;
     let mut adaptive = false;
     let mut cache_file: Option<String> = None;
+    let mut sync_from: Option<String> = None;
+    let mut sync_to: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -98,10 +112,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .ok_or("--addr requires a HOST:PORT value")?
                 .clone();
         } else if arg == "--threads" {
-            threads = iter
-                .next()
-                .ok_or("--threads requires a worker count")?
-                .parse()?;
+            threads = Some(
+                iter.next()
+                    .ok_or("--threads requires a worker count")?
+                    .parse()?,
+            );
+        } else if arg == "--from" {
+            sync_from = Some(
+                iter.next()
+                    .ok_or("--from requires a HOST:PORT value")?
+                    .clone(),
+            );
+        } else if arg == "--to" {
+            sync_to = Some(
+                iter.next()
+                    .ok_or("--to requires a HOST:PORT value")?
+                    .clone(),
+            );
         } else if arg == "--smoke" {
             smoke = true;
         } else if arg == "--adaptive" {
@@ -124,6 +151,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match experiment.as_str() {
         "serve" => return run_server(&addr, threads, smoke, cache_file.as_deref()),
         "connect" => return run_client(&addr, &positional[1..]),
+        "shard-sync" => {
+            let from = sync_from.ok_or("shard-sync requires --from HOST:PORT")?;
+            let to = sync_to.ok_or("shard-sync requires --to HOST:PORT")?;
+            return run_shard_sync(&from, &to);
+        }
         _ => {}
     }
 
@@ -221,24 +253,32 @@ fn print_cache_summary(session: &Evaluator) {
 /// with `--smoke`, drive one concurrent loopback round trip and exit).
 fn run_server(
     addr: &str,
-    threads: usize,
+    threads: Option<usize>,
     smoke: bool,
     cache_file: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let bind_addr = if smoke { "127.0.0.1:0" } else { addr };
+    // `--threads` bounds concurrent simulations (the shared request pool),
+    // not connections; absent, size it from the machine.
+    let (threads, sized) = match threads {
+        Some(n) => (n, "--threads"),
+        None => (default_worker_threads(), "available_parallelism"),
+    };
     let mut service = EvalService::new();
     if let Some(path) = cache_file {
         service = service.with_cache_file(path);
         println!(
-            "analysis cache: warm-started {} analyses from {path} (re-saved on clean Shutdown)",
+            "analysis cache: replayed {} analyses from the {path} journal \
+             (appended incrementally, compacted on clean Shutdown)",
             service.store().len()
         );
     }
+    let shards = service.store().shard_count();
     let handle = serve(bind_addr, service, threads)?;
     println!(
-        "cassandra-server listening on {} ({} workers); protocol: docs/PROTOCOL.md",
+        "cassandra-server listening on {} ({threads} workers via {sized}, \
+         {shards} store shards); protocol: docs/PROTOCOL.md",
         handle.addr(),
-        threads
     );
     if smoke {
         smoke_round_trip(handle.addr())?;
@@ -248,11 +288,11 @@ fn run_server(
     Ok(())
 }
 
-/// The CI smoke run: two concurrent connections against one server — an
-/// id-tagged GridSweep streaming on the first while the second pings
-/// mid-sweep — asserting interleaved progress, the session's cache
-/// metadata, a static Lint of the submitted workloads and a clean
-/// shutdown.
+/// The CI smoke run: two overlapping id-tagged sweeps multiplexed on ONE
+/// connection (protocol v3 pipelining) while a second connection pings
+/// mid-sweep — asserting interleaved streams, the session's cache
+/// metadata, a static Lint of the submitted workloads, a `shard-sync`
+/// round trip into a second server process, and a clean shutdown.
 fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error::Error>> {
     use std::time::Instant;
 
@@ -265,11 +305,12 @@ fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error
         },
     })?;
 
-    // A 2 defenses × 2 thresholds × 3 miss penalties = 12-cell grid over a
-    // chacha20(4096) workload: long enough that the second connection's
-    // ping provably lands mid-sweep.
+    // Two overlapping tagged requests on the SAME connection: a 2 defenses
+    // × 2 thresholds × 3 miss penalties = 12-cell grid (long enough that
+    // the probes provably land mid-sweep) plus a short 2-policy sweep.
+    // The server must interleave both streams instead of serializing them.
     sweeper.send_tagged(
-        "smoke-sweep",
+        "smoke-grid",
         &Request::GridSweep {
             workloads: Vec::new(),
             grid: GridSpec {
@@ -282,20 +323,20 @@ fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error
             },
         },
     )?;
-    let drain = std::thread::spawn(move || -> std::io::Result<(usize, Response, Instant)> {
-        let mut records = 0usize;
-        loop {
-            let (id, response) = sweeper.recv_tagged()?;
-            assert_eq!(id.as_deref(), Some("smoke-sweep"), "id echoed per line");
-            match response {
-                Response::Record(_) => records += 1,
-                terminal => return Ok((records, terminal, Instant::now())),
-            }
-        }
+    sweeper.send_tagged(
+        "smoke-sweep",
+        &Request::Sweep {
+            workloads: Vec::new(),
+            policies: vec!["UnsafeBaseline".to_string(), "Cassandra".to_string()],
+        },
+    )?;
+    let drain = std::thread::spawn(move || -> std::io::Result<_> {
+        let streams = sweeper.collect_multiplexed(&["smoke-grid", "smoke-sweep"])?;
+        Ok((streams, Instant::now()))
     });
 
-    // Second connection: short requests must complete while the sweep
-    // streams.
+    // Second connection: short requests must complete while the sweeps
+    // stream.
     let mut prober = Client::connect(addr)?;
     let pong = prober.request(&Request::Ping)?;
     if !matches!(pong[0], Response::Pong { .. }) {
@@ -303,9 +344,14 @@ fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error
     }
     let pong_at = Instant::now();
 
-    let (records, terminal, done_at) = drain.join().expect("smoke drain thread")?;
-    let Response::Done(summary) = terminal else {
-        return Err(format!("smoke GridSweep failed: {terminal:?}").into());
+    let (streams, done_at) = drain.join().expect("smoke drain thread")?;
+    let grid_stream = &streams["smoke-grid"];
+    let records = grid_stream
+        .iter()
+        .filter(|r| matches!(r, Response::Record(_)))
+        .count();
+    let Some(Response::Done(summary)) = grid_stream.last() else {
+        return Err(format!("smoke GridSweep failed: {:?}", grid_stream.last()).into());
     };
     println!("{}", summary.report);
     println!(
@@ -319,8 +365,22 @@ fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error
         return Err("smoke GridSweep streamed no (or miscounted) records".into());
     }
     if pong_at >= done_at {
-        return Err("smoke Ping did not complete before the sweep's Done".into());
+        return Err("smoke Ping did not complete before the sweeps' Done".into());
     }
+    let Some(Response::Done(short_summary)) = streams["smoke-sweep"].last() else {
+        return Err(format!(
+            "smoke pipelined Sweep failed: {:?}",
+            streams["smoke-sweep"].last()
+        )
+        .into());
+    };
+    if short_summary.records == 0 {
+        return Err("smoke pipelined Sweep streamed no records".into());
+    }
+    println!(
+        "smoke: pipelined second sweep on the same connection streamed {} records",
+        short_summary.records
+    );
 
     // Static lint over every submitted workload: pure analysis, no
     // simulation, served from the same shared store.
@@ -384,7 +444,63 @@ fn smoke_round_trip(addr: std::net::SocketAddr) -> Result<(), Box<dyn std::error
         result.frontier.len()
     );
 
+    // Shard-sync round trip: a second, cold server process absorbs every
+    // analysis shard from this one over the wire.
+    let peer_handle = serve("127.0.0.1:0", EvalService::new(), 2)?;
+    let mut peer = Client::connect(peer_handle.addr())?;
+    let (transferred, absorbed) = sync_shards(&mut prober, &mut peer)?;
+    println!("smoke: shard-sync moved {transferred} analyses ({absorbed} new at the peer)");
+    if transferred == 0 || absorbed != transferred {
+        return Err("smoke shard-sync absorbed nothing at the cold peer".into());
+    }
+    peer.request(&Request::Shutdown)?;
+    peer_handle.join();
+
     prober.request(&Request::Shutdown)?;
+    Ok(())
+}
+
+/// Copies every analysis shard of the `from` server into the `to` server
+/// over the wire; returns `(entries transferred, entries new at to)`.
+fn sync_shards(
+    from: &mut Client,
+    to: &mut Client,
+) -> Result<(usize, usize), Box<dyn std::error::Error>> {
+    let mut shard = 0;
+    let mut shards = 1;
+    let mut transferred = 0usize;
+    let mut absorbed_total = 0usize;
+    while shard < shards {
+        let responses = from.request(&Request::SnapshotShard { shard })?;
+        let Some(Response::ShardSnapshot {
+            shards: total,
+            snapshot,
+            ..
+        }) = responses.last()
+        else {
+            return Err(format!("SnapshotShard {shard} failed: {responses:?}").into());
+        };
+        shards = *total;
+        transferred += snapshot.entries.len();
+        let responses = to.request(&Request::AbsorbSnapshot {
+            snapshot: snapshot.clone(),
+        })?;
+        let Some(Response::Absorbed { absorbed, .. }) = responses.last() else {
+            return Err(format!("AbsorbSnapshot of shard {shard} failed: {responses:?}").into());
+        };
+        absorbed_total += absorbed;
+        shard += 1;
+    }
+    Ok((transferred, absorbed_total))
+}
+
+/// `shard-sync`: pool the analyses of two running servers by copying every
+/// shard of `--from` into `--to`.
+fn run_shard_sync(from: &str, to: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut from = Client::connect(from)?;
+    let mut to = Client::connect(to)?;
+    let (transferred, absorbed) = sync_shards(&mut from, &mut to)?;
+    println!("shard-sync: {transferred} analyses transferred, {absorbed} new at the target");
     Ok(())
 }
 
