@@ -15,10 +15,14 @@
 //! drains them blocks **its own** worker, never the reader or the other
 //! streams. Cheap requests (`Ping`, `Submit`, `Cancel`, shard-sync,
 //! `Shutdown`, …) are answered inline on the reader thread, which is why a
-//! `Cancel` sent on the same connection stops a sweep that is still
-//! streaming ahead of it. Bare (un-enveloped v1) requests have no id to
-//! demultiplex by, so they are served inline too — one at a time in
-//! arrival order, exactly as in v2.
+//! `Cancel` sent on the same connection stops a sweep ahead of it —
+//! whether that sweep is still streaming or still *queued* for a worker
+//! (tagged heavy requests register their cancel token at dispatch time,
+//! before entering the pool queue). Bare (un-enveloped v1) requests have
+//! no id to demultiplex by, so the reader waits for each one's terminal
+//! line before decoding the next — one at a time in arrival order,
+//! exactly as in v2 — but heavy bare requests still execute on the pool,
+//! so `--threads` bounds concurrent simulations for v1 clients too.
 //!
 //! Shutdown is cooperative: [`ServerHandle::shutdown`] (or a client
 //! `Shutdown` request) raises a flag; the accept loop and idle readers
@@ -205,7 +209,18 @@ fn pool_worker(rx: &Mutex<Receiver<Job>>) {
             Err(_) => return,
         };
         match job {
-            Ok(job) => job(),
+            Ok(job) => {
+                // A panicking request must not shrink the shared pool for
+                // the rest of the server's lifetime: contain the unwind
+                // and keep the worker serving. (The job's stream handle
+                // drops during the unwind, so its response stream closes.)
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                    eprintln!(
+                        "cassandra-server: a request job panicked; \
+                         its worker keeps serving"
+                    );
+                }
+            }
             Err(_) => return, // Channel closed: the server is shutting down.
         }
     }
@@ -346,6 +361,37 @@ impl Drop for StreamHandle {
 /// stream per turn (fair interleave), coalescing up to
 /// [`WRITE_BATCH_BYTES`] per socket write. Exits when the socket dies or
 /// when the reader is done and every stream has closed and drained.
+/// Fills `batch` with frames from the streams' queues: repeated
+/// round-robin cycles taking at most one frame per stream per cycle (the
+/// fair interleave), until the batch reaches [`WRITE_BATCH_BYTES`] or
+/// every queue is empty. `state.next_slot` resumes after the last slot
+/// served, so fairness carries across batches too.
+fn fill_batch(state: &mut MuxState, batch: &mut String) {
+    let n = state.streams.len();
+    let mut took = true;
+    while took && batch.len() < WRITE_BATCH_BYTES {
+        took = false;
+        // Snapshot the cursor for this cycle: it must visit every stream
+        // exactly once even as taking a frame advances the cursor
+        // (iterating from the live cursor skips slots — with three ready
+        // streams the serve order degenerated to 0,2,2,… and starved
+        // slot 1 indefinitely).
+        let base = state.next_slot;
+        for step in 0..n {
+            let slot = (base + step) % n;
+            if let Some(frame) = state.streams[slot].queue.pop_front() {
+                batch.push_str(&frame);
+                batch.push('\n');
+                state.next_slot = (slot + 1) % n;
+                took = true;
+                if batch.len() >= WRITE_BATCH_BYTES {
+                    return;
+                }
+            }
+        }
+    }
+}
+
 fn writer_loop(mut socket: TcpStream, mux: &MuxWriter) {
     let mut batch = String::new();
     loop {
@@ -362,26 +408,7 @@ fn writer_loop(mut socket: TcpStream, mux: &MuxWriter) {
                 if state.streams.is_empty() && state.reader_done {
                     return;
                 }
-                // Round-robin: take one frame from each ready stream,
-                // starting after the slot served last, until the batch
-                // fills or a full cycle finds nothing more.
-                let n = state.streams.len();
-                let mut took = true;
-                while took && batch.len() < WRITE_BATCH_BYTES {
-                    took = false;
-                    for step in 0..n {
-                        let slot = (state.next_slot + step) % n;
-                        if let Some(frame) = state.streams[slot].queue.pop_front() {
-                            batch.push_str(&frame);
-                            batch.push('\n');
-                            state.next_slot = (slot + 1) % n;
-                            took = true;
-                            if batch.len() >= WRITE_BATCH_BYTES {
-                                break;
-                            }
-                        }
-                    }
-                }
+                fill_batch(&mut state, &mut batch);
                 if !batch.is_empty() {
                     break;
                 }
@@ -544,13 +571,12 @@ fn serve_line(
 ) -> io::Result<()> {
     match protocol::decode_request(line) {
         Ok((id, request)) => {
-            // Bare (v1) requests have no id to demultiplex their response
-            // lines by, so they run inline — the reader serves them one at
-            // a time in arrival order, exactly the v1 contract. Tagged
-            // cheap requests run inline too: dispatching them behind
-            // queued sweeps would cost responsiveness for no concurrency
-            // win.
-            if id.is_none() || runs_inline(&request) {
+            // Cheap requests run inline on the reader thread, tagged or
+            // bare: dispatching them behind queued sweeps would cost
+            // responsiveness for no concurrency win (and the inline
+            // `Cancel` is what stops sweeps streaming ahead of it on the
+            // same connection).
+            if runs_inline(&request) {
                 let is_shutdown = matches!(request, Request::Shutdown);
                 let handle = mux.open_stream();
                 let id = id.as_deref();
@@ -561,14 +587,49 @@ fn serve_line(
                 }
                 return Ok(());
             }
+            let Some(id) = id else {
+                // Bare (v1) heavy request: no id to demultiplex response
+                // lines by, so the reader waits for its terminal line
+                // before decoding the next request — the v1 lockstep
+                // contract — but the work itself still runs on the pool,
+                // so `--threads` bounds concurrent simulations for v1
+                // clients too.
+                let handle = mux.open_stream();
+                let service = Arc::clone(service);
+                let (done_tx, done_rx) = mpsc::channel();
+                let job: Job = Box::new(move || {
+                    let mut sink = |response: Response| handle.push(encode_frame(None, response));
+                    let _ = done_tx.send(service.handle(request, &mut sink));
+                });
+                if let Err(job) = pool.submit(job) {
+                    // Shutdown raced the dispatch: serve the request
+                    // inline rather than dropping it on the floor.
+                    job();
+                }
+                // The pool runs queued jobs to completion even during
+                // shutdown, so the result always arrives; a disconnect
+                // means the job panicked (logged by its worker).
+                return done_rx.recv().unwrap_or(Ok(()));
+            };
+            // Tagged heavy request: reserve the id *before* the request
+            // enters the pool queue, so a `Cancel` racing the queue
+            // already finds the token — the job then starts pre-cancelled
+            // and terminates with `Cancelled` without simulating.
             let handle = mux.open_stream();
-            let id = id.expect("tagged by the branch above");
+            let reservation = match service.reserve(&id) {
+                Ok(reservation) => reservation,
+                Err(message) => {
+                    return handle.push(encode_frame(Some(&id), Response::Error { message }))
+                }
+            };
             let service = Arc::clone(service);
             let job: Job = Box::new(move || {
-                let mut sink = |response: Response| handle.push(encode_frame(Some(&id), response));
+                let mut sink = |response: Response| {
+                    handle.push(encode_frame(Some(reservation.id()), response))
+                };
                 // Sink errors mean the client is gone; the stream closes
                 // (handle drops) and there is nobody to report to.
-                let _ = service.handle_tagged(Some(&id), request, &mut sink);
+                let _ = service.handle_reserved(&reservation, request, &mut sink);
             });
             if let Err(job) = pool.submit(job) {
                 // Shutdown raced the dispatch: serve the request inline
@@ -586,5 +647,90 @@ fn serve_line(
                 },
             ))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with(queues: &[Vec<String>]) -> MuxState {
+        MuxState {
+            streams: queues
+                .iter()
+                .enumerate()
+                .map(|(i, frames)| MuxStream {
+                    token: i as u64,
+                    queue: frames.iter().cloned().collect(),
+                    open: true,
+                })
+                .collect(),
+            next_slot: 0,
+            next_token: queues.len() as u64,
+            reader_done: false,
+            dead: false,
+        }
+    }
+
+    fn frames(prefix: &str, count: usize) -> Vec<String> {
+        (0..count).map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    #[test]
+    fn fill_batch_interleaves_three_streams_one_frame_per_turn() {
+        let mut state = state_with(&[frames("a", 2), frames("b", 2), frames("c", 2)]);
+        let mut batch = String::new();
+        fill_batch(&mut state, &mut batch);
+        assert_eq!(batch, "a0\nb0\nc0\na1\nb1\nc1\n");
+        assert_eq!(state.next_slot, 0, "the cursor resumes after the last slot");
+    }
+
+    /// Regression: iterating the round-robin cycle from the *live* cursor
+    /// (which advances as frames are taken) instead of a per-cycle
+    /// snapshot degenerates three always-ready streams into the serve
+    /// pattern 0,2,2,… — stream 1 is starved for as long as the other two
+    /// keep their queues non-empty. With frames large enough that a batch
+    /// fills mid-cycle (the steady state under load) and queues refilled
+    /// between batches (producers waking on freed space), every stream
+    /// must drain at the same rate.
+    #[test]
+    fn fill_batch_starves_no_stream_across_batches() {
+        // Each frame is ~30 KiB, so one 64 KiB batch holds three frames.
+        let frame = |slot: usize| format!("s{slot}{}", "x".repeat(30_000));
+        let mut state = state_with(&[Vec::new(), Vec::new(), Vec::new()]);
+        let mut served = [0usize; 3];
+        for _batch in 0..32 {
+            for stream in &mut state.streams {
+                let slot = stream.token as usize;
+                while stream.queue.len() < 2 {
+                    stream.queue.push_back(frame(slot));
+                }
+            }
+            let mut batch = String::new();
+            fill_batch(&mut state, &mut batch);
+            for line in batch.lines() {
+                let slot = usize::from(line.as_bytes()[1] - b'0');
+                served[slot] += 1;
+            }
+        }
+        assert!(
+            served[0] == served[1] && served[1] == served[2],
+            "unfair round-robin: {served:?}"
+        );
+    }
+
+    /// A panicking job is contained by its worker: the pool keeps serving
+    /// subsequent jobs instead of silently shrinking.
+    #[test]
+    fn pool_worker_survives_a_panicking_job() {
+        let pool = RequestPool::new(1);
+        assert!(pool.submit(Box::new(|| panic!("job panic"))).is_ok());
+        let (tx, rx) = mpsc::channel();
+        assert!(pool
+            .submit(Box::new(move || tx.send(()).expect("receiver alive")))
+            .is_ok());
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("the single worker must survive the panic and run the next job");
+        pool.close();
     }
 }

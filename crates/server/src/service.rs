@@ -106,13 +106,18 @@ impl CacheJournal {
     /// Replays the journal into `store`: the leading snapshot line (if
     /// any) and every appended entry, stopping with a warning at the first
     /// malformed line — a crash can truncate the final append mid-line,
-    /// and everything before it is still good. Returns how many analyses
-    /// were loaded.
+    /// and everything before it is still good. A corrupt journal is
+    /// **repaired** on the spot by compacting the replayed prefix back to
+    /// the file: the corrupt line is usually newline-less, so appending to
+    /// it would concatenate the next entry onto the partial line
+    /// (destroying both) and strand anything after it. Returns how many
+    /// analyses were loaded.
     fn replay(&self, store: &AnalysisStore) -> usize {
         let Ok(text) = std::fs::read_to_string(&self.path) else {
             return 0; // No file yet: cold start.
         };
         let mut loaded = 0;
+        let mut corrupt = false;
         for (index, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
@@ -135,7 +140,22 @@ impl CacheJournal {
                     index + 1,
                     loaded
                 );
+                corrupt = true;
                 break;
+            }
+        }
+        if corrupt {
+            match self.compact(store) {
+                Ok(kept) => eprintln!(
+                    "cassandra-server: cache journal {} compacted to its valid \
+                     prefix ({kept} analyses)",
+                    self.path.display()
+                ),
+                Err(e) => eprintln!(
+                    "cassandra-server: corrupt cache journal {} not repaired: {e} \
+                     (appends may be lost after another crash)",
+                    self.path.display()
+                ),
             }
         }
         loaded
@@ -213,19 +233,51 @@ impl Default for EvalService {
     }
 }
 
-/// A sweep's reserved slot in the in-flight id table: holds the request's
-/// [`CancelToken`] and deregisters the id on every exit path.
-struct SweepTicket<'a> {
+/// A heavy request's claim on its id slot in the in-flight table: holds
+/// the request's [`CancelToken`] and, when the id was reserved by this
+/// claim (`owned`), deregisters it on every exit path. A claim built from
+/// a dispatch-time [`Reservation`] is not owned — the reservation keeps
+/// the id registered until the dispatcher drops it, so the id stays
+/// cancellable for the request's whole queued-plus-running lifetime.
+struct RequestClaim<'a> {
     service: &'a EvalService,
     id: Option<&'a str>,
     token: CancelToken,
+    owned: bool,
 }
 
-impl Drop for SweepTicket<'_> {
+impl Drop for RequestClaim<'_> {
     fn drop(&mut self) {
-        if let Some(id) = self.id {
-            lock(&self.service.cancels).remove(id);
+        if self.owned {
+            if let Some(id) = self.id {
+                lock(&self.service.cancels).remove(id);
+            }
         }
+    }
+}
+
+/// A request id reserved on the dispatching thread *before* the request
+/// enters the server's worker-pool queue, so a `Cancel` that races the
+/// queue already finds a token to raise — the queued request then starts
+/// pre-cancelled and terminates with `Cancelled` without simulating
+/// anything. Deregisters the id on drop, i.e. after
+/// [`EvalService::handle_reserved`] has finished serving the request.
+pub struct Reservation {
+    service: Arc<EvalService>,
+    id: String,
+    token: CancelToken,
+}
+
+impl Reservation {
+    /// The reserved request id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        lock(&self.service.cancels).remove(&self.id);
     }
 }
 
@@ -330,6 +382,63 @@ impl EvalService {
         request: Request,
         sink: &mut ResponseSink<'_>,
     ) -> io::Result<()> {
+        self.handle_inner(id, None, request, sink)
+    }
+
+    /// Reserves `id` in the in-flight table ahead of dispatch, so the id
+    /// is already cancellable while its request sits in the worker-pool
+    /// queue. Serve the request with [`EvalService::handle_reserved`] and
+    /// keep the reservation alive until it returns.
+    ///
+    /// # Errors
+    ///
+    /// The id is already in flight.
+    pub fn reserve(self: &Arc<Self>, id: &str) -> Result<Reservation, String> {
+        let token = CancelToken::new();
+        let mut cancels = lock(&self.cancels);
+        if cancels.contains_key(id) {
+            return Err(format!("request id `{id}` is already in flight"));
+        }
+        cancels.insert(id.to_string(), token.clone());
+        drop(cancels);
+        Ok(Reservation {
+            service: Arc::clone(self),
+            id: id.to_string(),
+            token,
+        })
+    }
+
+    /// Serves one request whose id was pre-reserved with
+    /// [`EvalService::reserve`] (the server's dispatch path for tagged
+    /// heavy requests): like [`EvalService::handle_tagged`], but the
+    /// request runs under the reservation's cancel token instead of
+    /// registering a fresh one — a `Cancel` that arrived while the request
+    /// was still queued has already raised it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors returned by `sink`.
+    pub fn handle_reserved(
+        &self,
+        reservation: &Reservation,
+        request: Request,
+        sink: &mut ResponseSink<'_>,
+    ) -> io::Result<()> {
+        self.handle_inner(
+            Some(&reservation.id),
+            Some(&reservation.token),
+            request,
+            sink,
+        )
+    }
+
+    fn handle_inner(
+        &self,
+        id: Option<&str>,
+        pre: Option<&CancelToken>,
+        request: Request,
+        sink: &mut ResponseSink<'_>,
+    ) -> io::Result<()> {
         match request {
             Request::Ping => sink(Response::Pong {
                 protocol: PROTOCOL_VERSION,
@@ -368,8 +477,8 @@ impl EvalService {
                 workloads,
                 policies,
             } => match self.select_designs(&policies) {
-                Ok(designs) => match self.reserve_id(id) {
-                    Ok(ticket) => self.run_sweep(ticket, &workloads, designs, sink),
+                Ok(designs) => match self.claim(id, pre) {
+                    Ok(claim) => self.run_sweep(claim, &workloads, designs, sink),
                     Err(message) => sink(Response::Error { message }),
                 },
                 Err(message) => sink(Response::Error { message }),
@@ -383,8 +492,8 @@ impl EvalService {
                     if let Err(message) = self.select_workloads(&workloads) {
                         return sink(Response::Error { message });
                     }
-                    let ticket = match self.reserve_id(id) {
-                        Ok(ticket) => ticket,
+                    let claim = match self.claim(id, pre) {
+                        Ok(claim) => claim,
                         Err(message) => return sink(Response::Error { message }),
                     };
                     let expansion = grid.expand();
@@ -399,7 +508,7 @@ impl EvalService {
                             message: conflict.to_string(),
                         });
                     }
-                    self.run_sweep(ticket, &workloads, designs, sink)
+                    self.run_sweep(claim, &workloads, designs, sink)
                 }
                 Err(message) => sink(Response::Error { message }),
             },
@@ -425,7 +534,7 @@ impl EvalService {
                         // `Cancel` can prune it mid-rung) and emits
                         // `Progress` lines before its terminal reply.
                         if name == "frontier" {
-                            return self.run_frontier(id, selected, sink);
+                            return self.run_frontier(id, pre, selected, sink);
                         }
                         // A per-request session over the shared store: the
                         // experiment reuses every analysis any request has
@@ -570,11 +679,26 @@ impl EvalService {
             .collect()
     }
 
-    /// Reserves `id` in the in-flight table for concurrent cancellation
-    /// (the returned ticket deregisters it on drop). Performed *before*
+    /// Claims `id`'s slot in the in-flight table for concurrent
+    /// cancellation. With a dispatch-time token (`pre`, from
+    /// [`EvalService::reserve`]) the id is already registered and the
+    /// claim merely adopts the token; otherwise the id is reserved here
+    /// and the returned claim deregisters it on drop. Performed *before*
     /// any shared-state mutation, so a duplicate-id rejection leaves no
     /// residue behind.
-    fn reserve_id<'a>(&'a self, id: Option<&'a str>) -> Result<SweepTicket<'a>, String> {
+    fn claim<'a>(
+        &'a self,
+        id: Option<&'a str>,
+        pre: Option<&CancelToken>,
+    ) -> Result<RequestClaim<'a>, String> {
+        if let Some(token) = pre {
+            return Ok(RequestClaim {
+                service: self,
+                id,
+                token: token.clone(),
+                owned: false,
+            });
+        }
         let token = CancelToken::new();
         if let Some(id) = id {
             let mut cancels = lock(&self.cancels);
@@ -583,10 +707,11 @@ impl EvalService {
             }
             cancels.insert(id.to_string(), token.clone());
         }
-        Ok(SweepTicket {
+        Ok(RequestClaim {
             service: self,
             id,
             token,
+            owned: true,
         })
     }
 
@@ -597,7 +722,7 @@ impl EvalService {
     /// the sweep simulates.
     fn run_sweep(
         &self,
-        ticket: SweepTicket<'_>,
+        claim: RequestClaim<'_>,
         workload_names: &[String],
         designs: Vec<DesignPoint>,
         sink: &mut ResponseSink<'_>,
@@ -620,7 +745,7 @@ impl EvalService {
         // clients can make backpressure and cancel decisions mid-sweep.
         let cells_total = workloads.len() * designs.len();
         let mut cells_done = 0usize;
-        let outcome = executor.sweep_stream(&workloads, &designs, &ticket.token, |record| {
+        let outcome = executor.sweep_stream(&workloads, &designs, &claim.token, |record| {
             let emitted = sink(Response::Record(record.clone())).and_then(|()| {
                 cells_done += 1;
                 sink(Response::Progress {
@@ -655,7 +780,7 @@ impl EvalService {
                 sink(Response::Done(summary))
             }
             Ok(SweepOutcome::Cancelled) => sink(Response::Cancelled {
-                id: ticket.id.unwrap_or_default().to_string(),
+                id: claim.id.unwrap_or_default().to_string(),
             }),
             Err(e) => sink(Response::Error {
                 message: format!("evaluation failed: {e}"),
@@ -671,11 +796,12 @@ impl EvalService {
     fn run_frontier(
         &self,
         id: Option<&str>,
+        pre: Option<&CancelToken>,
         workloads: Vec<Workload>,
         sink: &mut ResponseSink<'_>,
     ) -> io::Result<()> {
-        let ticket = match self.reserve_id(id) {
-            Ok(ticket) => ticket,
+        let claim = match self.claim(id, pre) {
+            Ok(claim) => claim,
             Err(message) => return sink(Response::Error { message }),
         };
         let mut ev = Evaluator::builder()
@@ -691,7 +817,7 @@ impl EvalService {
                 &workloads,
                 &frontier::standard_grid(),
                 Some(AdaptiveSearch::default()),
-                &ticket.token,
+                &claim.token,
                 move |p| {
                     if sink_error.is_none() {
                         if let Err(e) = sink(Response::Progress {
@@ -720,7 +846,7 @@ impl EvalService {
                 })
             }
             Ok(None) => sink(Response::Cancelled {
-                id: ticket.id.unwrap_or_default().to_string(),
+                id: claim.id.unwrap_or_default().to_string(),
             }),
             Err(e) => sink(Response::Error {
                 message: format!("experiment failed: {e}"),

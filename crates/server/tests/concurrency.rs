@@ -367,6 +367,115 @@ fn cancel_stops_a_frontier_search_and_preserves_the_store() {
     );
 }
 
+/// A `Cancel` that lands while its target is still *queued* for a pool
+/// worker (dispatched, but no worker free yet) is acknowledged with
+/// `Cancelled`, and the queued sweep terminates with `Cancelled` without
+/// simulating a single cell: ids are registered at dispatch time on the
+/// reader thread, not when a worker picks the job up.
+#[test]
+fn cancel_reaches_a_request_still_queued_for_the_pool() {
+    const QUEUED_ID: &str = "queued-sweep";
+    // A single worker: the long grid occupies it for seconds, so the
+    // second tagged sweep sits in the pool queue the whole time.
+    let handle = serve("127.0.0.1:0", EvalService::new(), 1).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let responses = client
+        .request(&Request::Submit {
+            spec: WorkloadSpec::Kernel {
+                family: "chacha20".to_string(),
+                size: 512,
+                name: None,
+            },
+        })
+        .unwrap();
+    assert!(matches!(responses.last(), Some(Response::Submitted { .. })));
+
+    client
+        .send_tagged(
+            SWEEP_ID,
+            &Request::GridSweep {
+                workloads: Vec::new(),
+                grid: long_grid(),
+            },
+        )
+        .unwrap();
+    // The long sweep is mid-matrix: the single worker is taken.
+    let (id, first) = client.recv_tagged().unwrap();
+    assert_eq!(id.as_deref(), Some(SWEEP_ID));
+    assert!(matches!(first, Response::Record(_)), "{first:?}");
+
+    // Pipeline three more lines on the SAME connection: the reader
+    // processes them strictly in order, so the sweep's id is reserved (at
+    // dispatch) before its `Cancel` is handled — no sleeps and no
+    // side-connection races — while the grid, 95 cells from done, keeps
+    // the single worker busy for the microseconds that takes.
+    client
+        .send_tagged(
+            QUEUED_ID,
+            &Request::Sweep {
+                workloads: Vec::new(),
+                policies: vec!["UnsafeBaseline".to_string(), "Cassandra".to_string()],
+            },
+        )
+        .unwrap();
+    client
+        .send(&Request::Cancel {
+            id: QUEUED_ID.to_string(),
+        })
+        .unwrap();
+    client
+        .send(&Request::Cancel {
+            id: SWEEP_ID.to_string(),
+        })
+        .unwrap();
+
+    // Drain the interleaved wire: two untagged `Cancel` acks plus both
+    // tagged streams' terminals.
+    let mut acks = Vec::new();
+    let mut streams: std::collections::BTreeMap<String, Vec<Response>> = Default::default();
+    let mut open = 2usize;
+    while open > 0 || acks.len() < 2 {
+        let (id, response) = client.recv_tagged().unwrap();
+        match id {
+            None => acks.push(response),
+            Some(id) => {
+                let terminal = response.is_terminal();
+                streams.entry(id).or_default().push(response);
+                if terminal {
+                    open -= 1;
+                }
+            }
+        }
+    }
+
+    // The regression pin: before ids were registered at dispatch time,
+    // cancelling the still-queued sweep acked with an unknown-id `Error`.
+    assert_eq!(
+        acks[0],
+        Response::Cancelled {
+            id: QUEUED_ID.to_string()
+        },
+        "a queued request must already be cancellable"
+    );
+    assert_eq!(
+        acks[1],
+        Response::Cancelled {
+            id: SWEEP_ID.to_string()
+        }
+    );
+    assert!(matches!(
+        streams[SWEEP_ID].last(),
+        Some(Response::Cancelled { .. })
+    ));
+    assert_eq!(
+        streams[QUEUED_ID],
+        vec![Response::Cancelled {
+            id: QUEUED_ID.to_string()
+        }],
+        "the queued sweep must terminate with Cancelled and nothing else"
+    );
+}
+
 /// Two sweeps tagged with the same id cannot be in flight at once; the
 /// second is rejected without evaluating anything.
 #[test]

@@ -141,6 +141,91 @@ fn corrupt_journal_tail_keeps_the_valid_prefix() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Replay does not just tolerate a corrupt tail — it *repairs* the file
+/// (compacting the valid prefix back to one snapshot line), so analyses
+/// journaled after the corruption survive the next restart. Without the
+/// repair, the first post-corruption append concatenates onto the
+/// newline-less partial line, destroying that entry and stranding every
+/// later one behind the corruption.
+#[test]
+fn corrupt_tail_is_repaired_so_later_appends_survive() {
+    let path = journal_path("repair");
+    let _ = std::fs::remove_file(&path);
+
+    let (_, misses) = lifetime(&path, false);
+    assert_eq!(misses, 2);
+
+    // Crash mid-append: a truncated final line with no trailing newline.
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    file.write_all(b"{\"fingerprint\":12345,\"elapsed\"")
+        .unwrap();
+    drop(file);
+
+    // This lifetime replays the two-entry prefix (repairing the file) and
+    // then journals a *third* analysis the prefix has not seen — and is
+    // aborted without a clean Shutdown, so only the repair plus the append
+    // persist it.
+    {
+        let service = EvalService::new().with_cache_file(&path);
+        let handle = serve("127.0.0.1:0", service, 2).expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        submit_quick_pair(&mut client);
+        let responses = client
+            .request(&Request::Submit {
+                spec: WorkloadSpec::Kernel {
+                    family: "sha256".to_string(),
+                    size: 64,
+                    name: None,
+                },
+            })
+            .unwrap();
+        assert!(matches!(responses.last(), Some(Response::Submitted { .. })));
+        let responses = client.request(&sweep()).unwrap();
+        let Some(Response::Done(summary)) = responses.last() else {
+            panic!("expected Done, got {:?}", responses.last());
+        };
+        assert_eq!(
+            summary.cache.misses, 1,
+            "only the new sha256 workload is analyzed: {:?}",
+            summary.cache
+        );
+        drop(handle); // Abort: no Shutdown, no closing compaction.
+    }
+
+    // The next lifetime must replay all three analyses: the repaired
+    // prefix *and* the post-corruption append.
+    {
+        let service = EvalService::new().with_cache_file(&path);
+        let handle = serve("127.0.0.1:0", service, 2).expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        submit_quick_pair(&mut client);
+        let responses = client
+            .request(&Request::Submit {
+                spec: WorkloadSpec::Kernel {
+                    family: "sha256".to_string(),
+                    size: 64,
+                    name: None,
+                },
+            })
+            .unwrap();
+        assert!(matches!(responses.last(), Some(Response::Submitted { .. })));
+        let responses = client.request(&sweep()).unwrap();
+        let Some(Response::Done(summary)) = responses.last() else {
+            panic!("expected Done, got {:?}", responses.last());
+        };
+        assert_eq!(
+            summary.cache.misses, 0,
+            "the post-repair append must replay alongside the valid prefix: {:?}",
+            summary.cache
+        );
+        assert_eq!(summary.cache.hits, 3);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
 /// A journal that is garbage from the first line boots cold — a logged
 /// warning, an empty store, no panic.
 #[test]

@@ -201,6 +201,89 @@ fn cancelling_one_stream_leaves_the_other_byte_identical() {
     );
 }
 
+/// Bare (v1) heavy requests execute on the worker pool, not on the
+/// per-connection reader thread: with a single-worker pool occupied by a
+/// tagged grid sweep, a bare sweep sent on the same connection cannot
+/// produce a single line until the grid's stream terminates — `--threads`
+/// bounds concurrent simulations for v1 clients too, and the v1 lockstep
+/// reply order is preserved.
+#[test]
+fn bare_heavy_requests_are_bounded_by_the_worker_pool() {
+    let handle = serve("127.0.0.1:0", EvalService::new(), 1).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for spec in [
+        WorkloadSpec::Kernel {
+            family: "chacha20".to_string(),
+            size: 512,
+            name: None,
+        },
+        WorkloadSpec::Suite {
+            name: "DES_ct".to_string(),
+        },
+    ] {
+        let responses = client.request(&Request::Submit { spec }).unwrap();
+        assert!(matches!(responses.last(), Some(Response::Submitted { .. })));
+    }
+
+    client.send_tagged(LONG_ID, &long_request()).unwrap();
+    // The single worker is mid-grid.
+    let (id, first) = client.recv_tagged().unwrap();
+    assert_eq!(id.as_deref(), Some(LONG_ID));
+    assert!(matches!(first, Response::Record(_)), "{first:?}");
+
+    // A bare v1 sweep while the worker is busy: it must queue behind the
+    // grid, not run concurrently on the reader thread.
+    client.send(&short_request()).unwrap();
+    client.cancel(LONG_ID).unwrap();
+
+    // Read the interleaved wire until both the grid's terminal and the
+    // bare sweep's terminal have arrived, tracking their relative order.
+    // (The writer may still be draining a few already-queued grid frames
+    // when the bare job starts, so individual lines may interleave near
+    // the boundary; the bare sweep *finishing* before the cancelled grid's
+    // terminal is what would prove it ran concurrently.)
+    let mut long_terminated = false;
+    let mut bare_lines_before_grid_done = 0usize;
+    let mut bare: Vec<Response> = Vec::new();
+    loop {
+        let (id, response) = client.recv_tagged().unwrap();
+        let terminal = response.is_terminal();
+        match id.as_deref() {
+            Some(LONG_ID) => {
+                if terminal {
+                    long_terminated = true;
+                }
+            }
+            Some(other) => panic!("unexpected stream {other:?}"),
+            None => {
+                if !long_terminated {
+                    bare_lines_before_grid_done += 1;
+                }
+                bare.push(response);
+                if terminal {
+                    break;
+                }
+            }
+        }
+    }
+    assert!(
+        long_terminated,
+        "the bare sweep finished while the single worker was still running \
+         the grid — it bypassed the worker-pool bound"
+    );
+    assert!(
+        bare_lines_before_grid_done <= 1,
+        "{bare_lines_before_grid_done} bare response lines arrived before the \
+         grid's terminal — the bare sweep ran concurrently with the grid \
+         instead of queueing for the single worker"
+    );
+    assert!(
+        matches!(bare.last(), Some(Response::Done(summary)) if summary.records == 2),
+        "the bare sweep completes normally once a worker frees up: {:?}",
+        bare.last()
+    );
+}
+
 /// `collect_multiplexed` routes interleaved lines by id and preserves
 /// per-stream ordering: records within each stream arrive in matrix order
 /// even though the two streams interleave freely on the wire.
